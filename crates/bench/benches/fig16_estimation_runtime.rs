@@ -1,0 +1,53 @@
+//! Criterion bench for Figure 16: estimation run-time per query path for the
+//! OD, LB, HP, RD and rank-capped OD-x estimators, at two query cardinalities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcost_bench::experiment::{experiment_config, random_query_paths, Dataset, Scale};
+use pathcost_core::{
+    CostEstimator, HpEstimator, HybridGraph, LbEstimator, OdEstimator, RdEstimator,
+};
+use pathcost_traj::DatasetPreset;
+
+fn bench_estimation(c: &mut Criterion) {
+    // A small dataset keeps the bench harness fast while preserving the
+    // relative ordering between estimators.
+    let dataset = Dataset::build(&DatasetPreset::tiny(2016));
+    let cfg = experiment_config(Scale::Quick);
+    let graph = HybridGraph::build(&dataset.net, &dataset.store, cfg).expect("graph builds");
+
+    let od = OdEstimator::new(&graph);
+    let od2 = OdEstimator::with_rank_cap(&graph, 2);
+    let lb = LbEstimator::new(&graph);
+    let hp = HpEstimator::new(&graph);
+    let rd = RdEstimator::new(&graph, 3);
+    let estimators: Vec<&dyn CostEstimator> = vec![&od, &od2, &lb, &hp, &rd];
+
+    let mut group = c.benchmark_group("fig16_estimation_runtime");
+    for cardinality in [10usize, 20] {
+        let queries = random_query_paths(&dataset, cardinality, 10, 99);
+        if queries.is_empty() {
+            continue;
+        }
+        for est in &estimators {
+            group.bench_with_input(
+                BenchmarkId::new(est.name().to_string(), cardinality),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        for (path, departure) in queries {
+                            let _ = est.estimate(path, *departure);
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_estimation
+}
+criterion_main!(benches);

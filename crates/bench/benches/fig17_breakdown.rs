@@ -1,0 +1,45 @@
+//! Criterion bench for Figure 17: the three phases of an OD estimation call —
+//! decomposition identification (OI), joint computation (JC) and marginal
+//! derivation (MC) — measured through the public breakdown API, on growing
+//! dataset fractions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcost_bench::experiment::{experiment_config, random_query_paths, Dataset, Scale};
+use pathcost_core::{CostEstimator, HybridGraph, OdEstimator};
+use pathcost_traj::DatasetPreset;
+
+fn bench_breakdown(c: &mut Criterion) {
+    let dataset = Dataset::build(&DatasetPreset::tiny(2017));
+    let cfg = experiment_config(Scale::Quick);
+
+    let mut group = c.benchmark_group("fig17_breakdown");
+    for fraction in [50u32, 100] {
+        let subset = dataset.fraction(fraction as f64 / 100.0);
+        let graph =
+            HybridGraph::build(&subset.net, &subset.store, cfg.clone()).expect("graph builds");
+        let od = OdEstimator::new(&graph);
+        let queries = random_query_paths(&subset, 15, 10, 41);
+        if queries.is_empty() {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("od_estimate", fraction),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    for (path, departure) in queries {
+                        let _ = od.estimate_with_breakdown(path, *departure);
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_breakdown
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench for Figure 18: DFS probabilistic path queries driven by the
+//! LB, HP and OD estimators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcost_bench::experiment::{experiment_config, random_od_pairs, Dataset, Scale};
+use pathcost_core::{CostEstimator, HpEstimator, HybridGraph, LbEstimator, OdEstimator};
+use pathcost_routing::{DfsRouter, RouterConfig};
+use pathcost_traj::{DatasetPreset, Timestamp};
+
+fn bench_routing(c: &mut Criterion) {
+    let dataset = Dataset::build(&DatasetPreset::tiny(2018));
+    let cfg = experiment_config(Scale::Quick);
+    let graph = HybridGraph::build(&dataset.net, &dataset.store, cfg).expect("graph builds");
+    let router = DfsRouter::new(
+        &graph,
+        RouterConfig {
+            max_expansions: 2_000,
+            max_candidates: 16,
+            max_path_edges: 60,
+        },
+    )
+    .expect("router config");
+    let lb = LbEstimator::new(&graph);
+    let hp = HpEstimator::new(&graph);
+    let od = OdEstimator::new(&graph);
+    let estimators: Vec<&dyn CostEstimator> = vec![&lb, &hp, &od];
+    let pairs = random_od_pairs(&dataset, 5, 7);
+    let departure = Timestamp::from_day_hms(0, 8, 0, 0);
+
+    let mut group = c.benchmark_group("fig18_routing");
+    for budget_min in [10.0f64, 20.0] {
+        for est in &estimators {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-DFS", est.name()), budget_min as u32),
+                &pairs,
+                |b, pairs| {
+                    b.iter(|| {
+                        for &(from, to) in pairs {
+                            let _ = router.route(*est, from, to, departure, budget_min * 60.0);
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_routing
+}
+criterion_main!(benches);

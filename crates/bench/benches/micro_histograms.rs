@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the distribution substrate: V-Optimal construction,
+//! Auto bucket selection, convolution and the §4.2 marginalisation. These are
+//! the inner loops of weight-function instantiation and estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcost_hist::auto::{auto_histogram, AutoConfig};
+use pathcost_hist::convolution::convolve_many_with_limit;
+use pathcost_hist::voptimal::voptimal_histogram;
+use pathcost_hist::{Histogram1D, HistogramNd, RawDistribution};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bimodal_samples(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            if i % 3 == 0 {
+                180.0 + rng.gen_range(-20.0..20.0)
+            } else {
+                90.0 + rng.gen_range(-15.0..15.0)
+            }
+        })
+        .collect()
+}
+
+fn bench_voptimal_and_auto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("voptimal_auto");
+    for n in [50usize, 200] {
+        let samples = bimodal_samples(n, 7);
+        let raw = RawDistribution::from_samples(&samples, 1.0).unwrap();
+        group.bench_with_input(BenchmarkId::new("voptimal_b4", n), &raw, |b, raw| {
+            b.iter(|| voptimal_histogram(raw, 4).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("auto", n), &samples, |b, samples| {
+            b.iter(|| auto_histogram(samples, &AutoConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_convolution_and_marginal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convolution_marginal");
+    let unit = auto_histogram(&bimodal_samples(200, 3), &AutoConfig::default()).unwrap();
+    for edges in [10usize, 30] {
+        let hists: Vec<Histogram1D> = (0..edges).map(|_| unit.clone()).collect();
+        group.bench_with_input(BenchmarkId::new("convolve", edges), &hists, |b, hists| {
+            b.iter(|| convolve_many_with_limit(hists, 48).unwrap())
+        });
+    }
+    // Marginalisation of a 4-dimensional joint histogram.
+    let mut rng = StdRng::seed_from_u64(11);
+    let joint: Vec<Vec<f64>> = (0..400)
+        .map(|_| {
+            let shared: f64 = rng.gen_range(0.8..1.4);
+            (0..4).map(|_| 60.0 * shared + rng.gen_range(-5.0..5.0)).collect()
+        })
+        .collect();
+    let nd = HistogramNd::from_samples(&joint, &AutoConfig::default()).unwrap();
+    group.bench_function("nd_to_cost_histogram", |b| {
+        b.iter(|| nd.to_cost_histogram().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_voptimal_and_auto, bench_convolution_and_marginal
+}
+criterion_main!(benches);

@@ -1,0 +1,275 @@
+//! Weight-function instantiation figures: the α and β sweeps (Figures 8, 9),
+//! the dataset-size sweep (Figure 10), histogram quality and space savings
+//! (Figure 11), memory usage (Figure 12) and the parameter table (Table 2).
+
+use crate::experiment::{experiment_config, Dataset, Scale};
+use crate::figures::FigureOutput;
+use pathcost_core::{DayPartition, HybridConfig, PathWeightFunction};
+use pathcost_hist::auto::{auto_histogram, static_histogram, AutoConfig};
+use pathcost_hist::divergence::kl_divergence_from_raw;
+use pathcost_hist::standard::{GammaDist, GaussianDist, StandardFit};
+use pathcost_hist::RawDistribution;
+use pathcost_traj::{CostKind, TimeOfDay};
+
+fn rank_breakdown(wp: &PathWeightFunction) -> String {
+    let stats = wp.stats();
+    let mut parts = Vec::new();
+    for (rank, count) in &stats.count_by_rank {
+        parts.push(format!("|V|={rank}:{count}"));
+    }
+    format!("total {} [{}]", stats.total_variables(), parts.join(", "))
+}
+
+/// Figure 8: effect of α on coverage (a) and on the mean entropy of the
+/// instantiated variables by rank (b).
+pub fn fig8_alpha(datasets: &[Dataset], scale: Scale) -> FigureOutput {
+    let alphas = [15u32, 30, 60, 120];
+    let mut rows = vec!["(a) coverage |E'|/|E''| vs alpha".to_string()];
+    let base = experiment_config(scale);
+    for d in datasets {
+        for &alpha in &alphas {
+            let cfg = base.clone().with_alpha(alpha);
+            let wp = PathWeightFunction::instantiate(&d.net, &d.store, &cfg)
+                .expect("instantiation succeeds");
+            rows.push(format!(
+                "  {}  alpha={:>3} min  coverage={:.2}  {}",
+                d.name,
+                alpha,
+                wp.stats().coverage(),
+                rank_breakdown(&wp)
+            ));
+        }
+    }
+    rows.push("(b) mean entropy of instantiated variables by rank vs alpha".to_string());
+    if let Some(d) = datasets.last() {
+        for &alpha in &alphas {
+            let cfg = base.clone().with_alpha(alpha);
+            let wp = PathWeightFunction::instantiate(&d.net, &d.store, &cfg)
+                .expect("instantiation succeeds");
+            let entropies: Vec<String> = wp
+                .stats()
+                .mean_entropy_by_rank
+                .iter()
+                .map(|(rank, h)| format!("|V|={rank}:{h:.2}"))
+                .collect();
+            rows.push(format!(
+                "  {}  alpha={:>3} min  {}",
+                d.name,
+                alpha,
+                entropies.join("  ")
+            ));
+        }
+    }
+    FigureOutput {
+        id: "Figure 8".to_string(),
+        title: "Effect of the interval length alpha".to_string(),
+        rows,
+    }
+}
+
+/// Figure 9: number of instantiated variables (by rank) as β varies.
+pub fn fig9_beta(datasets: &[Dataset], scale: Scale) -> FigureOutput {
+    let betas = if scale == Scale::Quick {
+        vec![8usize, 15, 23, 30]
+    } else {
+        vec![15usize, 30, 45, 60]
+    };
+    let base = experiment_config(scale);
+    let mut rows = Vec::new();
+    for d in datasets {
+        for &beta in &betas {
+            let cfg = base.clone().with_beta(beta);
+            let wp = PathWeightFunction::instantiate(&d.net, &d.store, &cfg)
+                .expect("instantiation succeeds");
+            rows.push(format!("  {}  beta={:>3}  {}", d.name, beta, rank_breakdown(&wp)));
+        }
+    }
+    FigureOutput {
+        id: "Figure 9".to_string(),
+        title: "Effect of the qualified-trajectory threshold beta".to_string(),
+        rows,
+    }
+}
+
+/// Figure 10: number of instantiated variables (by rank) as the dataset grows.
+pub fn fig10_dataset_sizes(datasets: &[Dataset], scale: Scale) -> FigureOutput {
+    let fractions = [0.25, 0.5, 0.75, 1.0];
+    let cfg = experiment_config(scale);
+    let mut rows = Vec::new();
+    for d in datasets {
+        for &fraction in &fractions {
+            let subset = d.fraction(fraction);
+            let wp = PathWeightFunction::instantiate(&subset.net, &subset.store, &cfg)
+                .expect("instantiation succeeds");
+            rows.push(format!(
+                "  {:<8}  {}",
+                subset.name,
+                rank_breakdown(&wp)
+            ));
+        }
+    }
+    FigureOutput {
+        id: "Figure 10".to_string(),
+        title: "Instantiated variables vs dataset size".to_string(),
+        rows,
+    }
+}
+
+/// Figure 11: histogram approximation quality — (a) Auto vs Gaussian/Gamma
+/// fits, (b) Auto vs fixed Sta-3 / Sta-4 histograms, (c) space-saving ratios.
+pub fn fig11_histogram_quality(datasets: &[Dataset], scale: Scale) -> FigureOutput {
+    let cfg = experiment_config(scale);
+    let partition = DayPartition::new(cfg.alpha_minutes).expect("valid alpha");
+    let peak = partition.range(partition.interval_of(TimeOfDay::from_hms(8, 0, 0)));
+    let auto_cfg = AutoConfig::default();
+    let mut rows = Vec::new();
+
+    for d in datasets {
+        // Collect the travel-time samples of dense unit paths during the peak.
+        let dense_units = d.store.frequent_paths(1, cfg.beta, Some(&peak));
+        let mut kl_gauss = Vec::new();
+        let mut kl_gamma = Vec::new();
+        let mut kl_auto = Vec::new();
+        let mut kl_sta3 = Vec::new();
+        let mut kl_sta4 = Vec::new();
+        let mut save_auto = Vec::new();
+        let mut save_sta3 = Vec::new();
+        let mut save_sta4 = Vec::new();
+        for (path, _) in dense_units.iter().take(60) {
+            let samples =
+                d.store
+                    .qualified_total_costs(&d.net, path, &peak, CostKind::TravelTime);
+            let Ok(raw) = RawDistribution::from_samples(&samples, 1.0) else {
+                continue;
+            };
+            let span = (raw.max() - raw.min()).max(1.0);
+            if let Ok(fit) = GaussianDist::fit(&samples) {
+                if let Ok(h) = fit.to_histogram(raw.min() - 0.1 * span, raw.max() + 0.1 * span, 80) {
+                    kl_gauss.push(kl_divergence_from_raw(&raw, &h, 1.0));
+                }
+            }
+            if let Ok(fit) = GammaDist::fit(&samples) {
+                if let Ok(h) = fit.to_histogram((raw.min() - 0.1 * span).max(0.1), raw.max() + 0.1 * span, 80) {
+                    kl_gamma.push(kl_divergence_from_raw(&raw, &h, 1.0));
+                }
+            }
+            if let Ok(h) = auto_histogram(&samples, &auto_cfg) {
+                kl_auto.push(kl_divergence_from_raw(&raw, &h, 1.0));
+                save_auto.push(1.0 - h.storage_bytes() as f64 / raw.storage_bytes() as f64);
+            }
+            if let Ok(h) = static_histogram(&samples, 3, 1.0) {
+                kl_sta3.push(kl_divergence_from_raw(&raw, &h, 1.0));
+                save_sta3.push(1.0 - h.storage_bytes() as f64 / raw.storage_bytes() as f64);
+            }
+            if let Ok(h) = static_histogram(&samples, 4, 1.0) {
+                kl_sta4.push(kl_divergence_from_raw(&raw, &h, 1.0));
+                save_sta4.push(1.0 - h.storage_bytes() as f64 / raw.storage_bytes() as f64);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        rows.push(format!("  {} over {} dense unit paths:", d.name, kl_auto.len()));
+        rows.push(format!(
+            "    (a) KL vs raw:  Gamma={:.3}  Gaussian={:.3}  Auto={:.3}",
+            mean(&kl_gamma),
+            mean(&kl_gauss),
+            mean(&kl_auto)
+        ));
+        rows.push(format!(
+            "    (b) KL vs raw:  Sta-3={:.3}  Sta-4={:.3}  Auto={:.3}",
+            mean(&kl_sta3),
+            mean(&kl_sta4),
+            mean(&kl_auto)
+        ));
+        rows.push(format!(
+            "    (c) space saved: Sta-3={:.2}  Sta-4={:.2}  Auto={:.2}",
+            mean(&save_sta3),
+            mean(&save_sta4),
+            mean(&save_auto)
+        ));
+    }
+
+    FigureOutput {
+        id: "Figure 11".to_string(),
+        title: "Multi-dimensional histogram quality and space savings".to_string(),
+        rows,
+    }
+}
+
+/// Figure 12: memory usage of the instantiated weight function as the dataset
+/// grows.
+pub fn fig12_memory(datasets: &[Dataset], scale: Scale) -> FigureOutput {
+    let fractions = [0.25, 0.5, 0.75, 1.0];
+    let cfg = experiment_config(scale);
+    let mut rows = Vec::new();
+    for d in datasets {
+        for &fraction in &fractions {
+            let subset = d.fraction(fraction);
+            let wp = PathWeightFunction::instantiate(&subset.net, &subset.store, &cfg)
+                .expect("instantiation succeeds");
+            rows.push(format!(
+                "  {:<8}  {:>10.3} MB",
+                subset.name,
+                wp.stats().memory_bytes as f64 / (1024.0 * 1024.0)
+            ));
+        }
+    }
+    FigureOutput {
+        id: "Figure 12".to_string(),
+        title: "Memory usage of the weight function vs dataset size".to_string(),
+        rows,
+    }
+}
+
+/// Table 2: the parameter settings used throughout the experiments.
+pub fn table2_parameters(scale: Scale) -> FigureOutput {
+    let cfg: HybridConfig = experiment_config(scale);
+    let rows = vec![
+        format!("  alpha (min)       : 15, 30, 45, 60, 120   (default {})", cfg.alpha_minutes),
+        format!("  beta              : 15, 30, 45, 60        (default {})", cfg.beta),
+        "  |P_query|         : 5, 10, 15, 20, 40, 60, 80, 100".to_string(),
+        format!("  max rank          : {}", cfg.max_rank),
+        format!("  cost              : {:?}", cfg.cost_kind),
+    ];
+    FigureOutput {
+        id: "Table 2".to_string(),
+        title: "Parameter settings".to_string(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcost_traj::DatasetPreset;
+
+    fn tiny() -> Vec<Dataset> {
+        vec![Dataset::build(&DatasetPreset::tiny(13))]
+    }
+
+    #[test]
+    fn fig9_and_fig10_produce_rows_per_setting() {
+        let ds = tiny();
+        let f9 = fig9_beta(&ds, Scale::Quick);
+        assert_eq!(f9.rows.len(), 4);
+        let f10 = fig10_dataset_sizes(&ds, Scale::Quick);
+        assert_eq!(f10.rows.len(), 4);
+        assert!(f10.rows[0].contains("25%"));
+    }
+
+    #[test]
+    fn fig11_reports_all_three_panels() {
+        let ds = tiny();
+        let out = fig11_histogram_quality(&ds, Scale::Quick);
+        let text = out.render();
+        assert!(text.contains("(a)"));
+        assert!(text.contains("(b)"));
+        assert!(text.contains("(c)"));
+    }
+
+    #[test]
+    fn fig12_and_table2_render() {
+        let ds = tiny();
+        assert!(fig12_memory(&ds, Scale::Quick).render().contains("MB"));
+        assert!(table2_parameters(Scale::Quick).render().contains("alpha"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Spatio-temporally relevant variables and the candidate array (§4.1.3).
+//!
+//! Given a query path `P` and a departure time `t`, estimation starts by
+//! collecting the instantiated random variables that are
+//!
+//! * **spatially relevant** — their path is a sub-path of `P`, and
+//! * **temporally relevant** — their interval overlaps the (uncertain) time at
+//!   which the traveller reaches the variable's first edge, computed with the
+//!   shift-and-enlarge procedure (Equation 3).
+//!
+//! The surviving variables are organised into a two-dimensional *candidate
+//! array*: one row per edge of the query path, each row holding the relevant
+//! variables whose path starts at that edge, ordered by rank (Table 1).
+
+use crate::error::CoreError;
+use crate::hybrid_graph::HybridGraph;
+use crate::interval::IntervalId;
+use pathcost_hist::HistogramNd;
+use pathcost_roadnet::Path;
+use pathcost_traj::{TimeInterval, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Where a selected variable came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CandidateSource {
+    /// A trajectory-derived variable of the weight function (by index).
+    Instantiated(usize),
+    /// The speed-limit-derived unit fallback for an edge.
+    UnitFallback,
+}
+
+/// A spatio-temporally relevant variable positioned on the query path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectedVariable {
+    /// Edge offset within the query path at which this variable's path starts.
+    pub start: usize,
+    /// The variable's path (a sub-path of the query path).
+    pub path: Path,
+    /// The interval the variable belongs to.
+    pub interval: IntervalId,
+    /// The joint distribution of the variable's path.
+    pub histogram: HistogramNd,
+    /// Origin of the variable.
+    pub source: CandidateSource,
+}
+
+impl SelectedVariable {
+    /// Rank of the variable (cardinality of its path).
+    pub fn rank(&self) -> usize {
+        self.path.cardinality()
+    }
+
+    /// The last query-path position covered by this variable (exclusive).
+    pub fn end(&self) -> usize {
+        self.start + self.rank()
+    }
+}
+
+/// The two-dimensional candidate array of §4.1.3.
+#[derive(Debug, Clone)]
+pub struct CandidateArray {
+    /// `rows[k]` holds the relevant variables whose path starts at edge `k` of
+    /// the query path, sorted by increasing rank. Every row contains at least
+    /// a unit variable (possibly the speed-limit fallback).
+    pub rows: Vec<Vec<SelectedVariable>>,
+    /// The shift-and-enlarged departure interval `UI_k` (in seconds of the
+    /// day) for each edge position.
+    pub updated_intervals: Vec<TimeInterval>,
+}
+
+impl CandidateArray {
+    /// Builds the candidate array for `query` departing at `departure`.
+    ///
+    /// `rank_cap` restricts the maximum rank of considered variables (used by
+    /// the LB, HP and OD-x baselines); `None` considers every rank.
+    pub fn build(
+        graph: &HybridGraph<'_>,
+        query: &Path,
+        departure: Timestamp,
+        rank_cap: Option<usize>,
+    ) -> Result<CandidateArray, CoreError> {
+        let wp = graph.weights();
+        let partition = wp.partition();
+        let n = query.cardinality();
+        for &e in query.edges() {
+            if !graph.network().contains_edge(e) {
+                return Err(CoreError::UnknownEdge(e));
+            }
+        }
+
+        // Shift-and-enlarge: UI_1 = [t, t]; UI_{k+1} = SAE(UI_k, V_{e_k}).
+        let depart_tod = departure.time_of_day().seconds();
+        let mut updated_intervals = Vec::with_capacity(n);
+        let mut lo = depart_tod;
+        let mut hi = depart_tod;
+        for (k, &edge) in query.edges().iter().enumerate() {
+            updated_intervals.push(TimeInterval::new(lo, (hi.max(lo + 1e-6)).min(86_400.0)));
+            if k + 1 == n {
+                break;
+            }
+            // The unit variable used for the shift is the one whose interval
+            // best overlaps the current arrival window.
+            let probe_interval =
+                partition.interval_of(pathcost_traj::TimeOfDay::wrap(0.5 * (lo + hi)));
+            let unit = wp
+                .unit_histogram(edge, probe_interval)
+                .ok_or(CoreError::NoDistribution)?;
+            lo = (lo + unit.min()).min(86_400.0);
+            hi = (hi + unit.max()).min(86_400.0);
+        }
+
+        // Candidate rows.
+        let mut rows: Vec<Vec<SelectedVariable>> = vec![Vec::new(); n];
+        for (k, &edge) in query.edges().iter().enumerate() {
+            let window = &updated_intervals[k];
+            // Spatially relevant instantiated variables starting at edge k.
+            // For each distinct sub-path keep the interval with the largest
+            // overlap with UI_k.
+            let mut best: std::collections::HashMap<Vec<pathcost_roadnet::EdgeId>, (f64, usize)> =
+                std::collections::HashMap::new();
+            for &vi in wp.variables_starting_with(edge) {
+                let var = wp.variable(vi);
+                if let Some(cap) = rank_cap {
+                    if var.rank() > cap {
+                        continue;
+                    }
+                }
+                if var.rank() > n - k {
+                    continue;
+                }
+                if query.edges()[k..k + var.rank()] != *var.path.edges() {
+                    continue;
+                }
+                let overlap = partition.range(var.interval).overlap(window);
+                if overlap <= 0.0 {
+                    continue;
+                }
+                let entry = best
+                    .entry(var.path.edges().to_vec())
+                    .or_insert((f64::NEG_INFINITY, usize::MAX));
+                if overlap > entry.0 {
+                    *entry = (overlap, vi);
+                }
+            }
+            for (_, (_, vi)) in best {
+                let var = wp.variable(vi);
+                rows[k].push(SelectedVariable {
+                    start: k,
+                    path: var.path.clone(),
+                    interval: var.interval,
+                    histogram: var.histogram.clone(),
+                    source: CandidateSource::Instantiated(vi),
+                });
+            }
+            // Guarantee a unit variable in every row.
+            if !rows[k].iter().any(|v| v.rank() == 1) {
+                let probe_interval = partition
+                    .interval_of(pathcost_traj::TimeOfDay::wrap(0.5 * (window.start + window.end)));
+                let unit = wp
+                    .unit_histogram(edge, probe_interval)
+                    .ok_or(CoreError::NoDistribution)?;
+                rows[k].push(SelectedVariable {
+                    start: k,
+                    path: Path::unit(edge),
+                    interval: probe_interval,
+                    histogram: HistogramNd::from_histogram1d(&unit),
+                    source: CandidateSource::UnitFallback,
+                });
+            }
+            rows[k].sort_by_key(|v| v.rank());
+        }
+
+        Ok(CandidateArray {
+            rows,
+            updated_intervals,
+        })
+    }
+
+    /// The number of rows (the query path cardinality).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the array has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The highest-rank variable of row `k` (the rightmost cell of Table 1).
+    pub fn highest_rank(&self, k: usize) -> &SelectedVariable {
+        self.rows[k]
+            .last()
+            .expect("every row contains at least a unit variable")
+    }
+
+    /// Total number of candidate variables across all rows.
+    pub fn total_candidates(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HybridConfig;
+    use crate::hybrid_graph::HybridGraph;
+    use pathcost_traj::DatasetPreset;
+
+    fn graph_and_query() -> (
+        pathcost_roadnet::RoadNetwork,
+        pathcost_traj::TrajectoryStore,
+        HybridConfig,
+        Path,
+        Timestamp,
+    ) {
+        let (net, store) = DatasetPreset::tiny(31).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        };
+        // Use a path that actually carries traffic: the most frequent 4-edge path.
+        let frequent = store.frequent_paths(4, 10, None);
+        let (query, _) = frequent.first().expect("tiny preset has frequent paths").clone();
+        let occ = store.occurrences_on(&query);
+        let departure = occ[0].entry_time;
+        (net, store, cfg, query, departure)
+    }
+
+    #[test]
+    fn every_row_has_a_unit_variable_and_is_sorted() {
+        let (net, store, cfg, query, departure) = graph_and_query();
+        let graph = HybridGraph::build(&net, &store, cfg).unwrap();
+        let array = CandidateArray::build(&graph, &query, departure, None).unwrap();
+        assert_eq!(array.len(), query.cardinality());
+        for (k, row) in array.rows.iter().enumerate() {
+            assert!(!row.is_empty());
+            assert_eq!(row[0].rank(), 1, "row {k} must start with a unit variable");
+            for w in row.windows(2) {
+                assert!(w[0].rank() <= w[1].rank());
+            }
+            for v in row {
+                assert_eq!(v.start, k);
+                // Spatial relevance: the variable's path matches the query at k.
+                assert_eq!(&query.edges()[k..k + v.rank()], v.path.edges());
+            }
+        }
+        assert!(array.total_candidates() >= query.cardinality());
+    }
+
+    #[test]
+    fn updated_intervals_are_monotonically_widening_and_shifting() {
+        let (net, store, cfg, query, departure) = graph_and_query();
+        let graph = HybridGraph::build(&net, &store, cfg).unwrap();
+        let array = CandidateArray::build(&graph, &query, departure, None).unwrap();
+        let uis = &array.updated_intervals;
+        assert_eq!(uis.len(), query.cardinality());
+        assert!((uis[0].start - departure.time_of_day().seconds()).abs() < 1e-6);
+        for w in uis.windows(2) {
+            assert!(w[1].start >= w[0].start, "windows must shift forward");
+            assert!(
+                w[1].duration() >= w[0].duration() - 1e-9,
+                "windows must not shrink"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_cap_limits_candidates() {
+        let (net, store, cfg, query, departure) = graph_and_query();
+        let graph = HybridGraph::build(&net, &store, cfg).unwrap();
+        let capped = CandidateArray::build(&graph, &query, departure, Some(1)).unwrap();
+        for row in &capped.rows {
+            assert!(row.iter().all(|v| v.rank() == 1));
+        }
+        let uncapped = CandidateArray::build(&graph, &query, departure, None).unwrap();
+        assert!(uncapped.total_candidates() >= capped.total_candidates());
+    }
+
+    #[test]
+    fn unknown_edges_are_rejected() {
+        let (net, store, cfg, _, departure) = graph_and_query();
+        let graph = HybridGraph::build(&net, &store, cfg).unwrap();
+        let bogus = Path::from_edges_unchecked(vec![pathcost_roadnet::EdgeId(999_999)]);
+        assert!(matches!(
+            CandidateArray::build(&graph, &bogus, departure, None),
+            Err(CoreError::UnknownEdge(_))
+        ));
+    }
+
+    #[test]
+    fn departures_in_dead_hours_still_produce_candidates() {
+        let (net, store, cfg, query, _) = graph_and_query();
+        let graph = HybridGraph::build(&net, &store, cfg).unwrap();
+        let departure = Timestamp::from_day_hms(0, 3, 0, 0);
+        let array = CandidateArray::build(&graph, &query, departure, None).unwrap();
+        // At 03:00 there is typically no data, so rows contain fallbacks.
+        assert_eq!(array.len(), query.cardinality());
+        for row in &array.rows {
+            assert!(!row.is_empty());
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Configuration of the hybrid graph (the paper's Table 2 parameters).
+
+use pathcost_hist::AutoConfig;
+use pathcost_traj::CostKind;
+use serde::{Deserialize, Serialize};
+
+/// Parameters controlling weight-function instantiation and estimation.
+///
+/// Defaults correspond to the bold entries of the paper's Table 2:
+/// `α = 30` minutes, `β = 30` qualified trajectories.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybridConfig {
+    /// The finest-granularity time interval of interest, in minutes (`α`).
+    pub alpha_minutes: u32,
+    /// The minimum number of qualified trajectories required to instantiate a
+    /// random variable from trajectories (`β`).
+    pub beta: usize,
+    /// The maximum rank (path cardinality) of instantiated random variables.
+    ///
+    /// The paper instantiates every path that reaches `β` qualified
+    /// trajectories; bounding the rank keeps the bottom-up pass predictable and
+    /// matches the observation (Figure 10) that variables of rank ≥ 4 are rare.
+    pub max_rank: usize,
+    /// Which travel cost the weight function describes.
+    pub cost_kind: CostKind,
+    /// Configuration of the Auto histogram bucket selection.
+    pub auto: AutoConfig,
+    /// Relative half-width of the speed-limit-derived fallback distribution for
+    /// unit paths without enough trajectories: the travel time is assumed
+    /// uniform in `[t_ff · (1 − spread), t_ff · (1 + 3·spread))` around the
+    /// free-flow time `t_ff`.
+    pub speed_limit_spread: f64,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            alpha_minutes: 30,
+            beta: 30,
+            max_rank: 6,
+            cost_kind: CostKind::TravelTime,
+            auto: AutoConfig::default(),
+            speed_limit_spread: 0.15,
+        }
+    }
+}
+
+impl HybridConfig {
+    /// A configuration with a different `α` (minutes), for the Figure 8 sweep.
+    pub fn with_alpha(mut self, alpha_minutes: u32) -> Self {
+        self.alpha_minutes = alpha_minutes;
+        self
+    }
+
+    /// A configuration with a different `β`, for the Figure 9 sweep.
+    pub fn with_beta(mut self, beta: usize) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// A configuration with a different maximum instantiated rank.
+    pub fn with_max_rank(mut self, max_rank: usize) -> Self {
+        self.max_rank = max_rank;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), crate::error::CoreError> {
+        if self.alpha_minutes == 0 || self.alpha_minutes > 24 * 60 {
+            return Err(crate::error::CoreError::InvalidConfig(
+                "alpha must be between 1 minute and one day",
+            ));
+        }
+        if self.beta == 0 {
+            return Err(crate::error::CoreError::InvalidConfig("beta must be positive"));
+        }
+        if self.max_rank == 0 {
+            return Err(crate::error::CoreError::InvalidConfig(
+                "max_rank must be at least 1",
+            ));
+        }
+        if !(0.0..1.0).contains(&self.speed_limit_spread) {
+            return Err(crate::error::CoreError::InvalidConfig(
+                "speed_limit_spread must be in [0, 1)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let cfg = HybridConfig::default();
+        assert_eq!(cfg.alpha_minutes, 30);
+        assert_eq!(cfg.beta, 30);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_adjust_parameters() {
+        let cfg = HybridConfig::default().with_alpha(60).with_beta(15).with_max_rank(4);
+        assert_eq!(cfg.alpha_minutes, 60);
+        assert_eq!(cfg.beta, 15);
+        assert_eq!(cfg.max_rank, 4);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(HybridConfig::default().with_alpha(0).validate().is_err());
+        assert!(HybridConfig::default().with_beta(0).validate().is_err());
+        assert!(HybridConfig::default().with_max_rank(0).validate().is_err());
+        let mut cfg = HybridConfig::default();
+        cfg.speed_limit_spread = 1.5;
+        assert!(cfg.validate().is_err());
+        cfg.alpha_minutes = 25 * 60;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,376 @@
+//! Path decompositions and the coarsest-decomposition algorithm (§4.1).
+//!
+//! A decomposition of a query path is an ordered sequence of sub-paths that
+//! together cover the path, where no component is a sub-path of another
+//! (spatial conditions 1–4). Each decomposition induces a set of (conditional)
+//! independence assumptions, and by Theorem 3 the *coarsest* decomposition —
+//! the one whose components are as long as possible — yields the most accurate
+//! joint-distribution estimate. Algorithm 1 constructs it from the candidate
+//! array by walking the rows and taking the highest-rank variable whose path is
+//! not already contained in a previously chosen component.
+
+use crate::candidate::{CandidateArray, SelectedVariable};
+use rand::Rng;
+
+/// A decomposition of a query path into spatio-temporally relevant variables.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    components: Vec<SelectedVariable>,
+    query_len: usize,
+}
+
+impl Decomposition {
+    /// Algorithm 1: the coarsest decomposition obtainable from the candidate array.
+    pub fn coarsest(array: &CandidateArray) -> Decomposition {
+        let n = array.len();
+        let mut components: Vec<SelectedVariable> = Vec::new();
+        let mut covered_end = 0usize;
+        for k in 0..n {
+            let best = array.highest_rank(k);
+            // Skip when this variable's path is a sub-path of an already chosen
+            // component (it would violate spatial condition 3). Because
+            // components are chosen left to right, that is exactly the case
+            // where it ends no later than the furthest end so far.
+            if best.end() <= covered_end {
+                continue;
+            }
+            covered_end = best.end();
+            components.push(best.clone());
+        }
+        Decomposition {
+            components,
+            query_len: n,
+        }
+    }
+
+    /// A random valid decomposition (the RD baseline): at each row a variable
+    /// is chosen uniformly at random among those extending the coverage.
+    pub fn random<R: Rng + ?Sized>(array: &CandidateArray, rng: &mut R) -> Decomposition {
+        let n = array.len();
+        let mut components: Vec<SelectedVariable> = Vec::new();
+        let mut covered_end = 0usize;
+        for k in 0..n {
+            let extending: Vec<&SelectedVariable> = array.rows[k]
+                .iter()
+                .filter(|v| v.end() > covered_end)
+                .collect();
+            if extending.is_empty() {
+                continue;
+            }
+            let choice = extending[rng.gen_range(0..extending.len())];
+            covered_end = choice.end();
+            components.push(choice.clone());
+        }
+        Decomposition {
+            components,
+            query_len: n,
+        }
+    }
+
+    /// The legacy (LB) decomposition: every edge contributes its unit variable.
+    pub fn legacy(array: &CandidateArray) -> Decomposition {
+        let components = array
+            .rows
+            .iter()
+            .map(|row| row.first().expect("rows are non-empty").clone())
+            .collect();
+        Decomposition {
+            components,
+            query_len: array.len(),
+        }
+    }
+
+    /// The HP decomposition [10]: every pair of adjacent edges contributes its
+    /// rank-2 variable when one exists, interleaved with unit variables where
+    /// pairs are unavailable, so the estimator considers roughly `|P|`
+    /// variables regardless of how much coarser information exists.
+    pub fn pairwise(array: &CandidateArray) -> Decomposition {
+        let n = array.len();
+        let mut components: Vec<SelectedVariable> = Vec::new();
+        let mut covered_end = 0usize;
+        for k in 0..n {
+            let pair = array.rows[k].iter().find(|v| v.rank() == 2);
+            let candidate = match pair {
+                Some(p) => p,
+                None => &array.rows[k][0],
+            };
+            if candidate.end() <= covered_end {
+                continue;
+            }
+            covered_end = candidate.end();
+            components.push(candidate.clone());
+        }
+        Decomposition {
+            components,
+            query_len: n,
+        }
+    }
+
+    /// The components in path order.
+    pub fn components(&self) -> &[SelectedVariable] {
+        &self.components
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` when the decomposition has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The cardinality of the query path this decomposition belongs to.
+    pub fn query_len(&self) -> usize {
+        self.query_len
+    }
+
+    /// The ranks of the components (useful for diagnostics and tests).
+    pub fn ranks(&self) -> Vec<usize> {
+        self.components.iter().map(SelectedVariable::rank).collect()
+    }
+
+    /// Validates the spatial conditions (1)–(4) of §4.1.1:
+    /// components are sub-paths (guaranteed by construction), they cover the
+    /// query path, none is a sub-path of another, and they are ordered by
+    /// their first edge.
+    pub fn is_valid(&self) -> bool {
+        if self.components.is_empty() {
+            return false;
+        }
+        // Condition (4): ordered by start position, strictly increasing
+        // (two components starting at the same edge would make one a prefix of
+        // the other, violating (3)).
+        for w in self.components.windows(2) {
+            if w[1].start <= w[0].start {
+                return false;
+            }
+        }
+        // Condition (3): no component contained in another. With sorted starts
+        // it suffices that ends strictly increase.
+        for w in self.components.windows(2) {
+            if w[1].end() <= w[0].end() {
+                return false;
+            }
+        }
+        // Condition (2): together they cover [0, query_len).
+        let mut covered_end = 0usize;
+        for c in &self.components {
+            if c.start > covered_end {
+                return false;
+            }
+            covered_end = covered_end.max(c.end());
+        }
+        covered_end == self.query_len
+    }
+
+    /// `true` if `self` is coarser than `other` (§4.1.1): every component of
+    /// `other` is a sub-path of some component of `self`, and at least one
+    /// component differs.
+    pub fn is_coarser_than(&self, other: &Decomposition) -> bool {
+        let mut any_different = false;
+        for oc in &other.components {
+            let contained = self.components.iter().any(|sc| {
+                oc.start >= sc.start && oc.end() <= sc.end()
+            });
+            if !contained {
+                return false;
+            }
+            if !self
+                .components
+                .iter()
+                .any(|sc| sc.start == oc.start && sc.end() == oc.end())
+            {
+                any_different = true;
+            }
+        }
+        any_different || self.components.len() != other.components.len()
+    }
+
+    /// The number of edges shared between component `i` and component `i + 1`.
+    pub fn overlap_len(&self, i: usize) -> usize {
+        if i + 1 >= self.components.len() {
+            return 0;
+        }
+        let a = &self.components[i];
+        let b = &self.components[i + 1];
+        a.end().saturating_sub(b.start)
+    }
+
+    /// The estimated joint-distribution entropy `H_DE` of Theorem 2:
+    /// `Σ H(C_{P_i}) − Σ H(C_{P_i ∩ P_{i−1}})`, where the overlap entropy is
+    /// computed from the later component's marginal over the shared edges.
+    pub fn entropy_hde(&self) -> f64 {
+        let mut h = 0.0;
+        for c in &self.components {
+            h += c.histogram.entropy();
+        }
+        for i in 0..self.components.len().saturating_sub(1) {
+            let overlap = self.overlap_len(i);
+            if overlap == 0 {
+                continue;
+            }
+            let next = &self.components[i + 1];
+            let dims: Vec<usize> = (0..overlap).collect();
+            if let Ok(marginal) = next.histogram.marginal(&dims) {
+                h -= marginal.entropy();
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::CandidateArray;
+    use crate::config::HybridConfig;
+    use crate::hybrid_graph::HybridGraph;
+    use pathcost_traj::DatasetPreset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        net: pathcost_roadnet::RoadNetwork,
+        store: pathcost_traj::TrajectoryStore,
+        cfg: HybridConfig,
+        query: pathcost_roadnet::Path,
+        departure: pathcost_traj::Timestamp,
+    }
+
+    fn fixture() -> Fixture {
+        let (net, store) = DatasetPreset::tiny(41).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        };
+        let frequent = store.frequent_paths(5, 10, None);
+        let (query, _) = frequent
+            .first()
+            .cloned()
+            .unwrap_or_else(|| store.frequent_paths(4, 10, None)[0].clone());
+        let departure = store.occurrences_on(&query)[0].entry_time;
+        Fixture {
+            net,
+            store,
+            cfg,
+            query,
+            departure,
+        }
+    }
+
+    fn array(f: &Fixture, cap: Option<usize>) -> CandidateArray {
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        CandidateArray::build(&graph, &f.query, f.departure, cap).unwrap()
+    }
+
+    #[test]
+    fn coarsest_is_valid_and_covers_the_query() {
+        let f = fixture();
+        let a = array(&f, None);
+        let d = Decomposition::coarsest(&a);
+        assert!(d.is_valid(), "ranks: {:?}", d.ranks());
+        assert_eq!(d.query_len(), f.query.cardinality());
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn legacy_uses_only_unit_variables() {
+        let f = fixture();
+        let a = array(&f, None);
+        let d = Decomposition::legacy(&a);
+        assert!(d.is_valid());
+        assert!(d.ranks().iter().all(|&r| r == 1));
+        assert_eq!(d.len(), f.query.cardinality());
+        // No overlaps between unit components.
+        for i in 0..d.len() {
+            assert_eq!(d.overlap_len(i), 0);
+        }
+    }
+
+    #[test]
+    fn pairwise_is_valid_and_mostly_rank_two() {
+        let f = fixture();
+        let a = array(&f, None);
+        let d = Decomposition::pairwise(&a);
+        assert!(d.is_valid());
+        assert!(d.ranks().iter().all(|&r| r <= 2));
+    }
+
+    #[test]
+    fn random_decompositions_are_valid() {
+        let f = fixture();
+        let a = array(&f, None);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let d = Decomposition::random(&a, &mut rng);
+            assert!(d.is_valid(), "ranks: {:?}", d.ranks());
+        }
+    }
+
+    #[test]
+    fn coarsest_is_coarser_than_legacy_when_higher_ranks_exist() {
+        let f = fixture();
+        let a = array(&f, None);
+        let coarsest = Decomposition::coarsest(&a);
+        let legacy = Decomposition::legacy(&a);
+        if coarsest.ranks().iter().any(|&r| r > 1) {
+            assert!(coarsest.is_coarser_than(&legacy));
+            assert!(!legacy.is_coarser_than(&coarsest));
+        }
+    }
+
+    #[test]
+    fn coarsest_has_no_fewer_total_covered_edges_than_any_random_decomposition() {
+        let f = fixture();
+        let a = array(&f, None);
+        let coarsest = Decomposition::coarsest(&a);
+        let coarsest_max_rank = coarsest.ranks().into_iter().max().unwrap_or(1);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let rd = Decomposition::random(&a, &mut rng);
+            let rd_max_rank = rd.ranks().into_iter().max().unwrap_or(1);
+            assert!(coarsest_max_rank >= rd_max_rank);
+        }
+    }
+
+    #[test]
+    fn theorem3_entropy_ordering_between_coarsest_and_legacy() {
+        // H_DE of the coarsest decomposition must not exceed that of the
+        // finest (legacy) decomposition — Theorem 3 expressed through Theorem 2.
+        let f = fixture();
+        let a = array(&f, None);
+        let coarsest = Decomposition::coarsest(&a);
+        let legacy = Decomposition::legacy(&a);
+        assert!(
+            coarsest.entropy_hde() <= legacy.entropy_hde() + 1e-9,
+            "coarsest H_DE {} vs legacy {}",
+            coarsest.entropy_hde(),
+            legacy.entropy_hde()
+        );
+    }
+
+    #[test]
+    fn rank_capped_array_produces_rank_capped_decomposition() {
+        let f = fixture();
+        let a = array(&f, Some(2));
+        let d = Decomposition::coarsest(&a);
+        assert!(d.is_valid());
+        assert!(d.ranks().iter().all(|&r| r <= 2));
+    }
+
+    #[test]
+    fn overlap_lengths_are_consistent_with_component_geometry() {
+        let f = fixture();
+        let a = array(&f, None);
+        let d = Decomposition::coarsest(&a);
+        for i in 0..d.len().saturating_sub(1) {
+            let a_end = d.components()[i].end();
+            let b_start = d.components()[i + 1].start;
+            let expected = a_end.saturating_sub(b_start);
+            assert_eq!(d.overlap_len(i), expected);
+            assert!(d.overlap_len(i) < d.components()[i + 1].rank());
+        }
+    }
+}

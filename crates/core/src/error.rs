@@ -1,0 +1,60 @@
+//! Error types for the hybrid-graph core.
+
+use std::fmt;
+
+/// Errors produced while instantiating the hybrid graph or estimating costs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The query path references an edge that is not part of the road network.
+    UnknownEdge(pathcost_roadnet::EdgeId),
+    /// A configuration value was invalid.
+    InvalidConfig(&'static str),
+    /// No distribution could be derived for the path (should not happen: unit
+    /// paths always have at least a speed-limit-derived fallback).
+    NoDistribution,
+    /// An underlying histogram operation failed.
+    Histogram(pathcost_hist::HistError),
+    /// An underlying road-network operation failed.
+    RoadNet(pathcost_roadnet::RoadNetError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownEdge(e) => write!(f, "unknown edge {e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::NoDistribution => write!(f, "no cost distribution could be derived"),
+            CoreError::Histogram(e) => write!(f, "histogram error: {e}"),
+            CoreError::RoadNet(e) => write!(f, "road network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<pathcost_hist::HistError> for CoreError {
+    fn from(value: pathcost_hist::HistError) -> Self {
+        CoreError::Histogram(value)
+    }
+}
+
+impl From<pathcost_roadnet::RoadNetError> for CoreError {
+    fn from(value: pathcost_roadnet::RoadNetError) -> Self {
+        CoreError::RoadNet(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = pathcost_hist::HistError::EmptyInput.into();
+        assert!(matches!(e, CoreError::Histogram(_)));
+        assert!(e.to_string().contains("histogram"));
+        let e: CoreError = pathcost_roadnet::RoadNetError::EmptyPath.into();
+        assert!(matches!(e, CoreError::RoadNet(_)));
+        assert!(CoreError::NoDistribution.to_string().contains("distribution"));
+    }
+}

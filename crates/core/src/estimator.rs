@@ -1,0 +1,513 @@
+//! Path cost distribution estimators.
+//!
+//! The evaluation (§5.2.2) compares:
+//!
+//! * **OD** — the paper's proposal: coarsest decomposition over the full
+//!   candidate array ([`OdEstimator`] with no rank cap),
+//! * **OD-x** — OD restricted to instantiated variables of rank ≤ x,
+//! * **LB** — the legacy baseline: edge-granularity convolution with
+//!   arrival-time shifting ([`LbEstimator`]),
+//! * **HP** — pairwise joint distributions of adjacent edges ([`HpEstimator`]),
+//! * **RD** — a random (non-coarsest) decomposition ([`RdEstimator`]),
+//! * **GT** — the accuracy-optimal baseline computed directly from ≥ β
+//!   qualified trajectories ([`GroundTruthEstimator`]), used as ground truth.
+
+use crate::candidate::CandidateArray;
+use crate::decomposition::Decomposition;
+use crate::error::CoreError;
+use crate::hybrid_graph::HybridGraph;
+use crate::joint::{cost_histogram, DEFAULT_STATE_BUCKETS};
+use pathcost_hist::auto::auto_histogram;
+use pathcost_hist::Histogram1D;
+use pathcost_roadnet::{Path, RoadNetwork};
+use pathcost_traj::{Timestamp, TrajectoryStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Wall-clock breakdown of one estimation call (Figure 17's OI / JC / MC).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EstimateBreakdown {
+    /// Seconds spent identifying the optimal decomposition (candidate array +
+    /// Algorithm 1) — "OI".
+    pub decomposition_s: f64,
+    /// Seconds spent computing the joint distribution along the chain — "JC".
+    pub joint_s: f64,
+    /// Seconds spent deriving the marginal cost distribution — "MC".
+    pub marginal_s: f64,
+}
+
+impl EstimateBreakdown {
+    /// Total estimation time in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.decomposition_s + self.joint_s + self.marginal_s
+    }
+}
+
+/// A method that estimates the cost distribution of a path at a departure time.
+pub trait CostEstimator {
+    /// Short name used in experiment output ("OD", "LB", …).
+    fn name(&self) -> &str;
+
+    /// Estimates the travel cost distribution of `path` departing at `departure`.
+    fn estimate(&self, path: &Path, departure: Timestamp) -> Result<Histogram1D, CoreError> {
+        self.estimate_with_breakdown(path, departure).map(|(h, _)| h)
+    }
+
+    /// Estimates the distribution and reports the per-phase time breakdown.
+    fn estimate_with_breakdown(
+        &self,
+        path: &Path,
+        departure: Timestamp,
+    ) -> Result<(Histogram1D, EstimateBreakdown), CoreError>;
+
+    /// The `H_DE` entropy of the decomposition this estimator would use
+    /// (Figure 15). Estimators that do not build decompositions may return `None`.
+    fn decomposition_entropy(&self, _path: &Path, _departure: Timestamp) -> Option<f64> {
+        None
+    }
+}
+
+/// Shared implementation: build a candidate array, pick a decomposition,
+/// derive the cost distribution.
+fn estimate_via_decomposition<F>(
+    graph: &HybridGraph<'_>,
+    path: &Path,
+    departure: Timestamp,
+    rank_cap: Option<usize>,
+    pick: F,
+) -> Result<(Histogram1D, EstimateBreakdown), CoreError>
+where
+    F: FnOnce(&CandidateArray) -> Decomposition,
+{
+    let start = Instant::now();
+    let array = CandidateArray::build(graph, path, departure, rank_cap)?;
+    let decomposition = pick(&array);
+    let oi = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let hist = cost_histogram(&decomposition)?;
+    let jc = start.elapsed().as_secs_f64();
+
+    // The marginalisation (hyper-bucket summation + rearrangement) happens
+    // inside the chain walk; the final re-arrangement pass is cheap and
+    // measured as part of `cost_histogram`. To expose the three-phase
+    // breakdown of Figure 17 we attribute the final histogram normalisation
+    // to MC by re-running only that step.
+    let start = Instant::now();
+    let entries: Vec<(pathcost_hist::Bucket, f64)> = hist
+        .buckets()
+        .iter()
+        .zip(hist.probs())
+        .map(|(b, p)| (*b, *p))
+        .collect();
+    let hist = Histogram1D::from_overlapping(&entries)?;
+    let mc = start.elapsed().as_secs_f64();
+
+    Ok((
+        hist,
+        EstimateBreakdown {
+            decomposition_s: oi,
+            joint_s: jc,
+            marginal_s: mc,
+        },
+    ))
+}
+
+/// The paper's proposed estimator: optimal (coarsest) decomposition.
+pub struct OdEstimator<'g, 'n> {
+    graph: &'g HybridGraph<'n>,
+    rank_cap: Option<usize>,
+    name: String,
+}
+
+impl<'g, 'n> OdEstimator<'g, 'n> {
+    /// OD with the full candidate array.
+    pub fn new(graph: &'g HybridGraph<'n>) -> Self {
+        OdEstimator {
+            graph,
+            rank_cap: None,
+            name: "OD".to_string(),
+        }
+    }
+
+    /// OD-x: only instantiated variables of rank ≤ `cap` are considered.
+    pub fn with_rank_cap(graph: &'g HybridGraph<'n>, cap: usize) -> Self {
+        OdEstimator {
+            graph,
+            rank_cap: Some(cap),
+            name: format!("OD-{cap}"),
+        }
+    }
+}
+
+impl CostEstimator for OdEstimator<'_, '_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn estimate_with_breakdown(
+        &self,
+        path: &Path,
+        departure: Timestamp,
+    ) -> Result<(Histogram1D, EstimateBreakdown), CoreError> {
+        estimate_via_decomposition(self.graph, path, departure, self.rank_cap, |array| {
+            Decomposition::coarsest(array)
+        })
+    }
+
+    fn decomposition_entropy(&self, path: &Path, departure: Timestamp) -> Option<f64> {
+        let array = CandidateArray::build(self.graph, path, departure, self.rank_cap).ok()?;
+        Some(Decomposition::coarsest(&array).entropy_hde())
+    }
+}
+
+/// The legacy baseline (LB): unit-path weights convolved under independence,
+/// with shift-and-enlarge arrival-time updating.
+pub struct LbEstimator<'g, 'n> {
+    graph: &'g HybridGraph<'n>,
+}
+
+impl<'g, 'n> LbEstimator<'g, 'n> {
+    /// Creates the legacy-baseline estimator.
+    pub fn new(graph: &'g HybridGraph<'n>) -> Self {
+        LbEstimator { graph }
+    }
+}
+
+impl CostEstimator for LbEstimator<'_, '_> {
+    fn name(&self) -> &str {
+        "LB"
+    }
+
+    fn estimate_with_breakdown(
+        &self,
+        path: &Path,
+        departure: Timestamp,
+    ) -> Result<(Histogram1D, EstimateBreakdown), CoreError> {
+        estimate_via_decomposition(self.graph, path, departure, Some(1), |array| {
+            Decomposition::legacy(array)
+        })
+    }
+
+    fn decomposition_entropy(&self, path: &Path, departure: Timestamp) -> Option<f64> {
+        let array = CandidateArray::build(self.graph, path, departure, Some(1)).ok()?;
+        Some(Decomposition::legacy(&array).entropy_hde())
+    }
+}
+
+/// The HP baseline [10]: joint distributions of every pair of adjacent edges.
+pub struct HpEstimator<'g, 'n> {
+    graph: &'g HybridGraph<'n>,
+}
+
+impl<'g, 'n> HpEstimator<'g, 'n> {
+    /// Creates the HP estimator.
+    pub fn new(graph: &'g HybridGraph<'n>) -> Self {
+        HpEstimator { graph }
+    }
+}
+
+impl CostEstimator for HpEstimator<'_, '_> {
+    fn name(&self) -> &str {
+        "HP"
+    }
+
+    fn estimate_with_breakdown(
+        &self,
+        path: &Path,
+        departure: Timestamp,
+    ) -> Result<(Histogram1D, EstimateBreakdown), CoreError> {
+        estimate_via_decomposition(self.graph, path, departure, Some(2), |array| {
+            Decomposition::pairwise(array)
+        })
+    }
+
+    fn decomposition_entropy(&self, path: &Path, departure: Timestamp) -> Option<f64> {
+        let array = CandidateArray::build(self.graph, path, departure, Some(2)).ok()?;
+        Some(Decomposition::pairwise(&array).entropy_hde())
+    }
+}
+
+/// The RD baseline: a randomly chosen valid decomposition.
+pub struct RdEstimator<'g, 'n> {
+    graph: &'g HybridGraph<'n>,
+    seed: u64,
+}
+
+impl<'g, 'n> RdEstimator<'g, 'n> {
+    /// Creates the random-decomposition estimator with a deterministic seed.
+    pub fn new(graph: &'g HybridGraph<'n>, seed: u64) -> Self {
+        RdEstimator { graph, seed }
+    }
+}
+
+impl CostEstimator for RdEstimator<'_, '_> {
+    fn name(&self) -> &str {
+        "RD"
+    }
+
+    fn estimate_with_breakdown(
+        &self,
+        path: &Path,
+        departure: Timestamp,
+    ) -> Result<(Histogram1D, EstimateBreakdown), CoreError> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ path.cardinality() as u64);
+        estimate_via_decomposition(self.graph, path, departure, None, |array| {
+            Decomposition::random(array, &mut rng)
+        })
+    }
+
+    fn decomposition_entropy(&self, path: &Path, departure: Timestamp) -> Option<f64> {
+        let array = CandidateArray::build(self.graph, path, departure, None).ok()?;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ path.cardinality() as u64);
+        Some(Decomposition::random(&array, &mut rng).entropy_hde())
+    }
+}
+
+/// The accuracy-optimal baseline (§2.2): the distribution computed directly
+/// from the qualified trajectories of the query path itself. Fails with
+/// [`CoreError::NoDistribution`] when fewer than β qualified trajectories
+/// exist — the sparseness situation the hybrid graph is designed for.
+pub struct GroundTruthEstimator<'a> {
+    net: &'a RoadNetwork,
+    store: &'a TrajectoryStore,
+    config: crate::config::HybridConfig,
+    partition: crate::interval::DayPartition,
+}
+
+impl<'a> GroundTruthEstimator<'a> {
+    /// Creates the ground-truth estimator.
+    pub fn new(
+        net: &'a RoadNetwork,
+        store: &'a TrajectoryStore,
+        config: crate::config::HybridConfig,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        let partition = crate::interval::DayPartition::new(config.alpha_minutes)?;
+        Ok(GroundTruthEstimator {
+            net,
+            store,
+            config,
+            partition,
+        })
+    }
+
+    /// The qualified total-cost samples for `path` at `departure`.
+    pub fn qualified_samples(&self, path: &Path, departure: Timestamp) -> Vec<f64> {
+        let interval = self
+            .partition
+            .range(self.partition.interval_of(departure.time_of_day()));
+        self.store
+            .qualified_total_costs(self.net, path, &interval, self.config.cost_kind)
+    }
+}
+
+impl CostEstimator for GroundTruthEstimator<'_> {
+    fn name(&self) -> &str {
+        "GT"
+    }
+
+    fn estimate_with_breakdown(
+        &self,
+        path: &Path,
+        departure: Timestamp,
+    ) -> Result<(Histogram1D, EstimateBreakdown), CoreError> {
+        let start = Instant::now();
+        let samples = self.qualified_samples(path, departure);
+        if samples.len() < self.config.beta {
+            return Err(CoreError::NoDistribution);
+        }
+        let hist = auto_histogram(&samples, &self.config.auto)?;
+        let elapsed = start.elapsed().as_secs_f64();
+        Ok((
+            hist,
+            EstimateBreakdown {
+                decomposition_s: 0.0,
+                joint_s: elapsed,
+                marginal_s: 0.0,
+            },
+        ))
+    }
+}
+
+/// Re-export of the default chain state budget, so callers tuning accuracy can
+/// reference the same constant the estimators use.
+pub const STATE_BUCKETS: usize = DEFAULT_STATE_BUCKETS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HybridConfig;
+    use pathcost_hist::divergence::kl_divergence_histograms;
+    use pathcost_traj::DatasetPreset;
+
+    struct Fixture {
+        net: pathcost_roadnet::RoadNetwork,
+        store: pathcost_traj::TrajectoryStore,
+        cfg: HybridConfig,
+        query: Path,
+        departure: Timestamp,
+    }
+
+    fn fixture() -> Fixture {
+        let (net, store) = DatasetPreset::tiny(71).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 12,
+            ..HybridConfig::default()
+        };
+        let frequent = store.frequent_paths(5, 12, None);
+        let (query, _) = frequent
+            .first()
+            .cloned()
+            .unwrap_or_else(|| store.frequent_paths(3, 12, None)[0].clone());
+        let departure = store.occurrences_on(&query)[0].entry_time;
+        Fixture {
+            net,
+            store,
+            cfg,
+            query,
+            departure,
+        }
+    }
+
+    #[test]
+    fn all_estimators_produce_normalised_distributions() {
+        let f = fixture();
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let od2 = OdEstimator::with_rank_cap(&graph, 2);
+        let lb = LbEstimator::new(&graph);
+        let hp = HpEstimator::new(&graph);
+        let rd = RdEstimator::new(&graph, 7);
+        let estimators: Vec<&dyn CostEstimator> = vec![&od, &od2, &lb, &hp, &rd];
+        for est in estimators {
+            let (hist, breakdown) = est
+                .estimate_with_breakdown(&f.query, f.departure)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", est.name()));
+            assert!((hist.probs().iter().sum::<f64>() - 1.0).abs() < 1e-6, "{}", est.name());
+            assert!(hist.mean() > 0.0);
+            assert!(breakdown.total_s() >= 0.0);
+        }
+        assert_eq!(od.name(), "OD");
+        assert_eq!(od2.name(), "OD-2");
+        assert_eq!(lb.name(), "LB");
+        assert_eq!(hp.name(), "HP");
+        assert_eq!(rd.name(), "RD");
+    }
+
+    #[test]
+    fn ground_truth_estimator_matches_raw_samples() {
+        let f = fixture();
+        let gt = GroundTruthEstimator::new(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let samples = gt.qualified_samples(&f.query, f.departure);
+        assert!(samples.len() >= f.cfg.beta, "fixture path must be dense");
+        let hist = gt.estimate(&f.query, f.departure).unwrap();
+        let sample_mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(
+            (hist.mean() - sample_mean).abs() / sample_mean < 0.1,
+            "GT mean {} vs sample mean {sample_mean}",
+            hist.mean()
+        );
+        assert_eq!(gt.name(), "GT");
+    }
+
+    #[test]
+    fn ground_truth_fails_on_sparse_paths() {
+        let f = fixture();
+        let gt = GroundTruthEstimator::new(&f.net, &f.store, f.cfg.clone()).unwrap();
+        // Departing at 03:00 there are (almost) no qualified trajectories.
+        let sparse_departure = Timestamp::from_day_hms(0, 3, 1, 0);
+        let result = gt.estimate(&f.query, sparse_departure);
+        if let Ok(h) = result {
+            // In the unlikely case data exists, it is still a valid histogram.
+            assert!((h.probs().iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn od_is_at_least_as_accurate_as_lb_against_ground_truth() {
+        // The paper's central claim (Figure 14): OD tracks the ground truth
+        // better than the independence-assuming convolution baseline.
+        // A denser tiny dataset so the accuracy-optimal ground truth has a
+        // meaningful number of samples per interval.
+        let mut preset = DatasetPreset::tiny(72);
+        preset.simulation.trips = 800;
+        let net = preset.build_network();
+        let out = preset.simulate(&net).unwrap();
+        let store = pathcost_traj::TrajectoryStore::from_ground_truth(&out);
+        let cfg = HybridConfig {
+            beta: 25,
+            ..HybridConfig::default()
+        };
+        let graph = HybridGraph::build(&net, &store, cfg.clone()).unwrap();
+        let gt = GroundTruthEstimator::new(&net, &store, cfg.clone()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let lb = LbEstimator::new(&graph);
+
+        // Evaluate on paths that are dense during the morning-peak interval,
+        // so the accuracy-optimal ground truth is available.
+        let partition = crate::interval::DayPartition::new(cfg.alpha_minutes).unwrap();
+        let morning = partition.range(partition.interval_of(pathcost_traj::TimeOfDay::from_hms(8, 0, 0)));
+        let mut od_total = 0.0;
+        let mut lb_total = 0.0;
+        let mut evaluated = 0;
+        for (query, _) in store
+            .frequent_paths(4, cfg.beta, Some(&morning))
+            .into_iter()
+            .take(10)
+        {
+            let Some(occ) = store
+                .qualified(&query, &morning)
+                .into_iter()
+                .next()
+            else {
+                continue;
+            };
+            let departure = occ.entry_time;
+            let Ok(truth) = gt.estimate(&query, departure) else {
+                continue;
+            };
+            let Ok(od_hist) = od.estimate(&query, departure) else {
+                continue;
+            };
+            let Ok(lb_hist) = lb.estimate(&query, departure) else {
+                continue;
+            };
+            od_total += kl_divergence_histograms(&truth, &od_hist);
+            lb_total += kl_divergence_histograms(&truth, &lb_hist);
+            evaluated += 1;
+        }
+        assert!(evaluated >= 1, "need at least one dense path to compare");
+        // At these short cardinalities OD and LB are close (the paper's gap
+        // opens up as paths get longer — reproduced by the Figure 14 harness);
+        // here we only require that OD is not materially worse on average.
+        assert!(
+            od_total <= lb_total * 1.3 + 0.2,
+            "OD KL {od_total} should not be materially worse than LB KL {lb_total}"
+        );
+    }
+
+    #[test]
+    fn decomposition_entropy_ordering_matches_theorem3() {
+        let f = fixture();
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let lb = LbEstimator::new(&graph);
+        let h_od = od.decomposition_entropy(&f.query, f.departure).unwrap();
+        let h_lb = lb.decomposition_entropy(&f.query, f.departure).unwrap();
+        assert!(h_od <= h_lb + 1e-9, "OD H_DE {h_od} vs LB {h_lb}");
+    }
+
+    #[test]
+    fn breakdown_components_are_non_negative_and_sum() {
+        let f = fixture();
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let (_, b) = od.estimate_with_breakdown(&f.query, f.departure).unwrap();
+        assert!(b.decomposition_s >= 0.0 && b.joint_s >= 0.0 && b.marginal_s >= 0.0);
+        assert!(
+            (b.total_s() - (b.decomposition_s + b.joint_s + b.marginal_s)).abs() < 1e-12
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Incremental "path + another edge" estimation (§4.3).
+//!
+//! Stochastic routing algorithms explore candidate paths by repeatedly
+//! extending an existing path with one more edge, and the paper notes that a
+//! cost estimation method must support this *incremental property* so the work
+//! done for the existing path can be reused. [`IncrementalEstimate`] holds the
+//! cost distribution of the current path together with the arrival-time window
+//! at its end; extending by an edge convolves in that edge's unit distribution
+//! at the (shifted) arrival interval. A full OD re-estimation can be requested
+//! at any time for the exact coarsest-decomposition result; the incremental
+//! form is what the routing search uses for cheap candidate expansion and
+//! pruning bounds.
+
+use crate::error::CoreError;
+use crate::hybrid_graph::HybridGraph;
+use pathcost_hist::convolution::convolve_with_limit;
+use pathcost_hist::Histogram1D;
+use pathcost_roadnet::{EdgeId, Path};
+use pathcost_traj::{TimeOfDay, Timestamp};
+
+/// A cost distribution that can be extended edge by edge.
+#[derive(Debug, Clone)]
+pub struct IncrementalEstimate {
+    path: Path,
+    departure: Timestamp,
+    histogram: Histogram1D,
+    /// Earliest and latest possible arrival time (seconds of day) at the end
+    /// of the current path.
+    arrival_window: (f64, f64),
+}
+
+impl IncrementalEstimate {
+    /// Starts an incremental estimate from a single edge.
+    pub fn start(
+        graph: &HybridGraph<'_>,
+        edge: EdgeId,
+        departure: Timestamp,
+    ) -> Result<Self, CoreError> {
+        let wp = graph.weights();
+        let tod = departure.time_of_day();
+        let interval = wp.partition().interval_of(tod);
+        let histogram = wp
+            .unit_histogram(edge, interval)
+            .ok_or(CoreError::NoDistribution)?;
+        let arrival_window = (
+            tod.seconds() + histogram.min(),
+            tod.seconds() + histogram.max(),
+        );
+        Ok(IncrementalEstimate {
+            path: Path::unit(edge),
+            departure,
+            histogram,
+            arrival_window,
+        })
+    }
+
+    /// Starts from an existing path using the full OD estimator.
+    pub fn from_path(
+        graph: &HybridGraph<'_>,
+        path: &Path,
+        departure: Timestamp,
+    ) -> Result<Self, CoreError> {
+        let histogram = graph.estimate(path, departure)?;
+        let tod = departure.time_of_day().seconds();
+        let arrival_window = (tod + histogram.min(), tod + histogram.max());
+        Ok(IncrementalEstimate {
+            path: path.clone(),
+            departure,
+            histogram,
+            arrival_window,
+        })
+    }
+
+    /// The current path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The departure time the estimate is anchored at.
+    pub fn departure(&self) -> Timestamp {
+        self.departure
+    }
+
+    /// The cost distribution of the current path.
+    pub fn histogram(&self) -> &Histogram1D {
+        &self.histogram
+    }
+
+    /// Extends the estimate with one more edge ("path + another edge"),
+    /// returning a new estimate and leaving `self` untouched so a routing
+    /// search can branch.
+    pub fn extend(&self, graph: &HybridGraph<'_>, edge: EdgeId) -> Result<Self, CoreError> {
+        let net = graph.network();
+        let path = self.path.extend(edge, net)?;
+        let wp = graph.weights();
+        let mid_arrival = TimeOfDay::wrap(0.5 * (self.arrival_window.0 + self.arrival_window.1));
+        let interval = wp.partition().interval_of(mid_arrival);
+        let unit = wp
+            .unit_histogram(edge, interval)
+            .ok_or(CoreError::NoDistribution)?;
+        let histogram = convolve_with_limit(&self.histogram, &unit, 48)?;
+        let arrival_window = (
+            (self.arrival_window.0 + unit.min()).min(86_400.0),
+            (self.arrival_window.1 + unit.max()).min(86_400.0),
+        );
+        Ok(IncrementalEstimate {
+            path,
+            departure: self.departure,
+            histogram,
+            arrival_window,
+        })
+    }
+
+    /// Re-estimates the current path with the exact OD method, replacing the
+    /// incrementally maintained distribution.
+    pub fn refine(&mut self, graph: &HybridGraph<'_>) -> Result<(), CoreError> {
+        self.histogram = graph.estimate(&self.path, self.departure)?;
+        let tod = self.departure.time_of_day().seconds();
+        self.arrival_window = (tod + self.histogram.min(), tod + self.histogram.max());
+        Ok(())
+    }
+
+    /// The probability of completing the current path within `budget_s` seconds.
+    pub fn prob_within(&self, budget_s: f64) -> f64 {
+        self.histogram.prob_leq(budget_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HybridConfig;
+    use pathcost_traj::DatasetPreset;
+
+    fn fixture() -> (
+        pathcost_roadnet::RoadNetwork,
+        pathcost_traj::TrajectoryStore,
+        HybridConfig,
+    ) {
+        let (net, store) = DatasetPreset::tiny(81).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        };
+        (net, store, cfg)
+    }
+
+    #[test]
+    fn extension_matches_path_and_grows_cost() {
+        let (net, store, cfg) = fixture();
+        let graph = HybridGraph::build(&net, &store, cfg).unwrap();
+        let (query, _) = store.frequent_paths(4, 10, None)[0].clone();
+        let departure = store.occurrences_on(&query)[0].entry_time;
+
+        let mut inc = IncrementalEstimate::start(&graph, query.edges()[0], departure).unwrap();
+        let mut means = vec![inc.histogram().mean()];
+        for &edge in &query.edges()[1..] {
+            inc = inc.extend(&graph, edge).unwrap();
+            means.push(inc.histogram().mean());
+        }
+        assert_eq!(inc.path(), &query);
+        for w in means.windows(2) {
+            assert!(w[1] > w[0], "adding an edge must increase the expected cost");
+        }
+        assert!((inc.histogram().probs().iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn incremental_mean_is_close_to_full_od_estimate() {
+        let (net, store, cfg) = fixture();
+        let graph = HybridGraph::build(&net, &store, cfg).unwrap();
+        let (query, _) = store.frequent_paths(4, 10, None)[0].clone();
+        let departure = store.occurrences_on(&query)[0].entry_time;
+
+        let mut inc = IncrementalEstimate::start(&graph, query.edges()[0], departure).unwrap();
+        for &edge in &query.edges()[1..] {
+            inc = inc.extend(&graph, edge).unwrap();
+        }
+        let od = graph.estimate(&query, departure).unwrap();
+        let rel = (inc.histogram().mean() - od.mean()).abs() / od.mean();
+        assert!(rel < 0.35, "incremental {} vs OD {}", inc.histogram().mean(), od.mean());
+
+        // Refining should reproduce the OD estimate exactly.
+        inc.refine(&graph).unwrap();
+        assert!((inc.histogram().mean() - od.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_path_and_prob_within_are_consistent() {
+        let (net, store, cfg) = fixture();
+        let graph = HybridGraph::build(&net, &store, cfg).unwrap();
+        let (query, _) = store.frequent_paths(3, 10, None)[0].clone();
+        let departure = store.occurrences_on(&query)[0].entry_time;
+        let inc = IncrementalEstimate::from_path(&graph, &query, departure).unwrap();
+        assert_eq!(inc.departure(), departure);
+        assert!(inc.prob_within(0.0) < 1e-9);
+        assert!((inc.prob_within(f64::MAX) - 1.0).abs() < 1e-9);
+        let mid = inc.histogram().quantile(0.5);
+        let p = inc.prob_within(mid);
+        assert!((p - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn extending_with_non_adjacent_edge_fails() {
+        let (net, store, cfg) = fixture();
+        let graph = HybridGraph::build(&net, &store, cfg).unwrap();
+        let (query, _) = store.frequent_paths(3, 10, None)[0].clone();
+        let departure = store.occurrences_on(&query)[0].entry_time;
+        let inc = IncrementalEstimate::start(&graph, query.edges()[0], departure).unwrap();
+        // An edge that does not follow the first edge must be rejected.
+        let bad = net
+            .edges()
+            .iter()
+            .find(|e| !net.edges_adjacent(query.edges()[0], e.id) && e.id != query.edges()[0])
+            .unwrap()
+            .id;
+        assert!(inc.extend(&graph, bad).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Day partitioning into α-minute intervals (§3.1).
+
+use crate::error::CoreError;
+use pathcost_traj::{TimeInterval, TimeOfDay, SECONDS_PER_DAY};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one α-minute interval of the day (`I_j` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IntervalId(pub u16);
+
+/// The partition of a day into intervals of `alpha_minutes` each.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayPartition {
+    alpha_minutes: u32,
+    interval_count: u16,
+}
+
+impl DayPartition {
+    /// Creates a partition with the given α. The last interval absorbs any
+    /// remainder when α does not divide 24 hours evenly.
+    pub fn new(alpha_minutes: u32) -> Result<Self, CoreError> {
+        if alpha_minutes == 0 || alpha_minutes as f64 * 60.0 > SECONDS_PER_DAY {
+            return Err(CoreError::InvalidConfig(
+                "alpha must be between 1 minute and one day",
+            ));
+        }
+        let interval_count = (SECONDS_PER_DAY / (alpha_minutes as f64 * 60.0)).ceil() as u16;
+        Ok(DayPartition {
+            alpha_minutes,
+            interval_count,
+        })
+    }
+
+    /// α in minutes.
+    pub fn alpha_minutes(&self) -> u32 {
+        self.alpha_minutes
+    }
+
+    /// Number of intervals in a day.
+    pub fn interval_count(&self) -> u16 {
+        self.interval_count
+    }
+
+    /// The interval containing the given time of day.
+    pub fn interval_of(&self, tod: TimeOfDay) -> IntervalId {
+        let idx = (tod.seconds() / (self.alpha_minutes as f64 * 60.0)).floor() as u16;
+        IntervalId(idx.min(self.interval_count - 1))
+    }
+
+    /// The `[start, end)` time-of-day range of an interval.
+    pub fn range(&self, id: IntervalId) -> TimeInterval {
+        let width = self.alpha_minutes as f64 * 60.0;
+        let start = id.0 as f64 * width;
+        let end = (start + width).min(SECONDS_PER_DAY);
+        TimeInterval::new(start, end)
+    }
+
+    /// Iterates over all interval identifiers of the day.
+    pub fn all(&self) -> impl Iterator<Item = IntervalId> {
+        (0..self.interval_count).map(IntervalId)
+    }
+
+    /// The intervals whose range overlaps `[start_s, end_s)` (times of day in
+    /// seconds, clamped to the day).
+    pub fn overlapping(&self, start_s: f64, end_s: f64) -> Vec<IntervalId> {
+        let start_s = start_s.clamp(0.0, SECONDS_PER_DAY - 1.0);
+        let end_s = end_s.clamp(start_s, SECONDS_PER_DAY);
+        let probe = TimeInterval::new(start_s, end_s.max(start_s + 1e-9));
+        self.all()
+            .filter(|&id| self.range(id).overlaps(&probe))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_minute_partition_has_48_intervals() {
+        let p = DayPartition::new(30).unwrap();
+        assert_eq!(p.interval_count(), 48);
+        assert_eq!(p.interval_of(TimeOfDay::from_hms(0, 0, 0)), IntervalId(0));
+        assert_eq!(p.interval_of(TimeOfDay::from_hms(8, 0, 0)), IntervalId(16));
+        assert_eq!(p.interval_of(TimeOfDay::from_hms(8, 29, 59)), IntervalId(16));
+        assert_eq!(p.interval_of(TimeOfDay::from_hms(8, 30, 0)), IntervalId(17));
+        assert_eq!(p.interval_of(TimeOfDay::from_hms(23, 59, 59)), IntervalId(47));
+    }
+
+    #[test]
+    fn range_round_trips_with_interval_of() {
+        let p = DayPartition::new(45).unwrap();
+        for id in p.all() {
+            let r = p.range(id);
+            let mid = TimeOfDay((r.start + r.end) * 0.5);
+            assert_eq!(p.interval_of(mid), id);
+        }
+    }
+
+    #[test]
+    fn uneven_alpha_covers_the_whole_day() {
+        let p = DayPartition::new(7 * 60).unwrap(); // 7-hour intervals
+        assert_eq!(p.interval_count(), 4);
+        let last = p.range(IntervalId(3));
+        assert!((last.end - SECONDS_PER_DAY).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_returns_touched_intervals() {
+        let p = DayPartition::new(30).unwrap();
+        let ids = p.overlapping(8.0 * 3600.0, 9.25 * 3600.0);
+        assert_eq!(ids, vec![IntervalId(16), IntervalId(17), IntervalId(18)]);
+        // Ranges beyond the day clamp instead of panicking.
+        let clamped = p.overlapping(23.9 * 3600.0, 27.0 * 3600.0);
+        assert_eq!(clamped, vec![IntervalId(47)]);
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        assert!(DayPartition::new(0).is_err());
+        assert!(DayPartition::new(25 * 60).is_err());
+    }
+}

@@ -1,0 +1,419 @@
+//! Instantiating the path weight function `W_P` from trajectories (§3).
+//!
+//! The weight function maps a path and a time interval to an instantiated
+//! random variable — the joint distribution of the path's per-edge costs. It
+//! is built in one pass over the trajectory store:
+//!
+//! 1. every window of length `1..=max_rank` of every matched trajectory is an
+//!    occurrence of a candidate path, keyed by the interval its entry time
+//!    falls in;
+//! 2. candidates with at least `β` qualified occurrences get a multi-
+//!    dimensional histogram fitted to their per-edge cost rows (the Auto +
+//!    V-Optimal procedure of §3.1/§3.2);
+//! 3. unit paths that never reach `β` qualified trajectories fall back to a
+//!    speed-limit-derived distribution, so every edge always has *some*
+//!    ground-truth unit weight.
+
+use crate::config::HybridConfig;
+use crate::error::CoreError;
+use crate::interval::{DayPartition, IntervalId};
+use crate::variable::{InstantiatedVariable, VariableSource};
+use pathcost_hist::{auto::auto_histogram, Histogram1D, HistogramNd};
+use pathcost_roadnet::{EdgeId, Path, RoadNetwork};
+use pathcost_traj::costs::per_edge_costs;
+use pathcost_traj::{CostKind, TrajectoryStore};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Summary statistics of an instantiated weight function, used by the
+/// Figure 8–12 experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct WeightStats {
+    /// Number of trajectory-derived variables per rank.
+    pub count_by_rank: BTreeMap<usize, usize>,
+    /// Mean entropy of trajectory-derived variables per rank (Figure 8(b)).
+    pub mean_entropy_by_rank: BTreeMap<usize, f64>,
+    /// Number of distinct edges covered by trajectory-derived variables (`E'`).
+    pub covered_edges: usize,
+    /// Number of distinct edges with at least one GPS-covered traversal (`E''`).
+    pub edges_with_records: usize,
+    /// Total approximate memory of all variables (including fallbacks), bytes.
+    pub memory_bytes: usize,
+}
+
+impl WeightStats {
+    /// Coverage ratio `|E'| / |E''|` (Figure 8(a)).
+    pub fn coverage(&self) -> f64 {
+        if self.edges_with_records == 0 {
+            0.0
+        } else {
+            self.covered_edges as f64 / self.edges_with_records as f64
+        }
+    }
+
+    /// Total number of trajectory-derived variables.
+    pub fn total_variables(&self) -> usize {
+        self.count_by_rank.values().sum()
+    }
+}
+
+/// The instantiated path weight function `W_P`.
+#[derive(Debug, Clone)]
+pub struct PathWeightFunction {
+    partition: DayPartition,
+    cost_kind: CostKind,
+    variables: Vec<InstantiatedVariable>,
+    /// Exact lookup: (path edges, interval) → variable index.
+    index: HashMap<(Vec<EdgeId>, IntervalId), usize>,
+    /// All variable indices whose path starts with the given edge.
+    by_first_edge: HashMap<EdgeId, Vec<usize>>,
+    /// Speed-limit-derived fallback distribution per edge.
+    fallback_units: HashMap<EdgeId, Histogram1D>,
+    stats: WeightStats,
+}
+
+/// A set of `(path, interval)` pairs whose weights must *not* be instantiated.
+///
+/// Used by the held-out evaluation protocol (§5.2.2): the ground-truth
+/// distribution of an evaluation path is computed from its qualified
+/// trajectories, and the weight function is then instantiated as if that
+/// information were unavailable — any candidate path *containing* the held-out
+/// path during its interval is skipped, so estimators must reconstruct the
+/// distribution from strictly shorter sub-paths.
+pub type HoldoutExclusions = Vec<(Path, IntervalId)>;
+
+impl PathWeightFunction {
+    /// Instantiates the weight function from a trajectory store.
+    pub fn instantiate(
+        net: &RoadNetwork,
+        store: &TrajectoryStore,
+        cfg: &HybridConfig,
+    ) -> Result<Self, CoreError> {
+        Self::instantiate_with_exclusions(net, store, cfg, &[])
+    }
+
+    /// Instantiates the weight function, skipping every candidate path that
+    /// contains one of the `excluded` paths during the excluded interval.
+    pub fn instantiate_with_exclusions(
+        net: &RoadNetwork,
+        store: &TrajectoryStore,
+        cfg: &HybridConfig,
+        excluded: &[(Path, IntervalId)],
+    ) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        let partition = DayPartition::new(cfg.alpha_minutes)?;
+        let is_excluded = |edges: &[EdgeId], interval: IntervalId| -> bool {
+            excluded.iter().any(|(path, iv)| {
+                *iv == interval
+                    && path.cardinality() <= edges.len()
+                    && edges
+                        .windows(path.cardinality())
+                        .any(|w| w == path.edges())
+            })
+        };
+
+        // Pass 1: count qualified occurrences of every (window, interval) key.
+        let mut counts: HashMap<(Vec<EdgeId>, IntervalId), usize> = HashMap::new();
+        for m in store.matched() {
+            let edges = m.path.edges();
+            for k in 1..=cfg.max_rank.min(edges.len()) {
+                for start in 0..=edges.len() - k {
+                    let interval = partition.interval_of(m.entry_times[start].time_of_day());
+                    let window = &edges[start..start + k];
+                    if !excluded.is_empty() && is_excluded(window, interval) {
+                        continue;
+                    }
+                    let key = (window.to_vec(), interval);
+                    *counts.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Pass 2: collect per-edge cost rows only for keys that reached β.
+        let mut samples: HashMap<(Vec<EdgeId>, IntervalId), Vec<Vec<f64>>> = counts
+            .iter()
+            .filter(|(_, &c)| c >= cfg.beta)
+            .map(|(k, &c)| (k.clone(), Vec::with_capacity(c)))
+            .collect();
+        if !samples.is_empty() {
+            for m in store.matched() {
+                let edges = m.path.edges();
+                for k in 1..=cfg.max_rank.min(edges.len()) {
+                    for start in 0..=edges.len() - k {
+                        let interval = partition.interval_of(m.entry_times[start].time_of_day());
+                        let key = (edges[start..start + k].to_vec(), interval);
+                        if let Some(rows) = samples.get_mut(&key) {
+                            let sub = Path::from_edges_unchecked(key.0.clone());
+                            if let Some(costs) =
+                                per_edge_costs(m, net, &sub, start, cfg.cost_kind)
+                            {
+                                rows.push(costs);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Fit histograms.
+        let mut variables = Vec::with_capacity(samples.len());
+        let mut index = HashMap::with_capacity(samples.len());
+        let mut by_first_edge: HashMap<EdgeId, Vec<usize>> = HashMap::new();
+        let mut keys: Vec<(Vec<EdgeId>, IntervalId)> = samples.keys().cloned().collect();
+        keys.sort();
+        for key in keys {
+            let rows = samples.remove(&key).expect("key came from samples");
+            if rows.len() < cfg.beta {
+                continue;
+            }
+            let path = Path::from_edges_unchecked(key.0.clone());
+            let histogram = if path.is_unit() {
+                let totals: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+                HistogramNd::from_histogram1d(&auto_histogram(&totals, &cfg.auto)?)
+            } else {
+                HistogramNd::from_samples(&rows, &cfg.auto)?
+            };
+            let var = InstantiatedVariable {
+                path: path.clone(),
+                interval: key.1,
+                histogram,
+                source: VariableSource::Trajectories { count: rows.len() },
+            };
+            let idx = variables.len();
+            index.insert((key.0.clone(), key.1), idx);
+            by_first_edge.entry(path.first_edge()).or_default().push(idx);
+            variables.push(var);
+        }
+
+        // Speed-limit fallbacks for every edge of the network.
+        let mut fallback_units = HashMap::with_capacity(net.edge_count());
+        for edge in net.edges() {
+            let t_ff = edge.free_flow_time_s();
+            let lo = t_ff * (1.0 - cfg.speed_limit_spread);
+            let hi = t_ff * (1.0 + 3.0 * cfg.speed_limit_spread);
+            fallback_units.insert(edge.id, Histogram1D::uniform(lo, hi.max(lo + 0.5))?);
+        }
+
+        // Statistics.
+        let mut count_by_rank: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut entropy_sum: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut covered: std::collections::HashSet<EdgeId> = std::collections::HashSet::new();
+        let mut memory = 0usize;
+        for v in &variables {
+            *count_by_rank.entry(v.rank()).or_insert(0) += 1;
+            *entropy_sum.entry(v.rank()).or_insert(0.0) += v.entropy();
+            covered.extend(v.path.edges().iter().copied());
+            memory += v.storage_bytes();
+        }
+        memory += fallback_units.values().map(|h| h.storage_bytes()).sum::<usize>();
+        let mean_entropy_by_rank = entropy_sum
+            .into_iter()
+            .map(|(rank, sum)| (rank, sum / count_by_rank[&rank] as f64))
+            .collect();
+        let stats = WeightStats {
+            count_by_rank,
+            mean_entropy_by_rank,
+            covered_edges: covered.len(),
+            edges_with_records: store.covered_edges().len(),
+            memory_bytes: memory,
+        };
+
+        Ok(PathWeightFunction {
+            partition,
+            cost_kind: cfg.cost_kind,
+            variables,
+            index,
+            by_first_edge,
+            fallback_units,
+            stats,
+        })
+    }
+
+    /// The day partition (α) this weight function was built with.
+    pub fn partition(&self) -> &DayPartition {
+        &self.partition
+    }
+
+    /// Which cost the weight function describes.
+    pub fn cost_kind(&self) -> CostKind {
+        self.cost_kind
+    }
+
+    /// All trajectory-derived instantiated variables.
+    pub fn variables(&self) -> &[InstantiatedVariable] {
+        &self.variables
+    }
+
+    /// The variable at `index`.
+    pub fn variable(&self, index: usize) -> &InstantiatedVariable {
+        &self.variables[index]
+    }
+
+    /// Exact lookup `W_P(P, I_j)`: the trajectory-derived variable for this
+    /// path and interval, if one was instantiated.
+    pub fn get(&self, path: &Path, interval: IntervalId) -> Option<&InstantiatedVariable> {
+        self.index
+            .get(&(path.edges().to_vec(), interval))
+            .map(|&i| &self.variables[i])
+    }
+
+    /// Indices of all variables whose path starts with `edge`.
+    pub fn variables_starting_with(&self, edge: EdgeId) -> &[usize] {
+        self.by_first_edge
+            .get(&edge)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The unit-path cost distribution of `edge` during `interval`: the
+    /// trajectory-derived one when it exists, otherwise the speed-limit
+    /// fallback. Every edge of the network always has a unit distribution.
+    pub fn unit_histogram(&self, edge: EdgeId, interval: IntervalId) -> Option<Histogram1D> {
+        if let Some(var) = self.get(&Path::unit(edge), interval) {
+            return var.histogram.marginal_1d(0).ok();
+        }
+        self.fallback_units.get(&edge).cloned()
+    }
+
+    /// `true` when the unit distribution for this edge and interval comes from
+    /// trajectories rather than the speed-limit fallback.
+    pub fn unit_is_trajectory_derived(&self, edge: EdgeId, interval: IntervalId) -> bool {
+        self.get(&Path::unit(edge), interval).is_some()
+    }
+
+    /// Summary statistics of the instantiation.
+    pub fn stats(&self) -> &WeightStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcost_traj::DatasetPreset;
+
+    fn build() -> (RoadNetwork, TrajectoryStore, PathWeightFunction) {
+        let (net, store) = DatasetPreset::tiny(21).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        };
+        let wp = PathWeightFunction::instantiate(&net, &store, &cfg).unwrap();
+        (net, store, wp)
+    }
+
+    #[test]
+    fn instantiates_variables_of_multiple_ranks() {
+        let (_, _, wp) = build();
+        let stats = wp.stats();
+        assert!(stats.total_variables() > 0, "no variables instantiated");
+        assert!(
+            stats.count_by_rank.contains_key(&1),
+            "expected unit-path variables: {:?}",
+            stats.count_by_rank
+        );
+        assert!(
+            stats.count_by_rank.keys().any(|&r| r >= 2),
+            "expected at least one non-unit variable: {:?}",
+            stats.count_by_rank
+        );
+    }
+
+    #[test]
+    fn every_variable_satisfies_beta() {
+        let (_, _, wp) = build();
+        for v in wp.variables() {
+            match v.source {
+                VariableSource::Trajectories { count } => assert!(count >= 10),
+                VariableSource::SpeedLimit => panic!("store-built variables must be trajectory-derived"),
+            }
+            assert_eq!(v.histogram.dims(), v.rank());
+        }
+    }
+
+    #[test]
+    fn exact_lookup_and_first_edge_index_agree() {
+        let (_, _, wp) = build();
+        for (i, v) in wp.variables().iter().enumerate() {
+            let found = wp.get(&v.path, v.interval).expect("indexed variable");
+            assert_eq!(found.path, v.path);
+            assert!(wp
+                .variables_starting_with(v.path.first_edge())
+                .contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_histogram_falls_back_to_speed_limit() {
+        let (net, _, wp) = build();
+        // Every edge must have a unit histogram for every interval.
+        let interval = IntervalId(3); // 01:30–02:00, almost certainly no data
+        for edge in net.edges().iter().take(20) {
+            let h = wp.unit_histogram(edge.id, interval).expect("fallback exists");
+            assert!((h.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            let t_ff = edge.free_flow_time_s();
+            assert!(h.min() <= t_ff && h.max() >= t_ff, "fallback should straddle free-flow time");
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (net, store, wp) = build();
+        let stats = wp.stats();
+        assert!(stats.covered_edges <= stats.edges_with_records);
+        assert!(stats.edges_with_records <= net.edge_count());
+        assert!(stats.coverage() > 0.0 && stats.coverage() <= 1.0);
+        assert!(stats.memory_bytes > 0);
+        assert_eq!(stats.edges_with_records, store.covered_edges().len());
+    }
+
+    #[test]
+    fn smaller_beta_instantiates_more_variables() {
+        let (net, store) = DatasetPreset::tiny(22).materialise().unwrap();
+        let strict = PathWeightFunction::instantiate(
+            &net,
+            &store,
+            &HybridConfig::default().with_beta(40),
+        )
+        .unwrap();
+        let lenient = PathWeightFunction::instantiate(
+            &net,
+            &store,
+            &HybridConfig::default().with_beta(8),
+        )
+        .unwrap();
+        assert!(
+            lenient.stats().total_variables() >= strict.stats().total_variables(),
+            "lenient β must not produce fewer variables"
+        );
+    }
+
+    #[test]
+    fn larger_alpha_does_not_reduce_variable_count() {
+        let (net, store) = DatasetPreset::tiny(23).materialise().unwrap();
+        let fine = PathWeightFunction::instantiate(
+            &net,
+            &store,
+            &HybridConfig::default().with_beta(10).with_alpha(15),
+        )
+        .unwrap();
+        let coarse = PathWeightFunction::instantiate(
+            &net,
+            &store,
+            &HybridConfig::default().with_beta(10).with_alpha(120),
+        )
+        .unwrap();
+        assert!(coarse.stats().total_variables() >= fine.stats().total_variables());
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let (net, store) = DatasetPreset::tiny(24).materialise().unwrap();
+        assert!(PathWeightFunction::instantiate(
+            &net,
+            &store,
+            &HybridConfig::default().with_beta(0)
+        )
+        .is_err());
+    }
+}

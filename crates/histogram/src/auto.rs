@@ -1,0 +1,364 @@
+//! Self-tuning ("Auto") bucket-count selection (§3.1).
+//!
+//! The paper selects the number of buckets per dimension automatically: start
+//! with `b = 1`, compute the cross-validated error `E_b`, increase `b`, and
+//! stop as soon as the error no longer drops significantly; `b − 1` is chosen.
+//! The error `E_b` is computed with f-fold cross validation: each fold is held
+//! out, a V-Optimal histogram with `b` buckets is built from the remaining
+//! folds, and the squared error between that histogram and the held-out fold's
+//! raw distribution is averaged over the folds.
+
+use crate::error::HistError;
+use crate::histogram1d::Histogram1D;
+use crate::raw::RawDistribution;
+use crate::voptimal::{voptimal_boundaries_all, voptimal_histogram};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the Auto bucket-count selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoConfig {
+    /// Number of cross-validation folds (`f` in the paper). Default 5.
+    pub folds: usize,
+    /// Maximum number of buckets considered. Default 10 (the range explored in
+    /// the paper's Figure 5).
+    pub max_buckets: usize,
+    /// Relative error improvement below which the search stops. Default 0.15,
+    /// i.e. adding a bucket must reduce `E_b` by at least 15% to be kept.
+    pub min_relative_improvement: f64,
+    /// Resolution at which cost values are compared (seconds). Default 1.0.
+    pub resolution: f64,
+    /// RNG seed used to shuffle samples into folds (deterministic selection).
+    pub seed: u64,
+    /// Upper bound on the number of distinct values fed to the V-Optimal DP;
+    /// wider-spread samples are grouped at a coarser resolution first. Keeps
+    /// the `O(n²·b)` dynamic program bounded when instantiating tens of
+    /// thousands of variables.
+    pub max_distinct: usize,
+    /// Upper bound on the number of samples used for cross-validated bucket
+    /// selection (the final histogram still uses every sample).
+    pub max_selection_samples: usize,
+}
+
+impl Default for AutoConfig {
+    fn default() -> Self {
+        AutoConfig {
+            folds: 5,
+            max_buckets: 10,
+            min_relative_improvement: 0.15,
+            resolution: 1.0,
+            seed: 0x9E3779B97F4A7C15,
+            max_distinct: 120,
+            max_selection_samples: 400,
+        }
+    }
+}
+
+/// The outcome of a bucket-count selection: the chosen bucket count and the
+/// cross-validated error profile `E_b` for each candidate `b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketSelection {
+    /// The selected number of buckets.
+    pub bucket_count: usize,
+    /// `errors[b - 1]` is the cross-validated error `E_b`.
+    pub errors: Vec<f64>,
+}
+
+/// The working resolution for a sample set: the configured resolution,
+/// coarsened so that the number of distinct values stays below
+/// `cfg.max_distinct` (bounds the V-Optimal dynamic program).
+pub fn effective_resolution(samples: &[f64], cfg: &AutoConfig) -> f64 {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &s in samples {
+        lo = lo.min(s);
+        hi = hi.max(s);
+    }
+    if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+        return cfg.resolution.max(1e-9);
+    }
+    let span_based = (hi - lo) / cfg.max_distinct.max(2) as f64;
+    cfg.resolution.max(span_based).max(1e-9)
+}
+
+/// Computes the cross-validated errors `E_b` for every `b` in `1..=max_b`
+/// (the curve plotted in Figure 5(a)). Each fold runs a single V-Optimal
+/// dynamic program that yields the boundaries for every candidate `b`.
+pub fn cross_validated_errors(
+    samples: &[f64],
+    max_b: usize,
+    cfg: &AutoConfig,
+) -> Result<Vec<f64>, HistError> {
+    if samples.is_empty() {
+        return Err(HistError::EmptyInput);
+    }
+    if cfg.folds < 2 {
+        return Err(HistError::TooFewFolds(cfg.folds));
+    }
+    if max_b == 0 {
+        return Err(HistError::ZeroBuckets);
+    }
+    let resolution = effective_resolution(samples, cfg);
+
+    // Subsample very large inputs for selection only.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let selection: Vec<f64> = if samples.len() > cfg.max_selection_samples {
+        let mut idx: Vec<usize> = (0..samples.len()).collect();
+        idx.shuffle(&mut rng);
+        idx[..cfg.max_selection_samples]
+            .iter()
+            .map(|&i| samples[i])
+            .collect()
+    } else {
+        samples.to_vec()
+    };
+
+    // When there are too few samples for f folds, fall back to the direct
+    // V-Optimal error on the full sample set.
+    if selection.len() < cfg.folds * 2 {
+        let raw = RawDistribution::from_samples(&selection, resolution)?;
+        return (1..=max_b)
+            .map(|b| crate::voptimal::voptimal_error(&raw, b))
+            .collect();
+    }
+
+    let mut indices: Vec<usize> = (0..selection.len()).collect();
+    indices.shuffle(&mut rng);
+
+    let fold_size = selection.len() / cfg.folds;
+    let mut totals = vec![0.0f64; max_b];
+    for fold in 0..cfg.folds {
+        let start = fold * fold_size;
+        let end = if fold + 1 == cfg.folds {
+            selection.len()
+        } else {
+            start + fold_size
+        };
+        let held_out: Vec<f64> = indices[start..end].iter().map(|&i| selection[i]).collect();
+        let training: Vec<f64> = indices[..start]
+            .iter()
+            .chain(indices[end..].iter())
+            .map(|&i| selection[i])
+            .collect();
+        if held_out.is_empty() || training.is_empty() {
+            continue;
+        }
+        let train_raw = RawDistribution::from_samples(&training, resolution)?;
+        let held_raw = RawDistribution::from_samples(&held_out, resolution)?;
+        let boundary_sets = voptimal_boundaries_all(&train_raw, max_b)?;
+        for (b_index, boundaries) in boundary_sets.iter().enumerate() {
+            let hist = Histogram1D::from_raw_with_boundaries(&train_raw, boundaries)?;
+            totals[b_index] += squared_error(&hist, &held_raw, resolution);
+        }
+        // Bucket counts beyond the number of distinct training values reuse
+        // the finest available histogram.
+        for b_index in boundary_sets.len()..max_b {
+            let hist =
+                Histogram1D::from_raw_with_boundaries(&train_raw, &boundary_sets[boundary_sets.len() - 1])?;
+            totals[b_index] += squared_error(&hist, &held_raw, resolution);
+        }
+    }
+    Ok(totals.into_iter().map(|t| t / cfg.folds as f64).collect())
+}
+
+/// Computes the cross-validated error `E_b` of using `b` buckets for the given
+/// samples.
+pub fn cross_validated_error(
+    samples: &[f64],
+    b: usize,
+    cfg: &AutoConfig,
+) -> Result<f64, HistError> {
+    let errors = cross_validated_errors(samples, b, cfg)?;
+    Ok(*errors.last().expect("at least one bucket count evaluated"))
+}
+
+/// The squared error `SE(H, D)` between a histogram and a raw distribution:
+/// the sum over the raw distribution's cost values of the squared difference
+/// between the probability the histogram assigns to the value and the raw
+/// probability.
+///
+/// The probability the histogram assigns to a raw value `c` is measured over
+/// that value's *Voronoi cell* (half-way to the neighbouring raw values, with
+/// `resolution`-wide cells at the extremes), so the comparison is on the same
+/// scale regardless of how coarsely the raw values are spaced.
+pub fn squared_error(hist: &Histogram1D, raw: &RawDistribution, resolution: f64) -> f64 {
+    let values = raw.values();
+    let probs = raw.probs();
+    let n = values.len();
+    let mut total = 0.0;
+    for i in 0..n {
+        let lo = if i == 0 {
+            values[i] - 0.5 * resolution
+        } else {
+            0.5 * (values[i - 1] + values[i])
+        };
+        let hi = if i + 1 == n {
+            values[i] + 0.5 * resolution
+        } else {
+            0.5 * (values[i] + values[i + 1])
+        };
+        let h = hist.prob_within(lo, hi);
+        let d = probs[i];
+        total += (h - d) * (h - d);
+    }
+    total
+}
+
+/// Selects the bucket count automatically (the paper's "Auto" method).
+///
+/// The paper increases `b` until `E_b` stops dropping significantly and keeps
+/// `b − 1`. Cross-validated error curves on sparse samples are not perfectly
+/// monotone, so this implementation uses the equivalent but more robust *knee*
+/// form of the rule: it evaluates `E_b` for every candidate `b` and keeps the
+/// smallest `b` whose error is within `min_relative_improvement` of the best
+/// achievable error (relative to the error of a single bucket). On smooth
+/// error curves the two formulations pick the same bucket count.
+pub fn select_bucket_count(samples: &[f64], cfg: &AutoConfig) -> Result<BucketSelection, HistError> {
+    if samples.is_empty() {
+        return Err(HistError::EmptyInput);
+    }
+    let resolution = effective_resolution(samples, cfg);
+    let distinct = RawDistribution::from_samples(samples, resolution)?.distinct_count();
+    let max_b = cfg.max_buckets.max(1).min(distinct.max(1));
+
+    let errors = cross_validated_errors(samples, max_b, cfg)?;
+    let e1 = errors[0];
+    let e_min = errors.iter().copied().fold(f64::INFINITY, f64::min);
+    let span = (e1 - e_min).max(0.0);
+    let mut chosen = 1;
+    if span > 1e-15 {
+        for (i, &e) in errors.iter().enumerate() {
+            if (e - e_min) / span <= cfg.min_relative_improvement {
+                chosen = i + 1;
+                break;
+            }
+        }
+    }
+    Ok(BucketSelection {
+        bucket_count: chosen.max(1),
+        errors,
+    })
+}
+
+/// Builds the Auto histogram: automatic bucket count + V-Optimal boundaries.
+pub fn auto_histogram(samples: &[f64], cfg: &AutoConfig) -> Result<Histogram1D, HistError> {
+    let selection = select_bucket_count(samples, cfg)?;
+    let raw = RawDistribution::from_samples(samples, effective_resolution(samples, cfg))?;
+    voptimal_histogram(&raw, selection.bucket_count)
+}
+
+/// Builds the fixed-bucket `Sta-b` histogram used as a comparison point in
+/// Figure 11.
+pub fn static_histogram(samples: &[f64], b: usize, resolution: f64) -> Result<Histogram1D, HistError> {
+    let raw = RawDistribution::from_samples(samples, resolution)?;
+    voptimal_histogram(&raw, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// A clearly bimodal sample set: two well-separated clusters.
+    fn bimodal_samples(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    100.0 + rng.gen_range(-3.0..3.0)
+                } else {
+                    200.0 + rng.gen_range(-3.0..3.0)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cross_validated_error_decreases_initially() {
+        let samples = bimodal_samples(200, 7);
+        let cfg = AutoConfig::default();
+        let e1 = cross_validated_error(&samples, 1, &cfg).unwrap();
+        let e2 = cross_validated_error(&samples, 2, &cfg).unwrap();
+        assert!(e2 < e1, "two buckets must beat one on bimodal data ({e2} vs {e1})");
+    }
+
+    #[test]
+    fn auto_selects_more_than_one_bucket_on_bimodal_data() {
+        let samples = bimodal_samples(300, 11);
+        let selection = select_bucket_count(&samples, &AutoConfig::default()).unwrap();
+        assert!(
+            selection.bucket_count >= 2,
+            "expected at least 2 buckets, got {}",
+            selection.bucket_count
+        );
+        assert!(!selection.errors.is_empty());
+    }
+
+    #[test]
+    fn auto_selects_one_bucket_for_degenerate_data() {
+        let samples = vec![50.0; 100];
+        let selection = select_bucket_count(&samples, &AutoConfig::default()).unwrap();
+        assert_eq!(selection.bucket_count, 1);
+    }
+
+    #[test]
+    fn auto_histogram_is_normalised_and_compact() {
+        let samples = bimodal_samples(400, 3);
+        let cfg = AutoConfig::default();
+        let h = auto_histogram(&samples, &cfg).unwrap();
+        assert!((h.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(h.bucket_count() <= cfg.max_buckets);
+        // Auto should use far fewer buckets than there are distinct values.
+        let raw = RawDistribution::from_samples(&samples, 1.0).unwrap();
+        assert!(h.bucket_count() < raw.distinct_count());
+    }
+
+    #[test]
+    fn static_histogram_has_requested_bucket_count() {
+        let samples = bimodal_samples(200, 5);
+        let h3 = static_histogram(&samples, 3, 1.0).unwrap();
+        let h4 = static_histogram(&samples, 4, 1.0).unwrap();
+        assert_eq!(h3.bucket_count(), 3);
+        assert_eq!(h4.bucket_count(), 4);
+    }
+
+    #[test]
+    fn errors_rejected_for_bad_config() {
+        let samples = bimodal_samples(50, 1);
+        let mut cfg = AutoConfig::default();
+        cfg.folds = 1;
+        assert!(matches!(
+            cross_validated_error(&samples, 2, &cfg),
+            Err(HistError::TooFewFolds(1))
+        ));
+        assert!(select_bucket_count(&[], &AutoConfig::default()).is_err());
+        assert!(cross_validated_error(&samples, 0, &AutoConfig::default()).is_err());
+    }
+
+    #[test]
+    fn small_sample_fallback_still_works() {
+        let samples = vec![10.0, 12.0, 20.0];
+        let cfg = AutoConfig::default();
+        let e = cross_validated_error(&samples, 2, &cfg).unwrap();
+        assert!(e.is_finite());
+        let sel = select_bucket_count(&samples, &cfg).unwrap();
+        assert!(sel.bucket_count >= 1);
+    }
+
+    #[test]
+    fn squared_error_improves_with_more_buckets() {
+        // Splitting the two modes into separate buckets must not increase the
+        // squared error against the raw distribution.
+        let raw = RawDistribution::from_samples(
+            &[10.0, 10.0, 11.0, 12.0, 20.0, 20.0, 21.0, 22.0],
+            1.0,
+        )
+        .unwrap();
+        let one = voptimal_histogram(&raw, 1).unwrap();
+        let two = voptimal_histogram(&raw, 2).unwrap();
+        let se_one = squared_error(&one, &raw, 1.0);
+        let se_two = squared_error(&two, &raw, 1.0);
+        assert!(se_two <= se_one + 1e-12, "{se_two} vs {se_one}");
+    }
+}

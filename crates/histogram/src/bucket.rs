@@ -1,0 +1,136 @@
+//! Half-open cost buckets `[lo, hi)`.
+
+use crate::error::HistError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open range of travel costs `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+}
+
+impl Bucket {
+    /// Creates a bucket, requiring `hi > lo` and both bounds finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, HistError> {
+        if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            return Err(HistError::EmptyBucket { lo, hi });
+        }
+        Ok(Bucket { lo, hi })
+    }
+
+    /// Creates a bucket without validation (callers guarantee `hi > lo`).
+    pub(crate) fn new_unchecked(lo: f64, hi: f64) -> Self {
+        debug_assert!(hi > lo, "bucket [{lo}, {hi}) is empty");
+        Bucket { lo, hi }
+    }
+
+    /// Width of the bucket.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint of the bucket.
+    #[inline]
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// `true` if `x` is inside `[lo, hi)`.
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x < self.hi
+    }
+
+    /// The overlap length between this bucket and `[lo, hi)` of `other`.
+    pub fn overlap(&self, other: &Bucket) -> f64 {
+        (self.hi.min(other.hi) - self.lo.max(other.lo)).max(0.0)
+    }
+
+    /// `true` if the two buckets overlap on a set of positive measure.
+    pub fn overlaps(&self, other: &Bucket) -> bool {
+        self.overlap(other) > 0.0
+    }
+
+    /// Component-wise sum of two buckets: `[lo1+lo2, hi1+hi2)`.
+    ///
+    /// This is the operation used when transforming a hyper-bucket of a joint
+    /// distribution into a bucket of the path cost distribution (§4.2).
+    pub fn sum(&self, other: &Bucket) -> Bucket {
+        Bucket::new_unchecked(self.lo + other.lo, self.hi + other.hi)
+    }
+
+    /// The fraction of this bucket's width that lies within `other`, assuming
+    /// uniform density within the bucket. Used when re-arranging overlapping
+    /// buckets into disjoint ones.
+    pub fn fraction_within(&self, other: &Bucket) -> f64 {
+        if self.width() <= 0.0 {
+            return 0.0;
+        }
+        self.overlap(other) / self.width()
+    }
+}
+
+impl fmt::Display for Bucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.3}, {:.3})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_bounds() {
+        assert!(Bucket::new(1.0, 2.0).is_ok());
+        assert!(Bucket::new(2.0, 2.0).is_err());
+        assert!(Bucket::new(3.0, 2.0).is_err());
+        assert!(Bucket::new(f64::NAN, 2.0).is_err());
+        assert!(Bucket::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn width_midpoint_contains() {
+        let b = Bucket::new(10.0, 30.0).unwrap();
+        assert_eq!(b.width(), 20.0);
+        assert_eq!(b.midpoint(), 20.0);
+        assert!(b.contains(10.0));
+        assert!(b.contains(29.999));
+        assert!(!b.contains(30.0));
+        assert!(!b.contains(9.999));
+    }
+
+    #[test]
+    fn overlap_and_fraction() {
+        let a = Bucket::new(0.0, 10.0).unwrap();
+        let b = Bucket::new(5.0, 20.0).unwrap();
+        let c = Bucket::new(12.0, 15.0).unwrap();
+        assert_eq!(a.overlap(&b), 5.0);
+        assert_eq!(b.overlap(&a), 5.0);
+        assert_eq!(a.overlap(&c), 0.0);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!((a.fraction_within(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_matches_paper_example() {
+        // Hyper-bucket ⟨[20,30), [20,40)⟩ becomes bucket [40, 70).
+        let a = Bucket::new(20.0, 30.0).unwrap();
+        let b = Bucket::new(20.0, 40.0).unwrap();
+        let s = a.sum(&b);
+        assert_eq!(s.lo, 40.0);
+        assert_eq!(s.hi, 70.0);
+    }
+
+    #[test]
+    fn display_formats_range() {
+        let b = Bucket::new(1.0, 2.5).unwrap();
+        assert_eq!(b.to_string(), "[1.000, 2.500)");
+    }
+}

@@ -1,0 +1,147 @@
+//! Convolution of independent cost histograms.
+//!
+//! The legacy graph model (§2.3) estimates a path's cost distribution as the
+//! convolution `⊙` of its edges' cost distributions under an independence
+//! assumption. This module provides that operation for [`Histogram1D`]s:
+//! every pair of buckets produces a summed bucket whose probability is the
+//! product of the bucket probabilities, and the resulting overlapping buckets
+//! are re-arranged into a disjoint histogram.
+
+use crate::bucket::Bucket;
+use crate::error::HistError;
+use crate::histogram1d::Histogram1D;
+
+/// Default cap on the number of buckets of intermediate convolution results.
+///
+/// Without a cap the bucket count grows multiplicatively with the number of
+/// convolved histograms.
+pub const DEFAULT_MAX_BUCKETS: usize = 64;
+
+/// Convolves two independent cost histograms.
+pub fn convolve(a: &Histogram1D, b: &Histogram1D) -> Result<Histogram1D, HistError> {
+    convolve_with_limit(a, b, DEFAULT_MAX_BUCKETS)
+}
+
+/// Convolves two independent cost histograms, coarsening the result to at most
+/// `max_buckets` buckets.
+pub fn convolve_with_limit(
+    a: &Histogram1D,
+    b: &Histogram1D,
+    max_buckets: usize,
+) -> Result<Histogram1D, HistError> {
+    let mut entries: Vec<(Bucket, f64)> =
+        Vec::with_capacity(a.bucket_count() * b.bucket_count());
+    for (ba, pa) in a.buckets().iter().zip(a.probs()) {
+        for (bb, pb) in b.buckets().iter().zip(b.probs()) {
+            let mass = pa * pb;
+            if mass > 0.0 {
+                entries.push((ba.sum(bb), mass));
+            }
+        }
+    }
+    let hist = Histogram1D::from_overlapping(&entries)?;
+    Ok(hist.coarsen(max_buckets))
+}
+
+/// Convolves a sequence of independent cost histograms (left to right).
+///
+/// Returns an error when the slice is empty.
+pub fn convolve_many(histograms: &[Histogram1D]) -> Result<Histogram1D, HistError> {
+    convolve_many_with_limit(histograms, DEFAULT_MAX_BUCKETS)
+}
+
+/// Convolves a sequence of histograms, coarsening intermediates to
+/// `max_buckets` buckets.
+pub fn convolve_many_with_limit(
+    histograms: &[Histogram1D],
+    max_buckets: usize,
+) -> Result<Histogram1D, HistError> {
+    let mut iter = histograms.iter();
+    let first = iter.next().ok_or(HistError::EmptyInput)?;
+    let mut acc = first.clone();
+    for h in iter {
+        acc = convolve_with_limit(&acc, h, max_buckets)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(lo: f64, hi: f64) -> Bucket {
+        Bucket::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn convolution_mass_sums_to_one() {
+        let a = Histogram1D::from_entries(vec![(b(10.0, 20.0), 0.5), (b(20.0, 40.0), 0.5)]).unwrap();
+        let c = Histogram1D::from_entries(vec![(b(5.0, 15.0), 0.25), (b(15.0, 25.0), 0.75)]).unwrap();
+        let conv = convolve(&a, &c).unwrap();
+        assert!((conv.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolution_mean_is_additive() {
+        let a = Histogram1D::from_entries(vec![(b(10.0, 20.0), 0.3), (b(20.0, 40.0), 0.7)]).unwrap();
+        let c = Histogram1D::from_entries(vec![(b(0.0, 10.0), 0.6), (b(10.0, 30.0), 0.4)]).unwrap();
+        let conv = convolve(&a, &c).unwrap();
+        assert!(
+            (conv.mean() - (a.mean() + c.mean())).abs() < 1e-6,
+            "mean of sum must equal sum of means: {} vs {}",
+            conv.mean(),
+            a.mean() + c.mean()
+        );
+    }
+
+    #[test]
+    fn convolution_support_is_minkowski_sum() {
+        let a = Histogram1D::uniform(10.0, 20.0).unwrap();
+        let c = Histogram1D::uniform(5.0, 8.0).unwrap();
+        let conv = convolve(&a, &c).unwrap();
+        assert!((conv.min() - 15.0).abs() < 1e-9);
+        assert!((conv.max() - 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolving_point_masses_adds_values() {
+        let a = Histogram1D::point_mass(30.0, 1.0).unwrap();
+        let c = Histogram1D::point_mass(12.0, 1.0).unwrap();
+        let conv = convolve(&a, &c).unwrap();
+        assert!(conv.buckets()[0].contains(42.5));
+        assert!((conv.probs()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolve_many_matches_pairwise() {
+        let a = Histogram1D::uniform(0.0, 10.0).unwrap();
+        let c = Histogram1D::uniform(5.0, 10.0).unwrap();
+        let d = Histogram1D::uniform(1.0, 2.0).unwrap();
+        let step = convolve(&convolve(&a, &c).unwrap(), &d).unwrap();
+        let many = convolve_many(&[a, c, d]).unwrap();
+        assert!((step.mean() - many.mean()).abs() < 1e-6);
+        assert!((step.min() - many.min()).abs() < 1e-9);
+        assert!((step.max() - many.max()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolve_many_rejects_empty() {
+        assert!(convolve_many(&[]).is_err());
+    }
+
+    #[test]
+    fn limit_caps_bucket_count() {
+        let hs: Vec<Histogram1D> = (0..8)
+            .map(|i| {
+                Histogram1D::from_entries(vec![
+                    (b(10.0 + i as f64, 20.0 + i as f64), 0.4),
+                    (b(30.0 + i as f64, 50.0 + i as f64), 0.6),
+                ])
+                .unwrap()
+            })
+            .collect();
+        let conv = convolve_many_with_limit(&hs, 16).unwrap();
+        assert!(conv.bucket_count() <= 16);
+        assert!((conv.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error types for distribution construction.
+
+use std::fmt;
+
+/// Errors produced by histogram and distribution operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistError {
+    /// A distribution requires at least one sample/value.
+    EmptyInput,
+    /// A probability or frequency was negative or not finite.
+    InvalidProbability(f64),
+    /// A cost value was negative or not finite.
+    InvalidValue(f64),
+    /// The requested number of buckets was zero.
+    ZeroBuckets,
+    /// Multivariate samples did not all have the same dimensionality.
+    DimensionMismatch { expected: usize, actual: usize },
+    /// A bucket was constructed with `hi <= lo`.
+    EmptyBucket { lo: f64, hi: f64 },
+    /// Fewer cross-validation folds than 2 were requested.
+    TooFewFolds(usize),
+}
+
+impl fmt::Display for HistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistError::EmptyInput => write!(f, "distribution requires at least one value"),
+            HistError::InvalidProbability(p) => write!(f, "invalid probability {p}"),
+            HistError::InvalidValue(v) => write!(f, "invalid cost value {v}"),
+            HistError::ZeroBuckets => write!(f, "bucket count must be at least one"),
+            HistError::DimensionMismatch { expected, actual } => {
+                write!(f, "expected {expected}-dimensional sample, got {actual}")
+            }
+            HistError::EmptyBucket { lo, hi } => {
+                write!(f, "bucket [{lo}, {hi}) is empty or inverted")
+            }
+            HistError::TooFewFolds(folds) => {
+                write!(f, "cross-validation requires at least 2 folds, got {folds}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(HistError::EmptyInput.to_string().contains("at least one"));
+        assert!(HistError::DimensionMismatch {
+            expected: 3,
+            actual: 2
+        }
+        .to_string()
+        .contains('3'));
+    }
+}

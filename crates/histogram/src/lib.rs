@@ -1,0 +1,41 @@
+//! # pathcost-hist
+//!
+//! Distribution machinery for the hybrid-graph path cost estimation system
+//! (Dai et al., PVLDB 2016, §3):
+//!
+//! * [`RawDistribution`] — the empirical "raw cost distribution" obtained from
+//!   qualified trajectories (a multiset of cost values with relative
+//!   frequencies),
+//! * [`Histogram1D`] — one-dimensional histograms with uniform-within-bucket
+//!   semantics, used to represent univariate travel-cost distributions,
+//! * [`voptimal`] — V-Optimal bucket boundary selection,
+//! * [`auto`] — the paper's self-tuning ("Auto") bucket-count selection via
+//!   f-fold cross validation, plus the fixed `Sta-b` alternative,
+//! * [`HistogramNd`] — multi-dimensional histograms over hyper-buckets, used
+//!   to represent the joint distribution of a path's edge costs,
+//! * [`convolution`] — independent-sum convolution of 1-D histograms (the
+//!   legacy-baseline substrate),
+//! * [`divergence`] — KL divergence and entropy,
+//! * [`standard`] — Gaussian / Gamma / Exponential maximum-likelihood fits for
+//!   the Figure 11(a) comparison.
+
+pub mod auto;
+pub mod bucket;
+pub mod convolution;
+pub mod divergence;
+pub mod error;
+pub mod histogram1d;
+pub mod multidim;
+pub mod raw;
+pub mod standard;
+pub mod voptimal;
+
+pub use auto::{AutoConfig, BucketSelection};
+pub use bucket::Bucket;
+pub use convolution::{convolve, convolve_many};
+pub use divergence::{entropy_of_probs, kl_divergence, kl_divergence_histograms};
+pub use error::HistError;
+pub use histogram1d::Histogram1D;
+pub use multidim::HistogramNd;
+pub use raw::RawDistribution;
+pub use standard::{ExponentialDist, GammaDist, GaussianDist, StandardFit};

@@ -1,0 +1,378 @@
+//! Standard-distribution fits (Gaussian, Gamma, Exponential).
+//!
+//! Figure 1(b) and Figure 11(a) of the paper compare the raw travel-time
+//! distribution against maximum-likelihood fits of standard distributions and
+//! show that travel costs typically do not follow any of them. This module
+//! provides those fits and a discretisation into [`Histogram1D`] so they can
+//! be compared with the same KL-divergence machinery as the Auto histograms.
+
+use crate::bucket::Bucket;
+use crate::error::HistError;
+use crate::histogram1d::Histogram1D;
+use serde::{Deserialize, Serialize};
+
+/// A fitted univariate distribution that can be evaluated and discretised.
+pub trait StandardFit {
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+    /// Mean of the fitted distribution.
+    fn mean(&self) -> f64;
+    /// Discretises the fit into a histogram over `[lo, hi)` with `cells`
+    /// equal-width buckets (renormalised over that range).
+    fn to_histogram(&self, lo: f64, hi: f64, cells: usize) -> Result<Histogram1D, HistError> {
+        if cells == 0 {
+            return Err(HistError::ZeroBuckets);
+        }
+        if hi <= lo {
+            return Err(HistError::EmptyBucket { lo, hi });
+        }
+        let width = (hi - lo) / cells as f64;
+        let mut entries = Vec::with_capacity(cells);
+        for i in 0..cells {
+            let a = lo + i as f64 * width;
+            let b = lo + (i + 1) as f64 * width;
+            // Midpoint rule is ample for smooth densities at this resolution.
+            let mass = self.pdf(0.5 * (a + b)) * width;
+            entries.push((Bucket::new_unchecked(a, b), mass.max(1e-300)));
+        }
+        Histogram1D::from_entries(entries)
+    }
+}
+
+/// A Gaussian (normal) distribution fitted by maximum likelihood.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussianDist {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation.
+    pub sigma: f64,
+}
+
+impl GaussianDist {
+    /// MLE fit: sample mean and (population) standard deviation.
+    pub fn fit(samples: &[f64]) -> Result<Self, HistError> {
+        let (mean, var) = mean_variance(samples)?;
+        Ok(GaussianDist {
+            mu: mean,
+            sigma: var.sqrt().max(1e-6),
+        })
+    }
+}
+
+impl StandardFit for GaussianDist {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+}
+
+/// An exponential distribution fitted by maximum likelihood.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExponentialDist {
+    /// Rate parameter λ.
+    pub rate: f64,
+}
+
+impl ExponentialDist {
+    /// MLE fit: `λ = 1 / mean`.
+    pub fn fit(samples: &[f64]) -> Result<Self, HistError> {
+        let (mean, _) = mean_variance(samples)?;
+        if mean <= 0.0 {
+            return Err(HistError::InvalidValue(mean));
+        }
+        Ok(ExponentialDist { rate: 1.0 / mean })
+    }
+}
+
+impl StandardFit for ExponentialDist {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+/// A Gamma distribution fitted by maximum likelihood.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GammaDist {
+    /// Shape parameter k.
+    pub shape: f64,
+    /// Rate parameter θ⁻¹ (so the mean is `shape / rate`).
+    pub rate: f64,
+}
+
+impl GammaDist {
+    /// MLE fit via the standard Newton iteration on the shape parameter
+    /// (using `ln(mean) − mean(ln x)`), falling back to method-of-moments when
+    /// the data is degenerate.
+    pub fn fit(samples: &[f64]) -> Result<Self, HistError> {
+        let (mean, var) = mean_variance(samples)?;
+        if mean <= 0.0 {
+            return Err(HistError::InvalidValue(mean));
+        }
+        let positive: Vec<f64> = samples.iter().copied().filter(|&x| x > 0.0).collect();
+        if positive.len() < 2 || var <= 1e-12 {
+            // Degenerate data: use an (arbitrary large-shape) concentrated fit.
+            let shape = 1e4;
+            return Ok(GammaDist {
+                shape,
+                rate: shape / mean,
+            });
+        }
+        let log_mean = positive.iter().map(|x| x.ln()).sum::<f64>() / positive.len() as f64;
+        let s = mean.ln() - log_mean;
+        // Initial estimate (Minka 2002), then a few Newton steps.
+        let mut shape = (3.0 - s + ((s - 3.0) * (s - 3.0) + 24.0 * s).sqrt()) / (12.0 * s);
+        if !shape.is_finite() || shape <= 0.0 {
+            shape = mean * mean / var;
+        }
+        for _ in 0..20 {
+            let num = shape.ln() - digamma(shape) - s;
+            let den = 1.0 / shape - trigamma(shape);
+            let next = shape - num / den;
+            if !next.is_finite() || next <= 0.0 {
+                break;
+            }
+            if (next - shape).abs() < 1e-10 {
+                shape = next;
+                break;
+            }
+            shape = next;
+        }
+        Ok(GammaDist {
+            shape,
+            rate: shape / mean,
+        })
+    }
+}
+
+impl StandardFit for GammaDist {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let k = self.shape;
+        let lambda = self.rate;
+        (k * lambda.ln() + (k - 1.0) * x.ln() - lambda * x - ln_gamma(k)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape / self.rate
+    }
+}
+
+fn mean_variance(samples: &[f64]) -> Result<(f64, f64), HistError> {
+    if samples.is_empty() {
+        return Err(HistError::EmptyInput);
+    }
+    for &s in samples {
+        if !s.is_finite() {
+            return Err(HistError::InvalidValue(s));
+        }
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    Ok((mean, var))
+}
+
+/// Lanczos approximation of `ln Γ(x)`.
+fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g = 7, n = 9.
+    const COEF: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Digamma function ψ(x) via asymptotic expansion with recurrence.
+fn digamma(mut x: f64) -> f64 {
+    let mut result = 0.0;
+    while x < 6.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result + x.ln() - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0))
+}
+
+/// Trigamma function ψ′(x) via asymptotic expansion with recurrence.
+fn trigamma(mut x: f64) -> f64 {
+    let mut result = 0.0;
+    while x < 6.0 {
+        result += 1.0 / (x * x);
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result + inv * (1.0 + 0.5 * inv + inv2 * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 / 42.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        assert!((ln_gamma(1.0) - 0.0).abs() < 1e-9);
+        assert!((ln_gamma(2.0) - 0.0).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - (24.0f64).ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - (std::f64::consts::PI.sqrt()).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn digamma_matches_known_values() {
+        // ψ(1) = -γ (Euler–Mascheroni).
+        assert!((digamma(1.0) + 0.5772156649015329).abs() < 1e-8);
+        // ψ(2) = 1 - γ.
+        assert!((digamma(2.0) - (1.0 - 0.5772156649015329)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn gaussian_fit_recovers_parameters() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..20000)
+            .map(|_| {
+                // Box–Muller.
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen();
+                100.0 + 15.0 * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect();
+        let fit = GaussianDist::fit(&samples).unwrap();
+        assert!((fit.mu - 100.0).abs() < 1.0, "mu = {}", fit.mu);
+        assert!((fit.sigma - 15.0).abs() < 1.0, "sigma = {}", fit.sigma);
+        assert!((fit.mean() - fit.mu).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_fit_recovers_rate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let rate = 0.05;
+        let samples: Vec<f64> = (0..20000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                -u.ln() / rate
+            })
+            .collect();
+        let fit = ExponentialDist::fit(&samples).unwrap();
+        assert!((fit.rate - rate).abs() < 0.005, "rate = {}", fit.rate);
+    }
+
+    #[test]
+    fn gamma_fit_recovers_moments() {
+        // Sum of k exponentials is Gamma(k, rate).
+        let mut rng = StdRng::seed_from_u64(11);
+        let k = 4usize;
+        let rate = 0.1;
+        let samples: Vec<f64> = (0..10000)
+            .map(|_| {
+                (0..k)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(1e-12..1.0);
+                        -u.ln() / rate
+                    })
+                    .sum()
+            })
+            .collect();
+        let fit = GammaDist::fit(&samples).unwrap();
+        assert!((fit.shape - k as f64).abs() < 0.5, "shape = {}", fit.shape);
+        assert!((fit.mean() - k as f64 / rate).abs() < 2.0, "mean = {}", fit.mean());
+    }
+
+    #[test]
+    fn pdfs_are_non_negative_and_integrate_to_roughly_one() {
+        let g = GaussianDist { mu: 50.0, sigma: 10.0 };
+        let e = ExponentialDist { rate: 0.02 };
+        let gamma = GammaDist { shape: 3.0, rate: 0.05 };
+        for dist in [&g as &dyn StandardFit, &e, &gamma] {
+            let mut integral = 0.0;
+            let mut x = 0.0;
+            while x < 500.0 {
+                let p = dist.pdf(x);
+                assert!(p >= 0.0);
+                integral += p * 0.5;
+                x += 0.5;
+            }
+            assert!((integral - 1.0).abs() < 0.05, "integral = {integral}");
+        }
+    }
+
+    #[test]
+    fn to_histogram_is_normalised() {
+        let g = GaussianDist { mu: 100.0, sigma: 5.0 };
+        let h = g.to_histogram(70.0, 130.0, 60).unwrap();
+        assert!((h.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((h.mean() - 100.0).abs() < 1.0);
+        assert!(g.to_histogram(70.0, 130.0, 0).is_err());
+        assert!(g.to_histogram(130.0, 70.0, 10).is_err());
+    }
+
+    #[test]
+    fn fits_reject_empty_input() {
+        assert!(GaussianDist::fit(&[]).is_err());
+        assert!(ExponentialDist::fit(&[]).is_err());
+        assert!(GammaDist::fit(&[]).is_err());
+    }
+
+    #[test]
+    fn bimodal_data_is_poorly_fit_by_standard_distributions() {
+        // The core claim of Figure 11(a): a bimodal raw distribution is better
+        // represented by the Auto histogram than by any standard fit.
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..2000)
+            .map(|i| {
+                if i % 2 == 0 {
+                    100.0 + rng.gen_range(-5.0..5.0)
+                } else {
+                    200.0 + rng.gen_range(-5.0..5.0)
+                }
+            })
+            .collect();
+        let raw = crate::raw::RawDistribution::from_samples(&samples, 1.0).unwrap();
+        let auto = crate::auto::auto_histogram(&samples, &crate::auto::AutoConfig::default()).unwrap();
+        let gauss = GaussianDist::fit(&samples)
+            .unwrap()
+            .to_histogram(raw.min() - 5.0, raw.max() + 5.0, 200)
+            .unwrap();
+        let kl_auto = crate::divergence::kl_divergence_from_raw(&raw, &auto, 1.0);
+        let kl_gauss = crate::divergence::kl_divergence_from_raw(&raw, &gauss, 1.0);
+        assert!(
+            kl_auto < kl_gauss,
+            "Auto ({kl_auto}) must fit bimodal data better than Gaussian ({kl_gauss})"
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! V-Optimal histogram construction.
+//!
+//! Given a raw cost distribution and a bucket count `b`, V-Optimal [12]
+//! chooses bucket boundaries that minimise the total squared error incurred by
+//! approximating the raw distribution with per-bucket summaries. Because the
+//! histograms here use *uniform-within-bucket* semantics over the cost axis,
+//! the within-bucket error is measured as the probability-weighted variance of
+//! the cost values assigned to the bucket: boundaries therefore end up at the
+//! gaps between modes of the raw distribution, which is what makes the Auto
+//! histograms track multi-modal travel-time data (Figure 5). The dynamic
+//! program runs in `O(n² · b)` over the `n` distinct values, which is ample
+//! for the per-edge / per-path sample sizes encountered here.
+
+use crate::error::HistError;
+use crate::histogram1d::Histogram1D;
+use crate::raw::RawDistribution;
+
+/// Computes the V-Optimal bucket boundaries for `raw` with exactly `b` buckets.
+///
+/// The result contains the index of the first raw value of each bucket
+/// (always starting with `0`) and is suitable for
+/// [`Histogram1D::from_raw_with_boundaries`]. When `b` is at least the number
+/// of distinct values every value gets its own bucket.
+pub fn voptimal_boundaries(raw: &RawDistribution, b: usize) -> Result<Vec<usize>, HistError> {
+    let mut all = voptimal_boundaries_all(raw, b)?;
+    Ok(all.pop().expect("at least one bucket count requested"))
+}
+
+/// Computes the V-Optimal boundaries for every bucket count `1..=max_b` from a
+/// single dynamic program — the boundary sets share the same DP table, so the
+/// cross-validated bucket-count selection (§3.1) can evaluate all candidate
+/// counts at the cost of one.
+///
+/// `result[b - 1]` holds the boundaries for `b` buckets (capped at the number
+/// of distinct values).
+pub fn voptimal_boundaries_all(
+    raw: &RawDistribution,
+    max_b: usize,
+) -> Result<Vec<Vec<usize>>, HistError> {
+    if max_b == 0 {
+        return Err(HistError::ZeroBuckets);
+    }
+    let probs = raw.probs();
+    let values = raw.values();
+    let n = probs.len();
+    let b = max_b.min(n);
+
+    // Prefix sums of p, p·v and p·v² for O(1) within-bucket weighted-variance
+    // queries.
+    let mut pw = vec![0.0f64; n + 1];
+    let mut pv = vec![0.0f64; n + 1];
+    let mut pvv = vec![0.0f64; n + 1];
+    for i in 0..n {
+        pw[i + 1] = pw[i] + probs[i];
+        pv[i + 1] = pv[i] + probs[i] * values[i];
+        pvv[i + 1] = pvv[i] + probs[i] * values[i] * values[i];
+    }
+    // Weighted within-bucket variance of grouping values [i, j) into one bucket:
+    //   Σ p v² − (Σ p v)² / Σ p
+    let sse = |i: usize, j: usize| -> f64 {
+        let w = pw[j] - pw[i];
+        if w <= 0.0 {
+            return 0.0;
+        }
+        let sum_v = pv[j] - pv[i];
+        let sum_vv = pvv[j] - pvv[i];
+        (sum_vv - sum_v * sum_v / w).max(0.0)
+    };
+
+    // dp[k][j]: minimal SSE of covering the first j values with k buckets.
+    let inf = f64::INFINITY;
+    let mut dp = vec![vec![inf; n + 1]; b + 1];
+    let mut choice = vec![vec![0usize; n + 1]; b + 1];
+    dp[0][0] = 0.0;
+    for k in 1..=b {
+        for j in k..=n {
+            for i in (k - 1)..j {
+                if dp[k - 1][i] == inf {
+                    continue;
+                }
+                let cost = dp[k - 1][i] + sse(i, j);
+                if cost < dp[k][j] {
+                    dp[k][j] = cost;
+                    choice[k][j] = i;
+                }
+            }
+        }
+    }
+
+    // Recover the boundaries for every bucket count up to b.
+    let mut all = Vec::with_capacity(b);
+    for target in 1..=b {
+        let mut boundaries = vec![0usize; target];
+        let mut j = n;
+        for k in (1..=target).rev() {
+            let i = choice[k][j];
+            boundaries[k - 1] = i;
+            j = i;
+        }
+        all.push(boundaries);
+    }
+    Ok(all)
+}
+
+/// Builds the V-Optimal histogram of `raw` with `b` buckets.
+pub fn voptimal_histogram(raw: &RawDistribution, b: usize) -> Result<Histogram1D, HistError> {
+    let boundaries = voptimal_boundaries(raw, b)?;
+    Histogram1D::from_raw_with_boundaries(raw, &boundaries)
+}
+
+/// The total squared error between `raw` and its V-Optimal histogram with `b`
+/// buckets (the quantity the DP minimises); exposed for tests and diagnostics.
+pub fn voptimal_error(raw: &RawDistribution, b: usize) -> Result<f64, HistError> {
+    let boundaries = voptimal_boundaries(raw, b)?;
+    let probs = raw.probs();
+    let values = raw.values();
+    let mut err = 0.0;
+    for (i, &start) in boundaries.iter().enumerate() {
+        let end = if i + 1 < boundaries.len() {
+            boundaries[i + 1]
+        } else {
+            probs.len()
+        };
+        let weight: f64 = probs[start..end].iter().sum();
+        if weight <= 0.0 {
+            continue;
+        }
+        let mean: f64 = values[start..end]
+            .iter()
+            .zip(&probs[start..end])
+            .map(|(v, p)| v * p)
+            .sum::<f64>()
+            / weight;
+        err += values[start..end]
+            .iter()
+            .zip(&probs[start..end])
+            .map(|(v, p)| p * (v - mean) * (v - mean))
+            .sum::<f64>();
+    }
+    Ok(err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(pairs: &[(f64, f64)]) -> RawDistribution {
+        RawDistribution::from_pairs(pairs).unwrap()
+    }
+
+    #[test]
+    fn one_bucket_covers_everything() {
+        let r = raw(&[(10.0, 0.2), (20.0, 0.5), (30.0, 0.3)]);
+        let bounds = voptimal_boundaries(&r, 1).unwrap();
+        assert_eq!(bounds, vec![0]);
+        let h = voptimal_histogram(&r, 1).unwrap();
+        assert_eq!(h.bucket_count(), 1);
+        assert!((h.probs()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enough_buckets_isolates_every_value() {
+        let r = raw(&[(10.0, 0.2), (20.0, 0.5), (30.0, 0.3)]);
+        let bounds = voptimal_boundaries(&r, 3).unwrap();
+        assert_eq!(bounds, vec![0, 1, 2]);
+        assert_eq!(voptimal_error(&r, 3).unwrap(), 0.0);
+        // Asking for more buckets than values degrades gracefully.
+        let bounds = voptimal_boundaries(&r, 10).unwrap();
+        assert_eq!(bounds.len(), 3);
+    }
+
+    #[test]
+    fn splits_where_frequencies_differ_most() {
+        // Two clearly different regimes: low-probability values then
+        // high-probability values. With 2 buckets the optimal cut separates them.
+        let r = raw(&[
+            (10.0, 0.05),
+            (11.0, 0.05),
+            (12.0, 0.05),
+            (50.0, 0.30),
+            (51.0, 0.30),
+            (52.0, 0.25),
+        ]);
+        let bounds = voptimal_boundaries(&r, 2).unwrap();
+        assert_eq!(bounds, vec![0, 3]);
+    }
+
+    #[test]
+    fn error_is_monotone_non_increasing_in_bucket_count() {
+        let r = raw(&[
+            (1.0, 0.05),
+            (2.0, 0.1),
+            (3.0, 0.2),
+            (4.0, 0.05),
+            (5.0, 0.3),
+            (6.0, 0.05),
+            (7.0, 0.15),
+            (8.0, 0.1),
+        ]);
+        let mut prev = f64::INFINITY;
+        for b in 1..=8 {
+            let e = voptimal_error(&r, b).unwrap();
+            assert!(
+                e <= prev + 1e-12,
+                "error must not increase with more buckets (b={b}, e={e}, prev={prev})"
+            );
+            prev = e;
+        }
+        assert!(voptimal_error(&r, 8).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn zero_buckets_rejected() {
+        let r = raw(&[(1.0, 1.0)]);
+        assert!(matches!(
+            voptimal_boundaries(&r, 0),
+            Err(HistError::ZeroBuckets)
+        ));
+    }
+
+    #[test]
+    fn histogram_mass_matches_raw_mass_per_bucket() {
+        let r = raw(&[(10.0, 0.25), (20.0, 0.25), (80.0, 0.5)]);
+        let h = voptimal_histogram(&r, 2).unwrap();
+        assert_eq!(h.bucket_count(), 2);
+        let total: f64 = h.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // The large value should sit alone in the second bucket.
+        assert!((h.probs()[1] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,212 @@
+//! Checked, incremental construction of [`RoadNetwork`]s.
+
+use crate::error::RoadNetError;
+use crate::geo::{Point, Polyline};
+use crate::graph::{Edge, RoadCategory, RoadNetwork, Vertex};
+use crate::ids::{EdgeId, VertexId};
+use std::collections::HashSet;
+
+/// Incrementally builds a [`RoadNetwork`], validating every insertion.
+///
+/// ```
+/// use pathcost_roadnet::{RoadNetworkBuilder, RoadCategory, Point};
+///
+/// let mut builder = RoadNetworkBuilder::new();
+/// let a = builder.add_vertex(Point::new(0.0, 0.0));
+/// let b = builder.add_vertex(Point::new(500.0, 0.0));
+/// builder.add_edge(a, b, RoadCategory::Arterial).unwrap();
+/// let net = builder.build();
+/// assert_eq!(net.vertex_count(), 2);
+/// assert_eq!(net.edge_count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct RoadNetworkBuilder {
+    vertices: Vec<Vertex>,
+    edges: Vec<Edge>,
+    seen_pairs: HashSet<(VertexId, VertexId)>,
+}
+
+impl RoadNetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity reserved for the expected network size.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        RoadNetworkBuilder {
+            vertices: Vec::with_capacity(vertices),
+            edges: Vec::with_capacity(edges),
+            seen_pairs: HashSet::with_capacity(edges),
+        }
+    }
+
+    /// Number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a vertex at `location` and returns its identifier.
+    pub fn add_vertex(&mut self, location: Point) -> VertexId {
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertices.push(Vertex { id, location });
+        id
+    }
+
+    /// Adds a directed edge with a default speed limit and grade for its category.
+    pub fn add_edge(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        category: RoadCategory,
+    ) -> Result<EdgeId, RoadNetError> {
+        self.add_edge_detailed(from, to, category, category.default_speed_limit_kmh(), 0.0)
+    }
+
+    /// Adds a directed edge with an explicit speed limit (km/h) and grade.
+    ///
+    /// The edge length is the planar distance between the two vertices; its
+    /// geometry is the straight segment connecting them.
+    pub fn add_edge_detailed(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        category: RoadCategory,
+        speed_limit_kmh: f64,
+        grade: f64,
+    ) -> Result<EdgeId, RoadNetError> {
+        let from_loc = self
+            .vertices
+            .get(from.index())
+            .ok_or(RoadNetError::UnknownVertex(from))?
+            .location;
+        let to_loc = self
+            .vertices
+            .get(to.index())
+            .ok_or(RoadNetError::UnknownVertex(to))?
+            .location;
+        if from == to {
+            return Err(RoadNetError::SelfLoop(from));
+        }
+        if !self.seen_pairs.insert((from, to)) {
+            return Err(RoadNetError::DuplicateEdge { from, to });
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        let length_m = from_loc.distance(&to_loc).max(1.0);
+        if speed_limit_kmh <= 0.0 {
+            return Err(RoadNetError::NonPositiveSpeedLimit(id));
+        }
+        self.edges.push(Edge {
+            id,
+            from,
+            to,
+            length_m,
+            speed_limit_kmh,
+            category,
+            grade,
+            geometry: Polyline::segment(from_loc, to_loc),
+        });
+        Ok(id)
+    }
+
+    /// Adds a pair of directed edges, one in each direction, between two vertices.
+    pub fn add_two_way(
+        &mut self,
+        a: VertexId,
+        b: VertexId,
+        category: RoadCategory,
+    ) -> Result<(EdgeId, EdgeId), RoadNetError> {
+        let forward = self.add_edge(a, b, category)?;
+        let backward = self.add_edge(b, a, category)?;
+        Ok((forward, backward))
+    }
+
+    /// Finalises the network.
+    pub fn build(self) -> RoadNetwork {
+        RoadNetwork::from_parts(self.vertices, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_network() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(300.0, 400.0));
+        let e = b.add_edge(v0, v1, RoadCategory::Collector).unwrap();
+        let net = b.build();
+        let edge = net.edge(e).unwrap();
+        assert!((edge.length_m - 500.0).abs() < 1e-9);
+        assert_eq!(edge.category, RoadCategory::Collector);
+    }
+
+    #[test]
+    fn rejects_unknown_vertices() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let err = b
+            .add_edge(v0, VertexId(99), RoadCategory::Arterial)
+            .unwrap_err();
+        assert_eq!(err, RoadNetError::UnknownVertex(VertexId(99)));
+    }
+
+    #[test]
+    fn rejects_self_loops() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let err = b.add_edge(v0, v0, RoadCategory::Arterial).unwrap_err();
+        assert_eq!(err, RoadNetError::SelfLoop(v0));
+    }
+
+    #[test]
+    fn rejects_duplicate_directed_edges() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(10.0, 0.0));
+        b.add_edge(v0, v1, RoadCategory::Arterial).unwrap();
+        let err = b.add_edge(v0, v1, RoadCategory::Arterial).unwrap_err();
+        assert!(matches!(err, RoadNetError::DuplicateEdge { .. }));
+        // The reverse direction is fine.
+        assert!(b.add_edge(v1, v0, RoadCategory::Arterial).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_positive_speed_limit() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(10.0, 0.0));
+        let err = b
+            .add_edge_detailed(v0, v1, RoadCategory::Arterial, 0.0, 0.0)
+            .unwrap_err();
+        assert!(matches!(err, RoadNetError::NonPositiveSpeedLimit(_)));
+    }
+
+    #[test]
+    fn two_way_adds_both_directions() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(10.0, 0.0));
+        let (f, r) = b.add_two_way(v0, v1, RoadCategory::Residential).unwrap();
+        let net = b.build();
+        assert_eq!(net.edge(f).unwrap().from, v0);
+        assert_eq!(net.edge(r).unwrap().from, v1);
+    }
+
+    #[test]
+    fn minimum_edge_length_is_one_metre() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(0.0, 0.1));
+        let e = b.add_edge(v0, v1, RoadCategory::Residential).unwrap();
+        let net = b.build();
+        assert!(net.edge(e).unwrap().length_m >= 1.0);
+    }
+}

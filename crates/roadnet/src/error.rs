@@ -1,0 +1,72 @@
+//! Error types for road-network construction and path algebra.
+
+use crate::ids::{EdgeId, VertexId};
+use std::fmt;
+
+/// Errors produced while building or querying a road network or a path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoadNetError {
+    /// A vertex identifier refers to no vertex in the network.
+    UnknownVertex(VertexId),
+    /// An edge identifier refers to no edge in the network.
+    UnknownEdge(EdgeId),
+    /// Two consecutive edges in a path are not adjacent
+    /// (the end vertex of the first differs from the start vertex of the second).
+    NonAdjacentEdges { first: EdgeId, second: EdgeId },
+    /// A path visits the same vertex twice, which the paper's path definition forbids.
+    RepeatedVertex(VertexId),
+    /// A path must contain at least one edge.
+    EmptyPath,
+    /// An edge was declared with a non-positive length.
+    NonPositiveLength(EdgeId),
+    /// An edge was declared with a non-positive speed limit.
+    NonPositiveSpeedLimit(EdgeId),
+    /// A duplicate directed edge between the same ordered vertex pair was inserted.
+    DuplicateEdge { from: VertexId, to: VertexId },
+    /// An edge was declared with identical start and end vertices (self loop).
+    SelfLoop(VertexId),
+}
+
+impl fmt::Display for RoadNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoadNetError::UnknownVertex(v) => write!(f, "unknown vertex {v}"),
+            RoadNetError::UnknownEdge(e) => write!(f, "unknown edge {e}"),
+            RoadNetError::NonAdjacentEdges { first, second } => {
+                write!(f, "edges {first} and {second} are not adjacent")
+            }
+            RoadNetError::RepeatedVertex(v) => {
+                write!(f, "path visits vertex {v} more than once")
+            }
+            RoadNetError::EmptyPath => write!(f, "a path must contain at least one edge"),
+            RoadNetError::NonPositiveLength(e) => {
+                write!(f, "edge {e} has a non-positive length")
+            }
+            RoadNetError::NonPositiveSpeedLimit(e) => {
+                write!(f, "edge {e} has a non-positive speed limit")
+            }
+            RoadNetError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate directed edge from {from} to {to}")
+            }
+            RoadNetError::SelfLoop(v) => write!(f, "self loop at vertex {v}"),
+        }
+    }
+}
+
+impl std::error::Error for RoadNetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = RoadNetError::NonAdjacentEdges {
+            first: EdgeId(1),
+            second: EdgeId(2),
+        };
+        assert!(err.to_string().contains("e1"));
+        assert!(err.to_string().contains("e2"));
+        assert!(RoadNetError::EmptyPath.to_string().contains("at least one"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Synthetic road-network generators.
+//!
+//! The paper evaluates on the Aalborg network (OpenStreetMap, all road
+//! classes) and the Beijing network (highways and main roads only). Those
+//! datasets are not redistributable, so this module generates seeded synthetic
+//! networks that reproduce the *structural* properties the algorithms care
+//! about: a mix of road classes, grid-like residential areas, arterial
+//! corridors that attract most traffic, and (for the Beijing-like network)
+//! a ring-and-radial motorway skeleton.
+
+use crate::builder::RoadNetworkBuilder;
+use crate::geo::Point;
+use crate::graph::{RoadCategory, RoadNetwork};
+use crate::ids::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which synthetic network family to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetworkKind {
+    /// Uniform rectangular grid with mixed road classes — stands in for the
+    /// paper's Aalborg network N1 (all roads).
+    Grid,
+    /// Ring-and-radial network of motorways and arterials — stands in for the
+    /// paper's Beijing network N2 (highways and main roads only).
+    RingRadial,
+}
+
+/// Configuration for the synthetic generators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Network family.
+    pub kind: NetworkKind,
+    /// Grid: number of rows of vertices. RingRadial: number of rings.
+    pub rows: usize,
+    /// Grid: number of columns of vertices. RingRadial: number of radials.
+    pub cols: usize,
+    /// Spacing between neighbouring vertices in metres.
+    pub spacing_m: f64,
+    /// Probability that a candidate grid edge is dropped (creates irregularity).
+    pub drop_probability: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// A small Aalborg-like grid: mixed road classes, laptop-scale.
+    pub fn aalborg_like(seed: u64) -> Self {
+        GeneratorConfig {
+            kind: NetworkKind::Grid,
+            rows: 24,
+            cols: 24,
+            spacing_m: 250.0,
+            drop_probability: 0.06,
+            seed,
+        }
+    }
+
+    /// A Beijing-like ring-and-radial network: highways and main roads only.
+    pub fn beijing_like(seed: u64) -> Self {
+        GeneratorConfig {
+            kind: NetworkKind::RingRadial,
+            rows: 10,
+            cols: 28,
+            spacing_m: 800.0,
+            drop_probability: 0.0,
+            seed,
+        }
+    }
+
+    /// A tiny grid for unit tests and doc examples.
+    pub fn tiny(seed: u64) -> Self {
+        GeneratorConfig {
+            kind: NetworkKind::Grid,
+            rows: 5,
+            cols: 5,
+            spacing_m: 200.0,
+            drop_probability: 0.0,
+            seed,
+        }
+    }
+
+    /// Generates the network described by this configuration.
+    pub fn generate(&self) -> RoadNetwork {
+        match self.kind {
+            NetworkKind::Grid => generate_grid(self),
+            NetworkKind::RingRadial => generate_ring_radial(self),
+        }
+    }
+}
+
+/// Generates a grid network with mixed road classes.
+///
+/// Every 4th row/column is an arterial; the outermost frame is a motorway
+/// ring; all remaining streets are residential or collector roads. A small
+/// fraction of candidate edges is dropped to avoid a perfectly regular grid.
+fn generate_grid(cfg: &GeneratorConfig) -> RoadNetwork {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let rows = cfg.rows.max(2);
+    let cols = cfg.cols.max(2);
+    let mut builder = RoadNetworkBuilder::with_capacity(rows * cols, rows * cols * 4);
+
+    let mut grid: Vec<Vec<VertexId>> = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let mut row = Vec::with_capacity(cols);
+        for c in 0..cols {
+            // Small jitter so edge lengths are not all identical.
+            let jx = rng.gen_range(-0.1..0.1) * cfg.spacing_m;
+            let jy = rng.gen_range(-0.1..0.1) * cfg.spacing_m;
+            let p = Point::new(c as f64 * cfg.spacing_m + jx, r as f64 * cfg.spacing_m + jy);
+            row.push(builder.add_vertex(p));
+        }
+        grid.push(row);
+    }
+
+    let category_for = |r: usize, c: usize, horizontal: bool| -> RoadCategory {
+        let on_frame = r == 0 || r == rows - 1 || c == 0 || c == cols - 1;
+        if on_frame && ((horizontal && (r == 0 || r == rows - 1)) || (!horizontal && (c == 0 || c == cols - 1))) {
+            return RoadCategory::Motorway;
+        }
+        if (horizontal && r % 4 == 0) || (!horizontal && c % 4 == 0) {
+            return RoadCategory::Arterial;
+        }
+        if (horizontal && r % 2 == 0) || (!horizontal && c % 2 == 0) {
+            return RoadCategory::Collector;
+        }
+        RoadCategory::Residential
+    };
+
+    for r in 0..rows {
+        for c in 0..cols {
+            // Horizontal edge to the east neighbour.
+            if c + 1 < cols && rng.gen::<f64>() >= cfg.drop_probability {
+                let cat = category_for(r, c, true);
+                let _ = builder.add_two_way(grid[r][c], grid[r][c + 1], cat);
+            }
+            // Vertical edge to the north neighbour.
+            if r + 1 < rows && rng.gen::<f64>() >= cfg.drop_probability {
+                let cat = category_for(r, c, false);
+                let _ = builder.add_two_way(grid[r][c], grid[r + 1][c], cat);
+            }
+        }
+    }
+
+    builder.build()
+}
+
+/// Generates a ring-and-radial network (motorway rings + arterial radials).
+fn generate_ring_radial(cfg: &GeneratorConfig) -> RoadNetwork {
+    let rings = cfg.rows.max(2);
+    let radials = cfg.cols.max(3);
+    let mut builder = RoadNetworkBuilder::with_capacity(rings * radials + 1, rings * radials * 4);
+
+    let centre = builder.add_vertex(Point::new(0.0, 0.0));
+    let mut ring_vertices: Vec<Vec<VertexId>> = Vec::with_capacity(rings);
+    for ring in 0..rings {
+        let radius = (ring + 1) as f64 * cfg.spacing_m;
+        let mut vs = Vec::with_capacity(radials);
+        for k in 0..radials {
+            let angle = 2.0 * std::f64::consts::PI * k as f64 / radials as f64;
+            vs.push(builder.add_vertex(Point::new(radius * angle.cos(), radius * angle.sin())));
+        }
+        ring_vertices.push(vs);
+    }
+
+    // Ring edges: alternate motorway (outer rings) and arterial (inner rings).
+    for (ring, vs) in ring_vertices.iter().enumerate() {
+        let cat = if ring >= rings / 2 {
+            RoadCategory::Motorway
+        } else {
+            RoadCategory::Arterial
+        };
+        for k in 0..vs.len() {
+            let next = (k + 1) % vs.len();
+            let _ = builder.add_two_way(vs[k], vs[next], cat);
+        }
+    }
+
+    // Radial edges: arterial spokes from the centre outwards.
+    for k in 0..radials {
+        let _ = builder.add_two_way(centre, ring_vertices[0][k], RoadCategory::Arterial);
+        for ring in 0..rings - 1 {
+            let _ = builder.add_two_way(
+                ring_vertices[ring][k],
+                ring_vertices[ring + 1][k],
+                RoadCategory::Arterial,
+            );
+        }
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn tiny_grid_has_expected_size() {
+        let net = GeneratorConfig::tiny(1).generate();
+        assert_eq!(net.vertex_count(), 25);
+        // Full 5x5 grid, two-way: 2 * (2 * 5 * 4) = 80 directed edges.
+        assert_eq!(net.edge_count(), 80);
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = GeneratorConfig::aalborg_like(7).generate();
+        let b = GeneratorConfig::aalborg_like(7).generate();
+        assert_eq!(a.vertex_count(), b.vertex_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(
+            a.edges()[10].length_m, b.edges()[10].length_m,
+            "same seed must give identical networks"
+        );
+        let c = GeneratorConfig::aalborg_like(8).generate();
+        assert!(
+            (a.edges()[10].length_m - c.edges()[10].length_m).abs() > 1e-12
+                || a.edge_count() != c.edge_count(),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn aalborg_like_contains_all_road_classes() {
+        let net = GeneratorConfig::aalborg_like(3).generate();
+        let cats: HashSet<_> = net.edges().iter().map(|e| e.category).collect();
+        assert!(cats.contains(&RoadCategory::Motorway));
+        assert!(cats.contains(&RoadCategory::Arterial));
+        assert!(cats.contains(&RoadCategory::Residential));
+    }
+
+    #[test]
+    fn beijing_like_contains_only_major_roads() {
+        let net = GeneratorConfig::beijing_like(3).generate();
+        assert!(net
+            .edges()
+            .iter()
+            .all(|e| matches!(e.category, RoadCategory::Motorway | RoadCategory::Arterial)));
+        assert!(net.vertex_count() > 100);
+    }
+
+    #[test]
+    fn every_edge_connects_known_vertices() {
+        for cfg in [GeneratorConfig::aalborg_like(5), GeneratorConfig::beijing_like(5)] {
+            let net = cfg.generate();
+            for e in net.edges() {
+                assert!(net.vertex(e.from).is_ok());
+                assert!(net.vertex(e.to).is_ok());
+                assert!(e.length_m > 0.0);
+                assert!(e.speed_limit_kmh > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_is_strongly_connected_enough_for_long_paths() {
+        // Follow successor edges greedily; we should be able to find a long
+        // simple path in a drop-free grid.
+        let net = GeneratorConfig::tiny(2).generate();
+        let mut path = vec![net.edges()[0].id];
+        let mut visited: HashSet<_> = vec![net.edges()[0].from, net.edges()[0].to]
+            .into_iter()
+            .collect();
+        loop {
+            let last = *path.last().unwrap();
+            let next = net
+                .successors(last)
+                .iter()
+                .copied()
+                .find(|&e| !visited.contains(&net.edge(e).unwrap().to));
+            match next {
+                Some(e) => {
+                    visited.insert(net.edge(e).unwrap().to);
+                    path.push(e);
+                }
+                None => break,
+            }
+            if path.len() > 10 {
+                break;
+            }
+        }
+        assert!(path.len() > 5, "expected a reasonably long simple path");
+    }
+}

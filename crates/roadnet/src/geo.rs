@@ -1,0 +1,209 @@
+//! Planar geometry helpers.
+//!
+//! The simulator and map matcher work in a local planar coordinate system
+//! (metres east / metres north of an arbitrary origin). Real deployments would
+//! project WGS84 coordinates; for the synthetic networks used here a planar
+//! frame is sufficient and keeps the arithmetic exact and fast.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the local planar frame, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Point {
+    /// Metres east of the origin.
+    pub x: f64,
+    /// Metres north of the origin.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a new point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point, in metres.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
+    }
+}
+
+/// A polyline (sequence of points) describing the geometry of an edge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Polyline {
+    points: Vec<Point>,
+}
+
+impl Polyline {
+    /// Creates a polyline from at least two points.
+    ///
+    /// A polyline with fewer than two points is degenerate; callers construct
+    /// edge geometry from the edge's end-point coordinates so this is enforced
+    /// with a debug assertion rather than a fallible API.
+    pub fn new(points: Vec<Point>) -> Self {
+        debug_assert!(points.len() >= 2, "polyline needs at least two points");
+        Polyline { points }
+    }
+
+    /// A straight segment between two points.
+    pub fn segment(a: Point, b: Point) -> Self {
+        Polyline { points: vec![a, b] }
+    }
+
+    /// The points of the polyline.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Total length of the polyline in metres.
+    pub fn length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].distance(&w[1]))
+            .sum()
+    }
+
+    /// The point a fraction `t` (clamped to `[0, 1]`) along the polyline,
+    /// measured by arc length.
+    pub fn point_at(&self, t: f64) -> Point {
+        let t = t.clamp(0.0, 1.0);
+        let total = self.length();
+        if total <= f64::EPSILON {
+            return self.points[0];
+        }
+        let mut remaining = t * total;
+        for w in self.points.windows(2) {
+            let seg = w[0].distance(&w[1]);
+            if remaining <= seg {
+                let frac = if seg > 0.0 { remaining / seg } else { 0.0 };
+                return w[0].lerp(&w[1], frac);
+            }
+            remaining -= seg;
+        }
+        *self.points.last().expect("polyline has points")
+    }
+
+    /// The minimum distance from `p` to any segment of the polyline, in metres.
+    pub fn distance_to(&self, p: &Point) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| point_segment_distance(p, &w[0], &w[1]))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Distance from point `p` to the segment `[a, b]`.
+pub fn point_segment_distance(p: &Point, a: &Point, b: &Point) -> f64 {
+    let abx = b.x - a.x;
+    let aby = b.y - a.y;
+    let len2 = abx * abx + aby * aby;
+    if len2 <= f64::EPSILON {
+        return p.distance(a);
+    }
+    let t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+    let t = t.clamp(0.0, 1.0);
+    let proj = Point::new(a.x + t * abx, a.y + t * aby);
+    p.distance(&proj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn point_distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!(approx(a.distance(&b), 5.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let mid = a.lerp(&b, 0.5);
+        assert!(approx(mid.x, 5.0) && approx(mid.y, 10.0));
+    }
+
+    #[test]
+    fn polyline_length_sums_segments() {
+        let line = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 4.0),
+        ]);
+        assert!(approx(line.length(), 7.0));
+    }
+
+    #[test]
+    fn polyline_point_at_interpolates_by_arclength() {
+        let line = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ]);
+        let half = line.point_at(0.5);
+        assert!(approx(half.x, 10.0) && approx(half.y, 0.0));
+        let quarter = line.point_at(0.25);
+        assert!(approx(quarter.x, 5.0) && approx(quarter.y, 0.0));
+        let end = line.point_at(1.0);
+        assert!(approx(end.x, 10.0) && approx(end.y, 10.0));
+    }
+
+    #[test]
+    fn point_at_clamps_out_of_range() {
+        let line = Polyline::segment(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        assert_eq!(line.point_at(-1.0), Point::new(0.0, 0.0));
+        assert_eq!(line.point_at(2.0), Point::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn segment_distance_projects_and_clamps() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        assert!(approx(point_segment_distance(&Point::new(5.0, 3.0), &a, &b), 3.0));
+        assert!(approx(
+            point_segment_distance(&Point::new(-4.0, 3.0), &a, &b),
+            5.0
+        ));
+        assert!(approx(
+            point_segment_distance(&Point::new(13.0, 4.0), &a, &b),
+            5.0
+        ));
+    }
+
+    #[test]
+    fn distance_to_polyline_takes_minimum() {
+        let line = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ]);
+        assert!(approx(line.distance_to(&Point::new(12.0, 5.0)), 2.0));
+    }
+
+    #[test]
+    fn degenerate_segment_distance_is_point_distance() {
+        let a = Point::new(1.0, 1.0);
+        assert!(approx(
+            point_segment_distance(&Point::new(4.0, 5.0), &a, &a),
+            5.0
+        ));
+    }
+}

@@ -1,0 +1,81 @@
+//! Strongly typed identifiers for vertices and edges.
+//!
+//! Both identifiers are thin `u32` newtypes: the paper's networks have tens of
+//! thousands of vertices/edges, so 32-bit indices are ample and keep
+//! oft-instantiated structures (paths, candidate arrays) small.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a vertex (road intersection or road end) in a [`crate::RoadNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VertexId(pub u32);
+
+/// Identifier of a directed edge (road segment) in a [`crate::RoadNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl VertexId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(value: u32) -> Self {
+        VertexId(value)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(value: u32) -> Self {
+        EdgeId(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::from(7u32);
+        assert_eq!(v.index(), 7);
+        assert_eq!(v.to_string(), "v7");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::from(11u32);
+        assert_eq!(e.index(), 11);
+        assert_eq!(e.to_string(), "e11");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(EdgeId(3) < EdgeId(10));
+    }
+}

@@ -1,0 +1,38 @@
+//! # pathcost-roadnet
+//!
+//! Road-network substrate for the hybrid-graph path cost estimation system
+//! (Dai et al., *Path Cost Distribution Estimation Using Trajectory Data*,
+//! PVLDB 10(3), 2016).
+//!
+//! A road network is modelled as a directed graph `G = (V, E)` where vertices
+//! are intersections or road ends and edges are directed road segments
+//! carrying metadata (length, speed limit, road category, grade).
+//!
+//! The crate provides:
+//!
+//! * [`RoadNetwork`] — the graph itself, with adjacency queries,
+//! * [`Path`] — a sequence of adjacent edges over distinct vertices, with the
+//!   path algebra used throughout the paper (sub-path test, intersection,
+//!   difference, concatenation),
+//! * [`builder::RoadNetworkBuilder`] — checked incremental construction,
+//! * [`generators`] — seeded synthetic networks standing in for the paper's
+//!   Aalborg (N1) and Beijing (N2) road networks,
+//! * [`geo`] — lightweight planar geometry used by the GPS simulator and the
+//!   map matcher.
+
+pub mod builder;
+pub mod error;
+pub mod generators;
+pub mod geo;
+pub mod graph;
+pub mod ids;
+pub mod path;
+pub mod search;
+
+pub use builder::RoadNetworkBuilder;
+pub use error::RoadNetError;
+pub use generators::{GeneratorConfig, NetworkKind};
+pub use geo::Point;
+pub use graph::{Edge, RoadCategory, RoadNetwork, Vertex};
+pub use ids::{EdgeId, VertexId};
+pub use path::Path;

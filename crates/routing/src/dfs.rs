@@ -1,0 +1,309 @@
+//! DFS-based probabilistic path query (Hua & Pei [10], §4.3).
+//!
+//! Given a source, a destination, a departure time and a travel-time budget,
+//! the query returns the path that maximises the probability of arriving
+//! within the budget. Candidate paths are explored depth-first with the
+//! "path + another edge" pattern; partial paths are pruned when even their
+//! fastest possible completion exceeds the budget (using free-flow
+//! lower bounds to the destination). The cost distribution of every complete
+//! candidate path is computed with a pluggable [`CostEstimator`], which is how
+//! the paper compares LB-DFS, HP-DFS and OD-DFS (Figure 18).
+
+use crate::dijkstra::free_flow_to_destination;
+use crate::error::RoutingError;
+use crate::query::prob_within_budget;
+use pathcost_core::{CostEstimator, HybridGraph, IncrementalEstimate};
+use pathcost_hist::Histogram1D;
+use pathcost_roadnet::{Path, VertexId};
+use pathcost_traj::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the DFS probabilistic path query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Maximum number of partial-path expansions before the search stops.
+    pub max_expansions: usize,
+    /// Maximum number of complete candidate paths whose distribution is
+    /// evaluated with the full estimator.
+    pub max_candidates: usize,
+    /// Maximum candidate path cardinality.
+    pub max_path_edges: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_expansions: 20_000,
+            max_candidates: 64,
+            max_path_edges: 120,
+        }
+    }
+}
+
+/// The outcome of a probabilistic path query.
+#[derive(Debug, Clone)]
+pub struct RouteResult {
+    /// The best path found.
+    pub path: Path,
+    /// Probability of completing the path within the budget.
+    pub probability: f64,
+    /// The estimated cost distribution of the path.
+    pub distribution: Histogram1D,
+    /// Number of complete candidate paths whose distribution was evaluated.
+    pub evaluated_candidates: usize,
+    /// Number of partial-path expansions performed.
+    pub expansions: usize,
+}
+
+/// DFS-based probabilistic path router over a hybrid graph.
+pub struct DfsRouter<'g, 'n> {
+    graph: &'g HybridGraph<'n>,
+    config: RouterConfig,
+}
+
+impl<'g, 'n> DfsRouter<'g, 'n> {
+    /// Creates a router with the given configuration.
+    pub fn new(graph: &'g HybridGraph<'n>, config: RouterConfig) -> Result<Self, RoutingError> {
+        if config.max_expansions == 0 || config.max_candidates == 0 || config.max_path_edges == 0 {
+            return Err(RoutingError::InvalidConfig(
+                "expansion, candidate and path-length limits must be positive",
+            ));
+        }
+        Ok(DfsRouter { graph, config })
+    }
+
+    /// Finds the path from `source` to `destination` departing at `departure`
+    /// that maximises the probability of arriving within `budget_s` seconds.
+    ///
+    /// Returns `Ok(None)` when no candidate path within the search limits can
+    /// possibly meet the budget.
+    pub fn route(
+        &self,
+        estimator: &dyn CostEstimator,
+        source: VertexId,
+        destination: VertexId,
+        departure: Timestamp,
+        budget_s: f64,
+    ) -> Result<Option<RouteResult>, RoutingError> {
+        if source == destination {
+            return Err(RoutingError::SameSourceAndDestination);
+        }
+        let net = self.graph.network();
+        net.vertex(source)?;
+        net.vertex(destination)?;
+        let lower_bound = free_flow_to_destination(net, destination);
+        if !lower_bound[source.index()].is_finite() {
+            return Err(RoutingError::Unreachable);
+        }
+
+        let mut best: Option<RouteResult> = None;
+        let mut expansions = 0usize;
+        let mut evaluated = 0usize;
+
+        // Depth-first stack of partial paths with their incremental estimates.
+        let mut stack: Vec<(IncrementalEstimate, VertexId)> = Vec::new();
+        // Order initial edges by how promising they are (closest to destination).
+        let mut first_edges: Vec<_> = net.out_edges(source).to_vec();
+        first_edges.sort_by(|a, b| {
+            let da = lower_bound[net.edge(*a).map(|e| e.to.index()).unwrap_or(0)];
+            let db = lower_bound[net.edge(*b).map(|e| e.to.index()).unwrap_or(0)];
+            db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for edge in first_edges {
+            if let Ok(est) = IncrementalEstimate::start(self.graph, edge, departure) {
+                let end = net.edge(edge)?.to;
+                stack.push((est, end));
+            }
+        }
+
+        while let Some((partial, at)) = stack.pop() {
+            expansions += 1;
+            if expansions > self.config.max_expansions || evaluated >= self.config.max_candidates {
+                break;
+            }
+            // Prune: even the fastest completion exceeds the budget.
+            let optimistic = partial.histogram().min() + lower_bound[at.index()];
+            if optimistic > budget_s {
+                continue;
+            }
+            if at == destination {
+                // Complete candidate: evaluate its distribution with the real
+                // estimator and keep the most reliable path.
+                evaluated += 1;
+                let distribution = estimator.estimate(partial.path(), departure)?;
+                let probability = prob_within_budget(&distribution, budget_s);
+                let better = best
+                    .as_ref()
+                    .map(|b| probability > b.probability)
+                    .unwrap_or(true);
+                if better {
+                    best = Some(RouteResult {
+                        path: partial.path().clone(),
+                        probability,
+                        distribution,
+                        evaluated_candidates: evaluated,
+                        expansions,
+                    });
+                }
+                continue;
+            }
+            if partial.path().cardinality() >= self.config.max_path_edges {
+                continue;
+            }
+            // Expand ("path + another edge"), most promising successor last so
+            // it is popped first.
+            let mut successors: Vec<_> = net.out_edges(at).to_vec();
+            successors.sort_by(|a, b| {
+                let da = lower_bound[net.edge(*a).map(|e| e.to.index()).unwrap_or(0)];
+                let db = lower_bound[net.edge(*b).map(|e| e.to.index()).unwrap_or(0)];
+                db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for edge in successors {
+                let Ok(extended) = partial.extend(self.graph, edge) else {
+                    continue; // revisiting a vertex or unknown edge
+                };
+                let end = net.edge(edge)?.to;
+                stack.push((extended, end));
+            }
+        }
+
+        if let Some(result) = &mut best {
+            result.evaluated_candidates = evaluated;
+            result.expansions = expansions;
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcost_core::{HybridConfig, LbEstimator, OdEstimator};
+    use pathcost_roadnet::search::fastest_path;
+    use pathcost_traj::DatasetPreset;
+
+    struct Fixture {
+        net: pathcost_roadnet::RoadNetwork,
+        store: pathcost_traj::TrajectoryStore,
+        cfg: HybridConfig,
+    }
+
+    fn fixture() -> Fixture {
+        let (net, store) = DatasetPreset::tiny(91).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        };
+        Fixture { net, store, cfg }
+    }
+
+    #[test]
+    fn finds_a_feasible_path_with_reasonable_probability() {
+        let f = fixture();
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let router = DfsRouter::new(&graph, RouterConfig::default()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let source = VertexId(0);
+        let destination = VertexId(18);
+        let departure = Timestamp::from_day_hms(0, 8, 0, 0);
+        // A generous budget: three times the free-flow time of the fastest path.
+        let ff = pathcost_roadnet::search::free_flow_time_s(
+            &f.net,
+            &fastest_path(&f.net, source, destination).unwrap(),
+        );
+        let result = router
+            .route(&od, source, destination, departure, ff * 3.0)
+            .unwrap()
+            .expect("a path should be found");
+        assert!(result.probability > 0.5, "probability {}", result.probability);
+        let vs = result.path.vertices(&f.net).unwrap();
+        assert_eq!(*vs.first().unwrap(), source);
+        assert_eq!(*vs.last().unwrap(), destination);
+        assert!(result.evaluated_candidates >= 1);
+        assert!(result.expansions >= result.path.cardinality());
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        let f = fixture();
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let router = DfsRouter::new(&graph, RouterConfig::default()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let result = router
+            .route(
+                &od,
+                VertexId(0),
+                VertexId(24),
+                Timestamp::from_day_hms(0, 8, 0, 0),
+                1.0, // one second: unreachable within budget
+            )
+            .unwrap();
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn error_cases_are_reported() {
+        let f = fixture();
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let router = DfsRouter::new(&graph, RouterConfig::default()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let departure = Timestamp::from_day_hms(0, 9, 0, 0);
+        assert!(matches!(
+            router.route(&od, VertexId(3), VertexId(3), departure, 600.0),
+            Err(RoutingError::SameSourceAndDestination)
+        ));
+        assert!(router
+            .route(&od, VertexId(3), VertexId(40_000), departure, 600.0)
+            .is_err());
+        assert!(DfsRouter::new(&graph, RouterConfig { max_expansions: 0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn od_and_lb_estimators_both_work_and_agree_on_feasibility() {
+        let f = fixture();
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let router = DfsRouter::new(&graph, RouterConfig::default()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let lb = LbEstimator::new(&graph);
+        let source = VertexId(2);
+        let destination = VertexId(22);
+        let departure = Timestamp::from_day_hms(0, 17, 0, 0);
+        let ff = pathcost_roadnet::search::free_flow_time_s(
+            &f.net,
+            &fastest_path(&f.net, source, destination).unwrap(),
+        );
+        let budget = ff * 3.0;
+        let od_result = router.route(&od, source, destination, departure, budget).unwrap();
+        let lb_result = router.route(&lb, source, destination, departure, budget).unwrap();
+        assert!(od_result.is_some());
+        assert!(lb_result.is_some());
+    }
+
+    #[test]
+    fn tight_budget_prefers_reliable_paths() {
+        let f = fixture();
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let router = DfsRouter::new(&graph, RouterConfig::default()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let source = VertexId(0);
+        let destination = VertexId(12);
+        let departure = Timestamp::from_day_hms(0, 8, 0, 0);
+        let ff = pathcost_roadnet::search::free_flow_time_s(
+            &f.net,
+            &fastest_path(&f.net, source, destination).unwrap(),
+        );
+        // A moderately tight budget: the probability should be strictly
+        // between 0 and 1 for at least one of the two budgets.
+        let tight = router
+            .route(&od, source, destination, departure, ff * 1.6)
+            .unwrap();
+        let generous = router
+            .route(&od, source, destination, departure, ff * 4.0)
+            .unwrap()
+            .expect("generous budget must be feasible");
+        if let Some(tight) = tight {
+            assert!(tight.probability <= generous.probability + 1e-9);
+        }
+        assert!(generous.probability > 0.8);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for routing.
+
+use std::fmt;
+
+/// Errors produced by the routing algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutingError {
+    /// Source and destination are identical.
+    SameSourceAndDestination,
+    /// The destination cannot be reached from the source.
+    Unreachable,
+    /// A routing configuration value was invalid.
+    InvalidConfig(&'static str),
+    /// An underlying cost-estimation call failed.
+    Estimation(pathcost_core::CoreError),
+    /// An underlying road-network operation failed.
+    RoadNet(pathcost_roadnet::RoadNetError),
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::SameSourceAndDestination => {
+                write!(f, "source and destination must differ")
+            }
+            RoutingError::Unreachable => write!(f, "destination is unreachable from the source"),
+            RoutingError::InvalidConfig(msg) => write!(f, "invalid router configuration: {msg}"),
+            RoutingError::Estimation(e) => write!(f, "cost estimation failed: {e}"),
+            RoutingError::RoadNet(e) => write!(f, "road network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+impl From<pathcost_core::CoreError> for RoutingError {
+    fn from(value: pathcost_core::CoreError) -> Self {
+        RoutingError::Estimation(value)
+    }
+}
+
+impl From<pathcost_roadnet::RoadNetError> for RoutingError {
+    fn from(value: pathcost_roadnet::RoadNetError) -> Self {
+        RoutingError::RoadNet(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: RoutingError = pathcost_core::CoreError::NoDistribution.into();
+        assert!(matches!(e, RoutingError::Estimation(_)));
+        assert!(e.to_string().contains("estimation"));
+        let e: RoutingError = pathcost_roadnet::RoadNetError::EmptyPath.into();
+        assert!(matches!(e, RoutingError::RoadNet(_)));
+        assert!(RoutingError::Unreachable.to_string().contains("unreachable"));
+    }
+}

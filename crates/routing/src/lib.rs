@@ -1,0 +1,20 @@
+//! # pathcost-routing
+//!
+//! Routing on top of the hybrid-graph cost estimators (§4.3 of Dai et al.,
+//! PVLDB 2016): a deterministic shortest-path substrate, probability-threshold
+//! comparisons of cost distributions, and a DFS-based probabilistic path query
+//! in the style of Hua & Pei [10] that explores candidate paths with the
+//! "path + another edge" pattern and can be parameterised with any
+//! [`pathcost_core::CostEstimator`] (OD, LB, HP, …). Replacing the legacy
+//! estimator with OD accelerates the search and improves the quality of the
+//! selected paths — the effect measured in the paper's Figure 18.
+
+pub mod dfs;
+pub mod dijkstra;
+pub mod error;
+pub mod query;
+
+pub use dfs::{DfsRouter, RouteResult, RouterConfig};
+pub use dijkstra::{free_flow_to_destination, upper_bound_time_to_destination};
+pub use error::RoutingError;
+pub use query::{dominates_stochastically, prob_within_budget, rank_by_probability};

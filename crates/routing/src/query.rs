@@ -1,0 +1,113 @@
+//! Probability-threshold comparisons of cost distributions.
+//!
+//! The motivating question of the paper's Figure 1(a) — "which path has the
+//! higher probability of arriving within 60 minutes?" — and the pruning rules
+//! of stochastic routing algorithms both reduce to comparing cost
+//! distributions, either at a single budget or across all budgets
+//! (first-order stochastic dominance).
+
+use pathcost_hist::Histogram1D;
+
+/// The probability of completing a path within `budget_s` seconds, given its
+/// cost distribution.
+pub fn prob_within_budget(distribution: &Histogram1D, budget_s: f64) -> f64 {
+    distribution.prob_leq(budget_s)
+}
+
+/// `true` when distribution `a` first-order stochastically dominates `b`:
+/// for every budget, the probability of arriving within the budget under `a`
+/// is at least that under `b` (and strictly greater for some budget).
+pub fn dominates_stochastically(a: &Histogram1D, b: &Histogram1D) -> bool {
+    // Evaluate the CDFs on the union of bucket boundaries.
+    let mut cuts: Vec<f64> = a
+        .buckets()
+        .iter()
+        .chain(b.buckets().iter())
+        .flat_map(|bk| [bk.lo, bk.hi])
+        .collect();
+    cuts.sort_by(|x, y| x.partial_cmp(y).expect("finite bounds"));
+    cuts.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
+    let mut strictly_better = false;
+    for &c in &cuts {
+        let pa = a.prob_leq(c);
+        let pb = b.prob_leq(c);
+        if pa + 1e-12 < pb {
+            return false;
+        }
+        if pa > pb + 1e-12 {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Ranks candidate `(label, distribution)` pairs by decreasing probability of
+/// arriving within `budget_s`.
+pub fn rank_by_probability<L: Clone>(
+    candidates: &[(L, Histogram1D)],
+    budget_s: f64,
+) -> Vec<(L, f64)> {
+    let mut ranked: Vec<(L, f64)> = candidates
+        .iter()
+        .map(|(label, dist)| (label.clone(), prob_within_budget(dist, budget_s)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probabilities"));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcost_hist::Bucket;
+
+    fn hist(entries: &[(f64, f64, f64)]) -> Histogram1D {
+        Histogram1D::from_entries(
+            entries
+                .iter()
+                .map(|&(lo, hi, p)| (Bucket::new(lo, hi).unwrap(), p))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_scenario_prefers_the_reliable_path() {
+        // P1: tight distribution entirely below 60 min; P2: better mean but a
+        // 10% chance of exceeding 60 min (the paper's motivating example).
+        let p1 = hist(&[(48.0, 56.0, 0.6), (56.0, 60.0, 0.4)]);
+        let p2 = hist(&[(40.0, 50.0, 0.7), (50.0, 58.0, 0.2), (62.0, 80.0, 0.1)]);
+        assert!(p2.mean() < p1.mean(), "P2 must have the better mean");
+        let q1 = prob_within_budget(&p1, 60.0);
+        let q2 = prob_within_budget(&p2, 60.0);
+        assert!((q1 - 1.0).abs() < 1e-9);
+        assert!((q2 - 0.9).abs() < 1e-9);
+        let ranked = rank_by_probability(&[("P1", p1), ("P2", p2)], 60.0);
+        assert_eq!(ranked[0].0, "P1");
+    }
+
+    #[test]
+    fn stochastic_dominance_detects_clear_winners_and_crossovers() {
+        let fast = hist(&[(10.0, 20.0, 1.0)]);
+        let slow = hist(&[(30.0, 40.0, 1.0)]);
+        assert!(dominates_stochastically(&fast, &slow));
+        assert!(!dominates_stochastically(&slow, &fast));
+        // A distribution does not dominate itself (no strict improvement).
+        assert!(!dominates_stochastically(&fast, &fast));
+        // Crossing CDFs: neither dominates.
+        let risky = hist(&[(5.0, 10.0, 0.5), (50.0, 60.0, 0.5)]);
+        let steady = hist(&[(20.0, 30.0, 1.0)]);
+        assert!(!dominates_stochastically(&risky, &steady));
+        assert!(!dominates_stochastically(&steady, &risky));
+    }
+
+    #[test]
+    fn ranking_orders_by_probability() {
+        let a = hist(&[(10.0, 30.0, 1.0)]);
+        let b = hist(&[(20.0, 60.0, 1.0)]);
+        let c = hist(&[(50.0, 90.0, 1.0)]);
+        let ranked = rank_by_probability(&[("a", a), ("b", b), ("c", c)], 40.0);
+        assert_eq!(ranked[0].0, "a");
+        assert_eq!(ranked[2].0, "c");
+        assert!(ranked[0].1 >= ranked[1].1 && ranked[1].1 >= ranked[2].1);
+    }
+}

@@ -1,0 +1,28 @@
+//! # pathcost-traj
+//!
+//! Trajectory substrate for the hybrid-graph path cost estimation system
+//! (Dai et al., PVLDB 2016): GPS trajectories, a traffic simulator that stands
+//! in for the paper's Aalborg and Beijing GPS collections, HMM map matching,
+//! per-traversal cost extraction (travel time, GHG emissions) and the
+//! trajectory store that answers the "qualified trajectories on path `P`
+//! around time `t`" queries the hybrid graph is built from.
+
+pub mod costs;
+pub mod error;
+pub mod gps;
+pub mod mapmatch;
+pub mod presets;
+pub mod profile;
+pub mod simulator;
+pub mod store;
+pub mod time;
+
+pub use costs::{emission_grams, CostKind};
+pub use error::TrajError;
+pub use gps::{GpsRecord, Trajectory};
+pub use mapmatch::{HmmMapMatcher, MapMatchConfig};
+pub use presets::DatasetPreset;
+pub use profile::CongestionProfile;
+pub use simulator::{MatchedTrajectory, SimulationConfig, SimulationOutput, TrafficSimulator};
+pub use store::{Occurrence, TrajectoryStore};
+pub use time::{TimeInterval, TimeOfDay, Timestamp, SECONDS_PER_DAY};

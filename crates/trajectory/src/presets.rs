@@ -1,0 +1,140 @@
+//! Dataset presets.
+//!
+//! The paper evaluates on two city-scale datasets:
+//!
+//! * **D1 (Aalborg)** — 37 M GPS records at 1 Hz on a full-road-class network,
+//! * **D2 (Beijing)** — > 50 B GPS records at ≥ 0.2 Hz on a highways/main-roads
+//!   network.
+//!
+//! These presets are the laptop-scale stand-ins: the same *relative*
+//! characteristics (D2 has the larger network with only major roads, a coarser
+//! sampling rate, and more trips per edge) at sizes that instantiate and query
+//! in seconds. Every experiment binary takes a preset so the two "cities" can
+//! be compared the way the paper's figures do.
+
+use crate::simulator::{SimulationConfig, SimulationOutput, TrafficSimulator};
+use crate::store::TrajectoryStore;
+use crate::TrajError;
+use pathcost_roadnet::{GeneratorConfig, RoadNetwork};
+use serde::{Deserialize, Serialize};
+
+/// A named dataset preset: a synthetic network plus a simulation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetPreset {
+    /// Short name used in experiment output ("D1", "D2", …).
+    pub name: String,
+    /// The synthetic network family and size.
+    pub network: GeneratorConfig,
+    /// The simulation configuration.
+    pub simulation: SimulationConfig,
+}
+
+impl DatasetPreset {
+    /// The Aalborg-like dataset D1: grid network with all road classes,
+    /// 1 Hz sampling.
+    pub fn aalborg_like(seed: u64) -> Self {
+        DatasetPreset {
+            name: "D1".to_string(),
+            network: GeneratorConfig::aalborg_like(seed),
+            simulation: SimulationConfig {
+                trips: 3_000,
+                days: 60,
+                sampling_interval_s: 1.0,
+                gps_noise_m: 4.0,
+                seed: seed ^ 0xA41B_06F1,
+                hotspot_pairs: 20,
+                hotspot_fraction: 0.75,
+                ..SimulationConfig::default()
+            },
+        }
+    }
+
+    /// The Beijing-like dataset D2: ring-and-radial network with only major
+    /// roads, coarser 5-second sampling, more trips.
+    pub fn beijing_like(seed: u64) -> Self {
+        DatasetPreset {
+            name: "D2".to_string(),
+            network: GeneratorConfig::beijing_like(seed),
+            simulation: SimulationConfig {
+                trips: 6_000,
+                days: 90,
+                sampling_interval_s: 5.0,
+                gps_noise_m: 6.0,
+                seed: seed ^ 0xBE11_1234,
+                hotspot_pairs: 24,
+                hotspot_fraction: 0.8,
+                ..SimulationConfig::default()
+            },
+        }
+    }
+
+    /// A deliberately tiny preset for unit and integration tests.
+    pub fn tiny(seed: u64) -> Self {
+        DatasetPreset {
+            name: "tiny".to_string(),
+            network: GeneratorConfig::tiny(seed),
+            simulation: SimulationConfig {
+                trips: 200,
+                days: 10,
+                hotspot_pairs: 4,
+                hotspot_fraction: 0.9,
+                seed: seed ^ 0x7157,
+                ..SimulationConfig::default()
+            },
+        }
+    }
+
+    /// Scales the number of trips by `factor` (used by dataset-size sweeps).
+    pub fn with_trip_factor(mut self, factor: f64) -> Self {
+        self.simulation.trips = ((self.simulation.trips as f64) * factor).max(1.0) as usize;
+        self
+    }
+
+    /// Generates the road network of this preset.
+    pub fn build_network(&self) -> RoadNetwork {
+        self.network.generate()
+    }
+
+    /// Runs the simulation for this preset on the given network.
+    pub fn simulate(&self, net: &RoadNetwork) -> Result<SimulationOutput, TrajError> {
+        TrafficSimulator::new(net, self.simulation.clone())?.run()
+    }
+
+    /// Convenience: network + simulation + ground-truth-backed trajectory store.
+    pub fn materialise(&self) -> Result<(RoadNetwork, TrajectoryStore), TrajError> {
+        let net = self.build_network();
+        let out = self.simulate(&net)?;
+        let store = TrajectoryStore::from_ground_truth(&out);
+        Ok((net, store))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_the_documented_ways() {
+        let d1 = DatasetPreset::aalborg_like(1);
+        let d2 = DatasetPreset::beijing_like(1);
+        assert_eq!(d1.name, "D1");
+        assert_eq!(d2.name, "D2");
+        assert!(d2.simulation.trips > d1.simulation.trips);
+        assert!(d2.simulation.sampling_interval_s > d1.simulation.sampling_interval_s);
+    }
+
+    #[test]
+    fn tiny_preset_materialises_quickly() {
+        let (net, store) = DatasetPreset::tiny(3).materialise().unwrap();
+        assert!(net.vertex_count() > 0);
+        assert_eq!(store.len(), 200);
+    }
+
+    #[test]
+    fn trip_factor_scales_trip_count() {
+        let p = DatasetPreset::tiny(1).with_trip_factor(0.5);
+        assert_eq!(p.simulation.trips, 100);
+        let p2 = DatasetPreset::tiny(1).with_trip_factor(2.0);
+        assert_eq!(p2.simulation.trips, 400);
+    }
+}

@@ -1,0 +1,128 @@
+//! Time-of-day congestion profiles.
+//!
+//! Travel costs in the paper are *time-varying*: the same path has different
+//! cost distributions at 8:00 and at 15:00. The simulator reproduces that by
+//! scaling each edge's attainable speed with a time-of-day congestion factor
+//! that exhibits a morning and an evening peak, with peak depth depending on
+//! the road category (arterials and motorways congest more than residential
+//! streets).
+
+use crate::time::TimeOfDay;
+use pathcost_roadnet::RoadCategory;
+use serde::{Deserialize, Serialize};
+
+/// A deterministic time-of-day congestion profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CongestionProfile {
+    /// Centre of the morning peak, seconds since midnight.
+    pub morning_peak_s: f64,
+    /// Centre of the evening peak, seconds since midnight.
+    pub evening_peak_s: f64,
+    /// Width (standard deviation) of each peak in seconds.
+    pub peak_width_s: f64,
+    /// Maximum fractional speed reduction at the peak for the most affected
+    /// road category (e.g. 0.55 means speeds drop to 45% of free flow).
+    pub max_reduction: f64,
+}
+
+impl Default for CongestionProfile {
+    fn default() -> Self {
+        CongestionProfile {
+            morning_peak_s: 8.0 * 3600.0,
+            evening_peak_s: 17.0 * 3600.0,
+            peak_width_s: 5_400.0,
+            max_reduction: 0.55,
+        }
+    }
+}
+
+impl CongestionProfile {
+    /// How strongly a road category is affected by congestion (1.0 = fully).
+    fn category_sensitivity(category: RoadCategory) -> f64 {
+        match category {
+            RoadCategory::Motorway => 0.9,
+            RoadCategory::Arterial => 1.0,
+            RoadCategory::Collector => 0.7,
+            RoadCategory::Residential => 0.4,
+        }
+    }
+
+    /// The speed factor (multiplier on the free-flow speed, in `(0, 1]`) for a
+    /// road of `category` at time of day `tod`.
+    pub fn speed_factor(&self, category: RoadCategory, tod: TimeOfDay) -> f64 {
+        let t = tod.seconds();
+        let peak = |centre: f64| {
+            let z = (t - centre) / self.peak_width_s;
+            (-0.5 * z * z).exp()
+        };
+        let congestion = peak(self.morning_peak_s).max(peak(self.evening_peak_s));
+        let reduction = self.max_reduction * Self::category_sensitivity(category) * congestion;
+        (1.0 - reduction).clamp(0.05, 1.0)
+    }
+
+    /// The expected traversal time (seconds) of an edge with the given length
+    /// and speed limit at `tod`, before stochastic effects.
+    pub fn expected_time_s(
+        &self,
+        length_m: f64,
+        speed_limit_kmh: f64,
+        category: RoadCategory,
+        tod: TimeOfDay,
+    ) -> f64 {
+        let speed_mps = speed_limit_kmh / 3.6 * self.speed_factor(category, tod);
+        length_m / speed_mps.max(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_hours_are_slower_than_night() {
+        let p = CongestionProfile::default();
+        let peak = p.speed_factor(RoadCategory::Arterial, TimeOfDay::from_hms(8, 0, 0));
+        let night = p.speed_factor(RoadCategory::Arterial, TimeOfDay::from_hms(3, 0, 0));
+        assert!(peak < night);
+        assert!(night > 0.95, "night should be near free flow: {night}");
+        assert!(peak < 0.6, "morning peak should congest arterials: {peak}");
+    }
+
+    #[test]
+    fn evening_peak_also_congests() {
+        let p = CongestionProfile::default();
+        let evening = p.speed_factor(RoadCategory::Motorway, TimeOfDay::from_hms(17, 0, 0));
+        let midday = p.speed_factor(RoadCategory::Motorway, TimeOfDay::from_hms(12, 30, 0));
+        assert!(evening < midday);
+    }
+
+    #[test]
+    fn residential_roads_are_less_affected() {
+        let p = CongestionProfile::default();
+        let tod = TimeOfDay::from_hms(8, 0, 0);
+        let arterial = p.speed_factor(RoadCategory::Arterial, tod);
+        let residential = p.speed_factor(RoadCategory::Residential, tod);
+        assert!(residential > arterial);
+    }
+
+    #[test]
+    fn factors_stay_in_unit_interval() {
+        let p = CongestionProfile::default();
+        for hour in 0..24 {
+            for cat in RoadCategory::all() {
+                let f = p.speed_factor(cat, TimeOfDay::from_hms(hour, 0, 0));
+                assert!(f > 0.0 && f <= 1.0, "factor {f} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn expected_time_grows_with_congestion() {
+        let p = CongestionProfile::default();
+        let free = p.expected_time_s(1000.0, 50.0, RoadCategory::Arterial, TimeOfDay::from_hms(3, 0, 0));
+        let peak = p.expected_time_s(1000.0, 50.0, RoadCategory::Arterial, TimeOfDay::from_hms(8, 0, 0));
+        assert!(peak > free);
+        // Free-flow time of 1 km at 50 km/h is 72 s.
+        assert!((free - 72.0).abs() < 5.0, "free flow time {free}");
+    }
+}

@@ -1,0 +1,342 @@
+//! The trajectory store.
+//!
+//! The hybrid graph is instantiated from queries of the form "give me the
+//! trajectories that *occurred on* path `P` during interval `I`" (§2.1/§3).
+//! A trajectory occurred on `P` at `t` iff `P` is a sub-path of the
+//! trajectory's path and the entry time into the first edge of `P` is `t`.
+//! [`TrajectoryStore`] indexes map-matched trajectories by edge so these
+//! queries (and the sparseness / frequent-path analyses of the evaluation)
+//! are efficient.
+
+use crate::costs::{per_edge_costs, total_cost, CostKind};
+use crate::simulator::{MatchedTrajectory, SimulationOutput};
+use crate::time::{TimeInterval, Timestamp};
+use pathcost_roadnet::{EdgeId, Path, RoadNetwork};
+use std::collections::{HashMap, HashSet};
+
+/// One occurrence of a query path inside a stored trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occurrence {
+    /// Index of the trajectory in the store.
+    pub traj_index: usize,
+    /// Edge offset at which the query path starts inside the trajectory's path.
+    pub offset: usize,
+    /// Entry time into the first edge of the query path.
+    pub entry_time: Timestamp,
+}
+
+/// An indexed collection of map-matched trajectories.
+#[derive(Debug, Clone)]
+pub struct TrajectoryStore {
+    matched: Vec<MatchedTrajectory>,
+    /// For every edge, the `(trajectory index, position)` pairs where it occurs.
+    edge_index: HashMap<EdgeId, Vec<(u32, u32)>>,
+}
+
+impl TrajectoryStore {
+    /// Builds a store from map-matched trajectories.
+    pub fn new(matched: Vec<MatchedTrajectory>) -> Self {
+        let mut edge_index: HashMap<EdgeId, Vec<(u32, u32)>> = HashMap::new();
+        for (ti, m) in matched.iter().enumerate() {
+            for (pos, &e) in m.path.edges().iter().enumerate() {
+                edge_index
+                    .entry(e)
+                    .or_default()
+                    .push((ti as u32, pos as u32));
+            }
+        }
+        TrajectoryStore {
+            matched,
+            edge_index,
+        }
+    }
+
+    /// Builds a store directly from a simulation's ground-truth alignments
+    /// (bypassing map matching).
+    pub fn from_ground_truth(output: &SimulationOutput) -> Self {
+        TrajectoryStore::new(output.ground_truth.clone())
+    }
+
+    /// Number of stored trajectories.
+    pub fn len(&self) -> usize {
+        self.matched.len()
+    }
+
+    /// `true` when the store holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.matched.is_empty()
+    }
+
+    /// The stored trajectories.
+    pub fn matched(&self) -> &[MatchedTrajectory] {
+        &self.matched
+    }
+
+    /// The trajectory at `index`.
+    pub fn get(&self, index: usize) -> Option<&MatchedTrajectory> {
+        self.matched.get(index)
+    }
+
+    /// A store containing only the first `fraction` (0–1] of the trajectories,
+    /// used by the dataset-size experiments (Figures 10, 12, 17).
+    pub fn subset(&self, fraction: f64) -> TrajectoryStore {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let keep = ((self.matched.len() as f64) * fraction).round() as usize;
+        TrajectoryStore::new(self.matched[..keep.min(self.matched.len())].to_vec())
+    }
+
+    /// All occurrences of `path` in the store (any time of day).
+    pub fn occurrences_on(&self, path: &Path) -> Vec<Occurrence> {
+        let k = path.cardinality();
+        let Some(first_positions) = self.edge_index.get(&path.first_edge()) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for &(ti, pos) in first_positions {
+            let m = &self.matched[ti as usize];
+            let pos = pos as usize;
+            if pos + k > m.path.cardinality() {
+                continue;
+            }
+            if &m.path.edges()[pos..pos + k] == path.edges() {
+                out.push(Occurrence {
+                    traj_index: ti as usize,
+                    offset: pos,
+                    entry_time: m.entry_times[pos],
+                });
+            }
+        }
+        out
+    }
+
+    /// The occurrences of `path` whose entry time of day falls inside `interval`
+    /// — the paper's *qualified trajectories* for that path and interval.
+    pub fn qualified(&self, path: &Path, interval: &TimeInterval) -> Vec<Occurrence> {
+        self.occurrences_on(path)
+            .into_iter()
+            .filter(|o| interval.contains(o.entry_time.time_of_day()))
+            .collect()
+    }
+
+    /// The total cost of each qualified trajectory on `path` during `interval`.
+    pub fn qualified_total_costs(
+        &self,
+        net: &RoadNetwork,
+        path: &Path,
+        interval: &TimeInterval,
+        kind: CostKind,
+    ) -> Vec<f64> {
+        self.qualified(path, interval)
+            .iter()
+            .filter_map(|o| total_cost(&self.matched[o.traj_index], net, path, o.offset, kind))
+            .collect()
+    }
+
+    /// The per-edge cost vector of each qualified trajectory on `path` during
+    /// `interval` (one row per qualified trajectory, one column per edge).
+    pub fn qualified_per_edge_costs(
+        &self,
+        net: &RoadNetwork,
+        path: &Path,
+        interval: &TimeInterval,
+        kind: CostKind,
+    ) -> Vec<Vec<f64>> {
+        self.qualified(path, interval)
+            .iter()
+            .filter_map(|o| per_edge_costs(&self.matched[o.traj_index], net, path, o.offset, kind))
+            .collect()
+    }
+
+    /// The set of edges traversed by at least one stored trajectory
+    /// (the paper's `E''`: edges with at least one GPS record).
+    pub fn covered_edges(&self) -> HashSet<EdgeId> {
+        self.edge_index
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&e, _)| e)
+            .collect()
+    }
+
+    /// For each cardinality `k = 1..=max_k`, the maximum number of
+    /// trajectories that occurred on any single path of that cardinality
+    /// (no time constraint) — the quantity plotted in Figure 3.
+    pub fn max_occurrences_by_cardinality(&self, max_k: usize) -> Vec<usize> {
+        (1..=max_k)
+            .map(|k| {
+                let mut counts: HashMap<&[EdgeId], usize> = HashMap::new();
+                for m in &self.matched {
+                    let edges = m.path.edges();
+                    if edges.len() < k {
+                        continue;
+                    }
+                    for w in edges.windows(k) {
+                        *counts.entry(w).or_insert(0) += 1;
+                    }
+                }
+                counts.values().copied().max().unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Paths of the given cardinality with at least `min_count` occurrences,
+    /// optionally restricted to occurrences entering during `interval`.
+    /// Returns `(path, occurrence count)` pairs sorted by decreasing count.
+    pub fn frequent_paths(
+        &self,
+        cardinality: usize,
+        min_count: usize,
+        interval: Option<&TimeInterval>,
+    ) -> Vec<(Path, usize)> {
+        let mut counts: HashMap<Vec<EdgeId>, usize> = HashMap::new();
+        for m in &self.matched {
+            let edges = m.path.edges();
+            if edges.len() < cardinality {
+                continue;
+            }
+            for (start, w) in edges.windows(cardinality).enumerate() {
+                if let Some(iv) = interval {
+                    if !iv.contains(m.entry_times[start].time_of_day()) {
+                        continue;
+                    }
+                }
+                *counts.entry(w.to_vec()).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(Path, usize)> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count)
+            .map(|(edges, c)| (Path::from_edges_unchecked(edges), c))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Merges another store's trajectories into this one.
+    pub fn merge(&mut self, other: TrajectoryStore) {
+        let mut combined = std::mem::take(&mut self.matched);
+        combined.extend(other.matched);
+        *self = TrajectoryStore::new(combined);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{SimulationConfig, TrafficSimulator};
+    use crate::time::TimeInterval;
+    use pathcost_roadnet::GeneratorConfig;
+
+    fn store_and_net() -> (pathcost_roadnet::RoadNetwork, TrajectoryStore) {
+        let net = GeneratorConfig::tiny(12).generate();
+        let sim = TrafficSimulator::new(
+            &net,
+            SimulationConfig {
+                trips: 150,
+                days: 10,
+                hotspot_pairs: 4,
+                hotspot_fraction: 0.9,
+                ..SimulationConfig::default()
+            },
+        )
+        .unwrap();
+        let out = sim.run().unwrap();
+        (net, TrajectoryStore::from_ground_truth(&out))
+    }
+
+    #[test]
+    fn occurrences_on_full_and_sub_paths() {
+        let (_, store) = store_and_net();
+        let m0 = store.get(0).unwrap().clone();
+        let occs = store.occurrences_on(&m0.path);
+        assert!(!occs.is_empty());
+        assert!(occs.iter().any(|o| o.traj_index == 0 && o.offset == 0));
+        // A sub-path in the middle occurs at the right offset.
+        if m0.path.cardinality() >= 3 {
+            let sub = m0.path.slice(1, 2).unwrap();
+            let sub_occs = store.occurrences_on(&sub);
+            assert!(sub_occs.iter().any(|o| o.traj_index == 0 && o.offset == 1));
+            // Every reported occurrence really matches.
+            for o in &sub_occs {
+                let m = store.get(o.traj_index).unwrap();
+                assert_eq!(&m.path.edges()[o.offset..o.offset + 2], sub.edges());
+            }
+        }
+    }
+
+    #[test]
+    fn qualified_filters_by_time_of_day() {
+        let (_, store) = store_and_net();
+        let m0 = store.get(0).unwrap().clone();
+        let all = store.occurrences_on(&m0.path);
+        let whole_day = TimeInterval::new(0.0, 86_400.0);
+        assert_eq!(store.qualified(&m0.path, &whole_day).len(), all.len());
+        let empty_window = TimeInterval::new(0.0, 1.0);
+        assert!(store.qualified(&m0.path, &empty_window).len() <= all.len());
+    }
+
+    #[test]
+    fn qualified_costs_have_consistent_shapes() {
+        let (net, store) = store_and_net();
+        let m0 = store.get(0).unwrap().clone();
+        let whole_day = TimeInterval::new(0.0, 86_400.0);
+        let totals = store.qualified_total_costs(&net, &m0.path, &whole_day, CostKind::TravelTime);
+        let rows = store.qualified_per_edge_costs(&net, &m0.path, &whole_day, CostKind::TravelTime);
+        assert_eq!(totals.len(), rows.len());
+        for (t, row) in totals.iter().zip(&rows) {
+            assert_eq!(row.len(), m0.path.cardinality());
+            assert!((t - row.iter().sum::<f64>()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparseness_curve_is_non_increasing() {
+        let (_, store) = store_and_net();
+        let curve = store.max_occurrences_by_cardinality(12);
+        assert_eq!(curve.len(), 12);
+        assert!(curve[0] > 0);
+        for w in curve.windows(2) {
+            assert!(
+                w[1] <= w[0],
+                "longer paths cannot have more exact occurrences: {curve:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn frequent_paths_respect_min_count_and_ordering() {
+        let (_, store) = store_and_net();
+        let frequent = store.frequent_paths(2, 3, None);
+        for (path, count) in &frequent {
+            assert_eq!(path.cardinality(), 2);
+            assert!(*count >= 3);
+            assert_eq!(store.occurrences_on(path).len(), *count);
+        }
+        for w in frequent.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn subset_and_merge_roundtrip() {
+        let (_, store) = store_and_net();
+        let half = store.subset(0.5);
+        assert!(half.len() <= store.len());
+        assert!(half.len() >= store.len() / 2 - 1);
+        let mut other = store.subset(0.25);
+        let before = other.len();
+        other.merge(store.subset(0.25));
+        assert_eq!(other.len(), before * 2);
+        assert!(store.subset(0.0).is_empty());
+    }
+
+    #[test]
+    fn covered_edges_subset_of_network_edges() {
+        let (net, store) = store_and_net();
+        let covered = store.covered_edges();
+        assert!(!covered.is_empty());
+        assert!(covered.len() <= net.edge_count());
+        for e in covered {
+            assert!(net.contains_edge(e));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Data-sparseness analysis (Figure 3): even large trajectory collections
+//! cannot cover long paths with enough traversals, which is why the hybrid
+//! graph derives long-path distributions from the joint distributions of
+//! well-covered sub-paths.
+//!
+//! ```text
+//! cargo run --release --example sparseness_report
+//! ```
+
+use pathcost::core::{HybridConfig, HybridGraph};
+use pathcost::traj::{DatasetPreset, TrajectoryStore};
+
+fn main() {
+    for preset in [DatasetPreset::tiny(3), {
+        let mut p = DatasetPreset::aalborg_like(3);
+        p.network.rows = 14;
+        p.network.cols = 14;
+        p.simulation.trips = 1_500;
+        p
+    }] {
+        let net = preset.build_network();
+        let output = preset.simulate(&net).expect("simulation succeeds");
+        let store = TrajectoryStore::from_ground_truth(&output);
+        println!(
+            "dataset {} — {} trajectories on {} edges",
+            preset.name,
+            store.len(),
+            net.edge_count()
+        );
+        println!("  |P|   max #trajectories on any path of that cardinality");
+        for (k, max) in store.max_occurrences_by_cardinality(15).iter().enumerate() {
+            let bar = "#".repeat(((*max as f64).ln().max(0.0) * 4.0) as usize);
+            println!("  {:>3}   {:>6}  {}", k + 1, max, bar);
+        }
+
+        // How the hybrid graph reacts: number of instantiated variables by rank.
+        let graph = HybridGraph::build(
+            &net,
+            &store,
+            HybridConfig {
+                beta: 15,
+                ..HybridConfig::default()
+            },
+        )
+        .expect("instantiation succeeds");
+        println!(
+            "  instantiated variables by rank: {:?} (coverage {:.0}%)\n",
+            graph.stats().count_by_rank,
+            graph.stats().coverage() * 100.0
+        );
+    }
+}

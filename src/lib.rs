@@ -1,0 +1,24 @@
+//! # pathcost
+//!
+//! Facade crate re-exporting the whole hybrid-graph path cost distribution
+//! estimation system (Dai, Yang, Guo, Jensen, Hu — *Path Cost Distribution
+//! Estimation Using Trajectory Data*, PVLDB 10(3), 2016).
+//!
+//! The individual crates are:
+//!
+//! * [`roadnet`] — road-network graph, path algebra, synthetic generators,
+//! * [`traj`] — GPS trajectories, traffic simulation, map matching, storage,
+//! * [`hist`] — histograms (1-D, N-D), V-Optimal, Auto bucket selection,
+//!   KL divergence, entropy, convolution,
+//! * [`core`] — the hybrid graph itself: path weight function, coarsest
+//!   decomposition, joint and marginal cost-distribution estimation, baselines,
+//! * [`routing`] — deterministic and stochastic routing on top of the
+//!   estimators.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walk-through.
+
+pub use pathcost_core as core;
+pub use pathcost_hist as hist;
+pub use pathcost_roadnet as roadnet;
+pub use pathcost_routing as routing;
+pub use pathcost_traj as traj;

@@ -1,0 +1,152 @@
+//! Property-based tests over the core invariants of the distribution and
+//! path machinery, using the public API of the facade crate.
+
+use pathcost::hist::auto::{auto_histogram, AutoConfig};
+use pathcost::hist::convolution::convolve;
+use pathcost::hist::divergence::{kl_divergence_histograms, kl_divergence};
+use pathcost::hist::{Bucket, Histogram1D, HistogramNd, RawDistribution};
+use pathcost::roadnet::{GeneratorConfig, Path};
+use proptest::prelude::*;
+
+fn arbitrary_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(10.0f64..500.0, 5..120)
+}
+
+fn arbitrary_entries() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+    // (start, width, mass) triples converted into possibly-overlapping buckets.
+    prop::collection::vec((0.0f64..400.0, 1.0f64..80.0, 0.01f64..1.0), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn raw_distribution_probabilities_sum_to_one(samples in arbitrary_samples()) {
+        let raw = RawDistribution::from_samples(&samples, 1.0).unwrap();
+        let total: f64 = raw.probs().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(raw.min() <= raw.max());
+        prop_assert!(raw.mean() >= raw.min() && raw.mean() <= raw.max());
+    }
+
+    #[test]
+    fn auto_histogram_is_normalised_and_bounded_by_the_samples(samples in arbitrary_samples()) {
+        let hist = auto_histogram(&samples, &AutoConfig::default()).unwrap();
+        let total: f64 = hist.probs().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // The Auto pipeline may coarsen the working resolution to bound the
+        // V-Optimal DP, so allow one resolution step of slack at each end.
+        let slack = ((hi - lo) / 100.0).max(1.0);
+        prop_assert!(hist.min() >= lo - slack);
+        prop_assert!(hist.max() <= hi + (hi - lo).max(1.0) + slack);
+        prop_assert!(hist.bucket_count() <= AutoConfig::default().max_buckets);
+    }
+
+    #[test]
+    fn overlapping_rearrangement_conserves_mass_and_mean(entries in arbitrary_entries()) {
+        let overlapping: Vec<(Bucket, f64)> = entries
+            .iter()
+            .map(|&(lo, width, mass)| (Bucket::new(lo, lo + width).unwrap(), mass))
+            .collect();
+        let total_mass: f64 = overlapping.iter().map(|(_, m)| *m).sum();
+        let expected_mean: f64 = overlapping
+            .iter()
+            .map(|(b, m)| b.midpoint() * m)
+            .sum::<f64>()
+            / total_mass;
+        let hist = Histogram1D::from_overlapping(&overlapping).unwrap();
+        prop_assert!((hist.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!((hist.mean() - expected_mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn convolution_mean_is_additive_and_support_is_minkowski(
+        a in arbitrary_samples(),
+        b in arbitrary_samples(),
+    ) {
+        let ha = auto_histogram(&a, &AutoConfig::default()).unwrap();
+        let hb = auto_histogram(&b, &AutoConfig::default()).unwrap();
+        let conv = convolve(&ha, &hb).unwrap();
+        prop_assert!((conv.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!((conv.mean() - (ha.mean() + hb.mean())).abs() < 1e-6);
+        prop_assert!(conv.min() >= ha.min() + hb.min() - 1e-9);
+        prop_assert!(conv.max() <= ha.max() + hb.max() + 1e-9);
+    }
+
+    #[test]
+    fn kl_divergence_is_non_negative_and_zero_on_self(samples in arbitrary_samples()) {
+        let hist = auto_histogram(&samples, &AutoConfig::default()).unwrap();
+        // Self-divergence is zero up to the smoothing mass added to the
+        // approximating distribution.
+        prop_assert!(kl_divergence_histograms(&hist, &hist) < 1e-6);
+        let uniform = Histogram1D::uniform(hist.min(), hist.max() + 1.0).unwrap();
+        prop_assert!(kl_divergence_histograms(&hist, &uniform) >= 0.0);
+        prop_assert!(kl_divergence(&[0.3, 0.7], &[0.7, 0.3]) >= 0.0);
+    }
+
+    #[test]
+    fn joint_histogram_marginalisation_conserves_mass(
+        pairs in prop::collection::vec((20.0f64..200.0, 20.0f64..200.0), 20..150)
+    ) {
+        let samples: Vec<Vec<f64>> = pairs.iter().map(|&(a, b)| vec![a, b]).collect();
+        let nd = HistogramNd::from_samples(&samples, &AutoConfig::default()).unwrap();
+        let total: f64 = nd.cells().iter().map(|(_, p)| *p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let cost = nd.to_cost_histogram().unwrap();
+        prop_assert!((cost.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The cost support is inside the sum of the per-dimension supports.
+        prop_assert!(cost.min() >= nd.min_total() - 1e-9);
+        prop_assert!(cost.max() <= nd.max_total() + 1e-9);
+        // Marginal means add up to the joint's total mean (linearity).
+        let m0 = nd.marginal_1d(0).unwrap().mean();
+        let m1 = nd.marginal_1d(1).unwrap().mean();
+        prop_assert!((cost.mean() - (m0 + m1)).abs() / (m0 + m1) < 0.05);
+    }
+
+    #[test]
+    fn path_algebra_laws_hold_on_grid_paths(seed in 0u64..500, len in 2usize..8) {
+        let net = GeneratorConfig::tiny(seed % 7).generate();
+        // Build a simple path by walking successors deterministically.
+        let mut edges = vec![net.edges()[(seed as usize) % net.edge_count()].id];
+        let mut visited = vec![net.edge(edges[0]).unwrap().from, net.edge(edges[0]).unwrap().to];
+        while edges.len() < len {
+            let last = *edges.last().unwrap();
+            let next = net
+                .successors(last)
+                .iter()
+                .copied()
+                .find(|&e| !visited.contains(&net.edge(e).unwrap().to));
+            match next {
+                Some(e) => {
+                    visited.push(net.edge(e).unwrap().to);
+                    edges.push(e);
+                }
+                None => break,
+            }
+        }
+        prop_assume!(edges.len() >= 2);
+        let path = Path::new(&net, edges).unwrap();
+        // Reflexivity of the sub-path relation.
+        prop_assert!(path.is_subpath_of(&path));
+        // Every window is a sub-path and is found at the right offset.
+        for sub_len in 1..=path.cardinality() {
+            for (offset, sub) in path.subpaths_of_length(sub_len).into_iter().enumerate() {
+                prop_assert!(sub.is_subpath_of(&path));
+                prop_assert!(path.subpath_offset(&sub).is_some());
+                let _ = offset;
+            }
+        }
+        // Intersection with itself is itself; difference with itself is empty.
+        prop_assert_eq!(path.intersect(&path), Some(path.clone()));
+        prop_assert_eq!(path.subtract(&path), None);
+        // Prefix + suffix reconstruct the path.
+        if path.cardinality() >= 2 {
+            let prefix = path.prefix(1).unwrap();
+            let suffix = path.suffix(1).unwrap();
+            let rebuilt = prefix.concat(&suffix, &net).unwrap();
+            prop_assert_eq!(rebuilt, path);
+        }
+    }
+}
