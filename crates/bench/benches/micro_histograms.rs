@@ -52,7 +52,9 @@ fn bench_convolution_and_marginal(c: &mut Criterion) {
     let joint: Vec<Vec<f64>> = (0..400)
         .map(|_| {
             let shared: f64 = rng.gen_range(0.8..1.4);
-            (0..4).map(|_| 60.0 * shared + rng.gen_range(-5.0..5.0)).collect()
+            (0..4)
+                .map(|_| 60.0 * shared + rng.gen_range(-5.0..5.0))
+                .collect()
         })
         .collect();
     let nd = HistogramNd::from_samples(&joint, &AutoConfig::default()).unwrap();

@@ -1,0 +1,109 @@
+//! Serving throughput: the `pathcost-service` batch executor versus naive
+//! per-query estimation.
+//!
+//! The workload repeats a pool of popular paths across a batch of mixed
+//! point queries — the access pattern the distribution cache is built for.
+//! `naive_per_query` re-runs the full OD estimator for every request the way
+//! pre-service callers had to; `service_batch_cold` answers the same batch
+//! through a fresh engine (first-touch estimation, shared jobs deduplicated
+//! across the worker pool); `service_batch_warm` is the steady-state serving
+//! path where every lookup hits the cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcost_core::{CostEstimator, HybridConfig, HybridGraph, OdEstimator};
+use pathcost_service::{QueryEngine, QueryRequest, ServiceConfig};
+use pathcost_traj::DatasetPreset;
+use std::sync::Arc;
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let (net, store) = DatasetPreset::tiny(2016).materialise().expect("dataset");
+    let cfg = HybridConfig {
+        beta: 10,
+        ..HybridConfig::default()
+    };
+    let graph = Arc::new(HybridGraph::build(&net, &store, cfg).expect("graph builds"));
+
+    // A pool of popular paths, each queried many times per batch.
+    let pool: Vec<_> = store
+        .frequent_paths(3, 10, None)
+        .into_iter()
+        .take(8)
+        .map(|(path, _)| {
+            let departure = store.occurrences_on(&path)[0].entry_time;
+            (path, departure)
+        })
+        .collect();
+    assert!(!pool.is_empty(), "bench needs frequent paths");
+
+    let mut group = c.benchmark_group("service_throughput");
+    for batch_size in [64usize, 256] {
+        let requests: Vec<QueryRequest> = (0..batch_size)
+            .map(|i| {
+                let (path, departure) = &pool[i % pool.len()];
+                if i % 3 == 0 {
+                    QueryRequest::ProbWithinBudget {
+                        path: path.clone(),
+                        departure: *departure,
+                        budget_s: 600.0,
+                    }
+                } else {
+                    QueryRequest::EstimateDistribution {
+                        path: path.clone(),
+                        departure: *departure,
+                    }
+                }
+            })
+            .collect();
+
+        // Naive: every request pays a full OD estimation.
+        let od = OdEstimator::new(&graph);
+        group.bench_with_input(
+            BenchmarkId::new("naive_per_query", batch_size),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    for request in requests {
+                        match request {
+                            QueryRequest::EstimateDistribution { path, departure }
+                            | QueryRequest::ProbWithinBudget {
+                                path, departure, ..
+                            } => {
+                                let _ = od.estimate(path, *departure).expect("estimates");
+                            }
+                            _ => unreachable!("the workload only has point queries"),
+                        }
+                    }
+                })
+            },
+        );
+
+        // Cold: a fresh engine (empty cache) per iteration.
+        group.bench_with_input(
+            BenchmarkId::new("service_batch_cold", batch_size),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    let engine = QueryEngine::new(graph.clone(), ServiceConfig::default());
+                    engine.execute_batch(requests)
+                })
+            },
+        );
+
+        // Warm: the steady-state serving path.
+        let engine = QueryEngine::new(graph.clone(), ServiceConfig::default());
+        let _ = engine.execute_batch(&requests);
+        group.bench_with_input(
+            BenchmarkId::new("service_batch_warm", batch_size),
+            &requests,
+            |b, requests| b.iter(|| engine.execute_batch(requests)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_service_throughput
+}
+criterion_main!(benches);

@@ -34,7 +34,11 @@ fn main() {
 
     eprintln!(
         "# building datasets ({} scale) ...",
-        if scale == Scale::Full { "full" } else { "quick" }
+        if scale == Scale::Full {
+            "full"
+        } else {
+            "quick"
+        }
     );
     let started = std::time::Instant::now();
     let datasets = Dataset::both(scale, 2016);

@@ -43,7 +43,9 @@ impl Dataset {
     /// Builds a dataset from a preset.
     pub fn build(preset: &DatasetPreset) -> Dataset {
         let net = preset.build_network();
-        let out = preset.simulate(&net).expect("simulation of a preset succeeds");
+        let out = preset
+            .simulate(&net)
+            .expect("simulation of a preset succeeds");
         let store = TrajectoryStore::from_ground_truth(&out);
         Dataset {
             name: preset.name.clone(),
@@ -254,7 +256,11 @@ pub fn random_query_paths(
                 .copied()
                 .filter(|e| covered.contains(e))
                 .collect();
-            let pool = if preferred.is_empty() { &options } else { &preferred };
+            let pool = if preferred.is_empty() {
+                &options
+            } else {
+                &preferred
+            };
             let next = pool[rng.gen_range(0..pool.len())];
             visited.insert(net.edge(next).unwrap().to);
             edges.push(next);
@@ -337,7 +343,10 @@ mod tests {
             ..HybridConfig::default()
         };
         let holdout = make_holdout(&d, &cfg, 3, 5);
-        assert!(!holdout.queries.is_empty(), "tiny dataset should yield holdout paths");
+        assert!(
+            !holdout.queries.is_empty(),
+            "tiny dataset should yield holdout paths"
+        );
         assert_eq!(holdout.exclusions.len(), holdout.queries.len());
         // The excluded query path must not be instantiated by a graph built
         // with the exclusions, even though the data would support it.

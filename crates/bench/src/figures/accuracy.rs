@@ -64,7 +64,10 @@ pub fn fig13_single_path(dataset: &Dataset, scale: Scale) -> FigureOutput {
     }
     FigureOutput {
         id: "Figure 13".to_string(),
-        title: format!("Accuracy comparison on a particular path ({})", dataset.name),
+        title: format!(
+            "Accuracy comparison on a particular path ({})",
+            dataset.name
+        ),
         rows,
     }
 }
@@ -106,9 +109,7 @@ pub fn fig14_kl_vs_cardinality(dataset: &Dataset, scale: Scale) -> FigureOutput 
             let mut divergences = Vec::with_capacity(estimators.len());
             for est in &estimators {
                 match est.estimate(&q.path, q.departure) {
-                    Ok(hist) => {
-                        divergences.push(kl_divergence_histograms(&q.ground_truth, &hist))
-                    }
+                    Ok(hist) => divergences.push(kl_divergence_histograms(&q.ground_truth, &hist)),
                     Err(_) => break,
                 }
             }
@@ -152,8 +153,8 @@ pub fn fig15_entropy(dataset: &Dataset, scale: Scale) -> FigureOutput {
     } else {
         (vec![20usize, 40, 60, 80, 100], 200usize)
     };
-    let graph = HybridGraph::build(&dataset.net, &dataset.store, cfg.clone())
-        .expect("hybrid graph builds");
+    let graph =
+        HybridGraph::build(&dataset.net, &dataset.store, cfg.clone()).expect("hybrid graph builds");
     let od = OdEstimator::new(&graph);
     let hp = HpEstimator::new(&graph);
     let rd = RdEstimator::new(&graph, 31);
@@ -202,7 +203,10 @@ pub fn fig15_entropy(dataset: &Dataset, scale: Scale) -> FigureOutput {
     }
     FigureOutput {
         id: "Figure 15".to_string(),
-        title: format!("Decomposition entropy H_DE for long paths ({})", dataset.name),
+        title: format!(
+            "Decomposition entropy H_DE for long paths ({})",
+            dataset.name
+        ),
         rows,
     }
 }

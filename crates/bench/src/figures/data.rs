@@ -38,7 +38,12 @@ pub fn fig4_independence(dataset: &Dataset, scale: Scale) -> FigureOutput {
     let mut rows = Vec::new();
 
     // (a) 2-edge paths: bucket the KL divergences.
-    let holdout = make_holdout(dataset, &cfg, 2, if scale == Scale::Quick { 60 } else { 500 });
+    let holdout = make_holdout(
+        dataset,
+        &cfg,
+        2,
+        if scale == Scale::Quick { 60 } else { 500 },
+    );
     let graph = HybridGraph::build_with_exclusions(
         &dataset.net,
         &dataset.store,
@@ -194,7 +199,9 @@ mod tests {
 
     #[test]
     fn fig5_reports_error_profile() {
-        let d = tiny();
+        // Figure 5 needs a path dense in the morning-peak interval; triple the
+        // tiny preset's trips so one reliably exists.
+        let d = Dataset::build(&DatasetPreset::tiny(9).with_trip_factor(3.0));
         let out = fig5_bucket_selection(&d, Scale::Quick);
         assert!(out.rows.iter().any(|r| r.contains("E_b")));
     }

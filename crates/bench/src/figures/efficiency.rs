@@ -21,8 +21,7 @@ pub fn fig16_runtime(dataset: &Dataset, scale: Scale) -> FigureOutput {
     } else {
         (vec![20usize, 40, 60, 80, 100], 100usize)
     };
-    let graph =
-        HybridGraph::build(&dataset.net, &dataset.store, cfg).expect("hybrid graph builds");
+    let graph = HybridGraph::build(&dataset.net, &dataset.store, cfg).expect("hybrid graph builds");
     let od = OdEstimator::new(&graph);
     let rd = RdEstimator::new(&graph, 5);
     let hp = HpEstimator::new(&graph);
@@ -118,8 +117,7 @@ pub fn fig17_breakdown(dataset: &Dataset, scale: Scale) -> FigureOutput {
 pub fn fig18_routing(dataset: &Dataset, scale: Scale) -> FigureOutput {
     let cfg = experiment_config(scale);
     let pairs = random_od_pairs(dataset, if scale == Scale::Quick { 15 } else { 100 }, 4_000);
-    let graph =
-        HybridGraph::build(&dataset.net, &dataset.store, cfg).expect("hybrid graph builds");
+    let graph = HybridGraph::build(&dataset.net, &dataset.store, cfg).expect("hybrid graph builds");
     let router = DfsRouter::new(
         &graph,
         RouterConfig {

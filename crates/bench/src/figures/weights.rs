@@ -81,7 +81,12 @@ pub fn fig9_beta(datasets: &[Dataset], scale: Scale) -> FigureOutput {
             let cfg = base.clone().with_beta(beta);
             let wp = PathWeightFunction::instantiate(&d.net, &d.store, &cfg)
                 .expect("instantiation succeeds");
-            rows.push(format!("  {}  beta={:>3}  {}", d.name, beta, rank_breakdown(&wp)));
+            rows.push(format!(
+                "  {}  beta={:>3}  {}",
+                d.name,
+                beta,
+                rank_breakdown(&wp)
+            ));
         }
     }
     FigureOutput {
@@ -101,11 +106,7 @@ pub fn fig10_dataset_sizes(datasets: &[Dataset], scale: Scale) -> FigureOutput {
             let subset = d.fraction(fraction);
             let wp = PathWeightFunction::instantiate(&subset.net, &subset.store, &cfg)
                 .expect("instantiation succeeds");
-            rows.push(format!(
-                "  {:<8}  {}",
-                subset.name,
-                rank_breakdown(&wp)
-            ));
+            rows.push(format!("  {:<8}  {}", subset.name, rank_breakdown(&wp)));
         }
     }
     FigureOutput {
@@ -136,20 +137,25 @@ pub fn fig11_histogram_quality(datasets: &[Dataset], scale: Scale) -> FigureOutp
         let mut save_sta3 = Vec::new();
         let mut save_sta4 = Vec::new();
         for (path, _) in dense_units.iter().take(60) {
-            let samples =
-                d.store
-                    .qualified_total_costs(&d.net, path, &peak, CostKind::TravelTime);
+            let samples = d
+                .store
+                .qualified_total_costs(&d.net, path, &peak, CostKind::TravelTime);
             let Ok(raw) = RawDistribution::from_samples(&samples, 1.0) else {
                 continue;
             };
             let span = (raw.max() - raw.min()).max(1.0);
             if let Ok(fit) = GaussianDist::fit(&samples) {
-                if let Ok(h) = fit.to_histogram(raw.min() - 0.1 * span, raw.max() + 0.1 * span, 80) {
+                if let Ok(h) = fit.to_histogram(raw.min() - 0.1 * span, raw.max() + 0.1 * span, 80)
+                {
                     kl_gauss.push(kl_divergence_from_raw(&raw, &h, 1.0));
                 }
             }
             if let Ok(fit) = GammaDist::fit(&samples) {
-                if let Ok(h) = fit.to_histogram((raw.min() - 0.1 * span).max(0.1), raw.max() + 0.1 * span, 80) {
+                if let Ok(h) = fit.to_histogram(
+                    (raw.min() - 0.1 * span).max(0.1),
+                    raw.max() + 0.1 * span,
+                    80,
+                ) {
                     kl_gamma.push(kl_divergence_from_raw(&raw, &h, 1.0));
                 }
             }
@@ -167,7 +173,11 @@ pub fn fig11_histogram_quality(datasets: &[Dataset], scale: Scale) -> FigureOutp
             }
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-        rows.push(format!("  {} over {} dense unit paths:", d.name, kl_auto.len()));
+        rows.push(format!(
+            "  {} over {} dense unit paths:",
+            d.name,
+            kl_auto.len()
+        ));
         rows.push(format!(
             "    (a) KL vs raw:  Gamma={:.3}  Gaussian={:.3}  Auto={:.3}",
             mean(&kl_gamma),
@@ -224,8 +234,14 @@ pub fn fig12_memory(datasets: &[Dataset], scale: Scale) -> FigureOutput {
 pub fn table2_parameters(scale: Scale) -> FigureOutput {
     let cfg: HybridConfig = experiment_config(scale);
     let rows = vec![
-        format!("  alpha (min)       : 15, 30, 45, 60, 120   (default {})", cfg.alpha_minutes),
-        format!("  beta              : 15, 30, 45, 60        (default {})", cfg.beta),
+        format!(
+            "  alpha (min)       : 15, 30, 45, 60, 120   (default {})",
+            cfg.alpha_minutes
+        ),
+        format!(
+            "  beta              : 15, 30, 45, 60        (default {})",
+            cfg.beta
+        ),
         "  |P_query|         : 5, 10, 15, 20, 40, 60, 80, 100".to_string(),
         format!("  max rank          : {}", cfg.max_rank),
         format!("  cost              : {:?}", cfg.cost_kind),

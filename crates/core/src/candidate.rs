@@ -154,8 +154,9 @@ impl CandidateArray {
             }
             // Guarantee a unit variable in every row.
             if !rows[k].iter().any(|v| v.rank() == 1) {
-                let probe_interval = partition
-                    .interval_of(pathcost_traj::TimeOfDay::wrap(0.5 * (window.start + window.end)));
+                let probe_interval = partition.interval_of(pathcost_traj::TimeOfDay::wrap(
+                    0.5 * (window.start + window.end),
+                ));
                 let unit = wp
                     .unit_histogram(edge, probe_interval)
                     .ok_or(CoreError::NoDistribution)?;
@@ -220,7 +221,10 @@ mod tests {
         };
         // Use a path that actually carries traffic: the most frequent 4-edge path.
         let frequent = store.frequent_paths(4, 10, None);
-        let (query, _) = frequent.first().expect("tiny preset has frequent paths").clone();
+        let (query, _) = frequent
+            .first()
+            .expect("tiny preset has frequent paths")
+            .clone();
         let occ = store.occurrences_on(&query);
         let departure = occ[0].entry_time;
         (net, store, cfg, query, departure)

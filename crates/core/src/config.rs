@@ -72,7 +72,9 @@ impl HybridConfig {
             ));
         }
         if self.beta == 0 {
-            return Err(crate::error::CoreError::InvalidConfig("beta must be positive"));
+            return Err(crate::error::CoreError::InvalidConfig(
+                "beta must be positive",
+            ));
         }
         if self.max_rank == 0 {
             return Err(crate::error::CoreError::InvalidConfig(
@@ -102,7 +104,10 @@ mod tests {
 
     #[test]
     fn builders_adjust_parameters() {
-        let cfg = HybridConfig::default().with_alpha(60).with_beta(15).with_max_rank(4);
+        let cfg = HybridConfig::default()
+            .with_alpha(60)
+            .with_beta(15)
+            .with_max_rank(4);
         assert_eq!(cfg.alpha_minutes, 60);
         assert_eq!(cfg.beta, 15);
         assert_eq!(cfg.max_rank, 4);
@@ -113,8 +118,10 @@ mod tests {
         assert!(HybridConfig::default().with_alpha(0).validate().is_err());
         assert!(HybridConfig::default().with_beta(0).validate().is_err());
         assert!(HybridConfig::default().with_max_rank(0).validate().is_err());
-        let mut cfg = HybridConfig::default();
-        cfg.speed_limit_spread = 1.5;
+        let mut cfg = HybridConfig {
+            speed_limit_spread: 1.5,
+            ..HybridConfig::default()
+        };
         assert!(cfg.validate().is_err());
         cfg.alpha_minutes = 25 * 60;
         assert!(cfg.validate().is_err());

@@ -171,9 +171,10 @@ impl Decomposition {
     pub fn is_coarser_than(&self, other: &Decomposition) -> bool {
         let mut any_different = false;
         for oc in &other.components {
-            let contained = self.components.iter().any(|sc| {
-                oc.start >= sc.start && oc.end() <= sc.end()
-            });
+            let contained = self
+                .components
+                .iter()
+                .any(|sc| oc.start >= sc.start && oc.end() <= sc.end());
             if !contained {
                 return false;
             }

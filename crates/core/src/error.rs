@@ -55,6 +55,8 @@ mod tests {
         assert!(e.to_string().contains("histogram"));
         let e: CoreError = pathcost_roadnet::RoadNetError::EmptyPath.into();
         assert!(matches!(e, CoreError::RoadNet(_)));
-        assert!(CoreError::NoDistribution.to_string().contains("distribution"));
+        assert!(CoreError::NoDistribution
+            .to_string()
+            .contains("distribution"));
     }
 }

@@ -51,7 +51,8 @@ pub trait CostEstimator {
 
     /// Estimates the travel cost distribution of `path` departing at `departure`.
     fn estimate(&self, path: &Path, departure: Timestamp) -> Result<Histogram1D, CoreError> {
-        self.estimate_with_breakdown(path, departure).map(|(h, _)| h)
+        self.estimate_with_breakdown(path, departure)
+            .map(|(h, _)| h)
     }
 
     /// Estimates the distribution and reports the per-phase time breakdown.
@@ -69,14 +70,16 @@ pub trait CostEstimator {
 }
 
 /// Shared implementation: build a candidate array, pick a decomposition,
-/// derive the cost distribution.
+/// derive the cost distribution. Returns the decomposition alongside the
+/// histogram so callers (e.g. the serving layer) can inspect it without
+/// replicating this pipeline.
 fn estimate_via_decomposition<F>(
     graph: &HybridGraph<'_>,
     path: &Path,
     departure: Timestamp,
     rank_cap: Option<usize>,
     pick: F,
-) -> Result<(Histogram1D, EstimateBreakdown), CoreError>
+) -> Result<(Histogram1D, Decomposition, EstimateBreakdown), CoreError>
 where
     F: FnOnce(&CandidateArray) -> Decomposition,
 {
@@ -106,6 +109,7 @@ where
 
     Ok((
         hist,
+        decomposition,
         EstimateBreakdown {
             decomposition_s: oi,
             joint_s: jc,
@@ -139,6 +143,21 @@ impl<'g, 'n> OdEstimator<'g, 'n> {
             name: format!("OD-{cap}"),
         }
     }
+
+    /// Estimates the distribution and returns the coarsest decomposition it
+    /// was derived from — the same pipeline as [`CostEstimator::estimate`],
+    /// exposed for callers that also need the decomposition (the serving
+    /// layer caches its component count as the query's depth).
+    pub fn estimate_with_decomposition(
+        &self,
+        path: &Path,
+        departure: Timestamp,
+    ) -> Result<(Histogram1D, Decomposition), CoreError> {
+        estimate_via_decomposition(self.graph, path, departure, self.rank_cap, |array| {
+            Decomposition::coarsest(array)
+        })
+        .map(|(hist, decomposition, _)| (hist, decomposition))
+    }
 }
 
 impl CostEstimator for OdEstimator<'_, '_> {
@@ -154,6 +173,7 @@ impl CostEstimator for OdEstimator<'_, '_> {
         estimate_via_decomposition(self.graph, path, departure, self.rank_cap, |array| {
             Decomposition::coarsest(array)
         })
+        .map(|(hist, _, breakdown)| (hist, breakdown))
     }
 
     fn decomposition_entropy(&self, path: &Path, departure: Timestamp) -> Option<f64> {
@@ -188,6 +208,7 @@ impl CostEstimator for LbEstimator<'_, '_> {
         estimate_via_decomposition(self.graph, path, departure, Some(1), |array| {
             Decomposition::legacy(array)
         })
+        .map(|(hist, _, breakdown)| (hist, breakdown))
     }
 
     fn decomposition_entropy(&self, path: &Path, departure: Timestamp) -> Option<f64> {
@@ -221,6 +242,7 @@ impl CostEstimator for HpEstimator<'_, '_> {
         estimate_via_decomposition(self.graph, path, departure, Some(2), |array| {
             Decomposition::pairwise(array)
         })
+        .map(|(hist, _, breakdown)| (hist, breakdown))
     }
 
     fn decomposition_entropy(&self, path: &Path, departure: Timestamp) -> Option<f64> {
@@ -256,6 +278,7 @@ impl CostEstimator for RdEstimator<'_, '_> {
         estimate_via_decomposition(self.graph, path, departure, None, |array| {
             Decomposition::random(array, &mut rng)
         })
+        .map(|(hist, _, breakdown)| (hist, breakdown))
     }
 
     fn decomposition_entropy(&self, path: &Path, departure: Timestamp) -> Option<f64> {
@@ -351,17 +374,38 @@ mod tests {
     }
 
     fn fixture() -> Fixture {
-        let (net, store) = DatasetPreset::tiny(71).materialise().unwrap();
+        // A denser-than-default tiny dataset so at least one frequent path
+        // reaches β qualified trajectories within a single departure interval.
+        let mut preset = DatasetPreset::tiny(71);
+        preset.simulation.trips = 600;
+        let net = preset.build_network();
+        let out = preset.simulate(&net).unwrap();
+        let store = pathcost_traj::TrajectoryStore::from_ground_truth(&out);
         let cfg = HybridConfig {
             beta: 12,
             ..HybridConfig::default()
         };
-        let frequent = store.frequent_paths(5, 12, None);
-        let (query, _) = frequent
-            .first()
-            .cloned()
-            .unwrap_or_else(|| store.frequent_paths(3, 12, None)[0].clone());
-        let departure = store.occurrences_on(&query)[0].entry_time;
+        let mut frequent = store.frequent_paths(5, 12, None);
+        if frequent.is_empty() {
+            frequent = store.frequent_paths(3, 12, None);
+        }
+        // Pick a (path, departure) pair whose departure interval is dense
+        // enough for the accuracy-optimal ground truth (≥ β qualified
+        // trajectories), falling back to the first occurrence of the first
+        // frequent path.
+        let partition = crate::interval::DayPartition::new(cfg.alpha_minutes).unwrap();
+        let dense = frequent.iter().find_map(|(path, _)| {
+            store.occurrences_on(path).into_iter().find_map(|occ| {
+                let interval = partition.range(partition.interval_of(occ.entry_time.time_of_day()));
+                (store.qualified(path, &interval).len() >= cfg.beta)
+                    .then_some((path.clone(), occ.entry_time))
+            })
+        });
+        let (query, departure) = dense.unwrap_or_else(|| {
+            let (query, _) = frequent[0].clone();
+            let departure = store.occurrences_on(&query)[0].entry_time;
+            (query, departure)
+        });
         Fixture {
             net,
             store,
@@ -385,7 +429,11 @@ mod tests {
             let (hist, breakdown) = est
                 .estimate_with_breakdown(&f.query, f.departure)
                 .unwrap_or_else(|e| panic!("{} failed: {e}", est.name()));
-            assert!((hist.probs().iter().sum::<f64>() - 1.0).abs() < 1e-6, "{}", est.name());
+            assert!(
+                (hist.probs().iter().sum::<f64>() - 1.0).abs() < 1e-6,
+                "{}",
+                est.name()
+            );
             assert!(hist.mean() > 0.0);
             assert!(breakdown.total_s() >= 0.0);
         }
@@ -448,7 +496,8 @@ mod tests {
         // Evaluate on paths that are dense during the morning-peak interval,
         // so the accuracy-optimal ground truth is available.
         let partition = crate::interval::DayPartition::new(cfg.alpha_minutes).unwrap();
-        let morning = partition.range(partition.interval_of(pathcost_traj::TimeOfDay::from_hms(8, 0, 0)));
+        let morning =
+            partition.range(partition.interval_of(pathcost_traj::TimeOfDay::from_hms(8, 0, 0)));
         let mut od_total = 0.0;
         let mut lb_total = 0.0;
         let mut evaluated = 0;
@@ -457,11 +506,7 @@ mod tests {
             .into_iter()
             .take(10)
         {
-            let Some(occ) = store
-                .qualified(&query, &morning)
-                .into_iter()
-                .next()
-            else {
+            let Some(occ) = store.qualified(&query, &morning).into_iter().next() else {
                 continue;
             };
             let departure = occ.entry_time;
@@ -506,8 +551,6 @@ mod tests {
         let od = OdEstimator::new(&graph);
         let (_, b) = od.estimate_with_breakdown(&f.query, f.departure).unwrap();
         assert!(b.decomposition_s >= 0.0 && b.joint_s >= 0.0 && b.marginal_s >= 0.0);
-        assert!(
-            (b.total_s() - (b.decomposition_s + b.joint_s + b.marginal_s)).abs() < 1e-12
-        );
+        assert!((b.total_s() - (b.decomposition_s + b.joint_s + b.marginal_s)).abs() < 1e-12);
     }
 }

@@ -18,6 +18,21 @@ pub struct HybridGraph<'a> {
     config: HybridConfig,
 }
 
+// Compile-time Send + Sync audit: the serving layer (`pathcost-service`)
+// shares one immutable hybrid graph behind an `Arc` across a scoped worker
+// pool, so the graph and everything reachable from it must be thread-safe.
+// A field that introduces interior mutability (`Cell`, `Rc`, raw pointers)
+// would fail this block at compile time rather than at the service layer.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<HybridGraph<'static>>();
+    assert_send_sync::<PathWeightFunction>();
+    assert_send_sync::<HybridConfig>();
+    assert_send_sync::<RoadNetwork>();
+    assert_send_sync::<Histogram1D>();
+    assert_send_sync::<Path>();
+};
+
 impl<'a> HybridGraph<'a> {
     /// Instantiates the hybrid graph from a trajectory store.
     pub fn build(
@@ -122,8 +137,7 @@ mod tests {
             beta: 10,
             ..HybridConfig::default()
         };
-        let weights =
-            crate::weights::PathWeightFunction::instantiate(&net, &store, &cfg).unwrap();
+        let weights = crate::weights::PathWeightFunction::instantiate(&net, &store, &cfg).unwrap();
         let count = weights.stats().total_variables();
         let graph = HybridGraph::from_parts(&net, weights, cfg);
         assert_eq!(graph.stats().total_variables(), count);

@@ -160,7 +160,10 @@ mod tests {
         }
         assert_eq!(inc.path(), &query);
         for w in means.windows(2) {
-            assert!(w[1] > w[0], "adding an edge must increase the expected cost");
+            assert!(
+                w[1] > w[0],
+                "adding an edge must increase the expected cost"
+            );
         }
         assert!((inc.histogram().probs().iter().sum::<f64>() - 1.0).abs() < 1e-6);
     }
@@ -178,7 +181,12 @@ mod tests {
         }
         let od = graph.estimate(&query, departure).unwrap();
         let rel = (inc.histogram().mean() - od.mean()).abs() / od.mean();
-        assert!(rel < 0.35, "incremental {} vs OD {}", inc.histogram().mean(), od.mean());
+        assert!(
+            rel < 0.35,
+            "incremental {} vs OD {}",
+            inc.histogram().mean(),
+            od.mean()
+        );
 
         // Refining should reproduce the OD estimate exactly.
         inc.refine(&graph).unwrap();

@@ -8,6 +8,18 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct IntervalId(pub u16);
 
+impl IntervalId {
+    /// Folds this interval into a path fingerprint, producing the 64-bit
+    /// cache key used by the query-serving layer: one more FNV-1a round over
+    /// the interval index so `(path, interval)` pairs spread across shards
+    /// independently of the interval.
+    pub fn mix_fingerprint(self, path_fingerprint: u64) -> u64 {
+        let mut hash = path_fingerprint ^ 0x9E37_79B9_7F4A_7C15;
+        hash ^= self.0 as u64;
+        hash.wrapping_mul(0x0000_0100_0000_01B3)
+    }
+}
+
 /// The partition of a day into intervals of `alpha_minutes` each.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DayPartition {
@@ -82,9 +94,15 @@ mod tests {
         assert_eq!(p.interval_count(), 48);
         assert_eq!(p.interval_of(TimeOfDay::from_hms(0, 0, 0)), IntervalId(0));
         assert_eq!(p.interval_of(TimeOfDay::from_hms(8, 0, 0)), IntervalId(16));
-        assert_eq!(p.interval_of(TimeOfDay::from_hms(8, 29, 59)), IntervalId(16));
+        assert_eq!(
+            p.interval_of(TimeOfDay::from_hms(8, 29, 59)),
+            IntervalId(16)
+        );
         assert_eq!(p.interval_of(TimeOfDay::from_hms(8, 30, 0)), IntervalId(17));
-        assert_eq!(p.interval_of(TimeOfDay::from_hms(23, 59, 59)), IntervalId(47));
+        assert_eq!(
+            p.interval_of(TimeOfDay::from_hms(23, 59, 59)),
+            IntervalId(47)
+        );
     }
 
     #[test]

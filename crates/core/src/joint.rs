@@ -68,8 +68,7 @@ pub fn cost_histogram_with_limit(
         .collect();
     states = merge_states(states, max_state_buckets);
 
-    for i in 1..comps.len() {
-        let comp = &comps[i];
+    for (i, comp) in comps.iter().enumerate().skip(1) {
         let overlap_prev = decomposition.overlap_len(i - 1);
         let overlap_next = decomposition.overlap_len(i);
         let rank = comp.rank();
@@ -83,8 +82,8 @@ pub fn cost_histogram_with_limit(
             let mut denom = 0.0;
             for (buckets, prob) in &cells {
                 let mut frac = 1.0;
-                for d in 0..overlap_prev {
-                    frac *= buckets[d].fraction_within(&state.overlap[d]);
+                for (bucket, overlap) in buckets.iter().zip(&state.overlap).take(overlap_prev) {
+                    frac *= bucket.fraction_within(overlap);
                     if frac == 0.0 {
                         break;
                     }
@@ -153,7 +152,8 @@ fn merge_states(states: Vec<ChainState>, max_state_buckets: usize) -> Vec<ChainS
     }
     // Group by the exact identity of the overlap buckets (they come from the
     // same component's axes, so bit-exact comparison is appropriate).
-    let mut groups: HashMap<Vec<(u64, u64)>, Vec<(Bucket, f64)>> = HashMap::new();
+    type OverlapKey = Vec<(u64, u64)>;
+    let mut groups: HashMap<OverlapKey, Vec<(Bucket, f64)>> = HashMap::new();
     for s in states {
         let key: Vec<(u64, u64)> = s
             .overlap
@@ -205,7 +205,7 @@ mod tests {
     use crate::candidate::CandidateArray;
     use crate::config::HybridConfig;
     use crate::hybrid_graph::HybridGraph;
-    use pathcost_traj::{CostKind, DatasetPreset, TimeInterval};
+    use pathcost_traj::{CostKind, DatasetPreset};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -218,14 +218,33 @@ mod tests {
     }
 
     fn fixture() -> Fixture {
-        let (net, store) = DatasetPreset::tiny(51).materialise().unwrap();
+        // Denser than the default tiny preset so the departure interval of the
+        // chosen query path holds enough qualified trajectories.
+        let mut preset = DatasetPreset::tiny(51);
+        preset.simulation.trips = 600;
+        let net = preset.build_network();
+        let out = preset.simulate(&net).unwrap();
+        let store = pathcost_traj::TrajectoryStore::from_ground_truth(&out);
         let graph_cfg = HybridConfig {
             beta: 10,
             ..HybridConfig::default()
         };
         let frequent = store.frequent_paths(4, 10, None);
-        let (query, _) = frequent[0].clone();
-        let departure = store.occurrences_on(&query)[0].entry_time;
+        // Prefer a (path, departure) whose departure interval holds enough
+        // qualified trajectories for interval-local comparisons.
+        let partition = crate::interval::DayPartition::new(graph_cfg.alpha_minutes).unwrap();
+        let dense = frequent.iter().find_map(|(path, _)| {
+            store.occurrences_on(path).into_iter().find_map(|occ| {
+                let interval = partition.range(partition.interval_of(occ.entry_time.time_of_day()));
+                (store.qualified(path, &interval).len() >= graph_cfg.beta)
+                    .then_some((path.clone(), occ.entry_time))
+            })
+        });
+        let (query, departure) = dense.unwrap_or_else(|| {
+            let (query, _) = frequent[0].clone();
+            let departure = store.occurrences_on(&query)[0].entry_time;
+            (query, departure)
+        });
         Fixture {
             net,
             store,
@@ -267,11 +286,14 @@ mod tests {
         let f = fixture();
         let d = decomposition(&f, "coarsest");
         let h = cost_histogram(&d).unwrap();
-        // Empirical ground truth from the store.
-        let whole_day = TimeInterval::new(0.0, 86_400.0);
+        // Empirical ground truth from the store, restricted to the departure's
+        // α-interval — the estimate is interval-local, so comparing against
+        // the whole day would mix distinct traffic regimes.
+        let partition = crate::interval::DayPartition::new(f.graph_cfg.alpha_minutes).unwrap();
+        let interval = partition.range(partition.interval_of(f.departure.time_of_day()));
         let totals =
             f.store
-                .qualified_total_costs(&f.net, &f.query, &whole_day, CostKind::TravelTime);
+                .qualified_total_costs(&f.net, &f.query, &interval, CostKind::TravelTime);
         let empirical_mean: f64 = totals.iter().sum::<f64>() / totals.len() as f64;
         let rel = (h.mean() - empirical_mean).abs() / empirical_mean;
         assert!(

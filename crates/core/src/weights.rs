@@ -106,9 +106,7 @@ impl PathWeightFunction {
             excluded.iter().any(|(path, iv)| {
                 *iv == interval
                     && path.cardinality() <= edges.len()
-                    && edges
-                        .windows(path.cardinality())
-                        .any(|w| w == path.edges())
+                    && edges.windows(path.cardinality()).any(|w| w == path.edges())
             })
         };
 
@@ -144,8 +142,7 @@ impl PathWeightFunction {
                         let key = (edges[start..start + k].to_vec(), interval);
                         if let Some(rows) = samples.get_mut(&key) {
                             let sub = Path::from_edges_unchecked(key.0.clone());
-                            if let Some(costs) =
-                                per_edge_costs(m, net, &sub, start, cfg.cost_kind)
+                            if let Some(costs) = per_edge_costs(m, net, &sub, start, cfg.cost_kind)
                             {
                                 rows.push(costs);
                             }
@@ -181,7 +178,10 @@ impl PathWeightFunction {
             };
             let idx = variables.len();
             index.insert((key.0.clone(), key.1), idx);
-            by_first_edge.entry(path.first_edge()).or_default().push(idx);
+            by_first_edge
+                .entry(path.first_edge())
+                .or_default()
+                .push(idx);
             variables.push(var);
         }
 
@@ -205,7 +205,10 @@ impl PathWeightFunction {
             covered.extend(v.path.edges().iter().copied());
             memory += v.storage_bytes();
         }
-        memory += fallback_units.values().map(|h| h.storage_bytes()).sum::<usize>();
+        memory += fallback_units
+            .values()
+            .map(|h| h.storage_bytes())
+            .sum::<usize>();
         let mean_entropy_by_rank = entropy_sum
             .into_iter()
             .map(|(rank, sum)| (rank, sum / count_by_rank[&rank] as f64))
@@ -325,7 +328,9 @@ mod tests {
         for v in wp.variables() {
             match v.source {
                 VariableSource::Trajectories { count } => assert!(count >= 10),
-                VariableSource::SpeedLimit => panic!("store-built variables must be trajectory-derived"),
+                VariableSource::SpeedLimit => {
+                    panic!("store-built variables must be trajectory-derived")
+                }
             }
             assert_eq!(v.histogram.dims(), v.rank());
         }
@@ -337,9 +342,7 @@ mod tests {
         for (i, v) in wp.variables().iter().enumerate() {
             let found = wp.get(&v.path, v.interval).expect("indexed variable");
             assert_eq!(found.path, v.path);
-            assert!(wp
-                .variables_starting_with(v.path.first_edge())
-                .contains(&i));
+            assert!(wp.variables_starting_with(v.path.first_edge()).contains(&i));
         }
     }
 
@@ -349,10 +352,15 @@ mod tests {
         // Every edge must have a unit histogram for every interval.
         let interval = IntervalId(3); // 01:30–02:00, almost certainly no data
         for edge in net.edges().iter().take(20) {
-            let h = wp.unit_histogram(edge.id, interval).expect("fallback exists");
+            let h = wp
+                .unit_histogram(edge.id, interval)
+                .expect("fallback exists");
             assert!((h.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
             let t_ff = edge.free_flow_time_s();
-            assert!(h.min() <= t_ff && h.max() >= t_ff, "fallback should straddle free-flow time");
+            assert!(
+                h.min() <= t_ff && h.max() >= t_ff,
+                "fallback should straddle free-flow time"
+            );
         }
     }
 
@@ -370,18 +378,12 @@ mod tests {
     #[test]
     fn smaller_beta_instantiates_more_variables() {
         let (net, store) = DatasetPreset::tiny(22).materialise().unwrap();
-        let strict = PathWeightFunction::instantiate(
-            &net,
-            &store,
-            &HybridConfig::default().with_beta(40),
-        )
-        .unwrap();
-        let lenient = PathWeightFunction::instantiate(
-            &net,
-            &store,
-            &HybridConfig::default().with_beta(8),
-        )
-        .unwrap();
+        let strict =
+            PathWeightFunction::instantiate(&net, &store, &HybridConfig::default().with_beta(40))
+                .unwrap();
+        let lenient =
+            PathWeightFunction::instantiate(&net, &store, &HybridConfig::default().with_beta(8))
+                .unwrap();
         assert!(
             lenient.stats().total_variables() >= strict.stats().total_variables(),
             "lenient β must not produce fewer variables"

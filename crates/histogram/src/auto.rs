@@ -153,10 +153,15 @@ pub fn cross_validated_errors(
         }
         // Bucket counts beyond the number of distinct training values reuse
         // the finest available histogram.
-        for b_index in boundary_sets.len()..max_b {
-            let hist =
-                Histogram1D::from_raw_with_boundaries(&train_raw, &boundary_sets[boundary_sets.len() - 1])?;
-            totals[b_index] += squared_error(&hist, &held_raw, resolution);
+        if boundary_sets.len() < max_b {
+            let hist = Histogram1D::from_raw_with_boundaries(
+                &train_raw,
+                &boundary_sets[boundary_sets.len() - 1],
+            )?;
+            let reused = squared_error(&hist, &held_raw, resolution);
+            for total in &mut totals[boundary_sets.len()..max_b] {
+                *total += reused;
+            }
         }
     }
     Ok(totals.into_iter().map(|t| t / cfg.folds as f64).collect())
@@ -214,7 +219,10 @@ pub fn squared_error(hist: &Histogram1D, raw: &RawDistribution, resolution: f64)
 /// smallest `b` whose error is within `min_relative_improvement` of the best
 /// achievable error (relative to the error of a single bucket). On smooth
 /// error curves the two formulations pick the same bucket count.
-pub fn select_bucket_count(samples: &[f64], cfg: &AutoConfig) -> Result<BucketSelection, HistError> {
+pub fn select_bucket_count(
+    samples: &[f64],
+    cfg: &AutoConfig,
+) -> Result<BucketSelection, HistError> {
     if samples.is_empty() {
         return Err(HistError::EmptyInput);
     }
@@ -250,7 +258,11 @@ pub fn auto_histogram(samples: &[f64], cfg: &AutoConfig) -> Result<Histogram1D, 
 
 /// Builds the fixed-bucket `Sta-b` histogram used as a comparison point in
 /// Figure 11.
-pub fn static_histogram(samples: &[f64], b: usize, resolution: f64) -> Result<Histogram1D, HistError> {
+pub fn static_histogram(
+    samples: &[f64],
+    b: usize,
+    resolution: f64,
+) -> Result<Histogram1D, HistError> {
     let raw = RawDistribution::from_samples(samples, resolution)?;
     voptimal_histogram(&raw, b)
 }
@@ -280,7 +292,10 @@ mod tests {
         let cfg = AutoConfig::default();
         let e1 = cross_validated_error(&samples, 1, &cfg).unwrap();
         let e2 = cross_validated_error(&samples, 2, &cfg).unwrap();
-        assert!(e2 < e1, "two buckets must beat one on bimodal data ({e2} vs {e1})");
+        assert!(
+            e2 < e1,
+            "two buckets must beat one on bimodal data ({e2} vs {e1})"
+        );
     }
 
     #[test]
@@ -326,8 +341,10 @@ mod tests {
     #[test]
     fn errors_rejected_for_bad_config() {
         let samples = bimodal_samples(50, 1);
-        let mut cfg = AutoConfig::default();
-        cfg.folds = 1;
+        let cfg = AutoConfig {
+            folds: 1,
+            ..AutoConfig::default()
+        };
         assert!(matches!(
             cross_validated_error(&samples, 2, &cfg),
             Err(HistError::TooFewFolds(1))
@@ -350,11 +367,9 @@ mod tests {
     fn squared_error_improves_with_more_buckets() {
         // Splitting the two modes into separate buckets must not increase the
         // squared error against the raw distribution.
-        let raw = RawDistribution::from_samples(
-            &[10.0, 10.0, 11.0, 12.0, 20.0, 20.0, 21.0, 22.0],
-            1.0,
-        )
-        .unwrap();
+        let raw =
+            RawDistribution::from_samples(&[10.0, 10.0, 11.0, 12.0, 20.0, 20.0, 21.0, 22.0], 1.0)
+                .unwrap();
         let one = voptimal_histogram(&raw, 1).unwrap();
         let two = voptimal_histogram(&raw, 2).unwrap();
         let se_one = squared_error(&one, &raw, 1.0);

@@ -29,8 +29,7 @@ pub fn convolve_with_limit(
     b: &Histogram1D,
     max_buckets: usize,
 ) -> Result<Histogram1D, HistError> {
-    let mut entries: Vec<(Bucket, f64)> =
-        Vec::with_capacity(a.bucket_count() * b.bucket_count());
+    let mut entries: Vec<(Bucket, f64)> = Vec::with_capacity(a.bucket_count() * b.bucket_count());
     for (ba, pa) in a.buckets().iter().zip(a.probs()) {
         for (bb, pb) in b.buckets().iter().zip(b.probs()) {
             let mass = pa * pb;
@@ -75,15 +74,18 @@ mod tests {
 
     #[test]
     fn convolution_mass_sums_to_one() {
-        let a = Histogram1D::from_entries(vec![(b(10.0, 20.0), 0.5), (b(20.0, 40.0), 0.5)]).unwrap();
-        let c = Histogram1D::from_entries(vec![(b(5.0, 15.0), 0.25), (b(15.0, 25.0), 0.75)]).unwrap();
+        let a =
+            Histogram1D::from_entries(vec![(b(10.0, 20.0), 0.5), (b(20.0, 40.0), 0.5)]).unwrap();
+        let c =
+            Histogram1D::from_entries(vec![(b(5.0, 15.0), 0.25), (b(15.0, 25.0), 0.75)]).unwrap();
         let conv = convolve(&a, &c).unwrap();
         assert!((conv.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn convolution_mean_is_additive() {
-        let a = Histogram1D::from_entries(vec![(b(10.0, 20.0), 0.3), (b(20.0, 40.0), 0.7)]).unwrap();
+        let a =
+            Histogram1D::from_entries(vec![(b(10.0, 20.0), 0.3), (b(20.0, 40.0), 0.7)]).unwrap();
         let c = Histogram1D::from_entries(vec![(b(0.0, 10.0), 0.6), (b(10.0, 30.0), 0.4)]).unwrap();
         let conv = convolve(&a, &c).unwrap();
         assert!(

@@ -94,10 +94,7 @@ pub fn entropy_at_resolution(hist: &Histogram1D, resolution: f64) -> f64 {
     entropy_of_probs(&probs)
 }
 
-fn common_cuts(
-    a: impl Iterator<Item = f64>,
-    b: impl Iterator<Item = f64>,
-) -> Vec<f64> {
+fn common_cuts(a: impl Iterator<Item = f64>, b: impl Iterator<Item = f64>) -> Vec<f64> {
     let mut cuts: Vec<f64> = a.chain(b).collect();
     cuts.sort_by(|x, y| x.partial_cmp(y).expect("finite bounds"));
     cuts.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
@@ -200,7 +197,8 @@ mod tests {
         ])
         .unwrap();
         let rough = Histogram1D::uniform(0.0, 30.0).unwrap();
-        let better = Histogram1D::from_entries(vec![(b(0.0, 15.0), 0.4), (b(15.0, 30.0), 0.6)]).unwrap();
+        let better =
+            Histogram1D::from_entries(vec![(b(0.0, 15.0), 0.4), (b(15.0, 30.0), 0.6)]).unwrap();
         let kl_rough = kl_divergence_histograms(&reference, &rough);
         let kl_better = kl_divergence_histograms(&reference, &better);
         assert!(kl_better < kl_rough);

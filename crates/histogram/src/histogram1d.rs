@@ -76,10 +76,7 @@ impl Histogram1D {
                 return Err(HistError::InvalidProbability(p));
             }
         }
-        let mut cuts: Vec<f64> = entries
-            .iter()
-            .flat_map(|(b, _)| [b.lo, b.hi])
-            .collect();
+        let mut cuts: Vec<f64> = entries.iter().flat_map(|(b, _)| [b.lo, b.hi]).collect();
         cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds"));
         cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         let mut out: Vec<(Bucket, f64)> = Vec::with_capacity(cuts.len());
@@ -360,9 +357,7 @@ mod tests {
     #[test]
     fn from_entries_rejects_overlap_and_empty() {
         assert!(Histogram1D::from_entries(vec![]).is_err());
-        assert!(
-            Histogram1D::from_entries(vec![(b(0.0, 10.0), 0.5), (b(5.0, 15.0), 0.5)]).is_err()
-        );
+        assert!(Histogram1D::from_entries(vec![(b(0.0, 10.0), 0.5), (b(5.0, 15.0), 0.5)]).is_err());
         assert!(Histogram1D::from_entries(vec![(b(0.0, 1.0), -0.5)]).is_err());
     }
 
@@ -390,7 +385,11 @@ mod tests {
         for (i, &(lo, hi, p)) in expect.iter().enumerate() {
             assert!((h.buckets()[i].lo - lo).abs() < 1e-9, "bucket {i} lo");
             assert!((h.buckets()[i].hi - hi).abs() < 1e-9, "bucket {i} hi");
-            assert!((h.probs()[i] - p).abs() < 1e-6, "bucket {i} prob {}", h.probs()[i]);
+            assert!(
+                (h.probs()[i] - p).abs() < 1e-6,
+                "bucket {i} prob {}",
+                h.probs()[i]
+            );
         }
         assert!((h.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
@@ -428,7 +427,8 @@ mod tests {
 
     #[test]
     fn sampling_stays_in_support_and_tracks_mean() {
-        let h = Histogram1D::from_entries(vec![(b(10.0, 20.0), 0.3), (b(40.0, 60.0), 0.7)]).unwrap();
+        let h =
+            Histogram1D::from_entries(vec![(b(10.0, 20.0), 0.3), (b(40.0, 60.0), 0.7)]).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let mut sum = 0.0;
         let n = 5000;
@@ -438,7 +438,10 @@ mod tests {
             sum += x;
         }
         let sample_mean = sum / n as f64;
-        assert!((sample_mean - h.mean()).abs() < 1.0, "sample mean {sample_mean}");
+        assert!(
+            (sample_mean - h.mean()).abs() < 1.0,
+            "sample mean {sample_mean}"
+        );
     }
 
     #[test]

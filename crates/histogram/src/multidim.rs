@@ -219,10 +219,8 @@ impl HistogramNd {
     /// Marginal of a single dimension as a 1-D histogram.
     pub fn marginal_1d(&self, dim: usize) -> Result<Histogram1D, HistError> {
         let m = self.marginal(&[dim])?;
-        let entries: Vec<(Bucket, f64)> = m
-            .iter_cells()
-            .map(|(buckets, p)| (buckets[0], p))
-            .collect();
+        let entries: Vec<(Bucket, f64)> =
+            m.iter_cells().map(|(buckets, p)| (buckets[0], p)).collect();
         Histogram1D::from_overlapping(&entries)
     }
 
@@ -230,9 +228,7 @@ impl HistogramNd {
     ///
     /// This is the `H(C_P)` quantity appearing in Theorems 1–3.
     pub fn entropy(&self) -> f64 {
-        crate::divergence::entropy_of_probs(
-            &self.cells.iter().map(|(_, p)| *p).collect::<Vec<_>>(),
-        )
+        crate::divergence::entropy_of_probs(&self.cells.iter().map(|(_, p)| *p).collect::<Vec<_>>())
     }
 
     /// Transforms the joint distribution into the path's (univariate) cost
@@ -243,10 +239,7 @@ impl HistogramNd {
         let entries: Vec<(Bucket, f64)> = self
             .iter_cells()
             .map(|(buckets, p)| {
-                let bucket = buckets
-                    .iter()
-                    .skip(1)
-                    .fold(buckets[0], |acc, b| acc.sum(b));
+                let bucket = buckets.iter().skip(1).fold(buckets[0], |acc, b| acc.sum(b));
                 (bucket, p)
             })
             .collect();
@@ -353,8 +346,7 @@ mod tests {
             let m = nd.marginal_1d(d).unwrap();
             assert!((m.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
             // The marginal mean should be close to the column mean.
-            let col_mean: f64 =
-                samples.iter().map(|s| s[d]).sum::<f64>() / samples.len() as f64;
+            let col_mean: f64 = samples.iter().map(|s| s[d]).sum::<f64>() / samples.len() as f64;
             assert!(
                 (m.mean() - col_mean).abs() < 15.0,
                 "marginal mean {} vs column mean {}",
@@ -367,7 +359,13 @@ mod tests {
     #[test]
     fn marginal_over_subset_preserves_mass() {
         let samples: Vec<Vec<f64>> = (0..200)
-            .map(|i| vec![(i % 7) as f64 * 10.0, (i % 5) as f64 * 20.0, (i % 3) as f64 * 30.0])
+            .map(|i| {
+                vec![
+                    (i % 7) as f64 * 10.0,
+                    (i % 5) as f64 * 20.0,
+                    (i % 3) as f64 * 30.0,
+                ]
+            })
             .collect();
         let nd = HistogramNd::from_samples(&samples, &AutoConfig::default()).unwrap();
         let m = nd.marginal(&[0, 2]).unwrap();
@@ -383,7 +381,10 @@ mod tests {
         // Figure 7's joint distribution:
         //   ce1 ∈ [20,30) × ce2 ∈ [20,40): 0.30    ce1 ∈ [30,50) × ce2 ∈ [20,40): 0.25
         //   ce1 ∈ [20,30) × ce2 ∈ [40,60): 0.20    ce1 ∈ [30,50) × ce2 ∈ [40,60): 0.25
-        let axes = vec![vec![b(20.0, 30.0), b(30.0, 50.0)], vec![b(20.0, 40.0), b(40.0, 60.0)]];
+        let axes = vec![
+            vec![b(20.0, 30.0), b(30.0, 50.0)],
+            vec![b(20.0, 40.0), b(40.0, 60.0)],
+        ];
         let cells = vec![
             (vec![0u32, 0u32], 0.30),
             (vec![1, 0], 0.25),
@@ -405,19 +406,24 @@ mod tests {
         for (i, &(lo, hi, p)) in expect.iter().enumerate() {
             assert!((cost.buckets()[i].lo - lo).abs() < 1e-9);
             assert!((cost.buckets()[i].hi - hi).abs() < 1e-9);
-            assert!((cost.probs()[i] - p).abs() < 1e-5, "prob {i}: {}", cost.probs()[i]);
+            assert!(
+                (cost.probs()[i] - p).abs() < 1e-5,
+                "prob {i}: {}",
+                cost.probs()[i]
+            );
         }
     }
 
     #[test]
     fn entropy_of_joint_at_least_entropy_of_marginals_under_dependence() {
         // A perfectly correlated joint: knowing one dimension determines the other.
-        let axes = vec![vec![b(0.0, 10.0), b(10.0, 20.0)], vec![b(0.0, 10.0), b(10.0, 20.0)]];
-        let correlated = HistogramNd::from_cells(
-            axes.clone(),
-            vec![(vec![0, 0], 0.5), (vec![1, 1], 0.5)],
-        )
-        .unwrap();
+        let axes = vec![
+            vec![b(0.0, 10.0), b(10.0, 20.0)],
+            vec![b(0.0, 10.0), b(10.0, 20.0)],
+        ];
+        let correlated =
+            HistogramNd::from_cells(axes.clone(), vec![(vec![0, 0], 0.5), (vec![1, 1], 0.5)])
+                .unwrap();
         let independent = HistogramNd::from_cells(
             axes,
             vec![
@@ -457,8 +463,8 @@ mod tests {
 
     #[test]
     fn storage_accounting_is_positive_and_monotone() {
-        let small = HistogramNd::from_samples(&figure6_samples()[..50].to_vec(), &AutoConfig::default())
-            .unwrap();
+        let small =
+            HistogramNd::from_samples(&figure6_samples()[..50], &AutoConfig::default()).unwrap();
         let large = HistogramNd::from_samples(&figure6_samples(), &AutoConfig::default()).unwrap();
         assert!(small.storage_bytes() > 0);
         assert!(large.storage_bytes() >= small.storage_bytes());

@@ -84,11 +84,11 @@ impl RawDistribution {
         if total <= 0.0 {
             return Err(HistError::InvalidProbability(total));
         }
-        let mut values = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
         let mut probs = Vec::with_capacity(sorted.len());
         for (v, p) in sorted {
             if let Some(&last) = values.last() {
-                if (v - last as f64).abs() < 1e-12 {
+                if (v - last).abs() < 1e-12 {
                     *probs.last_mut().expect("non-empty") += p / total;
                     continue;
                 }

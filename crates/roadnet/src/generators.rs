@@ -116,13 +116,16 @@ fn generate_grid(cfg: &GeneratorConfig) -> RoadNetwork {
 
     let category_for = |r: usize, c: usize, horizontal: bool| -> RoadCategory {
         let on_frame = r == 0 || r == rows - 1 || c == 0 || c == cols - 1;
-        if on_frame && ((horizontal && (r == 0 || r == rows - 1)) || (!horizontal && (c == 0 || c == cols - 1))) {
+        if on_frame
+            && ((horizontal && (r == 0 || r == rows - 1))
+                || (!horizontal && (c == 0 || c == cols - 1)))
+        {
             return RoadCategory::Motorway;
         }
-        if (horizontal && r % 4 == 0) || (!horizontal && c % 4 == 0) {
+        if (horizontal && r.is_multiple_of(4)) || (!horizontal && c.is_multiple_of(4)) {
             return RoadCategory::Arterial;
         }
-        if (horizontal && r % 2 == 0) || (!horizontal && c % 2 == 0) {
+        if (horizontal && r.is_multiple_of(2)) || (!horizontal && c.is_multiple_of(2)) {
             return RoadCategory::Collector;
         }
         RoadCategory::Residential
@@ -178,6 +181,8 @@ fn generate_ring_radial(cfg: &GeneratorConfig) -> RoadNetwork {
     }
 
     // Radial edges: arterial spokes from the centre outwards.
+    // `k` indexes several rings at once, so an iterator would not be clearer.
+    #[allow(clippy::needless_range_loop)]
     for k in 0..radials {
         let _ = builder.add_two_way(centre, ring_vertices[0][k], RoadCategory::Arterial);
         for ring in 0..rings - 1 {
@@ -212,7 +217,8 @@ mod tests {
         assert_eq!(a.vertex_count(), b.vertex_count());
         assert_eq!(a.edge_count(), b.edge_count());
         assert_eq!(
-            a.edges()[10].length_m, b.edges()[10].length_m,
+            a.edges()[10].length_m,
+            b.edges()[10].length_m,
             "same seed must give identical networks"
         );
         let c = GeneratorConfig::aalborg_like(8).generate();
@@ -244,7 +250,10 @@ mod tests {
 
     #[test]
     fn every_edge_connects_known_vertices() {
-        for cfg in [GeneratorConfig::aalborg_like(5), GeneratorConfig::beijing_like(5)] {
+        for cfg in [
+            GeneratorConfig::aalborg_like(5),
+            GeneratorConfig::beijing_like(5),
+        ] {
             let net = cfg.generate();
             for e in net.edges() {
                 assert!(net.vertex(e.from).is_ok());

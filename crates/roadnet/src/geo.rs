@@ -67,10 +67,7 @@ impl Polyline {
 
     /// Total length of the polyline in metres.
     pub fn length(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].distance(&w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].distance(&w[1])).sum()
     }
 
     /// The point a fraction `t` (clamped to `[0, 1]`) along the polyline,
@@ -177,7 +174,10 @@ mod tests {
     fn segment_distance_projects_and_clamps() {
         let a = Point::new(0.0, 0.0);
         let b = Point::new(10.0, 0.0);
-        assert!(approx(point_segment_distance(&Point::new(5.0, 3.0), &a, &b), 3.0));
+        assert!(approx(
+            point_segment_distance(&Point::new(5.0, 3.0), &a, &b),
+            3.0
+        ));
         assert!(approx(
             point_segment_distance(&Point::new(-4.0, 3.0), &a, &b),
             5.0

@@ -175,7 +175,10 @@ impl RoadNetwork {
     /// Returns `true` if `second` can directly follow `first` on a path,
     /// i.e. the end vertex of `first` is the start vertex of `second`.
     pub fn edges_adjacent(&self, first: EdgeId, second: EdgeId) -> bool {
-        match (self.edges.get(first.index()), self.edges.get(second.index())) {
+        match (
+            self.edges.get(first.index()),
+            self.edges.get(second.index()),
+        ) {
             (Some(a), Some(b)) => a.to == b.from,
             _ => false,
         }

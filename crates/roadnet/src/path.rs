@@ -172,11 +172,7 @@ impl Path {
         for len in (1..=self.edges.len().min(other.edges.len())).rev() {
             for start in 0..=self.edges.len() - len {
                 let candidate = &self.edges[start..start + len];
-                if other
-                    .edges
-                    .windows(len)
-                    .any(|w| w == candidate)
-                {
+                if other.edges.windows(len).any(|w| w == candidate) {
                     best = Some(candidate);
                     break;
                 }
@@ -253,9 +249,7 @@ impl Path {
         }
         self.edges
             .windows(len)
-            .map(|w| Path {
-                edges: w.to_vec(),
-            })
+            .map(|w| Path { edges: w.to_vec() })
             .collect()
     }
 
@@ -272,6 +266,28 @@ impl Path {
     /// The sub-path covering the first `len` edges.
     pub fn prefix(&self, len: usize) -> Option<Path> {
         self.slice(0, len)
+    }
+
+    /// A cheap, deterministic 64-bit fingerprint of the edge sequence
+    /// (FNV-1a over the edge identifiers).
+    ///
+    /// Intended as a pre-computed hash for cache sharding and lookup: equal
+    /// paths always have equal fingerprints, and collisions between distinct
+    /// paths are possible (≈ 2⁻⁶⁴ per pair), so callers that must be exact —
+    /// like a distribution cache — should confirm with `==` on a fingerprint
+    /// match rather than trusting it alone.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for edge in &self.edges {
+            let mut bytes = edge.0 as u64;
+            // Two FNV rounds per 32-bit id keep avalanche reasonable.
+            for _ in 0..2 {
+                hash ^= bytes & 0xFFFF_FFFF;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+                bytes >>= 16;
+            }
+        }
+        hash
     }
 }
 
@@ -429,6 +445,14 @@ mod tests {
         let vs = path.vertices(&net).unwrap();
         assert_eq!(vs, vec![VertexId(0), VertexId(1), VertexId(2)]);
         assert!((path.length_m(&net).unwrap() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic_and_order_sensitive() {
+        assert_eq!(p(&[1, 2, 3]).fingerprint(), p(&[1, 2, 3]).fingerprint());
+        assert_ne!(p(&[1, 2, 3]).fingerprint(), p(&[3, 2, 1]).fingerprint());
+        assert_ne!(p(&[1, 2]).fingerprint(), p(&[1, 2, 3]).fingerprint());
+        assert_ne!(p(&[1]).fingerprint(), p(&[2]).fingerprint());
     }
 
     #[test]

@@ -87,7 +87,10 @@ where
             if c < best[next.index()] {
                 best[next.index()] = c;
                 parent[next.index()] = Some(edge);
-                heap.push(QueueEntry { cost: c, edge: next });
+                heap.push(QueueEntry {
+                    cost: c,
+                    edge: next,
+                });
             }
         }
     }
@@ -106,7 +109,9 @@ where
 /// Shortest path by free-flow travel time.
 pub fn fastest_path(net: &RoadNetwork, from: VertexId, to: VertexId) -> Option<Path> {
     shortest_path(net, from, to, |e| {
-        net.edge(e).map(|edge| edge.free_flow_time_s()).unwrap_or(f64::INFINITY)
+        net.edge(e)
+            .map(|edge| edge.free_flow_time_s())
+            .unwrap_or(f64::INFINITY)
     })
 }
 
@@ -181,7 +186,9 @@ mod tests {
             if from == to {
                 continue;
             }
-            let jitter: Vec<f64> = (0..net.edge_count()).map(|_| rng.gen_range(0.8..1.2)).collect();
+            let jitter: Vec<f64> = (0..net.edge_count())
+                .map(|_| rng.gen_range(0.8..1.2))
+                .collect();
             if let Some(path) = shortest_path(&net, from, to, |e| {
                 net.edge(e).unwrap().free_flow_time_s() * jitter[e.index()]
             }) {

@@ -215,7 +215,11 @@ mod tests {
             .route(&od, source, destination, departure, ff * 3.0)
             .unwrap()
             .expect("a path should be found");
-        assert!(result.probability > 0.5, "probability {}", result.probability);
+        assert!(
+            result.probability > 0.5,
+            "probability {}",
+            result.probability
+        );
         let vs = result.path.vertices(&f.net).unwrap();
         assert_eq!(*vs.first().unwrap(), source);
         assert_eq!(*vs.last().unwrap(), destination);
@@ -255,7 +259,14 @@ mod tests {
         assert!(router
             .route(&od, VertexId(3), VertexId(40_000), departure, 600.0)
             .is_err());
-        assert!(DfsRouter::new(&graph, RouterConfig { max_expansions: 0, ..Default::default() }).is_err());
+        assert!(DfsRouter::new(
+            &graph,
+            RouterConfig {
+                max_expansions: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -273,8 +284,12 @@ mod tests {
             &fastest_path(&f.net, source, destination).unwrap(),
         );
         let budget = ff * 3.0;
-        let od_result = router.route(&od, source, destination, departure, budget).unwrap();
-        let lb_result = router.route(&lb, source, destination, departure, budget).unwrap();
+        let od_result = router
+            .route(&od, source, destination, departure, budget)
+            .unwrap();
+        let lb_result = router
+            .route(&lb, source, destination, departure, budget)
+            .unwrap();
         assert!(od_result.is_some());
         assert!(lb_result.is_some());
     }

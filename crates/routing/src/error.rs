@@ -56,6 +56,8 @@ mod tests {
         assert!(e.to_string().contains("estimation"));
         let e: RoutingError = pathcost_roadnet::RoadNetError::EmptyPath.into();
         assert!(matches!(e, RoutingError::RoadNet(_)));
-        assert!(RoutingError::Unreachable.to_string().contains("unreachable"));
+        assert!(RoutingError::Unreachable
+            .to_string()
+            .contains("unreachable"));
     }
 }

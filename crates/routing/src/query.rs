@@ -18,15 +18,24 @@ pub fn prob_within_budget(distribution: &Histogram1D, budget_s: f64) -> f64 {
 /// for every budget, the probability of arriving within the budget under `a`
 /// is at least that under `b` (and strictly greater for some budget).
 pub fn dominates_stochastically(a: &Histogram1D, b: &Histogram1D) -> bool {
-    // Evaluate the CDFs on the union of bucket boundaries.
+    // A histogram without buckets carries no mass: dominance is undefined, so
+    // report "does not dominate" instead of panicking downstream.
+    if a.buckets().is_empty() || b.buckets().is_empty() {
+        return false;
+    }
+    // Evaluate the CDFs on the union of bucket boundaries. `total_cmp` keeps
+    // the sort total even for non-finite bounds, and exact dedup preserves
+    // cut points that are distinct but closer than any absolute epsilon
+    // (an `|x − y| < 1e-12` window drops distinct small-magnitude cuts while
+    // keeping large-magnitude neighbours it should merge).
     let mut cuts: Vec<f64> = a
         .buckets()
         .iter()
         .chain(b.buckets().iter())
         .flat_map(|bk| [bk.lo, bk.hi])
         .collect();
-    cuts.sort_by(|x, y| x.partial_cmp(y).expect("finite bounds"));
-    cuts.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup();
     let mut strictly_better = false;
     for &c in &cuts {
         let pa = a.prob_leq(c);
@@ -51,7 +60,7 @@ pub fn rank_by_probability<L: Clone>(
         .iter()
         .map(|(label, dist)| (label.clone(), prob_within_budget(dist, budget_s)))
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probabilities"));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     ranked
 }
 
@@ -98,6 +107,20 @@ mod tests {
         let steady = hist(&[(20.0, 30.0, 1.0)]);
         assert!(!dominates_stochastically(&risky, &steady));
         assert!(!dominates_stochastically(&steady, &risky));
+    }
+
+    #[test]
+    fn dominance_distinguishes_cut_points_below_the_old_epsilon() {
+        // Regression: the previous implementation deduplicated cut points with
+        // an absolute `|x − y| < 1e-12` window, collapsing all boundaries of
+        // these sub-picosecond-scale distributions into a single cut and
+        // reporting "no dominance" for a pair with a strictly better CDF.
+        let a = hist(&[(0.0, 1e-13, 1.0)]);
+        let b = hist(&[(0.0, 2e-13, 1.0)]);
+        assert!(dominates_stochastically(&a, &b));
+        assert!(!dominates_stochastically(&b, &a));
+        // Self-comparison stays non-dominant at small magnitudes too.
+        assert!(!dominates_stochastically(&a, &a));
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Batch execution: deduplicated estimation fan-out over a worker pool.
+//!
+//! A realistic serving workload hands the engine many queries at once, and
+//! those queries overlap: commuters ask about the same popular paths, a
+//! ranking query shares candidates with point estimates, and every departure
+//! inside one α-interval needs the same decomposition. The batch executor
+//! exploits that in two phases:
+//!
+//! 1. **Warm** — collect the `(path, interval)` estimation jobs of every
+//!    request in the batch, deduplicate them (the shared-decomposition-work
+//!    dedup), and fan the unique jobs out across a scoped worker pool so the
+//!    cache is populated once per distinct job with no duplicated estimator
+//!    work.
+//! 2. **Answer** — execute the requests themselves (again fanned out across
+//!    the pool; `Route` searches do their real work here), each reading
+//!    through the now-warm cache.
+//!
+//! Because both phases go through [`QueryEngine::execute`]'s cache-backed
+//! estimation, a batch returns exactly the same responses as executing its
+//! requests sequentially — the fan-out changes wall-clock time, not results.
+//! Plain `std::thread::scope` workers are enough here: the jobs are CPU-bound
+//! with no I/O to overlap, so an async runtime would add nothing.
+
+use crate::engine::{QueryCounters, QueryEngine};
+use crate::error::ServiceError;
+use crate::request::{QueryOutcome, QueryRequest};
+use pathcost_core::IntervalId;
+use pathcost_roadnet::Path;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+impl QueryEngine<'_> {
+    /// Executes a batch of queries, deduplicating shared estimation work and
+    /// fanning out across [`QueryEngine::worker_count`] scoped threads.
+    ///
+    /// Results come back in request order, each independently succeeding or
+    /// failing; identical to running [`QueryEngine::execute`] per request,
+    /// only faster.
+    pub fn execute_batch(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Vec<Result<QueryOutcome, ServiceError>> {
+        // Phase 1: collect and deduplicate the estimation jobs.
+        let mut unique: HashMap<u64, Vec<(&Path, IntervalId)>> = HashMap::new();
+        let mut total_jobs: u64 = 0;
+        for request in requests {
+            for (path, departure) in estimation_jobs(request) {
+                total_jobs += 1;
+                let interval = self.interval_of(departure);
+                let fingerprint = interval.mix_fingerprint(path.fingerprint());
+                let slot = unique.entry(fingerprint).or_default();
+                if !slot.iter().any(|(p, i)| *i == interval && *p == path) {
+                    slot.push((path, interval));
+                }
+            }
+        }
+        let jobs: Vec<(&Path, IntervalId)> = unique.into_values().flatten().collect();
+        let deduplicated = total_jobs.saturating_sub(jobs.len() as u64);
+        self.recorder
+            .record_batch(requests.len() as u64, deduplicated);
+
+        // Warm the cache once per unique job. Failures are not fatal here:
+        // the answer phase re-encounters them per request and reports them
+        // with the right request context.
+        let warm_counters = QueryCounters::default();
+        self.for_each_index(jobs.len(), |i| {
+            let (path, interval) = jobs[i];
+            let _ = self.estimate_cached(path, self.canonical_departure(interval), &warm_counters);
+        });
+
+        // Phase 2: answer every request against the warm cache.
+        let slots: Vec<Mutex<Option<Result<QueryOutcome, ServiceError>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        self.for_each_index(requests.len(), |i| {
+            let outcome = self.execute(&requests[i]);
+            *slots[i].lock().expect("batch slot poisoned") = Some(outcome);
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("batch slot poisoned")
+                    .expect("every request index was answered")
+            })
+            .collect()
+    }
+
+    /// Runs `f(0..count)` across the worker pool (inline when the pool or the
+    /// work degenerates to one).
+    fn for_each_index<F: Fn(usize) + Sync>(&self, count: usize, f: F) {
+        let workers = self.worker_count().min(count);
+        if workers <= 1 {
+            for i in 0..count {
+                f(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    f(i);
+                });
+            }
+        });
+    }
+}
+
+/// The `(path, departure)` estimations a request will need.
+///
+/// `Route` contributes none: its candidate paths only materialise during the
+/// DFS search, which reads through the cache on its own.
+fn estimation_jobs(request: &QueryRequest) -> Vec<(&Path, pathcost_traj::Timestamp)> {
+    match request {
+        QueryRequest::EstimateDistribution { path, departure } => vec![(path, *departure)],
+        QueryRequest::ProbWithinBudget {
+            path, departure, ..
+        } => vec![(path, *departure)],
+        QueryRequest::RankPaths {
+            candidates,
+            departure,
+            ..
+        } => candidates.iter().map(|p| (p, *departure)).collect(),
+        QueryRequest::Route { .. } => Vec::new(),
+    }
+}

@@ -1,0 +1,361 @@
+//! Sharded LRU cache for estimated cost distributions.
+//!
+//! The hybrid graph's weight function is defined per α-minute interval (§3.1
+//! of the paper), and the serving engine canonicalises every departure to
+//! its interval's anchor, which makes the cached distribution a pure
+//! function of `(path, departure interval)` *by construction* (see the
+//! crate-level "Semantics" notes for the sub-interval sensitivity this
+//! trades away). That pair — fingerprinted through [`Path::fingerprint`]
+//! and [`IntervalId::mix_fingerprint`] — keys the cache; every departure
+//! inside the same interval hits the same entry, which is what turns a
+//! repeated-query workload into O(1) lookups.
+//!
+//! Concurrency model: the key space is split across `shards` independent
+//! mutex-protected LRU maps selected by the high bits of the fingerprint, so
+//! concurrent readers/writers only contend when they touch the same shard.
+//! Each shard is an exact LRU: a `HashMap` into a slab of intrusively
+//! doubly-linked nodes, giving O(1) lookup, touch and eviction.
+
+use pathcost_core::IntervalId;
+use pathcost_hist::Histogram1D;
+use pathcost_roadnet::Path;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A cached estimation result.
+#[derive(Debug, Clone)]
+pub struct CachedDistribution {
+    /// The estimated cost distribution of the path over its interval.
+    pub histogram: Histogram1D,
+    /// Number of components in the coarsest decomposition that produced it.
+    pub decomposition_depth: usize,
+}
+
+/// Cache key: interval-mixed path fingerprint plus the exact pair for
+/// collision-proof equality.
+#[derive(Debug, Clone)]
+struct Key {
+    fingerprint: u64,
+    interval: IntervalId,
+    path: Path,
+}
+
+impl Key {
+    fn matches(&self, fingerprint: u64, interval: IntervalId, path: &Path) -> bool {
+        self.fingerprint == fingerprint && self.interval == interval && &self.path == path
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: Key,
+    value: CachedDistribution,
+    prev: usize,
+    next: usize,
+}
+
+/// One mutex-protected exact-LRU shard.
+struct Shard {
+    /// fingerprint → slab indices of nodes with that fingerprint (collisions
+    /// between distinct `(path, interval)` pairs are resolved by `Key::matches`).
+    index: HashMap<u64, Vec<usize>>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    len: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            index: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, at: usize) {
+        let (prev, next) = (self.slab[at].prev, self.slab[at].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, at: usize) {
+        self.slab[at].prev = NIL;
+        self.slab[at].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = at;
+        }
+        self.head = at;
+        if self.tail == NIL {
+            self.tail = at;
+        }
+    }
+
+    fn get(
+        &mut self,
+        fingerprint: u64,
+        interval: IntervalId,
+        path: &Path,
+    ) -> Option<CachedDistribution> {
+        let at = self
+            .index
+            .get(&fingerprint)?
+            .iter()
+            .copied()
+            .find(|&i| self.slab[i].key.matches(fingerprint, interval, path))?;
+        self.unlink(at);
+        self.push_front(at);
+        Some(self.slab[at].value.clone())
+    }
+
+    fn insert(
+        &mut self,
+        fingerprint: u64,
+        interval: IntervalId,
+        path: &Path,
+        value: CachedDistribution,
+    ) {
+        if let Some(slots) = self.index.get(&fingerprint) {
+            if let Some(&at) = slots
+                .iter()
+                .find(|&&i| self.slab[i].key.matches(fingerprint, interval, path))
+            {
+                self.slab[at].value = value;
+                self.unlink(at);
+                self.push_front(at);
+                return;
+            }
+        }
+        if self.len >= self.capacity {
+            self.evict_tail();
+        }
+        let key = Key {
+            fingerprint,
+            interval,
+            path: path.clone(),
+        };
+        let node = Node {
+            key,
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let at = match self.free.pop() {
+            Some(at) => {
+                self.slab[at] = node;
+                at
+            }
+            None => {
+                self.slab.push(node);
+                self.slab.len() - 1
+            }
+        };
+        self.index.entry(fingerprint).or_default().push(at);
+        self.push_front(at);
+        self.len += 1;
+    }
+
+    fn evict_tail(&mut self) {
+        let at = self.tail;
+        if at == NIL {
+            return;
+        }
+        self.unlink(at);
+        let fingerprint = self.slab[at].key.fingerprint;
+        if let Some(slots) = self.index.get_mut(&fingerprint) {
+            slots.retain(|&i| i != at);
+            if slots.is_empty() {
+                self.index.remove(&fingerprint);
+            }
+        }
+        self.free.push(at);
+        self.len -= 1;
+    }
+}
+
+/// The sharded distribution cache.
+pub struct DistributionCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl DistributionCache {
+    /// A cache with `shards` shards of `shard_capacity` entries each.
+    pub fn new(shards: usize, shard_capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let shard_capacity = shard_capacity.max(1);
+        DistributionCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(shard_capacity)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, fingerprint: u64) -> &Mutex<Shard> {
+        // High bits: the low bits feed the per-shard HashMap.
+        let i = (fingerprint >> 48) as usize % self.shards.len();
+        &self.shards[i]
+    }
+
+    /// Looks up `(path, interval)`, refreshing its recency on a hit.
+    pub fn get(&self, path: &Path, interval: IntervalId) -> Option<CachedDistribution> {
+        let fingerprint = interval.mix_fingerprint(path.fingerprint());
+        let found = self
+            .shard_of(fingerprint)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(fingerprint, interval, path);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts (or refreshes) the entry for `(path, interval)`.
+    pub fn insert(&self, path: &Path, interval: IntervalId, value: CachedDistribution) {
+        let fingerprint = interval.mix_fingerprint(path.fingerprint());
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.shard_of(fingerprint)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(fingerprint, interval, path, value);
+    }
+
+    /// Number of entries currently cached, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len)
+            .sum()
+    }
+
+    /// `true` when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit counter.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss counter.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime insertion counter.
+    pub fn insertions(&self) -> u64 {
+        self.insertions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcost_hist::{Bucket, Histogram1D};
+    use pathcost_roadnet::EdgeId;
+
+    fn value(mean: f64) -> CachedDistribution {
+        CachedDistribution {
+            histogram: Histogram1D::from_entries(vec![(
+                Bucket::new(mean - 1.0, mean + 1.0).unwrap(),
+                1.0,
+            )])
+            .unwrap(),
+            decomposition_depth: 1,
+        }
+    }
+
+    fn path(ids: &[u32]) -> Path {
+        Path::from_edges_unchecked(ids.iter().map(|&i| EdgeId(i)).collect())
+    }
+
+    #[test]
+    fn get_after_insert_round_trips_and_counts() {
+        let cache = DistributionCache::new(4, 8);
+        let p = path(&[1, 2, 3]);
+        assert!(cache.get(&p, IntervalId(3)).is_none());
+        cache.insert(&p, IntervalId(3), value(10.0));
+        let got = cache.get(&p, IntervalId(3)).expect("cached");
+        assert!((got.histogram.mean() - 10.0).abs() < 1e-9);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn intervals_key_independent_entries() {
+        let cache = DistributionCache::new(4, 8);
+        let p = path(&[1, 2, 3]);
+        cache.insert(&p, IntervalId(0), value(10.0));
+        cache.insert(&p, IntervalId(1), value(20.0));
+        assert_eq!(cache.len(), 2);
+        assert!((cache.get(&p, IntervalId(0)).unwrap().histogram.mean() - 10.0).abs() < 1e-9);
+        assert!((cache.get(&p, IntervalId(1)).unwrap().histogram.mean() - 20.0).abs() < 1e-9);
+        assert!(cache.get(&p, IntervalId(2)).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let cache = DistributionCache::new(1, 2);
+        let (a, b, c) = (path(&[1]), path(&[2]), path(&[3]));
+        cache.insert(&a, IntervalId(0), value(1.0));
+        cache.insert(&b, IntervalId(0), value(2.0));
+        // Touch `a` so `b` is the LRU entry, then overflow.
+        assert!(cache.get(&a, IntervalId(0)).is_some());
+        cache.insert(&c, IntervalId(0), value(3.0));
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache.get(&a, IntervalId(0)).is_some(),
+            "recently used survives"
+        );
+        assert!(cache.get(&b, IntervalId(0)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&c, IntervalId(0)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_without_growing() {
+        let cache = DistributionCache::new(1, 4);
+        let p = path(&[7, 8]);
+        cache.insert(&p, IntervalId(5), value(1.0));
+        cache.insert(&p, IntervalId(5), value(9.0));
+        assert_eq!(cache.len(), 1);
+        assert!((cache.get(&p, IntervalId(5)).unwrap().histogram.mean() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_slots_are_reused() {
+        let cache = DistributionCache::new(1, 2);
+        for i in 0..100u32 {
+            cache.insert(&path(&[i]), IntervalId(0), value(i as f64 + 1.0));
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&path(&[99]), IntervalId(0)).is_some());
+        assert!(cache.get(&path(&[98]), IntervalId(0)).is_some());
+        assert!(cache.get(&path(&[0]), IntervalId(0)).is_none());
+    }
+}

@@ -1,0 +1,319 @@
+//! The query engine: cache-backed serving of path-cost-distribution queries.
+
+use crate::cache::{CachedDistribution, DistributionCache};
+use crate::error::ServiceError;
+use crate::request::{QueryOutcome, QueryRequest, QueryResponse, QueryStats, RankedPath};
+use crate::stats::{ServiceStats, StatsRecorder};
+use pathcost_core::interval::DayPartition;
+use pathcost_core::{CostEstimator, EstimateBreakdown, HybridGraph, IntervalId, OdEstimator};
+use pathcost_hist::Histogram1D;
+use pathcost_roadnet::Path;
+use pathcost_routing::{prob_within_budget, DfsRouter, RouterConfig};
+use pathcost_traj::{TimeOfDay, Timestamp};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of the query engine.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of independent cache shards (lock granularity).
+    pub cache_shards: usize,
+    /// LRU capacity of each shard, in `(path, interval)` entries.
+    pub shard_capacity: usize,
+    /// Worker threads for batch execution; `None` uses the machine's
+    /// available parallelism.
+    pub workers: Option<usize>,
+    /// Configuration of the DFS router answering `Route` requests.
+    pub router: RouterConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_shards: 16,
+            shard_capacity: 512,
+            workers: None,
+            router: RouterConfig::default(),
+        }
+    }
+}
+
+/// Per-query tallies, updated through shared references (the routing
+/// estimator adapter only sees `&self`).
+#[derive(Default)]
+pub(crate) struct QueryCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    max_depth: AtomicUsize,
+}
+
+impl QueryCounters {
+    fn record(&self, hit: bool, depth: usize) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.max_depth.fetch_max(depth, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A shared, immutable hybrid graph behind a typed query interface.
+///
+/// The engine is `Sync`: one instance serves point lookups, batches and
+/// routing searches from any number of threads, all reading through the same
+/// sharded [`DistributionCache`].
+pub struct QueryEngine<'n> {
+    graph: Arc<HybridGraph<'n>>,
+    partition: DayPartition,
+    cache: DistributionCache,
+    pub(crate) recorder: StatsRecorder,
+    config: ServiceConfig,
+}
+
+impl<'n> QueryEngine<'n> {
+    /// Wraps `graph` for serving.
+    pub fn new(graph: Arc<HybridGraph<'n>>, config: ServiceConfig) -> Self {
+        let partition = graph.weights().partition().clone();
+        let cache = DistributionCache::new(config.cache_shards, config.shard_capacity);
+        QueryEngine {
+            graph,
+            partition,
+            cache,
+            recorder: StatsRecorder::default(),
+            config,
+        }
+    }
+
+    /// The served hybrid graph.
+    pub fn graph(&self) -> &HybridGraph<'n> {
+        &self.graph
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The distribution cache (exposed for inspection and tests).
+    pub fn cache(&self) -> &DistributionCache {
+        &self.cache
+    }
+
+    /// Point-in-time metrics snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        self.recorder
+            .snapshot(self.cache.hits(), self.cache.misses())
+    }
+
+    /// The α-interval a departure falls into.
+    pub fn interval_of(&self, departure: Timestamp) -> IntervalId {
+        self.partition.interval_of(departure.time_of_day())
+    }
+
+    /// The canonical departure the engine estimates an interval at: day 0 at
+    /// the interval's start. All departures inside one interval share this
+    /// anchor — and therefore one cache entry.
+    pub fn canonical_departure(&self, interval: IntervalId) -> Timestamp {
+        Timestamp::new(0, TimeOfDay::wrap(self.partition.range(interval).start))
+    }
+
+    /// Worker threads used for batch fan-out.
+    pub fn worker_count(&self) -> usize {
+        self.config.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+    }
+
+    /// Cache-backed estimation: returns the distribution of `path` over the
+    /// α-interval of `departure`, estimating (and caching) it on a miss.
+    ///
+    /// On a miss this runs [`OdEstimator::estimate_with_decomposition`]
+    /// anchored at [`Self::canonical_departure`], so a cached entry is
+    /// bit-identical to `OdEstimator::estimate` at that anchor.
+    pub(crate) fn estimate_cached(
+        &self,
+        path: &Path,
+        departure: Timestamp,
+        counters: &QueryCounters,
+    ) -> Result<CachedDistribution, ServiceError> {
+        let interval = self.interval_of(departure);
+        if let Some(hit) = self.cache.get(path, interval) {
+            counters.record(true, 0);
+            return Ok(hit);
+        }
+        let canonical = self.canonical_departure(interval);
+        let (histogram, decomposition) =
+            OdEstimator::new(&self.graph).estimate_with_decomposition(path, canonical)?;
+        let depth = decomposition.len();
+        let value = CachedDistribution {
+            histogram,
+            decomposition_depth: depth,
+        };
+        self.cache.insert(path, interval, value.clone());
+        self.recorder.record_estimation(depth);
+        counters.record(false, depth);
+        Ok(value)
+    }
+
+    /// Executes a single query, recording per-query and engine-level stats.
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryOutcome, ServiceError> {
+        let counters = QueryCounters::default();
+        let start = Instant::now();
+        let response = self.execute_inner(request, &counters);
+        let latency = start.elapsed();
+        self.recorder
+            .record_query(request.kind(), latency, response.is_ok());
+        response.map(|response| QueryOutcome {
+            response,
+            stats: QueryStats {
+                cache_hits: counters.hits.load(Ordering::Relaxed),
+                cache_misses: counters.misses.load(Ordering::Relaxed),
+                max_decomposition_depth: counters.max_depth.load(Ordering::Relaxed),
+                latency,
+            },
+        })
+    }
+
+    fn execute_inner(
+        &self,
+        request: &QueryRequest,
+        counters: &QueryCounters,
+    ) -> Result<QueryResponse, ServiceError> {
+        match request {
+            QueryRequest::EstimateDistribution { path, departure } => {
+                let cached = self.estimate_cached(path, *departure, counters)?;
+                Ok(QueryResponse::Distribution(cached.histogram))
+            }
+            QueryRequest::ProbWithinBudget {
+                path,
+                departure,
+                budget_s,
+            } => {
+                validate_budget(*budget_s)?;
+                let cached = self.estimate_cached(path, *departure, counters)?;
+                Ok(QueryResponse::Probability(prob_within_budget(
+                    &cached.histogram,
+                    *budget_s,
+                )))
+            }
+            QueryRequest::RankPaths {
+                candidates,
+                departure,
+                budget_s,
+            } => {
+                validate_budget(*budget_s)?;
+                if candidates.is_empty() {
+                    return Err(ServiceError::InvalidRequest(
+                        "RankPaths needs at least one candidate",
+                    ));
+                }
+                let mut ranking: Vec<RankedPath> = candidates
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(index, path)| {
+                        let cached = self.estimate_cached(path, *departure, counters).ok()?;
+                        Some(RankedPath {
+                            index,
+                            probability: prob_within_budget(&cached.histogram, *budget_s),
+                        })
+                    })
+                    .collect();
+                ranking.sort_by(|a, b| {
+                    b.probability
+                        .total_cmp(&a.probability)
+                        .then(a.index.cmp(&b.index))
+                });
+                Ok(QueryResponse::Ranking(ranking))
+            }
+            QueryRequest::Route {
+                source,
+                destination,
+                departure,
+                budget_s,
+            } => {
+                validate_budget(*budget_s)?;
+                let router = DfsRouter::new(&self.graph, self.config.router.clone())?;
+                let estimator = CachingEstimator::for_query(self, counters);
+                let result =
+                    router.route(&estimator, *source, *destination, *departure, *budget_s)?;
+                Ok(QueryResponse::Route(result))
+            }
+        }
+    }
+}
+
+fn validate_budget(budget_s: f64) -> Result<(), ServiceError> {
+    if !budget_s.is_finite() || budget_s < 0.0 {
+        return Err(ServiceError::InvalidRequest(
+            "budget must be a non-negative finite number of seconds",
+        ));
+    }
+    Ok(())
+}
+
+/// Estimator adapter that lets [`DfsRouter`] (or any [`CostEstimator`]
+/// consumer) read complete-candidate distributions through the engine's
+/// cache: repeated routing over popular OD pairs re-estimates nothing.
+///
+/// Timing caveat: the reported [`EstimateBreakdown`] attributes the whole
+/// call to the joint-computation phase (`joint_s`) on a miss and is zero on a
+/// hit — the cache does not observe the OI/JC/MC split of Figure 17.
+pub struct CachingEstimator<'e, 'n> {
+    engine: &'e QueryEngine<'n>,
+    /// Per-query tallies when created inside [`QueryEngine::execute`];
+    /// standalone adapters observe through [`QueryEngine::stats`] instead.
+    counters: Option<&'e QueryCounters>,
+}
+
+impl<'e, 'n> CachingEstimator<'e, 'n> {
+    /// An adapter over `engine`. Its lookups show up in the engine-level
+    /// [`QueryEngine::stats`] (cache hits/misses, estimations); per-query
+    /// tallies are only collected for adapters the engine creates itself
+    /// while answering a `Route` request.
+    pub fn new(engine: &'e QueryEngine<'n>) -> Self {
+        CachingEstimator {
+            engine,
+            counters: None,
+        }
+    }
+
+    pub(crate) fn for_query(engine: &'e QueryEngine<'n>, counters: &'e QueryCounters) -> Self {
+        CachingEstimator {
+            engine,
+            counters: Some(counters),
+        }
+    }
+}
+
+impl CostEstimator for CachingEstimator<'_, '_> {
+    fn name(&self) -> &str {
+        "OD-cached"
+    }
+
+    fn estimate_with_breakdown(
+        &self,
+        path: &Path,
+        departure: Timestamp,
+    ) -> Result<(Histogram1D, EstimateBreakdown), pathcost_core::CoreError> {
+        let start = Instant::now();
+        let throwaway = QueryCounters::default();
+        let cached = self
+            .engine
+            .estimate_cached(path, departure, self.counters.unwrap_or(&throwaway))
+            .map_err(|e| match e {
+                ServiceError::Core(core) => core,
+                // Non-core failures cannot escape `estimate_cached`.
+                _ => pathcost_core::CoreError::NoDistribution,
+            })?;
+        let breakdown = EstimateBreakdown {
+            decomposition_s: 0.0,
+            joint_s: start.elapsed().as_secs_f64(),
+            marginal_s: 0.0,
+        };
+        Ok((cached.histogram, breakdown))
+    }
+}

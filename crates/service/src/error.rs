@@ -1,0 +1,50 @@
+//! Service-level error type.
+
+use pathcost_core::CoreError;
+use pathcost_roadnet::RoadNetError;
+use pathcost_routing::RoutingError;
+use std::fmt;
+
+/// Anything that can go wrong while serving a query.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The underlying estimator failed (missing distribution, unknown edge…).
+    Core(CoreError),
+    /// The routing search failed (unreachable destination, bad config…).
+    Routing(RoutingError),
+    /// A path in the request is invalid for the served road network.
+    RoadNet(RoadNetError),
+    /// The request itself is malformed (empty candidate list, NaN budget…).
+    InvalidRequest(&'static str),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Core(e) => write!(f, "estimation failed: {e}"),
+            ServiceError::Routing(e) => write!(f, "routing failed: {e}"),
+            ServiceError::RoadNet(e) => write!(f, "invalid path: {e}"),
+            ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+impl From<RoutingError> for ServiceError {
+    fn from(e: RoutingError) -> Self {
+        ServiceError::Routing(e)
+    }
+}
+
+impl From<RoadNetError> for ServiceError {
+    fn from(e: RoadNetError) -> Self {
+        ServiceError::RoadNet(e)
+    }
+}

@@ -1,0 +1,93 @@
+//! # pathcost-service
+//!
+//! A concurrent, cache-backed query-serving layer over the hybrid graph of
+//! Dai et al. (*Path Cost Distribution Estimation Using Trajectory Data*,
+//! PVLDB 10(3), 2016). The estimator crates answer one question at a time;
+//! this crate turns them into a service that answers **many heterogeneous
+//! questions under concurrent traffic** from a single immutable
+//! [`HybridGraph`](pathcost_core::HybridGraph) shared behind an `Arc`.
+//!
+//! ## What it provides
+//!
+//! * **A typed query interface** — [`QueryRequest`] /
+//!   [`QueryResponse`]: full distributions (`EstimateDistribution`),
+//!   arrival-probability point queries (`ProbWithinBudget`), candidate
+//!   ranking (`RankPaths`) and stochastic routing (`Route`), all answered by
+//!   one [`QueryEngine`].
+//! * **A sharded LRU distribution cache** — the paper's §3 time-interval
+//!   discretisation means an estimate is a pure function of
+//!   `(path, departure interval)`; the engine caches exactly that pair
+//!   (keyed by [`Path::fingerprint`](pathcost_roadnet::Path::fingerprint)
+//!   mixed with the
+//!   [`IntervalId`](pathcost_core::IntervalId)), so repeated queries cost an
+//!   O(1) lookup instead of a decomposition.
+//! * **A batch executor** — [`QueryEngine::execute_batch`] deduplicates the
+//!   `(path, interval)` estimation jobs shared across a batch and fans the
+//!   unique work out over scoped worker threads (no async runtime: the work
+//!   is CPU-bound), then answers every request from the warm cache. Batch
+//!   responses are identical to sequential execution.
+//! * **A routing adapter** — [`CachingEstimator`] implements
+//!   [`CostEstimator`](pathcost_core::CostEstimator) by reading through the
+//!   cache, so [`DfsRouter`](pathcost_routing::DfsRouter) searches reuse
+//!   candidate-path distributions across route queries.
+//! * **Observability** — every response carries per-query [`QueryStats`]
+//!   (cache hits/misses, deepest decomposition, latency) and the engine
+//!   aggregates a [`ServiceStats`] snapshot (per-kind query counts, cache
+//!   hit rate, mean decomposition depth, batch dedup savings).
+//!
+//! ## Semantics
+//!
+//! Estimates are **interval-canonical**: a query departing anywhere inside
+//! an α-interval is answered with the distribution estimated at the
+//! interval's start (day 0). Within the engine this is exact — the same
+//! `(path, interval)` always yields the bit-identical histogram, whether it
+//! came from the cache, a batch, or a routing search. Relative to running
+//! `OdEstimator` at the precise departure second it is a deliberate
+//! approximation: candidate selection's shift-and-enlarge windows (§4.1)
+//! start at the exact departure time, so a mid-interval departure could
+//! select slightly different variables than the interval anchor does. The
+//! serving layer trades that sub-interval sensitivity for one cache entry
+//! per `(path, interval)`; callers that need finer granularity should
+//! shrink α in [`HybridConfig`](pathcost_core::HybridConfig).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use pathcost_core::{HybridConfig, HybridGraph};
+//! use pathcost_service::{QueryEngine, QueryRequest, ServiceConfig};
+//! use pathcost_traj::DatasetPreset;
+//! use std::sync::Arc;
+//!
+//! let (net, store) = DatasetPreset::tiny(7).materialise().unwrap();
+//! let graph = HybridGraph::build(&net, &store, HybridConfig::default()).unwrap();
+//! let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+//!
+//! let (path, _) = store.frequent_paths(4, 30, None)[0].clone();
+//! let departure = store.occurrences_on(&path)[0].entry_time;
+//! let outcome = engine
+//!     .execute(&QueryRequest::ProbWithinBudget { path, departure, budget_s: 600.0 })
+//!     .unwrap();
+//! println!(
+//!     "P(≤ 10 min) = {:?}, cache hits {}",
+//!     outcome.response.probability(),
+//!     outcome.stats.cache_hits
+//! );
+//! println!("{:#?}", engine.stats());
+//! ```
+//!
+//! See `examples/serve_queries.rs` for a mixed workload over all four query
+//! kinds and `crates/bench/benches/service_throughput.rs` for the
+//! batch-vs-naive throughput comparison.
+
+pub mod batch;
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod request;
+pub mod stats;
+
+pub use cache::{CachedDistribution, DistributionCache};
+pub use engine::{CachingEstimator, QueryEngine, ServiceConfig};
+pub use error::ServiceError;
+pub use request::{QueryOutcome, QueryRequest, QueryResponse, QueryStats, RankedPath};
+pub use stats::{QueryKind, ServiceStats};

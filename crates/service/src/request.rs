@@ -1,0 +1,146 @@
+//! Typed requests and responses of the query engine.
+
+use crate::stats::QueryKind;
+use pathcost_hist::Histogram1D;
+use pathcost_roadnet::{Path, VertexId};
+use pathcost_routing::RouteResult;
+use pathcost_traj::Timestamp;
+use std::time::Duration;
+
+/// One query against the served hybrid graph.
+#[derive(Debug, Clone)]
+pub enum QueryRequest {
+    /// The full travel-cost distribution of `path` departing at `departure`.
+    EstimateDistribution {
+        /// The query path.
+        path: Path,
+        /// Departure time; estimates are cached per α-interval.
+        departure: Timestamp,
+    },
+    /// `P(cost ≤ budget_s)` for `path` at `departure` (the paper's
+    /// Figure 1(a) question).
+    ProbWithinBudget {
+        /// The query path.
+        path: Path,
+        /// Departure time.
+        departure: Timestamp,
+        /// Cost budget in the weight function's cost unit (seconds for
+        /// travel time).
+        budget_s: f64,
+    },
+    /// Ranks candidate paths by their probability of completing within the
+    /// budget.
+    RankPaths {
+        /// Candidate paths; the response refers to them by index.
+        candidates: Vec<Path>,
+        /// Common departure time.
+        departure: Timestamp,
+        /// Cost budget.
+        budget_s: f64,
+    },
+    /// Stochastic routing: the path from `source` to `destination` that
+    /// maximises the probability of arriving within the budget (§4.3).
+    Route {
+        /// Start vertex.
+        source: VertexId,
+        /// End vertex.
+        destination: VertexId,
+        /// Departure time.
+        departure: Timestamp,
+        /// Travel-time budget in seconds.
+        budget_s: f64,
+    },
+}
+
+impl QueryRequest {
+    pub(crate) fn kind(&self) -> QueryKind {
+        match self {
+            QueryRequest::EstimateDistribution { .. } => QueryKind::Estimate,
+            QueryRequest::ProbWithinBudget { .. } => QueryKind::Probability,
+            QueryRequest::RankPaths { .. } => QueryKind::Rank,
+            QueryRequest::Route { .. } => QueryKind::Route,
+        }
+    }
+}
+
+/// A ranked candidate in a [`QueryResponse::Ranking`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedPath {
+    /// Index into the request's `candidates` vector.
+    pub index: usize,
+    /// Probability of completing that candidate within the budget.
+    pub probability: f64,
+}
+
+/// The payload answering a [`QueryRequest`] (variants correspond 1:1).
+#[derive(Debug, Clone)]
+pub enum QueryResponse {
+    /// Answer to [`QueryRequest::EstimateDistribution`].
+    Distribution(Histogram1D),
+    /// Answer to [`QueryRequest::ProbWithinBudget`].
+    Probability(f64),
+    /// Answer to [`QueryRequest::RankPaths`], sorted by decreasing
+    /// probability. Candidates whose distribution could not be estimated
+    /// (e.g. an edge with no weight) are omitted.
+    Ranking(Vec<RankedPath>),
+    /// Answer to [`QueryRequest::Route`]; `None` when no path can meet the
+    /// budget within the search limits.
+    Route(Option<RouteResult>),
+}
+
+impl QueryResponse {
+    /// The distribution, when this is a `Distribution` response.
+    pub fn distribution(&self) -> Option<&Histogram1D> {
+        match self {
+            QueryResponse::Distribution(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The probability, when this is a `Probability` response.
+    pub fn probability(&self) -> Option<f64> {
+        match self {
+            QueryResponse::Probability(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// The ranking, when this is a `Ranking` response.
+    pub fn ranking(&self) -> Option<&[RankedPath]> {
+        match self {
+            QueryResponse::Ranking(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The route, when this is a `Route` response.
+    pub fn route(&self) -> Option<&RouteResult> {
+        match self {
+            QueryResponse::Route(r) => r.as_ref(),
+            _ => None,
+        }
+    }
+}
+
+/// Per-query observability attached to every response.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Distribution-cache hits while answering this query.
+    pub cache_hits: u64,
+    /// Distribution-cache misses (each one ran a full estimation).
+    pub cache_misses: u64,
+    /// Deepest coarsest-decomposition chain estimated for this query
+    /// (0 when every lookup hit the cache).
+    pub max_decomposition_depth: usize,
+    /// Wall-clock time spent answering.
+    pub latency: Duration,
+}
+
+/// A response together with its per-query stats.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The answer payload.
+    pub response: QueryResponse,
+    /// What it cost to produce.
+    pub stats: QueryStats,
+}

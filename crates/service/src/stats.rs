@@ -1,0 +1,193 @@
+//! Lock-free service metrics.
+//!
+//! Every query updates a set of shared atomic counters; [`ServiceStats`] is a
+//! consistent-enough point-in-time snapshot (individual counters are read
+//! with relaxed ordering — totals can be off by in-flight queries, which is
+//! the usual contract for serving metrics).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Which kind of request a counter bucket refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// `EstimateDistribution`.
+    Estimate,
+    /// `ProbWithinBudget`.
+    Probability,
+    /// `RankPaths`.
+    Rank,
+    /// `Route`.
+    Route,
+}
+
+const KINDS: usize = 4;
+
+impl QueryKind {
+    fn index(self) -> usize {
+        match self {
+            QueryKind::Estimate => 0,
+            QueryKind::Probability => 1,
+            QueryKind::Rank => 2,
+            QueryKind::Route => 3,
+        }
+    }
+}
+
+/// Shared mutable counters behind the engine.
+#[derive(Default)]
+pub(crate) struct StatsRecorder {
+    queries: [AtomicU64; KINDS],
+    errors: AtomicU64,
+    estimations: AtomicU64,
+    decomposition_depth_sum: AtomicU64,
+    latency_micros_sum: AtomicU64,
+    batches: AtomicU64,
+    batch_requests: AtomicU64,
+    batch_jobs_deduplicated: AtomicU64,
+}
+
+impl StatsRecorder {
+    pub fn record_query(&self, kind: QueryKind, latency: Duration, ok: bool) {
+        self.queries[kind.index()].fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency_micros_sum
+            .fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_estimation(&self, decomposition_depth: usize) {
+        self.estimations.fetch_add(1, Ordering::Relaxed);
+        self.decomposition_depth_sum
+            .fetch_add(decomposition_depth as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_batch(&self, requests: u64, deduplicated_jobs: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_requests.fetch_add(requests, Ordering::Relaxed);
+        self.batch_jobs_deduplicated
+            .fetch_add(deduplicated_jobs, Ordering::Relaxed);
+    }
+
+    /// Snapshots the recorder; cache hit/miss totals are owned by the
+    /// [`DistributionCache`](crate::cache::DistributionCache) and passed in.
+    pub fn snapshot(&self, cache_hits: u64, cache_misses: u64) -> ServiceStats {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServiceStats {
+            estimate_queries: load(&self.queries[QueryKind::Estimate.index()]),
+            probability_queries: load(&self.queries[QueryKind::Probability.index()]),
+            rank_queries: load(&self.queries[QueryKind::Rank.index()]),
+            route_queries: load(&self.queries[QueryKind::Route.index()]),
+            errors: load(&self.errors),
+            cache_hits,
+            cache_misses,
+            estimations: load(&self.estimations),
+            decomposition_depth_sum: load(&self.decomposition_depth_sum),
+            latency_micros_sum: load(&self.latency_micros_sum),
+            batches: load(&self.batches),
+            batch_requests: load(&self.batch_requests),
+            batch_jobs_deduplicated: load(&self.batch_jobs_deduplicated),
+        }
+    }
+}
+
+/// Point-in-time snapshot of the engine's metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// `EstimateDistribution` queries served (including failed ones).
+    pub estimate_queries: u64,
+    /// `ProbWithinBudget` queries served.
+    pub probability_queries: u64,
+    /// `RankPaths` queries served.
+    pub rank_queries: u64,
+    /// `Route` queries served.
+    pub route_queries: u64,
+    /// Queries that returned an error.
+    pub errors: u64,
+    /// Distribution-cache hits.
+    pub cache_hits: u64,
+    /// Distribution-cache misses.
+    pub cache_misses: u64,
+    /// Full estimations performed (cache misses that ran the estimator).
+    pub estimations: u64,
+    /// Sum of coarsest-decomposition component counts over all estimations.
+    pub decomposition_depth_sum: u64,
+    /// Sum of per-query latencies, in microseconds.
+    pub latency_micros_sum: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Requests that arrived inside batches.
+    pub batch_requests: u64,
+    /// Estimation jobs skipped because another request in the same batch
+    /// shared the `(path, interval)` pair.
+    pub batch_jobs_deduplicated: u64,
+}
+
+impl ServiceStats {
+    /// Total queries of every kind.
+    pub fn total_queries(&self) -> u64 {
+        self.estimate_queries + self.probability_queries + self.rank_queries + self.route_queries
+    }
+
+    /// Cache hit rate in `[0, 1]`; 0 before any lookup happened.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean components per coarsest decomposition; 0 before any estimation.
+    pub fn mean_decomposition_depth(&self) -> f64 {
+        if self.estimations == 0 {
+            0.0
+        } else {
+            self.decomposition_depth_sum as f64 / self.estimations as f64
+        }
+    }
+
+    /// Mean per-query latency; zero before any query.
+    pub fn mean_latency(&self) -> Duration {
+        self.latency_micros_sum
+            .checked_div(self.total_queries())
+            .map(Duration::from_micros)
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_events() {
+        let rec = StatsRecorder::default();
+        rec.record_query(QueryKind::Estimate, Duration::from_micros(100), true);
+        rec.record_query(QueryKind::Route, Duration::from_micros(300), false);
+        rec.record_estimation(2);
+        rec.record_estimation(4);
+        rec.record_batch(10, 6);
+        let s = rec.snapshot(3, 1);
+        assert_eq!(s.estimate_queries, 1);
+        assert_eq!(s.route_queries, 1);
+        assert_eq!(s.total_queries(), 2);
+        assert_eq!(s.errors, 1);
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.mean_decomposition_depth() - 3.0).abs() < 1e-12);
+        assert_eq!(s.mean_latency(), Duration::from_micros(200));
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batch_jobs_deduplicated, 6);
+    }
+
+    #[test]
+    fn empty_snapshot_divides_safely() {
+        let s = StatsRecorder::default().snapshot(0, 0);
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.mean_decomposition_depth(), 0.0);
+        assert_eq!(s.mean_latency(), Duration::ZERO);
+        assert_eq!(s.total_queries(), 0);
+    }
+}

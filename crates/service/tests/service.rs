@@ -1,0 +1,355 @@
+//! Integration tests of the query-serving subsystem: cache semantics across
+//! departure intervals, batch-vs-sequential equivalence, and concurrent read
+//! correctness.
+
+use pathcost_core::{CostEstimator, HybridConfig, HybridGraph, OdEstimator};
+use pathcost_roadnet::{Path, RoadNetwork, VertexId};
+use pathcost_service::{QueryEngine, QueryRequest, QueryResponse, ServiceConfig};
+use pathcost_traj::{DatasetPreset, Timestamp, TrajectoryStore};
+use std::sync::Arc;
+
+struct Fixture {
+    net: RoadNetwork,
+    store: TrajectoryStore,
+    cfg: HybridConfig,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let (net, store) = DatasetPreset::tiny(seed).materialise().unwrap();
+    let cfg = HybridConfig {
+        beta: 10,
+        ..HybridConfig::default()
+    };
+    Fixture { net, store, cfg }
+}
+
+fn query_paths(store: &TrajectoryStore, n: usize) -> Vec<(Path, Timestamp)> {
+    let mut out = Vec::new();
+    for (path, _) in store.frequent_paths(3, 10, None) {
+        let departure = store.occurrences_on(&path)[0].entry_time;
+        out.push((path, departure));
+        if out.len() == n {
+            break;
+        }
+    }
+    assert!(!out.is_empty(), "fixture needs frequent paths");
+    out
+}
+
+#[test]
+fn cache_semantics_across_departure_intervals() {
+    let f = fixture(301);
+    let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let (path, departure) = query_paths(&f.store, 1).remove(0);
+
+    // First query: a miss that runs the estimator and fills the cache.
+    let first = engine
+        .execute(&QueryRequest::EstimateDistribution {
+            path: path.clone(),
+            departure,
+        })
+        .unwrap();
+    assert_eq!(first.stats.cache_misses, 1);
+    assert_eq!(first.stats.cache_hits, 0);
+    assert!(first.stats.max_decomposition_depth >= 1);
+
+    // Any departure in the same α-interval: a hit with the identical result.
+    let same_interval = departure.plus(30.0);
+    assert_eq!(
+        engine.interval_of(departure),
+        engine.interval_of(same_interval)
+    );
+    let second = engine
+        .execute(&QueryRequest::EstimateDistribution {
+            path: path.clone(),
+            departure: same_interval,
+        })
+        .unwrap();
+    assert_eq!(second.stats.cache_hits, 1);
+    assert_eq!(second.stats.cache_misses, 0);
+    assert_eq!(
+        first.response.distribution().unwrap(),
+        second.response.distribution().unwrap()
+    );
+
+    // A departure in a different interval keys a different entry.
+    let alpha_s = f.cfg.alpha_minutes as f64 * 60.0;
+    let other_interval = departure.plus(alpha_s);
+    assert_ne!(
+        engine.interval_of(departure),
+        engine.interval_of(other_interval)
+    );
+    let third = engine
+        .execute(&QueryRequest::EstimateDistribution {
+            path: path.clone(),
+            departure: other_interval,
+        })
+        .unwrap();
+    assert_eq!(third.stats.cache_misses, 1);
+    assert_eq!(engine.cache().len(), 2);
+
+    // The cached distribution is exactly the OD estimate at the engine's
+    // canonical (interval-start) departure.
+    let graph2 = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let od = OdEstimator::new(&graph2);
+    let canonical = engine.canonical_departure(engine.interval_of(departure));
+    let direct = od.estimate(&path, canonical).unwrap();
+    assert_eq!(first.response.distribution().unwrap(), &direct);
+
+    let stats = engine.stats();
+    assert_eq!(stats.estimate_queries, 3);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 2);
+    assert!(stats.cache_hit_rate() > 0.0);
+    assert!(stats.mean_decomposition_depth() >= 1.0);
+}
+
+#[test]
+fn probability_and_ranking_read_the_same_cache() {
+    let f = fixture(302);
+    let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let pairs = query_paths(&f.store, 3);
+    let departure = pairs[0].1;
+    let candidates: Vec<Path> = pairs.iter().map(|(p, _)| p.clone()).collect();
+
+    let ranking = engine
+        .execute(&QueryRequest::RankPaths {
+            candidates: candidates.clone(),
+            departure,
+            budget_s: 1e6,
+        })
+        .unwrap();
+    let ranked = ranking.response.ranking().unwrap().to_vec();
+    assert!(!ranked.is_empty());
+    // With an effectively unbounded budget every estimated candidate
+    // completes with probability 1.
+    assert!(ranked.iter().all(|r| (r.probability - 1.0).abs() < 1e-9));
+
+    // A follow-up point query on a ranked candidate is a pure cache hit.
+    let followup = engine
+        .execute(&QueryRequest::ProbWithinBudget {
+            path: candidates[ranked[0].index].clone(),
+            departure,
+            budget_s: 600.0,
+        })
+        .unwrap();
+    assert_eq!(followup.stats.cache_hits, 1);
+    assert_eq!(followup.stats.cache_misses, 0);
+    let p = followup.response.probability().unwrap();
+    assert!((0.0..=1.0).contains(&p));
+}
+
+#[test]
+fn batch_execution_equals_sequential_execution() {
+    let f = fixture(303);
+    let pairs = query_paths(&f.store, 4);
+    let departure = pairs[0].1;
+
+    // A mixed batch with deliberate duplication: every path appears in an
+    // estimate, a probability query and the ranking.
+    let mut requests: Vec<QueryRequest> = Vec::new();
+    for (path, dep) in &pairs {
+        requests.push(QueryRequest::EstimateDistribution {
+            path: path.clone(),
+            departure: *dep,
+        });
+        requests.push(QueryRequest::ProbWithinBudget {
+            path: path.clone(),
+            departure: *dep,
+            budget_s: 900.0,
+        });
+    }
+    requests.push(QueryRequest::RankPaths {
+        candidates: pairs.iter().map(|(p, _)| p.clone()).collect(),
+        departure,
+        budget_s: 900.0,
+    });
+
+    let graph_batch = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let batch_engine = QueryEngine::new(
+        Arc::new(graph_batch),
+        ServiceConfig {
+            workers: Some(4),
+            ..ServiceConfig::default()
+        },
+    );
+    let batch_results = batch_engine.execute_batch(&requests);
+
+    let graph_seq = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let seq_engine = QueryEngine::new(Arc::new(graph_seq), ServiceConfig::default());
+    let seq_results: Vec<_> = requests.iter().map(|r| seq_engine.execute(r)).collect();
+
+    assert_eq!(batch_results.len(), seq_results.len());
+    for (i, (batch, seq)) in batch_results.iter().zip(&seq_results).enumerate() {
+        let batch = batch.as_ref().expect("batch request succeeds");
+        let seq = seq.as_ref().expect("sequential request succeeds");
+        match (&batch.response, &seq.response) {
+            (QueryResponse::Distribution(a), QueryResponse::Distribution(b)) => {
+                assert_eq!(a, b, "request {i}")
+            }
+            (QueryResponse::Probability(a), QueryResponse::Probability(b)) => {
+                assert!((a - b).abs() < 1e-12, "request {i}: {a} vs {b}")
+            }
+            (QueryResponse::Ranking(a), QueryResponse::Ranking(b)) => {
+                assert_eq!(a.len(), b.len(), "request {i}");
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.index, y.index, "request {i}");
+                    assert!((x.probability - y.probability).abs() < 1e-12, "request {i}");
+                }
+            }
+            _ => panic!("request {i}: response kinds diverge"),
+        }
+    }
+
+    // The duplicated (path, interval) jobs were actually deduplicated, and
+    // each unique job was estimated exactly once.
+    let stats = batch_engine.stats();
+    assert_eq!(stats.batches, 1);
+    assert!(
+        stats.batch_jobs_deduplicated > 0,
+        "duplicates must be folded"
+    );
+    assert!(stats.cache_hits > 0, "answer phase must hit the warm cache");
+    assert_eq!(stats.estimations as usize, batch_engine.cache().len());
+}
+
+#[test]
+fn concurrent_readers_get_identical_distributions() {
+    let f = fixture(304);
+    let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let pairs = query_paths(&f.store, 3);
+
+    const THREADS: usize = 8;
+    let all: Vec<Vec<_>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let engine = &engine;
+                let pairs = &pairs;
+                scope.spawn(move || {
+                    // Interleave differently per thread to stress the shards.
+                    let mut mine = Vec::new();
+                    for k in 0..pairs.len() {
+                        let (path, departure) = &pairs[(k + t) % pairs.len()];
+                        let outcome = engine
+                            .execute(&QueryRequest::EstimateDistribution {
+                                path: path.clone(),
+                                departure: *departure,
+                            })
+                            .expect("estimation succeeds");
+                        let QueryResponse::Distribution(hist) = outcome.response else {
+                            panic!("wrong response kind");
+                        };
+                        mine.push(((k + t) % pairs.len(), hist));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every thread observed the same distribution for the same query.
+    for results in &all {
+        for (slot, hist) in results {
+            let reference = all[0]
+                .iter()
+                .find(|(s, _)| s == slot)
+                .map(|(_, h)| h)
+                .unwrap();
+            assert_eq!(hist, reference);
+        }
+    }
+    // Each unique (path, interval) was estimated at most... exactly once? Two
+    // threads can race past the same cache miss and both estimate; the cache
+    // stays consistent because both compute identical values. What must hold:
+    // the cache holds one entry per unique job and most lookups were hits.
+    let stats = engine.stats();
+    let unique: std::collections::HashSet<_> = pairs
+        .iter()
+        .map(|(p, d)| (p.fingerprint(), engine.interval_of(*d)))
+        .collect();
+    assert_eq!(engine.cache().len(), unique.len());
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses,
+        (THREADS * pairs.len()) as u64
+    );
+    assert!(stats.cache_hits >= (THREADS * pairs.len() - THREADS * unique.len()) as u64);
+}
+
+#[test]
+fn routing_reads_through_the_cache_across_queries() {
+    let f = fixture(305);
+    let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let departure = Timestamp::from_day_hms(0, 8, 0, 0);
+    let request = QueryRequest::Route {
+        source: VertexId(0),
+        destination: VertexId(18),
+        departure,
+        budget_s: 3_600.0,
+    };
+
+    let first = engine.execute(&request).unwrap();
+    let Some(route) = first.response.route() else {
+        panic!("a one-hour budget on the tiny grid must be feasible");
+    };
+    assert!(route.probability > 0.0);
+    assert!(
+        first.stats.cache_misses > 0,
+        "cold cache estimates candidates"
+    );
+
+    // The same route query again: every candidate distribution is cached.
+    let second = engine.execute(&request).unwrap();
+    let reroute = second.response.route().expect("still feasible");
+    assert_eq!(route.path, reroute.path);
+    assert!((route.probability - reroute.probability).abs() < 1e-12);
+    assert_eq!(
+        second.stats.cache_misses, 0,
+        "warm cache re-estimates nothing"
+    );
+    assert!(second.stats.cache_hits > 0);
+    assert!(
+        second.stats.latency
+            <= first
+                .stats
+                .latency
+                .max(std::time::Duration::from_millis(50))
+    );
+}
+
+#[test]
+fn invalid_requests_are_rejected_without_panicking() {
+    let f = fixture(306);
+    let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let (path, departure) = query_paths(&f.store, 1).remove(0);
+
+    assert!(engine
+        .execute(&QueryRequest::ProbWithinBudget {
+            path: path.clone(),
+            departure,
+            budget_s: f64::NAN,
+        })
+        .is_err());
+    assert!(engine
+        .execute(&QueryRequest::RankPaths {
+            candidates: Vec::new(),
+            departure,
+            budget_s: 100.0,
+        })
+        .is_err());
+    assert!(engine
+        .execute(&QueryRequest::Route {
+            source: VertexId(0),
+            destination: VertexId(0),
+            departure,
+            budget_s: 100.0,
+        })
+        .is_err());
+    let stats = engine.stats();
+    assert_eq!(stats.errors, 3);
+}

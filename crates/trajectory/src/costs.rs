@@ -94,7 +94,10 @@ mod tests {
         let moderate = emission_grams(65.0 / 3.6, 1000.0, 0.0);
         let fast = emission_grams(130.0 / 3.6, 1000.0, 0.0);
         assert!(moderate < slow, "crawling should emit more than cruising");
-        assert!(moderate < fast, "motorway speed should emit more than cruising");
+        assert!(
+            moderate < fast,
+            "motorway speed should emit more than cruising"
+        );
         assert!(moderate > 0.0);
     }
 
@@ -110,7 +113,11 @@ mod tests {
         let net = GeneratorConfig::tiny(3).generate();
         let sim = TrafficSimulator::new(
             &net,
-            SimulationConfig { trips: 10, days: 1, ..SimulationConfig::default() },
+            SimulationConfig {
+                trips: 10,
+                days: 1,
+                ..SimulationConfig::default()
+            },
         )
         .unwrap();
         let out = sim.run().unwrap();
@@ -139,7 +146,11 @@ mod tests {
         let net = GeneratorConfig::tiny(4).generate();
         let sim = TrafficSimulator::new(
             &net,
-            SimulationConfig { trips: 5, days: 1, ..SimulationConfig::default() },
+            SimulationConfig {
+                trips: 5,
+                days: 1,
+                ..SimulationConfig::default()
+            },
         )
         .unwrap();
         let out = sim.run().unwrap();

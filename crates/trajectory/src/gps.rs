@@ -91,8 +91,15 @@ mod tests {
 
     #[test]
     fn valid_trajectory_reports_times_and_length() {
-        let t = Trajectory::new(1, vec![rec(0.0, 0.0, 10.0), rec(30.0, 40.0, 20.0), rec(30.0, 140.0, 35.0)])
-            .unwrap();
+        let t = Trajectory::new(
+            1,
+            vec![
+                rec(0.0, 0.0, 10.0),
+                rec(30.0, 40.0, 20.0),
+                rec(30.0, 140.0, 35.0),
+            ],
+        )
+        .unwrap();
         assert_eq!(t.len(), 3);
         assert!(!t.is_empty());
         assert_eq!(t.start_time().seconds(), 10.0);

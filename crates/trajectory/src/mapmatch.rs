@@ -69,10 +69,7 @@ impl<'a> HmmMapMatcher<'a> {
         let sigma2 = self.cfg.gps_sigma_m * self.cfg.gps_sigma_m;
         let emission = |dist: f64| -> f64 { -0.5 * dist * dist / sigma2 };
 
-        let mut scores: Vec<f64> = candidates[0]
-            .iter()
-            .map(|&(_, d)| emission(d))
-            .collect();
+        let mut scores: Vec<f64> = candidates[0].iter().map(|&(_, d)| emission(d)).collect();
         let mut backptr: Vec<Vec<usize>> = Vec::with_capacity(records.len());
         backptr.push(vec![0; candidates[0].len()]);
 
@@ -87,8 +84,7 @@ impl<'a> HmmMapMatcher<'a> {
                     let Some(hops) = self.hop_distance(edge_i, edge_j) else {
                         continue;
                     };
-                    let score =
-                        scores[i] + emission(dist_j) - self.cfg.hop_penalty * hops as f64;
+                    let score = scores[i] + emission(dist_j) - self.cfg.hop_penalty * hops as f64;
                     if score > new_scores[j] {
                         new_scores[j] = score;
                         new_back[j] = i;
@@ -236,7 +232,12 @@ impl<'a> HmmMapMatcher<'a> {
             .edges()
             .iter()
             .zip(&travel_times)
-            .map(|(&e, &t)| self.net.edge(e).map(|edge| edge.length_m / t).unwrap_or(1.0))
+            .map(|(&e, &t)| {
+                self.net
+                    .edge(e)
+                    .map(|edge| edge.length_m / t)
+                    .unwrap_or(1.0)
+            })
             .collect();
 
         MatchedTrajectory::new(traj.id, path, entry_times, travel_times, speeds)
@@ -247,7 +248,8 @@ impl<'a> HmmMapMatcher<'a> {
     fn bridge(&self, from: EdgeId, to: EdgeId) -> Option<Vec<EdgeId>> {
         // Breadth-first search over successors up to max_hops, tracking parents.
         let mut frontier = vec![from];
-        let mut parent: std::collections::HashMap<EdgeId, EdgeId> = std::collections::HashMap::new();
+        let mut parent: std::collections::HashMap<EdgeId, EdgeId> =
+            std::collections::HashMap::new();
         for _ in 0..self.cfg.max_hops {
             let mut next = Vec::new();
             for &e in &frontier {
@@ -359,13 +361,20 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(matcher.match_trajectory(&traj).unwrap_err(), TrajError::NoMatch);
+        assert_eq!(
+            matcher.match_trajectory(&traj).unwrap_err(),
+            TrajError::NoMatch
+        );
     }
 
     #[test]
     fn match_all_drops_unmatchable_trajectories() {
         let net = GeneratorConfig::tiny(2).generate();
-        let cfg = SimulationConfig { trips: 5, days: 1, ..SimulationConfig::default() };
+        let cfg = SimulationConfig {
+            trips: 5,
+            days: 1,
+            ..SimulationConfig::default()
+        };
         let sim = TrafficSimulator::new(&net, cfg).unwrap();
         let mut out = sim.run().unwrap();
         // Add a garbage trajectory far away from the network.
@@ -388,6 +397,6 @@ mod tests {
         let matcher = HmmMapMatcher::new(&net, MapMatchConfig::default());
         let matched = matcher.match_all(&out.trajectories);
         assert!(matched.len() >= 4);
-        assert!(matched.len() <= out.trajectories.len() - 1);
+        assert!(matched.len() < out.trajectories.len());
     }
 }

@@ -119,8 +119,18 @@ mod tests {
     #[test]
     fn expected_time_grows_with_congestion() {
         let p = CongestionProfile::default();
-        let free = p.expected_time_s(1000.0, 50.0, RoadCategory::Arterial, TimeOfDay::from_hms(3, 0, 0));
-        let peak = p.expected_time_s(1000.0, 50.0, RoadCategory::Arterial, TimeOfDay::from_hms(8, 0, 0));
+        let free = p.expected_time_s(
+            1000.0,
+            50.0,
+            RoadCategory::Arterial,
+            TimeOfDay::from_hms(3, 0, 0),
+        );
+        let peak = p.expected_time_s(
+            1000.0,
+            50.0,
+            RoadCategory::Arterial,
+            TimeOfDay::from_hms(8, 0, 0),
+        );
         assert!(peak > free);
         // Free-flow time of 1 km at 50 km/h is 72 s.
         assert!((free - 72.0).abs() < 5.0, "free flow time {free}");

@@ -239,8 +239,7 @@ impl<'a> TrafficSimulator<'a> {
 
         // Per-trip (driver/vehicle) factor, shared by every edge: the main
         // source of positive correlation between the edges of one traversal.
-        let trip_factor =
-            (1.0 + sample_normal(rng, 0.0, self.cfg.trip_factor_std)).clamp(0.7, 1.6);
+        let trip_factor = (1.0 + sample_normal(rng, 0.0, self.cfg.trip_factor_std)).clamp(0.7, 1.6);
         // Latent local congestion factor, AR(1) along the path.
         let mut latent = 1.0 + sample_normal(rng, 0.0, 0.15);
         let rho = self.cfg.edge_correlation;
@@ -328,7 +327,11 @@ impl<'a> TrafficSimulator<'a> {
             let dt = matched.travel_times[i];
             let edge = self.net.edge(eid).expect("edge exists");
             if remaining <= dt || i + 1 == matched.path.cardinality() {
-                let frac = if dt > 0.0 { (remaining / dt).clamp(0.0, 1.0) } else { 1.0 };
+                let frac = if dt > 0.0 {
+                    (remaining / dt).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
                 return edge.geometry.point_at(frac);
             }
             remaining -= dt;
@@ -371,10 +374,7 @@ impl<'a> TrafficSimulator<'a> {
         if !hotspots.is_empty() && rng.gen::<f64>() < self.cfg.hotspot_fraction {
             hotspots[rng.gen_range(0..hotspots.len())]
         } else {
-            (
-                VertexId(rng.gen_range(0..n)),
-                VertexId(rng.gen_range(0..n)),
-            )
+            (VertexId(rng.gen_range(0..n)), VertexId(rng.gen_range(0..n)))
         }
     }
 
@@ -430,16 +430,36 @@ mod tests {
     #[test]
     fn config_validation() {
         let net = GeneratorConfig::tiny(1).generate();
-        assert!(TrafficSimulator::new(&net, SimulationConfig { trips: 0, ..Default::default() }).is_err());
-        assert!(TrafficSimulator::new(&net, SimulationConfig { days: 0, ..Default::default() }).is_err());
         assert!(TrafficSimulator::new(
             &net,
-            SimulationConfig { sampling_interval_s: 0.0, ..Default::default() }
+            SimulationConfig {
+                trips: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(TrafficSimulator::new(
             &net,
-            SimulationConfig { edge_correlation: 1.2, ..Default::default() }
+            SimulationConfig {
+                days: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(TrafficSimulator::new(
+            &net,
+            SimulationConfig {
+                sampling_interval_s: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(TrafficSimulator::new(
+            &net,
+            SimulationConfig {
+                edge_correlation: 1.2,
+                ..Default::default()
+            }
         )
         .is_err());
     }
@@ -491,8 +511,15 @@ mod tests {
     #[test]
     fn same_seed_reproduces_identical_output() {
         let net = GeneratorConfig::tiny(4).generate();
-        let cfg = SimulationConfig { trips: 20, days: 2, ..Default::default() };
-        let a = TrafficSimulator::new(&net, cfg.clone()).unwrap().run().unwrap();
+        let cfg = SimulationConfig {
+            trips: 20,
+            days: 2,
+            ..Default::default()
+        };
+        let a = TrafficSimulator::new(&net, cfg.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let b = TrafficSimulator::new(&net, cfg).unwrap().run().unwrap();
         assert_eq!(a.ground_truth.len(), b.ground_truth.len());
         for (x, y) in a.ground_truth.iter().zip(&b.ground_truth) {
@@ -504,7 +531,11 @@ mod tests {
     #[test]
     fn peak_departures_are_slower_than_off_peak_for_the_same_path() {
         let net = GeneratorConfig::tiny(5).generate();
-        let cfg = SimulationConfig { trips: 1, incident_probability: 0.0, ..Default::default() };
+        let cfg = SimulationConfig {
+            trips: 1,
+            incident_probability: 0.0,
+            ..Default::default()
+        };
         let sim = TrafficSimulator::new(&net, cfg).unwrap();
         let path = fastest_path(&net, VertexId(0), VertexId(24)).unwrap();
         let mut rng = StdRng::seed_from_u64(9);
@@ -575,6 +606,8 @@ mod tests {
             vec![5.0; path.cardinality()],
         );
         assert!(ok.is_ok());
-        assert!((ok.unwrap().total_travel_time_s() - 10.0 * path.cardinality() as f64).abs() < 1e-9);
+        assert!(
+            (ok.unwrap().total_travel_time_s() - 10.0 * path.cardinality() as f64).abs() < 1e-9
+        );
     }
 }

@@ -43,7 +43,10 @@ fn main() {
     // Candidate P2: an alternative that avoids the first edge of P1.
     let banned = p1.edges()[p1.cardinality() / 2];
     let p2 = pathcost::roadnet::search::shortest_path(&net, home, airport, |e| {
-        let base = net.edge(e).map(|x| x.free_flow_time_s()).unwrap_or(f64::MAX);
+        let base = net
+            .edge(e)
+            .map(|x| x.free_flow_time_s())
+            .unwrap_or(f64::MAX);
         if e == banned {
             base * 50.0
         } else {

@@ -45,8 +45,10 @@ fn main() {
     let source = VertexId(0);
     let destination = VertexId((net.vertex_count() - 1) as u32);
     let departure = Timestamp::from_day_hms(0, 8, 0, 0);
-    let free_flow =
-        free_flow_time_s(&net, &fastest_path(&net, source, destination).expect("reachable"));
+    let free_flow = free_flow_time_s(
+        &net,
+        &fastest_path(&net, source, destination).expect("reachable"),
+    );
     let budget_s = free_flow * 2.0;
     println!(
         "routing {source} -> {destination} departing 08:00, budget {:.1} min (free flow {:.1} min)\n",

@@ -13,12 +13,20 @@
 //! * [`core`] — the hybrid graph itself: path weight function, coarsest
 //!   decomposition, joint and marginal cost-distribution estimation, baselines,
 //! * [`routing`] — deterministic and stochastic routing on top of the
-//!   estimators.
+//!   estimators,
+//! * [`service`] — the concurrent query-serving layer: a typed request/
+//!   response interface over a shared hybrid graph, a sharded LRU
+//!   distribution cache keyed by `(path, departure interval)`, a batch
+//!   executor that deduplicates shared estimation work across a scoped
+//!   worker pool, and per-query/service-level metrics.
 //!
-//! See `examples/quickstart.rs` for an end-to-end walk-through.
+//! See `examples/quickstart.rs` for an end-to-end walk-through of the
+//! estimator stack and `examples/serve_queries.rs` for serving a mixed query
+//! workload.
 
 pub use pathcost_core as core;
 pub use pathcost_hist as hist;
 pub use pathcost_roadnet as roadnet;
 pub use pathcost_routing as routing;
+pub use pathcost_service as service;
 pub use pathcost_traj as traj;

@@ -9,9 +9,7 @@ use pathcost::hist::divergence::kl_divergence_histograms;
 use pathcost::roadnet::search::{fastest_path, free_flow_time_s};
 use pathcost::roadnet::VertexId;
 use pathcost::routing::{DfsRouter, RouterConfig};
-use pathcost::traj::{
-    DatasetPreset, HmmMapMatcher, MapMatchConfig, Timestamp, TrajectoryStore,
-};
+use pathcost::traj::{DatasetPreset, HmmMapMatcher, MapMatchConfig, Timestamp, TrajectoryStore};
 
 fn dense_tiny_store() -> (pathcost::roadnet::RoadNetwork, TrajectoryStore) {
     let mut preset = DatasetPreset::tiny(1234);
@@ -48,7 +46,9 @@ fn full_pipeline_with_map_matching() {
 
     let (path, _) = store.frequent_paths(3, 10, None)[0].clone();
     let departure = store.occurrences_on(&path)[0].entry_time;
-    let dist = graph.estimate(&path, departure).expect("estimation succeeds");
+    let dist = graph
+        .estimate(&path, departure)
+        .expect("estimation succeeds");
     assert!((dist.probs().iter().sum::<f64>() - 1.0).abs() < 1e-6);
     assert!(dist.mean() > 0.0);
 }
@@ -66,11 +66,22 @@ fn od_estimate_tracks_ground_truth_for_dense_paths() {
 
     let mut compared = 0;
     for (path, _) in store.frequent_paths(4, cfg.beta, None).into_iter().take(20) {
-        let departure = store.occurrences_on(&path)[0].entry_time;
+        // Ground truth needs ≥ β qualified trajectories in the departure's
+        // interval; scan this path's occurrences for a dense departure.
+        let Some(departure) = store
+            .occurrences_on(&path)
+            .into_iter()
+            .map(|occ| occ.entry_time)
+            .find(|t| gt.qualified_samples(&path, *t).len() >= cfg.beta)
+        else {
+            continue;
+        };
         let Ok(truth) = gt.estimate(&path, departure) else {
             continue;
         };
-        let estimate = od.estimate(&path, departure).expect("OD estimation succeeds");
+        let estimate = od
+            .estimate(&path, departure)
+            .expect("OD estimation succeeds");
         // The estimate must land in the right ballpark: mean within 35% and a
         // bounded divergence from the truth.
         let rel = (estimate.mean() - truth.mean()).abs() / truth.mean();
@@ -78,7 +89,10 @@ fn od_estimate_tracks_ground_truth_for_dense_paths() {
         assert!(kl_divergence_histograms(&truth, &estimate).is_finite());
         compared += 1;
     }
-    assert!(compared >= 3, "expected several dense paths, got {compared}");
+    assert!(
+        compared >= 3,
+        "expected several dense paths, got {compared}"
+    );
 }
 
 #[test]

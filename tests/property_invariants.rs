@@ -3,7 +3,7 @@
 
 use pathcost::hist::auto::{auto_histogram, AutoConfig};
 use pathcost::hist::convolution::convolve;
-use pathcost::hist::divergence::{kl_divergence_histograms, kl_divergence};
+use pathcost::hist::divergence::{kl_divergence, kl_divergence_histograms};
 use pathcost::hist::{Bucket, Histogram1D, HistogramNd, RawDistribution};
 use pathcost::roadnet::{GeneratorConfig, Path};
 use proptest::prelude::*;

@@ -1,0 +1,360 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Provides the subset the workspace's property tests use: the [`proptest!`]
+//! macro (with an optional `#![proptest_config(...)]` header), `prop_assert!`
+//! / `prop_assert_eq!` / `prop_assume!`, the [`strategy::Strategy`] trait
+//! implemented for numeric ranges, tuples of strategies and
+//! [`collection::vec`], and [`test_runner::Config`] (`ProptestConfig`).
+//!
+//! Semantics versus the real crate: cases are generated from a fixed seed
+//! derived from the test name (fully deterministic, no persistence file), a
+//! rejected case (`prop_assume!`) is retried up to ten times the case count,
+//! and there is **no shrinking** — a failure reports the formatted assertion
+//! message only. Swap in the real crate when registry access is available.
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.usize_in(self.len.clone());
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and primitive strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty => $via:ident),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.$via(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_int!(
+        usize => usize_in, u64 => u64_in, u32 => u32_in, u16 => u16_in,
+        i64 => i64_in, i32 => i32_in
+    );
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            rng.f64_in(self.clone())
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn new_value(&self, rng: &mut TestRng) -> f32 {
+            rng.f64_in(self.start as f64..self.end as f64) as f32
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration, RNG and error plumbing used by the [`proptest!`] macro.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::ops::Range;
+
+    /// Run configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is retried.
+        Reject(String),
+        /// An assertion failed; the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (retried) case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic per-test RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeded deterministically from the test name.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// Uniform `usize` in `range`.
+        pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+            self.inner.gen_range(range)
+        }
+
+        /// Uniform `u64` in `range`.
+        pub fn u64_in(&mut self, range: Range<u64>) -> u64 {
+            self.inner.gen_range(range)
+        }
+
+        /// Uniform `u32` in `range`.
+        pub fn u32_in(&mut self, range: Range<u32>) -> u32 {
+            self.inner.gen_range(range)
+        }
+
+        /// Uniform `u16` in `range`.
+        pub fn u16_in(&mut self, range: Range<u16>) -> u16 {
+            self.inner.gen_range(range)
+        }
+
+        /// Uniform `i64` in `range`.
+        pub fn i64_in(&mut self, range: Range<i64>) -> i64 {
+            self.inner.gen_range(range)
+        }
+
+        /// Uniform `i32` in `range`.
+        pub fn i32_in(&mut self, range: Range<i32>) -> i32 {
+            self.inner.gen_range(range)
+        }
+
+        /// Uniform `f64` in `range`.
+        pub fn f64_in(&mut self, range: Range<f64>) -> f64 {
+            self.inner.gen_range(range)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test conventionally imports.
+
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// Mirrors `proptest::prelude::prop` (module-style access to strategies).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects the current case (it is retried with fresh inputs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Declares property tests. Supports the standard form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, v in prop::collection::vec(0.0f64..1.0, 1..9)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($config:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let mut passed: u32 = 0;
+            let mut attempts: u64 = 0;
+            let max_attempts = (config.cases as u64).saturating_mul(10).max(10);
+            while passed < config.cases {
+                attempts += 1;
+                if attempts > max_attempts {
+                    panic!(
+                        "proptest '{}': too many rejected cases ({} passed of {} wanted)",
+                        stringify!($name),
+                        passed,
+                        config.cases
+                    );
+                }
+                $(
+                    let $arg = $crate::strategy::Strategy::new_value(&$strategy, &mut rng);
+                )+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest '{}' case failed: {}", stringify!($name), msg)
+                    }
+                }
+            }
+        }
+    )*};
+}

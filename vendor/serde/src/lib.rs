@@ -1,0 +1,18 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Only the surface the workspace uses is provided: the `Serialize` /
+//! `Deserialize` derive macros (no-ops) and same-named marker traits so
+//! generic bounds keep compiling. Replace the `vendor/serde*` path
+//! dependencies with the real crates when registry access is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; blanket-implemented because the
+/// no-op derive emits no impls.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`; blanket-implemented because
+/// the no-op derive emits no impls.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

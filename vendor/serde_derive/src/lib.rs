@@ -1,0 +1,22 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The repository is built in an offline environment with no crates.io
+//! access, and nothing in the workspace actually serialises data yet — the
+//! `#[derive(Serialize, Deserialize)]` attributes exist so the public types
+//! are ready for a future wire format. These derives therefore expand to
+//! nothing; swap the `vendor/serde*` path dependencies for the real crates
+//! once a registry is available.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
