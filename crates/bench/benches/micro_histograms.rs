@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pathcost_hist::auto::{auto_histogram, AutoConfig};
-use pathcost_hist::convolution::convolve_many_with_limit;
+use pathcost_hist::convolution::{convolve_many_with_limit, convolve_many_with_scratch};
 use pathcost_hist::voptimal::voptimal_histogram;
-use pathcost_hist::{Histogram1D, HistogramNd, RawDistribution};
+use pathcost_hist::{naive, ConvolveScratch, Histogram1D, HistogramNd, RawDistribution};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -64,9 +64,68 @@ fn bench_convolution_and_marginal(c: &mut Criterion) {
     group.finish();
 }
 
+/// Long-path convolution: the sweep-line kernel (with and without a
+/// caller-threaded scratch) against the retained naive reference — the exact
+/// pre-optimisation pipeline — on the 64-edge paths the acceptance target is
+/// quantified over.
+fn bench_convolve_many_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convolve_many_path");
+    let unit = auto_histogram(&bimodal_samples(200, 3), &AutoConfig::default()).unwrap();
+    for edges in [16usize, 64] {
+        let hists: Vec<Histogram1D> = (0..edges).map(|_| unit.clone()).collect();
+        group.bench_with_input(BenchmarkId::new("sweep", edges), &hists, |b, hists| {
+            b.iter(|| convolve_many_with_limit(hists, 48).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sweep_scratch", edges),
+            &hists,
+            |b, hists| {
+                let mut scratch = ConvolveScratch::new();
+                b.iter(|| convolve_many_with_scratch(hists, 48, &mut scratch).unwrap())
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("naive", edges), &hists, |b, hists| {
+            b.iter(|| naive::convolve_many_with_limit(hists, 48).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// CDF evaluation: binary-search `prob_leq`/`quantile` against the retained
+/// linear scans, on a histogram wide enough for the search to matter.
+fn bench_cdf_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdf_eval");
+    let unit = auto_histogram(&bimodal_samples(200, 3), &AutoConfig::default()).unwrap();
+    let hists: Vec<Histogram1D> = (0..64).map(|_| unit.clone()).collect();
+    let wide = convolve_many_with_limit(&hists, 64).unwrap();
+    let probes: Vec<f64> = (0..256)
+        .map(|i| wide.min() + (wide.max() - wide.min()) * (i as f64 / 255.0))
+        .collect();
+    group.bench_function("prob_leq_binary", |b| {
+        b.iter(|| probes.iter().map(|&x| wide.prob_leq(x)).sum::<f64>())
+    });
+    group.bench_function("prob_leq_naive", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|&x| naive::prob_leq(&wide, x))
+                .sum::<f64>()
+        })
+    });
+    let qs: Vec<f64> = (0..256).map(|i| i as f64 / 255.0).collect();
+    group.bench_function("quantile_binary", |b| {
+        b.iter(|| qs.iter().map(|&q| wide.quantile(q)).sum::<f64>())
+    });
+    group.bench_function("quantile_naive", |b| {
+        b.iter(|| qs.iter().map(|&q| naive::quantile(&wide, q)).sum::<f64>())
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_voptimal_and_auto, bench_convolution_and_marginal
+    targets = bench_voptimal_and_auto, bench_convolution_and_marginal,
+        bench_convolve_many_paths, bench_cdf_evaluation
 }
 criterion_main!(benches);

@@ -98,6 +98,65 @@ fn bench_service_throughput(c: &mut Criterion) {
             |b, requests| b.iter(|| engine.execute_batch(requests)),
         );
     }
+
+    // Cross-path reuse: a batch whose candidates overlap on path prefixes
+    // (every pool path plus its proper prefixes, plus rankings over all of
+    // them), answered cold with and without the prefix-sharing warm phase.
+    for batch_size in [64usize, 256] {
+        let overlapping: Vec<_> = pool
+            .iter()
+            .flat_map(|(path, departure)| {
+                let mut family = vec![(path.clone(), *departure)];
+                for len in 2..path.cardinality() {
+                    family.push((path.prefix(len).expect("proper prefix"), *departure));
+                }
+                family
+            })
+            .collect();
+        let requests: Vec<QueryRequest> = (0..batch_size)
+            .map(|i| {
+                let (path, departure) = &overlapping[i % overlapping.len()];
+                if i % 7 == 0 {
+                    QueryRequest::RankPaths {
+                        candidates: overlapping.iter().map(|(p, _)| p.clone()).collect(),
+                        departure: *departure,
+                        budget_s: 600.0,
+                    }
+                } else {
+                    QueryRequest::EstimateDistribution {
+                        path: path.clone(),
+                        departure: *departure,
+                    }
+                }
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("overlap_batch_cold", batch_size),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    let engine = QueryEngine::new(graph.clone(), ServiceConfig::default());
+                    engine.execute_batch(requests)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("overlap_batch_cold_shared", batch_size),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    let engine = QueryEngine::new(
+                        graph.clone(),
+                        ServiceConfig {
+                            share_prefixes: true,
+                            ..ServiceConfig::default()
+                        },
+                    );
+                    engine.execute_batch(requests)
+                })
+            },
+        );
+    }
     group.finish();
 }
 

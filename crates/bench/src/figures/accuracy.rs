@@ -24,13 +24,9 @@ pub fn fig13_single_path(dataset: &Dataset, scale: Scale) -> FigureOutput {
             rows,
         };
     };
-    let graph = HybridGraph::build_with_exclusions(
-        &dataset.net,
-        &dataset.store,
-        cfg.clone(),
-        &holdout.exclusions,
-    )
-    .expect("hybrid graph builds");
+    let graph =
+        HybridGraph::build_with_exclusions(&dataset.net, &dataset.store, cfg, &holdout.exclusions)
+            .expect("hybrid graph builds");
     rows.push(format!(
         "query path {} departing {} ({} ground-truth samples)",
         query.path,
@@ -153,8 +149,7 @@ pub fn fig15_entropy(dataset: &Dataset, scale: Scale) -> FigureOutput {
     } else {
         (vec![20usize, 40, 60, 80, 100], 200usize)
     };
-    let graph =
-        HybridGraph::build(&dataset.net, &dataset.store, cfg.clone()).expect("hybrid graph builds");
+    let graph = HybridGraph::build(&dataset.net, &dataset.store, cfg).expect("hybrid graph builds");
     let od = OdEstimator::new(&graph);
     let hp = HpEstimator::new(&graph);
     let rd = RdEstimator::new(&graph, 31);

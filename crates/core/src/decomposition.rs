@@ -16,10 +16,22 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct Decomposition {
     components: Vec<SelectedVariable>,
+    /// Component ranks, precomputed so hot metadata readers borrow instead of
+    /// allocating a fresh `Vec` per call.
+    ranks: Vec<usize>,
     query_len: usize,
 }
 
 impl Decomposition {
+    /// Assembles a decomposition, precomputing the component ranks.
+    fn assemble(components: Vec<SelectedVariable>, query_len: usize) -> Decomposition {
+        let ranks = components.iter().map(SelectedVariable::rank).collect();
+        Decomposition {
+            components,
+            ranks,
+            query_len,
+        }
+    }
     /// Algorithm 1: the coarsest decomposition obtainable from the candidate array.
     pub fn coarsest(array: &CandidateArray) -> Decomposition {
         let n = array.len();
@@ -37,10 +49,7 @@ impl Decomposition {
             covered_end = best.end();
             components.push(best.clone());
         }
-        Decomposition {
-            components,
-            query_len: n,
-        }
+        Decomposition::assemble(components, n)
     }
 
     /// A random valid decomposition (the RD baseline): at each row a variable
@@ -61,10 +70,7 @@ impl Decomposition {
             covered_end = choice.end();
             components.push(choice.clone());
         }
-        Decomposition {
-            components,
-            query_len: n,
-        }
+        Decomposition::assemble(components, n)
     }
 
     /// The legacy (LB) decomposition: every edge contributes its unit variable.
@@ -74,10 +80,7 @@ impl Decomposition {
             .iter()
             .map(|row| row.first().expect("rows are non-empty").clone())
             .collect();
-        Decomposition {
-            components,
-            query_len: array.len(),
-        }
+        Decomposition::assemble(components, array.len())
     }
 
     /// The HP decomposition [10]: every pair of adjacent edges contributes its
@@ -100,10 +103,7 @@ impl Decomposition {
             covered_end = candidate.end();
             components.push(candidate.clone());
         }
-        Decomposition {
-            components,
-            query_len: n,
-        }
+        Decomposition::assemble(components, n)
     }
 
     /// The components in path order.
@@ -126,9 +126,10 @@ impl Decomposition {
         self.query_len
     }
 
-    /// The ranks of the components (useful for diagnostics and tests).
-    pub fn ranks(&self) -> Vec<usize> {
-        self.components.iter().map(SelectedVariable::rank).collect()
+    /// The ranks of the components (useful for diagnostics and tests),
+    /// precomputed at construction.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
     }
 
     /// Validates the spatial conditions (1)–(4) of §4.1.1:
@@ -327,11 +328,11 @@ mod tests {
         let f = fixture();
         let a = array(&f, None);
         let coarsest = Decomposition::coarsest(&a);
-        let coarsest_max_rank = coarsest.ranks().into_iter().max().unwrap_or(1);
+        let coarsest_max_rank = coarsest.ranks().iter().copied().max().unwrap_or(1);
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..10 {
             let rd = Decomposition::random(&a, &mut rng);
-            let rd_max_rank = rd.ranks().into_iter().max().unwrap_or(1);
+            let rd_max_rank = rd.ranks().iter().copied().max().unwrap_or(1);
             assert!(coarsest_max_rank >= rd_max_rank);
         }
     }

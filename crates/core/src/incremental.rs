@@ -13,8 +13,8 @@
 
 use crate::error::CoreError;
 use crate::hybrid_graph::HybridGraph;
-use pathcost_hist::convolution::convolve_with_limit;
-use pathcost_hist::Histogram1D;
+use pathcost_hist::convolution::{convolve_with_limit, convolve_with_scratch, ConvolveScratch};
+use pathcost_hist::{HistError, Histogram1D};
 use pathcost_roadnet::{EdgeId, Path};
 use pathcost_traj::{TimeOfDay, Timestamp};
 
@@ -88,8 +88,31 @@ impl IncrementalEstimate {
 
     /// Extends the estimate with one more edge ("path + another edge"),
     /// returning a new estimate and leaving `self` untouched so a routing
-    /// search can branch.
+    /// search can branch. Uses this thread's convolution scratch buffers.
     pub fn extend(&self, graph: &HybridGraph<'_>, edge: EdgeId) -> Result<Self, CoreError> {
+        self.extend_inner(graph, edge, |a, unit| convolve_with_limit(a, unit, 48))
+    }
+
+    /// As [`Self::extend`], threading caller-owned scratch buffers through the
+    /// convolution so tight extension loops (routing searches, the batch
+    /// executor's prefix sharing) allocate only the returned estimate.
+    pub fn extend_with_scratch(
+        &self,
+        graph: &HybridGraph<'_>,
+        edge: EdgeId,
+        scratch: &mut ConvolveScratch,
+    ) -> Result<Self, CoreError> {
+        self.extend_inner(graph, edge, |a, unit| {
+            convolve_with_scratch(a, unit, 48, scratch)
+        })
+    }
+
+    fn extend_inner(
+        &self,
+        graph: &HybridGraph<'_>,
+        edge: EdgeId,
+        convolve: impl FnOnce(&Histogram1D, &Histogram1D) -> Result<Histogram1D, HistError>,
+    ) -> Result<Self, CoreError> {
         let net = graph.network();
         let path = self.path.extend(edge, net)?;
         let wp = graph.weights();
@@ -98,7 +121,7 @@ impl IncrementalEstimate {
         let unit = wp
             .unit_histogram(edge, interval)
             .ok_or(CoreError::NoDistribution)?;
-        let histogram = convolve_with_limit(&self.histogram, &unit, 48)?;
+        let histogram = convolve(&self.histogram, &unit)?;
         let arrival_window = (
             (self.arrival_window.0 + unit.min()).min(86_400.0),
             (self.arrival_window.1 + unit.max()).min(86_400.0),

@@ -39,12 +39,16 @@ struct ChainState {
     prob: f64,
 }
 
-/// Derives the query path's cost distribution from a decomposition, keeping at
-/// most `max_state_buckets` accumulated-sum buckets per overlap cell.
-pub fn cost_histogram_with_limit(
+/// Walks the decomposition chain and returns the final accumulated-sum
+/// hyper-bucket entries — the (possibly overlapping) `(bucket, probability)`
+/// pairs of §4.2 *before* the marginal rearrangement. Keeping this separate
+/// from [`cost_histogram_with_limit`] lets the estimators time the joint
+/// computation (JC) and the marginalisation (MC) as genuinely distinct
+/// phases instead of re-running the rearrangement to observe it.
+pub fn cost_entries_with_limit(
     decomposition: &Decomposition,
     max_state_buckets: usize,
-) -> Result<Histogram1D, CoreError> {
+) -> Result<Vec<(Bucket, f64)>, CoreError> {
     let comps = decomposition.components();
     if comps.is_empty() {
         return Err(CoreError::NoDistribution);
@@ -124,7 +128,16 @@ pub fn cost_histogram_with_limit(
         }
     }
 
-    let entries: Vec<(Bucket, f64)> = states.iter().map(|s| (s.sum, s.prob)).collect();
+    Ok(states.into_iter().map(|s| (s.sum, s.prob)).collect())
+}
+
+/// Derives the query path's cost distribution from a decomposition, keeping at
+/// most `max_state_buckets` accumulated-sum buckets per overlap cell.
+pub fn cost_histogram_with_limit(
+    decomposition: &Decomposition,
+    max_state_buckets: usize,
+) -> Result<Histogram1D, CoreError> {
+    let entries = cost_entries_with_limit(decomposition, max_state_buckets)?;
     Histogram1D::from_overlapping(&entries).map_err(CoreError::from)
 }
 

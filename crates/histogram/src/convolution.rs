@@ -2,14 +2,24 @@
 //!
 //! The legacy graph model (§2.3) estimates a path's cost distribution as the
 //! convolution `⊙` of its edges' cost distributions under an independence
-//! assumption. This module provides that operation for [`Histogram1D`]s:
-//! every pair of buckets produces a summed bucket whose probability is the
-//! product of the bucket probabilities, and the resulting overlapping buckets
-//! are re-arranged into a disjoint histogram.
+//! assumption. Each pair of buckets contributes a summed bucket whose mass is
+//! the product of the bucket probabilities; because both inputs are already
+//! sorted and disjoint, the overlapping products are flattened by the
+//! sweep-line kernel of [`crate::sweep`] (two density events per product,
+//! one sort, one pass) and coarsened in place — no `O(Bₐ·B_b)` entry vector,
+//! no quadratic rearrangement, no re-allocating coarsen.
+//!
+//! All buffers live in a [`ConvolveScratch`]; the scratch-free entry points
+//! reuse a thread-local one, so steady-state convolution allocates only the
+//! final [`Histogram1D`]. Callers convolving in a loop (incremental routing,
+//! the batch executor's prefix sharing) can thread their own scratch through
+//! the `*_with_scratch` variants.
 
 use crate::bucket::Bucket;
 use crate::error::HistError;
 use crate::histogram1d::Histogram1D;
+use crate::sweep::{self, CoarsenScratch};
+use std::cell::RefCell;
 
 /// Default cap on the number of buckets of intermediate convolution results.
 ///
@@ -17,29 +27,126 @@ use crate::histogram1d::Histogram1D;
 /// convolved histograms.
 pub const DEFAULT_MAX_BUCKETS: usize = 64;
 
+/// Reusable buffers for the convolution kernel: density events, disjoint
+/// output entries, coarsening state and the fold accumulator of
+/// [`convolve_many_with_scratch`].
+#[derive(Debug, Default)]
+pub struct ConvolveScratch {
+    events: Vec<(f64, f64)>,
+    entries: Vec<(Bucket, f64)>,
+    acc_buckets: Vec<Bucket>,
+    acc_probs: Vec<f64>,
+    coarsen: CoarsenScratch,
+}
+
+impl ConvolveScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        ConvolveScratch::default()
+    }
+}
+
+thread_local! {
+    static THREAD_SCRATCH: RefCell<ConvolveScratch> = RefCell::new(ConvolveScratch::new());
+}
+
+fn with_thread_scratch<R>(f: impl FnOnce(&mut ConvolveScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// If the histogram slice is a point mass — a single bucket of negligible
+/// width — the location (lower bound) and mass of that bucket.
+fn point_mass_of(buckets: &[Bucket], probs: &[f64]) -> Option<(f64, f64)> {
+    match buckets {
+        [b] if b.width() <= (b.lo.abs() + b.hi.abs()).max(1.0) * 1e-14 => Some((b.lo, probs[0])),
+        _ => None,
+    }
+}
+
+/// The sweep-line convolution kernel over raw `(buckets, masses)` operand
+/// slices. Writes the disjoint, coarsened, unnormalised result into `entries`.
+fn convolve_core(
+    a: (&[Bucket], &[f64]),
+    b: (&[Bucket], &[f64]),
+    max_buckets: usize,
+    events: &mut Vec<(f64, f64)>,
+    entries: &mut Vec<(Bucket, f64)>,
+    coarsen: &mut CoarsenScratch,
+) -> Result<(), HistError> {
+    let (a_buckets, a_probs) = a;
+    let (b_buckets, b_probs) = b;
+    if a_buckets.is_empty() || b_buckets.is_empty() {
+        return Err(HistError::EmptyInput);
+    }
+    // Point-mass fast path: convolving with a degenerate bucket is a pure
+    // shift — no bucket product, no sweep.
+    let shifted = match point_mass_of(b_buckets, b_probs) {
+        Some((offset, mass)) => Some((a_buckets, a_probs, offset, mass)),
+        None => point_mass_of(a_buckets, a_probs)
+            .map(|(offset, mass)| (b_buckets, b_probs, offset, mass)),
+    };
+    if let Some((buckets, probs, offset, mass)) = shifted {
+        entries.clear();
+        entries.extend(buckets.iter().zip(probs).map(|(b, &p)| {
+            (
+                Bucket::new_unchecked(b.lo + offset, b.hi + offset),
+                p * mass,
+            )
+        }));
+        sweep::coarsen_entries_in_place(entries, max_buckets, coarsen);
+        return Ok(());
+    }
+    events.clear();
+    for (ba, &pa) in a_buckets.iter().zip(a_probs) {
+        for (bb, &pb) in b_buckets.iter().zip(b_probs) {
+            sweep::push_box(events, ba.lo + bb.lo, ba.hi + bb.hi, pa * pb);
+        }
+    }
+    sweep::sweep_into(events, entries);
+    if entries.is_empty() {
+        return Err(HistError::EmptyInput);
+    }
+    sweep::coarsen_entries_in_place(entries, max_buckets, coarsen);
+    Ok(())
+}
+
 /// Convolves two independent cost histograms.
 pub fn convolve(a: &Histogram1D, b: &Histogram1D) -> Result<Histogram1D, HistError> {
     convolve_with_limit(a, b, DEFAULT_MAX_BUCKETS)
 }
 
 /// Convolves two independent cost histograms, coarsening the result to at most
-/// `max_buckets` buckets.
+/// `max_buckets` buckets. Uses this thread's scratch buffers.
 pub fn convolve_with_limit(
     a: &Histogram1D,
     b: &Histogram1D,
     max_buckets: usize,
 ) -> Result<Histogram1D, HistError> {
-    let mut entries: Vec<(Bucket, f64)> = Vec::with_capacity(a.bucket_count() * b.bucket_count());
-    for (ba, pa) in a.buckets().iter().zip(a.probs()) {
-        for (bb, pb) in b.buckets().iter().zip(b.probs()) {
-            let mass = pa * pb;
-            if mass > 0.0 {
-                entries.push((ba.sum(bb), mass));
-            }
-        }
-    }
-    let hist = Histogram1D::from_overlapping(&entries)?;
-    Ok(hist.coarsen(max_buckets))
+    with_thread_scratch(|scratch| convolve_with_scratch(a, b, max_buckets, scratch))
+}
+
+/// As [`convolve_with_limit`], with caller-provided scratch buffers.
+pub fn convolve_with_scratch(
+    a: &Histogram1D,
+    b: &Histogram1D,
+    max_buckets: usize,
+    scratch: &mut ConvolveScratch,
+) -> Result<Histogram1D, HistError> {
+    let ConvolveScratch {
+        events,
+        entries,
+        coarsen,
+        ..
+    } = scratch;
+    convolve_core(
+        (a.buckets(), a.probs()),
+        (b.buckets(), b.probs()),
+        max_buckets,
+        events,
+        entries,
+        coarsen,
+    )?;
+    Histogram1D::from_disjoint_entries(entries)
 }
 
 /// Convolves a sequence of independent cost histograms (left to right).
@@ -50,18 +157,60 @@ pub fn convolve_many(histograms: &[Histogram1D]) -> Result<Histogram1D, HistErro
 }
 
 /// Convolves a sequence of histograms, coarsening intermediates to
-/// `max_buckets` buckets.
+/// `max_buckets` buckets. Uses this thread's scratch buffers.
 pub fn convolve_many_with_limit(
     histograms: &[Histogram1D],
     max_buckets: usize,
 ) -> Result<Histogram1D, HistError> {
-    let mut iter = histograms.iter();
-    let first = iter.next().ok_or(HistError::EmptyInput)?;
-    let mut acc = first.clone();
-    for h in iter {
-        acc = convolve_with_limit(&acc, h, max_buckets)?;
+    with_thread_scratch(|scratch| convolve_many_with_scratch(histograms, max_buckets, scratch))
+}
+
+/// As [`convolve_many_with_limit`], with caller-provided scratch buffers.
+///
+/// The fold accumulates into the scratch instead of cloning the first
+/// histogram, and every intermediate result stays in reused buffers; only the
+/// final histogram is allocated.
+pub fn convolve_many_with_scratch(
+    histograms: &[Histogram1D],
+    max_buckets: usize,
+    scratch: &mut ConvolveScratch,
+) -> Result<Histogram1D, HistError> {
+    let (first, rest) = histograms.split_first().ok_or(HistError::EmptyInput)?;
+    if rest.is_empty() {
+        return Ok(first.clone());
     }
-    Ok(acc)
+    let ConvolveScratch {
+        events,
+        entries,
+        acc_buckets,
+        acc_probs,
+        coarsen,
+    } = scratch;
+    acc_buckets.clear();
+    acc_buckets.extend_from_slice(first.buckets());
+    acc_probs.clear();
+    acc_probs.extend_from_slice(first.probs());
+    for h in rest {
+        convolve_core(
+            (acc_buckets, acc_probs),
+            (h.buckets(), h.probs()),
+            max_buckets,
+            events,
+            entries,
+            coarsen,
+        )?;
+        let total: f64 = entries.iter().map(|&(_, m)| m).sum();
+        if total <= 0.0 {
+            return Err(HistError::InvalidProbability(total));
+        }
+        acc_buckets.clear();
+        acc_probs.clear();
+        for &(b, m) in entries.iter() {
+            acc_buckets.push(b);
+            acc_probs.push(m / total);
+        }
+    }
+    Histogram1D::from_disjoint_parts(acc_buckets, acc_probs)
 }
 
 #[cfg(test)]

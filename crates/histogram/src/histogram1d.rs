@@ -9,18 +9,82 @@
 use crate::bucket::Bucket;
 use crate::error::HistError;
 use crate::raw::RawDistribution;
+use crate::sweep;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A one-dimensional histogram: disjoint, sorted buckets with probabilities
 /// summing to one.
+///
+/// Internal layout: `buckets` is a flat array of `(lo, hi)` bound pairs
+/// (kept as [`Bucket`]s so [`Self::buckets`] stays a free slice view),
+/// `probs` the aligned per-bucket masses, and `cum` the precomputed
+/// cumulative probabilities (`cum[i] = probs[0] + … + probs[i]`, summed left
+/// to right exactly like the old linear scans did). Every CDF-shaped query —
+/// [`Self::prob_leq`], [`Self::prob_within`], [`Self::quantile`],
+/// [`Self::pdf_at`] — binary-searches these arrays instead of scanning.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Histogram1D {
     buckets: Vec<Bucket>,
     probs: Vec<f64>,
+    /// Derived data, deliberately excluded from any wire format: a payload
+    /// cannot carry a `cum` inconsistent with `probs`, and pre-existing
+    /// serialized histograms stay decodable. If the vendored serde shim is
+    /// ever swapped for the real crate, deserialization must rebuild this
+    /// through [`Self::assemble`] (e.g. a `#[serde(from = ...)]` wrapper).
+    #[serde(skip)]
+    cum: Vec<f64>,
 }
 
 impl Histogram1D {
+    /// Assembles a histogram from buckets and probabilities that are already
+    /// sorted, disjoint and normalised, building the cumulative array.
+    fn assemble(buckets: Vec<Bucket>, probs: Vec<f64>) -> Self {
+        let mut cum = Vec::with_capacity(probs.len());
+        let mut acc = 0.0f64;
+        for &p in &probs {
+            acc += p;
+            cum.push(acc);
+        }
+        Histogram1D {
+            buckets,
+            probs,
+            cum,
+        }
+    }
+
+    /// Builds a histogram from disjoint sorted `(bucket, mass)` entries
+    /// produced by the sweep/coarsen kernels, normalising the masses.
+    /// Skips the sorting and overlap validation of [`Self::from_entries`] —
+    /// callers guarantee both by construction.
+    pub(crate) fn from_disjoint_entries(entries: &[(Bucket, f64)]) -> Result<Self, HistError> {
+        if entries.is_empty() {
+            return Err(HistError::EmptyInput);
+        }
+        let total: f64 = entries.iter().map(|&(_, m)| m).sum();
+        if total <= 0.0 {
+            return Err(HistError::InvalidProbability(total));
+        }
+        let buckets = entries.iter().map(|&(b, _)| b).collect();
+        let probs = entries.iter().map(|&(_, m)| m / total).collect();
+        Ok(Histogram1D::assemble(buckets, probs))
+    }
+
+    /// As [`Self::from_disjoint_entries`], from parallel bucket/mass slices.
+    pub(crate) fn from_disjoint_parts(
+        buckets: &[Bucket],
+        masses: &[f64],
+    ) -> Result<Self, HistError> {
+        if buckets.is_empty() {
+            return Err(HistError::EmptyInput);
+        }
+        let total: f64 = masses.iter().sum();
+        if total <= 0.0 {
+            return Err(HistError::InvalidProbability(total));
+        }
+        let probs = masses.iter().map(|&m| m / total).collect();
+        Ok(Histogram1D::assemble(buckets.to_vec(), probs))
+    }
     /// Creates a histogram from disjoint `(bucket, probability)` entries.
     ///
     /// Entries are sorted by bucket lower bound and probabilities are
@@ -53,7 +117,7 @@ impl Histogram1D {
         }
         let buckets = entries.iter().map(|&(b, _)| b).collect();
         let probs = entries.iter().map(|&(_, p)| p / total).collect();
-        Ok(Histogram1D { buckets, probs })
+        Ok(Histogram1D::assemble(buckets, probs))
     }
 
     /// Creates a histogram from possibly *overlapping* `(bucket, probability)`
@@ -76,21 +140,14 @@ impl Histogram1D {
                 return Err(HistError::InvalidProbability(p));
             }
         }
-        let mut cuts: Vec<f64> = entries.iter().flat_map(|(b, _)| [b.lo, b.hi]).collect();
-        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds"));
-        cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-        let mut out: Vec<(Bucket, f64)> = Vec::with_capacity(cuts.len());
-        for w in cuts.windows(2) {
-            let elem = Bucket::new_unchecked(w[0], w[1]);
-            let mass: f64 = entries
-                .iter()
-                .map(|(b, p)| p * b.fraction_within(&elem))
-                .sum();
-            if mass > 1e-15 {
-                out.push((elem, mass));
+        sweep::with_local_buffers(|events, out, _| {
+            events.clear();
+            for &(b, p) in entries {
+                sweep::push_box(events, b.lo, b.hi, p);
             }
-        }
-        Histogram1D::from_entries(out)
+            sweep::sweep_into(events, out);
+            Histogram1D::from_disjoint_entries(out)
+        })
     }
 
     /// A histogram that puts all mass on the interval `[value, value + width)`.
@@ -195,43 +252,46 @@ impl Histogram1D {
             .sum()
     }
 
-    /// Probability density at `x` (uniform within each bucket).
-    pub fn pdf_at(&self, x: f64) -> f64 {
-        for (b, p) in self.buckets.iter().zip(&self.probs) {
-            if b.contains(x) {
-                return p / b.width();
-            }
-        }
-        0.0
+    /// Cumulative probabilities, aligned with [`Self::buckets`]:
+    /// `cumulative_probs()[i] = P(cost < buckets()[i].hi)`.
+    pub fn cumulative_probs(&self) -> &[f64] {
+        &self.cum
     }
 
-    /// `P(cost ≤ x)`.
+    /// Index of the first bucket whose upper bound exceeds `x`, i.e. the
+    /// bucket containing `x` when one does.
+    #[inline]
+    fn bucket_index_above(&self, x: f64) -> usize {
+        self.buckets.partition_point(|b| b.hi <= x)
+    }
+
+    /// Probability density at `x` (uniform within each bucket).
+    pub fn pdf_at(&self, x: f64) -> f64 {
+        let idx = self.bucket_index_above(x);
+        match self.buckets.get(idx) {
+            Some(b) if b.contains(x) => self.probs[idx] / b.width(),
+            _ => 0.0,
+        }
+    }
+
+    /// `P(cost ≤ x)`, by binary search over the cumulative array.
     pub fn prob_leq(&self, x: f64) -> f64 {
-        let mut acc = 0.0;
-        for (b, p) in self.buckets.iter().zip(&self.probs) {
-            if x >= b.hi {
-                acc += p;
-            } else if x > b.lo {
-                acc += p * (x - b.lo) / b.width();
-                break;
-            } else {
-                break;
+        let idx = self.bucket_index_above(x);
+        let mut acc = if idx == 0 { 0.0 } else { self.cum[idx - 1] };
+        if let Some(b) = self.buckets.get(idx) {
+            if x > b.lo {
+                acc += self.probs[idx] * (x - b.lo) / b.width();
             }
         }
         acc.min(1.0)
     }
 
-    /// `P(lo ≤ cost < hi)`.
+    /// `P(lo ≤ cost < hi)`, as the CDF difference of the window bounds.
     pub fn prob_within(&self, lo: f64, hi: f64) -> f64 {
         if hi <= lo {
             return 0.0;
         }
-        let probe = Bucket::new_unchecked(lo, hi);
-        self.buckets
-            .iter()
-            .zip(&self.probs)
-            .map(|(b, p)| p * b.fraction_within(&probe))
-            .sum()
+        (self.prob_leq(hi) - self.prob_leq(lo)).max(0.0)
     }
 
     /// The probability mass assigned to the bucket containing `x`,
@@ -241,21 +301,21 @@ impl Histogram1D {
         self.pdf_at(x) * resolution
     }
 
-    /// The `q`-quantile (`q` in `[0, 1]`) under uniform-within-bucket semantics.
+    /// The `q`-quantile (`q` in `[0, 1]`) under uniform-within-bucket
+    /// semantics, by binary search over the cumulative array.
     pub fn quantile(&self, q: f64) -> f64 {
         let q = q.clamp(0.0, 1.0);
-        let mut acc = 0.0;
-        for (b, p) in self.buckets.iter().zip(&self.probs) {
-            if acc + p >= q {
-                if *p <= 0.0 {
-                    return b.lo;
-                }
-                let frac = (q - acc) / p;
-                return b.lo + frac * b.width();
-            }
-            acc += p;
+        let idx = self.cum.partition_point(|&c| c < q);
+        let Some(b) = self.buckets.get(idx) else {
+            return self.max();
+        };
+        let p = self.probs[idx];
+        if p <= 0.0 {
+            return b.lo;
         }
-        self.max()
+        let acc = if idx == 0 { 0.0 } else { self.cum[idx - 1] };
+        let frac = (q - acc) / p;
+        b.lo + frac * b.width()
     }
 
     /// Draws a random cost value from the histogram.
@@ -284,14 +344,17 @@ impl Histogram1D {
             .iter()
             .map(|b| Bucket::new_unchecked(b.lo + offset, b.hi + offset))
             .collect();
+        // Shifting changes no probability, so the cumulative array carries over.
         Histogram1D {
             buckets,
             probs: self.probs.clone(),
+            cum: self.cum.clone(),
         }
     }
 
     /// Coarsens the histogram to at most `max_buckets` buckets by greedily
-    /// merging adjacent buckets with the smallest combined probability.
+    /// merging adjacent buckets with the smallest combined probability
+    /// (heap-based, `O(n log n)`; same merge sequence as the naive rescan).
     ///
     /// Convolving many histograms multiplies bucket counts; the legacy
     /// baseline uses this to keep intermediate results bounded.
@@ -300,26 +363,14 @@ impl Histogram1D {
         if self.buckets.len() <= max_buckets {
             return self.clone();
         }
-        let mut buckets: Vec<Bucket> = self.buckets.clone();
-        let mut probs: Vec<f64> = self.probs.clone();
-        while buckets.len() > max_buckets {
-            // Find the adjacent pair with the smallest combined probability.
-            let mut best = 0;
-            let mut best_mass = f64::INFINITY;
-            for i in 0..buckets.len() - 1 {
-                let mass = probs[i] + probs[i + 1];
-                if mass < best_mass {
-                    best_mass = mass;
-                    best = i;
-                }
-            }
-            let merged = Bucket::new_unchecked(buckets[best].lo, buckets[best + 1].hi);
-            buckets[best] = merged;
-            probs[best] += probs[best + 1];
-            buckets.remove(best + 1);
-            probs.remove(best + 1);
-        }
-        Histogram1D { buckets, probs }
+        sweep::with_local_buffers(|_, entries, coarsen| {
+            entries.clear();
+            entries.extend(self.buckets.iter().copied().zip(self.probs.iter().copied()));
+            sweep::coarsen_entries_in_place(entries, max_buckets, coarsen);
+            let buckets = entries.iter().map(|&(b, _)| b).collect();
+            let probs = entries.iter().map(|&(_, p)| p).collect();
+            Histogram1D::assemble(buckets, probs)
+        })
     }
 }
 

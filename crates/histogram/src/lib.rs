@@ -14,7 +14,10 @@
 //! * [`HistogramNd`] — multi-dimensional histograms over hyper-buckets, used
 //!   to represent the joint distribution of a path's edge costs,
 //! * [`convolution`] — independent-sum convolution of 1-D histograms (the
-//!   legacy-baseline substrate),
+//!   legacy-baseline substrate), built on the sweep-line kernel of the
+//!   private `sweep` module with reusable [`ConvolveScratch`] buffers,
+//! * [`naive`] — the retained pre-optimisation reference implementations the
+//!   fast kernels are property-tested (and benchmarked) against,
 //! * [`divergence`] — KL divergence and entropy,
 //! * [`standard`] — Gaussian / Gamma / Exponential maximum-likelihood fits for
 //!   the Figure 11(a) comparison.
@@ -26,13 +29,15 @@ pub mod divergence;
 pub mod error;
 pub mod histogram1d;
 pub mod multidim;
+pub mod naive;
 pub mod raw;
 pub mod standard;
+mod sweep;
 pub mod voptimal;
 
 pub use auto::{AutoConfig, BucketSelection};
 pub use bucket::Bucket;
-pub use convolution::{convolve, convolve_many};
+pub use convolution::{convolve, convolve_many, ConvolveScratch};
 pub use divergence::{entropy_of_probs, kl_divergence, kl_divergence_histograms};
 pub use error::HistError;
 pub use histogram1d::Histogram1D;

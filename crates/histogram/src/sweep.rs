@@ -1,0 +1,273 @@
+//! Sweep-line rearrangement and heap-based coarsening kernels.
+//!
+//! Both the §4.2 overlap rearrangement and the convolution of two histograms
+//! reduce to the same problem: a set of weighted intervals ("boxcars", each
+//! with uniform density) must be flattened into disjoint buckets whose
+//! boundaries are the union of the input boundaries. The naive formulation
+//! (see [`crate::naive`]) integrates every input bucket over every elementary
+//! interval — `O(entries × cuts)`, which is quartic in the bucket count for a
+//! convolution. The sweep here turns every interval into two density events,
+//! sorts them once, and accumulates a running density in a single pass:
+//! `O(n log n)` with no intermediate allocation beyond the reusable event
+//! buffer.
+//!
+//! Coarsening (greedy merging of the adjacent bucket pair with the smallest
+//! combined probability) is likewise reimplemented from the naive
+//! rescan-per-merge `O(n²)` loop into a lazy-deletion min-heap over pairs,
+//! `O(n log n)`, reproducing the exact same merge sequence and leftmost
+//! tie-breaking.
+
+use crate::bucket::Bucket;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Cut points closer than this are merged into one boundary, mirroring the
+/// dedup tolerance of the naive rearrangement.
+pub(crate) const CUT_MERGE_EPS: f64 = 1e-12;
+
+/// Elementary intervals with less mass than this are dropped, mirroring the
+/// naive rearrangement's threshold.
+pub(crate) const MIN_ELEMENTARY_MASS: f64 = 1e-15;
+
+/// Pushes the two density events of a weighted interval.
+#[inline]
+pub(crate) fn push_box(events: &mut Vec<(f64, f64)>, lo: f64, hi: f64, mass: f64) {
+    if mass > 0.0 {
+        let density = mass / (hi - lo);
+        events.push((lo, density));
+        events.push((hi, -density));
+    }
+}
+
+/// Sorts the accumulated events and emits disjoint `(bucket, mass)` entries.
+///
+/// The running density uses Kahan-compensated summation so the long
+/// add/subtract chains of large convolutions do not drift; masses are the
+/// density times the elementary width, exactly the integral the naive
+/// rearrangement computes per interval. `events` is drained (left empty) for
+/// reuse.
+pub(crate) fn sweep_into(events: &mut Vec<(f64, f64)>, out: &mut Vec<(Bucket, f64)>) {
+    out.clear();
+    if events.is_empty() {
+        return;
+    }
+    events.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+    let mut density = 0.0f64;
+    let mut compensation = 0.0f64;
+    let n = events.len();
+    let mut i = 0usize;
+    let mut cut = events[0].0;
+    while i < n {
+        // Absorb every event within the merge tolerance of this cut.
+        while i < n && events[i].0 - cut < CUT_MERGE_EPS {
+            let y = events[i].1 - compensation;
+            let t = density + y;
+            compensation = (t - density) - y;
+            density = t;
+            i += 1;
+        }
+        if i >= n {
+            break;
+        }
+        let next = events[i].0;
+        let mass = density * (next - cut);
+        if mass > MIN_ELEMENTARY_MASS {
+            out.push((Bucket::new_unchecked(cut, next), mass));
+        }
+        cut = next;
+    }
+    events.clear();
+}
+
+const NIL: usize = usize::MAX;
+
+/// Reusable buffers for [`coarsen_entries_in_place`].
+#[derive(Debug, Default)]
+pub struct CoarsenScratch {
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    next: Vec<usize>,
+    prev: Vec<usize>,
+    /// Current combined mass of the pair whose left bucket is `i`
+    /// (`f64::INFINITY` when `i` is dead or has no right neighbour); heap
+    /// entries not matching it are stale and skipped.
+    pair_mass: Vec<f64>,
+    alive: Vec<bool>,
+}
+
+/// Greedily merges the adjacent pair with the smallest combined mass until at
+/// most `max_buckets` entries remain, in place.
+///
+/// Pair masses are non-negative finite, so their IEEE-754 bit patterns order
+/// exactly like the values and `(mass.to_bits(), left_index)` in a min-heap
+/// pops the same leftmost-smallest pair the naive rescan picks.
+pub(crate) fn coarsen_entries_in_place(
+    entries: &mut Vec<(Bucket, f64)>,
+    max_buckets: usize,
+    scratch: &mut CoarsenScratch,
+) {
+    let max_buckets = max_buckets.max(1);
+    let n = entries.len();
+    if n <= max_buckets {
+        return;
+    }
+    let CoarsenScratch {
+        heap,
+        next,
+        prev,
+        pair_mass,
+        alive,
+    } = scratch;
+    heap.clear();
+    next.clear();
+    next.extend((0..n).map(|i| if i + 1 < n { i + 1 } else { NIL }));
+    prev.clear();
+    // `0usize.wrapping_sub(1)` is `usize::MAX`, i.e. `NIL`.
+    prev.extend((0..n).map(|i| i.wrapping_sub(1)));
+    alive.clear();
+    alive.resize(n, true);
+    pair_mass.clear();
+    pair_mass.resize(n, f64::INFINITY);
+    for i in 0..n - 1 {
+        let mass = entries[i].1 + entries[i + 1].1;
+        pair_mass[i] = mass;
+        heap.push(Reverse((mass.to_bits(), i)));
+    }
+    let mut count = n;
+    while count > max_buckets {
+        let Some(Reverse((bits, i))) = heap.pop() else {
+            break;
+        };
+        if !alive[i] || pair_mass[i].to_bits() != bits {
+            continue;
+        }
+        let j = next[i];
+        debug_assert!(j != NIL, "live pairs always have a right neighbour");
+        entries[i] = (
+            Bucket::new_unchecked(entries[i].0.lo, entries[j].0.hi),
+            entries[i].1 + entries[j].1,
+        );
+        alive[j] = false;
+        pair_mass[j] = f64::INFINITY;
+        let after = next[j];
+        next[i] = after;
+        count -= 1;
+        if after != NIL {
+            prev[after] = i;
+            let mass = entries[i].1 + entries[after].1;
+            pair_mass[i] = mass;
+            heap.push(Reverse((mass.to_bits(), i)));
+        } else {
+            pair_mass[i] = f64::INFINITY;
+        }
+        let before = prev[i];
+        if before != NIL {
+            let mass = entries[before].1 + entries[i].1;
+            pair_mass[before] = mass;
+            heap.push(Reverse((mass.to_bits(), before)));
+        }
+    }
+    let mut write = 0usize;
+    for read in 0..n {
+        if alive[read] {
+            entries[write] = entries[read];
+            write += 1;
+        }
+    }
+    entries.truncate(write);
+}
+
+/// Per-thread reusable sweep/coarsen buffers backing the scratch-free APIs.
+#[derive(Default)]
+struct LocalBuffers {
+    events: Vec<(f64, f64)>,
+    entries: Vec<(Bucket, f64)>,
+    coarsen: CoarsenScratch,
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuffers> = RefCell::new(LocalBuffers::default());
+}
+
+/// Runs `f` with this thread's reusable sweep/coarsen buffers, so the
+/// scratch-free public APIs allocate nothing in steady state.
+pub(crate) fn with_local_buffers<R>(
+    f: impl FnOnce(&mut Vec<(f64, f64)>, &mut Vec<(Bucket, f64)>, &mut CoarsenScratch) -> R,
+) -> R {
+    LOCAL.with(|cell| {
+        let mut guard = cell.borrow_mut();
+        let LocalBuffers {
+            events,
+            entries,
+            coarsen,
+        } = &mut *guard;
+        f(events, entries, coarsen)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_flattens_overlapping_boxes() {
+        let mut events = Vec::new();
+        push_box(&mut events, 0.0, 10.0, 0.5);
+        push_box(&mut events, 5.0, 15.0, 0.5);
+        let mut out = Vec::new();
+        sweep_into(&mut events, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].0.lo, 0.0);
+        assert_eq!(out[1].0.lo, 5.0);
+        assert_eq!(out[2].0.hi, 15.0);
+        let total: f64 = out.iter().map(|&(_, m)| m).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(
+            (out[1].1 - 0.5).abs() < 1e-12,
+            "overlap doubles the density"
+        );
+        assert!(events.is_empty(), "events drained for reuse");
+    }
+
+    #[test]
+    fn sweep_merges_cuts_within_tolerance() {
+        let mut events = Vec::new();
+        push_box(&mut events, 0.0, 1.0, 0.5);
+        push_box(&mut events, 1.0 + 1e-13, 2.0, 0.5);
+        let mut out = Vec::new();
+        sweep_into(&mut events, &mut out);
+        assert_eq!(out.len(), 2, "near-identical cuts collapse");
+    }
+
+    #[test]
+    fn coarsen_in_place_merges_smallest_adjacent_pair_first() {
+        let b = |lo: f64, hi: f64| Bucket::new(lo, hi).unwrap();
+        let mut entries = vec![
+            (b(0.0, 1.0), 0.1),
+            (b(1.0, 2.0), 0.1),
+            (b(2.0, 3.0), 0.3),
+            (b(3.0, 4.0), 0.3),
+            (b(4.0, 5.0), 0.2),
+        ];
+        let mut scratch = CoarsenScratch::default();
+        coarsen_entries_in_place(&mut entries, 3, &mut scratch);
+        assert_eq!(entries.len(), 3);
+        // First merge is the leftmost smallest pair (0.1 + 0.1 over [0, 2)),
+        // then the tie between the 0.5-mass pairs resolves leftmost again.
+        assert_eq!(entries[0].0.lo, 0.0);
+        assert_eq!(entries[0].0.hi, 3.0);
+        assert!((entries[0].1 - 0.5).abs() < 1e-12);
+        assert_eq!(entries[1].0.hi, 4.0);
+        let total: f64 = entries.iter().map(|&(_, m)| m).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coarsen_in_place_is_a_noop_when_small_enough() {
+        let b = |lo: f64, hi: f64| Bucket::new(lo, hi).unwrap();
+        let mut entries = vec![(b(0.0, 1.0), 0.4), (b(1.0, 2.0), 0.6)];
+        let mut scratch = CoarsenScratch::default();
+        coarsen_entries_in_place(&mut entries, 8, &mut scratch);
+        assert_eq!(entries.len(), 2);
+    }
+}

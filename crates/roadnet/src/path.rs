@@ -425,7 +425,7 @@ mod tests {
         assert_eq!(subs, vec![p(&[1, 2]), p(&[2, 3]), p(&[3, 4])]);
         assert!(full.subpaths_of_length(0).is_empty());
         assert!(full.subpaths_of_length(5).is_empty());
-        assert_eq!(full.subpaths_of_length(4), vec![full.clone()]);
+        assert_eq!(full.subpaths_of_length(4), vec![full]);
     }
 
     #[test]

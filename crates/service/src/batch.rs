@@ -20,12 +20,24 @@
 //! requests sequentially — the fan-out changes wall-clock time, not results.
 //! Plain `std::thread::scope` workers are enough here: the jobs are CPU-bound
 //! with no I/O to overlap, so an async runtime would add nothing.
+//!
+//! When [`ServiceConfig::share_prefixes`](crate::ServiceConfig) is enabled,
+//! the warm phase additionally exploits *cross-path* overlap: the unique jobs
+//! of each α-interval are sorted so shared path prefixes become adjacent and
+//! walked like a trie, keeping one
+//! [`IncrementalEstimate`](pathcost_core::IncrementalEstimate) per live
+//! prefix. Overlapping `RankPaths`/point-query candidates then pay for each
+//! shared sub-path once per batch instead of once per path, at the
+//! accuracy trade-off documented on the config flag (incremental
+//! edge-convolution estimates instead of coarsest-decomposition ones).
 
+use crate::cache::CachedDistribution;
 use crate::engine::{QueryCounters, QueryEngine};
 use crate::error::ServiceError;
 use crate::request::{QueryOutcome, QueryRequest};
-use pathcost_core::IntervalId;
-use pathcost_roadnet::Path;
+use pathcost_core::{CoreError, IncrementalEstimate, IntervalId};
+use pathcost_hist::ConvolveScratch;
+use pathcost_roadnet::{EdgeId, Path};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -64,10 +76,15 @@ impl QueryEngine<'_> {
         // the answer phase re-encounters them per request and reports them
         // with the right request context.
         let warm_counters = QueryCounters::default();
-        self.for_each_index(jobs.len(), |i| {
-            let (path, interval) = jobs[i];
-            let _ = self.estimate_cached(path, self.canonical_departure(interval), &warm_counters);
-        });
+        if self.config().share_prefixes {
+            self.warm_with_prefix_sharing(&jobs, &warm_counters);
+        } else {
+            self.for_each_index(jobs.len(), |i| {
+                let (path, interval) = jobs[i];
+                let _ =
+                    self.estimate_cached(path, self.canonical_departure(interval), &warm_counters);
+            });
+        }
 
         // Phase 2: answer every request against the warm cache.
         let slots: Vec<Mutex<Option<Result<QueryOutcome, ServiceError>>>> =
@@ -84,6 +101,107 @@ impl QueryEngine<'_> {
                     .expect("every request index was answered")
             })
             .collect()
+    }
+
+    /// Warms the cache for `jobs` with cross-path sub-path sharing: jobs are
+    /// grouped per α-interval (estimates are only compatible within one),
+    /// groups fan out across the worker pool, and within a group the paths
+    /// are walked in lexicographic edge order so shared prefixes are
+    /// adjacent. A stack of [`IncrementalEstimate`]s — one per edge of the
+    /// current prefix — acts as the memo: a path whose first `k` edges match
+    /// the previous prefix starts from the `k`-th stacked estimate instead of
+    /// from scratch.
+    ///
+    /// Jobs whose incremental build fails (an edge without a unit histogram
+    /// in the interval) fall back to the full OD estimation path.
+    fn warm_with_prefix_sharing(
+        &self,
+        jobs: &[(&Path, IntervalId)],
+        warm_counters: &QueryCounters,
+    ) {
+        let mut by_interval: HashMap<IntervalId, Vec<&Path>> = HashMap::new();
+        for &(path, interval) in jobs {
+            by_interval.entry(interval).or_default().push(path);
+        }
+        let groups: Vec<(IntervalId, Vec<&Path>)> = by_interval.into_iter().collect();
+        self.for_each_index(groups.len(), |g| {
+            let (interval, paths) = &groups[g];
+            self.warm_interval_group(*interval, paths, warm_counters);
+        });
+    }
+
+    fn warm_interval_group(
+        &self,
+        interval: IntervalId,
+        paths: &[&Path],
+        warm_counters: &QueryCounters,
+    ) {
+        let mut paths: Vec<&Path> = paths.to_vec();
+        paths.sort_unstable_by(|a, b| a.edges().cmp(b.edges()));
+        let departure = self.canonical_departure(interval);
+        let graph = self.graph();
+        let mut scratch = ConvolveScratch::new();
+        // stack[k] estimates the prefix covered[..=k]; both stay in lockstep.
+        let mut stack: Vec<IncrementalEstimate> = Vec::new();
+        let mut covered: Vec<EdgeId> = Vec::new();
+        let (mut warmed, mut reuses, mut edges_reused) = (0u64, 0u64, 0u64);
+        for path in &paths {
+            // Respect existing entries: a previous batch or point query may
+            // already hold this job — possibly as the more accurate full-OD
+            // estimate — and rebuilding would both waste the work and
+            // downgrade the entry.
+            if self.cache().get(path, interval).is_some() {
+                continue;
+            }
+            let edges = path.edges();
+            let shared = covered
+                .iter()
+                .zip(edges)
+                .take_while(|&(a, b)| a == b)
+                .count();
+            stack.truncate(shared);
+            covered.truncate(shared);
+            let built = (|| -> Result<(), CoreError> {
+                if stack.is_empty() {
+                    stack.push(IncrementalEstimate::start(graph, edges[0], departure)?);
+                    covered.push(edges[0]);
+                }
+                for &edge in &edges[stack.len()..] {
+                    let next = stack
+                        .last()
+                        .expect("stack seeded above")
+                        .extend_with_scratch(graph, edge, &mut scratch)?;
+                    stack.push(next);
+                    covered.push(edge);
+                }
+                Ok(())
+            })();
+            match built {
+                Ok(()) => {
+                    warmed += 1;
+                    if shared > 0 {
+                        reuses += 1;
+                        edges_reused += shared as u64;
+                    }
+                    let estimate = stack.last().expect("non-empty path built");
+                    self.cache().insert(
+                        path,
+                        interval,
+                        CachedDistribution {
+                            histogram: estimate.histogram().clone(),
+                            // Incremental estimates have no decomposition;
+                            // every edge is its own (unit) component.
+                            decomposition_depth: path.cardinality(),
+                        },
+                    );
+                }
+                Err(_) => {
+                    let _ = self.estimate_cached(path, departure, warm_counters);
+                }
+            }
+        }
+        self.recorder
+            .record_prefix_warm(warmed, reuses, edges_reused);
     }
 
     /// Runs `f(0..count)` across the worker pool (inline when the pool or the

@@ -26,6 +26,17 @@ pub struct ServiceConfig {
     pub workers: Option<usize>,
     /// Configuration of the DFS router answering `Route` requests.
     pub router: RouterConfig,
+    /// Share sub-path work across a cold batch: estimation jobs that overlap
+    /// on a path prefix (within one α-interval) are built through
+    /// [`pathcost_core::IncrementalEstimate`] extensions of a memoized shared
+    /// prefix, so each shared sub-path is paid for once per batch.
+    ///
+    /// This trades accuracy for cold-batch throughput — prefix-shared entries
+    /// are incremental (edge-convolution) estimates rather than full
+    /// coarsest-decomposition ones — and is therefore off by default; batch
+    /// results remain identical to sequential execution unless it is enabled.
+    /// Reuse is reported through [`ServiceStats`]'s `prefix_*` counters.
+    pub share_prefixes: bool,
 }
 
 impl Default for ServiceConfig {
@@ -35,6 +46,7 @@ impl Default for ServiceConfig {
             shard_capacity: 512,
             workers: None,
             router: RouterConfig::default(),
+            share_prefixes: false,
         }
     }
 }

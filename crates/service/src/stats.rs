@@ -45,6 +45,9 @@ pub(crate) struct StatsRecorder {
     batches: AtomicU64,
     batch_requests: AtomicU64,
     batch_jobs_deduplicated: AtomicU64,
+    prefix_warmed_jobs: AtomicU64,
+    prefix_reuses: AtomicU64,
+    prefix_edges_reused: AtomicU64,
 }
 
 impl StatsRecorder {
@@ -70,6 +73,13 @@ impl StatsRecorder {
             .fetch_add(deduplicated_jobs, Ordering::Relaxed);
     }
 
+    pub fn record_prefix_warm(&self, jobs: u64, reuses: u64, edges_reused: u64) {
+        self.prefix_warmed_jobs.fetch_add(jobs, Ordering::Relaxed);
+        self.prefix_reuses.fetch_add(reuses, Ordering::Relaxed);
+        self.prefix_edges_reused
+            .fetch_add(edges_reused, Ordering::Relaxed);
+    }
+
     /// Snapshots the recorder; cache hit/miss totals are owned by the
     /// [`DistributionCache`](crate::cache::DistributionCache) and passed in.
     pub fn snapshot(&self, cache_hits: u64, cache_misses: u64) -> ServiceStats {
@@ -88,6 +98,9 @@ impl StatsRecorder {
             batches: load(&self.batches),
             batch_requests: load(&self.batch_requests),
             batch_jobs_deduplicated: load(&self.batch_jobs_deduplicated),
+            prefix_warmed_jobs: load(&self.prefix_warmed_jobs),
+            prefix_reuses: load(&self.prefix_reuses),
+            prefix_edges_reused: load(&self.prefix_edges_reused),
         }
     }
 }
@@ -122,6 +135,17 @@ pub struct ServiceStats {
     /// Estimation jobs skipped because another request in the same batch
     /// shared the `(path, interval)` pair.
     pub batch_jobs_deduplicated: u64,
+    /// Estimation jobs whose distribution was built by the prefix-sharing
+    /// warm phase (only when
+    /// [`ServiceConfig::share_prefixes`](crate::ServiceConfig) is on).
+    /// Jobs already cached or falling back to full OD estimation are not
+    /// counted here — they show up as cache hits / `estimations` instead.
+    pub prefix_warmed_jobs: u64,
+    /// Prefix-warmed jobs that reused at least one memoized shared sub-path.
+    pub prefix_reuses: u64,
+    /// Total edges whose convolution was skipped because a shared path
+    /// prefix had already been estimated within the batch.
+    pub prefix_edges_reused: u64,
 }
 
 impl ServiceStats {
@@ -170,6 +194,7 @@ mod tests {
         rec.record_estimation(2);
         rec.record_estimation(4);
         rec.record_batch(10, 6);
+        rec.record_prefix_warm(4, 3, 7);
         let s = rec.snapshot(3, 1);
         assert_eq!(s.estimate_queries, 1);
         assert_eq!(s.route_queries, 1);
@@ -180,6 +205,9 @@ mod tests {
         assert_eq!(s.mean_latency(), Duration::from_micros(200));
         assert_eq!(s.batches, 1);
         assert_eq!(s.batch_jobs_deduplicated, 6);
+        assert_eq!(s.prefix_warmed_jobs, 4);
+        assert_eq!(s.prefix_reuses, 3);
+        assert_eq!(s.prefix_edges_reused, 7);
     }
 
     #[test]

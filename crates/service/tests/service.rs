@@ -216,6 +216,93 @@ fn batch_execution_equals_sequential_execution() {
 }
 
 #[test]
+fn prefix_sharing_reuses_subpaths_and_stays_close_to_od() {
+    let f = fixture(303);
+    let pairs = query_paths(&f.store, 4);
+    let departure = pairs[0].1;
+
+    // Candidates with deliberate overlap: every frequent path plus its
+    // proper prefixes, so the trie walk has sub-paths to share.
+    let mut candidates: Vec<Path> = Vec::new();
+    for (path, _) in &pairs {
+        candidates.push(path.clone());
+        for len in 1..path.cardinality() {
+            candidates.push(path.prefix(len).expect("proper prefix exists"));
+        }
+    }
+    let mut requests: Vec<QueryRequest> = vec![QueryRequest::RankPaths {
+        candidates: candidates.clone(),
+        departure,
+        budget_s: 900.0,
+    }];
+    for path in &candidates {
+        requests.push(QueryRequest::EstimateDistribution {
+            path: path.clone(),
+            departure,
+        });
+    }
+
+    let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let engine = QueryEngine::new(
+        Arc::new(graph),
+        ServiceConfig {
+            share_prefixes: true,
+            ..ServiceConfig::default()
+        },
+    );
+    let results = engine.execute_batch(&requests);
+    for (i, result) in results.iter().enumerate() {
+        assert!(result.is_ok(), "request {i} failed: {result:?}");
+    }
+
+    // Shared sub-paths were actually reused, and the warm phase served the
+    // unique jobs without full OD estimations.
+    let stats = engine.stats();
+    assert!(stats.prefix_warmed_jobs > 0, "{stats:?}");
+    assert!(stats.prefix_reuses > 0, "overlapping candidates must reuse");
+    assert!(stats.prefix_edges_reused >= stats.prefix_reuses);
+
+    // A second identical batch is answered from the warm cache: nothing is
+    // rebuilt (and cached entries are not overwritten).
+    let rerun = engine.execute_batch(&requests);
+    assert!(rerun.iter().all(|r| r.is_ok()));
+    let stats_after = engine.stats();
+    assert_eq!(
+        stats_after.prefix_warmed_jobs, stats.prefix_warmed_jobs,
+        "already-cached jobs must not be rebuilt"
+    );
+    assert!(stats_after.cache_hits > stats.cache_hits);
+
+    // The accuracy trade-off stays bounded: every cached distribution is
+    // normalised and its mean is within 35% of the full OD estimate (the
+    // contract the incremental estimator itself is tested to).
+    let graph2 = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let od = OdEstimator::new(&graph2);
+    let canonical = engine.canonical_departure(engine.interval_of(departure));
+    for result in &results[1..] {
+        let outcome = result.as_ref().unwrap();
+        let QueryResponse::Distribution(hist) = &outcome.response else {
+            panic!("expected a distribution");
+        };
+        assert!((hist.probs().iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+    for path in candidates.iter().take(3) {
+        let cached = engine
+            .cache()
+            .get(path, engine.interval_of(departure))
+            .expect("warm phase cached every job");
+        let reference = od.estimate(path, canonical).unwrap();
+        let rel = (cached.histogram.mean() - reference.mean()).abs() / reference.mean();
+        assert!(
+            rel < 0.35,
+            "prefix-shared mean {} vs OD {}",
+            cached.histogram.mean(),
+            reference.mean()
+        );
+    }
+}
+
+#[test]
 fn concurrent_readers_get_identical_distributions() {
     let f = fixture(304);
     let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
@@ -330,7 +417,7 @@ fn invalid_requests_are_rejected_without_panicking() {
 
     assert!(engine
         .execute(&QueryRequest::ProbWithinBudget {
-            path: path.clone(),
+            path,
             departure,
             budget_s: f64::NAN,
         })

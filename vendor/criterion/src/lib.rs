@@ -22,6 +22,9 @@ pub fn black_box<T>(x: T) -> T {
 pub struct Criterion {
     sample_size: usize,
     min_batch: Duration,
+    /// Quick mode (`cargo bench -- --test`, mirroring real criterion): run
+    /// every benchmark closure once to prove it executes, skip the timing.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -29,6 +32,7 @@ impl Default for Criterion {
         Criterion {
             sample_size: 20,
             min_batch: Duration::from_millis(2),
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -168,6 +172,16 @@ impl Bencher {
 }
 
 fn run_one(c: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    if c.test_mode {
+        let mut bencher = Bencher {
+            sample_size: 1,
+            min_batch: Duration::ZERO,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        println!("{label:<48} ok (test mode)");
+        return;
+    }
     let mut bencher = Bencher {
         sample_size: c.sample_size,
         min_batch: c.min_batch,
