@@ -1,0 +1,125 @@
+//! Routing throughput: the arena-based best-first search versus the retained
+//! naive DFS reference, on the PR 3 acceptance workload.
+//!
+//! The workload routes a fixed set of OD pairs across a mid-size grid with a
+//! moderately tight budget (1.35× free flow, so within-budget probabilities
+//! sit strictly between 0 and 1 and incumbent pruning has teeth) under the
+//! default 64-candidate evaluation cap. `naive/64cand` is the verbatim
+//! pre-refactor DFS (`pathcost_routing::naive`); `bestfirst/64cand` is the
+//! optimised search with the same limits and estimator;
+//! `service_route_warm/64cand` answers the same routes through a warm
+//! `QueryEngine`, where candidate evaluations are `Arc`-shared cache hits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcost_bench::experiment::{experiment_config, random_od_pairs, Dataset};
+use pathcost_core::{HybridGraph, OdEstimator};
+use pathcost_roadnet::search::{fastest_path, free_flow_time_s};
+use pathcost_roadnet::VertexId;
+use pathcost_routing::naive::DfsRouter;
+use pathcost_routing::{BestFirstRouter, RouterConfig};
+use pathcost_service::{QueryEngine, QueryRequest, ServiceConfig};
+use pathcost_traj::{DatasetPreset, Timestamp};
+use std::sync::Arc;
+
+fn routing_workload(dataset: &Dataset) -> Vec<(VertexId, VertexId, f64)> {
+    random_od_pairs(dataset, 4, 11)
+        .into_iter()
+        .map(|(from, to)| {
+            let ff = free_flow_time_s(
+                &dataset.net,
+                &fastest_path(&dataset.net, from, to).expect("pair is routable"),
+            );
+            (from, to, ff * 1.35)
+        })
+        .collect()
+}
+
+fn bench_routing_throughput(c: &mut Criterion) {
+    let mut preset = DatasetPreset::aalborg_like(7);
+    preset.network.rows = 10;
+    preset.network.cols = 10;
+    preset.simulation.trips = 1_000;
+    let dataset = Dataset::build(&preset);
+    let cfg = experiment_config(pathcost_bench::experiment::Scale::Quick);
+    let graph = HybridGraph::build(&dataset.net, &dataset.store, cfg).expect("graph builds");
+    let config = RouterConfig {
+        max_expansions: 20_000,
+        max_candidates: 64,
+        max_path_edges: 60,
+    };
+    let workload = routing_workload(&dataset);
+    assert!(!workload.is_empty(), "bench needs routable OD pairs");
+    let departure = Timestamp::from_day_hms(0, 8, 0, 0);
+    let od = OdEstimator::new(&graph);
+
+    let mut group = c.benchmark_group("routing_throughput");
+
+    let naive = DfsRouter::new(&graph, config.clone()).expect("router config");
+    group.bench_with_input(
+        BenchmarkId::new("naive", "64cand"),
+        &workload,
+        |b, workload| {
+            b.iter(|| {
+                for &(from, to, budget) in workload {
+                    let _ = naive.route(&od, from, to, departure, budget);
+                }
+            })
+        },
+    );
+
+    let bestfirst = BestFirstRouter::new(&graph, config.clone()).expect("router config");
+    group.bench_with_input(
+        BenchmarkId::new("bestfirst", "64cand"),
+        &workload,
+        |b, workload| {
+            b.iter(|| {
+                for &(from, to, budget) in workload {
+                    let _ = bestfirst.route(&od, from, to, departure, budget);
+                }
+            })
+        },
+    );
+
+    // The serving path: the same routes through a warm engine, so candidate
+    // evaluations are allocation-free Arc'd cache hits.
+    let shared = Arc::new(graph);
+    let engine = QueryEngine::new(
+        shared.clone(),
+        ServiceConfig {
+            router: config,
+            ..ServiceConfig::default()
+        },
+    );
+    let requests: Vec<QueryRequest> = workload
+        .iter()
+        .map(|&(source, destination, budget_s)| QueryRequest::Route {
+            source,
+            destination,
+            departure,
+            budget_s,
+        })
+        .collect();
+    for request in &requests {
+        let _ = engine.execute(request);
+    }
+    group.bench_with_input(
+        BenchmarkId::new("service_route_warm", "64cand"),
+        &requests,
+        |b, requests| {
+            b.iter(|| {
+                for request in requests {
+                    let _ = engine.execute(request);
+                }
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_routing_throughput
+}
+criterion_main!(benches);

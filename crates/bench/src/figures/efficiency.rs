@@ -8,7 +8,11 @@ use pathcost_core::{
     CostEstimator, EstimateBreakdown, HpEstimator, HybridGraph, LbEstimator, OdEstimator,
     RdEstimator,
 };
-use pathcost_routing::{DfsRouter, RouterConfig};
+// Figure 18 reproduces the paper's DFS probabilistic path query, so it drives
+// the retained reference implementation; the optimised best-first search is
+// measured against it in `benches/routing_throughput.rs`.
+use pathcost_routing::naive::DfsRouter;
+use pathcost_routing::RouterConfig;
 use pathcost_traj::Timestamp;
 use std::time::Instant;
 

@@ -23,6 +23,7 @@ use pathcost_roadnet::{Path, RoadNetwork};
 use pathcost_traj::{Timestamp, TrajectoryStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Wall-clock breakdown of one estimation call (Figure 17's OI / JC / MC).
@@ -53,6 +54,20 @@ pub trait CostEstimator {
     fn estimate(&self, path: &Path, departure: Timestamp) -> Result<Histogram1D, CoreError> {
         self.estimate_with_breakdown(path, departure)
             .map(|(h, _)| h)
+    }
+
+    /// As [`Self::estimate`], returning the distribution behind a shared
+    /// [`Arc`] handle. The default wraps a fresh estimate; estimators backed
+    /// by a store of already-shared histograms (e.g. a serving-layer cache)
+    /// override this so repeated estimates of the same path are
+    /// allocation-free reference bumps. Routing searches, which evaluate and
+    /// retain many candidate distributions, call this form.
+    fn estimate_arc(
+        &self,
+        path: &Path,
+        departure: Timestamp,
+    ) -> Result<Arc<Histogram1D>, CoreError> {
+        self.estimate(path, departure).map(Arc::new)
     }
 
     /// Estimates the distribution and reports the per-phase time breakdown.

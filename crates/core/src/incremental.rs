@@ -3,13 +3,21 @@
 //! Stochastic routing algorithms explore candidate paths by repeatedly
 //! extending an existing path with one more edge, and the paper notes that a
 //! cost estimation method must support this *incremental property* so the work
-//! done for the existing path can be reused. [`IncrementalEstimate`] holds the
-//! cost distribution of the current path together with the arrival-time window
-//! at its end; extending by an edge convolves in that edge's unit distribution
-//! at the (shifted) arrival interval. A full OD re-estimation can be requested
-//! at any time for the exact coarsest-decomposition result; the incremental
-//! form is what the routing search uses for cheap candidate expansion and
-//! pruning bounds.
+//! done for the existing path can be reused. Two layers implement it here:
+//!
+//! * [`PartialEstimate`] is the path-*less* core: an [`Arc`]-shared cost
+//!   histogram plus the arrival-time window at the end of the edge chain it
+//!   describes. Extending by an edge convolves in that edge's unit
+//!   distribution at the (shifted) arrival interval. Because the histogram is
+//!   behind an `Arc`, a routing search can hold one estimate per node of a
+//!   parent-pointer tree without ever copying bucket arrays, and sharing an
+//!   estimate (e.g. into a cache) is a reference-count bump.
+//! * [`IncrementalEstimate`] pairs a `PartialEstimate` with the concrete
+//!   [`Path`] it describes, validating adjacency and vertex-distinctness on
+//!   every extension — the safe API for callers that need the materialised
+//!   path (the batch executor's prefix sharing, tests, examples). A full OD
+//!   re-estimation can be requested at any time for the exact
+//!   coarsest-decomposition result.
 
 use crate::error::CoreError;
 use crate::hybrid_graph::HybridGraph;
@@ -17,20 +25,26 @@ use pathcost_hist::convolution::{convolve_with_limit, convolve_with_scratch, Con
 use pathcost_hist::{HistError, Histogram1D};
 use pathcost_roadnet::{EdgeId, Path};
 use pathcost_traj::{TimeOfDay, Timestamp};
+use std::sync::Arc;
 
-/// A cost distribution that can be extended edge by edge.
+/// A path-less incremental cost distribution: the `Arc`-shared histogram of
+/// an edge chain together with the arrival-time window at its end.
+///
+/// `PartialEstimate` performs **no adjacency or vertex-distinctness
+/// validation** — the caller guarantees that each extension edge follows the
+/// chain (a routing search tracks visited vertices itself through its search
+/// tree; [`IncrementalEstimate`] wraps this type with full [`Path`]
+/// validation). Cloning is cheap: two machine words plus an `Arc` bump.
 #[derive(Debug, Clone)]
-pub struct IncrementalEstimate {
-    path: Path,
-    departure: Timestamp,
-    histogram: Histogram1D,
+pub struct PartialEstimate {
+    histogram: Arc<Histogram1D>,
     /// Earliest and latest possible arrival time (seconds of day) at the end
-    /// of the current path.
+    /// of the current edge chain.
     arrival_window: (f64, f64),
 }
 
-impl IncrementalEstimate {
-    /// Starts an incremental estimate from a single edge.
+impl PartialEstimate {
+    /// Starts an estimate from a single edge at `departure`.
     pub fn start(
         graph: &HybridGraph<'_>,
         edge: EdgeId,
@@ -46,56 +60,46 @@ impl IncrementalEstimate {
             tod.seconds() + histogram.min(),
             tod.seconds() + histogram.max(),
         );
-        Ok(IncrementalEstimate {
-            path: Path::unit(edge),
-            departure,
-            histogram,
+        Ok(PartialEstimate {
+            histogram: Arc::new(histogram),
             arrival_window,
         })
     }
 
-    /// Starts from an existing path using the full OD estimator.
-    pub fn from_path(
-        graph: &HybridGraph<'_>,
-        path: &Path,
-        departure: Timestamp,
-    ) -> Result<Self, CoreError> {
-        let histogram = graph.estimate(path, departure)?;
+    /// Wraps an already-estimated distribution anchored at `departure`.
+    pub fn from_histogram(histogram: Arc<Histogram1D>, departure: Timestamp) -> Self {
         let tod = departure.time_of_day().seconds();
         let arrival_window = (tod + histogram.min(), tod + histogram.max());
-        Ok(IncrementalEstimate {
-            path: path.clone(),
-            departure,
+        PartialEstimate {
             histogram,
             arrival_window,
-        })
+        }
     }
 
-    /// The current path.
-    pub fn path(&self) -> &Path {
-        &self.path
-    }
-
-    /// The departure time the estimate is anchored at.
-    pub fn departure(&self) -> Timestamp {
-        self.departure
-    }
-
-    /// The cost distribution of the current path.
+    /// The cost distribution of the current chain.
     pub fn histogram(&self) -> &Histogram1D {
         &self.histogram
     }
 
-    /// Extends the estimate with one more edge ("path + another edge"),
-    /// returning a new estimate and leaving `self` untouched so a routing
-    /// search can branch. Uses this thread's convolution scratch buffers.
+    /// The shared handle to the distribution (an `Arc` bump to keep).
+    pub fn histogram_arc(&self) -> &Arc<Histogram1D> {
+        &self.histogram
+    }
+
+    /// Earliest and latest possible arrival (seconds of day) at the chain end.
+    pub fn arrival_window(&self) -> (f64, f64) {
+        self.arrival_window
+    }
+
+    /// Extends the chain with one more edge, convolving in that edge's unit
+    /// distribution at the mid-window arrival interval. Uses this thread's
+    /// convolution scratch buffers.
     pub fn extend(&self, graph: &HybridGraph<'_>, edge: EdgeId) -> Result<Self, CoreError> {
         self.extend_inner(graph, edge, |a, unit| convolve_with_limit(a, unit, 48))
     }
 
     /// As [`Self::extend`], threading caller-owned scratch buffers through the
-    /// convolution so tight extension loops (routing searches, the batch
-    /// executor's prefix sharing) allocate only the returned estimate.
+    /// convolution so tight extension loops allocate only the result.
     pub fn extend_with_scratch(
         &self,
         graph: &HybridGraph<'_>,
@@ -113,8 +117,6 @@ impl IncrementalEstimate {
         edge: EdgeId,
         convolve: impl FnOnce(&Histogram1D, &Histogram1D) -> Result<Histogram1D, HistError>,
     ) -> Result<Self, CoreError> {
-        let net = graph.network();
-        let path = self.path.extend(edge, net)?;
         let wp = graph.weights();
         let mid_arrival = TimeOfDay::wrap(0.5 * (self.arrival_window.0 + self.arrival_window.1));
         let interval = wp.partition().interval_of(mid_arrival);
@@ -126,26 +128,123 @@ impl IncrementalEstimate {
             (self.arrival_window.0 + unit.min()).min(86_400.0),
             (self.arrival_window.1 + unit.max()).min(86_400.0),
         );
+        Ok(PartialEstimate {
+            histogram: Arc::new(histogram),
+            arrival_window,
+        })
+    }
+
+    /// The probability of completing the current chain within `budget_s`
+    /// seconds.
+    pub fn prob_within(&self, budget_s: f64) -> f64 {
+        self.histogram.prob_leq(budget_s)
+    }
+}
+
+/// A cost distribution that can be extended edge by edge, carrying the
+/// materialised [`Path`] it describes.
+#[derive(Debug, Clone)]
+pub struct IncrementalEstimate {
+    path: Path,
+    departure: Timestamp,
+    partial: PartialEstimate,
+}
+
+impl IncrementalEstimate {
+    /// Starts an incremental estimate from a single edge.
+    pub fn start(
+        graph: &HybridGraph<'_>,
+        edge: EdgeId,
+        departure: Timestamp,
+    ) -> Result<Self, CoreError> {
+        Ok(IncrementalEstimate {
+            path: Path::unit(edge),
+            departure,
+            partial: PartialEstimate::start(graph, edge, departure)?,
+        })
+    }
+
+    /// Starts from an existing path using the full OD estimator.
+    pub fn from_path(
+        graph: &HybridGraph<'_>,
+        path: &Path,
+        departure: Timestamp,
+    ) -> Result<Self, CoreError> {
+        let histogram = Arc::new(graph.estimate(path, departure)?);
+        Ok(IncrementalEstimate {
+            path: path.clone(),
+            departure,
+            partial: PartialEstimate::from_histogram(histogram, departure),
+        })
+    }
+
+    /// The current path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The departure time the estimate is anchored at.
+    pub fn departure(&self) -> Timestamp {
+        self.departure
+    }
+
+    /// The cost distribution of the current path.
+    pub fn histogram(&self) -> &Histogram1D {
+        self.partial.histogram()
+    }
+
+    /// The shared handle to the distribution. Callers that store the
+    /// histogram (the serving layer's cache, a route result) clone this `Arc`
+    /// instead of the bucket arrays.
+    pub fn histogram_arc(&self) -> &Arc<Histogram1D> {
+        self.partial.histogram_arc()
+    }
+
+    /// The path-less estimate backing this one.
+    pub fn partial(&self) -> &PartialEstimate {
+        &self.partial
+    }
+
+    /// Extends the estimate with one more edge ("path + another edge"),
+    /// returning a new estimate and leaving `self` untouched so a routing
+    /// search can branch. Uses this thread's convolution scratch buffers.
+    pub fn extend(&self, graph: &HybridGraph<'_>, edge: EdgeId) -> Result<Self, CoreError> {
+        let path = self.path.extend(edge, graph.network())?;
         Ok(IncrementalEstimate {
             path,
             departure: self.departure,
-            histogram,
-            arrival_window,
+            partial: self.partial.extend(graph, edge)?,
+        })
+    }
+
+    /// As [`Self::extend`], threading caller-owned scratch buffers through the
+    /// convolution so tight extension loops (the batch executor's prefix
+    /// sharing) allocate only the returned estimate.
+    pub fn extend_with_scratch(
+        &self,
+        graph: &HybridGraph<'_>,
+        edge: EdgeId,
+        scratch: &mut ConvolveScratch,
+    ) -> Result<Self, CoreError> {
+        let path = self.path.extend(edge, graph.network())?;
+        Ok(IncrementalEstimate {
+            path,
+            departure: self.departure,
+            partial: self.partial.extend_with_scratch(graph, edge, scratch)?,
         })
     }
 
     /// Re-estimates the current path with the exact OD method, replacing the
     /// incrementally maintained distribution.
     pub fn refine(&mut self, graph: &HybridGraph<'_>) -> Result<(), CoreError> {
-        self.histogram = graph.estimate(&self.path, self.departure)?;
-        let tod = self.departure.time_of_day().seconds();
-        self.arrival_window = (tod + self.histogram.min(), tod + self.histogram.max());
+        let histogram = Arc::new(graph.estimate(&self.path, self.departure)?);
+        self.partial = PartialEstimate::from_histogram(histogram, self.departure);
         Ok(())
     }
 
     /// The probability of completing the current path within `budget_s` seconds.
     pub fn prob_within(&self, budget_s: f64) -> f64 {
-        self.histogram.prob_leq(budget_s)
+        self.partial.prob_within(budget_s)
     }
 }
 
@@ -246,5 +345,32 @@ mod tests {
             .unwrap()
             .id;
         assert!(inc.extend(&graph, bad).is_err());
+    }
+
+    #[test]
+    fn partial_estimate_tracks_incremental_and_shares_storage() {
+        let (net, store, cfg) = fixture();
+        let graph = HybridGraph::build(&net, &store, cfg).unwrap();
+        let (query, _) = store.frequent_paths(4, 10, None)[0].clone();
+        let departure = store.occurrences_on(&query)[0].entry_time;
+
+        // The path-less chain reproduces IncrementalEstimate bit for bit.
+        let mut inc = IncrementalEstimate::start(&graph, query.edges()[0], departure).unwrap();
+        let mut partial = PartialEstimate::start(&graph, query.edges()[0], departure).unwrap();
+        for &edge in &query.edges()[1..] {
+            inc = inc.extend(&graph, edge).unwrap();
+            partial = partial.extend(&graph, edge).unwrap();
+        }
+        assert_eq!(inc.histogram(), partial.histogram());
+        assert_eq!(inc.partial().arrival_window(), partial.arrival_window());
+
+        // Cloning shares the histogram allocation instead of copying it.
+        let snapshot = partial.clone();
+        assert!(Arc::ptr_eq(
+            snapshot.histogram_arc(),
+            partial.histogram_arc()
+        ));
+        let kept = inc.histogram_arc().clone();
+        assert!(Arc::ptr_eq(&kept, inc.histogram_arc()));
     }
 }

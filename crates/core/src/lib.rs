@@ -53,7 +53,7 @@ pub use estimator::{
     RdEstimator,
 };
 pub use hybrid_graph::HybridGraph;
-pub use incremental::IncrementalEstimate;
+pub use incremental::{IncrementalEstimate, PartialEstimate};
 pub use interval::{DayPartition, IntervalId};
 pub use variable::{InstantiatedVariable, VariableSource};
 pub use weights::{PathWeightFunction, WeightStats};

@@ -1,0 +1,645 @@
+//! Arena-based best-first probabilistic path query (§4.3).
+//!
+//! Answers the same question as the paper's DFS probabilistic path query
+//! (Hua & Pei [10]; retained verbatim in [`crate::naive`]): given a source, a
+//! destination, a departure time and a travel-time budget, find the path that
+//! maximises the probability of arriving within the budget. The search here
+//! is rebuilt for throughput:
+//!
+//! * **Parent-pointer arena** — partial paths live as nodes in a slab, each
+//!   holding only its last edge, its end vertex and an `Arc`-shared
+//!   [`PartialEstimate`]. No `Path` is cloned per expansion; a concrete edge
+//!   sequence is materialised (by walking parent pointers) only for complete
+//!   candidates that reach the destination.
+//! * **Best-first frontier** — instead of a depth-first stack, a max-heap
+//!   orders open nodes by their *optimistic within-budget probability*
+//!   `P(partial cost ≤ budget − lb(v))`, where `lb(v)` is the admissible
+//!   free-flow bound to the destination. Ties break towards the smaller
+//!   optimistic arrival time (A*-style), then insertion order, so the search
+//!   is deterministic and reaches a strong first incumbent quickly.
+//! * **Incumbent pruning** — once a candidate has been evaluated, any partial
+//!   path whose optimistic bound is *strictly below* the incumbent
+//!   probability is dropped (at push and again at pop, where the incumbent
+//!   may have improved). Equal-bound paths are kept so tie-breaking stays
+//!   exact.
+//! * **Precomputed successor order** — the lower-bound-sorted adjacency is
+//!   built once per `route()` call; the old search re-sorted the successor
+//!   list of every expanded node.
+//!
+//! Complete candidates are evaluated with the pluggable [`CostEstimator`]
+//! through [`CostEstimator::estimate_arc`], so an estimator backed by a
+//! distribution cache (the serving layer's `CachingEstimator`) hands back
+//! shared histograms without copying them.
+
+use crate::dijkstra::{edge_target_lower_bound, free_flow_to_destination};
+use crate::error::RoutingError;
+use crate::query::prob_within_budget;
+use pathcost_core::{CostEstimator, HybridGraph, PartialEstimate};
+use pathcost_hist::{ConvolveScratch, Histogram1D};
+use pathcost_roadnet::{EdgeId, Path, VertexId};
+use pathcost_traj::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Configuration of the probabilistic path query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Maximum number of partial-path expansions before the search stops.
+    pub max_expansions: usize,
+    /// Maximum number of complete candidate paths whose distribution is
+    /// evaluated with the full estimator.
+    pub max_candidates: usize,
+    /// Maximum candidate path cardinality.
+    pub max_path_edges: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_expansions: 20_000,
+            max_candidates: 64,
+            max_path_edges: 120,
+        }
+    }
+}
+
+/// The outcome of a probabilistic path query.
+#[derive(Debug, Clone)]
+pub struct RouteResult {
+    /// The best path found.
+    pub path: Path,
+    /// Probability of completing the path within the budget.
+    pub probability: f64,
+    /// The estimated cost distribution of the path, shared with the
+    /// estimator that produced it (a cache-backed estimator hands out the
+    /// cached allocation itself).
+    pub distribution: Arc<Histogram1D>,
+    /// Number of complete candidate paths whose distribution was evaluated.
+    pub evaluated_candidates: usize,
+    /// Number of partial-path expansions performed.
+    pub expansions: usize,
+    /// Partial paths and candidates dropped because their optimistic
+    /// within-budget probability could not beat the incumbent (always 0 for
+    /// the naive DFS reference, which does not maintain an incumbent bound).
+    pub incumbent_prunes: usize,
+}
+
+/// Counters describing one search, reported even when no path was found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchTelemetry {
+    /// Partial-path expansions performed (frontier pops).
+    pub expansions: usize,
+    /// Complete candidates evaluated with the estimator.
+    pub evaluated_candidates: usize,
+    /// Partial paths dropped by the incumbent bound.
+    pub incumbent_prunes: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// One partial path: its last edge plus a parent pointer into the arena.
+struct Node {
+    parent: usize,
+    edge: EdgeId,
+    at: VertexId,
+    depth: u32,
+    estimate: PartialEstimate,
+}
+
+/// A heap entry for an open node. Max-ordered by optimistic within-budget
+/// probability, then by *smaller* optimistic arrival time, then by *earlier*
+/// insertion, so the pop order is total and deterministic.
+struct Open {
+    bound: f64,
+    optimistic_cost: f64,
+    seq: u64,
+    node: usize,
+}
+
+impl PartialEq for Open {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Open {}
+
+impl Ord for Open {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .total_cmp(&other.bound)
+            .then_with(|| other.optimistic_cost.total_cmp(&self.optimistic_cost))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Open {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The best complete candidate seen so far.
+struct Incumbent {
+    path: Path,
+    probability: f64,
+    mean: f64,
+    distribution: Arc<Histogram1D>,
+}
+
+impl Incumbent {
+    /// Deterministic candidate ordering: higher within-budget probability
+    /// wins; exact ties prefer the lower expected cost, then the shorter
+    /// (fewer-edge) path.
+    fn beaten_by(&self, probability: f64, mean: f64, cardinality: usize) -> bool {
+        probability > self.probability
+            || (probability == self.probability
+                && (mean < self.mean
+                    || (mean == self.mean && cardinality < self.path.cardinality())))
+    }
+}
+
+/// Best-first probabilistic path router over a hybrid graph.
+pub struct BestFirstRouter<'g, 'n> {
+    graph: &'g HybridGraph<'n>,
+    config: RouterConfig,
+}
+
+impl<'g, 'n> BestFirstRouter<'g, 'n> {
+    /// Creates a router with the given configuration.
+    pub fn new(graph: &'g HybridGraph<'n>, config: RouterConfig) -> Result<Self, RoutingError> {
+        if config.max_expansions == 0 || config.max_candidates == 0 || config.max_path_edges == 0 {
+            return Err(RoutingError::InvalidConfig(
+                "expansion, candidate and path-length limits must be positive",
+            ));
+        }
+        Ok(BestFirstRouter { graph, config })
+    }
+
+    /// Finds the path from `source` to `destination` departing at `departure`
+    /// that maximises the probability of arriving within `budget_s` seconds.
+    ///
+    /// Returns `Ok(None)` when no candidate path within the search limits can
+    /// possibly meet the budget.
+    pub fn route(
+        &self,
+        estimator: &dyn CostEstimator,
+        source: VertexId,
+        destination: VertexId,
+        departure: Timestamp,
+        budget_s: f64,
+    ) -> Result<Option<RouteResult>, RoutingError> {
+        self.route_with_telemetry(estimator, source, destination, departure, budget_s)
+            .map(|(best, _)| best)
+    }
+
+    /// As [`Self::route`], additionally reporting the search counters even
+    /// when no feasible path exists (the serving layer's `route_*` metrics).
+    pub fn route_with_telemetry(
+        &self,
+        estimator: &dyn CostEstimator,
+        source: VertexId,
+        destination: VertexId,
+        departure: Timestamp,
+        budget_s: f64,
+    ) -> Result<(Option<RouteResult>, SearchTelemetry), RoutingError> {
+        if source == destination {
+            return Err(RoutingError::SameSourceAndDestination);
+        }
+        let net = self.graph.network();
+        net.vertex(source)?;
+        net.vertex(destination)?;
+        let lower_bound = free_flow_to_destination(net, destination);
+        if !lower_bound[source.index()].is_finite() {
+            return Err(RoutingError::Unreachable);
+        }
+
+        // Lower-bound-sorted adjacency, memoised per vertex: each successor
+        // list is built and sorted at most once per `route()` call (the old
+        // search re-sorted it at every expansion), and only for the region
+        // the search actually reaches. Edges whose head cannot reach the
+        // destination are dropped — any path through them fails the budget
+        // prune anyway.
+        let mut sorted_adjacency: Vec<Option<Vec<EdgeId>>> = vec![None; net.vertex_count()];
+
+        let mut telemetry = SearchTelemetry::default();
+        let mut arena: Vec<Node> = Vec::new();
+        let mut heap: BinaryHeap<Open> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut scratch = ConvolveScratch::new();
+        // Epoch-marked visited array: one pass down the parent chain marks
+        // the expanded node's vertices, then each successor is an O(1) check.
+        let mut visit_mark: Vec<u64> = vec![0; net.vertex_count()];
+        let mut epoch: u64 = 0;
+        let mut best: Option<Incumbent> = None;
+
+        for &edge in sorted_out_edges(net, &lower_bound, &mut sorted_adjacency, source) {
+            let end = net.edge(edge)?.to;
+            let Ok(estimate) = PartialEstimate::start(self.graph, edge, departure) else {
+                continue; // no unit distribution for this edge
+            };
+            admit(
+                &mut arena,
+                &mut heap,
+                &mut seq,
+                &mut telemetry,
+                &best,
+                &lower_bound,
+                budget_s,
+                Node {
+                    parent: NIL,
+                    edge,
+                    at: end,
+                    depth: 1,
+                    estimate,
+                },
+            );
+        }
+
+        while let Some(Open { bound, node, .. }) = heap.pop() {
+            telemetry.expansions += 1;
+            if telemetry.expansions > self.config.max_expansions
+                || telemetry.evaluated_candidates >= self.config.max_candidates
+            {
+                break;
+            }
+            // The incumbent may have improved since this node was pushed.
+            if let Some(incumbent) = &best {
+                if bound < incumbent.probability {
+                    telemetry.incumbent_prunes += 1;
+                    continue;
+                }
+            }
+            let (at, depth) = (arena[node].at, arena[node].depth);
+            if at == destination {
+                // Complete candidate: materialise the path and evaluate its
+                // distribution with the real estimator.
+                telemetry.evaluated_candidates += 1;
+                let path = materialise(&arena, node);
+                let distribution = estimator.estimate_arc(&path, departure)?;
+                let probability = prob_within_budget(&distribution, budget_s);
+                let mean = distribution.mean();
+                let better = best
+                    .as_ref()
+                    .map(|incumbent| incumbent.beaten_by(probability, mean, path.cardinality()))
+                    .unwrap_or(true);
+                if better {
+                    best = Some(Incumbent {
+                        path,
+                        probability,
+                        mean,
+                        distribution,
+                    });
+                }
+                continue;
+            }
+            if depth as usize >= self.config.max_path_edges {
+                continue;
+            }
+            // Mark the vertices of this partial path (plus the source) so
+            // successors closing a cycle are rejected in O(1).
+            epoch += 1;
+            visit_mark[source.index()] = epoch;
+            let mut cursor = node;
+            loop {
+                visit_mark[arena[cursor].at.index()] = epoch;
+                if arena[cursor].parent == NIL {
+                    break;
+                }
+                cursor = arena[cursor].parent;
+            }
+            let parent_estimate = arena[node].estimate.clone();
+            for &edge in sorted_out_edges(net, &lower_bound, &mut sorted_adjacency, at) {
+                let end = net.edge(edge)?.to;
+                if visit_mark[end.index()] == epoch {
+                    continue; // would revisit a vertex
+                }
+                let Ok(extended) =
+                    parent_estimate.extend_with_scratch(self.graph, edge, &mut scratch)
+                else {
+                    continue; // no unit distribution for this edge
+                };
+                admit(
+                    &mut arena,
+                    &mut heap,
+                    &mut seq,
+                    &mut telemetry,
+                    &best,
+                    &lower_bound,
+                    budget_s,
+                    Node {
+                        parent: node,
+                        edge,
+                        at: end,
+                        depth: depth + 1,
+                        estimate: extended,
+                    },
+                );
+            }
+        }
+
+        let result = best.map(|incumbent| RouteResult {
+            path: incumbent.path,
+            probability: incumbent.probability,
+            distribution: incumbent.distribution,
+            evaluated_candidates: telemetry.evaluated_candidates,
+            expansions: telemetry.expansions,
+            incumbent_prunes: telemetry.incumbent_prunes,
+        });
+        Ok((result, telemetry))
+    }
+}
+
+/// Applies the budget and incumbent prunes to a prospective node and, when it
+/// survives, stores it in the arena and opens it on the frontier.
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    arena: &mut Vec<Node>,
+    heap: &mut BinaryHeap<Open>,
+    seq: &mut u64,
+    telemetry: &mut SearchTelemetry,
+    best: &Option<Incumbent>,
+    lower_bound: &[f64],
+    budget_s: f64,
+    node: Node,
+) {
+    let lb = lower_bound[node.at.index()];
+    let optimistic_cost = node.estimate.histogram().min() + lb;
+    if optimistic_cost > budget_s {
+        return; // even the fastest completion exceeds the budget
+    }
+    // Optimistic within-budget probability: the completion takes at least the
+    // admissible free-flow bound, so the candidate's probability cannot
+    // exceed P(partial ≤ budget − lb). Strictly-worse bounds are pruned;
+    // equal bounds survive so exact ties reach the deterministic tie-break.
+    let bound = node.estimate.histogram().prob_leq(budget_s - lb);
+    if let Some(incumbent) = best {
+        if bound < incumbent.probability {
+            telemetry.incumbent_prunes += 1;
+            return;
+        }
+    }
+    arena.push(node);
+    *seq += 1;
+    heap.push(Open {
+        bound,
+        optimistic_cost,
+        seq: *seq,
+        node: arena.len() - 1,
+    });
+}
+
+/// The out-edges of `v` whose head can reach the destination, in ascending
+/// order of the admissible bound at their head, built (with precomputed sort
+/// keys) on first request and memoised for the rest of the `route()` call.
+fn sorted_out_edges<'m>(
+    net: &pathcost_roadnet::RoadNetwork,
+    lower_bound: &[f64],
+    memo: &'m mut [Option<Vec<EdgeId>>],
+    v: VertexId,
+) -> &'m [EdgeId] {
+    let slot = &mut memo[v.index()];
+    if slot.is_none() {
+        let mut decorated: Vec<(f64, EdgeId)> = net
+            .out_edges(v)
+            .iter()
+            .map(|&e| (edge_target_lower_bound(net, lower_bound, e), e))
+            .filter(|(key, _)| key.is_finite())
+            .collect();
+        decorated.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| (a.1).0.cmp(&(b.1).0)));
+        *slot = Some(decorated.into_iter().map(|(_, e)| e).collect());
+    }
+    slot.as_deref().expect("memo slot filled above")
+}
+
+/// Walks parent pointers from `node` to a root and returns the edge sequence
+/// as a `Path`. Adjacency and vertex-distinctness hold by construction (the
+/// search only extends with out-edges of the chain end and rejects vertex
+/// revisits), so no re-validation against the network is needed.
+fn materialise(arena: &[Node], node: usize) -> Path {
+    let mut edges = Vec::with_capacity(arena[node].depth as usize);
+    let mut cursor = node;
+    loop {
+        edges.push(arena[cursor].edge);
+        if arena[cursor].parent == NIL {
+            break;
+        }
+        cursor = arena[cursor].parent;
+    }
+    edges.reverse();
+    Path::from_edges_unchecked(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcost_core::{HybridConfig, LbEstimator, OdEstimator};
+    use pathcost_roadnet::search::fastest_path;
+    use pathcost_traj::DatasetPreset;
+
+    struct Fixture {
+        net: pathcost_roadnet::RoadNetwork,
+        store: pathcost_traj::TrajectoryStore,
+        cfg: HybridConfig,
+    }
+
+    fn fixture() -> Fixture {
+        let (net, store) = DatasetPreset::tiny(91).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        };
+        Fixture { net, store, cfg }
+    }
+
+    #[test]
+    fn finds_a_feasible_path_with_reasonable_probability() {
+        let f = fixture();
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let router = BestFirstRouter::new(&graph, RouterConfig::default()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let source = VertexId(0);
+        let destination = VertexId(18);
+        let departure = Timestamp::from_day_hms(0, 8, 0, 0);
+        // A generous budget: three times the free-flow time of the fastest path.
+        let ff = pathcost_roadnet::search::free_flow_time_s(
+            &f.net,
+            &fastest_path(&f.net, source, destination).unwrap(),
+        );
+        let result = router
+            .route(&od, source, destination, departure, ff * 3.0)
+            .unwrap()
+            .expect("a path should be found");
+        assert!(
+            result.probability > 0.5,
+            "probability {}",
+            result.probability
+        );
+        let vs = result.path.vertices(&f.net).unwrap();
+        assert_eq!(*vs.first().unwrap(), source);
+        assert_eq!(*vs.last().unwrap(), destination);
+        assert!(result.evaluated_candidates >= 1);
+        assert!(result.expansions >= result.path.cardinality());
+    }
+
+    #[test]
+    fn impossible_budget_returns_none_with_telemetry() {
+        let f = fixture();
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let router = BestFirstRouter::new(&graph, RouterConfig::default()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let (result, telemetry) = router
+            .route_with_telemetry(
+                &od,
+                VertexId(0),
+                VertexId(24),
+                Timestamp::from_day_hms(0, 8, 0, 0),
+                1.0, // one second: unreachable within budget
+            )
+            .unwrap();
+        assert!(result.is_none());
+        assert_eq!(telemetry.evaluated_candidates, 0);
+    }
+
+    #[test]
+    fn error_cases_are_reported() {
+        let f = fixture();
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let router = BestFirstRouter::new(&graph, RouterConfig::default()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let departure = Timestamp::from_day_hms(0, 9, 0, 0);
+        assert!(matches!(
+            router.route(&od, VertexId(3), VertexId(3), departure, 600.0),
+            Err(RoutingError::SameSourceAndDestination)
+        ));
+        assert!(router
+            .route(&od, VertexId(3), VertexId(40_000), departure, 600.0)
+            .is_err());
+        assert!(BestFirstRouter::new(
+            &graph,
+            RouterConfig {
+                max_expansions: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn od_and_lb_estimators_both_work_and_agree_on_feasibility() {
+        let f = fixture();
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let router = BestFirstRouter::new(&graph, RouterConfig::default()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let lb = LbEstimator::new(&graph);
+        let source = VertexId(2);
+        let destination = VertexId(22);
+        let departure = Timestamp::from_day_hms(0, 17, 0, 0);
+        let ff = pathcost_roadnet::search::free_flow_time_s(
+            &f.net,
+            &fastest_path(&f.net, source, destination).unwrap(),
+        );
+        let budget = ff * 3.0;
+        let od_result = router
+            .route(&od, source, destination, departure, budget)
+            .unwrap();
+        let lb_result = router
+            .route(&lb, source, destination, departure, budget)
+            .unwrap();
+        assert!(od_result.is_some());
+        assert!(lb_result.is_some());
+    }
+
+    #[test]
+    fn tight_budget_prefers_reliable_paths() {
+        let f = fixture();
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let router = BestFirstRouter::new(&graph, RouterConfig::default()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let source = VertexId(0);
+        let destination = VertexId(12);
+        let departure = Timestamp::from_day_hms(0, 8, 0, 0);
+        let ff = pathcost_roadnet::search::free_flow_time_s(
+            &f.net,
+            &fastest_path(&f.net, source, destination).unwrap(),
+        );
+        // A moderately tight budget: the probability should be strictly
+        // between 0 and 1 for at least one of the two budgets.
+        let tight = router
+            .route(&od, source, destination, departure, ff * 1.6)
+            .unwrap();
+        let generous = router
+            .route(&od, source, destination, departure, ff * 4.0)
+            .unwrap()
+            .expect("generous budget must be feasible");
+        if let Some(tight) = tight {
+            assert!(tight.probability <= generous.probability + 1e-9);
+        }
+        assert!(generous.probability > 0.8);
+    }
+
+    #[test]
+    fn repeated_searches_are_deterministic() {
+        let f = fixture();
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let router = BestFirstRouter::new(&graph, RouterConfig::default()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let departure = Timestamp::from_day_hms(0, 8, 0, 0);
+        let ff = pathcost_roadnet::search::free_flow_time_s(
+            &f.net,
+            &fastest_path(&f.net, VertexId(0), VertexId(18)).unwrap(),
+        );
+        let first = router
+            .route(&od, VertexId(0), VertexId(18), departure, ff * 2.5)
+            .unwrap()
+            .expect("feasible");
+        let second = router
+            .route(&od, VertexId(0), VertexId(18), departure, ff * 2.5)
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(first.path, second.path);
+        assert_eq!(first.probability, second.probability);
+        assert_eq!(first.expansions, second.expansions);
+        assert_eq!(first.incumbent_prunes, second.incumbent_prunes);
+    }
+
+    #[test]
+    fn incumbent_ordering_prefers_probability_then_mean_then_length() {
+        let dist = Arc::new(
+            pathcost_hist::Histogram1D::from_entries(vec![(
+                pathcost_hist::Bucket::new(0.0, 1.0).unwrap(),
+                1.0,
+            )])
+            .unwrap(),
+        );
+        let incumbent = Incumbent {
+            path: Path::from_edges_unchecked(vec![EdgeId(0), EdgeId(1)]),
+            probability: 0.8,
+            mean: 100.0,
+            distribution: dist,
+        };
+        assert!(
+            incumbent.beaten_by(0.9, 200.0, 5),
+            "higher probability wins"
+        );
+        assert!(!incumbent.beaten_by(0.7, 1.0, 1), "lower probability loses");
+        assert!(
+            incumbent.beaten_by(0.8, 90.0, 5),
+            "probability tie: lower mean wins"
+        );
+        assert!(
+            !incumbent.beaten_by(0.8, 110.0, 1),
+            "probability tie: higher mean loses"
+        );
+        assert!(
+            incumbent.beaten_by(0.8, 100.0, 1),
+            "probability and mean tie: fewer edges win"
+        );
+        assert!(
+            !incumbent.beaten_by(0.8, 100.0, 2),
+            "full tie: the incumbent is kept"
+        );
+    }
+}

@@ -5,7 +5,7 @@
 //! bound (for bounding the search). Both come from single-source shortest-path
 //! computations on the *reverse* graph, using free-flow travel times.
 
-use pathcost_roadnet::{RoadNetwork, VertexId};
+use pathcost_roadnet::{EdgeId, RoadNetwork, VertexId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -68,6 +68,21 @@ pub fn free_flow_to_destination(net: &RoadNetwork, destination: VertexId) -> Vec
         }
     }
     dist
+}
+
+/// The admissible lower bound at the head of `edge`: the free-flow time from
+/// the edge's `to` vertex onwards, read out of a `lower_bound` array produced
+/// by [`free_flow_to_destination`]. Both routing searches order successor
+/// edges by this value.
+///
+/// An edge the network cannot resolve gets `f64::INFINITY`, so it sorts as
+/// the least promising successor instead of inheriting vertex 0's bound (the
+/// former `unwrap_or(0)` fallback made unknown edges look maximally
+/// attractive).
+pub fn edge_target_lower_bound(net: &RoadNetwork, lower_bound: &[f64], edge: EdgeId) -> f64 {
+    net.edge(edge)
+        .map(|e| lower_bound[e.to.index()])
+        .unwrap_or(f64::INFINITY)
 }
 
 /// A conservative upper bound (seconds) on the congested travel time from

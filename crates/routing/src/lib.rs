@@ -2,19 +2,27 @@
 //!
 //! Routing on top of the hybrid-graph cost estimators (§4.3 of Dai et al.,
 //! PVLDB 2016): a deterministic shortest-path substrate, probability-threshold
-//! comparisons of cost distributions, and a DFS-based probabilistic path query
-//! in the style of Hua & Pei [10] that explores candidate paths with the
+//! comparisons of cost distributions, and a probabilistic path query in the
+//! style of Hua & Pei [10] that explores candidate paths with the
 //! "path + another edge" pattern and can be parameterised with any
 //! [`pathcost_core::CostEstimator`] (OD, LB, HP, …). Replacing the legacy
 //! estimator with OD accelerates the search and improves the quality of the
 //! selected paths — the effect measured in the paper's Figure 18.
+//!
+//! The production search is the arena-based best-first router in
+//! [`bestfirst`] (parent-pointer partial paths, optimistic-probability
+//! frontier ordering, incumbent pruning); the paper's original DFS is
+//! retained in [`naive`] as the measured and property-tested reference.
 
-pub mod dfs;
+pub mod bestfirst;
 pub mod dijkstra;
 pub mod error;
+pub mod naive;
 pub mod query;
 
-pub use dfs::{DfsRouter, RouteResult, RouterConfig};
-pub use dijkstra::{free_flow_to_destination, upper_bound_time_to_destination};
+pub use bestfirst::{BestFirstRouter, RouteResult, RouterConfig, SearchTelemetry};
+pub use dijkstra::{
+    edge_target_lower_bound, free_flow_to_destination, upper_bound_time_to_destination,
+};
 pub use error::RoutingError;
 pub use query::{dominates_stochastically, prob_within_budget, rank_by_probability};

@@ -7,10 +7,11 @@
 //! exploits that in two phases:
 //!
 //! 1. **Warm** — collect the `(path, interval)` estimation jobs of every
-//!    request in the batch, deduplicate them (the shared-decomposition-work
-//!    dedup), and fan the unique jobs out across a scoped worker pool so the
-//!    cache is populated once per distinct job with no duplicated estimator
-//!    work.
+//!    request in the batch — including each `Route` request's free-flow
+//!    fastest path, the predictable seed candidate of its best-first
+//!    search — deduplicate them (the shared-decomposition-work dedup), and
+//!    fan the unique jobs out across a scoped worker pool so the cache is
+//!    populated once per distinct job with no duplicated estimator work.
 //! 2. **Answer** — execute the requests themselves (again fanned out across
 //!    the pool; `Route` searches do their real work here), each reading
 //!    through the now-warm cache.
@@ -32,15 +33,28 @@
 //! edge-convolution estimates instead of coarsest-decomposition ones).
 
 use crate::cache::CachedDistribution;
-use crate::engine::{QueryCounters, QueryEngine};
+use crate::engine::{budget_is_valid, QueryCounters, QueryEngine};
 use crate::error::ServiceError;
 use crate::request::{QueryOutcome, QueryRequest};
 use pathcost_core::{CoreError, IncrementalEstimate, IntervalId};
 use pathcost_hist::ConvolveScratch;
-use pathcost_roadnet::{EdgeId, Path};
+use pathcost_roadnet::search::fastest_path;
+use pathcost_roadnet::{EdgeId, Path, VertexId};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// One deduplicated warm-phase estimation job.
+struct Job<'r> {
+    path: Cow<'r, Path>,
+    interval: IntervalId,
+    /// `true` when some consumer of this entry needs full-OD quality (a
+    /// `Route` seed: the search's incumbent comparisons assume candidates
+    /// are estimator-evaluated), excluding it from the prefix-sharing warm
+    /// phase's incremental-quality estimates.
+    full_od: bool,
+}
 
 impl QueryEngine<'_> {
     /// Executes a batch of queries, deduplicating shared estimation work and
@@ -53,36 +67,110 @@ impl QueryEngine<'_> {
         &self,
         requests: &[QueryRequest],
     ) -> Vec<Result<QueryOutcome, ServiceError>> {
-        // Phase 1: collect and deduplicate the estimation jobs.
-        let mut unique: HashMap<u64, Vec<(&Path, IntervalId)>> = HashMap::new();
+        // Phase 1: collect and deduplicate the estimation jobs. Route seeds
+        // (the free-flow fastest path, the best-first search's predictable
+        // first candidate) are memoised per OD pair so a batch of repeated
+        // routes runs one Dijkstra per distinct pair, not one per request.
+        let net = self.graph().network();
+        let mut unique: HashMap<u64, Vec<Job<'_>>> = HashMap::new();
         let mut total_jobs: u64 = 0;
+        let max_route_edges = self.config().router.max_path_edges;
+        let mut seed_memo: HashMap<(VertexId, VertexId), Option<Path>> = HashMap::new();
+        fn add<'r>(
+            unique: &mut HashMap<u64, Vec<Job<'r>>>,
+            total_jobs: &mut u64,
+            interval: IntervalId,
+            path: Cow<'r, Path>,
+            full_od: bool,
+        ) {
+            *total_jobs += 1;
+            let fingerprint = interval.mix_fingerprint(path.fingerprint());
+            let slot = unique.entry(fingerprint).or_default();
+            match slot
+                .iter_mut()
+                .find(|job| job.interval == interval && job.path.as_ref() == path.as_ref())
+            {
+                Some(job) => job.full_od |= full_od,
+                None => slot.push(Job {
+                    path,
+                    interval,
+                    full_od,
+                }),
+            }
+        }
         for request in requests {
-            for (path, departure) in estimation_jobs(request) {
-                total_jobs += 1;
-                let interval = self.interval_of(departure);
-                let fingerprint = interval.mix_fingerprint(path.fingerprint());
-                let slot = unique.entry(fingerprint).or_default();
-                if !slot.iter().any(|(p, i)| *i == interval && *p == path) {
-                    slot.push((path, interval));
+            match request {
+                QueryRequest::Route {
+                    source,
+                    destination,
+                    departure,
+                    budget_s,
+                } => {
+                    // Seed only searches that can use it: requests with an
+                    // invalid budget fail validation in the answer phase, and
+                    // a free-flow path beyond the router's cardinality limit
+                    // is a candidate the search can never materialise.
+                    if !budget_is_valid(*budget_s) {
+                        continue;
+                    }
+                    let seed = seed_memo
+                        .entry((*source, *destination))
+                        .or_insert_with(|| fastest_path(net, *source, *destination))
+                        .clone();
+                    if let Some(seed) = seed.filter(|s| s.cardinality() <= max_route_edges) {
+                        add(
+                            &mut unique,
+                            &mut total_jobs,
+                            self.interval_of(*departure),
+                            Cow::Owned(seed),
+                            true,
+                        );
+                    }
+                }
+                _ => {
+                    for (path, departure) in estimation_jobs(request) {
+                        add(
+                            &mut unique,
+                            &mut total_jobs,
+                            self.interval_of(departure),
+                            Cow::Borrowed(path),
+                            false,
+                        );
+                    }
                 }
             }
         }
-        let jobs: Vec<(&Path, IntervalId)> = unique.into_values().flatten().collect();
+        let jobs: Vec<Job<'_>> = unique.into_values().flatten().collect();
         let deduplicated = total_jobs.saturating_sub(jobs.len() as u64);
         self.recorder
             .record_batch(requests.len() as u64, deduplicated);
 
         // Warm the cache once per unique job. Failures are not fatal here:
         // the answer phase re-encounters them per request and reports them
-        // with the right request context.
+        // with the right request context. Full-OD jobs always go through the
+        // exact estimator — before the prefix-sharing walk, whose
+        // "already cached" check then skips them — so Route answers keep
+        // estimator-exact candidate quality even with `share_prefixes` on.
         let warm_counters = QueryCounters::default();
         if self.config().share_prefixes {
+            let od_jobs: Vec<&Job<'_>> = jobs.iter().filter(|job| job.full_od).collect();
+            self.for_each_index(od_jobs.len(), |i| {
+                let job = od_jobs[i];
+                let _ = self.estimate_cached(
+                    &job.path,
+                    self.canonical_departure(job.interval),
+                    &warm_counters,
+                );
+            });
             self.warm_with_prefix_sharing(&jobs, &warm_counters);
         } else {
             self.for_each_index(jobs.len(), |i| {
-                let (path, interval) = jobs[i];
-                let _ =
-                    self.estimate_cached(path, self.canonical_departure(interval), &warm_counters);
+                let job = &jobs[i];
+                let _ = self.estimate_cached(
+                    &job.path,
+                    self.canonical_departure(job.interval),
+                    &warm_counters,
+                );
             });
         }
 
@@ -114,14 +202,13 @@ impl QueryEngine<'_> {
     ///
     /// Jobs whose incremental build fails (an edge without a unit histogram
     /// in the interval) fall back to the full OD estimation path.
-    fn warm_with_prefix_sharing(
-        &self,
-        jobs: &[(&Path, IntervalId)],
-        warm_counters: &QueryCounters,
-    ) {
+    fn warm_with_prefix_sharing(&self, jobs: &[Job<'_>], warm_counters: &QueryCounters) {
         let mut by_interval: HashMap<IntervalId, Vec<&Path>> = HashMap::new();
-        for &(path, interval) in jobs {
-            by_interval.entry(interval).or_default().push(path);
+        for job in jobs {
+            by_interval
+                .entry(job.interval)
+                .or_default()
+                .push(job.path.as_ref());
         }
         let groups: Vec<(IntervalId, Vec<&Path>)> = by_interval.into_iter().collect();
         self.for_each_index(groups.len(), |g| {
@@ -188,7 +275,9 @@ impl QueryEngine<'_> {
                         path,
                         interval,
                         CachedDistribution {
-                            histogram: estimate.histogram().clone(),
+                            // An Arc bump: the memo stack keeps sharing the
+                            // same buckets with the cache entry.
+                            histogram: estimate.histogram_arc().clone(),
                             // Incremental estimates have no decomposition;
                             // every edge is its own (unit) component.
                             decomposition_depth: path.cardinality(),
@@ -231,8 +320,14 @@ impl QueryEngine<'_> {
 
 /// The `(path, departure)` estimations a request will need.
 ///
-/// `Route` contributes none: its candidate paths only materialise during the
-/// DFS search, which reads through the cache on its own.
+/// Most of `Route`'s candidate paths only materialise during the search
+/// itself, which reads through the cache on its own — but its *first*
+/// complete candidate is predictable: under best-first ordering the
+/// free-flow fastest path (the one minimising the admissible lower bound)
+/// reaches the destination first. Contributing that path here warms the
+/// search frontier: repeated `Route` requests in a batch share one full-OD
+/// estimation of their seed candidate instead of each evaluating it inside
+/// their own search.
 fn estimation_jobs(request: &QueryRequest) -> Vec<(&Path, pathcost_traj::Timestamp)> {
     match request {
         QueryRequest::EstimateDistribution { path, departure } => vec![(path, *departure)],
@@ -244,6 +339,8 @@ fn estimation_jobs(request: &QueryRequest) -> Vec<(&Path, pathcost_traj::Timesta
             departure,
             ..
         } => candidates.iter().map(|p| (p, *departure)).collect(),
+        // Route seeds are collected (and memoised per OD pair) directly in
+        // `execute_batch`, which tags them `full_od`.
         QueryRequest::Route { .. } => Vec::new(),
     }
 }

@@ -21,13 +21,19 @@ use pathcost_hist::Histogram1D;
 use pathcost_roadnet::Path;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A cached estimation result.
+///
+/// The histogram is behind an [`Arc`], so handing a hit to a caller — or to
+/// dozens of concurrent callers — bumps a reference count instead of copying
+/// three bucket arrays. Warm-path lookups are therefore allocation-free, and
+/// every consumer of the same `(path, interval)` entry shares one histogram
+/// allocation until the entry is evicted.
 #[derive(Debug, Clone)]
 pub struct CachedDistribution {
     /// The estimated cost distribution of the path over its interval.
-    pub histogram: Histogram1D,
+    pub histogram: Arc<Histogram1D>,
     /// Number of components in the coarsest decomposition that produced it.
     pub decomposition_depth: usize,
 }
@@ -281,11 +287,13 @@ mod tests {
 
     fn value(mean: f64) -> CachedDistribution {
         CachedDistribution {
-            histogram: Histogram1D::from_entries(vec![(
-                Bucket::new(mean - 1.0, mean + 1.0).unwrap(),
-                1.0,
-            )])
-            .unwrap(),
+            histogram: Arc::new(
+                Histogram1D::from_entries(vec![(
+                    Bucket::new(mean - 1.0, mean + 1.0).unwrap(),
+                    1.0,
+                )])
+                .unwrap(),
+            ),
             decomposition_depth: 1,
         }
     }
@@ -345,6 +353,21 @@ mod tests {
         cache.insert(&p, IntervalId(5), value(9.0));
         assert_eq!(cache.len(), 1);
         assert!((cache.get(&p, IntervalId(5)).unwrap().histogram.mean() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hits_share_one_histogram_allocation() {
+        // The warm path must be allocation-free: every hit on the same entry
+        // hands out the same Arc'd histogram instead of copying its arrays.
+        let cache = DistributionCache::new(2, 4);
+        let p = path(&[4, 5, 6]);
+        let inserted = value(42.0);
+        let backing = inserted.histogram.clone();
+        cache.insert(&p, IntervalId(1), inserted);
+        let first = cache.get(&p, IntervalId(1)).expect("cached");
+        let second = cache.get(&p, IntervalId(1)).expect("cached");
+        assert!(Arc::ptr_eq(&first.histogram, &backing));
+        assert!(Arc::ptr_eq(&first.histogram, &second.histogram));
     }
 
     #[test]

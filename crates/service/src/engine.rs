@@ -8,7 +8,7 @@ use pathcost_core::interval::DayPartition;
 use pathcost_core::{CostEstimator, EstimateBreakdown, HybridGraph, IntervalId, OdEstimator};
 use pathcost_hist::Histogram1D;
 use pathcost_roadnet::Path;
-use pathcost_routing::{prob_within_budget, DfsRouter, RouterConfig};
+use pathcost_routing::{prob_within_budget, BestFirstRouter, RouterConfig};
 use pathcost_traj::{TimeOfDay, Timestamp};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -24,7 +24,7 @@ pub struct ServiceConfig {
     /// Worker threads for batch execution; `None` uses the machine's
     /// available parallelism.
     pub workers: Option<usize>,
-    /// Configuration of the DFS router answering `Route` requests.
+    /// Configuration of the best-first router answering `Route` requests.
     pub router: RouterConfig,
     /// Share sub-path work across a cold batch: estimation jobs that overlap
     /// on a path prefix (within one α-interval) are built through
@@ -162,7 +162,7 @@ impl<'n> QueryEngine<'n> {
             OdEstimator::new(&self.graph).estimate_with_decomposition(path, canonical)?;
         let depth = decomposition.len();
         let value = CachedDistribution {
-            histogram,
+            histogram: Arc::new(histogram),
             decomposition_depth: depth,
         };
         self.cache.insert(path, interval, value.clone());
@@ -248,18 +248,38 @@ impl<'n> QueryEngine<'n> {
                 budget_s,
             } => {
                 validate_budget(*budget_s)?;
-                let router = DfsRouter::new(&self.graph, self.config.router.clone())?;
+                let router = BestFirstRouter::new(&self.graph, self.config.router.clone())?;
                 let estimator = CachingEstimator::for_query(self, counters);
-                let result =
-                    router.route(&estimator, *source, *destination, *departure, *budget_s)?;
+                let (result, telemetry) = router.route_with_telemetry(
+                    &estimator,
+                    *source,
+                    *destination,
+                    *departure,
+                    *budget_s,
+                )?;
+                // The per-query counters are exclusive to this request here
+                // (they were created fresh in `execute`), so their hit total
+                // is exactly the candidate evaluations answered by the cache.
+                self.recorder.record_route(
+                    telemetry.evaluated_candidates as u64,
+                    counters.hits.load(Ordering::Relaxed),
+                    telemetry.incumbent_prunes as u64,
+                );
                 Ok(QueryResponse::Route(result))
             }
         }
     }
 }
 
+/// The budget rule shared by request validation and the batch executor's
+/// Route warm-phase seeding (which must not warm requests the answer phase
+/// will reject).
+pub(crate) fn budget_is_valid(budget_s: f64) -> bool {
+    budget_s.is_finite() && budget_s >= 0.0
+}
+
 fn validate_budget(budget_s: f64) -> Result<(), ServiceError> {
-    if !budget_s.is_finite() || budget_s < 0.0 {
+    if !budget_is_valid(budget_s) {
         return Err(ServiceError::InvalidRequest(
             "budget must be a non-negative finite number of seconds",
         ));
@@ -267,9 +287,12 @@ fn validate_budget(budget_s: f64) -> Result<(), ServiceError> {
     Ok(())
 }
 
-/// Estimator adapter that lets [`DfsRouter`] (or any [`CostEstimator`]
+/// Estimator adapter that lets [`BestFirstRouter`] (or any [`CostEstimator`]
 /// consumer) read complete-candidate distributions through the engine's
-/// cache: repeated routing over popular OD pairs re-estimates nothing.
+/// cache: repeated routing over popular OD pairs re-estimates nothing. The
+/// router asks through [`CostEstimator::estimate_arc`], which this adapter
+/// answers with the cached `Arc` itself — a hit costs a reference bump, not
+/// a histogram copy.
 ///
 /// Timing caveat: the reported [`EstimateBreakdown`] attributes the whole
 /// call to the joint-computation phase (`joint_s`) on a miss and is zero on a
@@ -312,20 +335,39 @@ impl CostEstimator for CachingEstimator<'_, '_> {
         departure: Timestamp,
     ) -> Result<(Histogram1D, EstimateBreakdown), pathcost_core::CoreError> {
         let start = Instant::now();
-        let throwaway = QueryCounters::default();
-        let cached = self
-            .engine
-            .estimate_cached(path, departure, self.counters.unwrap_or(&throwaway))
-            .map_err(|e| match e {
-                ServiceError::Core(core) => core,
-                // Non-core failures cannot escape `estimate_cached`.
-                _ => pathcost_core::CoreError::NoDistribution,
-            })?;
+        let cached = self.lookup(path, departure)?;
         let breakdown = EstimateBreakdown {
             decomposition_s: 0.0,
             joint_s: start.elapsed().as_secs_f64(),
             marginal_s: 0.0,
         };
-        Ok((cached.histogram, breakdown))
+        // The trait's breakdown form hands out an owned histogram; callers
+        // on the hot path use `estimate_arc` below and share the cached one.
+        Ok(((*cached.histogram).clone(), breakdown))
+    }
+
+    fn estimate_arc(
+        &self,
+        path: &Path,
+        departure: Timestamp,
+    ) -> Result<Arc<Histogram1D>, pathcost_core::CoreError> {
+        self.lookup(path, departure).map(|cached| cached.histogram)
+    }
+}
+
+impl CachingEstimator<'_, '_> {
+    fn lookup(
+        &self,
+        path: &Path,
+        departure: Timestamp,
+    ) -> Result<CachedDistribution, pathcost_core::CoreError> {
+        let throwaway = QueryCounters::default();
+        self.engine
+            .estimate_cached(path, departure, self.counters.unwrap_or(&throwaway))
+            .map_err(|e| match e {
+                ServiceError::Core(core) => core,
+                // Non-core failures cannot escape `estimate_cached`.
+                _ => pathcost_core::CoreError::NoDistribution,
+            })
     }
 }

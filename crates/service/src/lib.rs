@@ -28,8 +28,10 @@
 //!   responses are identical to sequential execution.
 //! * **A routing adapter** — [`CachingEstimator`] implements
 //!   [`CostEstimator`](pathcost_core::CostEstimator) by reading through the
-//!   cache, so [`DfsRouter`](pathcost_routing::DfsRouter) searches reuse
-//!   candidate-path distributions across route queries.
+//!   cache (its `estimate_arc` hands out the cached `Arc` itself), so
+//!   [`BestFirstRouter`](pathcost_routing::BestFirstRouter) searches reuse
+//!   candidate-path distributions across route queries without copying
+//!   them.
 //! * **Observability** — every response carries per-query [`QueryStats`]
 //!   (cache hits/misses, deepest decomposition, latency) and the engine
 //!   aggregates a [`ServiceStats`] snapshot (per-kind query counts, cache

@@ -5,6 +5,7 @@ use pathcost_hist::Histogram1D;
 use pathcost_roadnet::{Path, VertexId};
 use pathcost_routing::RouteResult;
 use pathcost_traj::Timestamp;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One query against the served hybrid graph.
@@ -75,8 +76,10 @@ pub struct RankedPath {
 /// The payload answering a [`QueryRequest`] (variants correspond 1:1).
 #[derive(Debug, Clone)]
 pub enum QueryResponse {
-    /// Answer to [`QueryRequest::EstimateDistribution`].
-    Distribution(Histogram1D),
+    /// Answer to [`QueryRequest::EstimateDistribution`]. The histogram is
+    /// shared with the engine's distribution cache: answering a warm query
+    /// bumps a reference count instead of copying bucket arrays.
+    Distribution(Arc<Histogram1D>),
     /// Answer to [`QueryRequest::ProbWithinBudget`].
     Probability(f64),
     /// Answer to [`QueryRequest::RankPaths`], sorted by decreasing
@@ -92,7 +95,7 @@ impl QueryResponse {
     /// The distribution, when this is a `Distribution` response.
     pub fn distribution(&self) -> Option<&Histogram1D> {
         match self {
-            QueryResponse::Distribution(h) => Some(h),
+            QueryResponse::Distribution(h) => Some(h.as_ref()),
             _ => None,
         }
     }

@@ -48,6 +48,9 @@ pub(crate) struct StatsRecorder {
     prefix_warmed_jobs: AtomicU64,
     prefix_reuses: AtomicU64,
     prefix_edges_reused: AtomicU64,
+    route_candidates_evaluated: AtomicU64,
+    route_eval_cache_hits: AtomicU64,
+    route_incumbent_prunes: AtomicU64,
 }
 
 impl StatsRecorder {
@@ -80,6 +83,15 @@ impl StatsRecorder {
             .fetch_add(edges_reused, Ordering::Relaxed);
     }
 
+    pub fn record_route(&self, candidates_evaluated: u64, cache_hits: u64, incumbent_prunes: u64) {
+        self.route_candidates_evaluated
+            .fetch_add(candidates_evaluated, Ordering::Relaxed);
+        self.route_eval_cache_hits
+            .fetch_add(cache_hits, Ordering::Relaxed);
+        self.route_incumbent_prunes
+            .fetch_add(incumbent_prunes, Ordering::Relaxed);
+    }
+
     /// Snapshots the recorder; cache hit/miss totals are owned by the
     /// [`DistributionCache`](crate::cache::DistributionCache) and passed in.
     pub fn snapshot(&self, cache_hits: u64, cache_misses: u64) -> ServiceStats {
@@ -101,6 +113,9 @@ impl StatsRecorder {
             prefix_warmed_jobs: load(&self.prefix_warmed_jobs),
             prefix_reuses: load(&self.prefix_reuses),
             prefix_edges_reused: load(&self.prefix_edges_reused),
+            route_candidates_evaluated: load(&self.route_candidates_evaluated),
+            route_eval_cache_hits: load(&self.route_eval_cache_hits),
+            route_incumbent_prunes: load(&self.route_incumbent_prunes),
         }
     }
 }
@@ -146,6 +161,15 @@ pub struct ServiceStats {
     /// Total edges whose convolution was skipped because a shared path
     /// prefix had already been estimated within the batch.
     pub prefix_edges_reused: u64,
+    /// Complete candidate paths evaluated across all `Route` searches.
+    pub route_candidates_evaluated: u64,
+    /// Distribution-cache hits scored by `Route` candidate evaluations —
+    /// how often the search frontier reused a `(path, interval)` entry from
+    /// an earlier query, batch warm phase or route.
+    pub route_eval_cache_hits: u64,
+    /// Partial paths dropped by the best-first router's incumbent bound
+    /// across all `Route` searches.
+    pub route_incumbent_prunes: u64,
 }
 
 impl ServiceStats {
@@ -195,6 +219,7 @@ mod tests {
         rec.record_estimation(4);
         rec.record_batch(10, 6);
         rec.record_prefix_warm(4, 3, 7);
+        rec.record_route(5, 2, 9);
         let s = rec.snapshot(3, 1);
         assert_eq!(s.estimate_queries, 1);
         assert_eq!(s.route_queries, 1);
@@ -208,6 +233,9 @@ mod tests {
         assert_eq!(s.prefix_warmed_jobs, 4);
         assert_eq!(s.prefix_reuses, 3);
         assert_eq!(s.prefix_edges_reused, 7);
+        assert_eq!(s.route_candidates_evaluated, 5);
+        assert_eq!(s.route_eval_cache_hits, 2);
+        assert_eq!(s.route_incumbent_prunes, 9);
     }
 
     #[test]

@@ -409,6 +409,148 @@ fn routing_reads_through_the_cache_across_queries() {
 }
 
 #[test]
+fn warm_hits_share_the_cached_histogram_allocation() {
+    // The warm serving path must be allocation-free: every response for the
+    // same (path, interval) hands out the same Arc'd histogram.
+    let f = fixture(307);
+    let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let (path, departure) = query_paths(&f.store, 1).remove(0);
+    let request = QueryRequest::EstimateDistribution { path, departure };
+
+    let first = engine.execute(&request).unwrap();
+    let second = engine.execute(&request).unwrap();
+    let QueryResponse::Distribution(a) = &first.response else {
+        panic!("expected a distribution");
+    };
+    let QueryResponse::Distribution(b) = &second.response else {
+        panic!("expected a distribution");
+    };
+    assert!(
+        Arc::ptr_eq(a, b),
+        "a warm hit must share the cached allocation, not copy it"
+    );
+    assert_eq!(second.stats.cache_hits, 1);
+    assert_eq!(second.stats.cache_misses, 0);
+}
+
+#[test]
+fn route_counters_track_search_and_cache_reuse() {
+    let f = fixture(308);
+    let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let departure = Timestamp::from_day_hms(0, 8, 0, 0);
+    let request = QueryRequest::Route {
+        source: VertexId(0),
+        destination: VertexId(18),
+        departure,
+        budget_s: 3_600.0,
+    };
+
+    let first = engine.execute(&request).unwrap();
+    assert!(first.response.route().is_some());
+    let stats = engine.stats();
+    assert!(
+        stats.route_candidates_evaluated > 0,
+        "the search must have evaluated candidates"
+    );
+    let evaluated_after_first = stats.route_candidates_evaluated;
+
+    // The identical route again: candidate evaluations hit the cache.
+    let second = engine.execute(&request).unwrap();
+    assert!(second.response.route().is_some());
+    let stats = engine.stats();
+    assert!(stats.route_candidates_evaluated > evaluated_after_first);
+    assert!(
+        stats.route_eval_cache_hits > 0,
+        "repeated Route requests must reuse (path, interval) entries"
+    );
+    assert_eq!(stats.route_queries, 2);
+}
+
+#[test]
+fn batch_warm_phase_seeds_route_searches_with_the_fastest_path() {
+    let f = fixture(309);
+    let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let departure = Timestamp::from_day_hms(0, 8, 0, 0);
+    let route = QueryRequest::Route {
+        source: VertexId(0),
+        destination: VertexId(18),
+        departure,
+        budget_s: 3_600.0,
+    };
+
+    // Two identical Route requests in one batch: both contribute their
+    // free-flow seed candidate to the warm phase, which deduplicates them —
+    // the Route warm-frontier follow-up from the roadmap.
+    let results = engine.execute_batch(&[route.clone(), route]);
+    assert!(results.iter().all(|r| r.is_ok()));
+    let stats = engine.stats();
+    assert!(
+        stats.batch_jobs_deduplicated >= 1,
+        "identical Route requests must share their warm seed job"
+    );
+    let seed = pathcost_roadnet::search::fastest_path(&f.net, VertexId(0), VertexId(18)).unwrap();
+    assert!(
+        engine
+            .cache()
+            .get(&seed, engine.interval_of(departure))
+            .is_some(),
+        "the fastest-path seed candidate must be cached"
+    );
+}
+
+#[test]
+fn route_seed_stays_full_od_quality_under_prefix_sharing() {
+    // With share_prefixes on, ordinary warm jobs may be cached as
+    // incremental (edge-convolution) estimates — but a Route seed must keep
+    // estimator-exact quality, because the search's incumbent comparisons
+    // assume candidates are estimator-evaluated.
+    let f = fixture(310);
+    let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let engine = QueryEngine::new(
+        Arc::new(graph),
+        ServiceConfig {
+            share_prefixes: true,
+            ..ServiceConfig::default()
+        },
+    );
+    let departure = Timestamp::from_day_hms(0, 8, 0, 0);
+    let seed = pathcost_roadnet::search::fastest_path(&f.net, VertexId(0), VertexId(18)).unwrap();
+    // Make the seed share a prefix family with ordinary warm jobs, the
+    // situation where the trie walk would otherwise rebuild it incrementally.
+    let mut requests: Vec<QueryRequest> = (2..seed.cardinality())
+        .map(|len| QueryRequest::EstimateDistribution {
+            path: seed.prefix(len).unwrap(),
+            departure,
+        })
+        .collect();
+    requests.push(QueryRequest::Route {
+        source: VertexId(0),
+        destination: VertexId(18),
+        departure,
+        budget_s: 3_600.0,
+    });
+
+    let results = engine.execute_batch(&requests);
+    assert!(results.iter().all(|r| r.is_ok()));
+
+    let cached = engine
+        .cache()
+        .get(&seed, engine.interval_of(departure))
+        .expect("the Route seed must be warmed");
+    let graph2 = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let od = OdEstimator::new(&graph2);
+    let canonical = engine.canonical_departure(engine.interval_of(departure));
+    let exact = od.estimate(&seed, canonical).unwrap();
+    assert_eq!(
+        *cached.histogram, exact,
+        "the seed entry must be the exact OD estimate, not an incremental one"
+    );
+}
+
+#[test]
 fn invalid_requests_are_rejected_without_panicking() {
     let f = fixture(306);
     let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();

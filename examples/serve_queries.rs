@@ -110,10 +110,11 @@ fn main() {
                         r.len()
                     ),
                     QueryResponse::Route(Some(route)) => format!(
-                        "route: {} edges, P={:.3}, {} candidates evaluated",
+                        "route: {} edges, P={:.3}, {} candidates evaluated, {} incumbent prunes",
                         route.path.cardinality(),
                         route.probability,
-                        route.evaluated_candidates
+                        route.evaluated_candidates,
+                        route.incumbent_prunes
                     ),
                     QueryResponse::Route(None) => "route: infeasible within budget".to_string(),
                 };
@@ -154,6 +155,10 @@ fn main() {
     println!(
         "  batch: {} requests, {} duplicate estimation jobs folded",
         stats.batch_requests, stats.batch_jobs_deduplicated
+    );
+    println!(
+        "  routing: {} candidates evaluated ({} answered by the cache), {} incumbent prunes",
+        stats.route_candidates_evaluated, stats.route_eval_cache_hits, stats.route_incumbent_prunes
     );
     println!("  mean latency: {:.2?}", stats.mean_latency());
 

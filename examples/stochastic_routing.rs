@@ -1,7 +1,8 @@
 //! Stochastic routing (§4.3 / Figure 18): answer "which path has the highest
-//! probability of arriving within the budget?" with a DFS probabilistic path
-//! query, comparing the legacy LB estimator with the paper's OD estimator as
-//! the distribution oracle inside the search.
+//! probability of arriving within the budget?" with the arena-based
+//! best-first probabilistic path query, comparing the legacy LB estimator
+//! with the paper's OD estimator as the distribution oracle inside the
+//! search.
 //!
 //! ```text
 //! cargo run --release --example stochastic_routing
@@ -10,7 +11,7 @@
 use pathcost::core::{CostEstimator, HybridConfig, HybridGraph, LbEstimator, OdEstimator};
 use pathcost::roadnet::search::{fastest_path, free_flow_time_s};
 use pathcost::roadnet::VertexId;
-use pathcost::routing::{DfsRouter, RouterConfig};
+use pathcost::routing::{BestFirstRouter, RouterConfig};
 use pathcost::traj::{DatasetPreset, Timestamp, TrajectoryStore};
 use std::time::Instant;
 
@@ -32,7 +33,7 @@ fn main() {
     )
     .expect("instantiation succeeds");
 
-    let router = DfsRouter::new(
+    let router = BestFirstRouter::new(
         &graph,
         RouterConfig {
             max_expansions: 6_000,
@@ -66,16 +67,20 @@ fn main() {
         let elapsed = started.elapsed().as_secs_f64() * 1_000.0;
         match result {
             Some(route) => println!(
-                "{:<3}-DFS: {:>6.1} ms, best path has {} edges, P(on time) = {:.3}, mean {:.1} min ({} candidates, {} expansions)",
+                "{:<3}-search: {:>6.1} ms, best path has {} edges, P(on time) = {:.3}, mean {:.1} min ({} candidates, {} expansions, {} incumbent prunes)",
                 estimator.name(),
                 elapsed,
                 route.path.cardinality(),
                 route.probability,
                 route.distribution.mean() / 60.0,
                 route.evaluated_candidates,
-                route.expansions
+                route.expansions,
+                route.incumbent_prunes
             ),
-            None => println!("{:<3}-DFS: no path satisfies the budget", estimator.name()),
+            None => println!(
+                "{:<3}-search: no path satisfies the budget",
+                estimator.name()
+            ),
         }
     }
 }

@@ -8,7 +8,7 @@ use pathcost::core::{
 use pathcost::hist::divergence::kl_divergence_histograms;
 use pathcost::roadnet::search::{fastest_path, free_flow_time_s};
 use pathcost::roadnet::VertexId;
-use pathcost::routing::{DfsRouter, RouterConfig};
+use pathcost::routing::{BestFirstRouter, RouterConfig};
 use pathcost::traj::{DatasetPreset, HmmMapMatcher, MapMatchConfig, Timestamp, TrajectoryStore};
 
 fn dense_tiny_store() -> (pathcost::roadnet::RoadNetwork, TrajectoryStore) {
@@ -137,7 +137,7 @@ fn routing_with_od_estimator_returns_reliable_paths() {
         },
     )
     .expect("hybrid graph builds");
-    let router = DfsRouter::new(&graph, RouterConfig::default()).expect("router");
+    let router = BestFirstRouter::new(&graph, RouterConfig::default()).expect("router");
     let od = OdEstimator::new(&graph);
 
     let source = VertexId(0);
