@@ -1,0 +1,210 @@
+//! Live-ingest performance: update latency and eviction precision of the
+//! `pathcost-live` → `QueryEngine::apply_update` data flow against the
+//! full-rebuild / full-flush baseline (the PR 4 acceptance workload).
+//!
+//! Two criterion groups measure **update latency**:
+//! `rederive_targeted` is the selective re-instantiation of exactly the
+//! dirty variable keys; `rebuild_full` re-instantiates the whole weight
+//! function over the merged store (what a serving process had to do before
+//! this subsystem existed).
+//!
+//! A one-shot recovery section then measures what the cache strategy costs
+//! the *serving* side after an update lands: two identically warmed engines
+//! receive the same update — one through targeted invalidation, one through
+//! a full flush — and re-serve the warm workload. Eviction counts (precision)
+//! and first-pass latencies are printed and asserted: targeted invalidation
+//! must evict a strict subset of the cache and beat the flush on post-update
+//! warm-query latency. Medians land in `BENCH_4.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcost_bench::experiment::{experiment_config, Dataset, Scale};
+use pathcost_core::{
+    DayPartition, HybridConfig, HybridGraph, PathWeightFunction, VariableKey, WeightUpdate,
+};
+use pathcost_live::{dirty_keys, LiveIngestor};
+use pathcost_roadnet::RoadNetwork;
+use pathcost_service::{QueryEngine, QueryRequest, ServiceConfig};
+use pathcost_traj::{DatasetPreset, MatchedTrajectory, Timestamp, TrajectoryStore};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Workload {
+    net: RoadNetwork,
+    cfg: HybridConfig,
+    base: TrajectoryStore,
+    batch: Vec<MatchedTrajectory>,
+    merged: TrajectoryStore,
+    base_weights: PathWeightFunction,
+    dirty: BTreeSet<VariableKey>,
+}
+
+fn workload() -> Workload {
+    let mut preset = DatasetPreset::aalborg_like(13);
+    preset.network.rows = 10;
+    preset.network.cols = 10;
+    preset.simulation.trips = 2_000;
+    let dataset = Dataset::build(&preset);
+    let cfg = experiment_config(Scale::Quick);
+    // 99% serves; the final 1% arrives as one live batch — the steady-state
+    // shape of continuous ingestion, where each batch is small relative to
+    // everything already learned.
+    let split = dataset.store.len() * 99 / 100;
+    let base = TrajectoryStore::new(dataset.store.matched()[..split].to_vec());
+    let batch: Vec<MatchedTrajectory> = dataset.store.matched()[split..].to_vec();
+    let mut merged = base.clone();
+    merged.append(batch.clone());
+    let base_weights =
+        PathWeightFunction::instantiate(&dataset.net, &base, &cfg).expect("instantiates");
+    let partition = DayPartition::new(cfg.alpha_minutes).expect("valid α");
+    let dirty = dirty_keys(&batch, &partition, cfg.max_rank);
+    Workload {
+        net: dataset.net,
+        cfg,
+        base,
+        batch,
+        merged,
+        base_weights,
+        dirty,
+    }
+}
+
+/// The warm serving workload: every instantiated variable's own anchor (its
+/// estimate consumes the variable) plus a dead-hour probe (survivor entries).
+fn probe_requests(engine: &QueryEngine<'_>, limit: usize) -> Vec<QueryRequest> {
+    let graph = engine.graph();
+    let mut requests = Vec::new();
+    for var in graph.weights().variables().iter().take(limit) {
+        requests.push(QueryRequest::EstimateDistribution {
+            path: var.path.clone(),
+            departure: engine.canonical_departure(var.interval),
+        });
+        requests.push(QueryRequest::EstimateDistribution {
+            path: var.path.clone(),
+            departure: Timestamp::from_day_hms(0, 3, 30, 0),
+        });
+    }
+    requests
+}
+
+fn serve_all(engine: &QueryEngine<'_>, requests: &[QueryRequest]) -> Duration {
+    let start = Instant::now();
+    for request in requests {
+        engine.execute(request).expect("query succeeds");
+    }
+    start.elapsed()
+}
+
+/// One recovery rep: warm an engine, land the update with the given cache
+/// strategy, and time the first post-update pass over the warm workload.
+/// Returns (evicted entries, cache size before, first-pass latency).
+fn recovery_rep(w: &Workload, update: WeightUpdate, flush: bool) -> (u64, usize, Duration) {
+    let engine = QueryEngine::new(
+        Arc::new(HybridGraph::from_parts(
+            &w.net,
+            w.base_weights.clone(),
+            w.cfg.clone(),
+        )),
+        ServiceConfig::default(),
+    );
+    let requests = probe_requests(&engine, 48);
+    serve_all(&engine, &requests); // warm
+    let warmed = engine.cache().len();
+    let (evicted, before) = if flush {
+        let report = engine.apply_update(update).expect("update applies");
+        let flushed = engine.cache().clear();
+        (
+            report.evicted_total() + flushed,
+            report.cache_entries_before,
+        )
+    } else {
+        let report = engine.apply_update(update).expect("update applies");
+        (report.evicted_total(), report.cache_entries_before)
+    };
+    assert_eq!(before, warmed);
+    (evicted, warmed, serve_all(&engine, &requests))
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn bench_live_ingest(c: &mut Criterion) {
+    let w = workload();
+    println!(
+        "live_ingest workload: {} base + {} ingested trajectories, {} dirty keys, {} base variables",
+        w.base.len(),
+        w.batch.len(),
+        w.dirty.len(),
+        w.base_weights.stats().total_variables()
+    );
+
+    let mut group = c.benchmark_group("live_ingest");
+    group.bench_with_input(BenchmarkId::new("rederive_targeted", "1pct"), &w, |b, w| {
+        b.iter(|| {
+            w.base_weights
+                .rederive(&w.net, &w.merged, &w.cfg, &w.dirty)
+                .expect("rederive succeeds")
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("rebuild_full", "merged"), &w, |b, w| {
+        b.iter(|| PathWeightFunction::instantiate(&w.net, &w.merged, &w.cfg).expect("instantiates"))
+    });
+    group.finish();
+
+    // Recovery: eviction precision and post-update warm-query latency,
+    // targeted invalidation vs full flush, median of 5 reps each.
+    let reps = 5;
+    let mut ingestor = LiveIngestor::from_instantiated(
+        &w.net,
+        w.base.clone(),
+        w.base_weights.clone(),
+        w.cfg.clone(),
+    )
+    .expect("ingestor builds");
+    let update = ingestor.ingest(w.batch.clone()).expect("ingest succeeds");
+    println!(
+        "ingest: {} variables updated, {} added ({} dirty keys examined)",
+        update.updated.len(),
+        update.added.len(),
+        update.dirty_keys
+    );
+
+    let mut targeted_times = Vec::new();
+    let mut flushed_times = Vec::new();
+    let (mut targeted_evicted, mut cache_size) = (0, 0);
+    for _ in 0..reps {
+        let (evicted, warmed, latency) = recovery_rep(&w, update.clone(), false);
+        targeted_evicted = evicted;
+        cache_size = warmed;
+        targeted_times.push(latency);
+        let (flush_evicted, _, flush_latency) = recovery_rep(&w, update.clone(), true);
+        assert_eq!(flush_evicted as usize, warmed, "a flush drops everything");
+        flushed_times.push(flush_latency);
+    }
+    let targeted = median(targeted_times);
+    let flushed = median(flushed_times);
+    println!(
+        "eviction precision: targeted {targeted_evicted}/{cache_size} entries vs full flush {cache_size}/{cache_size}"
+    );
+    println!(
+        "post-update warm-pass latency: targeted {targeted:.2?} vs full flush {flushed:.2?} ({:.2}x)",
+        flushed.as_secs_f64() / targeted.as_secs_f64().max(1e-12)
+    );
+    assert!(
+        (targeted_evicted as usize) < cache_size,
+        "targeted invalidation must evict a strict subset ({targeted_evicted}/{cache_size})"
+    );
+    assert!(
+        targeted < flushed,
+        "surviving entries must make the post-update pass faster ({targeted:?} vs {flushed:?})"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_live_ingest
+}
+criterion_main!(benches);

@@ -97,6 +97,7 @@ fn bench_routing_throughput(c: &mut Criterion) {
             destination,
             departure,
             budget_s,
+            k: 1,
         })
         .collect();
     for request in &requests {

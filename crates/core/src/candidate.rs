@@ -66,6 +66,14 @@ pub struct CandidateArray {
     /// The shift-and-enlarged departure interval `UI_k` (in seconds of the
     /// day) for each edge position.
     pub updated_intervals: Vec<TimeInterval>,
+    /// The `(edge, interval)` pairs whose *trajectory-derived* unit
+    /// distribution was read while building the array (shift-and-enlarge
+    /// probes and unit-fallback rows), sorted and deduplicated. Together with
+    /// the decomposition's instantiated components these are exactly the
+    /// weight-function histograms the final estimate depends on — the
+    /// dependency set the serving layer's targeted cache invalidation tracks.
+    /// Speed-limit fallbacks are excluded: their histograms never change.
+    pub trajectory_unit_reads: Vec<(pathcost_roadnet::EdgeId, IntervalId)>,
 }
 
 impl CandidateArray {
@@ -91,6 +99,7 @@ impl CandidateArray {
         // Shift-and-enlarge: UI_1 = [t, t]; UI_{k+1} = SAE(UI_k, V_{e_k}).
         let depart_tod = departure.time_of_day().seconds();
         let mut updated_intervals = Vec::with_capacity(n);
+        let mut trajectory_unit_reads: Vec<(pathcost_roadnet::EdgeId, IntervalId)> = Vec::new();
         let mut lo = depart_tod;
         let mut hi = depart_tod;
         for (k, &edge) in query.edges().iter().enumerate() {
@@ -105,6 +114,9 @@ impl CandidateArray {
             let unit = wp
                 .unit_histogram(edge, probe_interval)
                 .ok_or(CoreError::NoDistribution)?;
+            if wp.unit_is_trajectory_derived(edge, probe_interval) {
+                trajectory_unit_reads.push((edge, probe_interval));
+            }
             lo = (lo + unit.min()).min(86_400.0);
             hi = (hi + unit.max()).min(86_400.0);
         }
@@ -160,6 +172,9 @@ impl CandidateArray {
                 let unit = wp
                     .unit_histogram(edge, probe_interval)
                     .ok_or(CoreError::NoDistribution)?;
+                if wp.unit_is_trajectory_derived(edge, probe_interval) {
+                    trajectory_unit_reads.push((edge, probe_interval));
+                }
                 rows[k].push(SelectedVariable {
                     start: k,
                     path: Path::unit(edge),
@@ -170,10 +185,13 @@ impl CandidateArray {
             }
             rows[k].sort_by_key(|v| v.rank());
         }
+        trajectory_unit_reads.sort_unstable();
+        trajectory_unit_reads.dedup();
 
         Ok(CandidateArray {
             rows,
             updated_intervals,
+            trajectory_unit_reads,
         })
     }
 

@@ -83,7 +83,7 @@ impl Decomposition {
         Decomposition::assemble(components, array.len())
     }
 
-    /// The HP decomposition [10]: every pair of adjacent edges contributes its
+    /// The HP decomposition \[10\]: every pair of adjacent edges contributes its
     /// rank-2 variable when one exists, interleaved with unit variables where
     /// pairs are unavailable, so the estimator considers roughly `|P|`
     /// variables regardless of how much coarser information exists.

@@ -84,17 +84,40 @@ pub trait CostEstimator {
     }
 }
 
+/// One estimation's full output: the distribution, the decomposition it came
+/// from, the set of trajectory-derived weight-function variables it read, and
+/// the per-phase timing. Produced by [`OdEstimator::estimate_with_artifacts`]
+/// for callers — the serving layer's cache — that need more than the
+/// histogram.
+#[derive(Debug, Clone)]
+pub struct EstimateArtifacts {
+    /// The estimated cost distribution.
+    pub histogram: Histogram1D,
+    /// The decomposition the distribution was derived from.
+    pub decomposition: Decomposition,
+    /// Every trajectory-derived variable key whose histogram the estimation
+    /// read — the shift-and-enlarge unit probes of the candidate array plus
+    /// the instantiated components of the decomposition — sorted and
+    /// deduplicated. If none of these variables changes, re-running the
+    /// estimation yields a bit-identical histogram (new variables appearing
+    /// can still change candidate *selection*; the serving layer handles
+    /// those separately by sub-path containment).
+    pub dependencies: Vec<(Path, crate::interval::IntervalId)>,
+    /// Wall-clock phase breakdown (Figure 17's OI / JC / MC).
+    pub breakdown: EstimateBreakdown,
+}
+
 /// Shared implementation: build a candidate array, pick a decomposition,
-/// derive the cost distribution. Returns the decomposition alongside the
-/// histogram so callers (e.g. the serving layer) can inspect it without
-/// replicating this pipeline.
+/// derive the cost distribution. Returns the decomposition, dependency set
+/// and timing alongside the histogram so callers (e.g. the serving layer)
+/// can inspect them without replicating this pipeline.
 fn estimate_via_decomposition<F>(
     graph: &HybridGraph<'_>,
     path: &Path,
     departure: Timestamp,
     rank_cap: Option<usize>,
     pick: F,
-) -> Result<(Histogram1D, Decomposition, EstimateBreakdown), CoreError>
+) -> Result<EstimateArtifacts, CoreError>
 where
     F: FnOnce(&CandidateArray) -> Decomposition,
 {
@@ -115,15 +138,32 @@ where
     let hist = Histogram1D::from_overlapping(&entries)?;
     let mc = start.elapsed().as_secs_f64();
 
-    Ok((
-        hist,
+    let mut dependencies: Vec<(Path, crate::interval::IntervalId)> = array
+        .trajectory_unit_reads
+        .iter()
+        .map(|&(edge, interval)| (Path::unit(edge), interval))
+        .collect();
+    for component in decomposition.components() {
+        if matches!(
+            component.source,
+            crate::candidate::CandidateSource::Instantiated(_)
+        ) {
+            dependencies.push((component.path.clone(), component.interval));
+        }
+    }
+    dependencies.sort_unstable();
+    dependencies.dedup();
+
+    Ok(EstimateArtifacts {
+        histogram: hist,
         decomposition,
-        EstimateBreakdown {
+        dependencies,
+        breakdown: EstimateBreakdown {
             decomposition_s: oi,
             joint_s: jc,
             marginal_s: mc,
         },
-    ))
+    })
 }
 
 /// The paper's proposed estimator: optimal (coarsest) decomposition.
@@ -161,10 +201,21 @@ impl<'g, 'n> OdEstimator<'g, 'n> {
         path: &Path,
         departure: Timestamp,
     ) -> Result<(Histogram1D, Decomposition), CoreError> {
+        self.estimate_with_artifacts(path, departure)
+            .map(|a| (a.histogram, a.decomposition))
+    }
+
+    /// As [`Self::estimate_with_decomposition`], additionally reporting the
+    /// trajectory-derived variable keys the estimation read — the dependency
+    /// set the serving layer's targeted cache invalidation is built on.
+    pub fn estimate_with_artifacts(
+        &self,
+        path: &Path,
+        departure: Timestamp,
+    ) -> Result<EstimateArtifacts, CoreError> {
         estimate_via_decomposition(self.graph, path, departure, self.rank_cap, |array| {
             Decomposition::coarsest(array)
         })
-        .map(|(hist, decomposition, _)| (hist, decomposition))
     }
 }
 
@@ -181,7 +232,7 @@ impl CostEstimator for OdEstimator<'_, '_> {
         estimate_via_decomposition(self.graph, path, departure, self.rank_cap, |array| {
             Decomposition::coarsest(array)
         })
-        .map(|(hist, _, breakdown)| (hist, breakdown))
+        .map(|a| (a.histogram, a.breakdown))
     }
 
     fn decomposition_entropy(&self, path: &Path, departure: Timestamp) -> Option<f64> {
@@ -216,7 +267,7 @@ impl CostEstimator for LbEstimator<'_, '_> {
         estimate_via_decomposition(self.graph, path, departure, Some(1), |array| {
             Decomposition::legacy(array)
         })
-        .map(|(hist, _, breakdown)| (hist, breakdown))
+        .map(|a| (a.histogram, a.breakdown))
     }
 
     fn decomposition_entropy(&self, path: &Path, departure: Timestamp) -> Option<f64> {
@@ -225,7 +276,7 @@ impl CostEstimator for LbEstimator<'_, '_> {
     }
 }
 
-/// The HP baseline [10]: joint distributions of every pair of adjacent edges.
+/// The HP baseline \[10\]: joint distributions of every pair of adjacent edges.
 pub struct HpEstimator<'g, 'n> {
     graph: &'g HybridGraph<'n>,
 }
@@ -250,7 +301,7 @@ impl CostEstimator for HpEstimator<'_, '_> {
         estimate_via_decomposition(self.graph, path, departure, Some(2), |array| {
             Decomposition::pairwise(array)
         })
-        .map(|(hist, _, breakdown)| (hist, breakdown))
+        .map(|a| (a.histogram, a.breakdown))
     }
 
     fn decomposition_entropy(&self, path: &Path, departure: Timestamp) -> Option<f64> {
@@ -286,7 +337,7 @@ impl CostEstimator for RdEstimator<'_, '_> {
         estimate_via_decomposition(self.graph, path, departure, None, |array| {
             Decomposition::random(array, &mut rng)
         })
-        .map(|(hist, _, breakdown)| (hist, breakdown))
+        .map(|a| (a.histogram, a.breakdown))
     }
 
     fn decomposition_entropy(&self, path: &Path, departure: Timestamp) -> Option<f64> {

@@ -6,15 +6,21 @@ use crate::weights::{PathWeightFunction, WeightStats};
 use pathcost_hist::Histogram1D;
 use pathcost_roadnet::{Path, RoadNetwork};
 use pathcost_traj::{Timestamp, TrajectoryStore};
+use std::sync::Arc;
 
 /// A road network together with an instantiated path weight function.
 ///
 /// This is the paper's hybrid graph: the topology stays an ordinary directed
 /// graph, but weights are associated with *paths* (joint distributions over
 /// the costs of their edges) rather than with single edges.
+///
+/// The weight function sits behind an [`Arc`], so a live-update epoch
+/// ([`crate::weights::WeightUpdate`]) can be shared between the ingestor
+/// that produced it and the graph serving it without deep-copying every
+/// histogram.
 pub struct HybridGraph<'a> {
     net: &'a RoadNetwork,
-    weights: PathWeightFunction,
+    weights: Arc<PathWeightFunction>,
     config: HybridConfig,
 }
 
@@ -43,7 +49,7 @@ impl<'a> HybridGraph<'a> {
         let weights = PathWeightFunction::instantiate(net, store, &config)?;
         Ok(HybridGraph {
             net,
-            weights,
+            weights: Arc::new(weights),
             config,
         })
     }
@@ -61,26 +67,31 @@ impl<'a> HybridGraph<'a> {
             PathWeightFunction::instantiate_with_exclusions(net, store, &config, excluded)?;
         Ok(HybridGraph {
             net,
-            weights,
+            weights: Arc::new(weights),
             config,
         })
     }
 
-    /// Wraps an already-instantiated weight function.
+    /// Wraps an already-instantiated weight function — owned or already
+    /// behind an `Arc` (a published live-update epoch shares its allocation).
     pub fn from_parts(
         net: &'a RoadNetwork,
-        weights: PathWeightFunction,
+        weights: impl Into<Arc<PathWeightFunction>>,
         config: HybridConfig,
     ) -> Self {
         HybridGraph {
             net,
-            weights,
+            weights: weights.into(),
             config,
         }
     }
 
-    /// The underlying road network.
-    pub fn network(&self) -> &RoadNetwork {
+    /// The underlying road network. The returned reference carries the
+    /// graph's *borrow* lifetime `'a`, not the receiver's, so holders of a
+    /// temporary graph handle (e.g. an epoch snapshot) can keep the network
+    /// reference after the handle is gone — the live-update subsystem builds
+    /// replacement graphs from it.
+    pub fn network(&self) -> &'a RoadNetwork {
         self.net
     }
 

@@ -49,11 +49,11 @@ pub use config::HybridConfig;
 pub use decomposition::Decomposition;
 pub use error::CoreError;
 pub use estimator::{
-    CostEstimator, EstimateBreakdown, GroundTruthEstimator, HpEstimator, LbEstimator, OdEstimator,
-    RdEstimator,
+    CostEstimator, EstimateArtifacts, EstimateBreakdown, GroundTruthEstimator, HpEstimator,
+    LbEstimator, OdEstimator, RdEstimator,
 };
 pub use hybrid_graph::HybridGraph;
 pub use incremental::{IncrementalEstimate, PartialEstimate};
 pub use interval::{DayPartition, IntervalId};
 pub use variable::{InstantiatedVariable, VariableSource};
-pub use weights::{PathWeightFunction, WeightStats};
+pub use weights::{dirty_keys, PathWeightFunction, VariableKey, WeightStats, WeightUpdate};

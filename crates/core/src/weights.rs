@@ -21,9 +21,35 @@ use crate::variable::{InstantiatedVariable, VariableSource};
 use pathcost_hist::{auto::auto_histogram, Histogram1D, HistogramNd};
 use pathcost_roadnet::{EdgeId, Path, RoadNetwork};
 use pathcost_traj::costs::per_edge_costs;
+use pathcost_traj::MatchedTrajectory;
 use pathcost_traj::{CostKind, TrajectoryStore};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// The variable keys whose qualified occurrence sets a batch of *appended*
+/// trajectories changes: each `(edges[start..start + k], interval)` window
+/// for `k = 1..=max_rank` — the exact mirror of instantiation's pass-1
+/// enumeration below, kept next to it so the two cannot drift. Everything
+/// outside this set is provably untouched by the append, which is what makes
+/// [`PathWeightFunction::rederive`] exact.
+pub fn dirty_keys(
+    batch: &[MatchedTrajectory],
+    partition: &DayPartition,
+    max_rank: usize,
+) -> BTreeSet<VariableKey> {
+    let mut dirty = BTreeSet::new();
+    for m in batch {
+        let edges = m.path.edges();
+        for k in 1..=max_rank.min(edges.len()) {
+            for start in 0..=edges.len() - k {
+                let interval = partition.interval_of(m.entry_times[start].time_of_day());
+                dirty.insert((edges[start..start + k].to_vec(), interval));
+            }
+        }
+    }
+    dirty
+}
 
 /// Summary statistics of an instantiated weight function, used by the
 /// Figure 8–12 experiments.
@@ -81,6 +107,66 @@ pub struct PathWeightFunction {
 /// path during its interval is skipped, so estimators must reconstruct the
 /// distribution from strictly shorter sub-paths.
 pub type HoldoutExclusions = Vec<(Path, IntervalId)>;
+
+/// A `(path edges, interval)` variable key — the unit of dirtiness the live
+/// ingestion subsystem tracks: a key is *dirty* after an ingest when at least
+/// one newly appended trajectory contributes a qualified occurrence to it.
+pub type VariableKey = (Vec<EdgeId>, IntervalId);
+
+/// The outcome of a selective re-instantiation ([`PathWeightFunction::rederive`]):
+/// a new weight-function epoch plus the exact set of variable keys whose
+/// histograms differ from the previous epoch. The serving layer consumes this
+/// to swap the published weight function and surgically evict exactly the
+/// dependent cache entries.
+#[derive(Debug, Clone)]
+pub struct WeightUpdate {
+    /// Monotonically increasing version of the published weight function
+    /// (stamped by the live ingestor; `rederive` itself leaves it 0).
+    pub epoch: u64,
+    /// Number of trajectories the producing ingest appended (stamped by the
+    /// live ingestor; `rederive` itself leaves it 0).
+    pub trajectories: usize,
+    /// Number of dirty keys that were examined.
+    pub dirty_keys: usize,
+    /// The re-derived weight function — bit-identical to a full
+    /// [`PathWeightFunction::instantiate`] over the merged store. Shared
+    /// behind an [`Arc`] so the ingestor keeping it for the next epoch and
+    /// the graph serving it reuse one allocation.
+    pub weights: Arc<PathWeightFunction>,
+    /// Keys of previously instantiated variables whose histograms were
+    /// re-derived (their qualified occurrence sets grew).
+    pub updated: Vec<(Path, IntervalId)>,
+    /// Keys that newly crossed the β threshold and were instantiated for the
+    /// first time. New variables change candidate *selection* for any query
+    /// path containing them, so invalidation must treat these by sub-path
+    /// containment rather than by recorded reads.
+    pub added: Vec<(Path, IntervalId)>,
+}
+
+impl WeightUpdate {
+    /// Total number of variable keys whose histogram changed in this epoch.
+    pub fn changed(&self) -> usize {
+        self.updated.len() + self.added.len()
+    }
+}
+
+/// Fits the §3.1/§3.2 histogram for one variable key from its qualified
+/// per-edge cost rows (shared by full instantiation and selective
+/// re-derivation so both produce bit-identical distributions).
+fn fit_histogram(
+    path: &Path,
+    rows: &[Vec<f64>],
+    cfg: &HybridConfig,
+) -> Result<HistogramNd, CoreError> {
+    if path.is_unit() {
+        let totals: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        Ok(HistogramNd::from_histogram1d(&auto_histogram(
+            &totals, &cfg.auto,
+        )?))
+    } else {
+        Ok(HistogramNd::from_samples(rows, &cfg.auto)?)
+    }
+}
 
 impl PathWeightFunction {
     /// Instantiates the weight function from a trajectory store.
@@ -152,11 +238,9 @@ impl PathWeightFunction {
             }
         }
 
-        // Fit histograms.
-        let mut variables = Vec::with_capacity(samples.len());
-        let mut index = HashMap::with_capacity(samples.len());
-        let mut by_first_edge: HashMap<EdgeId, Vec<usize>> = HashMap::new();
-        let mut keys: Vec<(Vec<EdgeId>, IntervalId)> = samples.keys().cloned().collect();
+        // Fit histograms, keyed and ordered by (edges, interval).
+        let mut by_key: BTreeMap<VariableKey, InstantiatedVariable> = BTreeMap::new();
+        let mut keys: Vec<VariableKey> = samples.keys().cloned().collect();
         keys.sort();
         for key in keys {
             let rows = samples.remove(&key).expect("key came from samples");
@@ -164,25 +248,17 @@ impl PathWeightFunction {
                 continue;
             }
             let path = Path::from_edges_unchecked(key.0.clone());
-            let histogram = if path.is_unit() {
-                let totals: Vec<f64> = rows.iter().map(|r| r[0]).collect();
-                HistogramNd::from_histogram1d(&auto_histogram(&totals, &cfg.auto)?)
-            } else {
-                HistogramNd::from_samples(&rows, &cfg.auto)?
-            };
-            let var = InstantiatedVariable {
-                path: path.clone(),
-                interval: key.1,
-                histogram,
-                source: VariableSource::Trajectories { count: rows.len() },
-            };
-            let idx = variables.len();
-            index.insert((key.0.clone(), key.1), idx);
-            by_first_edge
-                .entry(path.first_edge())
-                .or_default()
-                .push(idx);
-            variables.push(var);
+            let histogram = fit_histogram(&path, &rows, cfg)?;
+            let interval = key.1;
+            by_key.insert(
+                key,
+                InstantiatedVariable {
+                    path,
+                    interval,
+                    histogram,
+                    source: VariableSource::Trajectories { count: rows.len() },
+                },
+            );
         }
 
         // Speed-limit fallbacks for every edge of the network.
@@ -194,7 +270,40 @@ impl PathWeightFunction {
             fallback_units.insert(edge.id, Histogram1D::uniform(lo, hi.max(lo + 0.5))?);
         }
 
-        // Statistics.
+        Ok(Self::assemble(
+            partition,
+            cfg.cost_kind,
+            by_key,
+            fallback_units,
+            store,
+        ))
+    }
+
+    /// Assembles a weight function from fitted variables: the sorted-key
+    /// order fixes variable indices, the exact-lookup and first-edge indices
+    /// are rebuilt, and the summary statistics are recomputed. Shared by full
+    /// instantiation and [`Self::rederive`] so both produce identical
+    /// structures for identical variable sets.
+    fn assemble(
+        partition: DayPartition,
+        cost_kind: CostKind,
+        by_key: BTreeMap<VariableKey, InstantiatedVariable>,
+        fallback_units: HashMap<EdgeId, Histogram1D>,
+        store: &TrajectoryStore,
+    ) -> PathWeightFunction {
+        let mut variables = Vec::with_capacity(by_key.len());
+        let mut index = HashMap::with_capacity(by_key.len());
+        let mut by_first_edge: HashMap<EdgeId, Vec<usize>> = HashMap::new();
+        for (key, var) in by_key {
+            let idx = variables.len();
+            by_first_edge
+                .entry(var.path.first_edge())
+                .or_default()
+                .push(idx);
+            index.insert(key, idx);
+            variables.push(var);
+        }
+
         let mut count_by_rank: BTreeMap<usize, usize> = BTreeMap::new();
         let mut entropy_sum: BTreeMap<usize, f64> = BTreeMap::new();
         let mut covered: std::collections::HashSet<EdgeId> = std::collections::HashSet::new();
@@ -221,14 +330,115 @@ impl PathWeightFunction {
             memory_bytes: memory,
         };
 
-        Ok(PathWeightFunction {
+        PathWeightFunction {
             partition,
-            cost_kind: cfg.cost_kind,
+            cost_kind,
             variables,
             index,
             by_first_edge,
             fallback_units,
             stats,
+        }
+    }
+
+    /// Selective re-instantiation: re-derives exactly the variables named by
+    /// `dirty` against the merged (post-ingest) trajectory store and returns
+    /// a new weight-function epoch.
+    ///
+    /// `merged` must be the original store with the ingested trajectories
+    /// *appended* (never removed or reordered), and `cfg` must be the
+    /// configuration the function was originally instantiated with — the day
+    /// partition (α) and cost kind are checked, because a changed partition
+    /// would silently re-key every interval. Under those conditions the
+    /// result is **bit-identical** to
+    /// [`PathWeightFunction::instantiate`] over `merged`:
+    ///
+    /// * a dirty key's qualified rows in the merged store are its old rows
+    ///   followed by the new ones, in the same order the full rebuild's
+    ///   collection pass visits them, so re-fitting reproduces the rebuild's
+    ///   histogram exactly;
+    /// * a non-dirty key's qualified occurrence set is untouched by the
+    ///   append, so its existing histogram already equals what the rebuild
+    ///   would fit;
+    /// * variable order, lookup indices and statistics are reassembled in
+    ///   sorted key order, the same order instantiation uses.
+    ///
+    /// Keys below β stay uninstantiated (appends can only grow occurrence
+    /// counts, so variables are updated or added, never removed). Holdout
+    /// exclusions are an evaluation-protocol feature and are not supported
+    /// here.
+    pub fn rederive(
+        &self,
+        net: &RoadNetwork,
+        merged: &TrajectoryStore,
+        cfg: &HybridConfig,
+        dirty: &BTreeSet<VariableKey>,
+    ) -> Result<WeightUpdate, CoreError> {
+        cfg.validate()?;
+        let partition = DayPartition::new(cfg.alpha_minutes)?;
+        if partition != self.partition || cfg.cost_kind != self.cost_kind {
+            return Err(CoreError::InvalidConfig(
+                "live updates must keep the day partition (α) and cost kind of the original instantiation",
+            ));
+        }
+
+        let mut by_key: BTreeMap<VariableKey, InstantiatedVariable> = self
+            .variables
+            .iter()
+            .map(|v| ((v.path.edges().to_vec(), v.interval), v.clone()))
+            .collect();
+        let mut updated = Vec::new();
+        let mut added = Vec::new();
+        for key in dirty {
+            let path = Path::from_edges_unchecked(key.0.clone());
+            // The key's qualified occurrences in the merged store, in the
+            // same (trajectory, position) order the full rebuild collects
+            // rows in.
+            let occurrences: Vec<_> = merged
+                .occurrences_on(&path)
+                .into_iter()
+                .filter(|o| partition.interval_of(o.entry_time.time_of_day()) == key.1)
+                .collect();
+            if occurrences.len() < cfg.beta {
+                continue;
+            }
+            let mut rows = Vec::with_capacity(occurrences.len());
+            for o in &occurrences {
+                let m = merged.get(o.traj_index).expect("occurrence is in store");
+                if let Some(costs) = per_edge_costs(m, net, &path, o.offset, cfg.cost_kind) {
+                    rows.push(costs);
+                }
+            }
+            if rows.len() < cfg.beta {
+                continue;
+            }
+            let histogram = fit_histogram(&path, &rows, cfg)?;
+            let var = InstantiatedVariable {
+                path: path.clone(),
+                interval: key.1,
+                histogram,
+                source: VariableSource::Trajectories { count: rows.len() },
+            };
+            match by_key.insert(key.clone(), var) {
+                Some(_) => updated.push((path, key.1)),
+                None => added.push((path, key.1)),
+            }
+        }
+
+        let weights = Self::assemble(
+            partition,
+            cfg.cost_kind,
+            by_key,
+            self.fallback_units.clone(),
+            merged,
+        );
+        Ok(WeightUpdate {
+            epoch: 0,
+            trajectories: 0,
+            dirty_keys: dirty.len(),
+            weights: Arc::new(weights),
+            updated,
+            added,
         })
     }
 
@@ -417,5 +627,71 @@ mod tests {
             &HybridConfig::default().with_beta(0)
         )
         .is_err());
+    }
+
+    #[test]
+    fn rederive_is_bit_identical_to_full_reinstantiation() {
+        let (net, store) = DatasetPreset::tiny(25).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        };
+        let split = store.len() * 7 / 10;
+        let mut base = TrajectoryStore::new(store.matched()[..split].to_vec());
+        let batch = store.matched()[split..].to_vec();
+        assert!(!batch.is_empty());
+        let wp = PathWeightFunction::instantiate(&net, &base, &cfg).unwrap();
+        let partition = DayPartition::new(cfg.alpha_minutes).unwrap();
+        let dirty = dirty_keys(&batch, &partition, cfg.max_rank);
+
+        base.append(batch);
+        let update = wp.rederive(&net, &base, &cfg, &dirty).unwrap();
+        let full = PathWeightFunction::instantiate(&net, &base, &cfg).unwrap();
+        // The strongest possible check: every variable (path, interval,
+        // histogram buckets, source count) and the summary statistics are
+        // exactly equal to the from-scratch rebuild.
+        assert_eq!(update.weights.variables(), full.variables());
+        assert_eq!(update.weights.stats(), full.stats());
+        assert!(
+            update.changed() > 0,
+            "a 30% append on the tiny preset must change some variable"
+        );
+        // Changed keys are disjoint and consistent with the previous epoch.
+        for (path, interval) in &update.updated {
+            assert!(wp.get(path, *interval).is_some(), "updated ⇒ pre-existing");
+        }
+        for (path, interval) in &update.added {
+            assert!(wp.get(path, *interval).is_none(), "added ⇒ new");
+            assert!(update.weights.get(path, *interval).is_some());
+        }
+    }
+
+    #[test]
+    fn rederive_with_no_dirty_keys_is_a_no_op_epoch() {
+        let (net, store) = DatasetPreset::tiny(26).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        };
+        let wp = PathWeightFunction::instantiate(&net, &store, &cfg).unwrap();
+        let update = wp.rederive(&net, &store, &cfg, &BTreeSet::new()).unwrap();
+        assert_eq!(update.changed(), 0);
+        assert_eq!(update.weights.variables(), wp.variables());
+        assert_eq!(update.weights.stats(), wp.stats());
+    }
+
+    #[test]
+    fn rederive_rejects_a_changed_partition() {
+        let (net, store) = DatasetPreset::tiny(27).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        };
+        let wp = PathWeightFunction::instantiate(&net, &store, &cfg).unwrap();
+        let recut = HybridConfig {
+            alpha_minutes: cfg.alpha_minutes * 2,
+            ..cfg
+        };
+        assert!(wp.rederive(&net, &store, &recut, &BTreeSet::new()).is_err());
     }
 }

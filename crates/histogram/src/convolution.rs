@@ -5,7 +5,7 @@
 //! assumption. Each pair of buckets contributes a summed bucket whose mass is
 //! the product of the bucket probabilities; because both inputs are already
 //! sorted and disjoint, the overlapping products are flattened by the
-//! sweep-line kernel of [`crate::sweep`] (two density events per product,
+//! sweep-line kernel of the crate-private `sweep` module (two density events per product,
 //! one sort, one pass) and coarsened in place — no `O(Bₐ·B_b)` entry vector,
 //! no quadratic rearrangement, no re-allocating coarsen.
 //!

@@ -1,6 +1,6 @@
 //! V-Optimal histogram construction.
 //!
-//! Given a raw cost distribution and a bucket count `b`, V-Optimal [12]
+//! Given a raw cost distribution and a bucket count `b`, V-Optimal \[12\]
 //! chooses bucket boundaries that minimise the total squared error incurred by
 //! approximating the raw distribution with per-bucket summaries. Because the
 //! histograms here use *uniform-within-bucket* semantics over the cost axis,

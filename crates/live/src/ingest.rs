@@ -1,0 +1,197 @@
+//! The live ingestor: append → dirty keys → selective re-derivation →
+//! versioned epoch.
+
+use crate::delta::dirty_keys;
+use pathcost_core::{CoreError, DayPartition, HybridConfig, PathWeightFunction, WeightUpdate};
+use pathcost_roadnet::RoadNetwork;
+use pathcost_traj::{MatchedTrajectory, TrajectoryStore};
+use std::sync::Arc;
+
+/// Accepts batches of newly matched trajectories and maintains the current
+/// weight-function epoch over the growing store.
+///
+/// Each [`LiveIngestor::ingest`] call appends the batch to the trajectory
+/// store through the delta-indexed [`TrajectoryStore::append`], re-derives
+/// only the variables whose qualified occurrence sets the batch actually
+/// changed ([`PathWeightFunction::rederive`]), and returns a stamped
+/// [`WeightUpdate`] — the new epoch plus the exact changed-key sets a serving
+/// engine needs for targeted cache invalidation
+/// (`QueryEngine::apply_update` in `pathcost-service`).
+///
+/// The ingestor hands out epochs behind [`Arc`]s, so readers that grabbed a
+/// snapshot keep a consistent weight function while newer epochs are
+/// published — the same swap-on-publish discipline the serving engine applies
+/// to its graph.
+pub struct LiveIngestor<'n> {
+    net: &'n RoadNetwork,
+    store: TrajectoryStore,
+    config: HybridConfig,
+    partition: DayPartition,
+    current: Arc<PathWeightFunction>,
+    epoch: u64,
+}
+
+impl<'n> LiveIngestor<'n> {
+    /// Instantiates epoch 0 from `store` and starts ingesting on top of it.
+    pub fn new(
+        net: &'n RoadNetwork,
+        store: TrajectoryStore,
+        config: HybridConfig,
+    ) -> Result<Self, CoreError> {
+        let weights = PathWeightFunction::instantiate(net, &store, &config)?;
+        Self::from_instantiated(net, store, weights, config)
+    }
+
+    /// Wraps an already-instantiated weight function as epoch 0. `weights`
+    /// must have been instantiated from exactly `store` under `config` (the
+    /// day partition and cost kind are checked; the store itself cannot be).
+    pub fn from_instantiated(
+        net: &'n RoadNetwork,
+        store: TrajectoryStore,
+        weights: PathWeightFunction,
+        config: HybridConfig,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        let partition = DayPartition::new(config.alpha_minutes)?;
+        if weights.partition() != &partition || weights.cost_kind() != config.cost_kind {
+            return Err(CoreError::InvalidConfig(
+                "the ingestor's config must match the instantiated weight function",
+            ));
+        }
+        Ok(LiveIngestor {
+            net,
+            store,
+            config,
+            partition,
+            current: Arc::new(weights),
+            epoch: 0,
+        })
+    }
+
+    /// Ingests a batch of newly matched trajectories and publishes the next
+    /// epoch. Returns the stamped [`WeightUpdate`]; an empty batch publishes
+    /// a (valid, unchanged) epoch with no changed keys.
+    pub fn ingest(&mut self, batch: Vec<MatchedTrajectory>) -> Result<WeightUpdate, CoreError> {
+        let dirty = dirty_keys(&batch, &self.partition, self.config.max_rank);
+        let trajectories = batch.len();
+        self.store.append(batch);
+        let mut update = self
+            .current
+            .rederive(self.net, &self.store, &self.config, &dirty)?;
+        self.epoch += 1;
+        update.epoch = self.epoch;
+        update.trajectories = trajectories;
+        // An Arc bump: the ingestor's working copy and the published epoch
+        // share one allocation.
+        self.current = update.weights.clone();
+        Ok(update)
+    }
+
+    /// The currently published weight-function epoch (an `Arc` bump).
+    pub fn weights(&self) -> Arc<PathWeightFunction> {
+        self.current.clone()
+    }
+
+    /// The version of the currently published epoch (0 until the first
+    /// ingest).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The growing trajectory store (base plus every ingested batch).
+    pub fn store(&self) -> &TrajectoryStore {
+        &self.store
+    }
+
+    /// The configuration every epoch is derived under.
+    pub fn config(&self) -> &HybridConfig {
+        &self.config
+    }
+
+    /// The road network the store is matched against.
+    pub fn network(&self) -> &'n RoadNetwork {
+        self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcost_roadnet::RoadNetwork;
+    use pathcost_traj::DatasetPreset;
+
+    fn fixture() -> (RoadNetwork, TrajectoryStore, HybridConfig) {
+        let (net, store) = DatasetPreset::tiny(53).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        };
+        (net, store, cfg)
+    }
+
+    #[test]
+    fn sequential_ingests_match_a_full_rebuild_at_every_epoch() {
+        let (net, store, cfg) = fixture();
+        let split = store.len() / 2;
+        let base = TrajectoryStore::new(store.matched()[..split].to_vec());
+        let rest: Vec<MatchedTrajectory> = store.matched()[split..].to_vec();
+        let mut ingestor = LiveIngestor::new(&net, base, cfg.clone()).unwrap();
+        assert_eq!(ingestor.epoch(), 0);
+
+        let mid = rest.len() / 2;
+        for (i, batch) in [rest[..mid].to_vec(), rest[mid..].to_vec()]
+            .into_iter()
+            .enumerate()
+        {
+            let batch_len = batch.len();
+            let update = ingestor.ingest(batch).unwrap();
+            assert_eq!(update.epoch, (i + 1) as u64);
+            assert_eq!(update.trajectories, batch_len);
+            let full = PathWeightFunction::instantiate(&net, ingestor.store(), &cfg).unwrap();
+            assert_eq!(update.weights.variables(), full.variables());
+            assert_eq!(update.weights.stats(), full.stats());
+            assert_eq!(ingestor.weights().variables(), full.variables());
+        }
+        assert_eq!(ingestor.epoch(), 2);
+        assert_eq!(ingestor.store().len(), store.len());
+    }
+
+    #[test]
+    fn readers_keep_their_snapshot_across_a_publish() {
+        let (net, store, cfg) = fixture();
+        let split = store.len() * 3 / 4;
+        let base = TrajectoryStore::new(store.matched()[..split].to_vec());
+        let rest: Vec<MatchedTrajectory> = store.matched()[split..].to_vec();
+        let mut ingestor = LiveIngestor::new(&net, base, cfg).unwrap();
+        let snapshot = ingestor.weights();
+        let before = snapshot.stats().clone();
+        let update = ingestor.ingest(rest).unwrap();
+        assert!(update.changed() > 0, "a 25% append must change variables");
+        // The pre-ingest snapshot is untouched; the new epoch differs.
+        assert_eq!(snapshot.stats(), &before);
+        assert_ne!(ingestor.weights().stats(), &before);
+        assert!(!Arc::ptr_eq(&snapshot, &ingestor.weights()));
+    }
+
+    #[test]
+    fn empty_batch_publishes_an_unchanged_epoch() {
+        let (net, store, cfg) = fixture();
+        let mut ingestor = LiveIngestor::new(&net, store, cfg).unwrap();
+        let before = ingestor.weights();
+        let update = ingestor.ingest(Vec::new()).unwrap();
+        assert_eq!(update.epoch, 1);
+        assert_eq!(update.changed(), 0);
+        assert_eq!(update.weights.variables(), before.variables());
+    }
+
+    #[test]
+    fn mismatched_config_is_rejected() {
+        let (net, store, cfg) = fixture();
+        let weights = PathWeightFunction::instantiate(&net, &store, &cfg).unwrap();
+        let recut = HybridConfig {
+            alpha_minutes: cfg.alpha_minutes * 2,
+            ..cfg
+        };
+        assert!(LiveIngestor::from_instantiated(&net, store, weights, recut).is_err());
+    }
+}

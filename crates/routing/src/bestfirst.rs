@@ -1,7 +1,7 @@
 //! Arena-based best-first probabilistic path query (§4.3).
 //!
 //! Answers the same question as the paper's DFS probabilistic path query
-//! (Hua & Pei [10]; retained verbatim in [`crate::naive`]): given a source, a
+//! (Hua & Pei \[10\]; retained verbatim in [`crate::naive`]): given a source, a
 //! destination, a departure time and a travel-time budget, find the path that
 //! maximises the probability of arriving within the budget. The search here
 //! is rebuilt for throughput:
@@ -161,6 +161,59 @@ impl Incumbent {
     }
 }
 
+/// The ranked top-`k` complete candidates seen so far. For `k = 1` this is
+/// exactly the single-incumbent bookkeeping the search always had; for larger
+/// `k` the pruning bound weakens to the *k-th best* probability, so the
+/// search provably cannot drop a partial path that could still place.
+struct IncumbentList {
+    k: usize,
+    ranked: Vec<Incumbent>,
+}
+
+impl IncumbentList {
+    fn new(k: usize) -> Self {
+        IncumbentList {
+            k,
+            ranked: Vec::with_capacity(k),
+        }
+    }
+
+    /// The probability below which a partial path's optimistic bound can be
+    /// pruned: the weakest ranked candidate's, once `k` candidates exist.
+    fn prune_probability(&self) -> Option<f64> {
+        (self.ranked.len() >= self.k).then(|| {
+            self.ranked
+                .last()
+                .expect("k >= 1 and list is full")
+                .probability
+        })
+    }
+
+    /// Offers a complete candidate, keeping the list ordered best-first by
+    /// the deterministic [`Incumbent::beaten_by`] ordering and capped at `k`.
+    /// Candidates whose path is already ranked are dropped (the arena never
+    /// materialises the same edge sequence twice, so this is a defensive
+    /// invariant, not an expected branch).
+    fn offer(&mut self, candidate: Incumbent) {
+        if self.ranked.iter().any(|inc| inc.path == candidate.path) {
+            return;
+        }
+        let position = self.ranked.iter().position(|inc| {
+            inc.beaten_by(
+                candidate.probability,
+                candidate.mean,
+                candidate.path.cardinality(),
+            )
+        });
+        match position {
+            Some(at) => self.ranked.insert(at, candidate),
+            None if self.ranked.len() < self.k => self.ranked.push(candidate),
+            None => return,
+        }
+        self.ranked.truncate(self.k);
+    }
+}
+
 /// Best-first probabilistic path router over a hybrid graph.
 pub struct BestFirstRouter<'g, 'n> {
     graph: &'g HybridGraph<'n>,
@@ -205,6 +258,38 @@ impl<'g, 'n> BestFirstRouter<'g, 'n> {
         departure: Timestamp,
         budget_s: f64,
     ) -> Result<(Option<RouteResult>, SearchTelemetry), RoutingError> {
+        self.route_top_k(estimator, source, destination, departure, budget_s, 1)
+            .map(|(mut ranked, telemetry)| {
+                let best = (!ranked.is_empty()).then(|| ranked.swap_remove(0));
+                (best, telemetry)
+            })
+    }
+
+    /// K-best routing: the `k` distinct paths with the highest probability of
+    /// arriving within `budget_s`, ordered best-first by the search's
+    /// deterministic candidate ordering (probability, then lower mean, then
+    /// fewer edges). Fewer than `k` results are returned when the search
+    /// space does not contain that many feasible candidates.
+    ///
+    /// This is the arena pay-off the single-result query already set up: the
+    /// search explores identically, only the incumbent bookkeeping widens —
+    /// pruning compares against the *k-th best* probability, so partial paths
+    /// that could still place in the ranking are never dropped. With `k = 1`
+    /// the search (including its prune counters) is exactly [`Self::route`].
+    pub fn route_top_k(
+        &self,
+        estimator: &dyn CostEstimator,
+        source: VertexId,
+        destination: VertexId,
+        departure: Timestamp,
+        budget_s: f64,
+        k: usize,
+    ) -> Result<(Vec<RouteResult>, SearchTelemetry), RoutingError> {
+        if k == 0 {
+            return Err(RoutingError::InvalidConfig(
+                "k-best routing needs k >= 1 ranked results",
+            ));
+        }
         if source == destination {
             return Err(RoutingError::SameSourceAndDestination);
         }
@@ -233,7 +318,7 @@ impl<'g, 'n> BestFirstRouter<'g, 'n> {
         // the expanded node's vertices, then each successor is an O(1) check.
         let mut visit_mark: Vec<u64> = vec![0; net.vertex_count()];
         let mut epoch: u64 = 0;
-        let mut best: Option<Incumbent> = None;
+        let mut best = IncumbentList::new(k);
 
         for &edge in sorted_out_edges(net, &lower_bound, &mut sorted_adjacency, source) {
             let end = net.edge(edge)?.to;
@@ -265,9 +350,9 @@ impl<'g, 'n> BestFirstRouter<'g, 'n> {
             {
                 break;
             }
-            // The incumbent may have improved since this node was pushed.
-            if let Some(incumbent) = &best {
-                if bound < incumbent.probability {
+            // The ranking may have improved since this node was pushed.
+            if let Some(prune_at) = best.prune_probability() {
+                if bound < prune_at {
                     telemetry.incumbent_prunes += 1;
                     continue;
                 }
@@ -281,18 +366,12 @@ impl<'g, 'n> BestFirstRouter<'g, 'n> {
                 let distribution = estimator.estimate_arc(&path, departure)?;
                 let probability = prob_within_budget(&distribution, budget_s);
                 let mean = distribution.mean();
-                let better = best
-                    .as_ref()
-                    .map(|incumbent| incumbent.beaten_by(probability, mean, path.cardinality()))
-                    .unwrap_or(true);
-                if better {
-                    best = Some(Incumbent {
-                        path,
-                        probability,
-                        mean,
-                        distribution,
-                    });
-                }
+                best.offer(Incumbent {
+                    path,
+                    probability,
+                    mean,
+                    distribution,
+                });
                 continue;
             }
             if depth as usize >= self.config.max_path_edges {
@@ -340,15 +419,19 @@ impl<'g, 'n> BestFirstRouter<'g, 'n> {
             }
         }
 
-        let result = best.map(|incumbent| RouteResult {
-            path: incumbent.path,
-            probability: incumbent.probability,
-            distribution: incumbent.distribution,
-            evaluated_candidates: telemetry.evaluated_candidates,
-            expansions: telemetry.expansions,
-            incumbent_prunes: telemetry.incumbent_prunes,
-        });
-        Ok((result, telemetry))
+        let ranked = best
+            .ranked
+            .into_iter()
+            .map(|incumbent| RouteResult {
+                path: incumbent.path,
+                probability: incumbent.probability,
+                distribution: incumbent.distribution,
+                evaluated_candidates: telemetry.evaluated_candidates,
+                expansions: telemetry.expansions,
+                incumbent_prunes: telemetry.incumbent_prunes,
+            })
+            .collect();
+        Ok((ranked, telemetry))
     }
 }
 
@@ -360,7 +443,7 @@ fn admit(
     heap: &mut BinaryHeap<Open>,
     seq: &mut u64,
     telemetry: &mut SearchTelemetry,
-    best: &Option<Incumbent>,
+    best: &IncumbentList,
     lower_bound: &[f64],
     budget_s: f64,
     node: Node,
@@ -375,8 +458,8 @@ fn admit(
     // exceed P(partial ≤ budget − lb). Strictly-worse bounds are pruned;
     // equal bounds survive so exact ties reach the deterministic tie-break.
     let bound = node.estimate.histogram().prob_leq(budget_s - lb);
-    if let Some(incumbent) = best {
-        if bound < incumbent.probability {
+    if let Some(prune_at) = best.prune_probability() {
+        if bound < prune_at {
             telemetry.incumbent_prunes += 1;
             return;
         }
@@ -603,6 +686,48 @@ mod tests {
         assert_eq!(first.probability, second.probability);
         assert_eq!(first.expansions, second.expansions);
         assert_eq!(first.incumbent_prunes, second.incumbent_prunes);
+    }
+
+    #[test]
+    fn top_k_is_ordered_deduplicated_and_consistent_with_the_best() {
+        let f = fixture();
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let router = BestFirstRouter::new(&graph, RouterConfig::default()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let source = VertexId(0);
+        let destination = VertexId(18);
+        let departure = Timestamp::from_day_hms(0, 8, 0, 0);
+        let ff = pathcost_roadnet::search::free_flow_time_s(
+            &f.net,
+            &fastest_path(&f.net, source, destination).unwrap(),
+        );
+        let budget = ff * 2.5;
+
+        let (ranked, _) = router
+            .route_top_k(&od, source, destination, departure, budget, 3)
+            .unwrap();
+        assert!((1..=3).contains(&ranked.len()), "got {}", ranked.len());
+        // Ordered best-first and free of duplicate paths.
+        for w in ranked.windows(2) {
+            assert!(w[0].probability >= w[1].probability);
+            assert_ne!(w[0].path, w[1].path, "alternatives must be distinct");
+        }
+        // The top alternative is exactly the single-result answer.
+        let single = router
+            .route(&od, source, destination, departure, budget)
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(ranked[0].path, single.path);
+        assert_eq!(ranked[0].probability, single.probability);
+        // k = 0 is rejected; a huge k just returns what exists.
+        assert!(router
+            .route_top_k(&od, source, destination, departure, budget, 0)
+            .is_err());
+        let (all, telemetry) = router
+            .route_top_k(&od, source, destination, departure, budget, 1_000)
+            .unwrap();
+        assert!(all.len() <= telemetry.evaluated_candidates);
+        assert_eq!(all[0].path, single.path);
     }
 
     #[test]

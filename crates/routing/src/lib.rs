@@ -3,7 +3,7 @@
 //! Routing on top of the hybrid-graph cost estimators (§4.3 of Dai et al.,
 //! PVLDB 2016): a deterministic shortest-path substrate, probability-threshold
 //! comparisons of cost distributions, and a probabilistic path query in the
-//! style of Hua & Pei [10] that explores candidate paths with the
+//! style of Hua & Pei \[10\] that explores candidate paths with the
 //! "path + another edge" pattern and can be parameterised with any
 //! [`pathcost_core::CostEstimator`] (OD, LB, HP, …). Replacing the legacy
 //! estimator with OD accelerates the search and improves the quality of the

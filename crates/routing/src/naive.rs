@@ -1,4 +1,4 @@
-//! The original DFS-based probabilistic path query (Hua & Pei [10], §4.3),
+//! The original DFS-based probabilistic path query (Hua & Pei \[10\], §4.3),
 //! retained as the measured reference for the arena-based best-first search
 //! in [`crate::bestfirst`] — the same role `pathcost_hist::naive` plays for
 //! the histogram kernels. `tests/routing_equivalence.rs` property-tests that

@@ -26,7 +26,7 @@
 //! the warm phase additionally exploits *cross-path* overlap: the unique jobs
 //! of each α-interval are sorted so shared path prefixes become adjacent and
 //! walked like a trie, keeping one
-//! [`IncrementalEstimate`](pathcost_core::IncrementalEstimate) per live
+//! [`IncrementalEstimate`] per live
 //! prefix. Overlapping `RankPaths`/point-query candidates then pay for each
 //! shared sub-path once per batch instead of once per path, at the
 //! accuracy trade-off documented on the config flag (incremental
@@ -105,6 +105,7 @@ impl QueryEngine<'_> {
                     destination,
                     departure,
                     budget_s,
+                    k: _,
                 } => {
                     // Seed only searches that can use it: requests with an
                     // invalid budget fail validation in the answer phase, and
@@ -227,10 +228,19 @@ impl QueryEngine<'_> {
         paths.sort_unstable_by(|a, b| a.edges().cmp(b.edges()));
         let departure = self.canonical_departure(interval);
         let graph = self.graph();
+        let partition = self.partition();
+        // Same in-flight-fill guard as `estimate_cached_on`: entries built
+        // from this snapshot are not retained if an update publishes while
+        // the group is being warmed (their dependency edges may already have
+        // been drained).
+        let epoch_at_start = self.epoch.load(Ordering::SeqCst);
         let mut scratch = ConvolveScratch::new();
-        // stack[k] estimates the prefix covered[..=k]; both stay in lockstep.
+        // stack[k] estimates the prefix covered[..=k]; covered and the unit
+        // reads (the (edge, interval) each convolution consumed — the entry's
+        // invalidation dependencies) stay in lockstep with it.
         let mut stack: Vec<IncrementalEstimate> = Vec::new();
         let mut covered: Vec<EdgeId> = Vec::new();
+        let mut unit_reads: Vec<(EdgeId, IntervalId)> = Vec::new();
         let (mut warmed, mut reuses, mut edges_reused) = (0u64, 0u64, 0u64);
         for path in &paths {
             // Respect existing entries: a previous batch or point query may
@@ -248,18 +258,24 @@ impl QueryEngine<'_> {
                 .count();
             stack.truncate(shared);
             covered.truncate(shared);
+            unit_reads.truncate(shared);
             let built = (|| -> Result<(), CoreError> {
                 if stack.is_empty() {
-                    stack.push(IncrementalEstimate::start(graph, edges[0], departure)?);
+                    stack.push(IncrementalEstimate::start(&graph, edges[0], departure)?);
                     covered.push(edges[0]);
+                    unit_reads.push((edges[0], interval));
                 }
                 for &edge in &edges[stack.len()..] {
-                    let next = stack
-                        .last()
-                        .expect("stack seeded above")
-                        .extend_with_scratch(graph, edge, &mut scratch)?;
+                    let prev = stack.last().expect("stack seeded above");
+                    // Mirror PartialEstimate::extend's unit lookup: the unit
+                    // distribution is read at the mid-arrival-window interval.
+                    let (lo, hi) = prev.partial().arrival_window();
+                    let read_at =
+                        partition.interval_of(pathcost_traj::TimeOfDay::wrap(0.5 * (lo + hi)));
+                    let next = prev.extend_with_scratch(&graph, edge, &mut scratch)?;
                     stack.push(next);
                     covered.push(edge);
+                    unit_reads.push((edge, read_at));
                 }
                 Ok(())
             })();
@@ -271,6 +287,17 @@ impl QueryEngine<'_> {
                         edges_reused += shared as u64;
                     }
                     let estimate = stack.last().expect("non-empty path built");
+                    // Register the trajectory-derived unit reads so a live
+                    // update of any of them evicts this entry (speed-limit
+                    // fallbacks never change; newly added units are handled
+                    // by the containment sweep).
+                    let weights = graph.weights();
+                    let dependencies: Vec<(Path, IntervalId)> = unit_reads
+                        .iter()
+                        .filter(|&&(edge, iv)| weights.unit_is_trajectory_derived(edge, iv))
+                        .map(|&(edge, iv)| (Path::unit(edge), iv))
+                        .collect();
+                    self.deps.record(&dependencies, path, interval);
                     self.cache().insert(
                         path,
                         interval,
@@ -283,6 +310,9 @@ impl QueryEngine<'_> {
                             decomposition_depth: path.cardinality(),
                         },
                     );
+                    if self.epoch.load(Ordering::SeqCst) != epoch_at_start {
+                        self.cache().remove(path, interval);
+                    }
                 }
                 Err(_) => {
                     let _ = self.estimate_cached(path, departure, warm_counters);

@@ -131,13 +131,15 @@ impl Shard {
         Some(self.slab[at].value.clone())
     }
 
+    /// Inserts or refreshes an entry; returns `true` when a capacity (LRU)
+    /// eviction was needed to make room.
     fn insert(
         &mut self,
         fingerprint: u64,
         interval: IntervalId,
         path: &Path,
         value: CachedDistribution,
-    ) {
+    ) -> bool {
         if let Some(slots) = self.index.get(&fingerprint) {
             if let Some(&at) = slots
                 .iter()
@@ -146,10 +148,11 @@ impl Shard {
                 self.slab[at].value = value;
                 self.unlink(at);
                 self.push_front(at);
-                return;
+                return false;
             }
         }
-        if self.len >= self.capacity {
+        let evicted = self.len >= self.capacity;
+        if evicted {
             self.evict_tail();
         }
         let key = Key {
@@ -176,6 +179,7 @@ impl Shard {
         self.index.entry(fingerprint).or_default().push(at);
         self.push_front(at);
         self.len += 1;
+        evicted
     }
 
     fn evict_tail(&mut self) {
@@ -183,6 +187,11 @@ impl Shard {
         if at == NIL {
             return;
         }
+        self.remove_at(at);
+    }
+
+    /// Unlinks and frees the node at slab index `at` (which must be live).
+    fn remove_at(&mut self, at: usize) {
         self.unlink(at);
         let fingerprint = self.slab[at].key.fingerprint;
         if let Some(slots) = self.index.get_mut(&fingerprint) {
@@ -194,6 +203,40 @@ impl Shard {
         self.free.push(at);
         self.len -= 1;
     }
+
+    /// Removes the exact entry for `(path, interval)`, returning whether it
+    /// was present.
+    fn remove(&mut self, fingerprint: u64, interval: IntervalId, path: &Path) -> bool {
+        let Some(at) = self.index.get(&fingerprint).and_then(|slots| {
+            slots
+                .iter()
+                .copied()
+                .find(|&i| self.slab[i].key.matches(fingerprint, interval, path))
+        }) else {
+            return false;
+        };
+        self.remove_at(at);
+        true
+    }
+
+    /// Evicts every entry whose key matches `predicate`, returning the count.
+    fn invalidate_matching(&mut self, predicate: &dyn Fn(&Path, IntervalId) -> bool) -> u64 {
+        // Walk the recency list (only live nodes are linked) and collect
+        // victims first: removal mutates the links being walked.
+        let mut victims = Vec::new();
+        let mut cursor = self.head;
+        while cursor != NIL {
+            let node = &self.slab[cursor];
+            if predicate(&node.key.path, node.key.interval) {
+                victims.push(cursor);
+            }
+            cursor = node.next;
+        }
+        for at in &victims {
+            self.remove_at(*at);
+        }
+        victims.len() as u64
+    }
 }
 
 /// The sharded distribution cache.
@@ -202,6 +245,8 @@ pub struct DistributionCache {
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl DistributionCache {
@@ -216,6 +261,8 @@ impl DistributionCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -244,10 +291,53 @@ impl DistributionCache {
     pub fn insert(&self, path: &Path, interval: IntervalId, value: CachedDistribution) {
         let fingerprint = interval.mix_fingerprint(path.fingerprint());
         self.insertions.fetch_add(1, Ordering::Relaxed);
-        self.shard_of(fingerprint)
+        let evicted = self
+            .shard_of(fingerprint)
             .lock()
             .expect("cache shard poisoned")
             .insert(fingerprint, interval, path, value);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Targeted invalidation of one exact `(path, interval)` entry. Returns
+    /// whether an entry existed (and was evicted). Counted under
+    /// [`Self::invalidations`], not LRU [`Self::evictions`].
+    pub fn remove(&self, path: &Path, interval: IntervalId) -> bool {
+        let fingerprint = interval.mix_fingerprint(path.fingerprint());
+        let removed = self
+            .shard_of(fingerprint)
+            .lock()
+            .expect("cache shard poisoned")
+            .remove(fingerprint, interval, path);
+        if removed {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Targeted invalidation by predicate: walks every shard (each under its
+    /// own lock, so concurrent traffic on other shards proceeds) and evicts
+    /// the entries whose `(path, interval)` key matches. Returns the number
+    /// of entries evicted; counted under [`Self::invalidations`].
+    pub fn invalidate_matching(&self, predicate: impl Fn(&Path, IntervalId) -> bool) -> u64 {
+        let mut evicted = 0;
+        for shard in &self.shards {
+            evicted += shard
+                .lock()
+                .expect("cache shard poisoned")
+                .invalidate_matching(&predicate);
+        }
+        self.invalidations.fetch_add(evicted, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Evicts every entry — the full-flush baseline the targeted invalidation
+    /// path is benchmarked against. Returns the number of entries dropped;
+    /// counted under [`Self::invalidations`].
+    pub fn clear(&self) -> u64 {
+        self.invalidate_matching(|_, _| true)
     }
 
     /// Number of entries currently cached, across all shards.
@@ -276,6 +366,17 @@ impl DistributionCache {
     /// Lifetime insertion counter.
     pub fn insertions(&self) -> u64 {
         self.insertions.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime capacity-pressure (LRU) eviction counter.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime targeted-invalidation eviction counter
+    /// ([`Self::remove`] / [`Self::invalidate_matching`] / [`Self::clear`]).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
     }
 }
 
@@ -377,8 +478,50 @@ mod tests {
             cache.insert(&path(&[i]), IntervalId(0), value(i as f64 + 1.0));
         }
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 98);
         assert!(cache.get(&path(&[99]), IntervalId(0)).is_some());
         assert!(cache.get(&path(&[98]), IntervalId(0)).is_some());
         assert!(cache.get(&path(&[0]), IntervalId(0)).is_none());
+    }
+
+    #[test]
+    fn remove_evicts_exactly_one_entry_and_counts_it() {
+        let cache = DistributionCache::new(4, 8);
+        let (a, b) = (path(&[1, 2]), path(&[3, 4]));
+        cache.insert(&a, IntervalId(0), value(1.0));
+        cache.insert(&a, IntervalId(1), value(2.0));
+        cache.insert(&b, IntervalId(0), value(3.0));
+        assert!(cache.remove(&a, IntervalId(0)));
+        assert!(!cache.remove(&a, IntervalId(0)), "already gone");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.invalidations(), 1);
+        assert_eq!(cache.evictions(), 0, "targeted removals are not LRU");
+        assert!(cache.get(&a, IntervalId(0)).is_none());
+        assert!(cache.get(&a, IntervalId(1)).is_some());
+        assert!(cache.get(&b, IntervalId(0)).is_some());
+        // A removed slot is reusable without disturbing the survivors.
+        cache.insert(&a, IntervalId(0), value(9.0));
+        assert_eq!(cache.len(), 3);
+        assert!((cache.get(&a, IntervalId(0)).unwrap().histogram.mean() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalidate_matching_sweeps_per_shard_and_clear_flushes() {
+        let cache = DistributionCache::new(4, 16);
+        for i in 0..12u32 {
+            cache.insert(&path(&[i, i + 1]), IntervalId((i % 3) as u16), value(1.0));
+        }
+        let evicted = cache.invalidate_matching(|_, interval| interval == IntervalId(0));
+        assert_eq!(evicted, 4);
+        assert_eq!(cache.len(), 8);
+        for i in 0..12u32 {
+            let present = cache
+                .get(&path(&[i, i + 1]), IntervalId((i % 3) as u16))
+                .is_some();
+            assert_eq!(present, i % 3 != 0, "entry {i}");
+        }
+        assert_eq!(cache.clear(), 8);
+        assert!(cache.is_empty());
+        assert_eq!(cache.invalidations(), 12);
     }
 }

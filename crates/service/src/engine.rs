@@ -4,6 +4,7 @@ use crate::cache::{CachedDistribution, DistributionCache};
 use crate::error::ServiceError;
 use crate::request::{QueryOutcome, QueryRequest, QueryResponse, QueryStats, RankedPath};
 use crate::stats::{ServiceStats, StatsRecorder};
+use crate::update::DependencyIndex;
 use pathcost_core::interval::DayPartition;
 use pathcost_core::{CostEstimator, EstimateBreakdown, HybridGraph, IntervalId, OdEstimator};
 use pathcost_hist::Histogram1D;
@@ -11,7 +12,7 @@ use pathcost_roadnet::Path;
 use pathcost_routing::{prob_within_budget, BestFirstRouter, RouterConfig};
 use pathcost_traj::{TimeOfDay, Timestamp};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 /// Configuration of the query engine.
@@ -71,36 +72,67 @@ impl QueryCounters {
     }
 }
 
-/// A shared, immutable hybrid graph behind a typed query interface.
+/// A shared hybrid graph behind a typed query interface.
 ///
 /// The engine is `Sync`: one instance serves point lookups, batches and
 /// routing searches from any number of threads, all reading through the same
-/// sharded [`DistributionCache`].
+/// sharded [`DistributionCache`]. The graph itself is an **epoch snapshot**
+/// behind a swap-on-publish handle: [`QueryEngine::apply_update`] installs a
+/// new weight-function epoch atomically, in-flight queries keep reading the
+/// snapshot they started with, and targeted invalidation evicts exactly the
+/// cache entries the update's changed variables can affect.
 pub struct QueryEngine<'n> {
-    graph: Arc<HybridGraph<'n>>,
+    graph: RwLock<Arc<HybridGraph<'n>>>,
     partition: DayPartition,
     cache: DistributionCache,
+    pub(crate) deps: DependencyIndex,
+    pub(crate) epoch: AtomicU64,
+    /// Serializes [`Self::apply_update`]s against each other (queries are
+    /// never blocked by it).
+    update_lock: std::sync::Mutex<()>,
     pub(crate) recorder: StatsRecorder,
     config: ServiceConfig,
 }
 
 impl<'n> QueryEngine<'n> {
-    /// Wraps `graph` for serving.
+    /// Wraps `graph` for serving (epoch 0).
     pub fn new(graph: Arc<HybridGraph<'n>>, config: ServiceConfig) -> Self {
         let partition = graph.weights().partition().clone();
         let cache = DistributionCache::new(config.cache_shards, config.shard_capacity);
         QueryEngine {
-            graph,
+            graph: RwLock::new(graph),
             partition,
             cache,
+            deps: DependencyIndex::default(),
+            epoch: AtomicU64::new(0),
+            update_lock: std::sync::Mutex::new(()),
             recorder: StatsRecorder::default(),
             config,
         }
     }
 
-    /// The served hybrid graph.
-    pub fn graph(&self) -> &HybridGraph<'n> {
-        &self.graph
+    /// The lock serializing update application (see `apply_update`).
+    pub(crate) fn update_lock(&self) -> &std::sync::Mutex<()> {
+        &self.update_lock
+    }
+
+    /// A snapshot of the currently published hybrid graph (an `Arc` bump).
+    /// Holders keep a consistent epoch even while an update swaps in a new
+    /// one.
+    pub fn graph(&self) -> Arc<HybridGraph<'n>> {
+        self.graph.read().expect("graph lock poisoned").clone()
+    }
+
+    /// Installs `graph` as the published snapshot (the swap half of
+    /// [`Self::apply_update`]).
+    pub(crate) fn publish_graph(&self, graph: Arc<HybridGraph<'n>>) {
+        *self.graph.write().expect("graph lock poisoned") = graph;
+    }
+
+    /// The version of the currently published weight-function epoch:
+    /// 0 at construction, bumped by every applied update.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// The engine's configuration.
@@ -113,10 +145,26 @@ impl<'n> QueryEngine<'n> {
         &self.cache
     }
 
+    /// The dependency index backing targeted invalidation (exposed for
+    /// inspection and tests).
+    pub fn dependency_index(&self) -> &DependencyIndex {
+        &self.deps
+    }
+
     /// Point-in-time metrics snapshot.
     pub fn stats(&self) -> ServiceStats {
-        self.recorder
-            .snapshot(self.cache.hits(), self.cache.misses())
+        self.recorder.snapshot(
+            self.cache.hits(),
+            self.cache.misses(),
+            self.cache.insertions(),
+            self.cache.evictions(),
+        )
+    }
+
+    /// The day partition (α) the engine serves under; fixed for the engine's
+    /// lifetime (updates that would change it are rejected).
+    pub fn partition(&self) -> &DayPartition {
+        &self.partition
     }
 
     /// The α-interval a departure falls into.
@@ -152,20 +200,52 @@ impl<'n> QueryEngine<'n> {
         departure: Timestamp,
         counters: &QueryCounters,
     ) -> Result<CachedDistribution, ServiceError> {
+        let graph = self.graph();
+        self.estimate_cached_on(&graph, path, departure, counters)
+    }
+
+    /// As [`Self::estimate_cached`], estimating misses against the given
+    /// epoch snapshot instead of re-reading the published graph — a routing
+    /// search pins one snapshot so every candidate it estimates *fresh* is
+    /// evaluated under that epoch even while an update lands mid-search
+    /// (cache hits may still carry a concurrently published adjacent epoch;
+    /// see the `Route` arm of `execute_inner`).
+    pub(crate) fn estimate_cached_on(
+        &self,
+        graph: &HybridGraph<'n>,
+        path: &Path,
+        departure: Timestamp,
+        counters: &QueryCounters,
+    ) -> Result<CachedDistribution, ServiceError> {
         let interval = self.interval_of(departure);
         if let Some(hit) = self.cache.get(path, interval) {
             counters.record(true, 0);
             return Ok(hit);
         }
+        // Guard against a fill racing `apply_update`: if an update publishes
+        // while this estimation is in flight, its invalidation may run before
+        // the insert below lands (or drain the reader edges recorded below
+        // before they are needed), which would otherwise strand a pre-update
+        // entry no later update can find. Detecting the epoch change after
+        // the insert and evicting our own entry restores the invariant: the
+        // caller still gets its (raced, pre-update — allowed) answer, but the
+        // cache does not retain it.
+        let epoch_at_start = self.epoch.load(Ordering::SeqCst);
         let canonical = self.canonical_departure(interval);
-        let (histogram, decomposition) =
-            OdEstimator::new(&self.graph).estimate_with_decomposition(path, canonical)?;
-        let depth = decomposition.len();
+        let artifacts = OdEstimator::new(graph).estimate_with_artifacts(path, canonical)?;
+        let depth = artifacts.decomposition.len();
         let value = CachedDistribution {
-            histogram: Arc::new(histogram),
+            histogram: Arc::new(artifacts.histogram),
             decomposition_depth: depth,
         };
+        // Register which trajectory-derived variables this entry read before
+        // inserting it, so an update arriving in between cannot observe the
+        // entry without its dependencies.
+        self.deps.record(&artifacts.dependencies, path, interval);
         self.cache.insert(path, interval, value.clone());
+        if self.epoch.load(Ordering::SeqCst) != epoch_at_start {
+            self.cache.remove(path, interval);
+        }
         self.recorder.record_estimation(depth);
         counters.record(false, depth);
         Ok(value)
@@ -246,16 +326,32 @@ impl<'n> QueryEngine<'n> {
                 destination,
                 departure,
                 budget_s,
+                k,
             } => {
                 validate_budget(*budget_s)?;
-                let router = BestFirstRouter::new(&self.graph, self.config.router.clone())?;
-                let estimator = CachingEstimator::for_query(self, counters);
-                let (result, telemetry) = router.route_with_telemetry(
+                if *k == 0 {
+                    return Err(ServiceError::InvalidRequest(
+                        "Route needs k >= 1 ranked results",
+                    ));
+                }
+                // One epoch snapshot for the whole search: the router's
+                // bounds, partial estimates and every *fresh* candidate
+                // estimation read the same weight function even if an update
+                // lands mid-search. Cache hits are the remaining caveat: a
+                // concurrent update can re-fill evicted entries under the
+                // new epoch, so a racing search may compare candidates from
+                // two adjacent epochs — each individually valid, the
+                // ranking's usual raced-query semantics.
+                let graph = self.graph();
+                let router = BestFirstRouter::new(&graph, self.config.router.clone())?;
+                let estimator = CachingEstimator::for_query(self, counters, graph.clone());
+                let (mut ranked, telemetry) = router.route_top_k(
                     &estimator,
                     *source,
                     *destination,
                     *departure,
                     *budget_s,
+                    *k,
                 )?;
                 // The per-query counters are exclusive to this request here
                 // (they were created fresh in `execute`), so their hit total
@@ -265,7 +361,12 @@ impl<'n> QueryEngine<'n> {
                     counters.hits.load(Ordering::Relaxed),
                     telemetry.incumbent_prunes as u64,
                 );
-                Ok(QueryResponse::Route(result))
+                if *k == 1 {
+                    let best = (!ranked.is_empty()).then(|| ranked.swap_remove(0));
+                    Ok(QueryResponse::Route(best))
+                } else {
+                    Ok(QueryResponse::Routes(ranked))
+                }
             }
         }
     }
@@ -302,6 +403,10 @@ pub struct CachingEstimator<'e, 'n> {
     /// Per-query tallies when created inside [`QueryEngine::execute`];
     /// standalone adapters observe through [`QueryEngine::stats`] instead.
     counters: Option<&'e QueryCounters>,
+    /// The epoch snapshot misses are estimated against. Engine-created
+    /// adapters pin the snapshot of the query they serve; standalone
+    /// adapters read the currently published graph per lookup.
+    pinned: Option<Arc<HybridGraph<'n>>>,
 }
 
 impl<'e, 'n> CachingEstimator<'e, 'n> {
@@ -313,13 +418,19 @@ impl<'e, 'n> CachingEstimator<'e, 'n> {
         CachingEstimator {
             engine,
             counters: None,
+            pinned: None,
         }
     }
 
-    pub(crate) fn for_query(engine: &'e QueryEngine<'n>, counters: &'e QueryCounters) -> Self {
+    pub(crate) fn for_query(
+        engine: &'e QueryEngine<'n>,
+        counters: &'e QueryCounters,
+        graph: Arc<HybridGraph<'n>>,
+    ) -> Self {
         CachingEstimator {
             engine,
             counters: Some(counters),
+            pinned: Some(graph),
         }
     }
 }
@@ -362,12 +473,17 @@ impl CachingEstimator<'_, '_> {
         departure: Timestamp,
     ) -> Result<CachedDistribution, pathcost_core::CoreError> {
         let throwaway = QueryCounters::default();
-        self.engine
-            .estimate_cached(path, departure, self.counters.unwrap_or(&throwaway))
-            .map_err(|e| match e {
-                ServiceError::Core(core) => core,
-                // Non-core failures cannot escape `estimate_cached`.
-                _ => pathcost_core::CoreError::NoDistribution,
-            })
+        let counters = self.counters.unwrap_or(&throwaway);
+        match &self.pinned {
+            Some(graph) => self
+                .engine
+                .estimate_cached_on(graph, path, departure, counters),
+            None => self.engine.estimate_cached(path, departure, counters),
+        }
+        .map_err(|e| match e {
+            ServiceError::Core(core) => core,
+            // Non-core failures cannot escape `estimate_cached`.
+            _ => pathcost_core::CoreError::NoDistribution,
+        })
     }
 }

@@ -32,6 +32,13 @@
 //!   [`BestFirstRouter`](pathcost_routing::BestFirstRouter) searches reuse
 //!   candidate-path distributions across route queries without copying
 //!   them.
+//! * **Live updates** — [`QueryEngine::apply_update`] consumes a
+//!   [`WeightUpdate`](pathcost_core::WeightUpdate) (produced by the
+//!   `pathcost-live` ingestor), publishes the new weight-function epoch
+//!   swap-on-publish (in-flight queries keep their snapshot) and evicts
+//!   exactly the cache entries whose recorded estimation reads an updated
+//!   variable invalidates — see the [`update`] module for the dependency
+//!   index and the correctness contract.
 //! * **Observability** — every response carries per-query [`QueryStats`]
 //!   (cache hits/misses, deepest decomposition, latency) and the engine
 //!   aggregates a [`ServiceStats`] snapshot (per-kind query counts, cache
@@ -87,9 +94,11 @@ pub mod engine;
 pub mod error;
 pub mod request;
 pub mod stats;
+pub mod update;
 
 pub use cache::{CachedDistribution, DistributionCache};
 pub use engine::{CachingEstimator, QueryEngine, ServiceConfig};
 pub use error::ServiceError;
 pub use request::{QueryOutcome, QueryRequest, QueryResponse, QueryStats, RankedPath};
 pub use stats::{QueryKind, ServiceStats};
+pub use update::{DependencyIndex, UpdateReport};

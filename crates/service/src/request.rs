@@ -50,6 +50,11 @@ pub enum QueryRequest {
         departure: Timestamp,
         /// Travel-time budget in seconds.
         budget_s: f64,
+        /// Number of ranked route alternatives to return (must be ≥ 1).
+        /// `k == 1` answers with [`QueryResponse::Route`]; `k > 1` answers
+        /// with [`QueryResponse::Routes`] — the top-`k` incumbents of the
+        /// best-first arena, ordered best-first and deduplicated by path.
+        k: usize,
     },
 }
 
@@ -86,9 +91,13 @@ pub enum QueryResponse {
     /// probability. Candidates whose distribution could not be estimated
     /// (e.g. an edge with no weight) are omitted.
     Ranking(Vec<RankedPath>),
-    /// Answer to [`QueryRequest::Route`]; `None` when no path can meet the
-    /// budget within the search limits.
+    /// Answer to [`QueryRequest::Route`] with `k == 1`; `None` when no path
+    /// can meet the budget within the search limits.
     Route(Option<RouteResult>),
+    /// Answer to [`QueryRequest::Route`] with `k > 1`: up to `k` distinct
+    /// paths ordered best-first (probability, then lower expected cost, then
+    /// fewer edges). Empty when no path can meet the budget.
+    Routes(Vec<RouteResult>),
 }
 
 impl QueryResponse {
@@ -116,10 +125,19 @@ impl QueryResponse {
         }
     }
 
-    /// The route, when this is a `Route` response.
+    /// The best route, when this is a `Route` or `Routes` response.
     pub fn route(&self) -> Option<&RouteResult> {
         match self {
             QueryResponse::Route(r) => r.as_ref(),
+            QueryResponse::Routes(r) => r.first(),
+            _ => None,
+        }
+    }
+
+    /// The ranked route alternatives, when this is a `Routes` response.
+    pub fn routes(&self) -> Option<&[RouteResult]> {
+        match self {
+            QueryResponse::Routes(r) => Some(r),
             _ => None,
         }
     }

@@ -51,6 +51,12 @@ pub(crate) struct StatsRecorder {
     route_candidates_evaluated: AtomicU64,
     route_eval_cache_hits: AtomicU64,
     route_incumbent_prunes: AtomicU64,
+    ingest_updates: AtomicU64,
+    ingest_trajectories: AtomicU64,
+    ingest_variables_updated: AtomicU64,
+    ingest_variables_added: AtomicU64,
+    invalidation_tracked_evictions: AtomicU64,
+    invalidation_swept_evictions: AtomicU64,
 }
 
 impl StatsRecorder {
@@ -92,9 +98,37 @@ impl StatsRecorder {
             .fetch_add(incumbent_prunes, Ordering::Relaxed);
     }
 
-    /// Snapshots the recorder; cache hit/miss totals are owned by the
-    /// [`DistributionCache`](crate::cache::DistributionCache) and passed in.
-    pub fn snapshot(&self, cache_hits: u64, cache_misses: u64) -> ServiceStats {
+    pub fn record_ingest(
+        &self,
+        trajectories: u64,
+        variables_updated: u64,
+        variables_added: u64,
+        tracked_evictions: u64,
+        swept_evictions: u64,
+    ) {
+        self.ingest_updates.fetch_add(1, Ordering::Relaxed);
+        self.ingest_trajectories
+            .fetch_add(trajectories, Ordering::Relaxed);
+        self.ingest_variables_updated
+            .fetch_add(variables_updated, Ordering::Relaxed);
+        self.ingest_variables_added
+            .fetch_add(variables_added, Ordering::Relaxed);
+        self.invalidation_tracked_evictions
+            .fetch_add(tracked_evictions, Ordering::Relaxed);
+        self.invalidation_swept_evictions
+            .fetch_add(swept_evictions, Ordering::Relaxed);
+    }
+
+    /// Snapshots the recorder; cache hit/miss/insertion/eviction totals are
+    /// owned by the [`DistributionCache`](crate::cache::DistributionCache)
+    /// and passed in.
+    pub fn snapshot(
+        &self,
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_insertions: u64,
+        cache_evictions: u64,
+    ) -> ServiceStats {
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         ServiceStats {
             estimate_queries: load(&self.queries[QueryKind::Estimate.index()]),
@@ -116,6 +150,14 @@ impl StatsRecorder {
             route_candidates_evaluated: load(&self.route_candidates_evaluated),
             route_eval_cache_hits: load(&self.route_eval_cache_hits),
             route_incumbent_prunes: load(&self.route_incumbent_prunes),
+            cache_insertions,
+            cache_evictions,
+            ingest_updates: load(&self.ingest_updates),
+            ingest_trajectories: load(&self.ingest_trajectories),
+            ingest_variables_updated: load(&self.ingest_variables_updated),
+            ingest_variables_added: load(&self.ingest_variables_added),
+            invalidation_tracked_evictions: load(&self.invalidation_tracked_evictions),
+            invalidation_swept_evictions: load(&self.invalidation_swept_evictions),
         }
     }
 }
@@ -170,6 +212,27 @@ pub struct ServiceStats {
     /// Partial paths dropped by the best-first router's incumbent bound
     /// across all `Route` searches.
     pub route_incumbent_prunes: u64,
+    /// Distribution-cache insertions (estimations plus warm-phase fills).
+    pub cache_insertions: u64,
+    /// Distribution-cache entries dropped under capacity pressure (LRU).
+    pub cache_evictions: u64,
+    /// Live-ingest updates applied through
+    /// [`QueryEngine::apply_update`](crate::QueryEngine::apply_update).
+    pub ingest_updates: u64,
+    /// Trajectories appended across all applied updates.
+    pub ingest_trajectories: u64,
+    /// Weight-function variables whose histograms were re-derived (their
+    /// qualified occurrence sets grew) across all applied updates.
+    pub ingest_variables_updated: u64,
+    /// Weight-function variables newly instantiated (crossed β) across all
+    /// applied updates.
+    pub ingest_variables_added: u64,
+    /// Cache entries surgically evicted because the dependency index recorded
+    /// them as readers of an updated variable.
+    pub invalidation_tracked_evictions: u64,
+    /// Cache entries evicted by the sub-path containment sweep for newly
+    /// added variables (which change candidate selection, not just values).
+    pub invalidation_swept_evictions: u64,
 }
 
 impl ServiceStats {
@@ -185,6 +248,30 @@ impl ServiceStats {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Alias for [`Self::cache_hit_rate`], matching the `*_rate` accessor
+    /// family.
+    pub fn hit_rate(&self) -> f64 {
+        self.cache_hit_rate()
+    }
+
+    /// Total cache entries evicted by live-update invalidation (dependency-
+    /// tracked plus containment-swept).
+    pub fn invalidation_evictions(&self) -> u64 {
+        self.invalidation_tracked_evictions + self.invalidation_swept_evictions
+    }
+
+    /// Fraction of inserted entries that were later evicted — capacity (LRU)
+    /// and targeted invalidation combined — in `[0, 1]`; 0 before any
+    /// insertion.
+    pub fn eviction_rate(&self) -> f64 {
+        if self.cache_insertions == 0 {
+            0.0
+        } else {
+            (self.cache_evictions + self.invalidation_evictions()) as f64
+                / self.cache_insertions as f64
         }
     }
 
@@ -220,7 +307,8 @@ mod tests {
         rec.record_batch(10, 6);
         rec.record_prefix_warm(4, 3, 7);
         rec.record_route(5, 2, 9);
-        let s = rec.snapshot(3, 1);
+        rec.record_ingest(25, 4, 2, 11, 3);
+        let s = rec.snapshot(3, 1, 20, 5);
         assert_eq!(s.estimate_queries, 1);
         assert_eq!(s.route_queries, 1);
         assert_eq!(s.total_queries(), 2);
@@ -236,14 +324,28 @@ mod tests {
         assert_eq!(s.route_candidates_evaluated, 5);
         assert_eq!(s.route_eval_cache_hits, 2);
         assert_eq!(s.route_incumbent_prunes, 9);
+        assert_eq!(s.ingest_updates, 1);
+        assert_eq!(s.ingest_trajectories, 25);
+        assert_eq!(s.ingest_variables_updated, 4);
+        assert_eq!(s.ingest_variables_added, 2);
+        assert_eq!(s.invalidation_tracked_evictions, 11);
+        assert_eq!(s.invalidation_swept_evictions, 3);
+        assert_eq!(s.invalidation_evictions(), 14);
+        assert_eq!(s.cache_insertions, 20);
+        assert_eq!(s.cache_evictions, 5);
+        assert!((s.hit_rate() - s.cache_hit_rate()).abs() < 1e-15);
+        // (5 LRU + 14 invalidated) / 20 insertions
+        assert!((s.eviction_rate() - 0.95).abs() < 1e-12);
     }
 
     #[test]
     fn empty_snapshot_divides_safely() {
-        let s = StatsRecorder::default().snapshot(0, 0);
+        let s = StatsRecorder::default().snapshot(0, 0, 0, 0);
         assert_eq!(s.cache_hit_rate(), 0.0);
         assert_eq!(s.mean_decomposition_depth(), 0.0);
         assert_eq!(s.mean_latency(), Duration::ZERO);
         assert_eq!(s.total_queries(), 0);
+        assert_eq!(s.eviction_rate(), 0.0);
+        assert_eq!(s.invalidation_evictions(), 0);
     }
 }

@@ -1,0 +1,351 @@
+//! Live weight-function updates with dependency-tracked cache invalidation.
+//!
+//! An ingest of new trajectories (produced by `pathcost-live`) re-derives a
+//! small set of weight-function variables and publishes a new epoch. The
+//! serving side's job is to keep answering queries as if the engine had been
+//! rebuilt from the merged store with a cold cache — **without** rebuilding
+//! anything or flushing the cache. Two mechanisms make that exact:
+//!
+//! * **Dependency index** — every cache fill records the trajectory-derived
+//!   variable keys its estimation *read* (the shift-and-enlarge unit probes
+//!   plus the decomposition's instantiated components, reported by
+//!   [`pathcost_core::EstimateArtifacts`]). When an update re-derives an
+//!   existing variable, exactly the recorded readers are evicted: an entry
+//!   that never read the variable is bit-identical under the new epoch and
+//!   survives.
+//! * **Containment sweep** — a variable that is newly *added* (its key
+//!   crossed β for the first time) changes candidate **selection** for any
+//!   query path that contains its path, whether or not that path's previous
+//!   estimate read it. Those entries cannot be found through recorded reads,
+//!   so the cache is swept per shard and every entry whose path contains an
+//!   added variable's path (any interval — temporal relevance depends on the
+//!   entry's shift-and-enlarge windows, which the sweep conservatively does
+//!   not model) is evicted.
+//!
+//! Together the two rules evict a superset of the entries whose answers can
+//! change and a (typically small) subset of the whole cache — the
+//! "bit-identical to full rebuild + flush" oracle is property-tested in
+//! `tests/live_equivalence.rs`, and `benches/live_ingest.rs` measures the
+//! precision and the warm-query latency advantage over a full flush.
+//!
+//! Consistency under concurrency: the new epoch is swapped in *before*
+//! invalidation, and updates serialize against each other (monotonic
+//! epochs). Queries racing an update may still read a pre-update cache entry
+//! (a pre-update answer, exactly as if they had arrived earlier). A miss
+//! whose estimation is in flight while the update lands is epoch-guarded:
+//! the filler detects the epoch bump after its insert and evicts its own
+//! entry, so a raced fill can hand its caller a pre-update answer but never
+//! *retains* one the invalidation pass already missed. Sequential callers
+//! (ingest, then query) always observe post-update answers.
+
+use crate::engine::QueryEngine;
+use crate::error::ServiceError;
+use pathcost_core::{HybridGraph, IntervalId, WeightUpdate};
+use pathcost_roadnet::Path;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+/// The recorded readers of one variable: the entry list plus a fingerprint
+/// set for O(1) deduplication (popular unit variables accumulate hundreds of
+/// readers; a linear dedup scan per registration would creep toward O(n²)).
+#[derive(Default)]
+struct Readers {
+    seen: std::collections::HashSet<u64>,
+    entries: Vec<(Path, IntervalId)>,
+}
+
+/// Reverse index from weight-function variable keys to the cache entries
+/// whose estimations read them.
+///
+/// Keys are the interval-mixed path fingerprints of variable `(path,
+/// interval)` pairs; a fingerprint collision merges two variables' reader
+/// sets, which can only over-evict (sound, never stale). Dependents of
+/// entries that have since been LRU-evicted linger until their variable next
+/// updates; draining them is then a no-op `remove`.
+///
+/// Mirrors the cache's concurrency model: the key space is split across
+/// mutex-protected shards selected by the high bits of the variable
+/// fingerprint, so the batch executor's concurrent cache fills only contend
+/// when they read the same variables.
+pub struct DependencyIndex {
+    shards: Vec<Mutex<HashMap<u64, Readers>>>,
+}
+
+impl Default for DependencyIndex {
+    fn default() -> Self {
+        DependencyIndex {
+            shards: (0..16).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+}
+
+impl DependencyIndex {
+    fn shard_of(&self, variable_fingerprint: u64) -> &Mutex<HashMap<u64, Readers>> {
+        let i = (variable_fingerprint >> 48) as usize % self.shards.len();
+        &self.shards[i]
+    }
+
+    /// Records that the cache entry `(entry_path, entry_interval)` was
+    /// estimated by reading each variable in `dependencies`.
+    pub(crate) fn record(
+        &self,
+        dependencies: &[(Path, IntervalId)],
+        entry_path: &Path,
+        entry_interval: IntervalId,
+    ) {
+        if dependencies.is_empty() {
+            return;
+        }
+        let entry_fingerprint = entry_interval.mix_fingerprint(entry_path.fingerprint());
+        for (var_path, var_interval) in dependencies {
+            let key = var_interval.mix_fingerprint(var_path.fingerprint());
+            let mut shard = self
+                .shard_of(key)
+                .lock()
+                .expect("dependency index poisoned");
+            let readers = shard.entry(key).or_default();
+            if readers.seen.insert(entry_fingerprint) {
+                readers.entries.push((entry_path.clone(), entry_interval));
+            }
+        }
+    }
+
+    /// Removes the reader sets of the given variable keys and returns their
+    /// union, deduplicated — the entries an update of those variables must
+    /// evict.
+    pub(crate) fn drain_dependents(
+        &self,
+        variables: &[(Path, IntervalId)],
+    ) -> Vec<(Path, IntervalId)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for (var_path, var_interval) in variables {
+            let key = var_interval.mix_fingerprint(var_path.fingerprint());
+            let drained = self
+                .shard_of(key)
+                .lock()
+                .expect("dependency index poisoned")
+                .remove(&key);
+            for (path, interval) in drained.map(|r| r.entries).unwrap_or_default() {
+                if seen.insert(interval.mix_fingerprint(path.fingerprint())) {
+                    out.push((path, interval));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of variable keys with at least one recorded reader.
+    pub fn tracked_variables(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("dependency index poisoned").len())
+            .sum()
+    }
+
+    /// Total recorded (variable → entry) reader edges.
+    pub fn tracked_readers(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("dependency index poisoned")
+                    .values()
+                    .map(|r| r.entries.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// What one applied update did to the engine — the per-update view of the
+/// cumulative `ingest_*` / `invalidation_*` counters in
+/// [`ServiceStats`](crate::ServiceStats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// The epoch now published.
+    pub epoch: u64,
+    /// Variables whose histograms were re-derived.
+    pub variables_updated: usize,
+    /// Variables newly instantiated.
+    pub variables_added: usize,
+    /// Entries evicted through the dependency index (readers of updated
+    /// variables).
+    pub evicted_tracked: u64,
+    /// Entries evicted by the containment sweep (paths containing an added
+    /// variable).
+    pub evicted_swept: u64,
+    /// Cache entries immediately before the update.
+    pub cache_entries_before: usize,
+    /// Cache entries surviving the update.
+    pub cache_entries_after: usize,
+}
+
+impl UpdateReport {
+    /// Total entries evicted by this update.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted_tracked + self.evicted_swept
+    }
+
+    /// Fraction of the pre-update cache this update evicted, in `[0, 1]`.
+    /// A full flush scores 1.0; targeted invalidation's whole point is to
+    /// keep this near the fraction of variables that actually changed.
+    pub fn evicted_fraction(&self) -> f64 {
+        if self.cache_entries_before == 0 {
+            0.0
+        } else {
+            self.evicted_total() as f64 / self.cache_entries_before as f64
+        }
+    }
+}
+
+impl<'n> QueryEngine<'n> {
+    /// Applies a live weight-function update: publishes the new epoch
+    /// (swap-on-publish — in-flight queries keep their snapshot) and
+    /// surgically evicts exactly the cache entries the changed variables can
+    /// affect, instead of flushing.
+    ///
+    /// After this returns, sequential queries are answered bit-identically to
+    /// an engine rebuilt from the merged trajectory store with a cold cache
+    /// (the live subsystem's correctness oracle): surviving entries read only
+    /// unchanged variables, evicted ones are re-estimated against the new
+    /// epoch on their next miss.
+    ///
+    /// Updates are serialized: concurrent `apply_update` calls take the
+    /// engine's update lock in turn, and an ingestor-stamped epoch that is
+    /// not newer than the published one is rejected (delivering epochs out
+    /// of order would otherwise publish stale weights under a newer version
+    /// number).
+    ///
+    /// The update must keep the day partition (α) the engine was built with;
+    /// a re-partitioned weight function would silently re-key every interval
+    /// and is rejected.
+    pub fn apply_update(&self, update: WeightUpdate) -> Result<UpdateReport, ServiceError> {
+        if update.weights.partition() != self.partition() {
+            return Err(ServiceError::InvalidRequest(
+                "update must keep the day partition (α) the engine was built with",
+            ));
+        }
+        let WeightUpdate {
+            epoch,
+            trajectories,
+            dirty_keys: _,
+            weights,
+            updated,
+            added,
+        } = update;
+
+        // One update at a time: publish, epoch bump and invalidation form a
+        // single critical section against other updaters (queries are not
+        // blocked — they read the graph through its own lock).
+        let _serialized = self.update_lock().lock().expect("update lock poisoned");
+        // Hand-built updates (epoch 0, e.g. straight from `rederive`) get the
+        // next engine-local version; the live ingestor stamps its own, which
+        // must advance monotonically.
+        let published = if epoch == 0 { self.epoch() + 1 } else { epoch };
+        if published <= self.epoch() {
+            return Err(ServiceError::InvalidRequest(
+                "update epoch is not newer than the published epoch",
+            ));
+        }
+
+        let cache_entries_before = self.cache().len();
+        let current = self.graph();
+        if weights.cost_kind() != current.weights().cost_kind() {
+            return Err(ServiceError::InvalidRequest(
+                "update must keep the cost kind the engine was built with",
+            ));
+        }
+        let new_graph =
+            HybridGraph::from_parts(current.network(), weights, current.config().clone());
+        self.publish_graph(Arc::new(new_graph));
+        // SeqCst pairs with the in-flight-fill guard in `estimate_cached_on`:
+        // a fill that started before this store and lands after the drain
+        // below observes the bump and evicts its own entry.
+        self.epoch.store(published, Ordering::SeqCst);
+
+        // Updated variables: evict exactly the recorded readers.
+        let mut evicted_tracked = 0u64;
+        for (path, interval) in self.deps.drain_dependents(&updated) {
+            if self.cache().remove(&path, interval) {
+                evicted_tracked += 1;
+            }
+        }
+        // Added variables: sweep by sub-path containment (selection change).
+        let evicted_swept = if added.is_empty() {
+            0
+        } else {
+            self.cache()
+                .invalidate_matching(|path, _| added.iter().any(|(sub, _)| sub.is_subpath_of(path)))
+        };
+
+        self.recorder.record_ingest(
+            trajectories as u64,
+            updated.len() as u64,
+            added.len() as u64,
+            evicted_tracked,
+            evicted_swept,
+        );
+        Ok(UpdateReport {
+            epoch: published,
+            variables_updated: updated.len(),
+            variables_added: added.len(),
+            evicted_tracked,
+            evicted_swept,
+            cache_entries_before,
+            cache_entries_after: self.cache().len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcost_roadnet::EdgeId;
+
+    fn path(ids: &[u32]) -> Path {
+        Path::from_edges_unchecked(ids.iter().map(|&i| EdgeId(i)).collect())
+    }
+
+    #[test]
+    fn dependency_index_records_dedups_and_drains() {
+        let index = DependencyIndex::default();
+        let unit = (path(&[1]), IntervalId(4));
+        let pair = (path(&[1, 2]), IntervalId(4));
+        let entry = path(&[1, 2, 3]);
+        index.record(&[unit.clone(), pair.clone()], &entry, IntervalId(4));
+        index.record(std::slice::from_ref(&unit), &entry, IntervalId(4)); // duplicate
+        index.record(std::slice::from_ref(&unit), &entry, IntervalId(5)); // other interval
+        assert_eq!(index.tracked_variables(), 2);
+        assert_eq!(index.tracked_readers(), 3);
+
+        let dependents = index.drain_dependents(std::slice::from_ref(&unit));
+        assert_eq!(dependents.len(), 2, "{dependents:?}");
+        assert!(dependents.iter().all(|(p, _)| *p == entry));
+        // Drained keys are gone; the pair variable's reader remains.
+        assert_eq!(index.tracked_variables(), 1);
+        assert!(index.drain_dependents(&[unit]).is_empty());
+        assert_eq!(index.drain_dependents(&[pair]).len(), 1);
+    }
+
+    #[test]
+    fn update_report_precision_divides_safely() {
+        let report = UpdateReport {
+            epoch: 1,
+            variables_updated: 2,
+            variables_added: 1,
+            evicted_tracked: 3,
+            evicted_swept: 1,
+            cache_entries_before: 16,
+            cache_entries_after: 12,
+        };
+        assert_eq!(report.evicted_total(), 4);
+        assert!((report.evicted_fraction() - 0.25).abs() < 1e-12);
+        let empty = UpdateReport {
+            cache_entries_before: 0,
+            ..report
+        };
+        assert_eq!(empty.evicted_fraction(), 0.0);
+    }
+}

@@ -1,8 +1,9 @@
 //! Integration tests of the query-serving subsystem: cache semantics across
-//! departure intervals, batch-vs-sequential equivalence, and concurrent read
-//! correctness.
+//! departure intervals, batch-vs-sequential equivalence, concurrent read
+//! correctness, live-update invalidation and k-best routing.
 
-use pathcost_core::{CostEstimator, HybridConfig, HybridGraph, OdEstimator};
+use pathcost_core::{CostEstimator, HybridConfig, HybridGraph, OdEstimator, PathWeightFunction};
+use pathcost_live::LiveIngestor;
 use pathcost_roadnet::{Path, RoadNetwork, VertexId};
 use pathcost_service::{QueryEngine, QueryRequest, QueryResponse, ServiceConfig};
 use pathcost_traj::{DatasetPreset, Timestamp, TrajectoryStore};
@@ -377,6 +378,7 @@ fn routing_reads_through_the_cache_across_queries() {
         destination: VertexId(18),
         departure,
         budget_s: 3_600.0,
+        k: 1,
     };
 
     let first = engine.execute(&request).unwrap();
@@ -445,6 +447,7 @@ fn route_counters_track_search_and_cache_reuse() {
         destination: VertexId(18),
         departure,
         budget_s: 3_600.0,
+        k: 1,
     };
 
     let first = engine.execute(&request).unwrap();
@@ -479,6 +482,7 @@ fn batch_warm_phase_seeds_route_searches_with_the_fastest_path() {
         destination: VertexId(18),
         departure,
         budget_s: 3_600.0,
+        k: 1,
     };
 
     // Two identical Route requests in one batch: both contribute their
@@ -531,6 +535,7 @@ fn route_seed_stays_full_od_quality_under_prefix_sharing() {
         destination: VertexId(18),
         departure,
         budget_s: 3_600.0,
+        k: 1,
     });
 
     let results = engine.execute_batch(&requests);
@@ -577,8 +582,176 @@ fn invalid_requests_are_rejected_without_panicking() {
             destination: VertexId(0),
             departure,
             budget_s: 100.0,
+            k: 1,
         })
         .is_err());
     let stats = engine.stats();
     assert_eq!(stats.errors, 3);
+}
+
+#[test]
+fn route_top_k_returns_ordered_distinct_alternatives() {
+    let f = fixture(311);
+    let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let departure = Timestamp::from_day_hms(0, 8, 0, 0);
+    let request = |k| QueryRequest::Route {
+        source: VertexId(0),
+        destination: VertexId(18),
+        departure,
+        budget_s: 3_600.0,
+        k,
+    };
+
+    let outcome = engine.execute(&request(3)).unwrap();
+    let alternatives = outcome
+        .response
+        .routes()
+        .expect("k > 1 answers with Routes");
+    assert!((1..=3).contains(&alternatives.len()));
+    for w in alternatives.windows(2) {
+        assert!(w[0].probability >= w[1].probability);
+        assert_ne!(w[0].path, w[1].path, "alternatives must be distinct");
+    }
+    // The best alternative is the single-result answer (and `route()` reads
+    // the best of either response shape).
+    let single = engine.execute(&request(1)).unwrap();
+    let best = single.response.route().expect("feasible");
+    assert_eq!(outcome.response.route().unwrap().path, best.path);
+    assert_eq!(alternatives[0].probability, best.probability);
+    // k = 0 is an invalid request.
+    assert!(engine.execute(&request(0)).is_err());
+}
+
+/// Shared setup for the live-update tests: the network, the full trajectory
+/// store (callers split it into base + ingest parts) and the hybrid config.
+fn live_fixture(
+    seed: u64,
+) -> (
+    RoadNetwork,
+    TrajectoryStore, // the full store (base + rest)
+    HybridConfig,
+) {
+    let f = fixture(seed);
+    (f.net, f.store, f.cfg)
+}
+
+#[test]
+fn apply_update_evicts_a_strict_subset_and_serves_rebuild_identical_answers() {
+    // A small (5%) ingest: most of the weight function stays untouched, so
+    // targeted invalidation has survivors to preserve.
+    let (net, full, cfg) = live_fixture(312);
+    let split = full.len() * 95 / 100;
+    let base = TrajectoryStore::new(full.matched()[..split].to_vec());
+    let rest = full.matched()[split..].to_vec();
+    assert!(!rest.is_empty());
+
+    let weights = PathWeightFunction::instantiate(&net, &base, &cfg).unwrap();
+    let graph = HybridGraph::from_parts(&net, weights.clone(), cfg.clone());
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let mut ingestor = LiveIngestor::from_instantiated(&net, base, weights, cfg.clone()).unwrap();
+
+    // Warm the cache: entries anchored at instantiated variables' own
+    // (path, interval) pairs — their estimates consume those variables, so
+    // they are exactly the entries an update of them must evict — plus
+    // dead-hour entries (fallback-backed, likely untouched survivors).
+    let mut requests: Vec<QueryRequest> = Vec::new();
+    for var in engine.graph().weights().variables().iter().take(16) {
+        requests.push(QueryRequest::EstimateDistribution {
+            path: var.path.clone(),
+            departure: engine.canonical_departure(var.interval),
+        });
+        requests.push(QueryRequest::EstimateDistribution {
+            path: var.path.clone(),
+            departure: Timestamp::from_day_hms(0, 3, 0, 0),
+        });
+    }
+    for r in &requests {
+        engine.execute(r).unwrap();
+    }
+    let warmed = engine.cache().len();
+    assert!(warmed >= 4, "need a warm cache to invalidate");
+    assert!(engine.dependency_index().tracked_variables() > 0);
+
+    // Ingest the held-out 5% and apply the update.
+    let update = ingestor.ingest(rest).unwrap();
+    assert!(update.changed() > 0, "a 5% append must change variables");
+    let report = engine.apply_update(update).unwrap();
+    assert_eq!(report.epoch, 1);
+    assert_eq!(engine.epoch(), 1);
+    assert_eq!(report.cache_entries_before, warmed);
+    assert!(
+        report.evicted_total() > 0,
+        "busy-hour entries must depend on updated variables: {report:?}"
+    );
+    assert!(
+        (report.evicted_total() as usize) < warmed,
+        "targeted invalidation must evict a strict subset: {report:?}"
+    );
+    assert_eq!(
+        report.cache_entries_after,
+        warmed - report.evicted_total() as usize
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.ingest_updates, 1);
+    assert_eq!(stats.invalidation_evictions(), report.evicted_total());
+    assert_eq!(
+        stats.ingest_variables_updated as usize + stats.ingest_variables_added as usize,
+        report.variables_updated + report.variables_added
+    );
+
+    // Correctness oracle: every post-update answer — from a surviving entry
+    // or a fresh estimate — is bit-identical to a rebuilt engine with a cold
+    // cache.
+    let oracle_weights = PathWeightFunction::instantiate(&net, ingestor.store(), &cfg).unwrap();
+    let oracle_graph = HybridGraph::from_parts(&net, oracle_weights, cfg);
+    let oracle = QueryEngine::new(Arc::new(oracle_graph), ServiceConfig::default());
+    for r in &requests {
+        let live = engine.execute(r).unwrap();
+        let reference = oracle.execute(r).unwrap();
+        assert_eq!(
+            live.response.distribution().unwrap(),
+            reference.response.distribution().unwrap(),
+            "post-update answer diverges from full rebuild for {r:?}"
+        );
+    }
+}
+
+#[test]
+fn apply_update_rejects_a_changed_partition() {
+    let (net, store, cfg) = live_fixture(313);
+    let graph = HybridGraph::build(&net, &store, cfg.clone()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let recut = HybridConfig {
+        alpha_minutes: cfg.alpha_minutes * 2,
+        ..cfg
+    };
+    let repartitioned = PathWeightFunction::instantiate(&net, &store, &recut).unwrap();
+    let update = repartitioned
+        .rederive(&net, &store, &recut, &std::collections::BTreeSet::new())
+        .unwrap();
+    assert!(engine.apply_update(update).is_err());
+}
+
+#[test]
+fn apply_update_rejects_out_of_order_epochs() {
+    let (net, full, cfg) = live_fixture(314);
+    let split = full.len() * 9 / 10;
+    let base = TrajectoryStore::new(full.matched()[..split].to_vec());
+    let rest = full.matched()[split..].to_vec();
+    let mid = rest.len() / 2;
+
+    let weights = PathWeightFunction::instantiate(&net, &base, &cfg).unwrap();
+    let graph = HybridGraph::from_parts(&net, weights.clone(), cfg.clone());
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let mut ingestor = LiveIngestor::from_instantiated(&net, base, weights, cfg).unwrap();
+
+    let first = ingestor.ingest(rest[..mid].to_vec()).unwrap();
+    let second = ingestor.ingest(rest[mid..].to_vec()).unwrap();
+    // Deliver the newer epoch first; the stale one must be rejected and the
+    // published epoch must stay at the newer version.
+    engine.apply_update(second).unwrap();
+    assert_eq!(engine.epoch(), 2);
+    assert!(engine.apply_update(first).is_err(), "stale epoch accepted");
+    assert_eq!(engine.epoch(), 2);
 }

@@ -1,7 +1,7 @@
 //! HMM map matching.
 //!
 //! The paper map-matches its GPS collections with the hidden-Markov-model
-//! approach of Newson & Krumm [16]. This module implements that family of
+//! approach of Newson & Krumm \[16\]. This module implements that family of
 //! matcher: for each GPS record a set of candidate edges is collected by
 //! proximity; emission probabilities decay with the snapping distance;
 //! transition probabilities prefer staying on the same edge or moving to a

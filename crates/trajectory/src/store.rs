@@ -79,8 +79,19 @@ impl TrajectoryStore {
 
     /// A store containing only the first `fraction` (0–1] of the trajectories,
     /// used by the dataset-size experiments (Figures 10, 12, 17).
+    ///
+    /// The fraction is sanitised rather than trusted: non-finite values (NaN,
+    /// ±∞) and values below 0 keep nothing, values above 1 keep everything —
+    /// a corrupted split ratio can never index out of bounds or silently
+    /// produce a store larger than its source.
     pub fn subset(&self, fraction: f64) -> TrajectoryStore {
-        let fraction = fraction.clamp(0.0, 1.0);
+        let fraction = if fraction.is_finite() {
+            fraction.clamp(0.0, 1.0)
+        } else if fraction == f64::INFINITY {
+            1.0
+        } else {
+            0.0 // NaN or -∞: nothing qualifies
+        };
         let keep = ((self.matched.len() as f64) * fraction).round() as usize;
         TrajectoryStore::new(self.matched[..keep.min(self.matched.len())].to_vec())
     }
@@ -211,11 +222,30 @@ impl TrajectoryStore {
         out
     }
 
-    /// Merges another store's trajectories into this one.
+    /// Appends trajectories to the store, extending the edge index in place —
+    /// the delta path of the live-ingestion subsystem. The resulting store is
+    /// indistinguishable from `TrajectoryStore::new` over the concatenated
+    /// trajectory list: existing indices keep their values, new trajectories
+    /// take the next indices, and every per-edge posting list stays in
+    /// ascending `(trajectory, position)` order.
+    pub fn append(&mut self, matched: Vec<MatchedTrajectory>) {
+        let base = self.matched.len();
+        for (i, m) in matched.iter().enumerate() {
+            for (pos, &e) in m.path.edges().iter().enumerate() {
+                self.edge_index
+                    .entry(e)
+                    .or_default()
+                    .push(((base + i) as u32, pos as u32));
+            }
+        }
+        self.matched.extend(matched);
+    }
+
+    /// Merges another store's trajectories into this one. Delegates to
+    /// [`Self::append`], so the derived edge index is maintained
+    /// incrementally instead of being rebuilt from scratch.
     pub fn merge(&mut self, other: TrajectoryStore) {
-        let mut combined = std::mem::take(&mut self.matched);
-        combined.extend(other.matched);
-        *self = TrajectoryStore::new(combined);
+        self.append(other.matched);
     }
 }
 
@@ -327,6 +357,79 @@ mod tests {
         other.merge(store.subset(0.25));
         assert_eq!(other.len(), before * 2);
         assert!(store.subset(0.0).is_empty());
+    }
+
+    #[test]
+    fn subset_sanitises_out_of_range_and_non_finite_fractions() {
+        let (_, store) = store_and_net();
+        assert!(store.subset(f64::NAN).is_empty());
+        assert!(store.subset(f64::NEG_INFINITY).is_empty());
+        assert!(store.subset(-0.5).is_empty());
+        assert_eq!(store.subset(f64::INFINITY).len(), store.len());
+        assert_eq!(store.subset(2.0).len(), store.len());
+        assert_eq!(store.subset(1.0).len(), store.len());
+    }
+
+    #[test]
+    fn append_matches_a_full_rebuild() {
+        let (_, store) = store_and_net();
+        let split = store.len() / 2;
+        let mut incremental = TrajectoryStore::new(store.matched()[..split].to_vec());
+        incremental.append(store.matched()[split..].to_vec());
+        assert_eq!(incremental.len(), store.len());
+        // Derived indices must agree with the from-scratch build: every
+        // occurrence query answers identically.
+        for m in store.matched().iter().take(10) {
+            assert_eq!(
+                incremental.occurrences_on(&m.path),
+                store.occurrences_on(&m.path)
+            );
+            if m.path.cardinality() >= 2 {
+                let sub = m.path.slice(0, 2).unwrap();
+                assert_eq!(incremental.occurrences_on(&sub), store.occurrences_on(&sub));
+            }
+        }
+        assert_eq!(incremental.covered_edges(), store.covered_edges());
+    }
+
+    #[test]
+    fn merge_empty_and_duplicate_heavy_inputs_keep_indices_consistent() {
+        let (_, store) = store_and_net();
+        // Merging an empty store is a no-op.
+        let mut merged = store.clone();
+        merged.merge(TrajectoryStore::new(Vec::new()));
+        assert_eq!(merged.len(), store.len());
+        let m0 = store.get(0).unwrap().clone();
+        assert_eq!(
+            merged.occurrences_on(&m0.path),
+            store.occurrences_on(&m0.path)
+        );
+        // Merging into an empty store reproduces the source.
+        let mut from_empty = TrajectoryStore::new(Vec::new());
+        assert!(from_empty.is_empty());
+        from_empty.merge(store.clone());
+        assert_eq!(from_empty.len(), store.len());
+        // Duplicate-heavy: merging a store into itself doubles every
+        // occurrence count and keeps the index in sync with a rebuild.
+        let mut doubled = store.clone();
+        doubled.merge(store.clone());
+        assert_eq!(doubled.len(), store.len() * 2);
+        let rebuilt = TrajectoryStore::new(
+            store
+                .matched()
+                .iter()
+                .chain(store.matched())
+                .cloned()
+                .collect(),
+        );
+        assert_eq!(
+            doubled.occurrences_on(&m0.path),
+            rebuilt.occurrences_on(&m0.path)
+        );
+        assert_eq!(
+            doubled.occurrences_on(&m0.path).len(),
+            store.occurrences_on(&m0.path).len() * 2
+        );
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Ingest-while-serving: live trajectory updates against a serving engine.
+//!
+//! Builds the hybrid graph from 85% of a simulated dataset and serves a warm
+//! query workload from one thread while the main thread ingests the
+//! remaining trajectories in batches through `pathcost-live`. Each ingest
+//! publishes a new weight-function epoch into the engine
+//! (`QueryEngine::apply_update`), which surgically evicts only the cache
+//! entries that depended on the changed variables — the serving thread never
+//! stops, never observes a torn epoch, and keeps its untouched warm entries.
+//!
+//! Unlike the other (fully seeded) examples, the *counters* printed here —
+//! evictions per epoch, dependency-index size, queries served — depend on
+//! how the serving thread interleaves with the three ingests, so they vary
+//! run to run. The assertions only use scheduling-independent facts: three
+//! epochs applied, at least the pre-thread warm set's dependents evicted,
+//! zero query errors. Answer *correctness* across epochs is pinned
+//! elsewhere (`tests/live_equivalence.rs`).
+//!
+//! Run with: `cargo run --release --example live_updates`
+
+use pathcost::core::{HybridConfig, HybridGraph, PathWeightFunction};
+use pathcost::live::LiveIngestor;
+use pathcost::service::{QueryEngine, QueryRequest, ServiceConfig};
+use pathcost::traj::{DatasetPreset, MatchedTrajectory, Timestamp, TrajectoryStore};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let preset = DatasetPreset::tiny(2026);
+    println!("materialising preset '{}' …", preset.name);
+    let (net, full) = preset.materialise().expect("preset materialises");
+    let cfg = HybridConfig {
+        beta: 10,
+        ..HybridConfig::default()
+    };
+    let split = full.len() * 85 / 100;
+    let base = TrajectoryStore::new(full.matched()[..split].to_vec());
+    let fresh: Vec<MatchedTrajectory> = full.matched()[split..].to_vec();
+    println!(
+        "serving from {} trajectories; {} arriving live",
+        base.len(),
+        fresh.len()
+    );
+
+    let weights = PathWeightFunction::instantiate(&net, &base, &cfg).expect("instantiates");
+    let engine = QueryEngine::new(
+        Arc::new(HybridGraph::from_parts(&net, weights.clone(), cfg.clone())),
+        ServiceConfig::default(),
+    );
+    let mut ingestor =
+        LiveIngestor::from_instantiated(&net, base, weights, cfg).expect("config matches");
+
+    // The serving workload: every instantiated variable's own anchor (these
+    // entries consume the variables the ingest will touch) plus a dead-hour
+    // probe per path (fallback-backed survivors).
+    let mut requests: Vec<QueryRequest> = Vec::new();
+    for var in engine.graph().weights().variables().iter().take(24) {
+        requests.push(QueryRequest::EstimateDistribution {
+            path: var.path.clone(),
+            departure: engine.canonical_departure(var.interval),
+        });
+        requests.push(QueryRequest::EstimateDistribution {
+            path: var.path.clone(),
+            departure: Timestamp::from_day_hms(0, 3, 30, 0),
+        });
+    }
+    for request in &requests {
+        engine.execute(request).expect("warm-up query succeeds");
+    }
+    println!("cache warmed: {} entries", engine.cache().len());
+
+    let stop = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        // Serving thread: loops the warm workload until ingestion finishes.
+        let serving = scope.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                for request in &requests {
+                    engine.execute(request).expect("serving query succeeds");
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+
+        // Main thread: ingest the fresh trajectories in three batches.
+        let chunk = fresh.len().div_ceil(3).max(1);
+        for batch in fresh.chunks(chunk) {
+            let ingest_start = Instant::now();
+            let update = ingestor.ingest(batch.to_vec()).expect("ingest succeeds");
+            let changed = update.changed();
+            let dirty = update.dirty_keys;
+            let report = engine.apply_update(update).expect("update applies");
+            println!(
+                "epoch {}: +{} trajectories, {} dirty keys → {} updated / {} added variables; \
+                 evicted {}/{} cache entries ({} tracked, {} swept) in {:.2?}",
+                report.epoch,
+                batch.len(),
+                dirty,
+                report.variables_updated,
+                report.variables_added,
+                report.evicted_total(),
+                report.cache_entries_before,
+                report.evicted_tracked,
+                report.evicted_swept,
+                ingest_start.elapsed(),
+            );
+            assert!(changed >= report.variables_updated + report.variables_added);
+        }
+        stop.store(true, Ordering::Relaxed);
+        serving.join().expect("serving thread joins");
+    });
+
+    let stats = engine.stats();
+    println!(
+        "\nserved {} queries in {:.2?} while ingesting (epoch now {})",
+        served.load(Ordering::Relaxed),
+        start.elapsed(),
+        engine.epoch()
+    );
+    println!(
+        "  cache: hit rate {:.1}%, eviction rate {:.1}%, {} entries live",
+        stats.hit_rate() * 100.0,
+        stats.eviction_rate() * 100.0,
+        engine.cache().len()
+    );
+    println!(
+        "  ingest: {} updates, {} trajectories, {} variables updated, {} added",
+        stats.ingest_updates,
+        stats.ingest_trajectories,
+        stats.ingest_variables_updated,
+        stats.ingest_variables_added
+    );
+    println!(
+        "  invalidation: {} tracked evictions, {} containment-swept ({} total)",
+        stats.invalidation_tracked_evictions,
+        stats.invalidation_swept_evictions,
+        stats.invalidation_evictions()
+    );
+    println!(
+        "  dependency index: {} variables tracked, {} reader edges",
+        engine.dependency_index().tracked_variables(),
+        engine.dependency_index().tracked_readers()
+    );
+
+    assert_eq!(stats.ingest_updates, 3, "three batches were applied");
+    assert!(
+        stats.invalidation_evictions() > 0,
+        "updates touching served variables must evict their entries"
+    );
+    assert!(stats.errors == 0, "no query may fail across epochs");
+    println!(
+        "\n✓ served continuously across {} live epochs with targeted invalidation",
+        engine.epoch()
+    );
+}

@@ -83,8 +83,17 @@ fn main() {
             destination,
             departure: Timestamp::from_day_hms(0, 8, 15, 0),
             budget_s: route_budget,
+            k: 1,
         });
     }
+    // Route alternatives: the top-3 incumbents of the same search arena.
+    requests.push(QueryRequest::Route {
+        source,
+        destination,
+        departure: Timestamp::from_day_hms(0, 8, 15, 0),
+        budget_s: route_budget,
+        k: 3,
+    });
 
     println!("\nexecuting a batch of {} mixed queries …", requests.len());
     let batch_start = Instant::now();
@@ -117,6 +126,12 @@ fn main() {
                         route.incumbent_prunes
                     ),
                     QueryResponse::Route(None) => "route: infeasible within budget".to_string(),
+                    QueryResponse::Routes(routes) => format!(
+                        "routes: {} alternatives, best P={:.3} over {} edges",
+                        routes.len(),
+                        routes.first().map(|r| r.probability).unwrap_or(0.0),
+                        routes.first().map(|r| r.path.cardinality()).unwrap_or(0)
+                    ),
                 };
                 println!(
                     "  {:<22} {:>3} hit / {:>3} miss  {:>9.2?}  {summary}",
@@ -141,11 +156,12 @@ fn main() {
         stats.errors
     );
     println!(
-        "  cache: {} hits / {} misses (hit rate {:.1}%), {} entries",
+        "  cache: {} hits / {} misses (hit rate {:.1}%), {} entries, eviction rate {:.1}%",
         stats.cache_hits,
         stats.cache_misses,
-        stats.cache_hit_rate() * 100.0,
-        engine.cache().len()
+        stats.hit_rate() * 100.0,
+        engine.cache().len(),
+        stats.eviction_rate() * 100.0
     );
     println!(
         "  estimations: {} (mean decomposition depth {:.2})",

@@ -15,17 +15,24 @@
 //! * [`routing`] — deterministic and stochastic routing on top of the
 //!   estimators,
 //! * [`service`] — the concurrent query-serving layer: a typed request/
-//!   response interface over a shared hybrid graph, a sharded LRU
-//!   distribution cache keyed by `(path, departure interval)`, a batch
+//!   response interface over a shared hybrid graph (published as swappable
+//!   epoch snapshots), a sharded LRU distribution cache keyed by
+//!   `(path, departure interval)` with targeted invalidation, a batch
 //!   executor that deduplicates shared estimation work across a scoped
-//!   worker pool, and per-query/service-level metrics.
+//!   worker pool, and per-query/service-level metrics,
+//! * [`live`] — online trajectory ingestion: delta-indexed store appends,
+//!   dirty-key tracking, selective re-derivation of exactly the changed
+//!   weight-function variables, and versioned epoch publishing feeding the
+//!   service layer's dependency-indexed cache invalidation.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through of the
-//! estimator stack and `examples/serve_queries.rs` for serving a mixed query
-//! workload.
+//! estimator stack, `examples/serve_queries.rs` for serving a mixed query
+//! workload, and `examples/live_updates.rs` for ingesting new trajectories
+//! while serving.
 
 pub use pathcost_core as core;
 pub use pathcost_hist as hist;
+pub use pathcost_live as live;
 pub use pathcost_roadnet as roadnet;
 pub use pathcost_routing as routing;
 pub use pathcost_service as service;
