@@ -37,6 +37,12 @@ struct Workload {
     merged: TrajectoryStore,
     base_weights: PathWeightFunction,
     dirty: BTreeSet<VariableKey>,
+    /// The merged store after its oldest ~2% aged out (the TTL retirement
+    /// workload), the weight function instantiated over `merged` (the
+    /// pre-retirement epoch), and the removed windows' dirty keys.
+    truncated: TrajectoryStore,
+    merged_weights: PathWeightFunction,
+    dirty_retire: BTreeSet<VariableKey>,
 }
 
 fn workload() -> Workload {
@@ -58,6 +64,17 @@ fn workload() -> Workload {
         PathWeightFunction::instantiate(&dataset.net, &base, &cfg).expect("instantiates");
     let partition = DayPartition::new(cfg.alpha_minutes).expect("valid α");
     let dirty = dirty_keys(&batch, &partition, cfg.max_rank);
+    // Retirement mirror of the ingest shape: the oldest ~2% of the merged
+    // store hits its TTL as one retirement epoch.
+    let cutoff = merged
+        .start_time_at_percentile(2)
+        .expect("merged store is non-empty");
+    let mut truncated = merged.clone();
+    let removed = truncated.retire_before(cutoff);
+    assert!(!removed.is_empty(), "the TTL cut must retire something");
+    let merged_weights =
+        PathWeightFunction::instantiate(&dataset.net, &merged, &cfg).expect("instantiates");
+    let dirty_retire = dirty_keys(&removed, &partition, cfg.max_rank);
     Workload {
         net: dataset.net,
         cfg,
@@ -66,6 +83,9 @@ fn workload() -> Workload {
         merged,
         base_weights,
         dirty,
+        truncated,
+        merged_weights,
+        dirty_retire,
     }
 }
 
@@ -112,7 +132,10 @@ fn recovery_rep(w: &Workload, update: WeightUpdate, flush: bool) -> (u64, usize,
     let warmed = engine.cache().len();
     let (evicted, before) = if flush {
         let report = engine.apply_update(update).expect("update applies");
-        let flushed = engine.cache().clear();
+        // `flush_cache` (not `cache().clear()`): the baseline must drop the
+        // dependency index's edges along with the entries, like targeted
+        // invalidation does, or the flushed engine would leak reader edges.
+        let flushed = engine.flush_cache();
         (
             report.evicted_total() + flushed,
             report.cache_entries_before,
@@ -151,6 +174,46 @@ fn bench_live_ingest(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("rebuild_full", "merged"), &w, |b, w| {
         b.iter(|| PathWeightFunction::instantiate(&w.net, &w.merged, &w.cfg).expect("instantiates"))
     });
+
+    // Retirement (PR 5): re-deriving only the retired windows' keys — with
+    // downward transitions deleting below-β variables — against rebuilding
+    // the whole weight function over the truncated store.
+    let retire_update = w
+        .merged_weights
+        .rederive(&w.net, &w.truncated, &w.cfg, &w.dirty_retire)
+        .expect("rederive succeeds");
+    let truncated_full =
+        PathWeightFunction::instantiate(&w.net, &w.truncated, &w.cfg).expect("instantiates");
+    assert_eq!(
+        retire_update.weights.variables(),
+        truncated_full.variables(),
+        "retirement rederive must be bit-identical to the truncated rebuild"
+    );
+    assert_eq!(retire_update.weights.stats(), truncated_full.stats());
+    println!(
+        "retirement: {} trajectories aged out, {} dirty keys → {} updated / {} added / {} removed variables",
+        w.merged.len() - w.truncated.len(),
+        w.dirty_retire.len(),
+        retire_update.updated.len(),
+        retire_update.added.len(),
+        retire_update.removed.len()
+    );
+    group.bench_with_input(BenchmarkId::new("retire_targeted", "2pct"), &w, |b, w| {
+        b.iter(|| {
+            w.merged_weights
+                .rederive(&w.net, &w.truncated, &w.cfg, &w.dirty_retire)
+                .expect("rederive succeeds")
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("rebuild_truncated", "post-ttl"),
+        &w,
+        |b, w| {
+            b.iter(|| {
+                PathWeightFunction::instantiate(&w.net, &w.truncated, &w.cfg).expect("instantiates")
+            })
+        },
+    );
     group.finish();
 
     // Recovery: eviction precision and post-update warm-query latency,

@@ -27,12 +27,14 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
-/// The variable keys whose qualified occurrence sets a batch of *appended*
-/// trajectories changes: each `(edges[start..start + k], interval)` window
-/// for `k = 1..=max_rank` — the exact mirror of instantiation's pass-1
+/// The variable keys whose qualified occurrence sets a batch of *appended or
+/// removed* trajectories changes: each `(edges[start..start + k], interval)`
+/// window for `k = 1..=max_rank` — the exact mirror of instantiation's pass-1
 /// enumeration below, kept next to it so the two cannot drift. Everything
-/// outside this set is provably untouched by the append, which is what makes
-/// [`PathWeightFunction::rederive`] exact.
+/// outside this set is provably untouched by the append (or retirement),
+/// which is what makes [`PathWeightFunction::rederive`] exact: a trajectory
+/// only ever contributes occurrences to its own windows, whether it is
+/// arriving or aging out.
 pub fn dirty_keys(
     batch: &[MatchedTrajectory],
     partition: &DayPartition,
@@ -126,6 +128,9 @@ pub struct WeightUpdate {
     /// Number of trajectories the producing ingest appended (stamped by the
     /// live ingestor; `rederive` itself leaves it 0).
     pub trajectories: usize,
+    /// Number of trajectories the producing retirement removed (stamped by
+    /// the live ingestor; `rederive` itself leaves it 0).
+    pub trajectories_retired: usize,
     /// Number of dirty keys that were examined.
     pub dirty_keys: usize,
     /// The re-derived weight function — bit-identical to a full
@@ -141,12 +146,20 @@ pub struct WeightUpdate {
     /// path containing them, so invalidation must treat these by sub-path
     /// containment rather than by recorded reads.
     pub added: Vec<(Path, IntervalId)>,
+    /// Keys of previously instantiated variables whose support dropped below
+    /// the β threshold (trajectories aged out) and were *deleted* from the
+    /// weight function. Like [`Self::added`], a deletion changes candidate
+    /// selection for any query path containing the key's path, so
+    /// invalidation must flush recorded readers *and* sweep by sub-path
+    /// containment.
+    pub removed: Vec<(Path, IntervalId)>,
 }
 
 impl WeightUpdate {
-    /// Total number of variable keys whose histogram changed in this epoch.
+    /// Total number of variable keys whose histogram changed in this epoch
+    /// (re-derived, newly instantiated or deleted).
     pub fn changed(&self) -> usize {
-        self.updated.len() + self.added.len()
+        self.updated.len() + self.added.len() + self.removed.len()
     }
 }
 
@@ -291,17 +304,80 @@ impl PathWeightFunction {
         fallback_units: HashMap<EdgeId, Histogram1D>,
         store: &TrajectoryStore,
     ) -> PathWeightFunction {
-        let mut variables = Vec::with_capacity(by_key.len());
-        let mut index = HashMap::with_capacity(by_key.len());
+        let variables: Vec<InstantiatedVariable> = by_key.into_values().collect();
+        Self::finish(partition, cost_kind, variables, fallback_units, store)
+    }
+
+    /// Patches a sorted delta into this function's already-sorted variable
+    /// list by a single splice/merge pass — the incremental counterpart of
+    /// [`Self::assemble`], which [`Self::rederive`] uses so a small epoch
+    /// does not pay an `O(|variables| log |variables|)` sorted re-index.
+    /// `Some(var)` entries replace (or insert) their key, `None` entries
+    /// delete it. The merged order is exactly the sorted-key order a full
+    /// re-assembly would produce — bit-identity is asserted by the weight
+    /// tests and the live-equivalence oracle.
+    fn assemble_patched(
+        &self,
+        delta: BTreeMap<VariableKey, Option<InstantiatedVariable>>,
+        store: &TrajectoryStore,
+    ) -> PathWeightFunction {
+        let mut variables: Vec<InstantiatedVariable> =
+            Vec::with_capacity(self.variables.len() + delta.len());
+        let mut patches = delta.into_iter().peekable();
+        for var in &self.variables {
+            let mut replaced = false;
+            while let Some((key, _)) = patches.peek() {
+                // BTreeMap orders (Vec<EdgeId>, IntervalId) keys exactly like
+                // this slice comparison, so the merge preserves sorted order.
+                let ord = (key.0.as_slice(), key.1).cmp(&(var.path.edges(), var.interval));
+                if ord == std::cmp::Ordering::Greater {
+                    break;
+                }
+                let (_, patch) = patches.next().expect("peeked");
+                if let Some(new_var) = patch {
+                    variables.push(new_var);
+                }
+                if ord == std::cmp::Ordering::Equal {
+                    replaced = true;
+                    break;
+                }
+            }
+            if !replaced {
+                variables.push(var.clone());
+            }
+        }
+        for (_, patch) in patches {
+            if let Some(new_var) = patch {
+                variables.push(new_var);
+            }
+        }
+        Self::finish(
+            self.partition.clone(),
+            self.cost_kind,
+            variables,
+            self.fallback_units.clone(),
+            store,
+        )
+    }
+
+    /// The tail shared by [`Self::assemble`] and [`Self::assemble_patched`]:
+    /// `variables` must already be in sorted key order; the lookup and
+    /// first-edge indices and the summary statistics are derived from it.
+    fn finish(
+        partition: DayPartition,
+        cost_kind: CostKind,
+        variables: Vec<InstantiatedVariable>,
+        fallback_units: HashMap<EdgeId, Histogram1D>,
+        store: &TrajectoryStore,
+    ) -> PathWeightFunction {
+        let mut index = HashMap::with_capacity(variables.len());
         let mut by_first_edge: HashMap<EdgeId, Vec<usize>> = HashMap::new();
-        for (key, var) in by_key {
-            let idx = variables.len();
+        for (idx, var) in variables.iter().enumerate() {
             by_first_edge
                 .entry(var.path.first_edge())
                 .or_default()
                 .push(idx);
-            index.insert(key, idx);
-            variables.push(var);
+            index.insert((var.path.edges().to_vec(), var.interval), idx);
         }
 
         let mut count_by_rank: BTreeMap<usize, usize> = BTreeMap::new();
@@ -342,35 +418,40 @@ impl PathWeightFunction {
     }
 
     /// Selective re-instantiation: re-derives exactly the variables named by
-    /// `dirty` against the merged (post-ingest) trajectory store and returns
-    /// a new weight-function epoch.
+    /// `dirty` against the current trajectory store and returns a new
+    /// weight-function epoch.
     ///
-    /// `merged` must be the original store with the ingested trajectories
-    /// *appended* (never removed or reordered), and `cfg` must be the
-    /// configuration the function was originally instantiated with — the day
-    /// partition (α) and cost kind are checked, because a changed partition
-    /// would silently re-key every interval. Under those conditions the
-    /// result is **bit-identical** to
-    /// [`PathWeightFunction::instantiate`] over `merged`:
+    /// `current` is the store after the producing mutation — trajectories
+    /// appended, retired (TTL expiry), or both — and `dirty` must name every
+    /// key whose qualified occurrence set the mutation changed (the windows
+    /// of appended plus removed trajectories, see [`dirty_keys`]). `cfg` must
+    /// be the configuration the function was originally instantiated with —
+    /// the day partition (α) and cost kind are checked, because a changed
+    /// partition would silently re-key every interval. Under those conditions
+    /// the result is **bit-identical** to [`PathWeightFunction::instantiate`]
+    /// over `current`:
     ///
-    /// * a dirty key's qualified rows in the merged store are its old rows
-    ///   followed by the new ones, in the same order the full rebuild's
-    ///   collection pass visits them, so re-fitting reproduces the rebuild's
+    /// * a dirty key's qualified rows in the current store are exactly the
+    ///   rows the full rebuild's collection pass would visit, in the same
+    ///   (trajectory, position) order, so re-fitting reproduces the rebuild's
     ///   histogram exactly;
     /// * a non-dirty key's qualified occurrence set is untouched by the
-    ///   append, so its existing histogram already equals what the rebuild
+    ///   mutation, so its existing histogram already equals what the rebuild
     ///   would fit;
     /// * variable order, lookup indices and statistics are reassembled in
-    ///   sorted key order, the same order instantiation uses.
+    ///   sorted key order — spliced incrementally through the internal
+    ///   `assemble_patched` merge pass, which is asserted bit-identical to
+    ///   the full sorted re-index.
     ///
-    /// Keys below β stay uninstantiated (appends can only grow occurrence
-    /// counts, so variables are updated or added, never removed). Holdout
-    /// exclusions are an evaluation-protocol feature and are not supported
-    /// here.
+    /// Count transitions go both ways: a key crossing β upward is *added*, a
+    /// previously instantiated key whose support drops below β (its
+    /// trajectories aged out) is **deleted** and reported in
+    /// [`WeightUpdate::removed`]. Holdout exclusions are an
+    /// evaluation-protocol feature and are not supported here.
     pub fn rederive(
         &self,
         net: &RoadNetwork,
-        merged: &TrajectoryStore,
+        current: &TrajectoryStore,
         cfg: &HybridConfig,
         dirty: &BTreeSet<VariableKey>,
     ) -> Result<WeightUpdate, CoreError> {
@@ -382,63 +463,63 @@ impl PathWeightFunction {
             ));
         }
 
-        let mut by_key: BTreeMap<VariableKey, InstantiatedVariable> = self
-            .variables
-            .iter()
-            .map(|v| ((v.path.edges().to_vec(), v.interval), v.clone()))
-            .collect();
+        let mut delta: BTreeMap<VariableKey, Option<InstantiatedVariable>> = BTreeMap::new();
         let mut updated = Vec::new();
         let mut added = Vec::new();
+        let mut removed = Vec::new();
         for key in dirty {
             let path = Path::from_edges_unchecked(key.0.clone());
-            // The key's qualified occurrences in the merged store, in the
+            let existing = self.index.contains_key(key);
+            // The key's qualified occurrences in the current store, in the
             // same (trajectory, position) order the full rebuild collects
             // rows in.
-            let occurrences: Vec<_> = merged
+            let occurrences: Vec<_> = current
                 .occurrences_on(&path)
                 .into_iter()
                 .filter(|o| partition.interval_of(o.entry_time.time_of_day()) == key.1)
                 .collect();
-            if occurrences.len() < cfg.beta {
-                continue;
-            }
-            let mut rows = Vec::with_capacity(occurrences.len());
-            for o in &occurrences {
-                let m = merged.get(o.traj_index).expect("occurrence is in store");
-                if let Some(costs) = per_edge_costs(m, net, &path, o.offset, cfg.cost_kind) {
-                    rows.push(costs);
+            let mut rows = Vec::new();
+            if occurrences.len() >= cfg.beta {
+                rows.reserve(occurrences.len());
+                for o in &occurrences {
+                    let m = current.get(o.traj_index).expect("occurrence is in store");
+                    if let Some(costs) = per_edge_costs(m, net, &path, o.offset, cfg.cost_kind) {
+                        rows.push(costs);
+                    }
                 }
             }
-            if rows.len() < cfg.beta {
-                continue;
-            }
-            let histogram = fit_histogram(&path, &rows, cfg)?;
-            let var = InstantiatedVariable {
-                path: path.clone(),
-                interval: key.1,
-                histogram,
-                source: VariableSource::Trajectories { count: rows.len() },
-            };
-            match by_key.insert(key.clone(), var) {
-                Some(_) => updated.push((path, key.1)),
-                None => added.push((path, key.1)),
+            if rows.len() >= cfg.beta {
+                let histogram = fit_histogram(&path, &rows, cfg)?;
+                let var = InstantiatedVariable {
+                    path: path.clone(),
+                    interval: key.1,
+                    histogram,
+                    source: VariableSource::Trajectories { count: rows.len() },
+                };
+                delta.insert(key.clone(), Some(var));
+                if existing {
+                    updated.push((path, key.1));
+                } else {
+                    added.push((path, key.1));
+                }
+            } else if existing {
+                // Downward transition: the key lost its β support, so the
+                // full rebuild would not instantiate it — delete it.
+                delta.insert(key.clone(), None);
+                removed.push((path, key.1));
             }
         }
 
-        let weights = Self::assemble(
-            partition,
-            cfg.cost_kind,
-            by_key,
-            self.fallback_units.clone(),
-            merged,
-        );
+        let weights = self.assemble_patched(delta, current);
         Ok(WeightUpdate {
             epoch: 0,
             trajectories: 0,
+            trajectories_retired: 0,
             dirty_keys: dirty.len(),
             weights: Arc::new(weights),
             updated,
             added,
+            removed,
         })
     }
 
@@ -664,6 +745,96 @@ mod tests {
             assert!(wp.get(path, *interval).is_none(), "added ⇒ new");
             assert!(update.weights.get(path, *interval).is_some());
         }
+    }
+
+    /// Asserts every derived structure of `patched` — variables, summary
+    /// stats, the exact-lookup index and the first-edge index — is
+    /// bit-identical to `full` (the from-scratch sorted re-index), probing
+    /// through the public API.
+    fn assert_reindex_identical(patched: &PathWeightFunction, full: &PathWeightFunction) {
+        assert_eq!(patched.variables(), full.variables());
+        assert_eq!(patched.stats(), full.stats());
+        for (i, v) in full.variables().iter().enumerate() {
+            let found = patched.get(&v.path, v.interval).expect("indexed variable");
+            assert_eq!(found, v, "lookup index diverged at {i}");
+            assert_eq!(
+                patched.variables_starting_with(v.path.first_edge()),
+                full.variables_starting_with(v.path.first_edge()),
+                "first-edge index diverged for {:?}",
+                v.path.first_edge()
+            );
+        }
+    }
+
+    #[test]
+    fn rederive_handles_downward_transitions_bit_identically() {
+        let (net, store) = DatasetPreset::tiny(28).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        };
+        let wp = PathWeightFunction::instantiate(&net, &store, &cfg).unwrap();
+        assert!(wp.stats().total_variables() > 0);
+
+        // Retire the oldest 60% of trajectories: plenty of keys drop below β.
+        let cutoff = store.start_time_at_percentile(60).unwrap();
+        let mut truncated = store;
+        let removed_trajs = truncated.retire_before(cutoff);
+        assert!(!removed_trajs.is_empty());
+
+        let partition = DayPartition::new(cfg.alpha_minutes).unwrap();
+        let dirty = dirty_keys(&removed_trajs, &partition, cfg.max_rank);
+        let update = wp.rederive(&net, &truncated, &cfg, &dirty).unwrap();
+        let full = PathWeightFunction::instantiate(&net, &truncated, &cfg).unwrap();
+        assert_reindex_identical(&update.weights, &full);
+        assert!(
+            !update.removed.is_empty(),
+            "a 60% retirement on the tiny preset must delete some variable"
+        );
+        // Removed keys existed before, are gone now; the rebuild agrees.
+        for (path, interval) in &update.removed {
+            assert!(wp.get(path, *interval).is_some(), "removed ⇒ pre-existing");
+            assert!(update.weights.get(path, *interval).is_none());
+            assert!(full.get(path, *interval).is_none());
+        }
+        // Updated keys survive with re-fitted histograms.
+        for (path, interval) in &update.updated {
+            assert!(update.weights.get(path, *interval).is_some());
+        }
+    }
+
+    #[test]
+    fn rederive_retire_then_append_interleaving_matches_rebuild() {
+        let (net, store) = DatasetPreset::tiny(29).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        };
+        let partition = DayPartition::new(cfg.alpha_minutes).unwrap();
+        let split = store.len() * 8 / 10;
+        let mut live = TrajectoryStore::new(store.matched()[..split].to_vec());
+        let batch = store.matched()[split..].to_vec();
+        let mut wp = PathWeightFunction::instantiate(&net, &live, &cfg).unwrap();
+
+        // Epoch 1: retire the oldest quarter.
+        let cutoff = live.start_time_at_percentile(25).unwrap();
+        let removed_trajs = live.retire_before(cutoff);
+        let dirty = dirty_keys(&removed_trajs, &partition, cfg.max_rank);
+        let update = wp.rederive(&net, &live, &cfg, &dirty).unwrap();
+        assert_reindex_identical(
+            &update.weights,
+            &PathWeightFunction::instantiate(&net, &live, &cfg).unwrap(),
+        );
+        wp = (*update.weights).clone();
+
+        // Epoch 2: append the held-out batch on top of the truncated store.
+        let dirty = dirty_keys(&batch, &partition, cfg.max_rank);
+        live.append(batch);
+        let update = wp.rederive(&net, &live, &cfg, &dirty).unwrap();
+        assert_reindex_identical(
+            &update.weights,
+            &PathWeightFunction::instantiate(&net, &live, &cfg).unwrap(),
+        );
     }
 
     #[test]

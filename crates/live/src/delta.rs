@@ -1,13 +1,15 @@
-//! Dirty-key computation: which weight-function variables can an ingest
-//! batch touch?
+//! Dirty-key computation: which weight-function variables can an ingest (or
+//! retirement) batch touch?
 //!
 //! The weight function's pass 1 (`PathWeightFunction::instantiate`) counts
 //! one qualified occurrence per *window* of every trajectory: each
 //! `(edges[start..start + k], interval_of(entry_times[start]))` pair for
-//! `k = 1..=max_rank`. Appending a trajectory therefore grows the qualified
-//! occurrence set of exactly the keys its own windows name — those keys (and
-//! only those) must be re-derived, everything else is untouched by
-//! construction. This module enumerates them.
+//! `k = 1..=max_rank`. Appending a trajectory therefore grows — and
+//! retiring one shrinks — the qualified occurrence set of exactly the keys
+//! its own windows name: those keys (and only those) must be re-derived,
+//! everything else is untouched by construction. This module enumerates
+//! them; the same enumeration serves both directions, which is why
+//! `LiveIngestor::retire_*` feed the *removed* trajectories through it.
 
 /// The set of variable keys whose qualified occurrence sets a batch of newly
 /// appended trajectories changes. The implementation lives in

@@ -1,14 +1,17 @@
-//! The live ingestor: append → dirty keys → selective re-derivation →
+//! The live ingestor: append/retire → dirty keys → selective re-derivation →
 //! versioned epoch.
 
 use crate::delta::dirty_keys;
-use pathcost_core::{CoreError, DayPartition, HybridConfig, PathWeightFunction, WeightUpdate};
+use pathcost_core::{
+    CoreError, DayPartition, HybridConfig, PathWeightFunction, VariableKey, WeightUpdate,
+};
 use pathcost_roadnet::RoadNetwork;
-use pathcost_traj::{MatchedTrajectory, TrajectoryStore};
+use pathcost_traj::{MatchedTrajectory, Timestamp, TrajectoryStore};
+use std::collections::{BTreeSet, HashSet};
 use std::sync::Arc;
 
-/// Accepts batches of newly matched trajectories and maintains the current
-/// weight-function epoch over the growing store.
+/// Accepts batches of newly matched trajectories, retires stale ones, and
+/// maintains the current weight-function epoch over the evolving store.
 ///
 /// Each [`LiveIngestor::ingest`] call appends the batch to the trajectory
 /// store through the delta-indexed [`TrajectoryStore::append`], re-derives
@@ -17,6 +20,14 @@ use std::sync::Arc;
 /// [`WeightUpdate`] — the new epoch plus the exact changed-key sets a serving
 /// engine needs for targeted cache invalidation
 /// (`QueryEngine::apply_update` in `pathcost-service`).
+///
+/// Retention is the mirror image: [`LiveIngestor::retire_before`] (TTL
+/// expiry) and [`LiveIngestor::retire_ids`] remove trajectories through the
+/// in-place [`TrajectoryStore::retire_before`]/[`TrajectoryStore::retire_ids`]
+/// and publish an epoch whose dirty keys are the *removed* windows — keys
+/// whose support drops below β are deleted from the weight function and
+/// reported in [`WeightUpdate::removed`], so stale evidence stops polluting
+/// estimates instead of accumulating forever.
 ///
 /// The ingestor hands out epochs behind [`Arc`]s, so readers that grabbed a
 /// snapshot keep a consistent weight function while newer epochs are
@@ -71,16 +82,101 @@ impl<'n> LiveIngestor<'n> {
     /// Ingests a batch of newly matched trajectories and publishes the next
     /// epoch. Returns the stamped [`WeightUpdate`]; an empty batch publishes
     /// a (valid, unchanged) epoch with no changed keys.
-    pub fn ingest(&mut self, batch: Vec<MatchedTrajectory>) -> Result<WeightUpdate, CoreError> {
+    ///
+    /// Trajectories whose id is already stored — or repeated within the
+    /// batch — are dropped deterministically (first occurrence wins) *before*
+    /// dirty keys are computed, so a re-delivered batch publishes a no-op
+    /// epoch instead of double-counting occurrences or spuriously
+    /// invalidating cache entries.
+    pub fn ingest(&mut self, mut batch: Vec<MatchedTrajectory>) -> Result<WeightUpdate, CoreError> {
+        let mut seen = HashSet::with_capacity(batch.len());
+        batch.retain(|m| !self.store.contains_id(m.id) && seen.insert(m.id));
         let dirty = dirty_keys(&batch, &self.partition, self.config.max_rank);
         let trajectories = batch.len();
+        let appended_ids: Vec<u64> = batch.iter().map(|m| m.id).collect();
         self.store.append(batch);
+        let published = self.publish(dirty, trajectories, 0);
+        if published.is_err() {
+            // Error-path consistency: the epoch was not published, so the
+            // store must not keep the batch either — otherwise every later
+            // epoch's dirty-key set would silently omit these windows and
+            // rederive would stop matching a full rebuild. The batch sits at
+            // the store's tail, so retiring its ids restores the exact
+            // pre-ingest store (survivor indices and posting lists are
+            // untouched by a suffix removal).
+            self.store.retire_ids(&appended_ids);
+        }
+        published
+    }
+
+    /// Retires every trajectory that entered its first edge strictly before
+    /// `cutoff` (TTL expiry) and publishes the next epoch. Keys whose support
+    /// drops below β are deleted from the weight function and listed in
+    /// [`WeightUpdate::removed`]; retiring nothing publishes a (valid,
+    /// unchanged) epoch.
+    pub fn retire_before(&mut self, cutoff: Timestamp) -> Result<WeightUpdate, CoreError> {
+        // Pre-scan: a cutoff that retires nothing publishes a cheap no-op
+        // epoch without paying the rollback snapshot below.
+        let any = self.store.matched().iter().any(|m| {
+            m.entry_times
+                .first()
+                .is_some_and(|t| t.seconds() < cutoff.seconds())
+        });
+        if !any {
+            return self.publish(BTreeSet::new(), 0, 0);
+        }
+        let prev = self.store.clone();
+        let removed = self.store.retire_before(cutoff);
+        let dirty = dirty_keys(&removed, &self.partition, self.config.max_rank);
+        self.publish_or_restore(prev, dirty, removed.len())
+    }
+
+    /// Retires the trajectories with the given ids (unknown ids are ignored)
+    /// and publishes the next epoch, exactly like [`Self::retire_before`].
+    pub fn retire_ids(&mut self, ids: &[u64]) -> Result<WeightUpdate, CoreError> {
+        if !ids.iter().any(|&id| self.store.contains_id(id)) {
+            return self.publish(BTreeSet::new(), 0, 0);
+        }
+        let prev = self.store.clone();
+        let removed = self.store.retire_ids(ids);
+        let dirty = dirty_keys(&removed, &self.partition, self.config.max_rank);
+        self.publish_or_restore(prev, dirty, removed.len())
+    }
+
+    /// Publishes a retirement epoch, restoring `prev` (the pre-retirement
+    /// store) if re-derivation fails — a retirement cannot be rolled back by
+    /// re-appending (the removed trajectories sat at arbitrary positions, so
+    /// re-appending would reorder qualified rows), hence the snapshot. On
+    /// any return path the store and the published weight function agree.
+    fn publish_or_restore(
+        &mut self,
+        prev: TrajectoryStore,
+        dirty: BTreeSet<VariableKey>,
+        retired: usize,
+    ) -> Result<WeightUpdate, CoreError> {
+        let published = self.publish(dirty, 0, retired);
+        if published.is_err() {
+            self.store = prev;
+        }
+        published
+    }
+
+    /// Shared publish path: re-derives the dirty keys against the mutated
+    /// store and stamps the next epoch. On error nothing is published (the
+    /// caller is responsible for undoing its store mutation).
+    fn publish(
+        &mut self,
+        dirty: BTreeSet<VariableKey>,
+        appended: usize,
+        retired: usize,
+    ) -> Result<WeightUpdate, CoreError> {
         let mut update = self
             .current
             .rederive(self.net, &self.store, &self.config, &dirty)?;
         self.epoch += 1;
         update.epoch = self.epoch;
-        update.trajectories = trajectories;
+        update.trajectories = appended;
+        update.trajectories_retired = retired;
         // An Arc bump: the ingestor's working copy and the published epoch
         // share one allocation.
         self.current = update.weights.clone();
@@ -182,6 +278,79 @@ mod tests {
         assert_eq!(update.epoch, 1);
         assert_eq!(update.changed(), 0);
         assert_eq!(update.weights.variables(), before.variables());
+    }
+
+    #[test]
+    fn retire_matches_a_full_rebuild_over_the_truncated_store() {
+        let (net, store, cfg) = fixture();
+        let mut ingestor = LiveIngestor::new(&net, store.clone(), cfg.clone()).unwrap();
+        let before = ingestor.weights().stats().total_variables();
+
+        // TTL-expire the oldest half of the store.
+        let cutoff = store.start_time_at_percentile(50).unwrap();
+        let update = ingestor.retire_before(cutoff).unwrap();
+        assert_eq!(update.epoch, 1);
+        assert_eq!(update.trajectories, 0);
+        assert!(update.trajectories_retired > 0);
+        assert!(ingestor.store().len() < store.len());
+
+        let full = PathWeightFunction::instantiate(&net, ingestor.store(), &cfg).unwrap();
+        assert_eq!(update.weights.variables(), full.variables());
+        assert_eq!(update.weights.stats(), full.stats());
+        assert!(
+            !update.removed.is_empty(),
+            "halving the tiny preset must drop some variable below β"
+        );
+        assert!(update.weights.stats().total_variables() < before);
+
+        // Retire-by-id of a surviving trajectory keeps the oracle property.
+        let victim = ingestor.store().get(0).unwrap().id;
+        let update = ingestor.retire_ids(&[victim, u64::MAX]).unwrap();
+        assert_eq!(update.epoch, 2);
+        assert_eq!(update.trajectories_retired, 1);
+        assert!(!ingestor.store().contains_id(victim));
+        let full = PathWeightFunction::instantiate(&net, ingestor.store(), &cfg).unwrap();
+        assert_eq!(update.weights.variables(), full.variables());
+        assert_eq!(update.weights.stats(), full.stats());
+    }
+
+    #[test]
+    fn redelivered_batches_publish_no_op_epochs() {
+        let (net, store, cfg) = fixture();
+        let split = store.len() * 3 / 4;
+        let base = TrajectoryStore::new(store.matched()[..split].to_vec());
+        let rest: Vec<MatchedTrajectory> = store.matched()[split..].to_vec();
+        let mut ingestor = LiveIngestor::new(&net, base, cfg).unwrap();
+        let first = ingestor.ingest(rest.clone()).unwrap();
+        assert_eq!(first.trajectories, rest.len());
+        assert!(first.changed() > 0);
+        // Exact re-delivery: every id already stored, nothing changes.
+        let redelivered = ingestor.ingest(rest.clone()).unwrap();
+        assert_eq!(redelivered.epoch, 2);
+        assert_eq!(redelivered.trajectories, 0);
+        assert_eq!(redelivered.changed(), 0);
+        assert_eq!(redelivered.dirty_keys, 0);
+        assert_eq!(ingestor.store().len(), store.len());
+        // A batch with internal duplicates counts each id once.
+        let mut ingestor2 = {
+            let base = TrajectoryStore::new(store.matched()[..split].to_vec());
+            LiveIngestor::new(
+                &net,
+                base,
+                HybridConfig {
+                    beta: 10,
+                    ..HybridConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let doubled: Vec<MatchedTrajectory> = rest.iter().chain(rest.iter()).cloned().collect();
+        let update = ingestor2.ingest(doubled).unwrap();
+        assert_eq!(update.trajectories, rest.len());
+        assert_eq!(ingestor2.store().len(), store.len());
+        let full =
+            PathWeightFunction::instantiate(&net, ingestor2.store(), ingestor2.config()).unwrap();
+        assert_eq!(update.weights.variables(), full.variables());
     }
 
     #[test]

@@ -31,12 +31,45 @@
 //!    swap-on-publish `Arc`s, so in-flight readers keep a consistent
 //!    snapshot.
 //!
+//! ## Retention model
+//!
+//! Evidence ages out as well as accumulates: travel-cost distributions
+//! drift, and a long-running serving process that only ever appends lets
+//! stale trajectories pollute every future estimate. Retention is therefore
+//! a first-class epoch, the exact mirror of ingestion:
+//!
+//! * [`LiveIngestor::retire_before`] TTL-expires every trajectory that
+//!   entered its first edge strictly before a cutoff;
+//!   [`LiveIngestor::retire_ids`] removes explicitly named trajectories
+//!   (e.g. revoked or corrupt matches). Both go through the in-place
+//!   [`TrajectoryStore::retire_before`](pathcost_traj::TrajectoryStore::retire_before)
+//!   / [`retire_ids`](pathcost_traj::TrajectoryStore::retire_ids), which
+//!   shrink the edge index without a rebuild.
+//! * The *removed* trajectories' windows are the dirty keys — the same
+//!   enumeration as an append, because a trajectory only ever contributes
+//!   occurrences to its own windows, whether arriving or leaving.
+//! * [`rederive`](pathcost_core::PathWeightFunction::rederive) handles the
+//!   **downward** count transitions retirement causes: a dirty key that
+//!   still clears β is re-fitted from the surviving rows; a key whose
+//!   support drops below β is *deleted* from the weight function and
+//!   reported in [`WeightUpdate::removed`](pathcost_core::WeightUpdate::removed),
+//!   so the serving side can flush its readers and sweep containing paths
+//!   (deletion changes candidate selection exactly like addition).
+//! * Trajectory identity is the id: `ingest` drops trajectories whose id is
+//!   already stored (first delivery wins), so retire-then-append
+//!   interleavings and re-delivered batches stay deterministic.
+//!
+//! Every retirement epoch is bit-identical to a full `instantiate` over the
+//! truncated store — the same oracle as ingestion, property-tested across
+//! TTL cut points and retire/append interleavings.
+//!
 //! The serving side consumes the update through
 //! `pathcost_service::QueryEngine::apply_update`, which publishes the epoch
 //! and surgically evicts only the dependent cache entries (see that crate's
 //! `update` module). End-to-end equivalence with "full rebuild + cache
 //! flush" is property-tested in `tests/live_equivalence.rs`, and
-//! `benches/live_ingest.rs` measures update latency and eviction precision.
+//! `benches/live_ingest.rs` measures update latency, retirement latency and
+//! eviction precision.
 //!
 //! ```no_run
 //! use pathcost_core::HybridConfig;

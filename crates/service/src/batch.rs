@@ -227,13 +227,12 @@ impl QueryEngine<'_> {
         let mut paths: Vec<&Path> = paths.to_vec();
         paths.sort_unstable_by(|a, b| a.edges().cmp(b.edges()));
         let departure = self.canonical_departure(interval);
-        let graph = self.graph();
-        let partition = self.partition();
         // Same in-flight-fill guard as `estimate_cached_on`: entries built
         // from this snapshot are not retained if an update publishes while
         // the group is being warmed (their dependency edges may already have
-        // been drained).
-        let epoch_at_start = self.epoch.load(Ordering::SeqCst);
+        // been drained). Epoch before graph — see `graph_snapshot`.
+        let (epoch_at_start, graph) = self.graph_snapshot();
+        let partition = self.partition();
         let mut scratch = ConvolveScratch::new();
         // stack[k] estimates the prefix covered[..=k]; covered and the unit
         // reads (the (edge, interval) each convolution consumed — the entry's
@@ -298,7 +297,7 @@ impl QueryEngine<'_> {
                         .map(|&(edge, iv)| (Path::unit(edge), iv))
                         .collect();
                     self.deps.record(&dependencies, path, interval);
-                    self.cache().insert(
+                    self.insert_cached(
                         path,
                         interval,
                         CachedDistribution {
@@ -310,8 +309,15 @@ impl QueryEngine<'_> {
                             decomposition_depth: path.cardinality(),
                         },
                     );
+                    // Heal a purge that raced the record-before-insert
+                    // window (see the post-insert check in
+                    // `estimate_cached_on` for why a surviving forward
+                    // record proves the registration is intact).
+                    if !dependencies.is_empty() && !self.deps.entry_recorded(path, interval) {
+                        self.deps.record(&dependencies, path, interval);
+                    }
                     if self.epoch.load(Ordering::SeqCst) != epoch_at_start {
-                        self.cache().remove(path, interval);
+                        self.evict_cached(path, interval);
                     }
                 }
                 Err(_) => {

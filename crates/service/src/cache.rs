@@ -114,47 +114,50 @@ impl Shard {
         }
     }
 
+    /// Slab index of the live node for `(path, interval)`, if cached. Does
+    /// not touch recency.
+    fn find(&self, fingerprint: u64, interval: IntervalId, path: &Path) -> Option<usize> {
+        self.index
+            .get(&fingerprint)?
+            .iter()
+            .copied()
+            .find(|&i| self.slab[i].key.matches(fingerprint, interval, path))
+    }
+
     fn get(
         &mut self,
         fingerprint: u64,
         interval: IntervalId,
         path: &Path,
     ) -> Option<CachedDistribution> {
-        let at = self
-            .index
-            .get(&fingerprint)?
-            .iter()
-            .copied()
-            .find(|&i| self.slab[i].key.matches(fingerprint, interval, path))?;
+        let at = self.find(fingerprint, interval, path)?;
         self.unlink(at);
         self.push_front(at);
         Some(self.slab[at].value.clone())
     }
 
-    /// Inserts or refreshes an entry; returns `true` when a capacity (LRU)
-    /// eviction was needed to make room.
+    /// Inserts or refreshes an entry; returns the key of the entry a
+    /// capacity (LRU) eviction dropped to make room, if one was needed —
+    /// the caller purges the victim's reader edges from the dependency
+    /// index, which is what keeps that index bounded by live entries.
     fn insert(
         &mut self,
         fingerprint: u64,
         interval: IntervalId,
         path: &Path,
         value: CachedDistribution,
-    ) -> bool {
-        if let Some(slots) = self.index.get(&fingerprint) {
-            if let Some(&at) = slots
-                .iter()
-                .find(|&&i| self.slab[i].key.matches(fingerprint, interval, path))
-            {
-                self.slab[at].value = value;
-                self.unlink(at);
-                self.push_front(at);
-                return false;
-            }
+    ) -> Option<(Path, IntervalId)> {
+        if let Some(at) = self.find(fingerprint, interval, path) {
+            self.slab[at].value = value;
+            self.unlink(at);
+            self.push_front(at);
+            return None;
         }
-        let evicted = self.len >= self.capacity;
-        if evicted {
-            self.evict_tail();
-        }
+        let victim = if self.len >= self.capacity {
+            self.evict_tail()
+        } else {
+            None
+        };
         let key = Key {
             fingerprint,
             interval,
@@ -179,15 +182,17 @@ impl Shard {
         self.index.entry(fingerprint).or_default().push(at);
         self.push_front(at);
         self.len += 1;
-        evicted
+        victim
     }
 
-    fn evict_tail(&mut self) {
+    fn evict_tail(&mut self) -> Option<(Path, IntervalId)> {
         let at = self.tail;
         if at == NIL {
-            return;
+            return None;
         }
+        let key = (self.slab[at].key.path.clone(), self.slab[at].key.interval);
         self.remove_at(at);
+        Some(key)
     }
 
     /// Unlinks and frees the node at slab index `at` (which must be live).
@@ -207,20 +212,33 @@ impl Shard {
     /// Removes the exact entry for `(path, interval)`, returning whether it
     /// was present.
     fn remove(&mut self, fingerprint: u64, interval: IntervalId, path: &Path) -> bool {
-        let Some(at) = self.index.get(&fingerprint).and_then(|slots| {
-            slots
-                .iter()
-                .copied()
-                .find(|&i| self.slab[i].key.matches(fingerprint, interval, path))
-        }) else {
+        let Some(at) = self.find(fingerprint, interval, path) else {
             return false;
         };
         self.remove_at(at);
         true
     }
 
-    /// Evicts every entry whose key matches `predicate`, returning the count.
-    fn invalidate_matching(&mut self, predicate: &dyn Fn(&Path, IntervalId) -> bool) -> u64 {
+    /// Drops every entry at once, returning how many were live. Unlike
+    /// [`Self::invalidate_matching`] this resets the slab wholesale — no
+    /// per-entry key clones, no free-list bookkeeping.
+    fn clear_all(&mut self) -> u64 {
+        let dropped = self.len as u64;
+        self.index.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
+        dropped
+    }
+
+    /// Evicts every entry whose key matches `predicate`, returning the
+    /// evicted keys (so the caller can purge their dependency-index edges).
+    fn invalidate_matching(
+        &mut self,
+        predicate: &dyn Fn(&Path, IntervalId) -> bool,
+    ) -> Vec<(Path, IntervalId)> {
         // Walk the recency list (only live nodes are linked) and collect
         // victims first: removal mutates the links being walked.
         let mut victims = Vec::new();
@@ -232,10 +250,12 @@ impl Shard {
             }
             cursor = node.next;
         }
-        for at in &victims {
-            self.remove_at(*at);
+        let mut evicted = Vec::with_capacity(victims.len());
+        for at in victims {
+            evicted.push((self.slab[at].key.path.clone(), self.slab[at].key.interval));
+            self.remove_at(at);
         }
-        victims.len() as u64
+        evicted
     }
 }
 
@@ -287,18 +307,52 @@ impl DistributionCache {
         found
     }
 
-    /// Inserts (or refreshes) the entry for `(path, interval)`.
-    pub fn insert(&self, path: &Path, interval: IntervalId, value: CachedDistribution) {
+    /// Inserts (or refreshes) the entry for `(path, interval)`. When making
+    /// room forced a capacity (LRU) eviction, the victim's key is returned so
+    /// the caller can purge its reader edges from the dependency index.
+    pub fn insert(
+        &self,
+        path: &Path,
+        interval: IntervalId,
+        value: CachedDistribution,
+    ) -> Option<(Path, IntervalId)> {
         let fingerprint = interval.mix_fingerprint(path.fingerprint());
         self.insertions.fetch_add(1, Ordering::Relaxed);
-        let evicted = self
+        let victim = self
             .shard_of(fingerprint)
             .lock()
             .expect("cache shard poisoned")
             .insert(fingerprint, interval, path, value);
-        if evicted {
+        if victim.is_some() {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        victim
+    }
+
+    /// Runs `action` while holding the key's shard lock, iff `(path,
+    /// interval)` is *not* currently cached; returns whether it ran.
+    ///
+    /// This is the linearization point for dependency-index purges: a purge
+    /// performed inside `action` cannot race a concurrent re-insertion of
+    /// the same key (the filler needs this shard lock to insert), so a
+    /// just-refilled entry can never have its fresh reader edges stripped
+    /// by the purge of its evicted predecessor.
+    pub(crate) fn if_absent(
+        &self,
+        path: &Path,
+        interval: IntervalId,
+        action: impl FnOnce(),
+    ) -> bool {
+        let fingerprint = interval.mix_fingerprint(path.fingerprint());
+        let shard = self
+            .shard_of(fingerprint)
+            .lock()
+            .expect("cache shard poisoned");
+        let absent = shard.find(fingerprint, interval, path).is_none();
+        if absent {
+            action();
+        }
+        absent
     }
 
     /// Targeted invalidation of one exact `(path, interval)` entry. Returns
@@ -319,25 +373,44 @@ impl DistributionCache {
 
     /// Targeted invalidation by predicate: walks every shard (each under its
     /// own lock, so concurrent traffic on other shards proceeds) and evicts
-    /// the entries whose `(path, interval)` key matches. Returns the number
-    /// of entries evicted; counted under [`Self::invalidations`].
-    pub fn invalidate_matching(&self, predicate: impl Fn(&Path, IntervalId) -> bool) -> u64 {
-        let mut evicted = 0;
+    /// the entries whose `(path, interval)` key matches. Returns the evicted
+    /// keys (so the caller can purge their dependency-index edges); counted
+    /// under [`Self::invalidations`].
+    pub fn invalidate_matching(
+        &self,
+        predicate: impl Fn(&Path, IntervalId) -> bool,
+    ) -> Vec<(Path, IntervalId)> {
+        let mut evicted = Vec::new();
         for shard in &self.shards {
-            evicted += shard
-                .lock()
-                .expect("cache shard poisoned")
-                .invalidate_matching(&predicate);
+            evicted.extend(
+                shard
+                    .lock()
+                    .expect("cache shard poisoned")
+                    .invalidate_matching(&predicate),
+            );
         }
-        self.invalidations.fetch_add(evicted, Ordering::Relaxed);
+        self.invalidations
+            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
         evicted
     }
 
     /// Evicts every entry — the full-flush baseline the targeted invalidation
     /// path is benchmarked against. Returns the number of entries dropped;
     /// counted under [`Self::invalidations`].
+    ///
+    /// This clears the cache *only*: callers holding a dependency index over
+    /// these entries (i.e. a `QueryEngine`) must flush through
+    /// `QueryEngine::flush_cache`, which also drops the flushed entries'
+    /// reader edges — clearing the cache alone would leave the index
+    /// tracking dead entries, the leak this crate's eviction-time purging
+    /// exists to prevent.
     pub fn clear(&self) -> u64 {
-        self.invalidate_matching(|_, _| true)
+        let mut dropped = 0;
+        for shard in &self.shards {
+            dropped += shard.lock().expect("cache shard poisoned").clear_all();
+        }
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        dropped
     }
 
     /// Number of entries currently cached, across all shards.
@@ -472,6 +545,20 @@ mod tests {
     }
 
     #[test]
+    fn insert_reports_its_lru_victim() {
+        let cache = DistributionCache::new(1, 2);
+        let (a, b, c) = (path(&[1]), path(&[2]), path(&[3]));
+        assert!(cache.insert(&a, IntervalId(0), value(1.0)).is_none());
+        assert!(cache.insert(&b, IntervalId(4), value(2.0)).is_none());
+        // Refreshing an existing key never evicts.
+        assert!(cache.insert(&a, IntervalId(0), value(1.5)).is_none());
+        // Overflow: `b` is now the LRU entry and must be reported.
+        let victim = cache.insert(&c, IntervalId(0), value(3.0));
+        assert_eq!(victim, Some((b, IntervalId(4))));
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
     fn eviction_slots_are_reused() {
         let cache = DistributionCache::new(1, 2);
         for i in 0..100u32 {
@@ -512,7 +599,11 @@ mod tests {
             cache.insert(&path(&[i, i + 1]), IntervalId((i % 3) as u16), value(1.0));
         }
         let evicted = cache.invalidate_matching(|_, interval| interval == IntervalId(0));
-        assert_eq!(evicted, 4);
+        assert_eq!(evicted.len(), 4);
+        for (path, interval) in &evicted {
+            assert_eq!(*interval, IntervalId(0));
+            assert_eq!(path.cardinality(), 2);
+        }
         assert_eq!(cache.len(), 8);
         for i in 0..12u32 {
             let present = cache

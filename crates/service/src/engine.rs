@@ -123,6 +123,21 @@ impl<'n> QueryEngine<'n> {
         self.graph.read().expect("graph lock poisoned").clone()
     }
 
+    /// The epoch version *followed by* the graph snapshot, in that order —
+    /// the pair every cache-filling path must capture together.
+    ///
+    /// The order matters for the in-flight-fill guard: `apply_update`
+    /// publishes the graph *before* bumping the epoch, so reading the epoch
+    /// first guarantees `epoch ≤ the epoch the snapshot belongs to`. A fill
+    /// whose snapshot predates an update then always observes the epoch bump
+    /// in its post-insert check and self-evicts; reading the pair in the
+    /// opposite order could pair an old graph with the new epoch number and
+    /// silently retain a stale entry.
+    pub(crate) fn graph_snapshot(&self) -> (u64, Arc<HybridGraph<'n>>) {
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        (epoch, self.graph())
+    }
+
     /// Installs `graph` as the published snapshot (the swap half of
     /// [`Self::apply_update`]).
     pub(crate) fn publish_graph(&self, graph: Arc<HybridGraph<'n>>) {
@@ -200,8 +215,8 @@ impl<'n> QueryEngine<'n> {
         departure: Timestamp,
         counters: &QueryCounters,
     ) -> Result<CachedDistribution, ServiceError> {
-        let graph = self.graph();
-        self.estimate_cached_on(&graph, path, departure, counters)
+        let (snapshot_epoch, graph) = self.graph_snapshot();
+        self.estimate_cached_on(&graph, snapshot_epoch, path, departure, counters)
     }
 
     /// As [`Self::estimate_cached`], estimating misses against the given
@@ -213,6 +228,7 @@ impl<'n> QueryEngine<'n> {
     pub(crate) fn estimate_cached_on(
         &self,
         graph: &HybridGraph<'n>,
+        snapshot_epoch: u64,
         path: &Path,
         departure: Timestamp,
         counters: &QueryCounters,
@@ -226,11 +242,11 @@ impl<'n> QueryEngine<'n> {
         // while this estimation is in flight, its invalidation may run before
         // the insert below lands (or drain the reader edges recorded below
         // before they are needed), which would otherwise strand a pre-update
-        // entry no later update can find. Detecting the epoch change after
-        // the insert and evicting our own entry restores the invariant: the
-        // caller still gets its (raced, pre-update — allowed) answer, but the
-        // cache does not retain it.
-        let epoch_at_start = self.epoch.load(Ordering::SeqCst);
+        // entry no later update can find. Detecting an epoch newer than the
+        // snapshot (`snapshot_epoch` was read before the graph, see
+        // `graph_snapshot`) after the insert and evicting our own entry
+        // restores the invariant: the caller still gets its (raced,
+        // pre-update — allowed) answer, but the cache does not retain it.
         let canonical = self.canonical_departure(interval);
         let artifacts = OdEstimator::new(graph).estimate_with_artifacts(path, canonical)?;
         let depth = artifacts.decomposition.len();
@@ -242,13 +258,82 @@ impl<'n> QueryEngine<'n> {
         // inserting it, so an update arriving in between cannot observe the
         // entry without its dependencies.
         self.deps.record(&artifacts.dependencies, path, interval);
-        self.cache.insert(path, interval, value.clone());
-        if self.epoch.load(Ordering::SeqCst) != epoch_at_start {
-            self.cache.remove(path, interval);
+        self.insert_cached(path, interval, value.clone());
+        // Heal a purge that raced the record-before-insert window: a purge
+        // of this key's *previous* incarnation (its LRU eviction raced this
+        // refill) may have stripped the pre-insert registration. Purges run
+        // to completion under the cache shard lock the insert just held, and
+        // from here on they see the entry live and skip — so a surviving
+        // forward record proves the registration is intact, and re-recording
+        // is only needed (and raced by nothing) when it is gone.
+        if !artifacts.dependencies.is_empty() && !self.deps.entry_recorded(path, interval) {
+            self.deps.record(&artifacts.dependencies, path, interval);
+        }
+        if self.epoch.load(Ordering::SeqCst) != snapshot_epoch {
+            self.evict_cached(path, interval);
         }
         self.recorder.record_estimation(depth);
         counters.record(false, depth);
         Ok(value)
+    }
+
+    /// Inserts a fill into the cache; when making room LRU-evicts another
+    /// entry, the victim's reader edges are purged from the dependency index
+    /// so the index stays bounded by live entries (counted as
+    /// `invalidation_stale_reader_purges`).
+    pub(crate) fn insert_cached(
+        &self,
+        path: &Path,
+        interval: IntervalId,
+        value: CachedDistribution,
+    ) {
+        if let Some((victim_path, victim_interval)) = self.cache.insert(path, interval, value) {
+            self.purge_stale_edges(&victim_path, victim_interval);
+        }
+    }
+
+    /// Drops one cache entry *and* its dependency-index edges — the raced-
+    /// fill self-eviction path (an `apply_update` landed while the fill was
+    /// in flight).
+    pub(crate) fn evict_cached(&self, path: &Path, interval: IntervalId) {
+        self.cache.remove(path, interval);
+        self.purge_stale_edges(path, interval);
+    }
+
+    /// Purges a dead entry's reader edges from the dependency index,
+    /// *linearized against refills*: the purge runs under the key's cache
+    /// shard lock and only while the key is absent, so it can never strip
+    /// the edges of an entry another thread just re-inserted (the refill
+    /// needs the same shard lock). A purge lost to the narrow
+    /// record-before-insert window is healed by the filler's post-insert
+    /// re-registration; the worst surviving race leaves a few *extra*
+    /// edges (sound: at most one spurious eviction later), never missing
+    /// ones.
+    pub(crate) fn purge_stale_edges(&self, path: &Path, interval: IntervalId) -> u64 {
+        let mut purged = 0;
+        self.cache.if_absent(path, interval, || {
+            purged = self.deps.purge_entry(path, interval);
+        });
+        self.recorder.record_stale_purges(purged);
+        purged
+    }
+
+    /// Flushes the whole cache *and* the dependency index — the full-flush
+    /// baseline targeted invalidation is benchmarked against. Unlike
+    /// [`DistributionCache::clear`] on [`Self::cache`] alone, this keeps the
+    /// dependency index consistent (no reader edges for flushed entries
+    /// survive). Returns the number of cache entries dropped.
+    ///
+    /// Index before cache, deliberately: any fill racing this flush either
+    /// lands before the cache clear (flushed; at worst its edges linger as
+    /// sound extras until its next incarnation is purged) or after it
+    /// (survives — and its post-insert registration check runs after the
+    /// index clear, so its edges are re-established). The opposite order
+    /// could wipe the edges of an entry inserted in between, leaving a live
+    /// entry invisible to future invalidation.
+    pub fn flush_cache(&self) -> u64 {
+        self.recorder.record_stale_purges(self.deps.clear());
+        self.cache.clear()
     }
 
     /// Executes a single query, recording per-query and engine-level stats.
@@ -342,9 +427,10 @@ impl<'n> QueryEngine<'n> {
                 // new epoch, so a racing search may compare candidates from
                 // two adjacent epochs — each individually valid, the
                 // ranking's usual raced-query semantics.
-                let graph = self.graph();
+                let (snapshot_epoch, graph) = self.graph_snapshot();
                 let router = BestFirstRouter::new(&graph, self.config.router.clone())?;
-                let estimator = CachingEstimator::for_query(self, counters, graph.clone());
+                let estimator =
+                    CachingEstimator::for_query(self, counters, graph.clone(), snapshot_epoch);
                 let (mut ranked, telemetry) = router.route_top_k(
                     &estimator,
                     *source,
@@ -403,10 +489,12 @@ pub struct CachingEstimator<'e, 'n> {
     /// Per-query tallies when created inside [`QueryEngine::execute`];
     /// standalone adapters observe through [`QueryEngine::stats`] instead.
     counters: Option<&'e QueryCounters>,
-    /// The epoch snapshot misses are estimated against. Engine-created
-    /// adapters pin the snapshot of the query they serve; standalone
-    /// adapters read the currently published graph per lookup.
-    pinned: Option<Arc<HybridGraph<'n>>>,
+    /// The epoch snapshot misses are estimated against, paired with the
+    /// epoch version observed at pin time (the in-flight-fill guard's
+    /// reference point). Engine-created adapters pin the snapshot of the
+    /// query they serve; standalone adapters read the currently published
+    /// graph per lookup.
+    pinned: Option<(u64, Arc<HybridGraph<'n>>)>,
 }
 
 impl<'e, 'n> CachingEstimator<'e, 'n> {
@@ -426,11 +514,12 @@ impl<'e, 'n> CachingEstimator<'e, 'n> {
         engine: &'e QueryEngine<'n>,
         counters: &'e QueryCounters,
         graph: Arc<HybridGraph<'n>>,
+        snapshot_epoch: u64,
     ) -> Self {
         CachingEstimator {
             engine,
             counters: Some(counters),
-            pinned: Some(graph),
+            pinned: Some((snapshot_epoch, graph)),
         }
     }
 }
@@ -475,9 +564,10 @@ impl CachingEstimator<'_, '_> {
         let throwaway = QueryCounters::default();
         let counters = self.counters.unwrap_or(&throwaway);
         match &self.pinned {
-            Some(graph) => self
-                .engine
-                .estimate_cached_on(graph, path, departure, counters),
+            Some((snapshot_epoch, graph)) => {
+                self.engine
+                    .estimate_cached_on(graph, *snapshot_epoch, path, departure, counters)
+            }
             None => self.engine.estimate_cached(path, departure, counters),
         }
         .map_err(|e| match e {

@@ -53,10 +53,13 @@ pub(crate) struct StatsRecorder {
     route_incumbent_prunes: AtomicU64,
     ingest_updates: AtomicU64,
     ingest_trajectories: AtomicU64,
+    ingest_trajectories_retired: AtomicU64,
     ingest_variables_updated: AtomicU64,
     ingest_variables_added: AtomicU64,
+    ingest_variables_removed: AtomicU64,
     invalidation_tracked_evictions: AtomicU64,
     invalidation_swept_evictions: AtomicU64,
+    invalidation_stale_reader_purges: AtomicU64,
 }
 
 impl StatsRecorder {
@@ -98,25 +101,41 @@ impl StatsRecorder {
             .fetch_add(incumbent_prunes, Ordering::Relaxed);
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub fn record_ingest(
         &self,
         trajectories: u64,
+        trajectories_retired: u64,
         variables_updated: u64,
         variables_added: u64,
+        variables_removed: u64,
         tracked_evictions: u64,
         swept_evictions: u64,
     ) {
         self.ingest_updates.fetch_add(1, Ordering::Relaxed);
         self.ingest_trajectories
             .fetch_add(trajectories, Ordering::Relaxed);
+        self.ingest_trajectories_retired
+            .fetch_add(trajectories_retired, Ordering::Relaxed);
         self.ingest_variables_updated
             .fetch_add(variables_updated, Ordering::Relaxed);
         self.ingest_variables_added
             .fetch_add(variables_added, Ordering::Relaxed);
+        self.ingest_variables_removed
+            .fetch_add(variables_removed, Ordering::Relaxed);
         self.invalidation_tracked_evictions
             .fetch_add(tracked_evictions, Ordering::Relaxed);
         self.invalidation_swept_evictions
             .fetch_add(swept_evictions, Ordering::Relaxed);
+    }
+
+    /// Counts stale reader edges purged from the dependency index when the
+    /// cache dropped their entry (LRU eviction, invalidation, raced fill).
+    pub fn record_stale_purges(&self, purged: u64) {
+        if purged > 0 {
+            self.invalidation_stale_reader_purges
+                .fetch_add(purged, Ordering::Relaxed);
+        }
     }
 
     /// Snapshots the recorder; cache hit/miss/insertion/eviction totals are
@@ -154,10 +173,13 @@ impl StatsRecorder {
             cache_evictions,
             ingest_updates: load(&self.ingest_updates),
             ingest_trajectories: load(&self.ingest_trajectories),
+            ingest_trajectories_retired: load(&self.ingest_trajectories_retired),
             ingest_variables_updated: load(&self.ingest_variables_updated),
             ingest_variables_added: load(&self.ingest_variables_added),
+            ingest_variables_removed: load(&self.ingest_variables_removed),
             invalidation_tracked_evictions: load(&self.invalidation_tracked_evictions),
             invalidation_swept_evictions: load(&self.invalidation_swept_evictions),
+            invalidation_stale_reader_purges: load(&self.invalidation_stale_reader_purges),
         }
     }
 }
@@ -221,18 +243,30 @@ pub struct ServiceStats {
     pub ingest_updates: u64,
     /// Trajectories appended across all applied updates.
     pub ingest_trajectories: u64,
+    /// Trajectories retired (TTL-expired or removed by id) across all
+    /// applied updates.
+    pub ingest_trajectories_retired: u64,
     /// Weight-function variables whose histograms were re-derived (their
-    /// qualified occurrence sets grew) across all applied updates.
+    /// qualified occurrence sets changed) across all applied updates.
     pub ingest_variables_updated: u64,
     /// Weight-function variables newly instantiated (crossed β) across all
     /// applied updates.
     pub ingest_variables_added: u64,
+    /// Weight-function variables deleted because their support dropped below
+    /// β after trajectories were retired, across all applied updates.
+    pub ingest_variables_removed: u64,
     /// Cache entries surgically evicted because the dependency index recorded
-    /// them as readers of an updated variable.
+    /// them as readers of an updated or removed variable.
     pub invalidation_tracked_evictions: u64,
     /// Cache entries evicted by the sub-path containment sweep for newly
-    /// added variables (which change candidate selection, not just values).
+    /// added or removed variables (which change candidate selection, not
+    /// just values).
     pub invalidation_swept_evictions: u64,
+    /// Stale reader edges purged from the dependency index because the cache
+    /// dropped their entry — LRU capacity pressure, targeted invalidation's
+    /// residual edges, or a raced fill evicting itself. Non-zero purges are
+    /// the observable proof the index is not leaking edges for dead entries.
+    pub invalidation_stale_reader_purges: u64,
 }
 
 impl ServiceStats {
@@ -307,7 +341,9 @@ mod tests {
         rec.record_batch(10, 6);
         rec.record_prefix_warm(4, 3, 7);
         rec.record_route(5, 2, 9);
-        rec.record_ingest(25, 4, 2, 11, 3);
+        rec.record_ingest(25, 7, 4, 2, 1, 11, 3);
+        rec.record_stale_purges(6);
+        rec.record_stale_purges(0); // no-op
         let s = rec.snapshot(3, 1, 20, 5);
         assert_eq!(s.estimate_queries, 1);
         assert_eq!(s.route_queries, 1);
@@ -326,10 +362,13 @@ mod tests {
         assert_eq!(s.route_incumbent_prunes, 9);
         assert_eq!(s.ingest_updates, 1);
         assert_eq!(s.ingest_trajectories, 25);
+        assert_eq!(s.ingest_trajectories_retired, 7);
         assert_eq!(s.ingest_variables_updated, 4);
         assert_eq!(s.ingest_variables_added, 2);
+        assert_eq!(s.ingest_variables_removed, 1);
         assert_eq!(s.invalidation_tracked_evictions, 11);
         assert_eq!(s.invalidation_swept_evictions, 3);
+        assert_eq!(s.invalidation_stale_reader_purges, 6);
         assert_eq!(s.invalidation_evictions(), 14);
         assert_eq!(s.cache_insertions, 20);
         assert_eq!(s.cache_evictions, 5);

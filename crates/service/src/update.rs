@@ -14,13 +14,24 @@
 //!   that never read the variable is bit-identical under the new epoch and
 //!   survives.
 //! * **Containment sweep** — a variable that is newly *added* (its key
-//!   crossed β for the first time) changes candidate **selection** for any
+//!   crossed β for the first time) or *removed* (its support dropped below β
+//!   after trajectories were retired) changes candidate **selection** for any
 //!   query path that contains its path, whether or not that path's previous
 //!   estimate read it. Those entries cannot be found through recorded reads,
 //!   so the cache is swept per shard and every entry whose path contains an
-//!   added variable's path (any interval — temporal relevance depends on the
-//!   entry's shift-and-enlarge windows, which the sweep conservatively does
-//!   not model) is evicted.
+//!   added or removed variable's path (any interval — temporal relevance
+//!   depends on the entry's shift-and-enlarge windows, which the sweep
+//!   conservatively does not model) is evicted. Readers of removed variables
+//!   are additionally flushed through the dependency index, like updated
+//!   ones.
+//!
+//! Index hygiene: whenever the cache drops an entry — through either rule
+//! above, LRU capacity pressure, or a raced fill evicting itself — the
+//! entry's recorded reader edges are purged from the [`DependencyIndex`]
+//! (counted as `invalidation_stale_reader_purges` in
+//! [`ServiceStats`](crate::ServiceStats)), so the index stays bounded by the
+//! live cache contents instead of accumulating edges for dead entries until
+//! their variables happen to update.
 //!
 //! Together the two rules evict a superset of the entries whose answers can
 //! change and a (typically small) subset of the whole cache — the
@@ -46,36 +57,50 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 
-/// The recorded readers of one variable: the entry list plus a fingerprint
-/// set for O(1) deduplication (popular unit variables accumulate hundreds of
-/// readers; a linear dedup scan per registration would creep toward O(n²)).
+/// The recorded readers of one variable, keyed by the reader entry's
+/// interval-mixed fingerprint so registration, draining and targeted purging
+/// are all O(1) per edge (popular unit variables accumulate hundreds of
+/// readers; linear scans per operation would creep toward O(n²)).
 #[derive(Default)]
 struct Readers {
-    seen: std::collections::HashSet<u64>,
-    entries: Vec<(Path, IntervalId)>,
+    entries: HashMap<u64, (Path, IntervalId)>,
 }
 
-/// Reverse index from weight-function variable keys to the cache entries
-/// whose estimations read them.
+/// Bidirectional index between weight-function variable keys and the cache
+/// entries whose estimations read them.
 ///
-/// Keys are the interval-mixed path fingerprints of variable `(path,
-/// interval)` pairs; a fingerprint collision merges two variables' reader
-/// sets, which can only over-evict (sound, never stale). Dependents of
-/// entries that have since been LRU-evicted linger until their variable next
-/// updates; draining them is then a no-op `remove`.
+/// The *reverse* direction (variable → reader entries) answers "which entries
+/// must an update of this variable evict". The *forward* direction (entry →
+/// variables read) exists purely for hygiene: whenever the cache drops an
+/// entry — LRU pressure, targeted invalidation, a raced fill evicting
+/// itself — the crate-internal `purge_entry` removes every reader edge the
+/// entry left behind, which keeps the index bounded by the *live* cache
+/// contents instead of leaking edges until each variable happens to update.
 ///
-/// Mirrors the cache's concurrency model: the key space is split across
-/// mutex-protected shards selected by the high bits of the variable
-/// fingerprint, so the batch executor's concurrent cache fills only contend
+/// Keys in both directions are interval-mixed path fingerprints; a
+/// fingerprint collision merges two keys' records, which for the reverse
+/// direction can only over-evict (sound, never stale) and for the forward
+/// direction can at worst purge an edge early (under-tracking an entry whose
+/// 64-bit fingerprint collides — negligible, and still only over-evicts
+/// later via the containment sweep).
+///
+/// Mirrors the cache's concurrency model: each direction is split across
+/// mutex-protected shards selected by the high bits of the fingerprint, and
+/// no operation holds two shard locks at once (reverse shards are taken one
+/// at a time, forward shards likewise), so concurrent fills only contend
 /// when they read the same variables.
 pub struct DependencyIndex {
+    /// Variable fingerprint → its recorded reader entries.
     shards: Vec<Mutex<HashMap<u64, Readers>>>,
+    /// Entry fingerprint → the variable fingerprints its estimation read.
+    entries: Vec<Mutex<HashMap<u64, Vec<u64>>>>,
 }
 
 impl Default for DependencyIndex {
     fn default() -> Self {
         DependencyIndex {
             shards: (0..16).map(|_| Mutex::new(HashMap::new())).collect(),
+            entries: (0..16).map(|_| Mutex::new(HashMap::new())).collect(),
         }
     }
 }
@@ -84,6 +109,11 @@ impl DependencyIndex {
     fn shard_of(&self, variable_fingerprint: u64) -> &Mutex<HashMap<u64, Readers>> {
         let i = (variable_fingerprint >> 48) as usize % self.shards.len();
         &self.shards[i]
+    }
+
+    fn entry_shard_of(&self, entry_fingerprint: u64) -> &Mutex<HashMap<u64, Vec<u64>>> {
+        let i = (entry_fingerprint >> 48) as usize % self.entries.len();
+        &self.entries[i]
     }
 
     /// Records that the cache entry `(entry_path, entry_interval)` was
@@ -98,22 +128,45 @@ impl DependencyIndex {
             return;
         }
         let entry_fingerprint = entry_interval.mix_fingerprint(entry_path.fingerprint());
-        for (var_path, var_interval) in dependencies {
-            let key = var_interval.mix_fingerprint(var_path.fingerprint());
+        let keys: Vec<u64> = dependencies
+            .iter()
+            .map(|(var_path, var_interval)| var_interval.mix_fingerprint(var_path.fingerprint()))
+            .collect();
+        // Forward record first — the order `purge_entry` reads in — so every
+        // reverse edge written below already has its forward counterpart: a
+        // purge racing this registration finds (and can remove) whatever
+        // reverse edges exist so far, and the filler's post-insert
+        // re-registration heals a purge that won the race outright.
+        {
+            let mut forward = self
+                .entry_shard_of(entry_fingerprint)
+                .lock()
+                .expect("dependency index poisoned");
+            let vars = forward.entry(entry_fingerprint).or_default();
+            for &key in &keys {
+                if !vars.contains(&key) {
+                    vars.push(key);
+                }
+            }
+        }
+        for &key in &keys {
             let mut shard = self
                 .shard_of(key)
                 .lock()
                 .expect("dependency index poisoned");
-            let readers = shard.entry(key).or_default();
-            if readers.seen.insert(entry_fingerprint) {
-                readers.entries.push((entry_path.clone(), entry_interval));
-            }
+            shard
+                .entry(key)
+                .or_default()
+                .entries
+                .insert(entry_fingerprint, (entry_path.clone(), entry_interval));
         }
     }
 
     /// Removes the reader sets of the given variable keys and returns their
     /// union, deduplicated — the entries an update of those variables must
-    /// evict.
+    /// evict. The drained entries' *other* edges (and forward records) are
+    /// left for the caller to purge via [`Self::purge_entry`] once the cache
+    /// entry itself is gone.
     pub(crate) fn drain_dependents(
         &self,
         variables: &[(Path, IntervalId)],
@@ -127,13 +180,74 @@ impl DependencyIndex {
                 .lock()
                 .expect("dependency index poisoned")
                 .remove(&key);
-            for (path, interval) in drained.map(|r| r.entries).unwrap_or_default() {
-                if seen.insert(interval.mix_fingerprint(path.fingerprint())) {
-                    out.push((path, interval));
+            for (fingerprint, entry) in drained.map(|r| r.entries).unwrap_or_default() {
+                if seen.insert(fingerprint) {
+                    out.push(entry);
                 }
             }
         }
         out
+    }
+
+    /// Purges every reader edge the cache entry `(path, interval)` left in
+    /// the index, returning how many edges were removed. Called whenever the
+    /// cache drops an entry (LRU eviction, targeted invalidation, raced-fill
+    /// self-eviction); purging an entry that was never recorded — or whose
+    /// edges were already drained — is a cheap no-op.
+    pub(crate) fn purge_entry(&self, path: &Path, interval: IntervalId) -> u64 {
+        let entry_fingerprint = interval.mix_fingerprint(path.fingerprint());
+        let vars = self
+            .entry_shard_of(entry_fingerprint)
+            .lock()
+            .expect("dependency index poisoned")
+            .remove(&entry_fingerprint);
+        let Some(vars) = vars else {
+            return 0;
+        };
+        let mut purged = 0;
+        for key in vars {
+            let mut shard = self
+                .shard_of(key)
+                .lock()
+                .expect("dependency index poisoned");
+            if let Some(readers) = shard.get_mut(&key) {
+                if readers.entries.remove(&entry_fingerprint).is_some() {
+                    purged += 1;
+                }
+                if readers.entries.is_empty() {
+                    shard.remove(&key);
+                }
+            }
+        }
+        purged
+    }
+
+    /// `true` when the entry `(path, interval)` currently has a forward
+    /// record. Purges remove the forward record first (and run to completion
+    /// under the entry's cache shard lock), so after an insert a surviving
+    /// forward record proves the pre-insert registration was not raced away.
+    pub(crate) fn entry_recorded(&self, path: &Path, interval: IntervalId) -> bool {
+        let entry_fingerprint = interval.mix_fingerprint(path.fingerprint());
+        self.entry_shard_of(entry_fingerprint)
+            .lock()
+            .expect("dependency index poisoned")
+            .contains_key(&entry_fingerprint)
+    }
+
+    /// Drops every recorded reader edge and forward record, returning the
+    /// number of edges dropped — the dependency-index half of a full cache
+    /// flush (`QueryEngine::flush_cache`).
+    pub(crate) fn clear(&self) -> u64 {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("dependency index poisoned");
+            dropped += shard.values().map(|r| r.entries.len() as u64).sum::<u64>();
+            shard.clear();
+        }
+        for shard in &self.entries {
+            shard.lock().expect("dependency index poisoned").clear();
+        }
+        dropped
     }
 
     /// Number of variable keys with at least one recorded reader.
@@ -157,6 +271,17 @@ impl DependencyIndex {
             })
             .sum()
     }
+
+    /// Number of distinct cache entries with at least one recorded reader
+    /// edge. With eviction-time purging in place this is bounded by the
+    /// number of *live* cache entries — the hygiene invariant the churn
+    /// tests assert.
+    pub fn tracked_entries(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|s| s.lock().expect("dependency index poisoned").len())
+            .sum()
+    }
 }
 
 /// What one applied update did to the engine — the per-update view of the
@@ -170,12 +295,18 @@ pub struct UpdateReport {
     pub variables_updated: usize,
     /// Variables newly instantiated.
     pub variables_added: usize,
-    /// Entries evicted through the dependency index (readers of updated
-    /// variables).
+    /// Variables deleted because their support dropped below β (their
+    /// trajectories were retired).
+    pub variables_removed: usize,
+    /// Entries evicted through the dependency index (readers of updated or
+    /// removed variables).
     pub evicted_tracked: u64,
     /// Entries evicted by the containment sweep (paths containing an added
-    /// variable).
+    /// or removed variable).
     pub evicted_swept: u64,
+    /// Stale reader edges purged from the dependency index while evicting
+    /// (the evicted entries' edges to variables this update did not touch).
+    pub stale_reader_purges: u64,
     /// Cache entries immediately before the update.
     pub cache_entries_before: usize,
     /// Cache entries surviving the update.
@@ -230,10 +361,12 @@ impl<'n> QueryEngine<'n> {
         let WeightUpdate {
             epoch,
             trajectories,
+            trajectories_retired,
             dirty_keys: _,
             weights,
             updated,
             added,
+            removed,
         } = update;
 
         // One update at a time: publish, epoch bump and invalidation form a
@@ -265,25 +398,48 @@ impl<'n> QueryEngine<'n> {
         // below observes the bump and evicts its own entry.
         self.epoch.store(published, Ordering::SeqCst);
 
-        // Updated variables: evict exactly the recorded readers.
+        // Updated variables: evict exactly the recorded readers. Removed
+        // (below-β-deleted) variables are treated the same way — an entry
+        // whose estimation read the deleted key is stale — and additionally
+        // swept below, because deletion changes candidate selection for
+        // *containing* paths whether or not they read the key.
         let mut evicted_tracked = 0u64;
-        for (path, interval) in self.deps.drain_dependents(&updated) {
+        let mut stale_reader_purges = 0u64;
+        let drained: Vec<(Path, IntervalId)> =
+            updated.iter().chain(removed.iter()).cloned().collect();
+        for (path, interval) in self.deps.drain_dependents(&drained) {
             if self.cache().remove(&path, interval) {
                 evicted_tracked += 1;
             }
+            // Hygiene: the evicted entry's edges to variables this update
+            // did NOT touch would otherwise linger as stale readers. The
+            // purge is liveness-checked, so a fill under the *new* epoch
+            // that re-inserted this key mid-loop keeps its edges.
+            stale_reader_purges += self.purge_stale_edges(&path, interval);
         }
-        // Added variables: sweep by sub-path containment (selection change).
-        let evicted_swept = if added.is_empty() {
-            0
+        // Added and removed variables: sweep by sub-path containment
+        // (selection change), purging the swept entries' reader edges.
+        let swept = if added.is_empty() && removed.is_empty() {
+            Vec::new()
         } else {
-            self.cache()
-                .invalidate_matching(|path, _| added.iter().any(|(sub, _)| sub.is_subpath_of(path)))
+            self.cache().invalidate_matching(|path, _| {
+                added
+                    .iter()
+                    .chain(removed.iter())
+                    .any(|(sub, _)| sub.is_subpath_of(path))
+            })
         };
+        let evicted_swept = swept.len() as u64;
+        for (path, interval) in swept {
+            stale_reader_purges += self.purge_stale_edges(&path, interval);
+        }
 
         self.recorder.record_ingest(
             trajectories as u64,
+            trajectories_retired as u64,
             updated.len() as u64,
             added.len() as u64,
+            removed.len() as u64,
             evicted_tracked,
             evicted_swept,
         );
@@ -291,8 +447,10 @@ impl<'n> QueryEngine<'n> {
             epoch: published,
             variables_updated: updated.len(),
             variables_added: added.len(),
+            variables_removed: removed.len(),
             evicted_tracked,
             evicted_swept,
+            stale_reader_purges,
             cache_entries_before,
             cache_entries_after: self.cache().len(),
         })
@@ -319,6 +477,7 @@ mod tests {
         index.record(std::slice::from_ref(&unit), &entry, IntervalId(5)); // other interval
         assert_eq!(index.tracked_variables(), 2);
         assert_eq!(index.tracked_readers(), 3);
+        assert_eq!(index.tracked_entries(), 2);
 
         let dependents = index.drain_dependents(std::slice::from_ref(&unit));
         assert_eq!(dependents.len(), 2, "{dependents:?}");
@@ -330,13 +489,48 @@ mod tests {
     }
 
     #[test]
+    fn purge_entry_removes_exactly_the_entrys_edges() {
+        let index = DependencyIndex::default();
+        let unit = (path(&[1]), IntervalId(4));
+        let pair = (path(&[1, 2]), IntervalId(4));
+        let entry_a = path(&[1, 2, 3]);
+        let entry_b = path(&[1, 2, 4]);
+        index.record(&[unit.clone(), pair.clone()], &entry_a, IntervalId(4));
+        index.record(std::slice::from_ref(&unit), &entry_b, IntervalId(4));
+        assert_eq!(index.tracked_readers(), 3);
+        assert_eq!(index.tracked_entries(), 2);
+
+        // Purging A removes both of its edges; B's edge survives untouched.
+        assert_eq!(index.purge_entry(&entry_a, IntervalId(4)), 2);
+        assert_eq!(index.tracked_readers(), 1);
+        assert_eq!(index.tracked_entries(), 1);
+        // The pair variable lost its only reader and is gone entirely.
+        assert_eq!(index.tracked_variables(), 1);
+        assert!(index
+            .drain_dependents(std::slice::from_ref(&pair))
+            .is_empty());
+        // Purging is idempotent and safe for unknown entries.
+        assert_eq!(index.purge_entry(&entry_a, IntervalId(4)), 0);
+        assert_eq!(index.purge_entry(&path(&[9]), IntervalId(0)), 0);
+        // B's reader edge is still drainable.
+        assert_eq!(index.drain_dependents(&[unit]).len(), 1);
+        // Draining left B's forward record behind; purging it afterwards is
+        // the no-op cleanup apply_update performs after each eviction.
+        assert_eq!(index.purge_entry(&entry_b, IntervalId(4)), 0);
+        assert_eq!(index.tracked_entries(), 0);
+        assert_eq!(index.tracked_readers(), 0);
+    }
+
+    #[test]
     fn update_report_precision_divides_safely() {
         let report = UpdateReport {
             epoch: 1,
             variables_updated: 2,
             variables_added: 1,
+            variables_removed: 1,
             evicted_tracked: 3,
             evicted_swept: 1,
+            stale_reader_purges: 2,
             cache_entries_before: 16,
             cache_entries_after: 12,
         };

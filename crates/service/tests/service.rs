@@ -755,3 +755,46 @@ fn apply_update_rejects_out_of_order_epochs() {
     assert!(engine.apply_update(first).is_err(), "stale epoch accepted");
     assert_eq!(engine.epoch(), 2);
 }
+
+#[test]
+fn flush_cache_drops_entries_and_dependency_edges_together() {
+    let f = fixture(313);
+    let weights = PathWeightFunction::instantiate(&f.net, &f.store, &f.cfg).unwrap();
+    let graph = HybridGraph::from_parts(&f.net, weights, f.cfg.clone());
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    // Variable-anchored probes record real dependency edges.
+    for var in engine.graph().weights().variables().iter().take(12) {
+        engine
+            .execute(&QueryRequest::EstimateDistribution {
+                path: var.path.clone(),
+                departure: engine.canonical_departure(var.interval),
+            })
+            .unwrap();
+    }
+    let warmed = engine.cache().len();
+    assert!(warmed > 0);
+    let deps = engine.dependency_index();
+    assert!(deps.tracked_entries() > 0 && deps.tracked_readers() > 0);
+
+    // The full flush drops the entries AND their reader edges (unlike
+    // cache().clear() alone, which would leave the index tracking dead
+    // entries).
+    let flushed = engine.flush_cache();
+    assert_eq!(flushed as usize, warmed);
+    assert!(engine.cache().is_empty());
+    assert_eq!(deps.tracked_entries(), 0);
+    assert_eq!(deps.tracked_readers(), 0);
+    assert_eq!(deps.tracked_variables(), 0);
+    assert!(engine.stats().invalidation_stale_reader_purges > 0);
+
+    // The engine keeps serving (and re-recording) after a flush.
+    let var = &engine.graph().weights().variables()[0].clone();
+    engine
+        .execute(&QueryRequest::EstimateDistribution {
+            path: var.path.clone(),
+            departure: engine.canonical_departure(var.interval),
+        })
+        .unwrap();
+    assert_eq!(engine.cache().len(), 1);
+    assert!(deps.tracked_entries() <= 1);
+}

@@ -194,7 +194,13 @@ impl<'a> TrafficSimulator<'a> {
         let mut trajectories = Vec::with_capacity(self.cfg.trips);
         let mut ground_truth = Vec::with_capacity(self.cfg.trips);
 
-        let mut id = 0u64;
+        // Trajectory ids are seed-prefixed so trips simulated under
+        // different seeds get disjoint id ranges: the TrajectoryStore
+        // deduplicates by id (first occurrence wins), and purely sequential
+        // ids would make a merge of two independently simulated datasets
+        // silently discard the second one. Within one run ids stay
+        // sequential from the prefix (trips are bounded far below 2^40).
+        let mut id = self.cfg.seed.wrapping_shl(40);
         let mut attempts = 0usize;
         let max_attempts = self.cfg.trips * 20;
         while trajectories.len() < self.cfg.trips && attempts < max_attempts {

@@ -26,29 +26,33 @@ pub struct Occurrence {
 }
 
 /// An indexed collection of map-matched trajectories.
+///
+/// Trajectory identity is the [`MatchedTrajectory::id`]: the store holds at
+/// most one trajectory per id, and every constructor/mutation path
+/// ([`Self::new`], [`Self::append`], [`Self::merge`]) deduplicates
+/// deterministically — the *first* trajectory carrying an id wins, later
+/// carriers are dropped. That makes retirement by id well-defined and keeps
+/// the derived edge index from drifting when the same batch is (re)delivered.
 #[derive(Debug, Clone)]
 pub struct TrajectoryStore {
     matched: Vec<MatchedTrajectory>,
     /// For every edge, the `(trajectory index, position)` pairs where it occurs.
     edge_index: HashMap<EdgeId, Vec<(u32, u32)>>,
+    /// Trajectory id → index into `matched`.
+    by_id: HashMap<u64, u32>,
 }
 
 impl TrajectoryStore {
-    /// Builds a store from map-matched trajectories.
+    /// Builds a store from map-matched trajectories (duplicate ids are
+    /// dropped, first occurrence wins).
     pub fn new(matched: Vec<MatchedTrajectory>) -> Self {
-        let mut edge_index: HashMap<EdgeId, Vec<(u32, u32)>> = HashMap::new();
-        for (ti, m) in matched.iter().enumerate() {
-            for (pos, &e) in m.path.edges().iter().enumerate() {
-                edge_index
-                    .entry(e)
-                    .or_default()
-                    .push((ti as u32, pos as u32));
-            }
-        }
-        TrajectoryStore {
-            matched,
-            edge_index,
-        }
+        let mut store = TrajectoryStore {
+            matched: Vec::with_capacity(matched.len()),
+            edge_index: HashMap::new(),
+            by_id: HashMap::with_capacity(matched.len()),
+        };
+        store.append(matched);
+        store
     }
 
     /// Builds a store directly from a simulation's ground-truth alignments
@@ -75,6 +79,16 @@ impl TrajectoryStore {
     /// The trajectory at `index`.
     pub fn get(&self, index: usize) -> Option<&MatchedTrajectory> {
         self.matched.get(index)
+    }
+
+    /// `true` when a trajectory with this id is stored.
+    pub fn contains_id(&self, id: u64) -> bool {
+        self.by_id.contains_key(&id)
+    }
+
+    /// The current index of the trajectory with this id, if stored.
+    pub fn index_of(&self, id: u64) -> Option<usize> {
+        self.by_id.get(&id).map(|&i| i as usize)
     }
 
     /// A store containing only the first `fraction` (0–1] of the trajectories,
@@ -228,24 +242,131 @@ impl TrajectoryStore {
     /// trajectory list: existing indices keep their values, new trajectories
     /// take the next indices, and every per-edge posting list stays in
     /// ascending `(trajectory, position)` order.
-    pub fn append(&mut self, matched: Vec<MatchedTrajectory>) {
-        let base = self.matched.len();
-        for (i, m) in matched.iter().enumerate() {
+    ///
+    /// Trajectories whose id is already stored (or repeated earlier in the
+    /// batch) are dropped deterministically — first occurrence wins — so a
+    /// re-delivered batch is a no-op instead of silently double-counting
+    /// every qualified occurrence. An empty batch changes nothing, not even
+    /// edge-index allocation. Returns the number of trajectories actually
+    /// appended.
+    pub fn append(&mut self, matched: Vec<MatchedTrajectory>) -> usize {
+        let mut appended = 0;
+        for m in matched {
+            let index = self.matched.len() as u32;
+            match self.by_id.entry(m.id) {
+                std::collections::hash_map::Entry::Occupied(_) => continue,
+                std::collections::hash_map::Entry::Vacant(slot) => slot.insert(index),
+            };
             for (pos, &e) in m.path.edges().iter().enumerate() {
                 self.edge_index
                     .entry(e)
                     .or_default()
-                    .push(((base + i) as u32, pos as u32));
+                    .push((index, pos as u32));
             }
+            self.matched.push(m);
+            appended += 1;
         }
-        self.matched.extend(matched);
+        appended
     }
 
     /// Merges another store's trajectories into this one. Delegates to
     /// [`Self::append`], so the derived edge index is maintained
-    /// incrementally instead of being rebuilt from scratch.
-    pub fn merge(&mut self, other: TrajectoryStore) {
-        self.append(other.matched);
+    /// incrementally instead of being rebuilt from scratch, and ids already
+    /// present are dropped (first occurrence wins). Returns the number of
+    /// trajectories actually merged in — check it when merging stores from
+    /// *independent* sources: id-keyed dedup means colliding id spaces keep
+    /// only the receiver's trajectories (the simulator seed-prefixes its
+    /// ids so different-seed datasets merge losslessly).
+    pub fn merge(&mut self, other: TrajectoryStore) -> usize {
+        self.append(other.matched)
+    }
+
+    /// Retires (removes and returns) every trajectory whose *start* — the
+    /// entry time into its first edge — is strictly before `cutoff`: the
+    /// TTL-expiry primitive of the live retention pipeline. Trajectories
+    /// starting exactly at `cutoff` stay.
+    ///
+    /// The edge index is shrunk in place (posting lists are filtered and
+    /// re-numbered, never rebuilt from the trajectory paths), and the
+    /// resulting store is indistinguishable from `TrajectoryStore::new` over
+    /// the surviving trajectory list: survivors keep their relative order and
+    /// every posting list stays in ascending `(trajectory, position)` order.
+    pub fn retire_before(&mut self, cutoff: Timestamp) -> Vec<MatchedTrajectory> {
+        self.retire_where(|m| {
+            m.entry_times
+                .first()
+                .is_some_and(|t| t.seconds() < cutoff.seconds())
+        })
+    }
+
+    /// The trajectory start time (entry into the first edge) at the given
+    /// percentile of the store, or `None` when the store is empty — the
+    /// standard way to pick a [`Self::retire_before`] cutoff that expires
+    /// roughly `pct`% of the current data. `pct` is clamped to 0–100;
+    /// percentile 0 is the oldest start (retiring strictly-before it removes
+    /// nothing), percentile 100 saturates at the newest.
+    pub fn start_time_at_percentile(&self, pct: usize) -> Option<Timestamp> {
+        let mut starts: Vec<f64> = self
+            .matched
+            .iter()
+            .filter_map(|m| m.entry_times.first().map(|t| t.seconds()))
+            .collect();
+        if starts.is_empty() {
+            return None;
+        }
+        starts.sort_by(f64::total_cmp);
+        let at = (starts.len() * pct.min(100) / 100).min(starts.len() - 1);
+        Some(Timestamp(starts[at]))
+    }
+
+    /// Retires (removes and returns) the trajectories with the given ids, in
+    /// store order; ids not present are ignored. Same index-maintenance
+    /// guarantees as [`Self::retire_before`].
+    pub fn retire_ids(&mut self, ids: &[u64]) -> Vec<MatchedTrajectory> {
+        let ids: HashSet<u64> = ids.iter().copied().collect();
+        self.retire_where(|m| ids.contains(&m.id))
+    }
+
+    /// Shared removal path: splits off the trajectories matching `predicate`,
+    /// renumbers the survivors, and filters + remaps every edge posting list
+    /// in place (the remap is monotone, so ascending posting order is
+    /// preserved without re-sorting).
+    fn retire_where<F: FnMut(&MatchedTrajectory) -> bool>(
+        &mut self,
+        mut predicate: F,
+    ) -> Vec<MatchedTrajectory> {
+        let mut remap: Vec<Option<u32>> = vec![None; self.matched.len()];
+        let mut removed = Vec::new();
+        let mut kept = Vec::with_capacity(self.matched.len());
+        for (old, m) in self.matched.drain(..).enumerate() {
+            if predicate(&m) {
+                removed.push(m);
+            } else {
+                remap[old] = Some(kept.len() as u32);
+                kept.push(m);
+            }
+        }
+        self.matched = kept;
+        if removed.is_empty() {
+            return removed;
+        }
+        self.edge_index.retain(|_, postings| {
+            postings.retain_mut(|(ti, _)| match remap[*ti as usize] {
+                Some(new) => {
+                    *ti = new;
+                    true
+                }
+                None => false,
+            });
+            !postings.is_empty()
+        });
+        for m in &removed {
+            self.by_id.remove(&m.id);
+        }
+        for slot in self.by_id.values_mut() {
+            *slot = remap[*slot as usize].expect("surviving id maps to a surviving index");
+        }
+        removed
     }
 }
 
@@ -352,10 +473,15 @@ mod tests {
         let half = store.subset(0.5);
         assert!(half.len() <= store.len());
         assert!(half.len() >= store.len() / 2 - 1);
+        // Merging keeps the id-keyed union: a subset already contained in the
+        // receiver adds nothing, disjoint trajectories all arrive.
         let mut other = store.subset(0.25);
-        let before = other.len();
-        other.merge(store.subset(0.25));
-        assert_eq!(other.len(), before * 2);
+        let quarter = other.len();
+        assert_eq!(other.merge(store.subset(0.25)), 0, "same prefix: all dups");
+        assert_eq!(other.len(), quarter);
+        let merged = other.merge(half.clone());
+        assert_eq!(other.len(), half.len());
+        assert_eq!(merged, half.len() - quarter);
         assert!(store.subset(0.0).is_empty());
     }
 
@@ -395,9 +521,9 @@ mod tests {
     #[test]
     fn merge_empty_and_duplicate_heavy_inputs_keep_indices_consistent() {
         let (_, store) = store_and_net();
-        // Merging an empty store is a no-op.
+        // Merging an empty store is a no-op — including on the edge index.
         let mut merged = store.clone();
-        merged.merge(TrajectoryStore::new(Vec::new()));
+        assert_eq!(merged.merge(TrajectoryStore::new(Vec::new())), 0);
         assert_eq!(merged.len(), store.len());
         let m0 = store.get(0).unwrap().clone();
         assert_eq!(
@@ -409,11 +535,12 @@ mod tests {
         assert!(from_empty.is_empty());
         from_empty.merge(store.clone());
         assert_eq!(from_empty.len(), store.len());
-        // Duplicate-heavy: merging a store into itself doubles every
-        // occurrence count and keeps the index in sync with a rebuild.
+        // Duplicate-heavy: merging a store into itself is an id-keyed no-op —
+        // occurrence counts must NOT double, and the index stays in sync with
+        // a from-scratch rebuild over the deduplicated list.
         let mut doubled = store.clone();
-        doubled.merge(store.clone());
-        assert_eq!(doubled.len(), store.len() * 2);
+        assert_eq!(doubled.merge(store.clone()), 0);
+        assert_eq!(doubled.len(), store.len());
         let rebuilt = TrajectoryStore::new(
             store
                 .matched()
@@ -422,14 +549,180 @@ mod tests {
                 .cloned()
                 .collect(),
         );
+        assert_eq!(rebuilt.len(), store.len(), "new() dedups by id too");
         assert_eq!(
             doubled.occurrences_on(&m0.path),
             rebuilt.occurrences_on(&m0.path)
         );
         assert_eq!(
-            doubled.occurrences_on(&m0.path).len(),
-            store.occurrences_on(&m0.path).len() * 2
+            doubled.occurrences_on(&m0.path),
+            store.occurrences_on(&m0.path)
         );
+    }
+
+    #[test]
+    fn append_rejects_duplicate_ids_and_empty_batches_deterministically() {
+        let (_, store) = store_and_net();
+        let split = store.len() / 2;
+        let mut incremental = TrajectoryStore::new(store.matched()[..split].to_vec());
+        // An empty batch is a strict no-op.
+        let edges_before = incremental.covered_edges();
+        assert_eq!(incremental.append(Vec::new()), 0);
+        assert_eq!(incremental.len(), split);
+        assert_eq!(incremental.covered_edges(), edges_before);
+        // A batch of already-stored ids is dropped wholesale; a mixed batch
+        // keeps exactly the new ids, and repeating a batch (re-delivery)
+        // changes nothing.
+        assert_eq!(incremental.append(store.matched()[..split].to_vec()), 0);
+        let mixed: Vec<MatchedTrajectory> = store.matched()[split - 1..].to_vec();
+        assert_eq!(incremental.append(mixed.clone()), store.len() - split);
+        assert_eq!(
+            incremental.append(mixed),
+            0,
+            "re-delivered batch is a no-op"
+        );
+        assert_eq!(incremental.len(), store.len());
+        // Within-batch duplicates: first occurrence wins.
+        let mut fresh = TrajectoryStore::new(Vec::new());
+        let dup = store.get(0).unwrap().clone();
+        assert_eq!(fresh.append(vec![dup.clone(), dup.clone(), dup]), 1);
+        assert_eq!(fresh.len(), 1);
+        // The deduplicated store answers occurrence queries like a rebuild.
+        for m in store.matched().iter().take(5) {
+            assert_eq!(
+                incremental.occurrences_on(&m.path),
+                store.occurrences_on(&m.path)
+            );
+        }
+        assert_eq!(incremental.covered_edges(), store.covered_edges());
+    }
+
+    #[test]
+    fn start_time_percentiles_are_ordered_and_clamped() {
+        let (_, store) = store_and_net();
+        let p0 = store.start_time_at_percentile(0).unwrap();
+        let p50 = store.start_time_at_percentile(50).unwrap();
+        let p100 = store.start_time_at_percentile(100).unwrap();
+        assert!(p0.seconds() <= p50.seconds() && p50.seconds() <= p100.seconds());
+        // Out-of-range percentiles clamp instead of panicking.
+        assert_eq!(
+            store.start_time_at_percentile(100).unwrap().seconds(),
+            store.start_time_at_percentile(999).unwrap().seconds()
+        );
+        // Percentile 0 is the oldest start: strictly-before retires nothing.
+        let mut untouched = store;
+        assert!(untouched.retire_before(p0).is_empty());
+        assert!(TrajectoryStore::new(Vec::new())
+            .start_time_at_percentile(50)
+            .is_none());
+    }
+
+    #[test]
+    fn retire_before_matches_a_rebuild_over_survivors() {
+        let (_, store) = store_and_net();
+        // Cut at the median start time: a real two-sided split.
+        let cutoff = store.start_time_at_percentile(50).unwrap();
+
+        let mut retired_store = store.clone();
+        let removed = retired_store.retire_before(cutoff);
+        assert!(!removed.is_empty(), "median cut retires something");
+        assert!(!retired_store.is_empty(), "median cut keeps something");
+        assert_eq!(removed.len() + retired_store.len(), store.len());
+        for m in &removed {
+            assert!(m.entry_times[0].seconds() < cutoff.seconds());
+            assert!(!retired_store.contains_id(m.id));
+        }
+        // Survivors keep store order and the shrunk index answers every
+        // occurrence query exactly like a from-scratch rebuild.
+        let survivors: Vec<MatchedTrajectory> = store
+            .matched()
+            .iter()
+            .filter(|m| m.entry_times[0].seconds() >= cutoff.seconds())
+            .cloned()
+            .collect();
+        let rebuilt = TrajectoryStore::new(survivors);
+        assert_eq!(retired_store.matched(), rebuilt.matched());
+        for m in store.matched().iter().take(10) {
+            assert_eq!(
+                retired_store.occurrences_on(&m.path),
+                rebuilt.occurrences_on(&m.path)
+            );
+            if m.path.cardinality() >= 2 {
+                let sub = m.path.slice(0, 2).unwrap();
+                assert_eq!(
+                    retired_store.occurrences_on(&sub),
+                    rebuilt.occurrences_on(&sub)
+                );
+            }
+        }
+        assert_eq!(retired_store.covered_edges(), rebuilt.covered_edges());
+        // Retiring everything (or nothing) is well-behaved.
+        let mut all = store.clone();
+        assert_eq!(
+            all.retire_before(Timestamp(f64::INFINITY)).len(),
+            store.len()
+        );
+        assert!(all.is_empty());
+        assert!(all.covered_edges().is_empty());
+        let mut none = store.clone();
+        assert!(none.retire_before(Timestamp(f64::NEG_INFINITY)).is_empty());
+        assert_eq!(none.len(), store.len());
+    }
+
+    #[test]
+    fn retire_ids_removes_exactly_the_named_trajectories() {
+        let (_, store) = store_and_net();
+        let victims: Vec<u64> = store.matched().iter().step_by(3).map(|m| m.id).collect();
+        let mut retired_store = store.clone();
+        // Unknown ids are ignored; named ids are all removed, in store order.
+        let mut request = victims.clone();
+        request.push(u64::MAX);
+        let removed = retired_store.retire_ids(&request);
+        assert_eq!(
+            removed.iter().map(|m| m.id).collect::<Vec<_>>(),
+            victims,
+            "removed in store order, unknown id ignored"
+        );
+        assert_eq!(retired_store.len() + removed.len(), store.len());
+        let rebuilt = TrajectoryStore::new(
+            store
+                .matched()
+                .iter()
+                .filter(|m| !victims.contains(&m.id))
+                .cloned()
+                .collect(),
+        );
+        assert_eq!(retired_store.matched(), rebuilt.matched());
+        for m in store.matched().iter().take(10) {
+            assert_eq!(
+                retired_store.occurrences_on(&m.path),
+                rebuilt.occurrences_on(&m.path)
+            );
+        }
+        // index_of stays consistent after renumbering.
+        for (i, m) in retired_store.matched().iter().enumerate() {
+            assert_eq!(retired_store.index_of(m.id), Some(i));
+        }
+        // Retire-then-append round-trip: re-appending the retired
+        // trajectories yields a store equivalent to a rebuild over
+        // survivors-then-retired.
+        let mut round_trip = retired_store.clone();
+        assert_eq!(round_trip.append(removed.clone()), removed.len());
+        let expected = TrajectoryStore::new(
+            retired_store
+                .matched()
+                .iter()
+                .chain(removed.iter())
+                .cloned()
+                .collect(),
+        );
+        assert_eq!(round_trip.matched(), expected.matched());
+        for m in store.matched().iter().take(10) {
+            assert_eq!(
+                round_trip.occurrences_on(&m.path),
+                expected.occurrences_on(&m.path)
+            );
+        }
     }
 
     #[test]

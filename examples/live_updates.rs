@@ -1,19 +1,26 @@
-//! Ingest-while-serving: live trajectory updates against a serving engine.
+//! Ingest/retire churn while serving: live trajectory updates against a
+//! serving engine.
 //!
 //! Builds the hybrid graph from 85% of a simulated dataset and serves a warm
 //! query workload from one thread while the main thread ingests the
-//! remaining trajectories in batches through `pathcost-live`. Each ingest
+//! remaining trajectories in three batches through `pathcost-live`, then
+//! TTL-retires the oldest slice of the store as a fourth epoch. Each update
 //! publishes a new weight-function epoch into the engine
 //! (`QueryEngine::apply_update`), which surgically evicts only the cache
-//! entries that depended on the changed variables — the serving thread never
-//! stops, never observes a torn epoch, and keeps its untouched warm entries.
+//! entries that depended on the changed variables — including readers of
+//! variables the retirement *deleted* (support dropped below β) — the
+//! serving thread never stops, never observes a torn epoch, and keeps its
+//! untouched warm entries. After the churn, the dependency index must track
+//! no more entries than the cache actually holds (the leak fix this example
+//! smoke-tests in CI).
 //!
 //! Unlike the other (fully seeded) examples, the *counters* printed here —
 //! evictions per epoch, dependency-index size, queries served — depend on
-//! how the serving thread interleaves with the three ingests, so they vary
-//! run to run. The assertions only use scheduling-independent facts: three
+//! how the serving thread interleaves with the four updates, so they vary
+//! run to run. The assertions only use scheduling-independent facts: four
 //! epochs applied, at least the pre-thread warm set's dependents evicted,
-//! zero query errors. Answer *correctness* across epochs is pinned
+//! trajectories retired, the dependency index bounded by live cache
+//! entries, zero query errors. Answer *correctness* across epochs is pinned
 //! elsewhere (`tests/live_equivalence.rs`).
 //!
 //! Run with: `cargo run --release --example live_updates`
@@ -108,6 +115,34 @@ fn main() {
             );
             assert!(changed >= report.variables_updated + report.variables_added);
         }
+
+        // Fourth epoch, still under live traffic: the oldest ~35% of the
+        // store hits its TTL. Variables losing their β support are deleted;
+        // their readers are flushed and containing paths swept.
+        let cutoff = ingestor
+            .store()
+            .start_time_at_percentile(35)
+            .expect("store is non-empty");
+        let retire_start = Instant::now();
+        let update = ingestor.retire_before(cutoff).expect("retire succeeds");
+        let retired = update.trajectories_retired;
+        let report = engine.apply_update(update).expect("update applies");
+        println!(
+            "epoch {}: -{} trajectories (TTL) → {} updated / {} removed variables; \
+             evicted {}/{} cache entries ({} tracked, {} swept, {} stale edges purged) in {:.2?}",
+            report.epoch,
+            retired,
+            report.variables_updated,
+            report.variables_removed,
+            report.evicted_total(),
+            report.cache_entries_before,
+            report.evicted_tracked,
+            report.evicted_swept,
+            report.stale_reader_purges,
+            retire_start.elapsed(),
+        );
+        assert!(retired > 0, "the TTL cut must retire trajectories");
+
         stop.store(true, Ordering::Relaxed);
         serving.join().expect("serving thread joins");
     });
@@ -126,32 +161,48 @@ fn main() {
         engine.cache().len()
     );
     println!(
-        "  ingest: {} updates, {} trajectories, {} variables updated, {} added",
+        "  ingest: {} updates, {} trajectories in, {} retired, {} variables updated, {} added, {} removed",
         stats.ingest_updates,
         stats.ingest_trajectories,
+        stats.ingest_trajectories_retired,
         stats.ingest_variables_updated,
-        stats.ingest_variables_added
+        stats.ingest_variables_added,
+        stats.ingest_variables_removed
     );
     println!(
-        "  invalidation: {} tracked evictions, {} containment-swept ({} total)",
+        "  invalidation: {} tracked evictions, {} containment-swept ({} total), {} stale reader edges purged",
         stats.invalidation_tracked_evictions,
         stats.invalidation_swept_evictions,
-        stats.invalidation_evictions()
+        stats.invalidation_evictions(),
+        stats.invalidation_stale_reader_purges
     );
     println!(
-        "  dependency index: {} variables tracked, {} reader edges",
+        "  dependency index: {} variables tracked, {} reader edges over {} entries ({} cached)",
         engine.dependency_index().tracked_variables(),
-        engine.dependency_index().tracked_readers()
+        engine.dependency_index().tracked_readers(),
+        engine.dependency_index().tracked_entries(),
+        engine.cache().len()
     );
 
-    assert_eq!(stats.ingest_updates, 3, "three batches were applied");
+    assert_eq!(
+        stats.ingest_updates, 4,
+        "three ingest batches plus one retirement were applied"
+    );
+    assert!(
+        stats.ingest_trajectories_retired > 0,
+        "the TTL epoch retired data"
+    );
     assert!(
         stats.invalidation_evictions() > 0,
         "updates touching served variables must evict their entries"
     );
+    assert!(
+        engine.dependency_index().tracked_entries() <= engine.cache().len(),
+        "the dependency index may not track more entries than the cache holds"
+    );
     assert!(stats.errors == 0, "no query may fail across epochs");
     println!(
-        "\n✓ served continuously across {} live epochs with targeted invalidation",
+        "\n✓ served continuously across {} live epochs (ingest + TTL retirement) with targeted invalidation",
         engine.epoch()
     );
 }

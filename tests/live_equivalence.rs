@@ -1,15 +1,22 @@
-//! The live-update subsystem's correctness oracle: after **any** ingest,
-//! an engine kept current through targeted invalidation
+//! The live-update subsystem's correctness oracle: after **any** ingest or
+//! retirement, an engine kept current through targeted invalidation
 //! (`QueryEngine::apply_update`) must serve answers **bit-identical** to an
-//! engine rebuilt from scratch over the merged trajectory store with a cold
-//! cache.
+//! engine rebuilt from scratch over the current (merged or truncated)
+//! trajectory store with a cold cache.
 //!
-//! Property-tested over dataset seeds, base/ingest split points and batch
-//! counts. Every round warms the live engine (so invalidation has real
-//! entries to evict — including entries estimated before the update), applies
-//! the update, and compares distributions for: the pre-update warm set, the
-//! post-update variable set (covering newly added variables), and dead-hour
-//! fallback-backed queries (covering survivors).
+//! Property-tested over dataset seeds, base/ingest split points, batch
+//! counts, TTL cut points and retire-then-append interleavings. Every round
+//! warms the live engine (so invalidation has real entries to evict —
+//! including entries estimated before the update), applies the update, and
+//! compares distributions for: the pre-update warm set, the post-update
+//! variable set (covering newly added variables), and dead-hour
+//! fallback-backed queries (covering survivors). Retirement rounds
+//! additionally cover variables *deleted* because their support dropped
+//! below β.
+//!
+//! A separate churn workload pins the dependency index's hygiene invariant:
+//! with eviction-time purging, the number of entries it tracks is bounded by
+//! the number of *live* cache entries.
 
 use pathcost::core::{HybridConfig, HybridGraph, PathWeightFunction};
 use pathcost::live::LiveIngestor;
@@ -103,6 +110,80 @@ fn check_update_equivalence(seed: u64, split_pct: usize, batches: usize) {
     assert_eq!(live.epoch(), ingestor.epoch());
 }
 
+/// The TTL cut point that retires roughly `pct`% of the current store.
+fn ttl_cutoff(store: &TrajectoryStore, pct: usize) -> Timestamp {
+    store
+        .start_time_at_percentile(pct)
+        .expect("store is non-empty")
+}
+
+/// The retention oracle: a warm engine taken through retire and append
+/// epochs (in either order, controlled by `retire_first`) answers
+/// bit-identically to a full rebuild over the truncated/merged store with a
+/// flushed (cold) cache after every epoch. Returns the total number of
+/// variables the retirement deleted, so callers can assert the downward
+/// transition was actually exercised.
+fn check_retention_equivalence(seed: u64, ttl_pct: usize, retire_first: bool) -> usize {
+    let (net, full) = pathcost::traj::DatasetPreset::tiny(seed)
+        .materialise()
+        .unwrap();
+    let cfg = HybridConfig {
+        beta: 10,
+        ..HybridConfig::default()
+    };
+    let split = full.len() * 80 / 100;
+    let base = TrajectoryStore::new(full.matched()[..split].to_vec());
+    let rest: Vec<MatchedTrajectory> = full.matched()[split..].to_vec();
+
+    let weights = PathWeightFunction::instantiate(&net, &base, &cfg).unwrap();
+    let live = QueryEngine::new(
+        Arc::new(HybridGraph::from_parts(&net, weights.clone(), cfg.clone())),
+        ServiceConfig::default(),
+    );
+    let mut ingestor = LiveIngestor::from_instantiated(&net, base, weights, cfg.clone()).unwrap();
+
+    let mut removed_total = 0;
+    for step in 0..2 {
+        // Warm with the *current* epoch's probes, so the update must evict
+        // stale entries (and only those) to stay correct.
+        let warm = probe_requests(&live, 10);
+        for request in &warm {
+            live.execute(request).unwrap();
+        }
+
+        let retire_now = (step == 0) == retire_first;
+        let update = if retire_now {
+            let cutoff = ttl_cutoff(ingestor.store(), ttl_pct);
+            let update = ingestor.retire_before(cutoff).unwrap();
+            assert!(update.trajectories_retired > 0, "cut point retires data");
+            removed_total += update.removed.len();
+            update
+        } else {
+            ingestor.ingest(rest.clone()).unwrap()
+        };
+        live.apply_update(update).unwrap();
+
+        // Oracle: full rebuild over the current store, cold cache.
+        let oracle_weights = PathWeightFunction::instantiate(&net, ingestor.store(), &cfg).unwrap();
+        let oracle = QueryEngine::new(
+            Arc::new(HybridGraph::from_parts(&net, oracle_weights, cfg.clone())),
+            ServiceConfig::default(),
+        );
+
+        let context = format!(
+            "seed {seed}, ttl {ttl_pct}%, retire_first {retire_first}, epoch {}",
+            live.epoch()
+        );
+        assert_equivalent(&live, &oracle, &warm, &context);
+        // Probes of the *new* epoch cover added variables — and, after a
+        // retirement, paths whose variable was deleted and must now be
+        // estimated from shorter sub-paths or fallbacks.
+        assert_equivalent(&live, &oracle, &probe_requests(&oracle, 10), &context);
+    }
+    assert_eq!(live.epoch(), ingestor.epoch());
+    removed_total
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -114,6 +195,15 @@ proptest! {
     ) {
         check_update_equivalence(seed, split_pct, batches);
     }
+
+    #[test]
+    fn retirement_serves_truncated_rebuild_identical_answers(
+        seed in 400u64..432,
+        ttl_pct in 20usize..70,
+        retire_first in 0usize..2,
+    ) {
+        check_retention_equivalence(seed, ttl_pct, retire_first == 1);
+    }
 }
 
 /// A deterministic instance of the property, so the oracle is exercised even
@@ -121,4 +211,98 @@ proptest! {
 #[test]
 fn targeted_invalidation_equivalence_fixed_case() {
     check_update_equivalence(407, 80, 2);
+}
+
+/// Deterministic retention instances covering both interleavings; the heavy
+/// cut must actually delete below-β variables, or the downward-transition
+/// path silently stops being exercised.
+#[test]
+fn retirement_equivalence_fixed_cases() {
+    let removed = check_retention_equivalence(407, 60, true);
+    assert!(
+        removed > 0,
+        "a 60% TTL cut on the tiny preset must drop variables below β"
+    );
+    check_retention_equivalence(411, 35, false);
+}
+
+/// The dependency index must stay bounded by the *live* cache contents under
+/// an ingest/retire/query churn workload: a deliberately tiny LRU cache
+/// forces steady capacity evictions, updates land between serving passes,
+/// and after every round the number of entries the index tracks may not
+/// exceed the entries actually cached (pre-fix, LRU-evicted readers leaked
+/// until their variable happened to update).
+#[test]
+fn dependency_index_stays_bounded_by_live_cache_under_churn() {
+    let (net, full) = pathcost::traj::DatasetPreset::tiny(509)
+        .materialise()
+        .unwrap();
+    let cfg = HybridConfig {
+        beta: 10,
+        ..HybridConfig::default()
+    };
+    let split = full.len() * 70 / 100;
+    let base = TrajectoryStore::new(full.matched()[..split].to_vec());
+    let rest: Vec<MatchedTrajectory> = full.matched()[split..].to_vec();
+
+    let weights = PathWeightFunction::instantiate(&net, &base, &cfg).unwrap();
+    let live = QueryEngine::new(
+        Arc::new(HybridGraph::from_parts(&net, weights.clone(), cfg.clone())),
+        ServiceConfig {
+            cache_shards: 2,
+            shard_capacity: 6,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut ingestor = LiveIngestor::from_instantiated(&net, base, weights, cfg).unwrap();
+
+    let chunk = rest.len().div_ceil(3).max(1);
+    let mut batches = rest.chunks(chunk);
+    let assert_bounded = |round: usize| {
+        let tracked = live.dependency_index().tracked_entries();
+        let cached = live.cache().len();
+        assert!(
+            tracked <= cached,
+            "round {round}: dependency index tracks {tracked} entries but only {cached} are cached"
+        );
+    };
+    for round in 0..8 {
+        // Serving pass: wide probe set against a 12-entry cache ⇒ heavy LRU
+        // churn, every eviction must purge its reader edges.
+        for request in probe_requests(&live, 16) {
+            live.execute(&request).unwrap();
+        }
+        assert_bounded(round);
+        // Alternate ingest and TTL-retire epochs while serving continues.
+        let update = if round % 2 == 0 {
+            match batches.next() {
+                Some(batch) => ingestor.ingest(batch.to_vec()).unwrap(),
+                None => ingestor.ingest(Vec::new()).unwrap(),
+            }
+        } else {
+            ingestor
+                .retire_before(ttl_cutoff(ingestor.store(), 15))
+                .unwrap()
+        };
+        live.apply_update(update).unwrap();
+        assert_bounded(round);
+    }
+
+    let stats = live.stats();
+    assert!(
+        stats.cache_evictions > 0,
+        "the churn workload must exercise LRU evictions"
+    );
+    assert!(
+        stats.invalidation_stale_reader_purges > 0,
+        "evictions of recorded readers must purge their dependency edges"
+    );
+    assert!(
+        stats.ingest_trajectories_retired > 0 && stats.ingest_trajectories > 0,
+        "churn must both append and retire"
+    );
+    // Total edge count is likewise bounded: every tracked entry is live, so
+    // the edge total cannot exceed live entries × the per-entry read count
+    // (a small constant given bounded path length and decomposition depth).
+    assert!(live.dependency_index().tracked_readers() >= live.dependency_index().tracked_entries());
 }
