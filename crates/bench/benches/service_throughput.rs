@@ -8,6 +8,12 @@
 //! through a fresh engine (first-touch estimation, shared jobs deduplicated
 //! across the worker pool); `service_batch_warm` is the steady-state serving
 //! path where every lookup hits the cache.
+//!
+//! The `pool_vs_scoped` pair compares the persistent shard-pinned worker
+//! pool against the scoped-threads-per-batch baseline on the same warm
+//! workload, and a per-query tail-latency table (p50/p99/max from the
+//! engine's fixed-bucket histogram) is printed for both executors at each
+//! batch size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pathcost_core::{CostEstimator, HybridConfig, HybridGraph, OdEstimator};
@@ -97,6 +103,34 @@ fn bench_service_throughput(c: &mut Criterion) {
             &requests,
             |b, requests| b.iter(|| engine.execute_batch(requests)),
         );
+
+        // Persistent shard-pinned pool vs scoped-threads-per-batch, on the
+        // same warm workload. The pool must be no slower at batch 256.
+        for (label, persistent_pool) in [("pool_batch_warm", true), ("scoped_batch_warm", false)] {
+            let engine = QueryEngine::new(
+                graph.clone(),
+                ServiceConfig {
+                    persistent_pool,
+                    ..ServiceConfig::default()
+                },
+            );
+            let _ = engine.execute_batch(&requests);
+            group.bench_with_input(
+                BenchmarkId::new(label, batch_size),
+                &requests,
+                |b, requests| b.iter(|| engine.execute_batch(requests)),
+            );
+            // Per-query tail latency out of the engine's own histogram —
+            // these are the numbers PERFORMANCE.md's PR 6 table quotes.
+            let latency = engine.stats().latency;
+            println!(
+                "tail_latency/{label}/{batch_size}: p50 {:?}  p99 {:?}  max {:?}  ({} queries)",
+                latency.p50(),
+                latency.p99(),
+                latency.max(),
+                latency.total(),
+            );
+        }
     }
 
     // Cross-path reuse: a batch whose candidates overlap on path prefixes

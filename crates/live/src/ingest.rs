@@ -10,6 +10,34 @@ use pathcost_traj::{MatchedTrajectory, Timestamp, TrajectoryStore};
 use std::collections::{BTreeSet, HashSet};
 use std::sync::Arc;
 
+/// A time-to-live retention policy applied on every [`LiveIngestor::ingest`].
+///
+/// `max_age` is measured in seconds against the store's *event-time
+/// watermark* — the newest trajectory start time after the batch lands — not
+/// against the wall clock. That keeps retention deterministic and
+/// replayable: re-running the same batch sequence retires the same
+/// trajectories in the same epochs, regardless of when the replay happens.
+/// `None` (the default) disables TTL expiry; explicit
+/// [`LiveIngestor::retire_before`] calls remain available either way.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RetentionConfig {
+    /// Maximum trajectory age in seconds relative to the watermark, or
+    /// `None` to keep everything until explicitly retired.
+    pub max_age: Option<f64>,
+}
+
+impl RetentionConfig {
+    /// Rejects a non-finite or non-positive `max_age`.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        match self.max_age {
+            Some(age) if !(age.is_finite() && age > 0.0) => Err(CoreError::InvalidConfig(
+                "retention max_age must be finite and positive",
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
 /// Accepts batches of newly matched trajectories, retires stale ones, and
 /// maintains the current weight-function epoch over the evolving store.
 ///
@@ -37,6 +65,7 @@ pub struct LiveIngestor<'n> {
     net: &'n RoadNetwork,
     store: TrajectoryStore,
     config: HybridConfig,
+    retention: RetentionConfig,
     partition: DayPartition,
     current: Arc<PathWeightFunction>,
     epoch: u64,
@@ -73,10 +102,21 @@ impl<'n> LiveIngestor<'n> {
             net,
             store,
             config,
+            retention: RetentionConfig::default(),
             partition,
             current: Arc::new(weights),
             epoch: 0,
         })
+    }
+
+    /// Installs a TTL [`RetentionConfig`]: every subsequent
+    /// [`ingest`](Self::ingest) epoch also retires trajectories older than
+    /// `max_age` seconds behind the event-time watermark, in the *same*
+    /// published epoch as the append.
+    pub fn with_retention(mut self, retention: RetentionConfig) -> Result<Self, CoreError> {
+        retention.validate()?;
+        self.retention = retention;
+        Ok(self)
     }
 
     /// Ingests a batch of newly matched trajectories and publishes the next
@@ -88,14 +128,43 @@ impl<'n> LiveIngestor<'n> {
     /// dirty keys are computed, so a re-delivered batch publishes a no-op
     /// epoch instead of double-counting occurrences or spuriously
     /// invalidating cache entries.
+    ///
+    /// When a [`RetentionConfig`] with a `max_age` is installed
+    /// ([`Self::with_retention`]), the same epoch also TTL-expires every
+    /// trajectory that entered its first edge more than `max_age` seconds
+    /// before the post-append watermark — append and expiry publish as one
+    /// consistent epoch, with their dirty-key sets merged. A batch that is
+    /// itself entirely behind the watermark can therefore arrive and expire
+    /// in the same call.
     pub fn ingest(&mut self, mut batch: Vec<MatchedTrajectory>) -> Result<WeightUpdate, CoreError> {
         let mut seen = HashSet::with_capacity(batch.len());
         batch.retain(|m| !self.store.contains_id(m.id) && seen.insert(m.id));
-        let dirty = dirty_keys(&batch, &self.partition, self.config.max_rank);
+        let mut dirty = dirty_keys(&batch, &self.partition, self.config.max_rank);
         let trajectories = batch.len();
         let appended_ids: Vec<u64> = batch.iter().map(|m| m.id).collect();
         self.store.append(batch);
-        let published = self.publish(dirty, trajectories, 0);
+        let expiring = self.retention_cutoff().filter(|cutoff| {
+            self.store.matched().iter().any(|m| {
+                m.entry_times
+                    .first()
+                    .is_some_and(|t| t.seconds() < cutoff.seconds())
+            })
+        });
+        let published = if let Some(cutoff) = expiring {
+            // A retirement cannot be undone by re-appending (removed rows sat
+            // at arbitrary positions), so snapshot the post-append store; the
+            // append itself is undone below by the shared suffix-retire.
+            let prev = self.store.clone();
+            let removed = self.store.retire_before(cutoff);
+            dirty.extend(dirty_keys(&removed, &self.partition, self.config.max_rank));
+            let published = self.publish(dirty, trajectories, removed.len());
+            if published.is_err() {
+                self.store = prev;
+            }
+            published
+        } else {
+            self.publish(dirty, trajectories, 0)
+        };
         if published.is_err() {
             // Error-path consistency: the epoch was not published, so the
             // store must not keep the batch either — otherwise every later
@@ -107,6 +176,15 @@ impl<'n> LiveIngestor<'n> {
             self.store.retire_ids(&appended_ids);
         }
         published
+    }
+
+    /// The TTL cutoff for the current store under the installed retention
+    /// policy: watermark (newest trajectory start) minus `max_age`. `None`
+    /// when retention is disabled or the store is empty.
+    fn retention_cutoff(&self) -> Option<Timestamp> {
+        let max_age = self.retention.max_age?;
+        let watermark = self.store.start_time_at_percentile(100)?;
+        Some(Timestamp(watermark.seconds() - max_age))
     }
 
     /// Retires every trajectory that entered its first edge strictly before
@@ -202,6 +280,11 @@ impl<'n> LiveIngestor<'n> {
     /// The configuration every epoch is derived under.
     pub fn config(&self) -> &HybridConfig {
         &self.config
+    }
+
+    /// The installed TTL retention policy (disabled by default).
+    pub fn retention(&self) -> RetentionConfig {
+        self.retention
     }
 
     /// The road network the store is matched against.
@@ -351,6 +434,77 @@ mod tests {
         let full =
             PathWeightFunction::instantiate(&net, ingestor2.store(), ingestor2.config()).unwrap();
         assert_eq!(update.weights.variables(), full.variables());
+    }
+
+    #[test]
+    fn ingest_with_ttl_retention_expires_and_appends_in_one_epoch() {
+        let (net, store, cfg) = fixture();
+        // Base = oldest half; batch = newest half. max_age is chosen so the
+        // post-append watermark pushes the oldest quarter of the full store
+        // past the TTL — the single ingest epoch must append AND expire.
+        let split = store.len() / 2;
+        let base = TrajectoryStore::new(store.matched()[..split].to_vec());
+        let rest: Vec<MatchedTrajectory> = store.matched()[split..].to_vec();
+        let watermark = store.start_time_at_percentile(100).unwrap();
+        let keep_from = store.start_time_at_percentile(25).unwrap();
+        let max_age = watermark.seconds() - keep_from.seconds();
+        assert!(max_age > 0.0);
+
+        let mut ingestor = LiveIngestor::new(&net, base, cfg.clone())
+            .unwrap()
+            .with_retention(RetentionConfig {
+                max_age: Some(max_age),
+            })
+            .unwrap();
+        let update = ingestor.ingest(rest.clone()).unwrap();
+        assert_eq!(update.epoch, 1, "append + expiry must be ONE epoch");
+        assert_eq!(update.trajectories, rest.len());
+        assert!(update.trajectories_retired > 0);
+        assert!(ingestor.store().matched().iter().all(|m| {
+            m.entry_times
+                .first()
+                .is_some_and(|t| t.seconds() >= keep_from.seconds())
+        }));
+        // Oracle: the published epoch is bit-identical to a full rebuild
+        // over the store as it stands after append + expiry.
+        let full = PathWeightFunction::instantiate(&net, ingestor.store(), &cfg).unwrap();
+        assert_eq!(update.weights.variables(), full.variables());
+        assert_eq!(update.weights.stats(), full.stats());
+    }
+
+    #[test]
+    fn retention_with_nothing_expired_is_a_pure_append_epoch() {
+        let (net, store, cfg) = fixture();
+        let split = store.len() * 3 / 4;
+        let base = TrajectoryStore::new(store.matched()[..split].to_vec());
+        let rest: Vec<MatchedTrajectory> = store.matched()[split..].to_vec();
+        // A TTL far wider than the dataset's time span retires nothing.
+        let mut ingestor = LiveIngestor::new(&net, base, cfg.clone())
+            .unwrap()
+            .with_retention(RetentionConfig {
+                max_age: Some(365.0 * 24.0 * 3600.0),
+            })
+            .unwrap();
+        let update = ingestor.ingest(rest).unwrap();
+        assert_eq!(update.trajectories_retired, 0);
+        assert_eq!(ingestor.store().len(), store.len());
+        let full = PathWeightFunction::instantiate(&net, ingestor.store(), &cfg).unwrap();
+        assert_eq!(update.weights.variables(), full.variables());
+    }
+
+    #[test]
+    fn invalid_retention_is_rejected() {
+        let (net, store, cfg) = fixture();
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let ingestor = LiveIngestor::new(&net, store.clone(), cfg.clone()).unwrap();
+            assert!(ingestor
+                .with_retention(RetentionConfig { max_age: Some(bad) })
+                .is_err());
+        }
+        let ingestor = LiveIngestor::new(&net, store, cfg).unwrap();
+        assert!(ingestor
+            .with_retention(RetentionConfig::default())
+            .is_ok_and(|i| i.retention().max_age.is_none()));
     }
 
     #[test]

@@ -39,7 +39,10 @@
 //! a first-class epoch, the exact mirror of ingestion:
 //!
 //! * [`LiveIngestor::retire_before`] TTL-expires every trajectory that
-//!   entered its first edge strictly before a cutoff;
+//!   entered its first edge strictly before a cutoff. Installing a
+//!   [`RetentionConfig`] (`max_age` seconds behind the event-time
+//!   watermark) makes every `ingest` epoch apply that expiry
+//!   automatically, appending and retiring in one consistent epoch.
 //!   [`LiveIngestor::retire_ids`] removes explicitly named trajectories
 //!   (e.g. revoked or corrupt matches). Both go through the in-place
 //!   [`TrajectoryStore::retire_before`](pathcost_traj::TrajectoryStore::retire_before)
@@ -95,4 +98,4 @@ pub mod delta;
 pub mod ingest;
 
 pub use delta::dirty_keys;
-pub use ingest::LiveIngestor;
+pub use ingest::{LiveIngestor, RetentionConfig};

@@ -1,0 +1,27 @@
+//! Server-level error type.
+
+use std::fmt;
+use std::io;
+
+/// Anything that can stop the server from starting or running.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Binding or polling the listening socket failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "server socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}

@@ -1,0 +1,353 @@
+//! The blocking TCP accept loop, connection handling and graceful shutdown.
+//!
+//! One OS thread per live connection (scoped, so connections may borrow the
+//! engine), a shared [`AdmissionQueue`] batching requests across
+//! connections, and one dispatcher thread draining that queue through
+//! [`QueryEngine::execute_batch`]. The listener runs non-blocking so the
+//! accept loop can poll the shutdown flag; connections poll it between
+//! keep-alive requests via a short socket read timeout.
+//!
+//! Graceful shutdown ([`ShutdownHandle::shutdown`]):
+//!
+//! 1. the accept loop stops taking connections,
+//! 2. the admission queue closes — new submissions fail with 503, but every
+//!    already-admitted request is still executed and answered,
+//! 3. idle keep-alive connections close on their next timeout tick, and
+//! 4. [`Server::run`] joins every connection and the dispatcher before
+//!    returning, so when it returns no request is in flight.
+
+use crate::http::{self, HttpError, Limits};
+use crate::json;
+use crate::wire;
+use crate::ServerError;
+use pathcost_service::{AdmissionConfig, AdmissionQueue, QueryEngine, ServiceError};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `"127.0.0.1:8080"` (`:0` picks a free port).
+    pub addr: String,
+    /// Maximum concurrently served connections; excess connections receive
+    /// an immediate 503 and are closed.
+    pub max_connections: usize,
+    /// Admission queue tuning (capacity bound, batch size, linger window).
+    pub admission: AdmissionConfig,
+    /// Socket read timeout. Doubles as the shutdown poll interval for idle
+    /// keep-alive connections, so shutdown latency is bounded by it.
+    pub read_timeout: Duration,
+    /// HTTP parsing limits (request line / header / body sizes).
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 256,
+            admission: AdmissionConfig::default(),
+            read_timeout: Duration::from_millis(100),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Signals a running [`Server`] to stop accepting and drain. Cheap to clone
+/// and safe to trigger from any thread (e.g. a ctrl-c handler or a test).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown; returns immediately. [`Server::run`] returns once
+    /// in-flight work has drained.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// A bound (but not yet serving) HTTP front-end.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the configured address. The listener is non-blocking so the
+    /// accept loop in [`run`](Self::run) can poll for shutdown.
+    pub fn bind(config: ServerConfig) -> Result<Self, ServerError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually bound address (useful with port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, ServerError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// A handle that stops the server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Serves until [`ShutdownHandle::shutdown`] is called, then drains
+    /// in-flight requests and returns. Blocks the calling thread.
+    pub fn run(self, engine: &QueryEngine<'_>) {
+        let queue = AdmissionQueue::new(self.config.admission);
+        let active = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let dispatcher = scope.spawn(|| queue.dispatch(engine));
+            while !self.shutdown.load(Ordering::Acquire) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if active.load(Ordering::Acquire) >= self.config.max_connections {
+                            reject_over_capacity(stream);
+                            continue;
+                        }
+                        active.fetch_add(1, Ordering::AcqRel);
+                        let conn = Connection {
+                            engine,
+                            queue: &queue,
+                            config: &self.config,
+                            shutdown: &self.shutdown,
+                        };
+                        let active = &active;
+                        scope.spawn(move || {
+                            conn.serve(stream);
+                            active.fetch_sub(1, Ordering::AcqRel);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            // Stop admitting; the dispatcher drains what was admitted and
+            // exits. Connection threads observe the flag on their next read
+            // timeout and close; the scope joins them all.
+            queue.close();
+            let _ = dispatcher.join();
+        });
+    }
+}
+
+/// Best-effort 503 for a connection over the concurrency cap.
+fn reject_over_capacity(mut stream: TcpStream) {
+    let body = wire::encode_error("connection limit reached").to_string();
+    let _ = http::write_response(&mut stream, 503, "Service Unavailable", &body, false);
+}
+
+/// Per-connection state (all borrowed from the serving scope).
+struct Connection<'a, 'n> {
+    engine: &'a QueryEngine<'n>,
+    queue: &'a AdmissionQueue,
+    config: &'a ServerConfig,
+    shutdown: &'a AtomicBool,
+}
+
+impl Connection<'_, '_> {
+    /// Serves keep-alive requests until close, error or shutdown.
+    fn serve(&self, stream: TcpStream) {
+        if stream
+            .set_read_timeout(Some(self.config.read_timeout))
+            .is_err()
+        {
+            return;
+        }
+        // Responses are written whole; Nagle only adds latency here.
+        let _ = stream.set_nodelay(true);
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(stream);
+        loop {
+            match http::read_request(&mut reader, &mut writer, &self.config.limits) {
+                Ok(request) => {
+                    let responded = self.respond(&mut writer, &request).is_ok();
+                    if !responded || !request.keep_alive || self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                }
+                Err(HttpError::Idle) => {
+                    // Nothing arrived within the read timeout: poll shutdown
+                    // and keep waiting.
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                }
+                Err(error) => {
+                    // A mid-request disconnect/timeout or a parse error:
+                    // answer when a status applies, then close.
+                    if let Some((status, reason)) = error.status() {
+                        let message = match &error {
+                            HttpError::BadRequest(msg) => msg,
+                            _ => reason,
+                        };
+                        let body = wire::encode_error(message).to_string();
+                        let _ = http::write_response(&mut writer, status, reason, &body, false);
+                        // The request may not have been consumed in full
+                        // (e.g. an over-limit request line). Half-close and
+                        // drain briefly so the close sends FIN, not RST —
+                        // a reset would discard the response the peer is
+                        // still reading.
+                        let _ = writer.shutdown(std::net::Shutdown::Write);
+                        let mut sink = [0u8; 4096];
+                        for _ in 0..256 {
+                            match std::io::Read::read(&mut reader, &mut sink) {
+                                Ok(n) if n > 0 => {}
+                                _ => break,
+                            }
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Routes one parsed request; `Err(())` closes the connection.
+    fn respond(&self, writer: &mut TcpStream, request: &http::Request) -> Result<(), ()> {
+        let keep_alive = request.keep_alive;
+        let write = |writer: &mut TcpStream, status: u16, reason: &str, body: String| {
+            http::write_response(writer, status, reason, &body, keep_alive).map_err(|_| ())
+        };
+        match (request.method.as_str(), request.target.as_str()) {
+            ("GET", "/healthz") => {
+                let body = json::Json::object(vec![
+                    ("status", json::Json::String("ok".to_string())),
+                    ("epoch", json::Json::Number(self.engine.epoch() as f64)),
+                ]);
+                write(writer, 200, "OK", body.to_string())
+            }
+            ("GET", "/stats") => {
+                let stats = self.engine.stats();
+                let body = wire::encode_stats(&stats, &self.queue.latency(), self.queue.len());
+                write(writer, 200, "OK", body.to_string())
+            }
+            ("POST", "/query") => match self.parse_and_submit_one(&request.body) {
+                Ok(ticket) => match ticket.wait() {
+                    Ok(outcome) => write(
+                        writer,
+                        200,
+                        "OK",
+                        wire::encode_outcome(&outcome).to_string(),
+                    ),
+                    Err(error) => self.write_service_error(writer, &error, keep_alive),
+                },
+                Err(response) => {
+                    let (status, reason, body) = response;
+                    write(writer, status, reason, body)
+                }
+            },
+            ("POST", "/query/batch") => match self.parse_and_submit_batch(&request.body) {
+                Ok(tickets) => {
+                    let results: Vec<json::Json> = tickets
+                        .into_iter()
+                        .map(|ticket| match ticket.wait() {
+                            Ok(outcome) => wire::encode_outcome(&outcome),
+                            Err(error) => wire::encode_error(&error.to_string()),
+                        })
+                        .collect();
+                    let body = json::Json::object(vec![("results", json::Json::Array(results))]);
+                    write(writer, 200, "OK", body.to_string())
+                }
+                Err((status, reason, body)) => write(writer, status, reason, body),
+            },
+            (_, "/query" | "/query/batch" | "/healthz" | "/stats") => {
+                let body = wire::encode_error("method not allowed").to_string();
+                write(writer, 405, "Method Not Allowed", body)
+            }
+            _ => {
+                let body = wire::encode_error("no such endpoint").to_string();
+                write(writer, 404, "Not Found", body)
+            }
+        }
+    }
+
+    fn write_service_error(
+        &self,
+        writer: &mut TcpStream,
+        error: &ServiceError,
+        keep_alive: bool,
+    ) -> Result<(), ()> {
+        let (status, reason) = wire::error_status(error);
+        let body = wire::encode_error(&error.to_string()).to_string();
+        http::write_response(writer, status, reason, &body, keep_alive).map_err(|_| ())
+    }
+
+    /// Parses and admits one `/query` body; the error is a ready-to-send
+    /// `(status, reason, body)` triple.
+    fn parse_and_submit_one(
+        &self,
+        body: &[u8],
+    ) -> Result<pathcost_service::Ticket, (u16, &'static str, String)> {
+        let value = json::parse(body).map_err(|e| {
+            (
+                400,
+                "Bad Request",
+                wire::encode_error(&e.to_string()).to_string(),
+            )
+        })?;
+        let request = wire::decode_request(&value)
+            .map_err(|e| (400, "Bad Request", wire::encode_error(&e).to_string()))?;
+        self.queue.submit(request).map_err(|e| {
+            let (status, reason) = wire::error_status(&e);
+            (
+                status,
+                reason,
+                wire::encode_error(&e.to_string()).to_string(),
+            )
+        })
+    }
+
+    fn parse_and_submit_batch(
+        &self,
+        body: &[u8],
+    ) -> Result<Vec<pathcost_service::Ticket>, (u16, &'static str, String)> {
+        let value = json::parse(body).map_err(|e| {
+            (
+                400,
+                "Bad Request",
+                wire::encode_error(&e.to_string()).to_string(),
+            )
+        })?;
+        let requests = wire::decode_batch(&value)
+            .map_err(|e| (400, "Bad Request", wire::encode_error(&e).to_string()))?;
+        if requests.is_empty() {
+            return Err((
+                400,
+                "Bad Request",
+                wire::encode_error("\"requests\" must be non-empty").to_string(),
+            ));
+        }
+        self.queue.submit_many(requests).map_err(|e| {
+            let (status, reason) = wire::error_status(&e);
+            (
+                status,
+                reason,
+                wire::encode_error(&e.to_string()).to_string(),
+            )
+        })
+    }
+}

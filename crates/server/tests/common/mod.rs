@@ -1,0 +1,122 @@
+//! Shared socket-level helpers for the server integration tests.
+//!
+//! Each integration-test binary compiles its own copy, and not every binary
+//! uses every helper.
+#![allow(dead_code)]
+
+use pathcost_server::{Server, ServerConfig};
+use pathcost_service::QueryEngine;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Boots `engine` behind a server on an ephemeral port, runs `f` against it,
+/// then shuts down gracefully (panicking if shutdown hangs the scope).
+pub fn serve_with(engine: &QueryEngine<'_>, config: ServerConfig, f: impl FnOnce(SocketAddr)) {
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.shutdown_handle();
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.run(engine));
+        // Shut the server down even when `f` panics (an assertion failure),
+        // otherwise the scope would deadlock joining the serving thread.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(addr)));
+        handle.shutdown();
+        serving.join().expect("server thread");
+        if let Err(panic) = result {
+            std::panic::resume_unwind(panic);
+        }
+    });
+}
+
+/// One-shot exchange: write `raw`, half-close, read everything until the
+/// server closes. Returns the status code and the body (empty when the
+/// server closed without responding).
+pub fn send_raw(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw).expect("write request");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    parse_response(&response)
+}
+
+fn parse_response(response: &str) -> (u16, String) {
+    if response.is_empty() {
+        return (0, String::new());
+    }
+    let status = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Reads exactly one `Content-Length`-framed response from a keep-alive
+/// connection.
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, String) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+/// Sends one request on an existing keep-alive connection and reads the
+/// response.
+pub fn roundtrip(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    method: &str,
+    target: &str,
+    body: &str,
+) -> (u16, String) {
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    stream.flush().expect("flush");
+    read_response(reader)
+}
+
+/// Convenience one-shot POST with `Connection: close`.
+pub fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, String) {
+    let raw = format!(
+        "POST {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    send_raw(addr, raw.as_bytes())
+}
+
+/// Convenience one-shot GET with `Connection: close`.
+pub fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let raw = format!("GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n");
+    send_raw(addr, raw.as_bytes())
+}

@@ -1,0 +1,204 @@
+//! HTTP-layer robustness over real sockets: malformed request lines,
+//! truncated bodies, oversized payloads and mid-request disconnects must map
+//! to 4xx responses or clean closes — and must never take down the worker
+//! pool: after every abuse case the same server instance keeps answering.
+
+mod common;
+
+use common::{get, post, send_raw, serve_with};
+use pathcost_core::{HybridConfig, HybridGraph};
+use pathcost_server::{Json, Limits, ServerConfig};
+use pathcost_service::{QueryEngine, ServiceConfig};
+use pathcost_traj::DatasetPreset;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        read_timeout: Duration::from_millis(50),
+        limits: Limits {
+            max_body: 16 * 1024,
+            ..Limits::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+/// A valid `/query` body for the fixture, discovered from its store.
+fn valid_query(store: &pathcost_traj::TrajectoryStore) -> String {
+    let (path, _) = store.frequent_paths(2, 10, None)[0].clone();
+    let departure = store.occurrences_on(&path)[0].entry_time;
+    let edges: Vec<String> = path.edges().iter().map(|e| e.0.to_string()).collect();
+    format!(
+        r#"{{"type":"estimate","path":[{}],"departure_s":{}}}"#,
+        edges.join(","),
+        departure.0
+    )
+}
+
+#[test]
+fn hostile_inputs_get_4xx_and_the_server_keeps_serving() {
+    let (net, store) = DatasetPreset::tiny(7).materialise().unwrap();
+    let graph = HybridGraph::build(&net, &store, HybridConfig::default()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let good_body = valid_query(&store);
+
+    serve_with(&engine, test_config(), |addr| {
+        // Malformed request lines.
+        assert_eq!(send_raw(addr, b"BROKEN\r\n\r\n").0, 400);
+        assert_eq!(send_raw(addr, b"GET /x SPDY/9\r\n\r\n").0, 400);
+        assert_eq!(send_raw(addr, b"GET noslash HTTP/1.1\r\n\r\n").0, 400);
+
+        // Malformed headers and framing.
+        assert_eq!(
+            send_raw(addr, b"GET /healthz HTTP/1.1\r\nbad header\r\n\r\n").0,
+            400
+        );
+        assert_eq!(
+            send_raw(addr, b"POST /query HTTP/1.1\r\nContent-Length: moo\r\n\r\n").0,
+            400
+        );
+        assert_eq!(
+            send_raw(
+                addr,
+                b"POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )
+            .0,
+            501
+        );
+
+        // Oversized request line and payload.
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(20_000));
+        assert_eq!(send_raw(addr, long.as_bytes()).0, 414);
+        let huge = b"POST /query HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        assert_eq!(send_raw(addr, huge).0, 413);
+
+        // Truncated body: declared 50 bytes, delivered 3, then half-close.
+        let (status, _) = send_raw(
+            addr,
+            b"POST /query HTTP/1.1\r\nContent-Length: 50\r\n\r\nabc",
+        );
+        assert_eq!(status, 408);
+
+        // Mid-request disconnect with no bytes to read back at all.
+        drop(TcpStream::connect(addr).unwrap());
+        let mut partial = TcpStream::connect(addr).unwrap();
+        partial.write_all(b"POST /que").unwrap();
+        drop(partial);
+
+        // Bad JSON and bad request shapes on a healthy connection.
+        assert_eq!(post(addr, "/query", "not json").0, 400);
+        assert_eq!(post(addr, "/query", r#"{"type":"bogus"}"#).0, 400);
+        assert_eq!(
+            post(
+                addr,
+                "/query",
+                r#"{"type":"estimate","path":[],"departure_s":0}"#
+            )
+            .0,
+            400
+        );
+        assert_eq!(post(addr, "/query/batch", r#"{"requests":[]}"#).0, 400);
+
+        // Unknown endpoint / wrong method.
+        assert_eq!(get(addr, "/nope").0, 404);
+        assert_eq!(get(addr, "/query").0, 405);
+        assert_eq!(post(addr, "/healthz", "{}").0, 405);
+
+        // After all of that, the same server still answers real queries.
+        let (status, body) = post(addr, "/query", &good_body);
+        assert_eq!(status, 200, "server must survive hostile inputs: {body}");
+        let parsed = pathcost_server::json::parse(body.as_bytes()).unwrap();
+        assert_eq!(
+            parsed.get("type").and_then(Json::as_str),
+            Some("distribution")
+        );
+        assert!(!parsed
+            .get("distribution")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty());
+    });
+}
+
+#[test]
+fn healthz_and_stats_report_epoch_and_latency() {
+    let (net, store) = DatasetPreset::tiny(11).materialise().unwrap();
+    let graph = HybridGraph::build(&net, &store, HybridConfig::default()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let good_body = valid_query(&store);
+
+    serve_with(&engine, test_config(), |addr| {
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        let health = pathcost_server::json::parse(body.as_bytes()).unwrap();
+        assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(health.get("epoch").and_then(Json::as_u64), Some(0));
+
+        assert_eq!(post(addr, "/query", &good_body).0, 200);
+
+        let (status, body) = get(addr, "/stats");
+        assert_eq!(status, 200);
+        let stats = pathcost_server::json::parse(body.as_bytes()).unwrap();
+        assert_eq!(
+            stats.get("estimate_queries").and_then(Json::as_u64),
+            Some(1)
+        );
+        let e2e = stats.get("e2e_latency").unwrap();
+        assert_eq!(e2e.get("count").and_then(Json::as_u64), Some(1));
+        assert!(e2e.get("p99_us").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(
+            stats
+                .get("query_latency")
+                .unwrap()
+                .get("max_us")
+                .and_then(Json::as_u64)
+                .unwrap()
+                >= 1
+        );
+    });
+}
+
+#[test]
+fn oversized_batch_is_rejected_by_the_admission_bound() {
+    let (net, store) = DatasetPreset::tiny(13).materialise().unwrap();
+    let graph = HybridGraph::build(&net, &store, HybridConfig::default()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let one = valid_query(&store);
+
+    let mut config = test_config();
+    config.admission.capacity = 4;
+    serve_with(&engine, config, |addr| {
+        // 5 requests into a capacity-4 queue: all-or-nothing 503.
+        let batch = format!(
+            r#"{{"requests":[{}]}}"#,
+            std::iter::repeat_n(one.as_str(), 5)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let (status, body) = post(addr, "/query/batch", &batch);
+        assert_eq!(status, 503, "{body}");
+
+        // A fitting batch still succeeds afterwards (nothing leaked into the
+        // queue from the rejected submission).
+        let batch = format!(
+            r#"{{"requests":[{}]}}"#,
+            std::iter::repeat_n(one.as_str(), 4)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let (status, body) = post(addr, "/query/batch", &batch);
+        assert_eq!(status, 200, "{body}");
+        let parsed = pathcost_server::json::parse(body.as_bytes()).unwrap();
+        assert_eq!(
+            parsed
+                .get("results")
+                .and_then(Json::as_array)
+                .unwrap()
+                .len(),
+            4
+        );
+    });
+}

@@ -1,0 +1,379 @@
+//! Bounded admission queue with cross-connection batching.
+//!
+//! The batch executor ([`QueryEngine::execute_batch`]) amortises estimation
+//! work across the requests *inside one batch* — but a network front-end
+//! receives requests one connection at a time, so without help every
+//! connection would run a batch of one and the dedup/prefix-warm phases
+//! would never fire across clients. The [`AdmissionQueue`] closes that gap:
+//!
+//! * Connection handlers [`submit`](AdmissionQueue::submit) individual
+//!   requests (or [`submit_many`](AdmissionQueue::submit_many) for
+//!   `POST /query/batch`) and block on the returned [`Ticket`].
+//! * A dispatcher thread ([`dispatch`](AdmissionQueue::dispatch)) drains the
+//!   queue into batches of up to [`AdmissionConfig::max_batch`], lingering
+//!   for [`AdmissionConfig::linger`] so concurrent connections can join the
+//!   same batch, runs them through the engine's dedup/warm/answer pipeline,
+//!   and completes each ticket with its own result.
+//! * The queue is **bounded**: once [`AdmissionConfig::capacity`] requests
+//!   are waiting, `submit` fails fast with [`ServiceError::Overloaded`]
+//!   instead of queueing unbounded work — the HTTP layer maps that to 503 so
+//!   backpressure reaches the client instead of the allocator.
+//!
+//! The queue itself owns no thread (the engine borrows the road network, so
+//! a detached `'static` dispatcher could not hold it). The server runs
+//! `queue.dispatch(&engine)` on a scoped thread; tests can run it inline.
+//!
+//! End-to-end latency (submit → completion, i.e. queue wait + linger +
+//! execution) is recorded into a [`LatencySnapshot`] separate from the
+//! engine's per-query execution histogram, so `/stats` can report both the
+//! work latency and the latency a client actually experienced.
+
+use crate::engine::QueryEngine;
+use crate::error::ServiceError;
+use crate::request::{QueryOutcome, QueryRequest};
+use crate::stats::{LatencyRecorder, LatencySnapshot};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning for an [`AdmissionQueue`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Maximum requests waiting for dispatch; beyond this, `submit` returns
+    /// [`ServiceError::Overloaded`].
+    pub capacity: usize,
+    /// Largest batch handed to [`QueryEngine::execute_batch`] at once.
+    pub max_batch: usize,
+    /// How long the dispatcher waits for more requests to join a non-full
+    /// batch. Zero dispatches whatever is queued immediately.
+    pub linger: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            capacity: 1024,
+            max_batch: 256,
+            linger: Duration::from_micros(200),
+        }
+    }
+}
+
+/// One queued request: the payload plus the slot its result lands in.
+struct Pending {
+    request: QueryRequest,
+    slot: Arc<Slot>,
+    submitted: Instant,
+}
+
+/// Completion slot shared between a [`Ticket`] and the dispatcher.
+struct Slot {
+    result: Mutex<Option<Result<QueryOutcome, ServiceError>>>,
+    done: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Slot {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, result: Result<QueryOutcome, ServiceError>) {
+        *self.result.lock().unwrap() = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// A claim on one submitted request; [`wait`](Ticket::wait) blocks until the
+/// dispatcher completes it.
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the request is answered and returns its result.
+    pub fn wait(self) -> Result<QueryOutcome, ServiceError> {
+        let mut guard = self.slot.result.lock().unwrap();
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.slot.done.wait(guard).unwrap();
+        }
+    }
+}
+
+struct QueueState {
+    pending: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// Bounded MPSC-style request queue feeding the batch executor. See the
+/// [module docs](self) for the full protocol.
+pub struct AdmissionQueue {
+    config: AdmissionConfig,
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    latency: LatencyRecorder,
+}
+
+impl AdmissionQueue {
+    /// Creates an empty queue (capacity and batch size clamped to ≥ 1).
+    pub fn new(config: AdmissionConfig) -> Self {
+        let config = AdmissionConfig {
+            capacity: config.capacity.max(1),
+            max_batch: config.max_batch.max(1),
+            linger: config.linger,
+        };
+        AdmissionQueue {
+            config,
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            latency: LatencyRecorder::default(),
+        }
+    }
+
+    /// The configuration the queue was built with.
+    pub fn config(&self) -> AdmissionConfig {
+        self.config
+    }
+
+    /// Enqueues one request, failing fast when the queue is full or closed.
+    pub fn submit(&self, request: QueryRequest) -> Result<Ticket, ServiceError> {
+        let mut tickets = self.submit_many(vec![request])?;
+        Ok(tickets.pop().expect("one ticket per request"))
+    }
+
+    /// Enqueues a batch all-or-nothing: either every request is admitted (in
+    /// order, so the dispatcher keeps them in one batch when it fits) or the
+    /// whole batch is rejected with [`ServiceError::Overloaded`] /
+    /// [`ServiceError::ShuttingDown`] and nothing is queued.
+    pub fn submit_many(&self, requests: Vec<QueryRequest>) -> Result<Vec<Ticket>, ServiceError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let submitted = Instant::now();
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if state.pending.len() + requests.len() > self.config.capacity {
+            return Err(ServiceError::Overloaded);
+        }
+        let mut tickets = Vec::with_capacity(requests.len());
+        for request in requests {
+            let slot = Slot::new();
+            tickets.push(Ticket { slot: slot.clone() });
+            state.pending.push_back(Pending {
+                request,
+                slot,
+                submitted,
+            });
+        }
+        drop(state);
+        self.not_empty.notify_all();
+        Ok(tickets)
+    }
+
+    /// Requests waiting for dispatch right now.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().pending.len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+
+    /// Snapshot of the end-to-end (submit → completion) latency histogram.
+    pub fn latency(&self) -> LatencySnapshot {
+        self.latency.snapshot()
+    }
+
+    /// Closes the queue: subsequent submits fail with
+    /// [`ServiceError::ShuttingDown`]; already-admitted requests are still
+    /// drained and answered before [`dispatch`](Self::dispatch) returns.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Runs the dispatch loop on the calling thread until the queue is
+    /// closed *and* drained. Multiple dispatchers are allowed (each drains
+    /// its own batches), but one is usually right: a single dispatcher
+    /// maximises cross-connection batching and the engine's worker pool
+    /// already parallelises inside each batch.
+    pub fn dispatch(&self, engine: &QueryEngine<'_>) {
+        loop {
+            let Some(batch) = self.next_batch() else {
+                return;
+            };
+            let mut requests = Vec::with_capacity(batch.len());
+            let mut slots = Vec::with_capacity(batch.len());
+            for pending in batch {
+                requests.push(pending.request);
+                slots.push((pending.slot, pending.submitted));
+            }
+            let results = engine.execute_batch(&requests);
+            for ((slot, submitted), result) in slots.into_iter().zip(results) {
+                self.latency.record(submitted.elapsed());
+                slot.complete(result);
+            }
+        }
+    }
+
+    /// Blocks until work is available and returns the next batch, or `None`
+    /// once the queue is closed and fully drained.
+    fn next_batch(&self) -> Option<Vec<Pending>> {
+        let mut state = self.state.lock().unwrap();
+        while state.pending.is_empty() {
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap();
+        }
+        // Linger: give other connections a short window to join this batch
+        // before it dispatches (closed queues flush immediately).
+        if self.config.linger > Duration::ZERO {
+            let deadline = Instant::now() + self.config.linger;
+            while state.pending.len() < self.config.max_batch && !state.closed {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self.not_empty.wait_timeout(state, deadline - now).unwrap();
+                state = guard;
+            }
+        }
+        let take = state.pending.len().min(self.config.max_batch);
+        Some(state.pending.drain(..take).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcost_core::{HybridConfig, HybridGraph};
+    use pathcost_traj::{DatasetPreset, TrajectoryStore};
+    use std::sync::Arc;
+
+    fn with_engine(f: impl FnOnce(&QueryEngine<'_>, &TrajectoryStore)) {
+        let (net, store) = DatasetPreset::tiny(7).materialise().unwrap();
+        let graph = HybridGraph::build(&net, &store, HybridConfig::default()).unwrap();
+        let engine = QueryEngine::new(Arc::new(graph), crate::ServiceConfig::default());
+        f(&engine, &store);
+    }
+
+    fn sample_request(store: &TrajectoryStore, seed: usize) -> QueryRequest {
+        let paths = store.frequent_paths(2, 30, None);
+        let (path, _) = paths[seed % paths.len()].clone();
+        let departure = store.occurrences_on(&path)[0].entry_time;
+        QueryRequest::EstimateDistribution { path, departure }
+    }
+
+    #[test]
+    fn batched_dispatch_matches_direct_execution() {
+        with_engine(|engine, store| {
+            let queue = AdmissionQueue::new(AdmissionConfig {
+                linger: Duration::from_millis(5),
+                ..AdmissionConfig::default()
+            });
+            let requests: Vec<QueryRequest> = (0..6).map(|i| sample_request(store, i)).collect();
+            let direct: Vec<_> = requests
+                .iter()
+                .map(|r| {
+                    let outcome = engine.execute(r).unwrap();
+                    outcome.response.distribution().unwrap().clone()
+                })
+                .collect();
+            std::thread::scope(|scope| {
+                let tickets = queue.submit_many(requests.clone()).unwrap();
+                scope.spawn(|| queue.dispatch(engine));
+                for (ticket, expected) in tickets.into_iter().zip(&direct) {
+                    let outcome = ticket.wait().unwrap();
+                    assert_eq!(outcome.response.distribution().unwrap(), expected);
+                }
+                queue.close();
+            });
+        });
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        with_engine(|_engine, store| {
+            let queue = AdmissionQueue::new(AdmissionConfig {
+                capacity: 2,
+                ..AdmissionConfig::default()
+            });
+            queue.submit(sample_request(store, 0)).unwrap();
+            queue.submit(sample_request(store, 1)).unwrap();
+            assert!(matches!(
+                queue.submit(sample_request(store, 2)),
+                Err(ServiceError::Overloaded)
+            ));
+            // All-or-nothing: a 2-element batch over a full queue queues none.
+            assert!(matches!(
+                queue.submit_many(vec![sample_request(store, 0), sample_request(store, 1),]),
+                Err(ServiceError::Overloaded)
+            ));
+            assert_eq!(queue.len(), 2);
+        });
+    }
+
+    #[test]
+    fn close_drains_admitted_work_then_rejects() {
+        with_engine(|engine, store| {
+            let queue = AdmissionQueue::new(AdmissionConfig::default());
+            let ticket = queue.submit(sample_request(store, 0)).unwrap();
+            queue.close();
+            assert!(matches!(
+                queue.submit(sample_request(store, 1)),
+                Err(ServiceError::ShuttingDown)
+            ));
+            // Dispatch drains the already-admitted request, then returns.
+            queue.dispatch(engine);
+            assert!(ticket.wait().is_ok());
+            assert!(queue.is_empty());
+            assert!(queue.latency().total() >= 1);
+        });
+    }
+
+    #[test]
+    fn concurrent_submitters_all_get_answers() {
+        with_engine(|engine, store| {
+            let queue = AdmissionQueue::new(AdmissionConfig {
+                max_batch: 4,
+                linger: Duration::from_micros(500),
+                ..AdmissionConfig::default()
+            });
+            std::thread::scope(|scope| {
+                let dispatcher = scope.spawn(|| queue.dispatch(engine));
+                let clients: Vec<_> = (0..8)
+                    .map(|i| {
+                        let queue = &queue;
+                        scope.spawn(move || {
+                            let ticket = queue.submit(sample_request(store, i)).unwrap();
+                            ticket.wait()
+                        })
+                    })
+                    .collect();
+                for client in clients {
+                    assert!(client.join().unwrap().is_ok());
+                }
+                queue.close();
+                dispatcher.join().unwrap();
+            });
+            assert_eq!(queue.latency().total(), 8);
+        });
+    }
+}

@@ -164,6 +164,31 @@ impl QueryEngine<'_> {
                 );
             });
             self.warm_with_prefix_sharing(&jobs, &warm_counters);
+        } else if let Some(pool) = self
+            .batch_pool()
+            .filter(|p| p.width() > 1 && jobs.len() > 1)
+        {
+            // Shard-pinned warm: route each fill to the worker that owns its
+            // cache shard (worker = shard % width), so no two workers ever
+            // take the same shard lock — fills proceed contention-free and
+            // each worker's forward dependency records land in shards it
+            // owns exclusively too (the index shards by the same
+            // fingerprint bits).
+            let width = pool.width();
+            let mut by_worker: Vec<Vec<&Job<'_>>> = (0..width).map(|_| Vec::new()).collect();
+            for job in &jobs {
+                let shard = self.cache().shard_index(job.path.as_ref(), job.interval);
+                by_worker[shard % width].push(job);
+            }
+            pool.run_pinned(|w| {
+                for job in &by_worker[w] {
+                    let _ = self.estimate_cached(
+                        &job.path,
+                        self.canonical_departure(job.interval),
+                        &warm_counters,
+                    );
+                }
+            });
         } else {
             self.for_each_index(jobs.len(), |i| {
                 let job = &jobs[i];
@@ -329,14 +354,20 @@ impl QueryEngine<'_> {
             .record_prefix_warm(warmed, reuses, edges_reused);
     }
 
-    /// Runs `f(0..count)` across the worker pool (inline when the pool or the
-    /// work degenerates to one).
+    /// Runs `f(0..count)` across the worker pool: the engine's persistent
+    /// pool when [`ServiceConfig::persistent_pool`](crate::ServiceConfig) is
+    /// on, otherwise freshly spawned scoped threads (the pre-pool baseline);
+    /// inline when the pool or the work degenerates to one.
     fn for_each_index<F: Fn(usize) + Sync>(&self, count: usize, f: F) {
         let workers = self.worker_count().min(count);
         if workers <= 1 {
             for i in 0..count {
                 f(i);
             }
+            return;
+        }
+        if let Some(pool) = self.batch_pool() {
+            pool.run(count, f);
             return;
         }
         let next = AtomicUsize::new(0);

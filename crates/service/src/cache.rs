@@ -287,9 +287,26 @@ impl DistributionCache {
     }
 
     fn shard_of(&self, fingerprint: u64) -> &Mutex<Shard> {
-        // High bits: the low bits feed the per-shard HashMap.
-        let i = (fingerprint >> 48) as usize % self.shards.len();
-        &self.shards[i]
+        &self.shards[self.shard_index_of(fingerprint)]
+    }
+
+    /// The shard index a fingerprint routes to (high bits: the low bits feed
+    /// the per-shard `HashMap`).
+    fn shard_index_of(&self, fingerprint: u64) -> usize {
+        (fingerprint >> 48) as usize % self.shards.len()
+    }
+
+    /// Number of independent shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index the entry for `(path, interval)` lives in — the
+    /// affinity key the batch executor uses to pin cache-fill jobs to the
+    /// worker that owns the shard (worker `shard % pool_width`), so
+    /// concurrent warm-phase fills never contend on a shard lock.
+    pub fn shard_index(&self, path: &Path, interval: IntervalId) -> usize {
+        self.shard_index_of(interval.mix_fingerprint(path.fingerprint()))
     }
 
     /// Looks up `(path, interval)`, refreshing its recency on a hit.

@@ -2,6 +2,7 @@
 
 use crate::cache::{CachedDistribution, DistributionCache};
 use crate::error::ServiceError;
+use crate::pool::WorkerPool;
 use crate::request::{QueryOutcome, QueryRequest, QueryResponse, QueryStats, RankedPath};
 use crate::stats::{ServiceStats, StatsRecorder};
 use crate::update::DependencyIndex;
@@ -38,6 +39,17 @@ pub struct ServiceConfig {
     /// results remain identical to sequential execution unless it is enabled.
     /// Reuse is reported through [`ServiceStats`]'s `prefix_*` counters.
     pub share_prefixes: bool,
+    /// Fan batches out over a persistent [`WorkerPool`]
+    /// of [`Self::workers`] long-lived threads (spawned lazily on the first
+    /// batch, joined when the engine drops) instead of spawning fresh scoped
+    /// threads per batch phase. On by default — a serving process executes
+    /// thousands of batches, and the pool both amortises the spawn/join cost
+    /// and enables cache-shard-pinned warm fills (each worker owns the
+    /// shards `s` with `s % workers == worker`, so concurrent fills never
+    /// contend on a shard lock). `false` restores the scoped-threads-per-
+    /// batch executor — kept as the benchmark baseline; results are
+    /// identical either way.
+    pub persistent_pool: bool,
 }
 
 impl Default for ServiceConfig {
@@ -48,6 +60,7 @@ impl Default for ServiceConfig {
             workers: None,
             router: RouterConfig::default(),
             share_prefixes: false,
+            persistent_pool: true,
         }
     }
 }
@@ -91,6 +104,10 @@ pub struct QueryEngine<'n> {
     /// never blocked by it).
     update_lock: std::sync::Mutex<()>,
     pub(crate) recorder: StatsRecorder,
+    /// The persistent batch worker pool, spawned lazily by the first batch
+    /// when [`ServiceConfig::persistent_pool`] is on (so engines that never
+    /// execute a batch never spawn threads) and joined on drop.
+    pool: std::sync::OnceLock<WorkerPool>,
     config: ServiceConfig,
 }
 
@@ -99,16 +116,34 @@ impl<'n> QueryEngine<'n> {
     pub fn new(graph: Arc<HybridGraph<'n>>, config: ServiceConfig) -> Self {
         let partition = graph.weights().partition().clone();
         let cache = DistributionCache::new(config.cache_shards, config.shard_capacity);
+        // The dependency index shards by the same fingerprint bits as the
+        // cache; matching shard counts keeps a worker's pinned cache shards
+        // and its forward dependency-record shards aligned.
+        let deps = DependencyIndex::with_shards(cache.shard_count());
         QueryEngine {
             graph: RwLock::new(graph),
             partition,
             cache,
-            deps: DependencyIndex::default(),
+            deps,
             epoch: AtomicU64::new(0),
             update_lock: std::sync::Mutex::new(()),
             recorder: StatsRecorder::default(),
+            pool: std::sync::OnceLock::new(),
             config,
         }
+    }
+
+    /// The engine's persistent batch worker pool, spawning it on first use;
+    /// `None` when [`ServiceConfig::persistent_pool`] is disabled (the
+    /// scoped-threads-per-batch baseline).
+    pub(crate) fn batch_pool(&self) -> Option<&WorkerPool> {
+        if !self.config.persistent_pool {
+            return None;
+        }
+        Some(
+            self.pool
+                .get_or_init(|| WorkerPool::new(self.worker_count())),
+        )
     }
 
     /// The lock serializing update application (see `apply_update`).

@@ -16,6 +16,10 @@ pub enum ServiceError {
     RoadNet(RoadNetError),
     /// The request itself is malformed (empty candidate list, NaN budget…).
     InvalidRequest(&'static str),
+    /// The admission queue is full — the caller should shed load (HTTP 503).
+    Overloaded,
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
 }
 
 impl fmt::Display for ServiceError {
@@ -25,6 +29,8 @@ impl fmt::Display for ServiceError {
             ServiceError::Routing(e) => write!(f, "routing failed: {e}"),
             ServiceError::RoadNet(e) => write!(f, "invalid path: {e}"),
             ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServiceError::Overloaded => write!(f, "admission queue full, request rejected"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
 }

@@ -88,17 +88,21 @@
 //! kinds and `crates/bench/benches/service_throughput.rs` for the
 //! batch-vs-naive throughput comparison.
 
+pub mod admission;
 pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod pool;
 pub mod request;
 pub mod stats;
 pub mod update;
 
+pub use admission::{AdmissionConfig, AdmissionQueue, Ticket};
 pub use cache::{CachedDistribution, DistributionCache};
 pub use engine::{CachingEstimator, QueryEngine, ServiceConfig};
 pub use error::ServiceError;
+pub use pool::WorkerPool;
 pub use request::{QueryOutcome, QueryRequest, QueryResponse, QueryStats, RankedPath};
-pub use stats::{QueryKind, ServiceStats};
+pub use stats::{LatencySnapshot, QueryKind, ServiceStats, LATENCY_BUCKETS};
 pub use update::{DependencyIndex, UpdateReport};

@@ -8,6 +8,110 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Number of fixed buckets in a [`LatencySnapshot`]: power-of-two
+/// microsecond buckets, bucket `i` covering `[2^i, 2^(i+1))` µs (bucket 0
+/// also absorbs sub-microsecond latencies), so 32 buckets span 1 µs to
+/// ~71 minutes — the whole plausible range of a query latency.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Lock-free fixed-bucket latency recorder (the mutable half of
+/// [`LatencySnapshot`]). Shared so the engine's per-query accounting and the
+/// admission queue's end-to-end accounting use one implementation.
+#[derive(Default)]
+pub(crate) struct LatencyRecorder {
+    counts: [AtomicU64; LATENCY_BUCKETS],
+    max_micros: AtomicU64,
+}
+
+impl LatencyRecorder {
+    /// Files one observation into its power-of-two bucket.
+    pub fn record(&self, latency: Duration) {
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let bucket = (63 - micros.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let mut counts = [0u64; LATENCY_BUCKETS];
+        for (out, c) in counts.iter_mut().zip(&self.counts) {
+            *out = c.load(Ordering::Relaxed);
+        }
+        LatencySnapshot {
+            counts,
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A fixed-bucket latency distribution: per-request latencies filed into
+/// [`LATENCY_BUCKETS`] power-of-two microsecond buckets, plus the exact
+/// maximum. This is what turns the service's "mean latency" into a *tail*:
+/// [`Self::p50`] / [`Self::p99`] / [`Self::max`] are the numbers a
+/// "millions of users" serving claim is judged on.
+///
+/// Quantiles are conservative: a quantile resolves to the upper edge of the
+/// bucket containing its rank (clamped to the observed maximum), so the
+/// reported p99 is never below the true p99 and at most one bucket width
+/// (2×) above it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySnapshot {
+    /// Observations per power-of-two bucket (bucket `i` covers
+    /// `[2^i, 2^(i+1))` µs; bucket 0 includes sub-microsecond).
+    pub counts: [u64; LATENCY_BUCKETS],
+    /// The exact largest observation, in microseconds.
+    pub max_micros: u64,
+}
+
+impl LatencySnapshot {
+    /// Total recorded observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The latency at quantile `q` in `[0, 1]` (upper bucket edge, clamped
+    /// to the observed maximum); zero before any observation.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.total();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let upper = 1u64 << (i + 1).min(63);
+                return Duration::from_micros(upper.min(self.max_micros.max(1)));
+            }
+        }
+        Duration::from_micros(self.max_micros)
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// The exact maximum observed latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_micros)
+    }
+
+    /// Folds another snapshot into this one (bucket-wise sum, max of maxes).
+    pub fn merge(&mut self, other: &LatencySnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+}
+
 /// Which kind of request a counter bucket refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryKind {
@@ -42,6 +146,7 @@ pub(crate) struct StatsRecorder {
     estimations: AtomicU64,
     decomposition_depth_sum: AtomicU64,
     latency_micros_sum: AtomicU64,
+    latency: LatencyRecorder,
     batches: AtomicU64,
     batch_requests: AtomicU64,
     batch_jobs_deduplicated: AtomicU64,
@@ -70,6 +175,7 @@ impl StatsRecorder {
         }
         self.latency_micros_sum
             .fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
+        self.latency.record(latency);
     }
 
     pub fn record_estimation(&self, decomposition_depth: usize) {
@@ -160,6 +266,7 @@ impl StatsRecorder {
             estimations: load(&self.estimations),
             decomposition_depth_sum: load(&self.decomposition_depth_sum),
             latency_micros_sum: load(&self.latency_micros_sum),
+            latency: self.latency.snapshot(),
             batches: load(&self.batches),
             batch_requests: load(&self.batch_requests),
             batch_jobs_deduplicated: load(&self.batch_jobs_deduplicated),
@@ -207,6 +314,10 @@ pub struct ServiceStats {
     pub decomposition_depth_sum: u64,
     /// Sum of per-query latencies, in microseconds.
     pub latency_micros_sum: u64,
+    /// Fixed-bucket per-query latency distribution — the tail
+    /// ([`LatencySnapshot::p50`] / [`LatencySnapshot::p99`] /
+    /// [`LatencySnapshot::max`]) behind [`Self::mean_latency`]'s average.
+    pub latency: LatencySnapshot,
     /// Batches executed.
     pub batches: u64,
     /// Requests that arrived inside batches.
@@ -378,11 +489,63 @@ mod tests {
     }
 
     #[test]
+    fn latency_histogram_buckets_and_quantiles() {
+        let rec = LatencyRecorder::default();
+        // 99 fast queries at ~8 µs, one slow one at 10 ms.
+        for _ in 0..99 {
+            rec.record(Duration::from_micros(8));
+        }
+        rec.record(Duration::from_millis(10));
+        let snap = rec.snapshot();
+        assert_eq!(snap.total(), 100);
+        // 8 µs lands in bucket 3 ([8, 16) µs).
+        assert_eq!(snap.counts[3], 99);
+        assert_eq!(snap.max(), Duration::from_millis(10));
+        // p50 resolves to the fast bucket's upper edge (16 µs)…
+        assert_eq!(snap.p50(), Duration::from_micros(16));
+        // …while p99 still sits in the fast bucket (rank 99 of 100)…
+        assert_eq!(snap.p99(), Duration::from_micros(16));
+        // …and the max exposes the outlier the mean would bury.
+        assert!(snap.quantile(1.0) >= Duration::from_millis(8));
+        assert!(snap.p99() < snap.max());
+    }
+
+    #[test]
+    fn latency_quantile_is_clamped_to_the_observed_max() {
+        let rec = LatencyRecorder::default();
+        rec.record(Duration::from_micros(9)); // bucket [8, 16), max 9
+        let snap = rec.snapshot();
+        assert_eq!(snap.p99(), Duration::from_micros(9), "clamped to max");
+        // Sub-microsecond observations land in bucket 0.
+        let rec = LatencyRecorder::default();
+        rec.record(Duration::from_nanos(10));
+        let snap = rec.snapshot();
+        assert_eq!(snap.counts[0], 1);
+        assert_eq!(snap.total(), 1);
+    }
+
+    #[test]
+    fn latency_snapshots_merge_bucketwise() {
+        let (a, b) = (LatencyRecorder::default(), LatencyRecorder::default());
+        a.record(Duration::from_micros(5));
+        b.record(Duration::from_micros(5));
+        b.record(Duration::from_millis(1));
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.total(), 3);
+        assert_eq!(merged.counts[2], 2, "both 5 µs observations in [4, 8)");
+        assert_eq!(merged.max(), Duration::from_millis(1));
+    }
+
+    #[test]
     fn empty_snapshot_divides_safely() {
         let s = StatsRecorder::default().snapshot(0, 0, 0, 0);
         assert_eq!(s.cache_hit_rate(), 0.0);
         assert_eq!(s.mean_decomposition_depth(), 0.0);
         assert_eq!(s.mean_latency(), Duration::ZERO);
+        assert_eq!(s.latency.p50(), Duration::ZERO);
+        assert_eq!(s.latency.p99(), Duration::ZERO);
+        assert_eq!(s.latency.max(), Duration::ZERO);
         assert_eq!(s.total_queries(), 0);
         assert_eq!(s.eviction_rate(), 0.0);
         assert_eq!(s.invalidation_evictions(), 0);

@@ -98,14 +98,23 @@ pub struct DependencyIndex {
 
 impl Default for DependencyIndex {
     fn default() -> Self {
-        DependencyIndex {
-            shards: (0..16).map(|_| Mutex::new(HashMap::new())).collect(),
-            entries: (0..16).map(|_| Mutex::new(HashMap::new())).collect(),
-        }
+        DependencyIndex::with_shards(16)
     }
 }
 
 impl DependencyIndex {
+    /// An index with `shards` shards per direction (clamped to at least 1).
+    /// The engine passes its cache's shard count so forward records — keyed
+    /// by the same interval-mixed fingerprint as cache entries — partition
+    /// across workers exactly like the cache shards they describe.
+    pub(crate) fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        DependencyIndex {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            entries: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
     fn shard_of(&self, variable_fingerprint: u64) -> &Mutex<HashMap<u64, Readers>> {
         let i = (variable_fingerprint >> 48) as usize % self.shards.len();
         &self.shards[i]

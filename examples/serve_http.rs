@@ -1,0 +1,212 @@
+//! Sustained multi-connection load against the HTTP front-end.
+//!
+//! Builds a 10x10 grid fixture, boots `pathcost-server` on an ephemeral
+//! port, and hammers `POST /query` from several keep-alive client
+//! connections at once. Every response must be a 200 with well-formed JSON
+//! (zero errors over the whole run), and the sustained rate must clear
+//! 10k queries/sec — the serving stack's acceptance floor: admission-queue
+//! batching across connections plus the distribution cache make the steady
+//! state cache-hit dominated. Finishes with `/stats` (tail latency from the
+//! fixed-bucket histograms) and a graceful shutdown.
+//!
+//! Run with: `cargo run --release --example serve_http`
+
+use pathcost::core::{HybridConfig, HybridGraph};
+use pathcost::roadnet::{GeneratorConfig, NetworkKind};
+use pathcost::server::{Json, Server, ServerConfig};
+use pathcost::service::{QueryEngine, ServiceConfig};
+use pathcost::traj::{DatasetPreset, SimulationConfig, TrajectoryStore};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+const CLIENTS: usize = 16;
+const REQUESTS_PER_CLIENT: usize = 1_250;
+const MIN_QPS: f64 = 10_000.0;
+
+/// The 10x10 grid fixture the acceptance run is defined over.
+fn grid_fixture() -> DatasetPreset {
+    DatasetPreset {
+        name: "grid10".to_string(),
+        network: GeneratorConfig {
+            kind: NetworkKind::Grid,
+            rows: 10,
+            cols: 10,
+            spacing_m: 200.0,
+            drop_probability: 0.0,
+            seed: 4242,
+        },
+        simulation: SimulationConfig {
+            trips: 400,
+            days: 10,
+            hotspot_pairs: 6,
+            hotspot_fraction: 0.9,
+            seed: 4242 ^ 0x7157,
+            ..SimulationConfig::default()
+        },
+    }
+}
+
+/// `POST /query` bodies covering estimate and budget-probability queries.
+fn workload(store: &TrajectoryStore) -> Vec<String> {
+    let mut bodies = Vec::new();
+    for (i, (path, _)) in store.frequent_paths(2, 5, None).into_iter().enumerate() {
+        let departure = store.occurrences_on(&path)[0].entry_time;
+        let edges: Vec<String> = path.edges().iter().map(|e| e.0.to_string()).collect();
+        if i % 2 == 0 {
+            bodies.push(format!(
+                r#"{{"type":"estimate","path":[{}],"departure_s":{}}}"#,
+                edges.join(","),
+                departure.0
+            ));
+        } else {
+            bodies.push(format!(
+                r#"{{"type":"prob","path":[{}],"departure_s":{},"budget_s":600}}"#,
+                edges.join(","),
+                departure.0
+            ));
+        }
+        if bodies.len() == 8 {
+            break;
+        }
+    }
+    assert!(bodies.len() >= 2, "fixture must yield frequent paths");
+    bodies
+}
+
+/// One keep-alive round trip; returns `(status, body)`.
+fn roundtrip(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    method: &str,
+    target: &str,
+    body: &str,
+) -> (u16, String) {
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+/// One client: `n` keep-alive requests walking the workload from `offset`.
+/// Returns how many were answered 200 with well-formed JSON.
+fn drive(addr: SocketAddr, bodies: &[String], offset: usize, n: usize) -> usize {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut ok = 0;
+    for i in 0..n {
+        let body = &bodies[(offset + i) % bodies.len()];
+        let (status, response) = roundtrip(&mut stream, &mut reader, "POST", "/query", body);
+        if status == 200 && pathcost::server::json::parse(response.as_bytes()).is_ok() {
+            ok += 1;
+        }
+    }
+    ok
+}
+
+fn main() {
+    let preset = grid_fixture();
+    println!("materialising 10x10 grid fixture '{}' …", preset.name);
+    let (net, store) = preset.materialise().expect("fixture materialises");
+    let cfg = HybridConfig {
+        beta: 10,
+        ..HybridConfig::default()
+    };
+    let graph = HybridGraph::build(&net, &store, cfg).expect("hybrid graph builds");
+    println!(
+        "hybrid graph: {} variables over {} edges",
+        graph.stats().total_variables(),
+        net.edge_count()
+    );
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let bodies = workload(&store);
+
+    let server = Server::bind(ServerConfig::default()).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.shutdown_handle();
+    println!("serving on http://{addr} — {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests\n");
+
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.run(&engine));
+
+        let start = Instant::now();
+        let oks: usize = std::thread::scope(|clients| {
+            (0..CLIENTS)
+                .map(|c| {
+                    let bodies = &bodies;
+                    clients.spawn(move || drive(addr, bodies, c, REQUESTS_PER_CLIENT))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .sum()
+        });
+        let elapsed = start.elapsed();
+        let total = CLIENTS * REQUESTS_PER_CLIENT;
+        let qps = total as f64 / elapsed.as_secs_f64();
+
+        // Tail latency straight from the server's own histograms.
+        let (status, stats_body) = {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            roundtrip(&mut stream, &mut reader, "GET", "/stats", "")
+        };
+        assert_eq!(status, 200, "/stats must answer");
+        let stats = pathcost::server::json::parse(stats_body.as_bytes()).expect("stats JSON");
+        let e2e = stats.get("e2e_latency").expect("e2e_latency");
+        println!("served {total} queries in {elapsed:.2?}  ({qps:.0} queries/sec)");
+        println!(
+            "end-to-end latency: p50 {}µs  p99 {}µs  max {}µs",
+            e2e.get("p50_us").and_then(Json::as_u64).unwrap_or(0),
+            e2e.get("p99_us").and_then(Json::as_u64).unwrap_or(0),
+            e2e.get("max_us").and_then(Json::as_u64).unwrap_or(0),
+        );
+        println!(
+            "cache: {} hits / {} misses",
+            stats.get("cache_hits").and_then(Json::as_u64).unwrap_or(0),
+            stats
+                .get("cache_misses")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+        );
+
+        handle.shutdown();
+        serving.join().expect("server thread");
+        println!("graceful shutdown complete");
+
+        assert_eq!(oks, total, "every response must be a 200 with valid JSON");
+        assert!(
+            qps >= MIN_QPS,
+            "sustained rate {qps:.0} q/s under the {MIN_QPS:.0} q/s acceptance floor"
+        );
+        println!("\n✓ {total} queries, zero errors, {qps:.0} q/s ≥ {MIN_QPS:.0} q/s floor");
+    });
+}

@@ -23,17 +23,24 @@
 //! * [`live`] — online trajectory ingestion: delta-indexed store appends,
 //!   dirty-key tracking, selective re-derivation of exactly the changed
 //!   weight-function variables, and versioned epoch publishing feeding the
-//!   service layer's dependency-indexed cache invalidation.
+//!   service layer's dependency-indexed cache invalidation,
+//! * [`server`] — a blocking HTTP/1.1 network front-end over plain
+//!   `std::net` sockets (hand-rolled request parsing and JSON wire format;
+//!   the vendored serde is a no-op shim), batching concurrent connections
+//!   through a bounded admission queue into the service layer's persistent
+//!   worker pool, with load-shedding backpressure and graceful shutdown.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through of the
 //! estimator stack, `examples/serve_queries.rs` for serving a mixed query
-//! workload, and `examples/live_updates.rs` for ingesting new trajectories
-//! while serving.
+//! workload, `examples/serve_http.rs` for the network front-end under
+//! concurrent socket load, and `examples/live_updates.rs` for ingesting new
+//! trajectories while serving.
 
 pub use pathcost_core as core;
 pub use pathcost_hist as hist;
 pub use pathcost_live as live;
 pub use pathcost_roadnet as roadnet;
 pub use pathcost_routing as routing;
+pub use pathcost_server as server;
 pub use pathcost_service as service;
 pub use pathcost_traj as traj;
