@@ -1,0 +1,207 @@
+//! Warm vs cold boot: recovering a persisted lineage versus rebuilding
+//! from raw trajectories.
+//!
+//! A serving process without persistence restarts by re-instantiating the
+//! whole weight function over its trajectory store (`cold_rebuild`). With
+//! `pathcost-persist` it decodes the latest checksummed snapshot and
+//! replays the post-snapshot journal tail. Two lineages are measured:
+//!
+//! * `warm_recover/clean` — the snapshot was taken at the final epoch
+//!   (graceful shutdown, or a crash right after a cadence tick): recovery
+//!   is pure decode, no replay. This row carries the PR 7 acceptance
+//!   bound: **at least 2x faster than the cold rebuild**.
+//! * `warm_recover/tail` — the crash landed one epoch past the snapshot:
+//!   recovery decodes and replays one journaled batch. Replay re-derives
+//!   the batch's dirty variables, which has a large fixed cost regardless
+//!   of batch size, so this row is only bounded to *faster than cold* —
+//!   the auto-snapshot triggers (`snapshot_every_epochs`,
+//!   `snapshot_max_journal_bytes`) exist precisely to keep this tail
+//!   short.
+//!
+//! All three paths end in the identical in-memory state (asserted).
+//! Medians land in `BENCH_7.json`. The fixture mirrors `live_ingest.rs`:
+//! a 10x10 aalborg-like grid with 2 000 trips, 90% baked into the
+//! lineage's base, the final 10% arriving as three live epochs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcost_bench::experiment::{experiment_config, Dataset};
+use pathcost_bench::Scale;
+use pathcost_core::{HybridConfig, PathWeightFunction};
+use pathcost_live::{LiveIngestor, PersistenceConfig, PersistentIngestor, RetentionConfig};
+use pathcost_roadnet::RoadNetwork;
+use pathcost_traj::{DatasetPreset, MatchedTrajectory, TrajectoryStore};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+struct Workload {
+    net: RoadNetwork,
+    cfg: HybridConfig,
+    /// Lineage whose last snapshot is at the final epoch (no replay).
+    dir_clean: PathBuf,
+    /// Lineage with one journaled epoch past the snapshot.
+    dir_tail: PathBuf,
+    base_rows: Vec<MatchedTrajectory>,
+    all_rows: Vec<MatchedTrajectory>,
+    final_epoch: u64,
+}
+
+fn workload() -> Workload {
+    let mut preset = DatasetPreset::aalborg_like(13);
+    preset.network.rows = 10;
+    preset.network.cols = 10;
+    preset.simulation.trips = 2_000;
+    let dataset = Dataset::build(&preset);
+    let cfg = experiment_config(Scale::Quick);
+    let split = dataset.store.len() * 90 / 100;
+    let base_rows: Vec<MatchedTrajectory> = dataset.store.matched()[..split].to_vec();
+    let fresh: Vec<MatchedTrajectory> = dataset.store.matched()[split..].to_vec();
+    let tail = fresh.len() / 10;
+    let (bulk, tail_rows) = fresh.split_at(fresh.len() - tail);
+
+    let tmp = std::env::temp_dir();
+    let dir_clean = tmp.join(format!(
+        "pathcost-recovery-boot-clean-{}",
+        std::process::id()
+    ));
+    let dir_tail = tmp.join(format!(
+        "pathcost-recovery-boot-tail-{}",
+        std::process::id()
+    ));
+
+    // Both lineages ingest the same three epochs (two bulk halves, then the
+    // small tail batch) and end at the same state; they differ only in
+    // whether the last snapshot precedes or follows the final epoch.
+    for (dir, snapshot_before_tail) in [(&dir_clean, false), (&dir_tail, true)] {
+        let _ = std::fs::remove_dir_all(dir);
+        let base = TrajectoryStore::new(base_rows.clone());
+        let weights =
+            PathWeightFunction::instantiate(&dataset.net, &base, &cfg).expect("instantiates");
+        let mut ingestor =
+            LiveIngestor::from_instantiated(&dataset.net, base, weights, cfg.clone())
+                .expect("config matches")
+                .with_persistence(dir, PersistenceConfig::default())
+                .expect("state dir is writable");
+        let chunk = bulk.len().div_ceil(2).max(1);
+        for batch in bulk.chunks(chunk) {
+            ingestor.ingest(batch.to_vec()).expect("ingest succeeds");
+        }
+        if snapshot_before_tail {
+            ingestor.snapshot_now().expect("snapshot succeeds");
+        }
+        ingestor
+            .ingest(tail_rows.to_vec())
+            .expect("ingest succeeds");
+        if !snapshot_before_tail {
+            ingestor.snapshot_now().expect("snapshot succeeds");
+        }
+    }
+
+    Workload {
+        net: dataset.net,
+        cfg,
+        dir_clean,
+        dir_tail,
+        base_rows,
+        all_rows: dataset.store.matched().to_vec(),
+        final_epoch: 3,
+    }
+}
+
+fn warm_recover<'n>(w: &'n Workload, dir: &Path) -> (PersistentIngestor<'n>, u64) {
+    let (recovered, report) = PersistentIngestor::recover(
+        &w.net,
+        dir,
+        w.cfg.clone(),
+        RetentionConfig::default(),
+        PersistenceConfig::default(),
+        || TrajectoryStore::new(w.base_rows.clone()),
+    )
+    .expect("recovery succeeds");
+    assert_eq!(report.outcome.as_str(), "warm", "lineage must be live");
+    (recovered, report.replayed_records)
+}
+
+/// What a restart costs without persistence: rebuild the store from raw
+/// rows and re-instantiate every weight variable over it.
+fn cold_rebuild(w: &Workload) -> PathWeightFunction {
+    let store = TrajectoryStore::new(w.all_rows.clone());
+    PathWeightFunction::instantiate(&w.net, &store, &w.cfg).expect("instantiates")
+}
+
+fn median(mut times: Vec<Duration>) -> Duration {
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn bench_recovery_boot(c: &mut Criterion) {
+    let w = workload();
+
+    // Equivalence first: every boot path lands on the same state.
+    let rebuilt = cold_rebuild(&w);
+    let (clean, replayed) = warm_recover(&w, &w.dir_clean);
+    assert_eq!(replayed, 0, "the clean lineage has nothing to replay");
+    let (tailed, replayed) = warm_recover(&w, &w.dir_tail);
+    assert_eq!(replayed, 1, "the tail lineage replays one epoch");
+    for recovered in [&clean, &tailed] {
+        assert_eq!(recovered.epoch(), w.final_epoch);
+        assert_eq!(
+            recovered.weights().variables().len(),
+            rebuilt.variables().len(),
+            "warm and cold boots must agree on the instantiated variable set"
+        );
+    }
+    drop((clean, tailed, rebuilt));
+
+    let mut group = c.benchmark_group("recovery_boot");
+    group.bench_with_input(BenchmarkId::new("warm_recover", "clean"), &w, |b, w| {
+        b.iter(|| warm_recover(w, &w.dir_clean))
+    });
+    group.bench_with_input(BenchmarkId::new("warm_recover", "tail1"), &w, |b, w| {
+        b.iter(|| warm_recover(w, &w.dir_tail))
+    });
+    group.bench_with_input(BenchmarkId::new("cold_rebuild", "full"), &w, |b, w| {
+        b.iter(|| cold_rebuild(w))
+    });
+    group.finish();
+
+    // One-shot acceptance check, medians of 10 reps.
+    let reps = 10;
+    let (mut clean_times, mut tail_times, mut cold_times) = (Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..reps {
+        let start = Instant::now();
+        drop(warm_recover(&w, &w.dir_clean));
+        clean_times.push(start.elapsed());
+        let start = Instant::now();
+        drop(warm_recover(&w, &w.dir_tail));
+        tail_times.push(start.elapsed());
+        let start = Instant::now();
+        drop(cold_rebuild(&w));
+        cold_times.push(start.elapsed());
+    }
+    let clean = median(clean_times);
+    let tail = median(tail_times);
+    let cold = median(cold_times);
+    println!(
+        "boot medians over {reps} reps: warm-clean {clean:.2?} ({:.1}x), warm-tail {tail:.2?} ({:.1}x), cold {cold:.2?}",
+        cold.as_secs_f64() / clean.as_secs_f64().max(1e-12),
+        cold.as_secs_f64() / tail.as_secs_f64().max(1e-12),
+    );
+    assert!(
+        clean.as_secs_f64() * 2.0 <= cold.as_secs_f64(),
+        "warm restart from a current snapshot must be at least 2x faster than a cold rebuild ({clean:?} vs {cold:?})"
+    );
+    assert!(
+        tail < cold,
+        "even with a journal tail to replay, warm must beat the cold rebuild ({tail:?} vs {cold:?})"
+    );
+
+    let _ = std::fs::remove_dir_all(&w.dir_clean);
+    let _ = std::fs::remove_dir_all(&w.dir_tail);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_recovery_boot
+}
+criterion_main!(benches);

@@ -523,6 +523,44 @@ impl PathWeightFunction {
         })
     }
 
+    /// Restores a weight function from previously captured parts — the
+    /// deserialization counterpart of [`Self::variables`] +
+    /// [`Self::fallback_units`]. `variables` must be in strictly increasing
+    /// `(path edges, interval)` key order (the order [`Self::variables`]
+    /// exposes); the lookup and first-edge indices and the summary statistics
+    /// are re-derived exactly as every other constructor derives them, so a
+    /// restored function is bit-identical to the one that was captured
+    /// (given the same `store`).
+    pub fn from_parts(
+        partition: DayPartition,
+        cost_kind: CostKind,
+        variables: Vec<InstantiatedVariable>,
+        fallback_units: HashMap<EdgeId, Histogram1D>,
+        store: &TrajectoryStore,
+    ) -> Result<Self, CoreError> {
+        for w in variables.windows(2) {
+            let a = (w[0].path.edges(), w[0].interval);
+            let b = (w[1].path.edges(), w[1].interval);
+            if a >= b {
+                return Err(CoreError::InvalidConfig(
+                    "restored variables must be in strictly increasing (path, interval) order",
+                ));
+            }
+        }
+        Ok(Self::finish(
+            partition,
+            cost_kind,
+            variables,
+            fallback_units,
+            store,
+        ))
+    }
+
+    /// The speed-limit-derived fallback unit distribution of every edge.
+    pub fn fallback_units(&self) -> &HashMap<EdgeId, Histogram1D> {
+        &self.fallback_units
+    }
+
     /// The day partition (α) this weight function was built with.
     pub fn partition(&self) -> &DayPartition {
         &self.partition

@@ -85,6 +85,45 @@ impl Histogram1D {
         let probs = masses.iter().map(|&m| m / total).collect();
         Ok(Histogram1D::assemble(buckets.to_vec(), probs))
     }
+    /// Restores a histogram from buckets and probabilities captured from an
+    /// existing histogram (e.g. a persisted snapshot), **without**
+    /// re-normalising the probabilities, so the restored histogram is
+    /// bit-identical to the one that was serialized.
+    ///
+    /// Validates shape only (aligned non-empty slices, finite non-negative
+    /// probabilities, sorted non-overlapping buckets); callers are expected to
+    /// pass data that originally came out of [`Self::buckets`] /
+    /// [`Self::probs`]. The cumulative array is rebuilt left to right, exactly
+    /// as every other constructor does.
+    pub fn from_raw_parts(buckets: Vec<Bucket>, probs: Vec<f64>) -> Result<Self, HistError> {
+        if buckets.is_empty() {
+            return Err(HistError::EmptyInput);
+        }
+        if buckets.len() != probs.len() {
+            return Err(HistError::DimensionMismatch {
+                expected: buckets.len(),
+                actual: probs.len(),
+            });
+        }
+        for &p in &probs {
+            if !p.is_finite() || p < 0.0 {
+                return Err(HistError::InvalidProbability(p));
+            }
+        }
+        for w in buckets.windows(2) {
+            // Same float-noise tolerance as `from_entries`: anything it
+            // accepted at construction time must round-trip through here.
+            let tolerance = 1e-9 * w[0].width().max(w[1].width()).max(1.0);
+            if w[0].overlap(&w[1]) > tolerance {
+                return Err(HistError::EmptyBucket {
+                    lo: w[1].lo,
+                    hi: w[0].hi,
+                });
+            }
+        }
+        Ok(Histogram1D::assemble(buckets, probs))
+    }
+
     /// Creates a histogram from disjoint `(bucket, probability)` entries.
     ///
     /// Entries are sorted by bucket lower bound and probabilities are
@@ -538,6 +577,29 @@ mod tests {
         assert!((c.mean() - h.mean()).abs() < 0.6);
         // No-op when already small enough.
         assert_eq!(h.coarsen(10), h);
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips_bit_identically() {
+        // Probabilities that do NOT sum to one survive unchanged — the whole
+        // point of the raw restore path: 0.1 + 0.2 ≠ 0.3 in binary, so a
+        // normalising constructor would perturb the bits.
+        let h = Histogram1D::from_entries(vec![
+            (b(0.0, 10.0), 0.1),
+            (b(10.0, 20.0), 0.2),
+            (b(20.0, 40.0), 0.7),
+        ])
+        .unwrap();
+        let back = Histogram1D::from_raw_parts(h.buckets().to_vec(), h.probs().to_vec()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.cumulative_probs(), h.cumulative_probs());
+        // Shape violations are rejected.
+        assert!(Histogram1D::from_raw_parts(vec![], vec![]).is_err());
+        assert!(Histogram1D::from_raw_parts(vec![b(0.0, 1.0)], vec![0.5, 0.5]).is_err());
+        assert!(Histogram1D::from_raw_parts(vec![b(0.0, 1.0)], vec![f64::NAN]).is_err());
+        assert!(
+            Histogram1D::from_raw_parts(vec![b(0.0, 10.0), b(5.0, 15.0)], vec![0.5, 0.5]).is_err()
+        );
     }
 
     #[test]

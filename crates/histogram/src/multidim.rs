@@ -160,6 +160,46 @@ impl HistogramNd {
         })
     }
 
+    /// Restores a histogram from axes and cells captured from an existing
+    /// histogram (e.g. a persisted snapshot), **without** re-normalising the
+    /// probabilities, so the restored histogram is bit-identical to the one
+    /// that was serialized. Contrast [`Self::from_cells`], which normalises
+    /// and therefore cannot round-trip floating-point mass exactly.
+    ///
+    /// Validates shape only: non-empty axes and cells, per-cell key length
+    /// matching the dimension count, indices in axis range, finite
+    /// non-negative probabilities. Cells must already be sorted by key (the
+    /// order every constructor produces and every accessor exposes).
+    pub fn from_raw_parts(
+        axes: Vec<Vec<Bucket>>,
+        cells: Vec<(Vec<u32>, f64)>,
+    ) -> Result<Self, HistError> {
+        if axes.is_empty() || cells.is_empty() || axes.iter().any(|a| a.is_empty()) {
+            return Err(HistError::EmptyInput);
+        }
+        let dims = axes.len();
+        for (key, p) in &cells {
+            if key.len() != dims {
+                return Err(HistError::DimensionMismatch {
+                    expected: dims,
+                    actual: key.len(),
+                });
+            }
+            if !p.is_finite() || *p < 0.0 {
+                return Err(HistError::InvalidProbability(*p));
+            }
+            for (d, &idx) in key.iter().enumerate() {
+                if idx as usize >= axes[d].len() {
+                    return Err(HistError::ZeroBuckets);
+                }
+            }
+        }
+        if cells.windows(2).any(|w| w[0].0 > w[1].0) {
+            return Err(HistError::EmptyInput);
+        }
+        Ok(HistogramNd { dims, axes, cells })
+    }
+
     /// Number of dimensions.
     pub fn dims(&self) -> usize {
         self.dims
@@ -412,6 +452,28 @@ mod tests {
                 cost.probs()[i]
             );
         }
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips_without_renormalising() {
+        let nd = HistogramNd::from_samples(&figure6_samples(), &AutoConfig::default()).unwrap();
+        let back = HistogramNd::from_raw_parts(nd.axes().to_vec(), nd.cells().to_vec()).unwrap();
+        assert_eq!(back, nd);
+        // from_cells would renormalise; raw parts must not. Feed un-normalised
+        // mass and check it survives bit-for-bit.
+        let axes = vec![vec![b(0.0, 10.0), b(10.0, 20.0)]];
+        let cells = vec![(vec![0u32], 0.1), (vec![1u32], 0.2)];
+        let raw = HistogramNd::from_raw_parts(axes.clone(), cells.clone()).unwrap();
+        assert_eq!(raw.cells(), cells.as_slice());
+        // Shape violations are rejected: empty, bad key length, out-of-range
+        // index, negative mass, unsorted cells.
+        assert!(HistogramNd::from_raw_parts(vec![], vec![]).is_err());
+        assert!(HistogramNd::from_raw_parts(axes.clone(), vec![(vec![0, 0], 1.0)]).is_err());
+        assert!(HistogramNd::from_raw_parts(axes.clone(), vec![(vec![7], 1.0)]).is_err());
+        assert!(HistogramNd::from_raw_parts(axes.clone(), vec![(vec![0], -1.0)]).is_err());
+        assert!(
+            HistogramNd::from_raw_parts(axes, vec![(vec![1u32], 0.5), (vec![0u32], 0.5)]).is_err()
+        );
     }
 
     #[test]

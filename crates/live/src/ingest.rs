@@ -261,6 +261,20 @@ impl<'n> LiveIngestor<'n> {
         Ok(update)
     }
 
+    /// Re-stamps the ingestor at `epoch` — used by the persistence layer
+    /// when resuming a recovered lineage, so the next publish continues the
+    /// pre-crash epoch sequence instead of restarting at 1.
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Releases capacity freed by past retirements (see
+    /// [`TrajectoryStore::compact`]) — called before a snapshot so the
+    /// serialised store reflects the live rows only.
+    pub(crate) fn compact_store(&mut self) {
+        self.store.compact();
+    }
+
     /// The currently published weight-function epoch (an `Arc` bump).
     pub fn weights(&self) -> Arc<PathWeightFunction> {
         self.current.clone()

@@ -74,6 +74,17 @@
 //! `benches/live_ingest.rs` measures update latency, retirement latency and
 //! eviction precision.
 //!
+//! ## Crash safety
+//!
+//! The [`persist`] module makes the whole pipeline durable:
+//! [`LiveIngestor::with_persistence`] upgrades an ingestor to a
+//! [`PersistentIngestor`] that journals every published epoch (via
+//! `pathcost-persist`'s append-only journal) and periodically snapshots the
+//! full store + weight function. [`PersistentIngestor::recover`] resumes
+//! after a crash bit-identically: newest valid snapshot + journal replay,
+//! degrading gracefully through older generations and journal-only recovery
+//! down to a clean cold boot — never a panic on corrupt state.
+//!
 //! ```no_run
 //! use pathcost_core::HybridConfig;
 //! use pathcost_live::LiveIngestor;
@@ -96,6 +107,8 @@
 
 pub mod delta;
 pub mod ingest;
+pub mod persist;
 
 pub use delta::dirty_keys;
 pub use ingest::{LiveIngestor, RetentionConfig};
+pub use persist::{PersistenceConfig, PersistenceError, PersistentIngestor, RecoveryReport};

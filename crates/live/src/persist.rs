@@ -1,0 +1,693 @@
+//! Crash-safe persistence for the live ingestor.
+//!
+//! [`PersistentIngestor`] wraps a [`LiveIngestor`] and makes every published
+//! epoch durable: each `ingest`/`retire_*` call is journalled (after the
+//! in-memory publish succeeds), and snapshots of the full store + weight
+//! function are taken on demand ([`PersistentIngestor::snapshot_now`]), on a
+//! configured cadence, or when an operator flags a request through the shared
+//! [`PersistenceStatus`].
+//!
+//! # Lineages and recovery
+//!
+//! A *lineage* is one unbroken epoch sequence in a state directory: a base
+//! snapshot (epoch 0 at attach time) plus journalled epochs 1, 2, … and the
+//! periodic snapshots that supersede them. [`LiveIngestor::with_persistence`]
+//! **starts a fresh lineage**, discarding whatever the directory held;
+//! [`PersistentIngestor::recover`] **resumes** one: it loads the newest valid
+//! snapshot (skipping corrupt generations), replays the journal records after
+//! it, and continues the epoch sequence exactly where the crashed process
+//! stopped. Because every replayed operation is deterministic and every `f64`
+//! persisted bit-exactly, the recovered ingestor is bit-identical to one that
+//! never crashed — the oracle `tests/crash_recovery.rs` enforces.
+//!
+//! Recovery never panics on bad state. The degradation ladder:
+//!
+//! 1. newest snapshot valid → load it, replay the journal tail (**warm**);
+//! 2. newest corrupt → previous generation + the journal records after *it*
+//!    (the journal is only rotated down to the oldest retained generation,
+//!    precisely so this bridge always exists) (**warm**);
+//! 3. every generation corrupt but the journal reaches back to epoch 1 →
+//!    replay the whole journal onto the bootstrap store (**warm**);
+//! 4. nothing usable (or a config/retention fingerprint mismatch, which makes
+//!    the lineage meaningless) → wipe and start fresh (**discarded**);
+//! 5. empty directory → fresh start (**cold**).
+
+use crate::ingest::{LiveIngestor, RetentionConfig};
+use pathcost_core::{CoreError, DayPartition, HybridConfig, PathWeightFunction, WeightUpdate};
+use pathcost_hist::Histogram1D;
+use pathcost_persist::codec;
+use pathcost_persist::format::Cursor;
+use pathcost_persist::journal::{Journal, JournalOp, JournalRecord};
+use pathcost_persist::snapshot::{self, list_generations, SnapshotReader, SnapshotWriter};
+use pathcost_persist::{PersistError, PersistenceStatus, RecoveryOutcome};
+use pathcost_roadnet::{EdgeId, RoadNetwork};
+use pathcost_traj::{MatchedTrajectory, Timestamp, TrajectoryStore};
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The journal's file name inside a state directory.
+pub const JOURNAL_FILE: &str = "journal.pcj";
+
+/// Tuning for the persistence layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistenceConfig {
+    /// Fsync every journal append (default). Disabling trades the last few
+    /// acknowledged epochs for throughput — recovery still works, it just
+    /// resumes from the last record the OS flushed.
+    pub fsync: bool,
+    /// Automatically snapshot after this many published epochs.
+    pub snapshot_every_epochs: Option<u64>,
+    /// Automatically snapshot once the journal grows past this many bytes.
+    pub snapshot_max_journal_bytes: Option<u64>,
+}
+
+impl Default for PersistenceConfig {
+    fn default() -> Self {
+        PersistenceConfig {
+            fsync: true,
+            snapshot_every_epochs: None,
+            snapshot_max_journal_bytes: None,
+        }
+    }
+}
+
+/// An error from the persistence layer: either the underlying ingest/derive
+/// machinery or the storage stack.
+#[derive(Debug)]
+pub enum PersistenceError {
+    /// Weight derivation / configuration error.
+    Core(CoreError),
+    /// Snapshot/journal storage error.
+    Persist(PersistError),
+}
+
+impl std::fmt::Display for PersistenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistenceError::Core(e) => write!(f, "ingest error: {e}"),
+            PersistenceError::Persist(e) => write!(f, "persistence error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistenceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistenceError::Core(e) => Some(e),
+            PersistenceError::Persist(e) => Some(e),
+        }
+    }
+}
+
+impl From<CoreError> for PersistenceError {
+    fn from(e: CoreError) -> Self {
+        PersistenceError::Core(e)
+    }
+}
+
+impl From<PersistError> for PersistenceError {
+    fn from(e: PersistError) -> Self {
+        PersistenceError::Persist(e)
+    }
+}
+
+/// What [`PersistentIngestor::recover`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// How state was obtained (see [`RecoveryOutcome`]).
+    pub outcome: RecoveryOutcome,
+    /// Epoch of the snapshot recovery started from (0 = none / journal-only).
+    pub snapshot_epoch: u64,
+    /// Journal records replayed on top of that snapshot.
+    pub replayed_records: u64,
+    /// Snapshot generations skipped as corrupt.
+    pub corrupt_generations_skipped: u64,
+    /// Bytes truncated off a torn journal tail.
+    pub journal_truncated_bytes: u64,
+}
+
+impl<'n> LiveIngestor<'n> {
+    /// Attaches crash-safe persistence, **starting a fresh lineage** in
+    /// `dir`: any previous snapshots and journal there are discarded, the
+    /// current state is published as the base snapshot, and every subsequent
+    /// epoch is journalled. To *resume* existing state after a restart, use
+    /// [`PersistentIngestor::recover`] instead.
+    pub fn with_persistence(
+        self,
+        dir: impl Into<PathBuf>,
+        config: PersistenceConfig,
+    ) -> Result<PersistentIngestor<'n>, PersistenceError> {
+        let dir = dir.into();
+        let writer = SnapshotWriter::new(&dir)?;
+        wipe_snapshots(&dir)?;
+        let (mut journal, _, _) = Journal::open(dir.join(JOURNAL_FILE))?;
+        // Empty any previous lineage's records (atomic rewrite).
+        journal.rotate(u64::MAX)?;
+        let mut this = PersistentIngestor {
+            inner: self,
+            writer,
+            journal,
+            dir,
+            config,
+            status: Arc::new(PersistenceStatus::new()),
+            epochs_since_snapshot: 0,
+        };
+        this.status.record_recovery(RecoveryOutcome::Cold, 0, 0, 0);
+        this.snapshot_now()?;
+        Ok(this)
+    }
+}
+
+/// A [`LiveIngestor`] whose every published epoch survives a crash.
+///
+/// Derefs (immutably) to the inner ingestor, so all read accessors —
+/// `weights()`, `epoch()`, `store()`, … — are available directly. The
+/// mutating operations are wrapped here so each publish is journalled.
+pub struct PersistentIngestor<'n> {
+    inner: LiveIngestor<'n>,
+    writer: SnapshotWriter,
+    journal: Journal,
+    dir: PathBuf,
+    config: PersistenceConfig,
+    status: Arc<PersistenceStatus>,
+    epochs_since_snapshot: u64,
+}
+
+impl<'n> std::ops::Deref for PersistentIngestor<'n> {
+    type Target = LiveIngestor<'n>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.inner
+    }
+}
+
+impl<'n> PersistentIngestor<'n> {
+    /// Resumes the lineage persisted in `dir`, or boots from scratch when
+    /// nothing usable is there. `bootstrap` supplies the base store for a
+    /// from-scratch boot; for the journal-only recovery path (every snapshot
+    /// generation corrupt) it must deterministically reproduce the store the
+    /// lineage originally started from.
+    ///
+    /// `config` and `retention` must match what the lineage was built under —
+    /// a fingerprint mismatch discards the on-disk state (you cannot replay
+    /// epochs derived under different rules) and boots fresh.
+    pub fn recover(
+        net: &'n RoadNetwork,
+        dir: impl Into<PathBuf>,
+        config: HybridConfig,
+        retention: RetentionConfig,
+        pconfig: PersistenceConfig,
+        bootstrap: impl FnOnce() -> TrajectoryStore,
+    ) -> Result<(Self, RecoveryReport), PersistenceError> {
+        let dir = dir.into();
+        let writer = SnapshotWriter::new(&dir)?;
+        let (snapshot, skipped) = SnapshotReader::load_latest(&dir)?;
+        let (journal, records, jreport) = Journal::open(dir.join(JOURNAL_FILE))?;
+        if jreport.truncated_bytes > 0 {
+            eprintln!(
+                "pathcost persistence: truncated {} bytes of torn journal tail in {}",
+                jreport.truncated_bytes,
+                dir.display()
+            );
+        }
+        let fingerprint = codec::encode_config(&config, retention.max_age);
+        let mut bootstrap = Some(bootstrap);
+        let mut bootstrap = move || (bootstrap.take().expect("bootstrap is called once"))();
+
+        let mut report = RecoveryReport {
+            outcome: RecoveryOutcome::Cold,
+            snapshot_epoch: 0,
+            replayed_records: 0,
+            corrupt_generations_skipped: skipped as u64,
+            journal_truncated_bytes: jreport.truncated_bytes,
+        };
+
+        let mut recovered: Option<LiveIngestor<'n>> = None;
+        if let Some(snap) = snapshot {
+            match restore_from_snapshot(net, &snap, &config, retention, &fingerprint) {
+                Ok(inner) => {
+                    report.outcome = RecoveryOutcome::Warm;
+                    report.snapshot_epoch = snap.epoch;
+                    recovered = Some(inner);
+                }
+                Err(e) => {
+                    // The snapshot decoded (CRCs passed) but does not match
+                    // this process's config/format: the whole lineage is
+                    // unusable, not just this generation.
+                    eprintln!(
+                        "pathcost persistence: discarding state in {}: {e}",
+                        dir.display()
+                    );
+                    report.outcome = RecoveryOutcome::Discarded;
+                }
+            }
+        } else if skipped > 0 {
+            // Generations existed but none decoded. The journal can still
+            // bridge from nothing — but only if it was never rotated (its
+            // first record is epoch 1).
+            if records.first().is_some_and(|r| r.epoch == 1) {
+                eprintln!(
+                    "pathcost persistence: every snapshot generation corrupt in {}; \
+                     replaying full journal onto the bootstrap store",
+                    dir.display()
+                );
+                report.outcome = RecoveryOutcome::Warm;
+                recovered = Some(
+                    LiveIngestor::new(net, bootstrap(), config.clone())?
+                        .with_retention(retention)?,
+                );
+            } else {
+                eprintln!(
+                    "pathcost persistence: every snapshot generation corrupt in {} and \
+                     the journal was rotated past epoch 1; discarding state",
+                    dir.display()
+                );
+                report.outcome = RecoveryOutcome::Discarded;
+            }
+        } else if !records.is_empty() {
+            // No snapshot was ever published (or all were deleted) but a
+            // journal survives; same bridge rule as above.
+            if records.first().is_some_and(|r| r.epoch == 1) {
+                report.outcome = RecoveryOutcome::Warm;
+                recovered = Some(
+                    LiveIngestor::new(net, bootstrap(), config.clone())?
+                        .with_retention(retention)?,
+                );
+            } else {
+                report.outcome = RecoveryOutcome::Discarded;
+            }
+        } else {
+            eprintln!(
+                "pathcost persistence: no prior state in {}; booting from scratch",
+                dir.display()
+            );
+        }
+
+        let fresh_lineage = recovered.is_none();
+        let mut inner = match recovered {
+            Some(inner) => inner,
+            None => LiveIngestor::new(net, bootstrap(), config)?.with_retention(retention)?,
+        };
+
+        let mut journal = journal;
+        if fresh_lineage {
+            wipe_snapshots(&dir)?;
+            journal.rotate(u64::MAX)?;
+        } else {
+            // Replay the records this lineage published after the recovered
+            // snapshot, in epoch order with no gaps. A gap means the tail
+            // belongs to a different rotation horizon — stop at the last
+            // contiguous record, exactly like a torn tail.
+            for record in records {
+                if record.epoch <= inner.epoch() {
+                    continue;
+                }
+                if record.epoch != inner.epoch() + 1 {
+                    eprintln!(
+                        "pathcost persistence: journal gap at epoch {} (have {}); \
+                         stopping replay",
+                        record.epoch,
+                        inner.epoch()
+                    );
+                    break;
+                }
+                match record.op {
+                    JournalOp::Ingest(batch) => inner.ingest(batch)?,
+                    JournalOp::RetireBefore(cutoff) => inner.retire_before(cutoff)?,
+                    JournalOp::RetireIds(ids) => inner.retire_ids(&ids)?,
+                };
+                report.replayed_records += 1;
+            }
+        }
+
+        let status = Arc::new(PersistenceStatus::new());
+        status.record_recovery(
+            report.outcome,
+            report.snapshot_epoch,
+            report.replayed_records,
+            report.corrupt_generations_skipped,
+        );
+        status.record_journal(journal.records(), journal.bytes());
+        let mut this = PersistentIngestor {
+            inner,
+            writer,
+            journal,
+            dir,
+            config: pconfig,
+            status,
+            epochs_since_snapshot: 0,
+        };
+        if fresh_lineage {
+            // Establish the new lineage's base generation.
+            this.snapshot_now()?;
+        }
+        Ok((this, report))
+    }
+
+    /// Ingests a batch (see [`LiveIngestor::ingest`]) and journals the
+    /// published epoch durably before returning.
+    pub fn ingest(
+        &mut self,
+        batch: Vec<MatchedTrajectory>,
+    ) -> Result<WeightUpdate, PersistenceError> {
+        let journalled = batch.clone();
+        let update = self.inner.ingest(batch)?;
+        self.journal_epoch(update.epoch, JournalOp::Ingest(journalled))?;
+        Ok(update)
+    }
+
+    /// TTL-retires (see [`LiveIngestor::retire_before`]) and journals the
+    /// published epoch.
+    pub fn retire_before(&mut self, cutoff: Timestamp) -> Result<WeightUpdate, PersistenceError> {
+        let update = self.inner.retire_before(cutoff)?;
+        self.journal_epoch(update.epoch, JournalOp::RetireBefore(cutoff))?;
+        Ok(update)
+    }
+
+    /// Retires by id (see [`LiveIngestor::retire_ids`]) and journals the
+    /// published epoch.
+    pub fn retire_ids(&mut self, ids: &[u64]) -> Result<WeightUpdate, PersistenceError> {
+        let update = self.inner.retire_ids(ids)?;
+        self.journal_epoch(update.epoch, JournalOp::RetireIds(ids.to_vec()))?;
+        Ok(update)
+    }
+
+    fn journal_epoch(&mut self, epoch: u64, op: JournalOp) -> Result<(), PersistenceError> {
+        self.journal
+            .append(&JournalRecord { epoch, op }, self.config.fsync)?;
+        self.epochs_since_snapshot += 1;
+        self.status
+            .record_journal(self.journal.records(), self.journal.bytes());
+        if self.snapshot_due() {
+            self.snapshot_now()?;
+        }
+        Ok(())
+    }
+
+    fn snapshot_due(&self) -> bool {
+        self.status.take_snapshot_request()
+            || self
+                .config
+                .snapshot_every_epochs
+                .is_some_and(|n| self.epochs_since_snapshot >= n)
+            || self
+                .config
+                .snapshot_max_journal_bytes
+                .is_some_and(|b| self.journal.bytes() >= b)
+    }
+
+    /// Publishes a snapshot of the current epoch now, prunes old generations,
+    /// and rotates the journal down to the records the oldest retained
+    /// generation still needs. Returns the snapshot size in bytes.
+    ///
+    /// The store is compacted first, so the snapshot (and the recovered
+    /// process) reflects live rows only — retirement-freed capacity is not
+    /// carried across restarts.
+    pub fn snapshot_now(&mut self) -> Result<u64, PersistenceError> {
+        self.inner.compact_store();
+        let epoch = self.inner.epoch();
+        let weights = self.inner.weights();
+        let mut fallbacks: Vec<(EdgeId, Histogram1D)> = weights
+            .fallback_units()
+            .iter()
+            .map(|(e, h)| (*e, h.clone()))
+            .collect();
+        // Deterministic image: a HashMap's iteration order must never leak.
+        fallbacks.sort_unstable_by_key(|(e, _)| e.0);
+        let mut config_section = Vec::new();
+        config_section.extend_from_slice(&codec::encode_config(
+            self.inner.config(),
+            self.inner.retention().max_age,
+        ));
+        let mut store_section = Vec::new();
+        codec::put_trajectories(&mut store_section, self.inner.store().matched());
+        let mut weights_section = Vec::new();
+        codec::put_weights(&mut weights_section, weights.variables(), &fallbacks);
+        let sections = vec![
+            (snapshot::section::CONFIG, config_section),
+            (snapshot::section::STORE, store_section),
+            (snapshot::section::WEIGHTS, weights_section),
+        ];
+        let bytes = self.writer.publish(epoch, &sections)?;
+        let mut gens = list_generations(&self.dir)?;
+        gens.sort_unstable();
+        let keep_after = gens.first().copied().unwrap_or(epoch);
+        self.journal.rotate(keep_after)?;
+        self.epochs_since_snapshot = 0;
+        self.status.record_snapshot(epoch, unix_ms());
+        self.status
+            .record_journal(self.journal.records(), self.journal.bytes());
+        Ok(bytes)
+    }
+
+    /// The shared telemetry handle — clone it into health endpoints; its
+    /// `request_snapshot` flag is honoured after the next published epoch.
+    pub fn status(&self) -> Arc<PersistenceStatus> {
+        self.status.clone()
+    }
+
+    /// The state directory this ingestor persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Detaches persistence, returning the inner ingestor. On-disk state is
+    /// left as is.
+    pub fn into_inner(self) -> LiveIngestor<'n> {
+        self.inner
+    }
+}
+
+/// Rebuilds a [`LiveIngestor`] from a decoded snapshot, verifying the config
+/// fingerprint first.
+fn restore_from_snapshot<'n>(
+    net: &'n RoadNetwork,
+    snap: &pathcost_persist::Snapshot,
+    config: &HybridConfig,
+    retention: RetentionConfig,
+    fingerprint: &[u8],
+) -> Result<LiveIngestor<'n>, PersistenceError> {
+    let stored_fingerprint = snap
+        .section(snapshot::section::CONFIG)
+        .ok_or(PersistError::Incompatible("snapshot has no CONFIG section"))?;
+    if stored_fingerprint != fingerprint {
+        return Err(PersistError::Incompatible(
+            "snapshot was taken under a different config/retention; refusing to mix lineages",
+        )
+        .into());
+    }
+    let store_bytes = snap
+        .section(snapshot::section::STORE)
+        .ok_or(PersistError::Incompatible("snapshot has no STORE section"))?;
+    let mut c = Cursor::new(store_bytes, "snapshot store section");
+    let matched = codec::read_trajectories(&mut c)?;
+    c.finish()?;
+    let store = TrajectoryStore::new(matched);
+
+    let weights_bytes =
+        snap.section(snapshot::section::WEIGHTS)
+            .ok_or(PersistError::Incompatible(
+                "snapshot has no WEIGHTS section",
+            ))?;
+    let mut c = Cursor::new(weights_bytes, "snapshot weights section");
+    let (variables, fallbacks) = codec::read_weights(&mut c)?;
+    c.finish()?;
+    let fallback_units: HashMap<EdgeId, Histogram1D> = fallbacks.into_iter().collect();
+    let partition = DayPartition::new(config.alpha_minutes)?;
+    let weights = PathWeightFunction::from_parts(
+        partition,
+        config.cost_kind,
+        variables,
+        fallback_units,
+        &store,
+    )?;
+    let mut inner = LiveIngestor::from_instantiated(net, store, weights, config.clone())?
+        .with_retention(retention)?;
+    inner.set_epoch(snap.epoch);
+    Ok(inner)
+}
+
+/// Removes every published snapshot and stray temp file in `dir`.
+fn wipe_snapshots(dir: &Path) -> Result<(), PersistenceError> {
+    for entry in fs::read_dir(dir).map_err(PersistError::from)? {
+        let entry = entry.map_err(PersistError::from)?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("snapshot-") && (name.ends_with(".snap") || name.ends_with(".tmp")) {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+    Ok(())
+}
+
+/// Wall-clock milliseconds since the Unix epoch (0 if the clock is broken).
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcost_traj::DatasetPreset;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pathcost-live-persist-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fixture() -> (RoadNetwork, TrajectoryStore, HybridConfig) {
+        let (net, store) = DatasetPreset::tiny(53).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        };
+        (net, store, cfg)
+    }
+
+    #[test]
+    fn warm_recovery_resumes_bit_identically_and_continues() {
+        let (net, store, cfg) = fixture();
+        let dir = temp_dir("warm");
+        let split = store.len() / 2;
+        let base = TrajectoryStore::new(store.matched()[..split].to_vec());
+        let rest: Vec<MatchedTrajectory> = store.matched()[split..].to_vec();
+        let mid = rest.len() / 2;
+
+        let mut p = LiveIngestor::new(&net, base, cfg.clone())
+            .unwrap()
+            .with_persistence(&dir, PersistenceConfig::default())
+            .unwrap();
+        p.ingest(rest[..mid].to_vec()).unwrap();
+        p.snapshot_now().unwrap();
+        // This epoch lives only in the journal — replay must restore it.
+        p.ingest(rest[mid..].to_vec()).unwrap();
+        let want_epoch = p.epoch();
+        let want_vars = p.weights().variables().to_vec();
+        let want_stats = p.weights().stats().clone();
+        let want_matched = p.store().matched().to_vec();
+        drop(p);
+
+        let (mut r, report) = PersistentIngestor::recover(
+            &net,
+            &dir,
+            cfg,
+            RetentionConfig::default(),
+            PersistenceConfig::default(),
+            || panic!("warm recovery must not need the bootstrap store"),
+        )
+        .unwrap();
+        assert_eq!(report.outcome, RecoveryOutcome::Warm);
+        assert_eq!(report.replayed_records, 1);
+        assert_eq!(report.corrupt_generations_skipped, 0);
+        assert_eq!(r.epoch(), want_epoch);
+        assert_eq!(r.weights().variables(), &want_vars[..]);
+        assert_eq!(r.weights().stats(), &want_stats);
+        assert_eq!(r.store().matched(), &want_matched[..]);
+        assert_eq!(r.status().recovery_outcome(), RecoveryOutcome::Warm);
+
+        // The lineage continues: next publish is want_epoch + 1 and is
+        // itself journalled + recoverable.
+        let update = r.ingest(Vec::new()).unwrap();
+        assert_eq!(update.epoch, want_epoch + 1);
+        drop(r);
+        let (r, report) = PersistentIngestor::recover(
+            &net,
+            &dir,
+            fixture().2,
+            RetentionConfig::default(),
+            PersistenceConfig::default(),
+            || panic!("still warm"),
+        )
+        .unwrap();
+        assert_eq!(report.outcome, RecoveryOutcome::Warm);
+        assert_eq!(r.epoch(), want_epoch + 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_boots_cold_and_establishes_a_lineage() {
+        let (net, store, cfg) = fixture();
+        let dir = temp_dir("cold");
+        let (p, report) = PersistentIngestor::recover(
+            &net,
+            &dir,
+            cfg,
+            RetentionConfig::default(),
+            PersistenceConfig::default(),
+            move || store,
+        )
+        .unwrap();
+        assert_eq!(report.outcome, RecoveryOutcome::Cold);
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(p.epoch(), 0);
+        // The cold boot published a base generation.
+        assert_eq!(list_generations(&dir).unwrap(), vec![0]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn config_mismatch_discards_the_lineage() {
+        let (net, store, cfg) = fixture();
+        let dir = temp_dir("mismatch");
+        let p = LiveIngestor::new(&net, store.clone(), cfg.clone())
+            .unwrap()
+            .with_persistence(&dir, PersistenceConfig::default())
+            .unwrap();
+        drop(p);
+        let recut = HybridConfig {
+            beta: cfg.beta + 1,
+            ..cfg
+        };
+        let (p, report) = PersistentIngestor::recover(
+            &net,
+            &dir,
+            recut,
+            RetentionConfig::default(),
+            PersistenceConfig::default(),
+            move || store,
+        )
+        .unwrap();
+        assert_eq!(report.outcome, RecoveryOutcome::Discarded);
+        assert_eq!(p.epoch(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn auto_snapshot_triggers_on_epoch_cadence_and_admin_request() {
+        let (net, store, cfg) = fixture();
+        let dir = temp_dir("auto");
+        let base = TrajectoryStore::new(store.matched()[..store.len() / 2].to_vec());
+        let mut p = LiveIngestor::new(&net, base, cfg)
+            .unwrap()
+            .with_persistence(
+                &dir,
+                PersistenceConfig {
+                    snapshot_every_epochs: Some(2),
+                    ..PersistenceConfig::default()
+                },
+            )
+            .unwrap();
+        let status = p.status();
+        assert_eq!(status.snapshots_written(), 1); // the base generation
+        p.ingest(Vec::new()).unwrap();
+        assert_eq!(status.snapshots_written(), 1);
+        p.ingest(Vec::new()).unwrap();
+        assert_eq!(status.snapshots_written(), 2, "cadence of 2 must fire");
+        // An operator request fires after the next published epoch.
+        status.request_snapshot();
+        p.retire_ids(&[u64::MAX]).unwrap();
+        assert_eq!(status.snapshots_written(), 3);
+        assert_eq!(status.snapshot_epoch(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,82 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
+//!
+//! Hand-rolled because the build is fully offline (no registry crates); the
+//! classic byte-at-a-time table driver is plenty for snapshot/journal sizes.
+//! The parameters match zlib's `crc32()`, so images can be cross-checked
+//! with standard tooling.
+
+/// The 256-entry lookup table, generated at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (initial value `0xFFFF_FFFF`, final xor `0xFFFF_FFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_parts(&[bytes])
+}
+
+/// CRC-32 over the concatenation of `parts`, without materialising it —
+/// used to checksum a framing header together with its payload.
+pub fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &b in *part {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn parts_match_concatenation() {
+        assert_eq!(crc32_parts(&[b"1234", b"56789"]), crc32(b"123456789"));
+        assert_eq!(crc32_parts(&[b"", b"abc", b""]), crc32(b"abc"));
+        assert_eq!(crc32_parts(&[]), crc32(b""));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"hello, persistent world".to_vec();
+        let reference = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at {byte}:{bit}");
+            }
+        }
+    }
+}

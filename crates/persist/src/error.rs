@@ -1,0 +1,88 @@
+//! Error type of the persistence layer.
+//!
+//! The cardinal rule of this crate is that *bad bytes are never a panic*:
+//! every decode path returns [`PersistError::Corrupt`] with enough context to
+//! log, and recovery treats corruption as "fall back to the previous
+//! generation / truncate the journal tail", never as a crash.
+
+use pathcost_core::CoreError;
+use pathcost_hist::HistError;
+use std::fmt;
+
+/// Anything that can go wrong while persisting or recovering state.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An operating-system I/O failure (open, read, write, fsync, rename).
+    Io(std::io::Error),
+    /// The bytes on disk are not a valid snapshot/journal image: bad magic,
+    /// unknown version, a CRC mismatch, a truncated section, an
+    /// out-of-bounds length. `context` names the structure being decoded.
+    Corrupt {
+        /// Which structure failed to decode (e.g. `"snapshot header"`).
+        context: &'static str,
+        /// Human-readable detail for the recovery log line.
+        detail: String,
+    },
+    /// The persisted state is internally valid but cannot be used: it was
+    /// written under a different configuration than the process booted with.
+    Incompatible(&'static str),
+    /// Reconstructing domain objects from decoded parts failed.
+    Core(CoreError),
+    /// Reconstructing a histogram from decoded parts failed.
+    Hist(HistError),
+}
+
+impl PersistError {
+    /// Shorthand for a [`Self::Corrupt`] error.
+    pub fn corrupt(context: &'static str, detail: impl Into<String>) -> Self {
+        PersistError::Corrupt {
+            context,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persistence I/O error: {e}"),
+            PersistError::Corrupt { context, detail } => {
+                write!(f, "corrupt {context}: {detail}")
+            }
+            PersistError::Incompatible(what) => {
+                write!(f, "persisted state incompatible: {what}")
+            }
+            PersistError::Core(e) => write!(f, "persisted state rejected: {e}"),
+            PersistError::Hist(e) => write!(f, "persisted histogram rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Core(e) => Some(e),
+            PersistError::Hist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<CoreError> for PersistError {
+    fn from(e: CoreError) -> Self {
+        PersistError::Core(e)
+    }
+}
+
+impl From<HistError> for PersistError {
+    fn from(e: HistError) -> Self {
+        PersistError::Hist(e)
+    }
+}

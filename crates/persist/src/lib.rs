@@ -1,0 +1,44 @@
+//! Crash-safe persistence for the path-cost engine: versioned snapshots and
+//! an append-only ingest journal.
+//!
+//! # Model
+//!
+//! Durable state is a *snapshot* (full dump of the [`TrajectoryStore`] and
+//! the instantiated [`PathWeightFunction`] at some ingest epoch `E`) plus a
+//! *journal* of every ingest/retire operation with the epoch it published.
+//! Recovery loads the newest valid snapshot and replays only the journal
+//! records with epoch `> E`; because every `f64` travels as its IEEE-754 bit
+//! pattern and every index is re-derived deterministically, the recovered
+//! process is bit-identical to one that never crashed.
+//!
+//! # Durability and corruption
+//!
+//! * Snapshots are published atomically: temp file → fsync → rename →
+//!   directory fsync. The last [`snapshot::KEEP_GENERATIONS`] generations are
+//!   retained, so a corrupt newest snapshot falls back to the previous one.
+//! * Every snapshot section and journal record carries a CRC-32; corruption
+//!   is detected and *skipped*, never panicked on. A torn journal tail is
+//!   truncated back to the last valid record on open.
+//! * After each successful snapshot the journal is rotated down to the
+//!   records still needed by the **oldest** retained generation.
+//!
+//! The layers, bottom-up: [`crc`] and [`mod@format`] (checksums and primitive
+//! encoding), [`codec`] (domain-type encoding), [`snapshot`] and [`journal`]
+//! (the two on-disk structures), [`status`] (shared telemetry for health
+//! endpoints). The live-ingest crate wires these into its `LiveIngestor`.
+//!
+//! [`TrajectoryStore`]: pathcost_traj::TrajectoryStore
+//! [`PathWeightFunction`]: pathcost_core::PathWeightFunction
+
+pub mod codec;
+pub mod crc;
+pub mod error;
+pub mod format;
+pub mod journal;
+pub mod snapshot;
+pub mod status;
+
+pub use error::PersistError;
+pub use journal::{Journal, JournalOp, JournalRecord, JournalReport};
+pub use snapshot::{Snapshot, SnapshotReader, SnapshotWriter, KEEP_GENERATIONS};
+pub use status::{PersistenceStatus, RecoveryOutcome};

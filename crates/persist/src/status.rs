@@ -1,0 +1,206 @@
+//! Shared, lock-free persistence telemetry.
+//!
+//! A single [`PersistenceStatus`] is created by the persistence layer and
+//! cloned (via `Arc`) into whoever needs to observe it — typically the HTTP
+//! server's `/healthz` handler — or poke it — the `/admin/snapshot` endpoint
+//! sets a request flag that the ingest-owning thread polls. Everything is
+//! plain atomics so readers never contend with the ingest path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+/// How the last process start obtained its state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// No persistence configured, or status not yet recorded.
+    Unknown,
+    /// No usable on-disk state: built from scratch (bootstrap).
+    Cold,
+    /// Restored from a snapshot (plus zero or more replayed journal records).
+    Warm,
+    /// On-disk state existed but was unusable (config mismatch, corrupt
+    /// beyond repair, rotated-away journal); rebuilt from scratch.
+    Discarded,
+}
+
+impl RecoveryOutcome {
+    /// Stable string for health endpoints and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryOutcome::Unknown => "unknown",
+            RecoveryOutcome::Cold => "cold",
+            RecoveryOutcome::Warm => "warm",
+            RecoveryOutcome::Discarded => "discarded",
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => RecoveryOutcome::Cold,
+            2 => RecoveryOutcome::Warm,
+            3 => RecoveryOutcome::Discarded,
+            _ => RecoveryOutcome::Unknown,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            RecoveryOutcome::Unknown => 0,
+            RecoveryOutcome::Cold => 1,
+            RecoveryOutcome::Warm => 2,
+            RecoveryOutcome::Discarded => 3,
+        }
+    }
+}
+
+/// Live persistence counters, shared between the ingest path and observers.
+///
+/// All stores use relaxed ordering: every field is an independent gauge or
+/// counter read for monitoring, and no reader derives invariants across
+/// fields.
+#[derive(Debug, Default)]
+pub struct PersistenceStatus {
+    recovery_outcome: AtomicU8,
+    /// Epoch of the snapshot the process recovered from (0 = none).
+    recovered_snapshot_epoch: AtomicU64,
+    /// Journal records replayed on top of the recovered snapshot.
+    replayed_records: AtomicU64,
+    /// Snapshot generations skipped as corrupt during recovery.
+    corrupt_generations_skipped: AtomicU64,
+    /// Epoch of the most recent published snapshot (0 = none yet).
+    snapshot_epoch: AtomicU64,
+    /// Wall-clock milliseconds of the most recent published snapshot.
+    snapshot_unix_ms: AtomicU64,
+    /// Snapshots published by this process.
+    snapshots_written: AtomicU64,
+    /// Valid records currently in the journal.
+    journal_records: AtomicU64,
+    /// Current journal size in bytes.
+    journal_bytes: AtomicU64,
+    /// Set by `/admin/snapshot`, cleared by the ingest thread when honoured.
+    snapshot_requested: AtomicBool,
+}
+
+impl PersistenceStatus {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_recovery(
+        &self,
+        outcome: RecoveryOutcome,
+        snapshot_epoch: u64,
+        replayed: u64,
+        corrupt_skipped: u64,
+    ) {
+        self.recovery_outcome
+            .store(outcome.as_u8(), Ordering::Relaxed);
+        self.recovered_snapshot_epoch
+            .store(snapshot_epoch, Ordering::Relaxed);
+        self.replayed_records.store(replayed, Ordering::Relaxed);
+        self.corrupt_generations_skipped
+            .store(corrupt_skipped, Ordering::Relaxed);
+    }
+
+    pub fn record_snapshot(&self, epoch: u64, unix_ms: u64) {
+        self.snapshot_epoch.store(epoch, Ordering::Relaxed);
+        self.snapshot_unix_ms.store(unix_ms, Ordering::Relaxed);
+        self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_journal(&self, records: u64, bytes: u64) {
+        self.journal_records.store(records, Ordering::Relaxed);
+        self.journal_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Flags that an operator asked for a snapshot; the ingest-owning thread
+    /// observes this via [`take_snapshot_request`](Self::take_snapshot_request).
+    pub fn request_snapshot(&self) {
+        self.snapshot_requested.store(true, Ordering::Relaxed);
+    }
+
+    /// Consumes a pending snapshot request, if any.
+    pub fn take_snapshot_request(&self) -> bool {
+        self.snapshot_requested.swap(false, Ordering::Relaxed)
+    }
+
+    pub fn recovery_outcome(&self) -> RecoveryOutcome {
+        RecoveryOutcome::from_u8(self.recovery_outcome.load(Ordering::Relaxed))
+    }
+
+    pub fn recovered_snapshot_epoch(&self) -> u64 {
+        self.recovered_snapshot_epoch.load(Ordering::Relaxed)
+    }
+
+    pub fn replayed_records(&self) -> u64 {
+        self.replayed_records.load(Ordering::Relaxed)
+    }
+
+    pub fn corrupt_generations_skipped(&self) -> u64 {
+        self.corrupt_generations_skipped.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.snapshot_epoch.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot_unix_ms(&self) -> u64 {
+        self.snapshot_unix_ms.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshots_written(&self) -> u64 {
+        self.snapshots_written.load(Ordering::Relaxed)
+    }
+
+    pub fn journal_records(&self) -> u64 {
+        self.journal_records.load(Ordering::Relaxed)
+    }
+
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal_bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_request_is_consumed_once() {
+        let s = PersistenceStatus::new();
+        assert!(!s.take_snapshot_request());
+        s.request_snapshot();
+        assert!(s.take_snapshot_request());
+        assert!(!s.take_snapshot_request());
+    }
+
+    #[test]
+    fn recovery_outcome_round_trips() {
+        let s = PersistenceStatus::new();
+        assert_eq!(s.recovery_outcome(), RecoveryOutcome::Unknown);
+        for outcome in [
+            RecoveryOutcome::Cold,
+            RecoveryOutcome::Warm,
+            RecoveryOutcome::Discarded,
+        ] {
+            s.record_recovery(outcome, 7, 3, 1);
+            assert_eq!(s.recovery_outcome(), outcome);
+            assert_eq!(s.recovered_snapshot_epoch(), 7);
+            assert_eq!(s.replayed_records(), 3);
+            assert_eq!(s.corrupt_generations_skipped(), 1);
+        }
+        assert_eq!(RecoveryOutcome::Warm.as_str(), "warm");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let s = PersistenceStatus::new();
+        s.record_snapshot(4, 1_000);
+        s.record_snapshot(9, 2_000);
+        assert_eq!(s.snapshots_written(), 2);
+        assert_eq!(s.snapshot_epoch(), 9);
+        assert_eq!(s.snapshot_unix_ms(), 2_000);
+        s.record_journal(12, 3_456);
+        assert_eq!(s.journal_records(), 12);
+        assert_eq!(s.journal_bytes(), 3_456);
+    }
+}

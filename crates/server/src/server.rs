@@ -20,12 +20,13 @@ use crate::http::{self, HttpError, Limits};
 use crate::json;
 use crate::wire;
 use crate::ServerError;
+use pathcost_persist::PersistenceStatus;
 use pathcost_service::{AdmissionConfig, AdmissionQueue, QueryEngine, ServiceError};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -42,6 +43,11 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// HTTP parsing limits (request line / header / body sizes).
     pub limits: Limits,
+    /// Shared persistence telemetry (`PersistentIngestor::status()` in
+    /// `pathcost-live`). When set, `GET /healthz` reports snapshot age,
+    /// journal length and the last recovery outcome, and `POST
+    /// /admin/snapshot` flags a snapshot request for the ingest thread.
+    pub persistence: Option<Arc<PersistenceStatus>>,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +58,7 @@ impl Default for ServerConfig {
             admission: AdmissionConfig::default(),
             read_timeout: Duration::from_millis(100),
             limits: Limits::default(),
+            persistence: None,
         }
     }
 }
@@ -151,6 +158,57 @@ impl Server {
     }
 }
 
+/// The `persistence` object of `GET /healthz`: last-recovery outcome (warm
+/// restarts and cold boots are distinguishable), snapshot epoch/age and
+/// journal length.
+fn encode_persistence(status: &PersistenceStatus) -> json::Json {
+    let snapshot_age_s = match status.snapshot_unix_ms() {
+        0 => json::Json::Null,
+        taken_ms => {
+            let now_ms = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+            json::Json::Number(now_ms.saturating_sub(taken_ms) as f64 / 1000.0)
+        }
+    };
+    json::Json::object(vec![
+        (
+            "recovery",
+            json::Json::String(status.recovery_outcome().as_str().to_string()),
+        ),
+        (
+            "recovered_snapshot_epoch",
+            json::Json::Number(status.recovered_snapshot_epoch() as f64),
+        ),
+        (
+            "replayed_records",
+            json::Json::Number(status.replayed_records() as f64),
+        ),
+        (
+            "corrupt_generations_skipped",
+            json::Json::Number(status.corrupt_generations_skipped() as f64),
+        ),
+        (
+            "snapshot_epoch",
+            json::Json::Number(status.snapshot_epoch() as f64),
+        ),
+        ("snapshot_age_s", snapshot_age_s),
+        (
+            "snapshots_written",
+            json::Json::Number(status.snapshots_written() as f64),
+        ),
+        (
+            "journal_records",
+            json::Json::Number(status.journal_records() as f64),
+        ),
+        (
+            "journal_bytes",
+            json::Json::Number(status.journal_bytes() as f64),
+        ),
+    ])
+}
+
 /// Best-effort 503 for a connection over the concurrency cap.
 fn reject_over_capacity(mut stream: TcpStream) {
     let body = wire::encode_error("connection limit reached").to_string();
@@ -234,12 +292,37 @@ impl Connection<'_, '_> {
         };
         match (request.method.as_str(), request.target.as_str()) {
             ("GET", "/healthz") => {
-                let body = json::Json::object(vec![
+                let mut fields = vec![
                     ("status", json::Json::String("ok".to_string())),
                     ("epoch", json::Json::Number(self.engine.epoch() as f64)),
-                ]);
-                write(writer, 200, "OK", body.to_string())
+                ];
+                if let Some(status) = &self.config.persistence {
+                    fields.push(("persistence", encode_persistence(status)));
+                }
+                write(writer, 200, "OK", json::Json::object(fields).to_string())
             }
+            ("POST", "/admin/snapshot") => match &self.config.persistence {
+                Some(status) => {
+                    // The flag is honoured by the ingest-owning thread after
+                    // its next published epoch — accepted, not yet done.
+                    status.request_snapshot();
+                    let body = json::Json::object(vec![
+                        (
+                            "status",
+                            json::Json::String("snapshot-requested".to_string()),
+                        ),
+                        (
+                            "snapshot_epoch",
+                            json::Json::Number(status.snapshot_epoch() as f64),
+                        ),
+                    ]);
+                    write(writer, 202, "Accepted", body.to_string())
+                }
+                None => {
+                    let body = wire::encode_error("persistence not configured").to_string();
+                    write(writer, 503, "Service Unavailable", body)
+                }
+            },
             ("GET", "/stats") => {
                 let stats = self.engine.stats();
                 let body = wire::encode_stats(&stats, &self.queue.latency(), self.queue.len());
@@ -274,7 +357,7 @@ impl Connection<'_, '_> {
                 }
                 Err((status, reason, body)) => write(writer, status, reason, body),
             },
-            (_, "/query" | "/query/batch" | "/healthz" | "/stats") => {
+            (_, "/query" | "/query/batch" | "/healthz" | "/stats" | "/admin/snapshot") => {
                 let body = wire::encode_error("method not allowed").to_string();
                 write(writer, 405, "Method Not Allowed", body)
             }

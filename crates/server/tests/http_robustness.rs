@@ -202,3 +202,72 @@ fn oversized_batch_is_rejected_by_the_admission_bound() {
         );
     });
 }
+
+#[test]
+fn healthz_reports_persistence_and_admin_snapshot_flags_a_request() {
+    let (net, store) = DatasetPreset::tiny(13).materialise().unwrap();
+    let graph = HybridGraph::build(&net, &store, HybridConfig::default()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let status = Arc::new(pathcost_persist::PersistenceStatus::new());
+    status.record_recovery(pathcost_persist::RecoveryOutcome::Warm, 7, 3, 1);
+    let now_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_millis() as u64;
+    status.record_snapshot(9, now_ms);
+    status.record_journal(4, 2048);
+    engine.resume_epoch(9);
+
+    let config = ServerConfig {
+        persistence: Some(status.clone()),
+        ..test_config()
+    };
+    serve_with(&engine, config, |addr| {
+        let (code, body) = get(addr, "/healthz");
+        assert_eq!(code, 200);
+        let health = pathcost_server::json::parse(body.as_bytes()).unwrap();
+        // The engine was resumed at the recovered epoch, not restarted at 0.
+        assert_eq!(health.get("epoch").and_then(Json::as_u64), Some(9));
+        let p = health.get("persistence").expect("persistence object");
+        assert_eq!(p.get("recovery").and_then(Json::as_str), Some("warm"));
+        assert_eq!(
+            p.get("recovered_snapshot_epoch").and_then(Json::as_u64),
+            Some(7)
+        );
+        assert_eq!(p.get("replayed_records").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            p.get("corrupt_generations_skipped").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(p.get("snapshot_epoch").and_then(Json::as_u64), Some(9));
+        assert_eq!(p.get("journal_records").and_then(Json::as_u64), Some(4));
+        assert_eq!(p.get("journal_bytes").and_then(Json::as_u64), Some(2048));
+        let age = p
+            .get("snapshot_age_s")
+            .and_then(Json::as_f64)
+            .expect("a fresh snapshot has a numeric age");
+        assert!((0.0..60.0).contains(&age), "age {age} out of range");
+
+        // The admin endpoint flags a request for the ingest thread.
+        assert!(!status.take_snapshot_request());
+        let (code, body) = post(addr, "/admin/snapshot", "");
+        assert_eq!(code, 202, "body: {body}");
+        let ack = pathcost_server::json::parse(body.as_bytes()).unwrap();
+        assert_eq!(
+            ack.get("status").and_then(Json::as_str),
+            Some("snapshot-requested")
+        );
+        assert!(status.take_snapshot_request(), "flag must be set");
+
+        // Wrong method on a known path is 405, not 404.
+        assert_eq!(get(addr, "/admin/snapshot").0, 405);
+    });
+
+    // Without persistence configured: no healthz object, 503 on admin.
+    serve_with(&engine, test_config(), |addr| {
+        let (_, body) = get(addr, "/healthz");
+        let health = pathcost_server::json::parse(body.as_bytes()).unwrap();
+        assert!(health.get("persistence").is_none());
+        assert_eq!(post(addr, "/admin/snapshot", "").0, 503);
+    });
+}

@@ -185,6 +185,14 @@ impl<'n> QueryEngine<'n> {
         self.epoch.load(Ordering::Relaxed)
     }
 
+    /// Re-stamps the engine at a recovered ingest epoch, so a warm-restarted
+    /// process reports and continues the persisted lineage's epoch sequence
+    /// instead of appearing to restart at 0. Only ever moves forward; calling
+    /// it with an older epoch is a no-op.
+    pub fn resume_epoch(&self, epoch: u64) {
+        self.epoch.fetch_max(epoch, Ordering::SeqCst);
+    }
+
     /// The engine's configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.config

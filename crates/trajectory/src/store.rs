@@ -76,6 +76,13 @@ impl TrajectoryStore {
         &self.matched
     }
 
+    /// Capacity of the backing trajectory list — observability for the
+    /// freed-capacity accounting that [`Self::compact`] reclaims. Equals
+    /// [`Self::len`] right after a compaction; exceeds it after retirement.
+    pub fn matched_capacity(&self) -> usize {
+        self.matched.capacity()
+    }
+
     /// The trajectory at `index`.
     pub fn get(&self, index: usize) -> Option<&MatchedTrajectory> {
         self.matched.get(index)
@@ -325,6 +332,28 @@ impl TrajectoryStore {
     pub fn retire_ids(&mut self, ids: &[u64]) -> Vec<MatchedTrajectory> {
         let ids: HashSet<u64> = ids.iter().copied().collect();
         self.retire_where(|m| ids.contains(&m.id))
+    }
+
+    /// Releases the capacity retirement leaves behind: [`Self::retire_before`]
+    /// and [`Self::retire_ids`] shrink lengths but keep allocations sized for
+    /// the pre-retirement store, so a long-lived store that cycled through
+    /// heavy TTL expiry can hold several times its live data in freed
+    /// capacity. Shrinks the trajectory list, every per-edge posting list and
+    /// both maps down to their current contents. Snapshot writers call this
+    /// before serialising so the persisted image — and the process after a
+    /// heavy-retirement snapshot — is sized for the live data.
+    pub fn compact(&mut self) {
+        self.matched.shrink_to_fit();
+        for m in &mut self.matched {
+            m.entry_times.shrink_to_fit();
+            m.travel_times.shrink_to_fit();
+            m.avg_speeds_mps.shrink_to_fit();
+        }
+        for postings in self.edge_index.values_mut() {
+            postings.shrink_to_fit();
+        }
+        self.edge_index.shrink_to_fit();
+        self.by_id.shrink_to_fit();
     }
 
     /// Shared removal path: splits off the trajectories matching `predicate`,
@@ -722,6 +751,34 @@ mod tests {
                 round_trip.occurrences_on(&m.path),
                 expected.occurrences_on(&m.path)
             );
+        }
+    }
+
+    #[test]
+    fn compact_releases_retirement_capacity_without_changing_answers() {
+        let (_, store) = store_and_net();
+        let mut heavy = store.clone();
+        let cutoff = heavy.start_time_at_percentile(80).unwrap();
+        let removed = heavy.retire_before(cutoff);
+        assert!(!removed.is_empty());
+        assert!(
+            heavy.matched_capacity() > heavy.len(),
+            "heavy retirement must leave freed capacity behind"
+        );
+        let before = heavy.clone();
+        heavy.compact();
+        assert_eq!(heavy.matched_capacity(), heavy.len());
+        // Compaction is invisible to every query.
+        assert_eq!(heavy.matched(), before.matched());
+        assert_eq!(heavy.covered_edges(), before.covered_edges());
+        for m in store.matched().iter().take(10) {
+            assert_eq!(
+                heavy.occurrences_on(&m.path),
+                before.occurrences_on(&m.path)
+            );
+        }
+        for (i, m) in heavy.matched().iter().enumerate() {
+            assert_eq!(heavy.index_of(m.id), Some(i));
         }
     }
 

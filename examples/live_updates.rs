@@ -23,11 +23,19 @@
 //! entries, zero query errors. Answer *correctness* across epochs is pinned
 //! elsewhere (`tests/live_equivalence.rs`).
 //!
+//! After the churn, a **restart leg** exercises crash-safe persistence: the
+//! ingestor journals every epoch to a state directory, the engine and
+//! ingestor are dropped (simulating a process exit), and
+//! `PersistentIngestor::recover` replays the journal onto the base snapshot.
+//! The recovered lineage must answer the whole warm workload identically to
+//! the pre-restart engine and keep accepting updates.
+//!
 //! Run with: `cargo run --release --example live_updates`
 
 use pathcost::core::{HybridConfig, HybridGraph, PathWeightFunction};
-use pathcost::live::LiveIngestor;
-use pathcost::service::{QueryEngine, QueryRequest, ServiceConfig};
+use pathcost::live::{LiveIngestor, PersistenceConfig, PersistentIngestor, RetentionConfig};
+use pathcost::persist::RecoveryOutcome;
+use pathcost::service::{QueryEngine, QueryOutcome, QueryRequest, QueryResponse, ServiceConfig};
 use pathcost::traj::{DatasetPreset, MatchedTrajectory, Timestamp, TrajectoryStore};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -55,8 +63,15 @@ fn main() {
         Arc::new(HybridGraph::from_parts(&net, weights.clone(), cfg.clone())),
         ServiceConfig::default(),
     );
-    let mut ingestor =
-        LiveIngestor::from_instantiated(&net, base, weights, cfg).expect("config matches");
+    // Journal every epoch to a state directory so the restart leg below can
+    // recover the lineage after a simulated crash.
+    let state_dir =
+        std::env::temp_dir().join(format!("pathcost-live-updates-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let mut ingestor = LiveIngestor::from_instantiated(&net, base, weights, cfg.clone())
+        .expect("config matches")
+        .with_persistence(&state_dir, PersistenceConfig::default())
+        .expect("state dir is writable");
 
     // The serving workload: every instantiated variable's own anchor (these
     // entries consume the variables the ingest will touch) plus a dead-hour
@@ -203,6 +218,86 @@ fn main() {
     assert!(stats.errors == 0, "no query may fail across epochs");
     println!(
         "\n✓ served continuously across {} live epochs (ingest + TTL retirement) with targeted invalidation",
+        engine.epoch()
+    );
+
+    // ---- Restart leg: crash, recover, assert identical answers ------------
+    // Capture the full warm workload's answers and the lineage position,
+    // then drop the engine and ingestor as a process exit would.
+    let reference: Vec<QueryOutcome> = requests
+        .iter()
+        .map(|request| engine.execute(request).expect("reference query succeeds"))
+        .collect();
+    let (epoch_before, rows_before) = (ingestor.epoch(), ingestor.store().len());
+    drop(engine);
+    drop(ingestor);
+
+    let restart = Instant::now();
+    let (recovered, report) = PersistentIngestor::recover(
+        &net,
+        &state_dir,
+        cfg,
+        RetentionConfig::default(),
+        PersistenceConfig::default(),
+        // Journal-only fallback: deterministically rebuild the base store.
+        || TrajectoryStore::new(full.matched()[..split].to_vec()),
+    )
+    .expect("recovery succeeds");
+    println!(
+        "\nrestarted in {:.2?}: {} recovery from snapshot epoch {} + {} journal records",
+        restart.elapsed(),
+        report.outcome.as_str(),
+        report.snapshot_epoch,
+        report.replayed_records
+    );
+    assert_eq!(report.outcome, RecoveryOutcome::Warm, "state dir was live");
+    assert_eq!(recovered.epoch(), epoch_before, "lineage resumes in place");
+    assert_eq!(recovered.store().len(), rows_before, "store rows survive");
+
+    // A fresh engine over the recovered weights must answer the whole warm
+    // workload identically to the pre-restart engine.
+    let engine = QueryEngine::new(
+        Arc::new(HybridGraph::from_parts(
+            &net,
+            recovered.weights().as_ref().clone(),
+            recovered.config().clone(),
+        )),
+        ServiceConfig::default(),
+    );
+    engine.resume_epoch(recovered.epoch());
+    for (request, expected) in requests.iter().zip(&reference) {
+        let outcome = engine.execute(request).expect("recovered query succeeds");
+        match (&outcome.response, &expected.response) {
+            (QueryResponse::Distribution(a), QueryResponse::Distribution(b)) => {
+                assert_eq!(a, b, "recovered answer diverged for {request:?}")
+            }
+            _ => panic!("unexpected response shape"),
+        }
+    }
+
+    // The recovered lineage keeps accepting updates: a deeper TTL cut
+    // publishes the next epoch and applies to the serving engine.
+    let mut recovered = recovered;
+    let cutoff = recovered
+        .store()
+        .start_time_at_percentile(20)
+        .expect("store is non-empty");
+    let update = recovered
+        .retire_before(cutoff)
+        .expect("post-restart retire");
+    assert_eq!(update.epoch, epoch_before + 1);
+    let report = engine.apply_update(update).expect("update applies");
+    assert_eq!(engine.epoch(), epoch_before + 1);
+    println!(
+        "post-restart epoch {}: retirement applied ({} evicted)",
+        report.epoch,
+        report.evicted_total()
+    );
+
+    let _ = std::fs::remove_dir_all(&state_dir);
+    println!(
+        "\n✓ restart leg: {} warm workload answers identical after recovery; ingest continued to epoch {}",
+        requests.len(),
         engine.epoch()
     );
 }

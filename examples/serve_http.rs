@@ -9,13 +9,23 @@
 //! state cache-hit dominated. Finishes with `/stats` (tail latency from the
 //! fixed-bucket histograms) and a graceful shutdown.
 //!
+//! A second **restart leg** then drives crash-safe persistence end to end
+//! over HTTP: a persistence-backed engine serves live ingest epochs, takes a
+//! snapshot via `POST /admin/snapshot`, is dropped mid-lineage (simulating a
+//! crash after the journal's last fsync), and a recovered server must report
+//! a warm recovery on `/healthz`, answer the same `/query` bodies
+//! identically (modulo per-request latency telemetry), and keep accepting
+//! updates.
+//!
 //! Run with: `cargo run --release --example serve_http`
 
-use pathcost::core::{HybridConfig, HybridGraph};
-use pathcost::roadnet::{GeneratorConfig, NetworkKind};
+use pathcost::core::{HybridConfig, HybridGraph, PathWeightFunction};
+use pathcost::live::{LiveIngestor, PersistenceConfig, PersistentIngestor, RetentionConfig};
+use pathcost::persist::RecoveryOutcome;
+use pathcost::roadnet::{GeneratorConfig, NetworkKind, RoadNetwork};
 use pathcost::server::{Json, Server, ServerConfig};
 use pathcost::service::{QueryEngine, ServiceConfig};
-use pathcost::traj::{DatasetPreset, SimulationConfig, TrajectoryStore};
+use pathcost::traj::{DatasetPreset, MatchedTrajectory, SimulationConfig, TrajectoryStore};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -209,4 +219,225 @@ fn main() {
         );
         println!("\n✓ {total} queries, zero errors, {qps:.0} q/s ≥ {MIN_QPS:.0} q/s floor");
     });
+
+    restart_leg(&net, &store, &bodies);
+}
+
+/// One keep-alive client connection as a `(stream, reader)` pair.
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+/// Signals shutdown on drop so a panicking assertion inside a serving scope
+/// unblocks the accept loop instead of deadlocking the scope join.
+struct ShutdownGuard(pathcost::server::ShutdownHandle);
+
+impl Drop for ShutdownGuard {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// A `/query` response with the per-request latency/cache telemetry
+/// stripped: the recovered server must match on everything else.
+fn canonical(response: &str) -> Json {
+    let parsed = pathcost::server::json::parse(response.as_bytes()).expect("response JSON");
+    match parsed {
+        Json::Object(fields) => {
+            Json::Object(fields.into_iter().filter(|(k, _)| k != "stats").collect())
+        }
+        other => other,
+    }
+}
+
+/// Crash-safe persistence over HTTP: serve live epochs with a journal,
+/// snapshot via the admin endpoint, crash, recover warm and answer the same
+/// queries byte-identically.
+fn restart_leg(net: &RoadNetwork, store: &TrajectoryStore, bodies: &[String]) {
+    println!("\n— restart leg: crash-safe persistence over HTTP —");
+    let cfg = HybridConfig {
+        beta: 10,
+        ..HybridConfig::default()
+    };
+    let split = store.len() * 80 / 100;
+    let base_rows: Vec<MatchedTrajectory> = store.matched()[..split].to_vec();
+    let fresh: Vec<MatchedTrajectory> = store.matched()[split..].to_vec();
+    let state_dir =
+        std::env::temp_dir().join(format!("pathcost-serve-http-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    // First boot: cold lineage, three live epochs, snapshot at epoch 2 so a
+    // journal tail (epoch 3) is left for the recovery to replay.
+    let base = TrajectoryStore::new(base_rows.clone());
+    let weights = PathWeightFunction::instantiate(net, &base, &cfg).expect("instantiates");
+    let engine = QueryEngine::new(
+        Arc::new(HybridGraph::from_parts(net, weights.clone(), cfg.clone())),
+        ServiceConfig::default(),
+    );
+    let mut ingestor = LiveIngestor::from_instantiated(net, base, weights, cfg.clone())
+        .expect("config matches")
+        .with_persistence(&state_dir, PersistenceConfig::default())
+        .expect("state dir is writable");
+
+    let server = Server::bind(ServerConfig {
+        persistence: Some(ingestor.status()),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.shutdown_handle();
+
+    let chunk = fresh.len().div_ceil(3).max(1);
+    let reference: Vec<String> = std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.run(&engine));
+        let _guard = ShutdownGuard(handle.clone());
+        let (mut stream, mut reader) = connect(addr);
+
+        let mut chunks = fresh.chunks(chunk);
+        let update = ingestor
+            .ingest(chunks.next().unwrap().to_vec())
+            .expect("ingest");
+        engine.apply_update(update).expect("update applies");
+
+        // The admin flag is honoured after the *next* published epoch.
+        let (status, body) = roundtrip(&mut stream, &mut reader, "POST", "/admin/snapshot", "");
+        assert_eq!(status, 202, "snapshot must be accepted: {body}");
+        for batch in chunks {
+            let update = ingestor.ingest(batch.to_vec()).expect("ingest");
+            engine.apply_update(update).expect("update applies");
+        }
+
+        let (status, health) = roundtrip(&mut stream, &mut reader, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        let health = pathcost::server::json::parse(health.as_bytes()).expect("healthz JSON");
+        let persistence = health.get("persistence").expect("persistence block");
+        assert_eq!(
+            persistence.get("recovery").and_then(Json::as_str),
+            Some("cold")
+        );
+        assert_eq!(
+            persistence.get("snapshot_epoch").and_then(Json::as_u64),
+            Some(2),
+            "the admin request snapshots the next epoch"
+        );
+        println!(
+            "first boot: cold lineage, {} live epochs, snapshot taken at epoch 2 via POST /admin/snapshot",
+            ingestor.epoch()
+        );
+
+        let reference = bodies
+            .iter()
+            .map(|body| {
+                let (status, response) =
+                    roundtrip(&mut stream, &mut reader, "POST", "/query", body);
+                assert_eq!(status, 200, "reference query must answer: {response}");
+                response
+            })
+            .collect();
+        handle.shutdown();
+        serving.join().expect("server thread");
+        reference
+    });
+    let epoch_before = ingestor.epoch();
+    drop(engine);
+    drop(ingestor); // simulated crash: nothing flushed beyond the journal
+
+    // Second boot: recover the lineage and serve it again.
+    let (recovered, report) = PersistentIngestor::recover(
+        net,
+        &state_dir,
+        cfg,
+        RetentionConfig::default(),
+        PersistenceConfig::default(),
+        || TrajectoryStore::new(base_rows.clone()),
+    )
+    .expect("recovery succeeds");
+    assert_eq!(report.outcome, RecoveryOutcome::Warm, "state dir was live");
+    assert_eq!(report.snapshot_epoch, 2);
+    assert_eq!(recovered.epoch(), epoch_before, "lineage resumes in place");
+    println!(
+        "restart: warm recovery from snapshot epoch {} + {} journal records",
+        report.snapshot_epoch, report.replayed_records
+    );
+
+    let engine = QueryEngine::new(
+        Arc::new(HybridGraph::from_parts(
+            net,
+            recovered.weights().as_ref().clone(),
+            recovered.config().clone(),
+        )),
+        ServiceConfig::default(),
+    );
+    engine.resume_epoch(recovered.epoch());
+    let server = Server::bind(ServerConfig {
+        persistence: Some(recovered.status()),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.shutdown_handle();
+    let mut recovered = recovered;
+
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.run(&engine));
+        let _guard = ShutdownGuard(handle.clone());
+        let (mut stream, mut reader) = connect(addr);
+
+        let (status, health) = roundtrip(&mut stream, &mut reader, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        let health = pathcost::server::json::parse(health.as_bytes()).expect("healthz JSON");
+        assert_eq!(
+            health.get("epoch").and_then(Json::as_u64),
+            Some(epoch_before),
+            "the serving epoch resumes where the crash left it"
+        );
+        let persistence = health.get("persistence").expect("persistence block");
+        assert_eq!(
+            persistence.get("recovery").and_then(Json::as_str),
+            Some("warm")
+        );
+
+        // Identical answers (sans latency telemetry) for the whole
+        // captured workload.
+        for (body, expected) in bodies.iter().zip(&reference) {
+            let (status, response) = roundtrip(&mut stream, &mut reader, "POST", "/query", body);
+            assert_eq!(status, 200);
+            assert_eq!(
+                canonical(&response),
+                canonical(expected),
+                "recovered answer diverged for {body}"
+            );
+        }
+
+        // Ingest continues: the next epoch lands on the recovered lineage.
+        let cutoff = recovered
+            .store()
+            .start_time_at_percentile(10)
+            .expect("store is non-empty");
+        let update = recovered
+            .retire_before(cutoff)
+            .expect("post-restart retire");
+        assert_eq!(update.epoch, epoch_before + 1);
+        engine.apply_update(update).expect("update applies");
+        let (status, health) = roundtrip(&mut stream, &mut reader, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        let health = pathcost::server::json::parse(health.as_bytes()).expect("healthz JSON");
+        assert_eq!(
+            health.get("epoch").and_then(Json::as_u64),
+            Some(epoch_before + 1)
+        );
+
+        handle.shutdown();
+        serving.join().expect("server thread");
+    });
+
+    let _ = std::fs::remove_dir_all(&state_dir);
+    println!(
+        "\n✓ restart leg: {} /query answers identical after warm recovery; ingest continued to epoch {}",
+        bodies.len(),
+        epoch_before + 1
+    );
 }

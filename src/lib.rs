@@ -24,6 +24,12 @@
 //!   dirty-key tracking, selective re-derivation of exactly the changed
 //!   weight-function variables, and versioned epoch publishing feeding the
 //!   service layer's dependency-indexed cache invalidation,
+//! * [`persist`] — crash-safe persistence: a versioned, checksummed
+//!   snapshot format for the trajectory store and weight function (atomic
+//!   temp-file + fsync + rename publication, two retained generations),
+//!   an append-only ingest journal with torn-tail truncation, and the
+//!   recovery machinery that loads the latest valid snapshot and replays
+//!   post-snapshot journal records bit-identically,
 //! * [`server`] — a blocking HTTP/1.1 network front-end over plain
 //!   `std::net` sockets (hand-rolled request parsing and JSON wire format;
 //!   the vendored serde is a no-op shim), batching concurrent connections
@@ -39,6 +45,7 @@
 pub use pathcost_core as core;
 pub use pathcost_hist as hist;
 pub use pathcost_live as live;
+pub use pathcost_persist as persist;
 pub use pathcost_roadnet as roadnet;
 pub use pathcost_routing as routing;
 pub use pathcost_server as server;
