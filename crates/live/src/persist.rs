@@ -46,7 +46,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// The journal's file name inside a state directory.
 pub const JOURNAL_FILE: &str = "journal.pcj";
@@ -58,18 +58,35 @@ pub struct PersistenceConfig {
     /// acknowledged epochs for throughput — recovery still works, it just
     /// resumes from the last record the OS flushed.
     pub fsync: bool,
+    /// Group-fsync batching: with `Some(n)` (and `fsync` on), appends skip
+    /// the per-record fdatasync and one sync closes the window after every
+    /// `n` records — closely-spaced epochs share a single fsync. Widens the
+    /// durability window to at most `n - 1` acknowledged epochs on power
+    /// loss (see PERSISTENCE.md, "Durability window"); process crashes lose
+    /// nothing (the records are already in the page cache).
+    pub group_fsync_epochs: Option<u64>,
     /// Automatically snapshot after this many published epochs.
     pub snapshot_every_epochs: Option<u64>,
     /// Automatically snapshot once the journal grows past this many bytes.
     pub snapshot_max_journal_bytes: Option<u64>,
+    /// Transient journal IO errors are retried this many times (with
+    /// [`io_backoff`](Self::io_backoff) between attempts) before the
+    /// IO-fault ladder escalates to a snapshot attempt and then to
+    /// suspending persistence.
+    pub io_retries: u32,
+    /// Base backoff between IO retries; attempt `k` sleeps `k × io_backoff`.
+    pub io_backoff: Duration,
 }
 
 impl Default for PersistenceConfig {
     fn default() -> Self {
         PersistenceConfig {
             fsync: true,
+            group_fsync_epochs: None,
             snapshot_every_epochs: None,
             snapshot_max_journal_bytes: None,
+            io_retries: 3,
+            io_backoff: Duration::from_millis(10),
         }
     }
 }
@@ -82,6 +99,12 @@ pub enum PersistenceError {
     Core(CoreError),
     /// Snapshot/journal storage error.
     Persist(PersistError),
+    /// Persistence is suspended (the IO-fault ladder exhausted every rung)
+    /// and a resume attempt also failed: the ingest was **rejected before
+    /// touching in-memory state**, so serving continues from the last
+    /// published epoch. Clears automatically once a later operation's
+    /// resume snapshot succeeds.
+    Suspended,
 }
 
 impl std::fmt::Display for PersistenceError {
@@ -89,6 +112,11 @@ impl std::fmt::Display for PersistenceError {
         match self {
             PersistenceError::Core(e) => write!(f, "ingest error: {e}"),
             PersistenceError::Persist(e) => write!(f, "persistence error: {e}"),
+            PersistenceError::Suspended => write!(
+                f,
+                "persistence suspended after repeated IO failures; ingest rejected \
+                 (serving continues from the last published epoch)"
+            ),
         }
     }
 }
@@ -98,6 +126,7 @@ impl std::error::Error for PersistenceError {
         match self {
             PersistenceError::Core(e) => Some(e),
             PersistenceError::Persist(e) => Some(e),
+            PersistenceError::Suspended => None,
         }
     }
 }
@@ -154,6 +183,7 @@ impl<'n> LiveIngestor<'n> {
             config,
             status: Arc::new(PersistenceStatus::new()),
             epochs_since_snapshot: 0,
+            unsynced_epochs: 0,
         };
         this.status.record_recovery(RecoveryOutcome::Cold, 0, 0, 0);
         this.snapshot_now()?;
@@ -174,6 +204,8 @@ pub struct PersistentIngestor<'n> {
     config: PersistenceConfig,
     status: Arc<PersistenceStatus>,
     epochs_since_snapshot: u64,
+    /// Records appended since the last fdatasync (group-fsync mode only).
+    unsynced_epochs: u64,
 }
 
 impl<'n> std::ops::Deref for PersistentIngestor<'n> {
@@ -339,6 +371,7 @@ impl<'n> PersistentIngestor<'n> {
             config: pconfig,
             status,
             epochs_since_snapshot: 0,
+            unsynced_epochs: 0,
         };
         if fresh_lineage {
             // Establish the new lineage's base generation.
@@ -349,10 +382,20 @@ impl<'n> PersistentIngestor<'n> {
 
     /// Ingests a batch (see [`LiveIngestor::ingest`]) and journals the
     /// published epoch durably before returning.
+    ///
+    /// Transient journal IO errors climb the **IO-fault ladder**: bounded
+    /// retry with backoff, then a snapshot attempt (a different IO path that
+    /// also makes the epoch durable), then — only if both fail —
+    /// *serving-only degraded mode*: persistence is suspended, the already
+    /// published epoch is kept in memory, and `Ok` is still returned.
+    /// Subsequent calls while suspended first try to resume (one snapshot
+    /// attempt); if that also fails they are rejected with
+    /// [`PersistenceError::Suspended`] **before** touching in-memory state.
     pub fn ingest(
         &mut self,
         batch: Vec<MatchedTrajectory>,
     ) -> Result<WeightUpdate, PersistenceError> {
+        self.ensure_not_suspended()?;
         let journalled = batch.clone();
         let update = self.inner.ingest(batch)?;
         self.journal_epoch(update.epoch, JournalOp::Ingest(journalled))?;
@@ -360,29 +403,125 @@ impl<'n> PersistentIngestor<'n> {
     }
 
     /// TTL-retires (see [`LiveIngestor::retire_before`]) and journals the
-    /// published epoch.
+    /// published epoch. Follows the same IO-fault ladder as
+    /// [`ingest`](Self::ingest).
     pub fn retire_before(&mut self, cutoff: Timestamp) -> Result<WeightUpdate, PersistenceError> {
+        self.ensure_not_suspended()?;
         let update = self.inner.retire_before(cutoff)?;
         self.journal_epoch(update.epoch, JournalOp::RetireBefore(cutoff))?;
         Ok(update)
     }
 
     /// Retires by id (see [`LiveIngestor::retire_ids`]) and journals the
-    /// published epoch.
+    /// published epoch. Follows the same IO-fault ladder as
+    /// [`ingest`](Self::ingest).
     pub fn retire_ids(&mut self, ids: &[u64]) -> Result<WeightUpdate, PersistenceError> {
+        self.ensure_not_suspended()?;
         let update = self.inner.retire_ids(ids)?;
         self.journal_epoch(update.epoch, JournalOp::RetireIds(ids.to_vec()))?;
         Ok(update)
     }
 
+    /// Resume gate: while suspended, one snapshot attempt per mutating call.
+    /// A successful snapshot makes *all* in-memory state durable (including
+    /// any epoch whose journal append failed at suspension time), rotates
+    /// the journal, and lifts the suspension.
+    fn ensure_not_suspended(&mut self) -> Result<(), PersistenceError> {
+        if !self.status.suspended() {
+            return Ok(());
+        }
+        match self.snapshot_now() {
+            Ok(_) => {
+                self.status.set_suspended(false);
+                eprintln!(
+                    "pathcost persistence: resumed after suspension (snapshot at epoch {})",
+                    self.inner.epoch()
+                );
+                Ok(())
+            }
+            Err(_) => Err(PersistenceError::Suspended),
+        }
+    }
+
+    /// Appends with bounded retry on transient IO errors (attempt `k` backs
+    /// off `k × io_backoff`). Non-IO errors are never retried.
+    fn append_with_retry(
+        &mut self,
+        record: &JournalRecord,
+        sync: bool,
+    ) -> Result<(), PersistError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.journal.append(record, sync) {
+                Err(PersistError::Io(e)) if attempt < self.config.io_retries => {
+                    attempt += 1;
+                    self.status.record_io_retry();
+                    eprintln!(
+                        "pathcost persistence: journal append failed (attempt {attempt}/{}): {e}",
+                        self.config.io_retries
+                    );
+                    std::thread::sleep(self.config.io_backoff * attempt);
+                }
+                other => return other,
+            }
+        }
+    }
+
     fn journal_epoch(&mut self, epoch: u64, op: JournalOp) -> Result<(), PersistenceError> {
-        self.journal
-            .append(&JournalRecord { epoch, op }, self.config.fsync)?;
+        let record = JournalRecord { epoch, op };
+        // Group-fsync mode appends without the per-record sync and closes
+        // the window below once `group_fsync_epochs` records accumulate.
+        let group = self
+            .config
+            .fsync
+            .then_some(self.config.group_fsync_epochs)
+            .flatten();
+        let sync_each = self.config.fsync && group.is_none();
+        let appended = self.append_with_retry(&record, sync_each).and_then(|()| {
+            if let Some(n) = group {
+                self.unsynced_epochs += 1;
+                if self.unsynced_epochs >= n {
+                    self.journal.sync()?;
+                    self.unsynced_epochs = 0;
+                }
+            }
+            Ok(())
+        });
+        match appended {
+            Ok(()) => {}
+            Err(PersistError::Io(e)) => {
+                // Retries exhausted. Second rung: a snapshot uses a separate
+                // IO path and makes this epoch durable without the journal.
+                eprintln!(
+                    "pathcost persistence: journalling epoch {epoch} failed after retries ({e}); \
+                     attempting snapshot fallback"
+                );
+                match self.snapshot_now() {
+                    Ok(_) => return Ok(()),
+                    Err(fallback) => {
+                        // Last rung: serving-only degraded mode. The epoch
+                        // stays published in memory; durability resumes when
+                        // a later call's resume snapshot succeeds.
+                        eprintln!(
+                            "pathcost persistence: snapshot fallback failed ({fallback}); \
+                             suspending persistence (serving continues)"
+                        );
+                        self.status.set_suspended(true);
+                        return Ok(());
+                    }
+                }
+            }
+            Err(other) => return Err(other.into()),
+        }
         self.epochs_since_snapshot += 1;
         self.status
             .record_journal(self.journal.records(), self.journal.bytes());
         if self.snapshot_due() {
-            self.snapshot_now()?;
+            if let Err(e) = self.snapshot_now() {
+                // The epoch itself is journalled, so durability is intact;
+                // the snapshot will be retried at the next published epoch.
+                eprintln!("pathcost persistence: due snapshot failed ({e}); retrying next epoch");
+            }
         }
         Ok(())
     }
@@ -437,6 +576,9 @@ impl<'n> PersistentIngestor<'n> {
         let keep_after = gens.first().copied().unwrap_or(epoch);
         self.journal.rotate(keep_after)?;
         self.epochs_since_snapshot = 0;
+        // The rotation rewrote and fsynced the whole journal, so any
+        // group-fsync window is closed too.
+        self.unsynced_epochs = 0;
         self.status.record_snapshot(epoch, unix_ms());
         self.status
             .record_journal(self.journal.records(), self.journal.bytes());
@@ -659,6 +801,48 @@ mod tests {
         .unwrap();
         assert_eq!(report.outcome, RecoveryOutcome::Discarded);
         assert_eq!(p.epoch(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_fsync_journals_every_epoch_and_recovers() {
+        let (net, store, cfg) = fixture();
+        let dir = temp_dir("group-fsync");
+        let base = TrajectoryStore::new(store.matched()[..store.len() / 2].to_vec());
+        let rest: Vec<MatchedTrajectory> = store.matched()[store.len() / 2..].to_vec();
+        let mut p = LiveIngestor::new(&net, base, cfg)
+            .unwrap()
+            .with_persistence(
+                &dir,
+                PersistenceConfig {
+                    group_fsync_epochs: Some(3),
+                    ..PersistenceConfig::default()
+                },
+            )
+            .unwrap();
+        // Five epochs: syncs fire after #3; #4–#5 sit in the open window.
+        // Every record is still *written*, so a clean restart (page cache
+        // intact) replays all of them.
+        p.ingest(rest).unwrap();
+        for _ in 0..4 {
+            p.ingest(Vec::new()).unwrap();
+        }
+        let want_epoch = p.epoch();
+        let want_vars = p.weights().variables().to_vec();
+        drop(p);
+        let (r, report) = PersistentIngestor::recover(
+            &net,
+            &dir,
+            fixture().2,
+            RetentionConfig::default(),
+            PersistenceConfig::default(),
+            || panic!("warm recovery must not need the bootstrap store"),
+        )
+        .unwrap();
+        assert_eq!(report.outcome, RecoveryOutcome::Warm);
+        assert_eq!(report.replayed_records, 5);
+        assert_eq!(r.epoch(), want_epoch);
+        assert_eq!(r.weights().variables(), &want_vars[..]);
         fs::remove_dir_all(&dir).unwrap();
     }
 

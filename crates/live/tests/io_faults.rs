@@ -1,0 +1,94 @@
+//! The `PersistentIngestor` IO-fault ladder, driven through the
+//! process-global failpoint in `pathcost_persist::faults`.
+//!
+//! This lives in its own integration-test binary (not the unit-test module)
+//! because the failpoint is process-global: arming it would randomly fail
+//! the other persistence tests running in the same process. Keep this file
+//! to tests that coordinate their use of the failpoint.
+
+use pathcost_core::HybridConfig;
+use pathcost_live::RetentionConfig;
+use pathcost_live::{LiveIngestor, PersistenceConfig, PersistenceError, PersistentIngestor};
+use pathcost_persist::{clear_io_errors, inject_io_errors, RecoveryOutcome};
+use pathcost_traj::{DatasetPreset, MatchedTrajectory, TrajectoryStore};
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pathcost-io-faults-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn io_fault_ladder_retries_suspends_then_resumes_without_losing_epochs() {
+    let (net, store) = DatasetPreset::tiny(53).materialise().unwrap();
+    let cfg = HybridConfig {
+        beta: 10,
+        ..HybridConfig::default()
+    };
+    let dir = temp_dir("ladder");
+    let base = TrajectoryStore::new(store.matched()[..store.len() / 2].to_vec());
+    let rest: Vec<MatchedTrajectory> = store.matched()[store.len() / 2..].to_vec();
+    let mut p = LiveIngestor::new(&net, base, cfg.clone())
+        .unwrap()
+        .with_persistence(
+            &dir,
+            PersistenceConfig {
+                io_retries: 1,
+                io_backoff: Duration::ZERO,
+                ..PersistenceConfig::default()
+            },
+        )
+        .unwrap();
+    let status = p.status();
+
+    // Rung 1+2: a single transient fault is absorbed by the retry; the
+    // epoch is journalled and nothing is suspended.
+    inject_io_errors(1);
+    let update = p.ingest(rest).unwrap();
+    assert!(!status.suspended());
+    assert_eq!(status.io_retries(), 1);
+    let retried_epoch = update.epoch;
+
+    // Rung 3: enough faults to exhaust the retries *and* the snapshot
+    // fallback. The publish still succeeds (serving-only degraded mode)
+    // but persistence suspends.
+    inject_io_errors(1_000);
+    let update = p.ingest(Vec::new()).unwrap();
+    let suspended_epoch = update.epoch;
+    assert_eq!(suspended_epoch, retried_epoch + 1);
+    assert!(status.suspended());
+    assert_eq!(status.suspensions(), 1);
+
+    // While suspended (faults still armed), mutating calls are rejected
+    // before touching in-memory state.
+    let err = p.ingest(Vec::new()).unwrap_err();
+    assert!(matches!(err, PersistenceError::Suspended));
+    assert_eq!(p.epoch(), suspended_epoch);
+
+    // Faults clear: the next call resumes via a snapshot (capturing the
+    // suspended epoch that never reached the journal) and proceeds.
+    clear_io_errors();
+    let update = p.ingest(Vec::new()).unwrap();
+    assert!(!status.suspended());
+    assert_eq!(update.epoch, suspended_epoch + 1);
+    let final_epoch = p.epoch();
+    drop(p);
+
+    // Nothing was lost across the whole episode: recovery is warm and lands
+    // exactly on the final epoch.
+    let (r, report) = PersistentIngestor::recover(
+        &net,
+        &dir,
+        cfg,
+        RetentionConfig::default(),
+        PersistenceConfig::default(),
+        || panic!("warm recovery must not need the bootstrap store"),
+    )
+    .unwrap();
+    assert_eq!(report.outcome, RecoveryOutcome::Warm);
+    assert_eq!(r.epoch(), final_epoch);
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -191,6 +191,9 @@ impl Journal {
     /// before returning — the default for every published epoch, so a
     /// crash immediately after an acknowledged publish cannot lose it.
     pub fn append(&mut self, record: &JournalRecord, sync: bool) -> Result<(), PersistError> {
+        if let Some(fault) = crate::faults::take_injected_failure() {
+            return Err(fault);
+        }
         let payload = record.encode();
         let mut frame = Vec::with_capacity(8 + payload.len());
         let len_bytes = (payload.len() as u32).to_le_bytes();
@@ -203,6 +206,17 @@ impl Journal {
         }
         self.bytes += frame.len() as u64;
         self.records += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered appends to stable storage (`fdatasync`). Used by
+    /// group-fsync mode, which appends several closely-spaced epochs with
+    /// `sync: false` and closes the durability window with one sync here.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        if let Some(fault) = crate::faults::take_injected_failure() {
+            return Err(fault);
+        }
+        self.file.sync_data()?;
         Ok(())
     }
 
@@ -227,6 +241,9 @@ impl Journal {
     /// The rewrite is atomic (temp file + fsync + rename + directory fsync),
     /// so a crash mid-rotation leaves the previous journal intact.
     pub fn rotate(&mut self, keep_after_epoch: u64) -> Result<(), PersistError> {
+        if let Some(fault) = crate::faults::take_injected_failure() {
+            return Err(fault);
+        }
         let existing = fs::read(&self.path)?;
         let (records, _) = if existing.len() >= JOURNAL_MAGIC.len()
             && existing[..JOURNAL_MAGIC.len()] == JOURNAL_MAGIC

@@ -25,7 +25,11 @@
 //! The layers, bottom-up: [`crc`] and [`mod@format`] (checksums and primitive
 //! encoding), [`codec`] (domain-type encoding), [`snapshot`] and [`journal`]
 //! (the two on-disk structures), [`status`] (shared telemetry for health
-//! endpoints). The live-ingest crate wires these into its `LiveIngestor`.
+//! endpoints), [`faults`] (process-global IO fault injection so chaos tests
+//! can fail appends and publishes inside a live server). The live-ingest
+//! crate wires these into its `LiveIngestor`; its IO-fault ladder (bounded
+//! retry, then serving-only degraded mode) is documented in `ROBUSTNESS.md`
+//! at the repository root.
 //!
 //! [`TrajectoryStore`]: pathcost_traj::TrajectoryStore
 //! [`PathWeightFunction`]: pathcost_core::PathWeightFunction
@@ -33,12 +37,14 @@
 pub mod codec;
 pub mod crc;
 pub mod error;
+pub mod faults;
 pub mod format;
 pub mod journal;
 pub mod snapshot;
 pub mod status;
 
 pub use error::PersistError;
+pub use faults::{armed_io_errors, clear_io_errors, inject_io_errors};
 pub use journal::{Journal, JournalOp, JournalRecord, JournalReport};
 pub use snapshot::{Snapshot, SnapshotReader, SnapshotWriter, KEEP_GENERATIONS};
 pub use status::{PersistenceStatus, RecoveryOutcome};

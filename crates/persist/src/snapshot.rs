@@ -130,6 +130,9 @@ impl SnapshotWriter {
     /// so at every instant at least one complete published generation exists
     /// (once one ever has).
     pub fn publish(&self, epoch: u64, sections: &[(u32, Vec<u8>)]) -> Result<u64, PersistError> {
+        if let Some(fault) = crate::faults::take_injected_failure() {
+            return Err(fault);
+        }
         let image = Self::encode(epoch, sections);
         let tmp = self.dir.join(format!("snapshot-{epoch:016x}.tmp"));
         let published = self.dir.join(snapshot_name(epoch));

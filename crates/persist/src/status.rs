@@ -78,6 +78,13 @@ pub struct PersistenceStatus {
     journal_bytes: AtomicU64,
     /// Set by `/admin/snapshot`, cleared by the ingest thread when honoured.
     snapshot_requested: AtomicBool,
+    /// Whether persistence is suspended (IO-fault ladder exhausted): the
+    /// process keeps serving but new ingests are not durable until resumed.
+    suspended: AtomicBool,
+    /// Times persistence entered the suspended state.
+    suspensions: AtomicU64,
+    /// Transient IO errors retried (successfully or not) by the ingest path.
+    io_retries: AtomicU64,
 }
 
 impl PersistenceStatus {
@@ -121,6 +128,36 @@ impl PersistenceStatus {
     /// Consumes a pending snapshot request, if any.
     pub fn take_snapshot_request(&self) -> bool {
         self.snapshot_requested.swap(false, Ordering::Relaxed)
+    }
+
+    /// Marks persistence as suspended (entered serving-only degraded mode).
+    /// Counts a suspension only on the false → true transition.
+    pub fn set_suspended(&self, suspended: bool) {
+        let was = self.suspended.swap(suspended, Ordering::Relaxed);
+        if suspended && !was {
+            self.suspensions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether persistence is currently suspended. `/healthz` reports 503
+    /// with a reason while this is set.
+    pub fn suspended(&self) -> bool {
+        self.suspended.load(Ordering::Relaxed)
+    }
+
+    /// Times persistence entered the suspended state over process lifetime.
+    pub fn suspensions(&self) -> u64 {
+        self.suspensions.load(Ordering::Relaxed)
+    }
+
+    /// Counts one transient IO error that the ingest path retried.
+    pub fn record_io_retry(&self) {
+        self.io_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Transient IO errors retried by the ingest path.
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries.load(Ordering::Relaxed)
     }
 
     pub fn recovery_outcome(&self) -> RecoveryOutcome {
@@ -189,6 +226,23 @@ mod tests {
             assert_eq!(s.corrupt_generations_skipped(), 1);
         }
         assert_eq!(RecoveryOutcome::Warm.as_str(), "warm");
+    }
+
+    #[test]
+    fn suspension_counts_only_transitions() {
+        let s = PersistenceStatus::new();
+        assert!(!s.suspended());
+        s.set_suspended(true);
+        s.set_suspended(true); // already suspended: no second count
+        assert!(s.suspended());
+        assert_eq!(s.suspensions(), 1);
+        s.set_suspended(false);
+        assert!(!s.suspended());
+        s.set_suspended(true);
+        assert_eq!(s.suspensions(), 2);
+        s.record_io_retry();
+        s.record_io_retry();
+        assert_eq!(s.io_retries(), 2);
     }
 
     #[test]

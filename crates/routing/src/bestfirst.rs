@@ -285,6 +285,37 @@ impl<'g, 'n> BestFirstRouter<'g, 'n> {
         budget_s: f64,
         k: usize,
     ) -> Result<(Vec<RouteResult>, SearchTelemetry), RoutingError> {
+        self.route_top_k_cancellable(
+            estimator,
+            source,
+            destination,
+            departure,
+            budget_s,
+            k,
+            &|| false,
+        )
+    }
+
+    /// As [`Self::route_top_k`], polling `cancel` once per frontier pop. When
+    /// the probe returns `true` the search stops immediately with
+    /// [`RoutingError::Cancelled`] — the cooperative hook the serving layer
+    /// uses so an abandoned query (client disconnect, deadline expiry) stops
+    /// burning a worker instead of running its full expansion budget.
+    ///
+    /// The probe is a plain closure rather than a [`RouterConfig`] field so
+    /// the config stays `Serialize`/`PartialEq` and per-request tokens do not
+    /// leak into long-lived configuration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_top_k_cancellable(
+        &self,
+        estimator: &dyn CostEstimator,
+        source: VertexId,
+        destination: VertexId,
+        departure: Timestamp,
+        budget_s: f64,
+        k: usize,
+        cancel: &dyn Fn() -> bool,
+    ) -> Result<(Vec<RouteResult>, SearchTelemetry), RoutingError> {
         if k == 0 {
             return Err(RoutingError::InvalidConfig(
                 "k-best routing needs k >= 1 ranked results",
@@ -344,6 +375,9 @@ impl<'g, 'n> BestFirstRouter<'g, 'n> {
         }
 
         while let Some(Open { bound, node, .. }) = heap.pop() {
+            if cancel() {
+                return Err(RoutingError::Cancelled);
+            }
             telemetry.expansions += 1;
             if telemetry.expansions > self.config.max_expansions
                 || telemetry.evaluated_candidates >= self.config.max_candidates
@@ -728,6 +762,61 @@ mod tests {
             .unwrap();
         assert!(all.len() <= telemetry.evaluated_candidates);
         assert_eq!(all[0].path, single.path);
+    }
+
+    #[test]
+    fn cancellation_probe_stops_the_search_mid_expansion() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let f = fixture();
+        let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+        let router = BestFirstRouter::new(&graph, RouterConfig::default()).unwrap();
+        let od = OdEstimator::new(&graph);
+        let departure = Timestamp::from_day_hms(0, 8, 0, 0);
+        let ff = pathcost_roadnet::search::free_flow_time_s(
+            &f.net,
+            &fastest_path(&f.net, VertexId(0), VertexId(18)).unwrap(),
+        );
+        let budget = ff * 2.5;
+
+        // A never-firing probe behaves exactly like the plain search.
+        let polls = AtomicUsize::new(0);
+        let (ranked, telemetry) = router
+            .route_top_k_cancellable(
+                &od,
+                VertexId(0),
+                VertexId(18),
+                departure,
+                budget,
+                1,
+                &|| {
+                    polls.fetch_add(1, Ordering::Relaxed);
+                    false
+                },
+            )
+            .unwrap();
+        assert!(!ranked.is_empty());
+        let total_polls = polls.load(Ordering::Relaxed);
+        assert_eq!(
+            total_polls, telemetry.expansions,
+            "the probe is polled once per frontier pop"
+        );
+        assert!(total_polls > 3, "fixture search must actually expand");
+
+        // Cancelling after a few polls stops the search well short of the
+        // full expansion count, with the dedicated error.
+        let polls = AtomicUsize::new(0);
+        let result = router.route_top_k_cancellable(
+            &od,
+            VertexId(0),
+            VertexId(18),
+            departure,
+            budget,
+            1,
+            &|| polls.fetch_add(1, Ordering::Relaxed) >= 3,
+        );
+        assert!(matches!(result, Err(RoutingError::Cancelled)));
+        assert_eq!(polls.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -15,6 +15,9 @@ pub enum RoutingError {
     Estimation(pathcost_core::CoreError),
     /// An underlying road-network operation failed.
     RoadNet(pathcost_roadnet::RoadNetError),
+    /// The search was cancelled by its caller's cancellation probe before it
+    /// could complete (the client gave up, or a deadline expired).
+    Cancelled,
 }
 
 impl fmt::Display for RoutingError {
@@ -27,6 +30,7 @@ impl fmt::Display for RoutingError {
             RoutingError::InvalidConfig(msg) => write!(f, "invalid router configuration: {msg}"),
             RoutingError::Estimation(e) => write!(f, "cost estimation failed: {e}"),
             RoutingError::RoadNet(e) => write!(f, "road network error: {e}"),
+            RoutingError::Cancelled => write!(f, "search cancelled before completion"),
         }
     }
 }

@@ -45,6 +45,10 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the connection should stay open after the response.
     pub keep_alive: bool,
+    /// Client-supplied per-request deadline from the `x-deadline-ms` header:
+    /// milliseconds the client is willing to wait, counted from parse time.
+    /// `None` when absent (the server's default applies).
+    pub deadline_ms: Option<u64>,
 }
 
 /// Why reading a request failed. [`Self::status`] maps the parse failures
@@ -182,6 +186,7 @@ pub fn read_request<R: BufRead, W: Write>(
     let mut content_length: Option<usize> = None;
     let mut keep_alive = http11;
     let mut expect_continue = false;
+    let mut deadline_ms: Option<u64> = None;
     let mut headers = 0usize;
     loop {
         let line = read_line(
@@ -232,6 +237,13 @@ pub fn read_request<R: BufRead, W: Write>(
                     return Err(HttpError::BadRequest("unsupported Expect header"));
                 }
             }
+            "x-deadline-ms" => {
+                deadline_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|_| HttpError::BadRequest("unparseable x-deadline-ms"))?,
+                );
+            }
             _ => {}
         }
     }
@@ -265,6 +277,7 @@ pub fn read_request<R: BufRead, W: Write>(
         target,
         body,
         keep_alive,
+        deadline_ms,
     })
 }
 
@@ -276,15 +289,37 @@ pub fn write_response<W: Write>(
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with(writer, status, reason, body, keep_alive, &[])
+}
+
+/// [`write_response`] plus extra response headers (e.g. `Retry-After` on
+/// overload responses). Header names must be valid as-is; values are written
+/// verbatim.
+pub fn write_response_with<W: Write>(
+    writer: &mut W,
+    status: u16,
+    reason: &str,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     // One write_all, not write!(...) straight to the socket: the format
     // machinery issues a separate small write per fragment, and on an
     // unbuffered TcpStream that interacts with Nagle + delayed ACK to add
     // ~40ms per response.
-    let response = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
+    let mut response = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         body.len(),
     );
+    for (name, value) in extra_headers {
+        response.push_str(name);
+        response.push_str(": ");
+        response.push_str(value);
+        response.push_str("\r\n");
+    }
+    response.push_str("\r\n");
+    response.push_str(body);
     writer.write_all(response.as_bytes())?;
     writer.flush()
 }
@@ -399,5 +434,34 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("content-length: 7\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"a\":1}"));
+    }
+
+    #[test]
+    fn deadline_header_is_parsed_and_validated() {
+        let req = parse_bytes(b"GET /healthz HTTP/1.1\r\nX-Deadline-Ms: 250\r\n\r\n").unwrap();
+        assert_eq!(req.deadline_ms, Some(250));
+        let req = parse_bytes(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.deadline_ms, None);
+        assert!(matches!(
+            parse_bytes(b"GET /healthz HTTP/1.1\r\nx-deadline-ms: soon\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn extra_headers_are_written_before_the_body() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            503,
+            "Service Unavailable",
+            "{}",
+            false,
+            &[("retry-after", "1".to_string())],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
     }
 }

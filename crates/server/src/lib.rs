@@ -24,7 +24,14 @@
 //!
 //! Backpressure is load-shedding: a full admission queue or a connection
 //! over [`ServerConfig::max_connections`] answers `503` immediately rather
-//! than queueing unbounded work.
+//! than queueing unbounded work, and every overload answer carries
+//! `Retry-After`. Clients can bound their wait with an `x-deadline-ms`
+//! header — expired requests are shed before evaluation and answered `504`
+//! — and `/healthz` answers `503` while the service is degraded (load
+//! watermark breached, or persistence suspended). The full request
+//! lifecycle failure model — deadlines, cancellation, degraded modes,
+//! hostile-client handling — is documented in `ROBUSTNESS.md` at the
+//! repository root and exercised by `tests/chaos_serving.rs`.
 //!
 //! ## Serving quickstart
 //!

@@ -21,7 +21,9 @@ use crate::json;
 use crate::wire;
 use crate::ServerError;
 use pathcost_persist::PersistenceStatus;
-use pathcost_service::{AdmissionConfig, AdmissionQueue, QueryEngine, ServiceError};
+use pathcost_service::{
+    AdmissionConfig, AdmissionQueue, QueryEngine, RequestContext, ServiceError,
+};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -41,6 +43,14 @@ pub struct ServerConfig {
     /// Socket read timeout. Doubles as the shutdown poll interval for idle
     /// keep-alive connections, so shutdown latency is bounded by it.
     pub read_timeout: Duration,
+    /// Socket write timeout: a client that stops reading its response can
+    /// pin a connection thread in `write_all` for at most this long before
+    /// the connection is closed.
+    pub write_timeout: Duration,
+    /// Deadline applied to requests that carry no `x-deadline-ms` header.
+    /// `None` (the default) leaves such requests unbounded. Expired requests
+    /// are shed in the admission queue and answered 504.
+    pub default_deadline: Option<Duration>,
     /// HTTP parsing limits (request line / header / body sizes).
     pub limits: Limits,
     /// Shared persistence telemetry (`PersistentIngestor::status()` in
@@ -57,6 +67,8 @@ impl Default for ServerConfig {
             max_connections: 256,
             admission: AdmissionConfig::default(),
             read_timeout: Duration::from_millis(100),
+            write_timeout: Duration::from_secs(2),
+            default_deadline: None,
             limits: Limits::default(),
             persistence: None,
         }
@@ -206,13 +218,26 @@ fn encode_persistence(status: &PersistenceStatus) -> json::Json {
             "journal_bytes",
             json::Json::Number(status.journal_bytes() as f64),
         ),
+        ("suspended", json::Json::Bool(status.suspended())),
+        (
+            "suspensions",
+            json::Json::Number(status.suspensions() as f64),
+        ),
+        ("io_retries", json::Json::Number(status.io_retries() as f64)),
     ])
 }
 
 /// Best-effort 503 for a connection over the concurrency cap.
 fn reject_over_capacity(mut stream: TcpStream) {
     let body = wire::encode_error("connection limit reached").to_string();
-    let _ = http::write_response(&mut stream, 503, "Service Unavailable", &body, false);
+    let _ = http::write_response_with(
+        &mut stream,
+        503,
+        "Service Unavailable",
+        &body,
+        false,
+        &[("retry-after", "1".to_string())],
+    );
 }
 
 /// Per-connection state (all borrowed from the serving scope).
@@ -229,6 +254,9 @@ impl Connection<'_, '_> {
         if stream
             .set_read_timeout(Some(self.config.read_timeout))
             .is_err()
+            || stream
+                .set_write_timeout(Some(self.config.write_timeout))
+                .is_err()
         {
             return;
         }
@@ -284,22 +312,66 @@ impl Connection<'_, '_> {
         }
     }
 
+    /// The deadline/cancellation context for one request: the client's
+    /// `x-deadline-ms` header wins, else the server default, else unbounded.
+    fn request_context(&self, request: &http::Request) -> RequestContext {
+        let budget = request
+            .deadline_ms
+            .map(Duration::from_millis)
+            .or(self.config.default_deadline);
+        RequestContext::with_deadline(budget)
+    }
+
     /// Routes one parsed request; `Err(())` closes the connection.
     fn respond(&self, writer: &mut TcpStream, request: &http::Request) -> Result<(), ()> {
         let keep_alive = request.keep_alive;
+        // Overload answers (503/429) carry Retry-After so well-behaved
+        // clients back off instead of hammering the queue.
         let write = |writer: &mut TcpStream, status: u16, reason: &str, body: String| {
-            http::write_response(writer, status, reason, &body, keep_alive).map_err(|_| ())
+            let extra: Vec<(&str, String)> = if status == 503 || status == 429 {
+                vec![("retry-after", "1".to_string())]
+            } else {
+                Vec::new()
+            };
+            http::write_response_with(writer, status, reason, &body, keep_alive, &extra)
+                .map_err(|_| ())
         };
         match (request.method.as_str(), request.target.as_str()) {
             ("GET", "/healthz") => {
+                let suspended = self
+                    .config
+                    .persistence
+                    .as_deref()
+                    .is_some_and(PersistenceStatus::suspended);
+                let load_degraded = self.queue.degraded();
+                let healthy = !suspended && !load_degraded;
+                let mut reasons: Vec<&str> = Vec::new();
+                if load_degraded {
+                    reasons.push("load watermark breached (queue depth / e2e p99)");
+                }
+                if suspended {
+                    reasons.push("persistence suspended after repeated IO failures");
+                }
                 let mut fields = vec![
-                    ("status", json::Json::String("ok".to_string())),
+                    (
+                        "status",
+                        json::Json::String(if healthy { "ok" } else { "degraded" }.to_string()),
+                    ),
                     ("epoch", json::Json::Number(self.engine.epoch() as f64)),
+                    ("degraded", json::Json::Bool(!healthy)),
                 ];
+                if !reasons.is_empty() {
+                    fields.push(("reason", json::Json::String(reasons.join("; "))));
+                }
                 if let Some(status) = &self.config.persistence {
                     fields.push(("persistence", encode_persistence(status)));
                 }
-                write(writer, 200, "OK", json::Json::object(fields).to_string())
+                let body = json::Json::object(fields).to_string();
+                if healthy {
+                    write(writer, 200, "OK", body)
+                } else {
+                    write(writer, 503, "Service Unavailable", body)
+                }
             }
             ("POST", "/admin/snapshot") => match &self.config.persistence {
                 Some(status) => {
@@ -328,22 +400,26 @@ impl Connection<'_, '_> {
                 let body = wire::encode_stats(&stats, &self.queue.latency(), self.queue.len());
                 write(writer, 200, "OK", body.to_string())
             }
-            ("POST", "/query") => match self.parse_and_submit_one(&request.body) {
-                Ok(ticket) => match ticket.wait() {
-                    Ok(outcome) => write(
-                        writer,
-                        200,
-                        "OK",
-                        wire::encode_outcome(&outcome).to_string(),
-                    ),
-                    Err(error) => self.write_service_error(writer, &error, keep_alive),
-                },
-                Err(response) => {
-                    let (status, reason, body) = response;
-                    write(writer, status, reason, body)
+            ("POST", "/query") => {
+                match self.parse_and_submit_one(&request.body, self.request_context(request)) {
+                    Ok(ticket) => match ticket.wait() {
+                        Ok(outcome) => write(
+                            writer,
+                            200,
+                            "OK",
+                            wire::encode_outcome(&outcome).to_string(),
+                        ),
+                        Err(error) => self.write_service_error(writer, &error, keep_alive),
+                    },
+                    Err(response) => {
+                        let (status, reason, body) = response;
+                        write(writer, status, reason, body)
+                    }
                 }
-            },
-            ("POST", "/query/batch") => match self.parse_and_submit_batch(&request.body) {
+            }
+            ("POST", "/query/batch") => match self
+                .parse_and_submit_batch(&request.body, self.request_context(request))
+            {
                 Ok(tickets) => {
                     let results: Vec<json::Json> = tickets
                         .into_iter()
@@ -376,7 +452,12 @@ impl Connection<'_, '_> {
     ) -> Result<(), ()> {
         let (status, reason) = wire::error_status(error);
         let body = wire::encode_error(&error.to_string()).to_string();
-        http::write_response(writer, status, reason, &body, keep_alive).map_err(|_| ())
+        let extra: Vec<(&str, String)> = if status == 503 || status == 429 {
+            vec![("retry-after", "1".to_string())]
+        } else {
+            Vec::new()
+        };
+        http::write_response_with(writer, status, reason, &body, keep_alive, &extra).map_err(|_| ())
     }
 
     /// Parses and admits one `/query` body; the error is a ready-to-send
@@ -384,6 +465,7 @@ impl Connection<'_, '_> {
     fn parse_and_submit_one(
         &self,
         body: &[u8],
+        context: RequestContext,
     ) -> Result<pathcost_service::Ticket, (u16, &'static str, String)> {
         let value = json::parse(body).map_err(|e| {
             (
@@ -394,19 +476,22 @@ impl Connection<'_, '_> {
         })?;
         let request = wire::decode_request(&value)
             .map_err(|e| (400, "Bad Request", wire::encode_error(&e).to_string()))?;
-        self.queue.submit(request).map_err(|e| {
-            let (status, reason) = wire::error_status(&e);
-            (
-                status,
-                reason,
-                wire::encode_error(&e.to_string()).to_string(),
-            )
-        })
+        self.queue
+            .submit_with_context(request, context)
+            .map_err(|e| {
+                let (status, reason) = wire::error_status(&e);
+                (
+                    status,
+                    reason,
+                    wire::encode_error(&e.to_string()).to_string(),
+                )
+            })
     }
 
     fn parse_and_submit_batch(
         &self,
         body: &[u8],
+        context: RequestContext,
     ) -> Result<Vec<pathcost_service::Ticket>, (u16, &'static str, String)> {
         let value = json::parse(body).map_err(|e| {
             (
@@ -424,13 +509,15 @@ impl Connection<'_, '_> {
                 wire::encode_error("\"requests\" must be non-empty").to_string(),
             ));
         }
-        self.queue.submit_many(requests).map_err(|e| {
-            let (status, reason) = wire::error_status(&e);
-            (
-                status,
-                reason,
-                wire::encode_error(&e.to_string()).to_string(),
-            )
-        })
+        self.queue
+            .submit_many_with_context(requests, context)
+            .map_err(|e| {
+                let (status, reason) = wire::error_status(&e);
+                (
+                    status,
+                    reason,
+                    wire::encode_error(&e.to_string()).to_string(),
+                )
+            })
     }
 }

@@ -240,6 +240,7 @@ fn encode_query_stats(stats: &QueryStats) -> Json {
             Json::Number(stats.max_decomposition_depth as f64),
         ),
         ("latency_us", Json::Number(stats.latency.as_micros() as f64)),
+        ("degraded", Json::Bool(stats.degraded)),
     ])
 }
 
@@ -247,8 +248,13 @@ fn encode_query_stats(stats: &QueryStats) -> Json {
 pub fn error_status(error: &ServiceError) -> (u16, &'static str) {
     match error {
         ServiceError::InvalidRequest(_) | ServiceError::RoadNet(_) => (400, "Bad Request"),
-        ServiceError::Overloaded | ServiceError::ShuttingDown => (503, "Service Unavailable"),
-        ServiceError::Core(_) | ServiceError::Routing(_) => (500, "Internal Server Error"),
+        ServiceError::Overloaded | ServiceError::ShuttingDown | ServiceError::Cancelled => {
+            (503, "Service Unavailable")
+        }
+        ServiceError::DeadlineExceeded => (504, "Gateway Timeout"),
+        ServiceError::Core(_) | ServiceError::Routing(_) | ServiceError::Internal(_) => {
+            (500, "Internal Server Error")
+        }
     }
 }
 
@@ -290,8 +296,25 @@ pub fn encode_stats(stats: &ServiceStats, e2e: &LatencySnapshot, queue_depth: us
             "batch_jobs_deduplicated",
             Json::Number(stats.batch_jobs_deduplicated as f64),
         ),
+        ("shed_deadline", Json::Number(stats.shed_deadline as f64)),
+        (
+            "deadline_exceeded",
+            Json::Number(stats.deadline_exceeded as f64),
+        ),
+        ("cancelled", Json::Number(stats.cancelled as f64)),
+        (
+            "degraded_answers",
+            Json::Number(stats.degraded_answers as f64),
+        ),
+        (
+            "panicked_queries",
+            Json::Number(stats.panicked_queries as f64),
+        ),
         ("queue_depth", Json::Number(queue_depth as f64)),
         ("query_latency", encode_latency(&stats.latency)),
+        ("latency_ok", encode_latency(&stats.latency_ok)),
+        ("latency_failed", encode_latency(&stats.latency_failed)),
+        ("latency_shed", encode_latency(&stats.latency_shed)),
         ("e2e_latency", encode_latency(e2e)),
     ])
 }

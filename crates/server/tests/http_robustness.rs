@@ -203,6 +203,174 @@ fn oversized_batch_is_rejected_by_the_admission_bound() {
     });
 }
 
+/// Writes `raw`, half-closes, and returns the whole response text (status
+/// line + headers + body) so tests can assert on response *headers*.
+fn send_raw_full(addr: std::net::SocketAddr, raw: &[u8]) -> String {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(raw).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+#[test]
+fn slowloris_drip_times_out_with_408_and_the_server_keeps_serving() {
+    let (net, store) = DatasetPreset::tiny(17).materialise().unwrap();
+    let graph = HybridGraph::build(&net, &store, HybridConfig::default()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let good_body = valid_query(&store);
+
+    serve_with(&engine, test_config(), |addr| {
+        // A client that starts a request line and then stalls: the 50ms read
+        // timeout fires mid-request, which must be answered 408 and closed —
+        // not held open indefinitely and not treated as an idle keep-alive.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /he").unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        let mut response = String::new();
+        use std::io::Read;
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 408 "),
+            "stalled request must get 408, got: {response:?}"
+        );
+
+        // Same for a body that drips one byte and stalls.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /query HTTP/1.1\r\nContent-Length: 40\r\n\r\n{")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 408 "), "{response:?}");
+
+        // The worker pool is unharmed: a healthy request still succeeds.
+        assert_eq!(post(addr, "/query", &good_body).0, 200);
+    });
+}
+
+#[test]
+fn unread_responses_and_mid_response_disconnects_do_not_wedge_the_server() {
+    let (net, store) = DatasetPreset::tiny(19).materialise().unwrap();
+    let graph = HybridGraph::build(&net, &store, HybridConfig::default()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let good_body = valid_query(&store);
+
+    let config = ServerConfig {
+        // Tight write timeout: a peer that stops reading can pin a thread in
+        // write_all for at most this long.
+        write_timeout: Duration::from_millis(100),
+        ..test_config()
+    };
+    serve_with(&engine, config, |addr| {
+        // Slow writer: submits a query and never reads the response, keeping
+        // the connection open well past the write timeout.
+        let mut lazy = TcpStream::connect(addr).unwrap();
+        write!(
+            lazy,
+            "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{good_body}",
+            good_body.len()
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+
+        // Mid-response disconnect: the peer vanishes right after sending a
+        // complete request; the server's response write hits a dead socket.
+        let mut rude = TcpStream::connect(addr).unwrap();
+        write!(
+            rude,
+            "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{good_body}",
+            good_body.len()
+        )
+        .unwrap();
+        drop(rude);
+
+        // Neither client wedged the server: fresh connections are answered,
+        // and serve_with's graceful shutdown (after this closure) must still
+        // join every connection thread — `lazy` is still attached here.
+        let (status, body) = post(addr, "/query", &good_body);
+        assert_eq!(status, 200, "{body}");
+        drop(lazy);
+    });
+}
+
+#[test]
+fn expired_deadlines_get_504_and_overload_answers_carry_retry_after() {
+    let (net, store) = DatasetPreset::tiny(23).materialise().unwrap();
+    let graph = HybridGraph::build(&net, &store, HybridConfig::default()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let good_body = valid_query(&store);
+
+    let mut config = test_config();
+    config.admission.capacity = 2;
+    serve_with(&engine, config, |addr| {
+        // An already-expired client deadline: the queue sheds the request
+        // before evaluation and the server answers 504.
+        let raw = format!(
+            "POST /query HTTP/1.1\r\nHost: t\r\nx-deadline-ms: 0\r\nContent-Length: {}\r\n\r\n{good_body}",
+            good_body.len()
+        );
+        let (status, _) = send_raw(addr, raw.as_bytes());
+        assert_eq!(status, 504);
+
+        // A generous deadline still succeeds.
+        let raw = format!(
+            "POST /query HTTP/1.1\r\nHost: t\r\nx-deadline-ms: 30000\r\nContent-Length: {}\r\n\r\n{good_body}",
+            good_body.len()
+        );
+        assert_eq!(send_raw(addr, raw.as_bytes()).0, 200);
+
+        // An unparseable deadline is the client's fault.
+        let raw =
+            "POST /query HTTP/1.1\r\nHost: t\r\nx-deadline-ms: soon\r\nContent-Length: 2\r\n\r\n{}";
+        assert_eq!(send_raw(addr, raw.as_bytes()).0, 400);
+
+        // The shed shows up in the stats counters.
+        let (status, body) = get(addr, "/stats");
+        assert_eq!(status, 200);
+        let stats = pathcost_server::json::parse(body.as_bytes()).unwrap();
+        assert!(stats.get("shed_deadline").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(
+            stats
+                .get("deadline_exceeded")
+                .and_then(Json::as_u64)
+                .unwrap()
+                >= 1
+        );
+        assert!(
+            stats
+                .get("latency_shed")
+                .unwrap()
+                .get("count")
+                .and_then(Json::as_u64)
+                .unwrap()
+                >= 1
+        );
+
+        // Overload (batch over the capacity-2 queue bound) is 503 *with*
+        // Retry-After, so well-behaved clients back off.
+        let batch = format!(
+            r#"{{"requests":[{}]}}"#,
+            std::iter::repeat_n(good_body.as_str(), 3)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let raw = format!(
+            "POST /query/batch HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{batch}",
+            batch.len()
+        );
+        let response = send_raw_full(addr, raw.as_bytes());
+        assert!(response.starts_with("HTTP/1.1 503 "), "{response:?}");
+        assert!(
+            response.contains("retry-after: 1\r\n"),
+            "503 must carry Retry-After: {response:?}"
+        );
+    });
+}
+
 #[test]
 fn healthz_reports_persistence_and_admin_snapshot_flags_a_request() {
     let (net, store) = DatasetPreset::tiny(13).materialise().unwrap();

@@ -18,6 +18,19 @@
 //!   are waiting, `submit` fails fast with [`ServiceError::Overloaded`]
 //!   instead of queueing unbounded work — the HTTP layer maps that to 503 so
 //!   backpressure reaches the client instead of the allocator.
+//! * Each request carries a [`RequestContext`] (deadline + cancellation
+//!   token, see [`submit_with_context`](AdmissionQueue::submit_with_context)).
+//!   The dispatcher **sheds expired or abandoned work before dispatch**: a
+//!   request whose deadline passed while it queued is answered
+//!   [`ServiceError::DeadlineExceeded`] immediately (the HTTP layer maps that
+//!   to 504) instead of burning a worker on an answer nobody is waiting for.
+//! * Under sustained pressure the queue reports
+//!   [`degraded`](AdmissionQueue::degraded) — queue depth or end-to-end p99
+//!   above the [`AdmissionConfig`] watermarks — and the dispatcher runs
+//!   batches in degraded mode (warm phase off, route candidate budgets
+//!   capped) so the service answers faster rather than queueing toward
+//!   timeout. See `ROBUSTNESS.md` at the repository root for the full
+//!   failure model.
 //!
 //! The queue itself owns no thread (the engine borrows the road network, so
 //! a detached `'static` dispatcher could not hold it). The server runs
@@ -28,7 +41,8 @@
 //! engine's per-query execution histogram, so `/stats` can report both the
 //! work latency and the latency a client actually experienced.
 
-use crate::engine::QueryEngine;
+use crate::deadline::RequestContext;
+use crate::engine::{stop_error, QueryEngine};
 use crate::error::ServiceError;
 use crate::request::{QueryOutcome, QueryRequest};
 use crate::stats::{LatencyRecorder, LatencySnapshot};
@@ -47,6 +61,13 @@ pub struct AdmissionConfig {
     /// How long the dispatcher waits for more requests to join a non-full
     /// batch. Zero dispatches whatever is queued immediately.
     pub linger: Duration,
+    /// Queue depth at or above which the queue reports
+    /// [`degraded`](AdmissionQueue::degraded) and batches run under the
+    /// degradation policy.
+    pub degrade_queue_depth: usize,
+    /// End-to-end p99 latency at or above which the queue reports
+    /// [`degraded`](AdmissionQueue::degraded).
+    pub degrade_p99: Duration,
 }
 
 impl Default for AdmissionConfig {
@@ -55,6 +76,8 @@ impl Default for AdmissionConfig {
             capacity: 1024,
             max_batch: 256,
             linger: Duration::from_micros(200),
+            degrade_queue_depth: 768,
+            degrade_p99: Duration::from_secs(2),
         }
     }
 }
@@ -62,6 +85,7 @@ impl Default for AdmissionConfig {
 /// One queued request: the payload plus the slot its result lands in.
 struct Pending {
     request: QueryRequest,
+    context: RequestContext,
     slot: Arc<Slot>,
     submitted: Instant,
 }
@@ -125,7 +149,7 @@ impl AdmissionQueue {
         let config = AdmissionConfig {
             capacity: config.capacity.max(1),
             max_batch: config.max_batch.max(1),
-            linger: config.linger,
+            ..config
         };
         AdmissionQueue {
             config,
@@ -145,7 +169,19 @@ impl AdmissionQueue {
 
     /// Enqueues one request, failing fast when the queue is full or closed.
     pub fn submit(&self, request: QueryRequest) -> Result<Ticket, ServiceError> {
-        let mut tickets = self.submit_many(vec![request])?;
+        self.submit_with_context(request, RequestContext::unbounded())
+    }
+
+    /// Enqueues one request carrying a deadline / cancellation context. The
+    /// caller keeps a clone of `context`: cancelling it (or letting the
+    /// deadline pass) makes the dispatcher shed the request before dispatch
+    /// and evaluation stop cooperatively if it already started.
+    pub fn submit_with_context(
+        &self,
+        request: QueryRequest,
+        context: RequestContext,
+    ) -> Result<Ticket, ServiceError> {
+        let mut tickets = self.submit_many_with_context(vec![request], context)?;
         Ok(tickets.pop().expect("one ticket per request"))
     }
 
@@ -154,6 +190,17 @@ impl AdmissionQueue {
     /// whole batch is rejected with [`ServiceError::Overloaded`] /
     /// [`ServiceError::ShuttingDown`] and nothing is queued.
     pub fn submit_many(&self, requests: Vec<QueryRequest>) -> Result<Vec<Ticket>, ServiceError> {
+        self.submit_many_with_context(requests, RequestContext::unbounded())
+    }
+
+    /// [`submit_many`](Self::submit_many) with one shared deadline /
+    /// cancellation context for the whole batch (an HTTP batch request has a
+    /// single client, so a single deadline).
+    pub fn submit_many_with_context(
+        &self,
+        requests: Vec<QueryRequest>,
+        context: RequestContext,
+    ) -> Result<Vec<Ticket>, ServiceError> {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
@@ -171,6 +218,7 @@ impl AdmissionQueue {
             tickets.push(Ticket { slot: slot.clone() });
             state.pending.push_back(Pending {
                 request,
+                context: context.clone(),
                 slot,
                 submitted,
             });
@@ -200,6 +248,19 @@ impl AdmissionQueue {
         self.latency.snapshot()
     }
 
+    /// Whether the load watermarks are breached: queue depth at or above
+    /// [`AdmissionConfig::degrade_queue_depth`], or end-to-end p99 at or
+    /// above [`AdmissionConfig::degrade_p99`]. While degraded, the
+    /// dispatcher disables the batch warm phase and caps route candidate
+    /// budgets, and the HTTP front-end reports the state on `/healthz`.
+    pub fn degraded(&self) -> bool {
+        if self.len() >= self.config.degrade_queue_depth {
+            return true;
+        }
+        let latency = self.latency.snapshot();
+        latency.total() > 0 && latency.p99() >= self.config.degrade_p99
+    }
+
     /// Closes the queue: subsequent submits fail with
     /// [`ServiceError::ShuttingDown`]; already-admitted requests are still
     /// drained and answered before [`dispatch`](Self::dispatch) returns.
@@ -218,13 +279,40 @@ impl AdmissionQueue {
             let Some(batch) = self.next_batch() else {
                 return;
             };
+            let degraded = self.degraded();
             let mut requests = Vec::with_capacity(batch.len());
+            let mut contexts = Vec::with_capacity(batch.len());
             let mut slots = Vec::with_capacity(batch.len());
             for pending in batch {
+                if pending.context.should_stop() {
+                    // Shed before dispatch: the deadline passed (or the
+                    // client abandoned the request) while it queued, so
+                    // answer immediately instead of burning a worker.
+                    engine.recorder.record_shed(pending.submitted.elapsed());
+                    self.latency.record(pending.submitted.elapsed());
+                    pending.slot.complete(Err(stop_error(&pending.context)));
+                    continue;
+                }
                 requests.push(pending.request);
+                contexts.push(pending.context);
                 slots.push((pending.slot, pending.submitted));
             }
-            let results = engine.execute_batch(&requests);
+            if requests.is_empty() {
+                continue;
+            }
+            // Backstop: a panic escaping the batch (the answer phase already
+            // contains per-query panics) must not kill the dispatcher — every
+            // waiting ticket would hang forever. Answer the whole batch with
+            // an internal error instead.
+            let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.execute_batch_under(&requests, &contexts, degraded)
+            }))
+            .unwrap_or_else(|_| {
+                engine.recorder.record_panicked();
+                (0..requests.len())
+                    .map(|_| Err(ServiceError::Internal("batch execution panicked")))
+                    .collect()
+            });
             for ((slot, submitted), result) in slots.into_iter().zip(results) {
                 self.latency.record(submitted.elapsed());
                 slot.complete(result);

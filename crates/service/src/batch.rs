@@ -33,6 +33,7 @@
 //! edge-convolution estimates instead of coarsest-decomposition ones).
 
 use crate::cache::CachedDistribution;
+use crate::deadline::RequestContext;
 use crate::engine::{budget_is_valid, QueryCounters, QueryEngine};
 use crate::error::ServiceError;
 use crate::request::{QueryOutcome, QueryRequest};
@@ -67,6 +68,35 @@ impl QueryEngine<'_> {
         &self,
         requests: &[QueryRequest],
     ) -> Vec<Result<QueryOutcome, ServiceError>> {
+        self.execute_batch_under(requests, &[], false)
+    }
+
+    /// As [`Self::execute_batch`], under per-request deadline/cancellation
+    /// contexts and the admission queue's degraded-mode flag.
+    ///
+    /// `contexts` is either empty (every request unbounded — the plain
+    /// [`Self::execute_batch`] behaviour) or exactly one context per request.
+    /// The warm phase polls the contexts and stops early once every request
+    /// in the batch has been abandoned; with `degraded` set it is skipped
+    /// entirely (each request pays its own estimations, trading batch
+    /// throughput for immediate worker availability under pressure).
+    ///
+    /// The answer phase contains panics: a request whose evaluation panics
+    /// answers [`ServiceError::Internal`] while the rest of the batch — and
+    /// the dispatcher thread driving it — survive.
+    pub fn execute_batch_under(
+        &self,
+        requests: &[QueryRequest],
+        contexts: &[RequestContext],
+        degraded: bool,
+    ) -> Vec<Result<QueryOutcome, ServiceError>> {
+        assert!(
+            contexts.is_empty() || contexts.len() == requests.len(),
+            "contexts must be empty or match requests 1:1"
+        );
+        // True once every request in the batch has been abandoned — the
+        // point where warming the cache serves nobody.
+        let abandoned = || !contexts.is_empty() && contexts.iter().all(|c| c.should_stop());
         // Phase 1: collect and deduplicate the estimation jobs. Route seeds
         // (the free-flow fastest path, the best-first search's predictable
         // first candidate) are memoised per OD pair so a batch of repeated
@@ -153,9 +183,17 @@ impl QueryEngine<'_> {
         // "already cached" check then skips them — so Route answers keep
         // estimator-exact candidate quality even with `share_prefixes` on.
         let warm_counters = QueryCounters::default();
-        if self.config().share_prefixes {
+        if degraded {
+            // Degraded mode: no warm phase. Each request pays its own
+            // estimations in the answer phase; under pressure a worker
+            // answering one request now beats a worker warming entries a
+            // timed-out batch may never read.
+        } else if self.config().share_prefixes {
             let od_jobs: Vec<&Job<'_>> = jobs.iter().filter(|job| job.full_od).collect();
             self.for_each_index(od_jobs.len(), |i| {
+                if abandoned() {
+                    return;
+                }
                 let job = od_jobs[i];
                 let _ = self.estimate_cached(
                     &job.path,
@@ -163,7 +201,7 @@ impl QueryEngine<'_> {
                     &warm_counters,
                 );
             });
-            self.warm_with_prefix_sharing(&jobs, &warm_counters);
+            self.warm_with_prefix_sharing(&jobs, &warm_counters, &abandoned);
         } else if let Some(pool) = self
             .batch_pool()
             .filter(|p| p.width() > 1 && jobs.len() > 1)
@@ -182,6 +220,9 @@ impl QueryEngine<'_> {
             }
             pool.run_pinned(|w| {
                 for job in &by_worker[w] {
+                    if abandoned() {
+                        return;
+                    }
                     let _ = self.estimate_cached(
                         &job.path,
                         self.canonical_departure(job.interval),
@@ -191,6 +232,9 @@ impl QueryEngine<'_> {
             });
         } else {
             self.for_each_index(jobs.len(), |i| {
+                if abandoned() {
+                    return;
+                }
                 let job = &jobs[i];
                 let _ = self.estimate_cached(
                     &job.path,
@@ -200,11 +244,23 @@ impl QueryEngine<'_> {
             });
         }
 
-        // Phase 2: answer every request against the warm cache.
+        // Phase 2: answer every request against the warm cache. Each
+        // evaluation runs under `catch_unwind` so a panicking query (a bug,
+        // or the chaos failpoint) poisons only its own slot — the other
+        // requests, the worker pool and the dispatcher thread all survive.
         let slots: Vec<Mutex<Option<Result<QueryOutcome, ServiceError>>>> =
             requests.iter().map(|_| Mutex::new(None)).collect();
         self.for_each_index(requests.len(), |i| {
-            let outcome = self.execute(&requests[i]);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match contexts
+                .get(i)
+            {
+                Some(ctx) => self.execute_under(&requests[i], ctx, degraded),
+                None => self.execute_under(&requests[i], &RequestContext::unbounded(), degraded),
+            }))
+            .unwrap_or_else(|_| {
+                self.recorder.record_panicked();
+                Err(ServiceError::Internal("query evaluation panicked"))
+            });
             *slots[i].lock().expect("batch slot poisoned") = Some(outcome);
         });
         slots
@@ -228,7 +284,12 @@ impl QueryEngine<'_> {
     ///
     /// Jobs whose incremental build fails (an edge without a unit histogram
     /// in the interval) fall back to the full OD estimation path.
-    fn warm_with_prefix_sharing(&self, jobs: &[Job<'_>], warm_counters: &QueryCounters) {
+    fn warm_with_prefix_sharing(
+        &self,
+        jobs: &[Job<'_>],
+        warm_counters: &QueryCounters,
+        stop: &(dyn Fn() -> bool + Sync),
+    ) {
         let mut by_interval: HashMap<IntervalId, Vec<&Path>> = HashMap::new();
         for job in jobs {
             by_interval
@@ -239,7 +300,7 @@ impl QueryEngine<'_> {
         let groups: Vec<(IntervalId, Vec<&Path>)> = by_interval.into_iter().collect();
         self.for_each_index(groups.len(), |g| {
             let (interval, paths) = &groups[g];
-            self.warm_interval_group(*interval, paths, warm_counters);
+            self.warm_interval_group(*interval, paths, warm_counters, stop);
         });
     }
 
@@ -248,6 +309,7 @@ impl QueryEngine<'_> {
         interval: IntervalId,
         paths: &[&Path],
         warm_counters: &QueryCounters,
+        stop: &(dyn Fn() -> bool + Sync),
     ) {
         let mut paths: Vec<&Path> = paths.to_vec();
         paths.sort_unstable_by(|a, b| a.edges().cmp(b.edges()));
@@ -267,6 +329,11 @@ impl QueryEngine<'_> {
         let mut unit_reads: Vec<(EdgeId, IntervalId)> = Vec::new();
         let (mut warmed, mut reuses, mut edges_reused) = (0u64, 0u64, 0u64);
         for path in &paths {
+            // Every request in the batch has been abandoned: warming the
+            // rest of the group serves nobody.
+            if stop() {
+                break;
+            }
             // Respect existing entries: a previous batch or point query may
             // already hold this job — possibly as the more accurate full-OD
             // estimate — and rebuilding would both waste the work and

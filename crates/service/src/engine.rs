@@ -1,6 +1,7 @@
 //! The query engine: cache-backed serving of path-cost-distribution queries.
 
 use crate::cache::{CachedDistribution, DistributionCache};
+use crate::deadline::RequestContext;
 use crate::error::ServiceError;
 use crate::pool::WorkerPool;
 use crate::request::{QueryOutcome, QueryRequest, QueryResponse, QueryStats, RankedPath};
@@ -10,7 +11,7 @@ use pathcost_core::interval::DayPartition;
 use pathcost_core::{CostEstimator, EstimateBreakdown, HybridGraph, IntervalId, OdEstimator};
 use pathcost_hist::Histogram1D;
 use pathcost_roadnet::Path;
-use pathcost_routing::{prob_within_budget, BestFirstRouter, RouterConfig};
+use pathcost_routing::{prob_within_budget, BestFirstRouter, RouterConfig, RoutingError};
 use pathcost_traj::{TimeOfDay, Timestamp};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
@@ -381,12 +382,42 @@ impl<'n> QueryEngine<'n> {
 
     /// Executes a single query, recording per-query and engine-level stats.
     pub fn execute(&self, request: &QueryRequest) -> Result<QueryOutcome, ServiceError> {
+        self.execute_under(request, &RequestContext::unbounded(), false)
+    }
+
+    /// As [`Self::execute`], under a per-request deadline/cancellation
+    /// context and an optional degraded-mode flag. Evaluation polls `ctx`
+    /// cooperatively — the routing expansion loop checks it every frontier
+    /// pop, ranking checks it between candidates — and stops with
+    /// [`ServiceError::DeadlineExceeded`] or [`ServiceError::Cancelled`]
+    /// instead of running to completion for a caller that gave up. With
+    /// `degraded` set (the admission queue's load-watermark policy), the
+    /// `Route` search runs with quartered expansion/candidate budgets and
+    /// the outcome is flagged via [`QueryStats::degraded`].
+    pub fn execute_under(
+        &self,
+        request: &QueryRequest,
+        ctx: &RequestContext,
+        degraded: bool,
+    ) -> Result<QueryOutcome, ServiceError> {
         let counters = QueryCounters::default();
         let start = Instant::now();
-        let response = self.execute_inner(request, &counters);
+        let response = if ctx.should_stop() {
+            Err(stop_error(ctx))
+        } else {
+            self.execute_inner(request, &counters, ctx, degraded)
+        };
         let latency = start.elapsed();
         self.recorder
             .record_query(request.kind(), latency, response.is_ok());
+        match &response {
+            Err(ServiceError::DeadlineExceeded) => self.recorder.record_deadline_exceeded(),
+            Err(ServiceError::Cancelled) => self.recorder.record_cancelled(),
+            _ => {}
+        }
+        if degraded && response.is_ok() {
+            self.recorder.record_degraded();
+        }
         response.map(|response| QueryOutcome {
             response,
             stats: QueryStats {
@@ -394,6 +425,7 @@ impl<'n> QueryEngine<'n> {
                 cache_misses: counters.misses.load(Ordering::Relaxed),
                 max_decomposition_depth: counters.max_depth.load(Ordering::Relaxed),
                 latency,
+                degraded,
             },
         })
     }
@@ -402,9 +434,12 @@ impl<'n> QueryEngine<'n> {
         &self,
         request: &QueryRequest,
         counters: &QueryCounters,
+        ctx: &RequestContext,
+        degraded: bool,
     ) -> Result<QueryResponse, ServiceError> {
         match request {
             QueryRequest::EstimateDistribution { path, departure } => {
+                chaos_panic_failpoint(path);
                 let cached = self.estimate_cached(path, *departure, counters)?;
                 Ok(QueryResponse::Distribution(cached.histogram))
             }
@@ -431,17 +466,21 @@ impl<'n> QueryEngine<'n> {
                         "RankPaths needs at least one candidate",
                     ));
                 }
-                let mut ranking: Vec<RankedPath> = candidates
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(index, path)| {
-                        let cached = self.estimate_cached(path, *departure, counters).ok()?;
-                        Some(RankedPath {
+                let mut ranking: Vec<RankedPath> = Vec::with_capacity(candidates.len());
+                for (index, path) in candidates.iter().enumerate() {
+                    // Candidate estimations are the expensive unit of work
+                    // here; poll the context between them so an abandoned
+                    // ranking stops mid-list.
+                    if ctx.should_stop() {
+                        return Err(stop_error(ctx));
+                    }
+                    if let Ok(cached) = self.estimate_cached(path, *departure, counters) {
+                        ranking.push(RankedPath {
                             index,
                             probability: prob_within_budget(&cached.histogram, *budget_s),
-                        })
-                    })
-                    .collect();
+                        });
+                    }
+                }
                 ranking.sort_by(|a, b| {
                     b.probability
                         .total_cmp(&a.probability)
@@ -471,17 +510,35 @@ impl<'n> QueryEngine<'n> {
                 // two adjacent epochs — each individually valid, the
                 // ranking's usual raced-query semantics.
                 let (snapshot_epoch, graph) = self.graph_snapshot();
-                let router = BestFirstRouter::new(&graph, self.config.router.clone())?;
+                // Under the load-watermark degradation policy the search
+                // budgets are quartered: the answer stays valid (the router
+                // limits were always best-effort bounds) but each query
+                // burns a fraction of a worker's time.
+                let router_config = if degraded {
+                    let base = &self.config.router;
+                    RouterConfig {
+                        max_expansions: (base.max_expansions / 4).max(1),
+                        max_candidates: (base.max_candidates / 4).max(1),
+                        max_path_edges: base.max_path_edges,
+                    }
+                } else {
+                    self.config.router.clone()
+                };
+                let router = BestFirstRouter::new(&graph, router_config)?;
                 let estimator =
                     CachingEstimator::for_query(self, counters, graph.clone(), snapshot_epoch);
-                let (mut ranked, telemetry) = router.route_top_k(
+                let (mut ranked, telemetry) = match router.route_top_k_cancellable(
                     &estimator,
                     *source,
                     *destination,
                     *departure,
                     *budget_s,
                     *k,
-                )?;
+                    &|| ctx.should_stop(),
+                ) {
+                    Err(RoutingError::Cancelled) => return Err(stop_error(ctx)),
+                    other => other?,
+                };
                 // The per-query counters are exclusive to this request here
                 // (they were created fresh in `execute`), so their hit total
                 // is exactly the candidate evaluations answered by the cache.
@@ -497,6 +554,35 @@ impl<'n> QueryEngine<'n> {
                     Ok(QueryResponse::Routes(ranked))
                 }
             }
+        }
+    }
+}
+
+/// Classifies why a context asked evaluation to stop: an expired deadline
+/// answers 504, an explicit cancellation answers as cancelled. Checked in
+/// this order because a request can be both (the client gave up *because*
+/// the deadline passed) and the deadline is the actionable signal.
+pub(crate) fn stop_error(ctx: &RequestContext) -> ServiceError {
+    if ctx.expired() {
+        ServiceError::DeadlineExceeded
+    } else {
+        ServiceError::Cancelled
+    }
+}
+
+/// Chaos-testing failpoint: when `PATHCOST_CHAOS_PANIC_EDGE` is set to an
+/// edge id, a single-edge `EstimateDistribution` of exactly that edge panics.
+/// The chaos harness points it at an edge id far outside any real network so
+/// ordinary requests can never trip it; the panic exercises the batch
+/// executor's containment (one poisoned request answers as an internal
+/// error, the batch and the dispatcher survive). See `ROBUSTNESS.md`.
+fn chaos_panic_failpoint(path: &Path) {
+    if path.cardinality() != 1 {
+        return;
+    }
+    if let Ok(armed) = std::env::var("PATHCOST_CHAOS_PANIC_EDGE") {
+        if armed.parse::<u64>().ok() == Some(u64::from(path.edges()[0].0)) {
+            panic!("chaos failpoint: injected panic on edge {armed}");
         }
     }
 }

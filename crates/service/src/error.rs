@@ -20,6 +20,14 @@ pub enum ServiceError {
     Overloaded,
     /// The service is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The request's deadline expired before an answer was produced — either
+    /// shed in the admission queue or abandoned mid-evaluation (HTTP 504).
+    DeadlineExceeded,
+    /// The request was cancelled by its caller before completion.
+    Cancelled,
+    /// Query evaluation failed internally (a panic contained by the batch
+    /// executor). The rest of the batch and the dispatcher survive.
+    Internal(&'static str),
 }
 
 impl fmt::Display for ServiceError {
@@ -31,6 +39,11 @@ impl fmt::Display for ServiceError {
             ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServiceError::Overloaded => write!(f, "admission queue full, request rejected"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the request completed")
+            }
+            ServiceError::Cancelled => write!(f, "request cancelled by the caller"),
+            ServiceError::Internal(msg) => write!(f, "internal query failure: {msg}"),
         }
     }
 }

@@ -39,6 +39,13 @@
 //!   exactly the cache entries whose recorded estimation reads an updated
 //!   variable invalidates — see the [`update`] module for the dependency
 //!   index and the correctness contract.
+//! * **A deadline-aware request lifecycle** — a [`RequestContext`]
+//!   (deadline + cancellation token) travels with each admitted request:
+//!   expired work is shed in the admission queue before it reaches a worker,
+//!   evaluation polls the token cooperatively, and a load-watermark policy
+//!   degrades gracefully under pressure (warm phase off, capped route
+//!   budgets) instead of queueing toward timeout. The full failure model is
+//!   documented in `ROBUSTNESS.md` at the repository root.
 //! * **Observability** — every response carries per-query [`QueryStats`]
 //!   (cache hits/misses, deepest decomposition, latency) and the engine
 //!   aggregates a [`ServiceStats`] snapshot (per-kind query counts, cache
@@ -91,6 +98,7 @@
 pub mod admission;
 pub mod batch;
 pub mod cache;
+pub mod deadline;
 pub mod engine;
 pub mod error;
 pub mod pool;
@@ -100,6 +108,7 @@ pub mod update;
 
 pub use admission::{AdmissionConfig, AdmissionQueue, Ticket};
 pub use cache::{CachedDistribution, DistributionCache};
+pub use deadline::RequestContext;
 pub use engine::{CachingEstimator, QueryEngine, ServiceConfig};
 pub use error::ServiceError;
 pub use pool::WorkerPool;

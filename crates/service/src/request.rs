@@ -155,6 +155,10 @@ pub struct QueryStats {
     pub max_decomposition_depth: usize,
     /// Wall-clock time spent answering.
     pub latency: Duration,
+    /// Whether this query was answered under the load-watermark degradation
+    /// policy (warm phase disabled, route candidate budgets capped) — the
+    /// answer is valid but may be less thorough than under normal load.
+    pub degraded: bool,
 }
 
 /// A response together with its per-query stats.

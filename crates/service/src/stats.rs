@@ -147,6 +147,14 @@ pub(crate) struct StatsRecorder {
     decomposition_depth_sum: AtomicU64,
     latency_micros_sum: AtomicU64,
     latency: LatencyRecorder,
+    latency_ok: LatencyRecorder,
+    latency_failed: LatencyRecorder,
+    latency_shed: LatencyRecorder,
+    shed_deadline: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    cancelled: AtomicU64,
+    degraded_answers: AtomicU64,
+    panicked_queries: AtomicU64,
     batches: AtomicU64,
     batch_requests: AtomicU64,
     batch_jobs_deduplicated: AtomicU64,
@@ -176,6 +184,42 @@ impl StatsRecorder {
         self.latency_micros_sum
             .fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
         self.latency.record(latency);
+        if ok {
+            self.latency_ok.record(latency);
+        } else {
+            self.latency_failed.record(latency);
+        }
+    }
+
+    /// Files a request shed in the admission queue because its deadline
+    /// expired while it waited — answered 504 *before* any evaluation.
+    /// `queued` is how long the request sat in the queue.
+    pub fn record_shed(&self, queued: Duration) {
+        self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        self.latency_shed.record(queued);
+    }
+
+    /// Counts a request abandoned mid-evaluation because its deadline passed.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request abandoned mid-evaluation by explicit cancellation.
+    pub fn record_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request answered in degraded mode (capped budgets, no warm
+    /// phase).
+    pub fn record_degraded(&self) {
+        self.degraded_answers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a query whose evaluation panicked; the panic was contained by
+    /// the batch executor and answered as an internal error.
+    pub fn record_panicked(&self) {
+        self.panicked_queries.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn record_estimation(&self, decomposition_depth: usize) {
@@ -267,6 +311,14 @@ impl StatsRecorder {
             decomposition_depth_sum: load(&self.decomposition_depth_sum),
             latency_micros_sum: load(&self.latency_micros_sum),
             latency: self.latency.snapshot(),
+            latency_ok: self.latency_ok.snapshot(),
+            latency_failed: self.latency_failed.snapshot(),
+            latency_shed: self.latency_shed.snapshot(),
+            shed_deadline: load(&self.shed_deadline),
+            deadline_exceeded: load(&self.deadline_exceeded),
+            cancelled: load(&self.cancelled),
+            degraded_answers: load(&self.degraded_answers),
+            panicked_queries: load(&self.panicked_queries),
             batches: load(&self.batches),
             batch_requests: load(&self.batch_requests),
             batch_jobs_deduplicated: load(&self.batch_jobs_deduplicated),
@@ -318,6 +370,28 @@ pub struct ServiceStats {
     /// ([`LatencySnapshot::p50`] / [`LatencySnapshot::p99`] /
     /// [`LatencySnapshot::max`]) behind [`Self::mean_latency`]'s average.
     pub latency: LatencySnapshot,
+    /// Latency distribution of successful queries only.
+    pub latency_ok: LatencySnapshot,
+    /// Latency distribution of failed queries (errors, deadline expiry,
+    /// cancellation, contained panics).
+    pub latency_failed: LatencySnapshot,
+    /// Queue-wait distribution of requests shed in the admission queue
+    /// because their deadline expired before dispatch.
+    pub latency_shed: LatencySnapshot,
+    /// Requests shed in the admission queue on an expired deadline — they
+    /// were answered 504 without ever reaching a worker.
+    pub shed_deadline: u64,
+    /// All requests answered `DeadlineExceeded` — shed in the queue or
+    /// abandoned mid-evaluation by the cooperative deadline poll.
+    pub deadline_exceeded: u64,
+    /// Requests abandoned mid-evaluation by explicit cancellation.
+    pub cancelled: u64,
+    /// Requests answered in degraded mode (warm phase disabled, route
+    /// budgets capped) under the load-watermark policy.
+    pub degraded_answers: u64,
+    /// Queries whose evaluation panicked; each panic was contained by the
+    /// batch executor and answered as an internal error.
+    pub panicked_queries: u64,
     /// Batches executed.
     pub batches: u64,
     /// Requests that arrived inside batches.
@@ -455,6 +529,11 @@ mod tests {
         rec.record_ingest(25, 7, 4, 2, 1, 11, 3);
         rec.record_stale_purges(6);
         rec.record_stale_purges(0); // no-op
+        rec.record_shed(Duration::from_micros(50));
+        rec.record_deadline_exceeded();
+        rec.record_cancelled();
+        rec.record_degraded();
+        rec.record_panicked();
         let s = rec.snapshot(3, 1, 20, 5);
         assert_eq!(s.estimate_queries, 1);
         assert_eq!(s.route_queries, 1);
@@ -486,6 +565,16 @@ mod tests {
         assert!((s.hit_rate() - s.cache_hit_rate()).abs() < 1e-15);
         // (5 LRU + 14 invalidated) / 20 insertions
         assert!((s.eviction_rate() - 0.95).abs() < 1e-12);
+        // Outcome accounting: one ok + one failed query, one shed request,
+        // and the shed also counts toward deadline_exceeded.
+        assert_eq!(s.latency_ok.total(), 1);
+        assert_eq!(s.latency_failed.total(), 1);
+        assert_eq!(s.latency_shed.total(), 1);
+        assert_eq!(s.shed_deadline, 1);
+        assert_eq!(s.deadline_exceeded, 2);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.degraded_answers, 1);
+        assert_eq!(s.panicked_queries, 1);
     }
 
     #[test]

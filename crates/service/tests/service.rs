@@ -800,6 +800,159 @@ fn flush_cache_drops_entries_and_dependency_edges_together() {
 }
 
 #[test]
+fn expired_deadlines_are_shed_before_dispatch() {
+    use pathcost_service::{AdmissionConfig, AdmissionQueue, RequestContext, ServiceError};
+    use std::time::Duration;
+
+    // A request whose deadline has already passed when the dispatcher picks
+    // it up must be answered 504-style (DeadlineExceeded) *without* being
+    // evaluated; a healthy request in the same batch is unaffected.
+    let f = fixture(812);
+    let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let (path, departure) = query_paths(&f.store, 1).remove(0);
+    let queue = AdmissionQueue::new(AdmissionConfig::default());
+
+    let expired = RequestContext::with_deadline(Some(Duration::ZERO));
+    let shed_ticket = queue
+        .submit_with_context(
+            QueryRequest::EstimateDistribution {
+                path: path.clone(),
+                departure,
+            },
+            expired,
+        )
+        .unwrap();
+    let healthy_ticket = queue
+        .submit(QueryRequest::EstimateDistribution { path, departure })
+        .unwrap();
+    queue.close();
+    queue.dispatch(&engine);
+
+    assert!(matches!(
+        shed_ticket.wait(),
+        Err(ServiceError::DeadlineExceeded)
+    ));
+    assert!(healthy_ticket.wait().is_ok());
+    let stats = engine.stats();
+    assert_eq!(stats.shed_deadline, 1, "{stats:?}");
+    assert!(stats.deadline_exceeded >= 1);
+    assert_eq!(stats.latency_shed.total(), 1);
+    assert_eq!(
+        stats.estimate_queries, 1,
+        "the shed request must never reach the engine"
+    );
+    // Both tickets count in the end-to-end histogram (clients waited on both).
+    assert_eq!(queue.latency().total(), 2);
+}
+
+#[test]
+fn cancelled_requests_stop_before_and_during_evaluation() {
+    use pathcost_service::{RequestContext, ServiceError};
+    use std::time::Duration;
+
+    let f = fixture(813);
+    let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let route = QueryRequest::Route {
+        source: VertexId(0),
+        destination: VertexId(18),
+        departure: Timestamp::from_day_hms(0, 8, 0, 0),
+        budget_s: 3_600.0,
+        k: 1,
+    };
+
+    // Pre-flight: an already-cancelled context never starts evaluating.
+    let ctx = RequestContext::unbounded();
+    ctx.cancel();
+    assert!(matches!(
+        engine.execute_under(&route, &ctx, false),
+        Err(ServiceError::Cancelled)
+    ));
+    let stats = engine.stats();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.estimations, 0, "no candidate was estimated");
+
+    // Mid-route: cancel concurrently with a cold-cache search. The router
+    // polls the token once per expansion, so whichever poll observes the
+    // cancel, the outcome is Cancelled — unless the search already finished,
+    // which is also legal (the flag raced the final expansion).
+    engine.flush_cache();
+    let ctx = RequestContext::unbounded();
+    let flag = ctx.clone();
+    let outcome = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_micros(300));
+            flag.cancel();
+        });
+        engine.execute_under(&route, &ctx, false)
+    });
+    match outcome {
+        Err(ServiceError::Cancelled) | Ok(_) => {}
+        Err(other) => panic!("cancellation must map to Cancelled, got {other}"),
+    }
+}
+
+#[test]
+fn abandoned_batch_skips_warm_phase_and_evaluation() {
+    use pathcost_service::{RequestContext, ServiceError};
+
+    let f = fixture(814);
+    let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let requests: Vec<QueryRequest> = query_paths(&f.store, 3)
+        .into_iter()
+        .map(|(path, departure)| QueryRequest::EstimateDistribution { path, departure })
+        .collect();
+    let contexts: Vec<RequestContext> = requests
+        .iter()
+        .map(|_| RequestContext::unbounded())
+        .collect();
+    for ctx in &contexts {
+        ctx.cancel();
+    }
+
+    let results = engine.execute_batch_under(&requests, &contexts, false);
+    assert_eq!(results.len(), requests.len());
+    for result in &results {
+        assert!(matches!(result, Err(ServiceError::Cancelled)), "{result:?}");
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.cancelled, requests.len() as u64);
+    assert_eq!(stats.estimations, 0, "abandoned work must not be estimated");
+    assert!(engine.cache().is_empty());
+}
+
+#[test]
+fn degraded_mode_answers_are_flagged_and_counted() {
+    use pathcost_service::RequestContext;
+
+    let f = fixture(815);
+    let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
+    let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
+    let route = QueryRequest::Route {
+        source: VertexId(0),
+        destination: VertexId(18),
+        departure: Timestamp::from_day_hms(0, 8, 0, 0),
+        budget_s: 3_600.0,
+        k: 1,
+    };
+
+    let normal = engine.execute(&route).unwrap();
+    assert!(!normal.stats.degraded);
+
+    let degraded = engine
+        .execute_under(&route, &RequestContext::unbounded(), true)
+        .unwrap();
+    assert!(degraded.stats.degraded, "degraded answers must say so");
+    let stats = engine.stats();
+    assert_eq!(stats.degraded_answers, 1);
+    // The degradation policy caps the search budget; it must not cost more
+    // work than the normal answer (the tiny grid stays feasible either way).
+    assert!(degraded.response.route().is_some());
+}
+
+#[test]
 fn submit_racing_close_never_hangs_a_ticket() {
     // Stress the shutdown/overflow edge: submissions racing `close()` must
     // either be admitted (and then answered by the draining dispatcher) or
