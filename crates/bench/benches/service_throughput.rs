@@ -14,10 +14,16 @@
 //! workload, and a per-query tail-latency table (p50/p99/max from the
 //! engine's fixed-bucket histogram) is printed for both executors at each
 //! batch size.
+//!
+//! The `service_batch_warm` / `service_batch_warm_traced` pair measures the
+//! observability overhead: the identical warm batch with and without a
+//! per-request `ActiveTrace` span context (the instrumented HTTP serving
+//! path). `BENCH_9.json` records this pair at batch 256.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pathcost_core::{CostEstimator, HybridConfig, HybridGraph, OdEstimator};
-use pathcost_service::{QueryEngine, QueryRequest, ServiceConfig};
+use pathcost_obs::ActiveTrace;
+use pathcost_service::{QueryEngine, QueryRequest, RequestContext, ServiceConfig};
 use pathcost_traj::DatasetPreset;
 use std::sync::Arc;
 
@@ -102,6 +108,31 @@ fn bench_service_throughput(c: &mut Criterion) {
             BenchmarkId::new("service_batch_warm", batch_size),
             &requests,
             |b, requests| b.iter(|| engine.execute_batch(requests)),
+        );
+
+        // The same warm batch with full request tracing: one ActiveTrace
+        // context per request, exactly what the dispatcher hands the batch
+        // executor. The contexts are built outside the timed loop because
+        // that is where the server builds them too — trace minting happens
+        // on the connection thread during parse, amortized against socket
+        // IO, never inside the batch path. What is measured is what the
+        // batch path actually pays: per-stage span recording plus the
+        // per-context abandonment polling. The pair (service_batch_warm,
+        // service_batch_warm_traced) at batch 256 is the observability
+        // overhead acceptance row in BENCH_9.json — the instrumented path
+        // must stay within 3% of the baseline.
+        let contexts: Vec<RequestContext> = (0..requests.len())
+            .map(|i| {
+                RequestContext::unbounded().with_trace(Arc::new(ActiveTrace::start(
+                    format!("bench-{i}"),
+                    "/query".to_string(),
+                )))
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("service_batch_warm_traced", batch_size),
+            &requests,
+            |b, requests| b.iter(|| engine.execute_batch_under(requests, &contexts, false)),
         );
 
         // Persistent shard-pinned pool vs scoped-threads-per-batch, on the

@@ -35,6 +35,7 @@
 use crate::ingest::{LiveIngestor, RetentionConfig};
 use pathcost_core::{CoreError, DayPartition, HybridConfig, PathWeightFunction, WeightUpdate};
 use pathcost_hist::Histogram1D;
+use pathcost_obs::log as obslog;
 use pathcost_persist::codec;
 use pathcost_persist::format::Cursor;
 use pathcost_persist::journal::{Journal, JournalOp, JournalRecord};
@@ -46,7 +47,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// The journal's file name inside a state directory.
 pub const JOURNAL_FILE: &str = "journal.pcj";
@@ -239,10 +240,13 @@ impl<'n> PersistentIngestor<'n> {
         let (snapshot, skipped) = SnapshotReader::load_latest(&dir)?;
         let (journal, records, jreport) = Journal::open(dir.join(JOURNAL_FILE))?;
         if jreport.truncated_bytes > 0 {
-            eprintln!(
-                "pathcost persistence: truncated {} bytes of torn journal tail in {}",
-                jreport.truncated_bytes,
-                dir.display()
+            obslog::warn(
+                "persist",
+                "journal_tail_truncated",
+                &[
+                    ("bytes", jreport.truncated_bytes.into()),
+                    ("dir", dir.display().to_string().into()),
+                ],
             );
         }
         let fingerprint = codec::encode_config(&config, retention.max_age);
@@ -269,9 +273,13 @@ impl<'n> PersistentIngestor<'n> {
                     // The snapshot decoded (CRCs passed) but does not match
                     // this process's config/format: the whole lineage is
                     // unusable, not just this generation.
-                    eprintln!(
-                        "pathcost persistence: discarding state in {}: {e}",
-                        dir.display()
+                    obslog::warn(
+                        "persist",
+                        "lineage_discarded",
+                        &[
+                            ("dir", dir.display().to_string().into()),
+                            ("error", e.to_string().into()),
+                        ],
                     );
                     report.outcome = RecoveryOutcome::Discarded;
                 }
@@ -281,10 +289,13 @@ impl<'n> PersistentIngestor<'n> {
             // bridge from nothing — but only if it was never rotated (its
             // first record is epoch 1).
             if records.first().is_some_and(|r| r.epoch == 1) {
-                eprintln!(
-                    "pathcost persistence: every snapshot generation corrupt in {}; \
-                     replaying full journal onto the bootstrap store",
-                    dir.display()
+                obslog::warn(
+                    "persist",
+                    "full_journal_replay",
+                    &[
+                        ("dir", dir.display().to_string().into()),
+                        ("corrupt_generations", (skipped as u64).into()),
+                    ],
                 );
                 report.outcome = RecoveryOutcome::Warm;
                 recovered = Some(
@@ -292,10 +303,17 @@ impl<'n> PersistentIngestor<'n> {
                         .with_retention(retention)?,
                 );
             } else {
-                eprintln!(
-                    "pathcost persistence: every snapshot generation corrupt in {} and \
-                     the journal was rotated past epoch 1; discarding state",
-                    dir.display()
+                obslog::warn(
+                    "persist",
+                    "lineage_discarded",
+                    &[
+                        ("dir", dir.display().to_string().into()),
+                        (
+                            "error",
+                            "every generation corrupt and the journal was rotated past epoch 1"
+                                .into(),
+                        ),
+                    ],
                 );
                 report.outcome = RecoveryOutcome::Discarded;
             }
@@ -312,9 +330,10 @@ impl<'n> PersistentIngestor<'n> {
                 report.outcome = RecoveryOutcome::Discarded;
             }
         } else {
-            eprintln!(
-                "pathcost persistence: no prior state in {}; booting from scratch",
-                dir.display()
+            obslog::info(
+                "persist",
+                "cold_boot",
+                &[("dir", dir.display().to_string().into())],
             );
         }
 
@@ -338,11 +357,13 @@ impl<'n> PersistentIngestor<'n> {
                     continue;
                 }
                 if record.epoch != inner.epoch() + 1 {
-                    eprintln!(
-                        "pathcost persistence: journal gap at epoch {} (have {}); \
-                         stopping replay",
-                        record.epoch,
-                        inner.epoch()
+                    obslog::warn(
+                        "persist",
+                        "journal_gap",
+                        &[
+                            ("record_epoch", record.epoch.into()),
+                            ("have_epoch", inner.epoch().into()),
+                        ],
                     );
                     break;
                 }
@@ -433,9 +454,10 @@ impl<'n> PersistentIngestor<'n> {
         match self.snapshot_now() {
             Ok(_) => {
                 self.status.set_suspended(false);
-                eprintln!(
-                    "pathcost persistence: resumed after suspension (snapshot at epoch {})",
-                    self.inner.epoch()
+                obslog::info(
+                    "persist",
+                    "resumed",
+                    &[("snapshot_epoch", self.inner.epoch().into())],
                 );
                 Ok(())
             }
@@ -444,7 +466,8 @@ impl<'n> PersistentIngestor<'n> {
     }
 
     /// Appends with bounded retry on transient IO errors (attempt `k` backs
-    /// off `k × io_backoff`). Non-IO errors are never retried.
+    /// off `k × io_backoff`). Non-IO errors are never retried. Synced
+    /// appends feed the fsync-latency histogram on [`PersistenceStatus`].
     fn append_with_retry(
         &mut self,
         record: &JournalRecord,
@@ -452,17 +475,28 @@ impl<'n> PersistentIngestor<'n> {
     ) -> Result<(), PersistError> {
         let mut attempt: u32 = 0;
         loop {
+            let started = Instant::now();
             match self.journal.append(record, sync) {
                 Err(PersistError::Io(e)) if attempt < self.config.io_retries => {
                     attempt += 1;
                     self.status.record_io_retry();
-                    eprintln!(
-                        "pathcost persistence: journal append failed (attempt {attempt}/{}): {e}",
-                        self.config.io_retries
+                    obslog::warn(
+                        "persist",
+                        "journal_append_retry",
+                        &[
+                            ("attempt", u64::from(attempt).into()),
+                            ("max_attempts", u64::from(self.config.io_retries).into()),
+                            ("error", e.to_string().into()),
+                        ],
                     );
                     std::thread::sleep(self.config.io_backoff * attempt);
                 }
-                other => return other,
+                other => {
+                    if sync && other.is_ok() {
+                        self.status.record_fsync(started.elapsed());
+                    }
+                    return other;
+                }
             }
         }
     }
@@ -481,7 +515,9 @@ impl<'n> PersistentIngestor<'n> {
             if let Some(n) = group {
                 self.unsynced_epochs += 1;
                 if self.unsynced_epochs >= n {
+                    let started = Instant::now();
                     self.journal.sync()?;
+                    self.status.record_fsync(started.elapsed());
                     self.unsynced_epochs = 0;
                 }
             }
@@ -492,9 +528,11 @@ impl<'n> PersistentIngestor<'n> {
             Err(PersistError::Io(e)) => {
                 // Retries exhausted. Second rung: a snapshot uses a separate
                 // IO path and makes this epoch durable without the journal.
-                eprintln!(
-                    "pathcost persistence: journalling epoch {epoch} failed after retries ({e}); \
-                     attempting snapshot fallback"
+                self.status.record_snapshot_fallback();
+                obslog::error(
+                    "persist",
+                    "journal_failed_snapshot_fallback",
+                    &[("epoch", epoch.into()), ("error", e.to_string().into())],
                 );
                 match self.snapshot_now() {
                     Ok(_) => return Ok(()),
@@ -502,9 +540,13 @@ impl<'n> PersistentIngestor<'n> {
                         // Last rung: serving-only degraded mode. The epoch
                         // stays published in memory; durability resumes when
                         // a later call's resume snapshot succeeds.
-                        eprintln!(
-                            "pathcost persistence: snapshot fallback failed ({fallback}); \
-                             suspending persistence (serving continues)"
+                        obslog::error(
+                            "persist",
+                            "suspended",
+                            &[
+                                ("epoch", epoch.into()),
+                                ("error", fallback.to_string().into()),
+                            ],
                         );
                         self.status.set_suspended(true);
                         return Ok(());
@@ -520,7 +562,11 @@ impl<'n> PersistentIngestor<'n> {
             if let Err(e) = self.snapshot_now() {
                 // The epoch itself is journalled, so durability is intact;
                 // the snapshot will be retried at the next published epoch.
-                eprintln!("pathcost persistence: due snapshot failed ({e}); retrying next epoch");
+                obslog::warn(
+                    "persist",
+                    "due_snapshot_failed",
+                    &[("error", e.to_string().into())],
+                );
             }
         }
         Ok(())
@@ -546,6 +592,7 @@ impl<'n> PersistentIngestor<'n> {
     /// process) reflects live rows only — retirement-freed capacity is not
     /// carried across restarts.
     pub fn snapshot_now(&mut self) -> Result<u64, PersistenceError> {
+        let started = Instant::now();
         self.inner.compact_store();
         let epoch = self.inner.epoch();
         let weights = self.inner.weights();
@@ -580,8 +627,14 @@ impl<'n> PersistentIngestor<'n> {
         // group-fsync window is closed too.
         self.unsynced_epochs = 0;
         self.status.record_snapshot(epoch, unix_ms());
+        self.status.record_snapshot_duration(started.elapsed());
         self.status
             .record_journal(self.journal.records(), self.journal.bytes());
+        obslog::info(
+            "persist",
+            "snapshot_published",
+            &[("epoch", epoch.into()), ("bytes", bytes.into())],
+        );
         Ok(bytes)
     }
 

@@ -1,0 +1,38 @@
+//! # pathcost-obs
+//!
+//! Dependency-free observability substrate for the pathcost serving stack:
+//!
+//! * [`metrics`] — lock-cheap typed instruments ([`Counter`], [`Gauge`],
+//!   [`Histogram`]) and a process-wide [`Registry`] that hands out
+//!   label-addressed handles and renders everything it owns,
+//! * [`expo`] — a hand-rolled Prometheus text-exposition writer
+//!   ([`ExpositionWriter`]) plus a strict [`validate`](expo::validate)
+//!   conformance checker used by tests and the chaos harness,
+//! * [`trace`] — per-request trace ids, per-stage spans ([`Stage`],
+//!   [`ActiveTrace`]) accumulated across threads, finished-trace snapshots
+//!   and a fixed-size [`TraceRing`] backing `GET /debug/traces`,
+//! * [`log`] — a minimal leveled structured event log (JSON lines to
+//!   stderr, `PATHCOST_LOG`-configurable, swappable sink for tests) that
+//!   replaces ad-hoc `eprintln!` across the serving crates.
+//!
+//! The crate deliberately has **no dependencies** (matching the repo's
+//! no-external-deps stance) and no knowledge of the domain crates: the
+//! server derives most of its `/metrics` series at scrape time from the
+//! existing single-source-of-truth snapshots (`ServiceStats`,
+//! `PersistenceStatus`, admission-queue gauges) so that `/stats` and
+//! `/metrics` can never disagree, and uses [`Registry`] handles only for
+//! telemetry that has no prior home (status-class counters, per-stage
+//! histograms, the connection gauge).
+//!
+//! See `OBSERVABILITY.md` at the repository root for the full metric
+//! inventory, the trace/span model, the log schema, and a scrape example.
+
+pub mod expo;
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+pub use expo::{ExpositionWriter, MetricKind};
+pub use log::{Level, Logger, Value};
+pub use metrics::{exponential_buckets, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use trace::{next_trace_id, ActiveTrace, FinishedTrace, Stage, TraceRing, STAGE_COUNT};

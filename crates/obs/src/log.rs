@@ -1,0 +1,341 @@
+//! Minimal leveled structured event log: one JSON object per line.
+//!
+//! Events go to stderr by default (a test can swap the sink with
+//! [`Logger::set_writer`]); the level comes from the `PATHCOST_LOG`
+//! environment variable (`debug`/`info`/`warn`/`error`/`off`, default
+//! `info`) and can be overridden programmatically (e.g. from
+//! `ServerConfig`). The line schema is fixed:
+//!
+//! ```json
+//! {"ts_ms":1720000000000,"level":"warn","component":"persist","event":"journal_append_retry","attempt":1,"error":"..."}
+//! ```
+//!
+//! `ts_ms`/`level`/`component`/`event` always come first; the remaining
+//! keys are the event's fields in call order. This replaces the ad-hoc
+//! `eprintln!` calls that used to live in the persistence ladder, recovery,
+//! and the server accept loop.
+
+use std::fmt::Write as _;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered. `Off` disables everything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Off = 4,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+            Level::Off => "off",
+        }
+    }
+
+    /// Parses a level name (case-insensitive); `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            "off" | "none" => Some(Level::Off),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Level::Debug,
+            1 => Level::Info,
+            2 => Level::Warn,
+            3 => Level::Error,
+            _ => Level::Off,
+        }
+    }
+}
+
+/// A typed field value; structured so numbers stay numbers in the JSON.
+#[derive(Clone, Debug)]
+pub enum Value {
+    Str(String),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+enum Sink {
+    Stderr,
+    Custom(Box<dyn Write + Send>),
+}
+
+/// The process-wide structured logger; obtain it via [`logger`].
+pub struct Logger {
+    level: AtomicU8,
+    sink: Mutex<Sink>,
+}
+
+impl Logger {
+    fn from_env() -> Self {
+        let level = std::env::var("PATHCOST_LOG")
+            .ok()
+            .and_then(|v| Level::parse(&v))
+            .unwrap_or(Level::Info);
+        Self {
+            level: AtomicU8::new(level as u8),
+            sink: Mutex::new(Sink::Stderr),
+        }
+    }
+
+    pub fn level(&self) -> Level {
+        Level::from_u8(self.level.load(Ordering::Relaxed))
+    }
+
+    pub fn set_level(&self, level: Level) {
+        self.level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// Redirects events to `writer` (tests capture output this way);
+    /// `None` restores stderr.
+    pub fn set_writer(&self, writer: Option<Box<dyn Write + Send>>) {
+        let mut sink = self.sink.lock().expect("log sink poisoned");
+        *sink = match writer {
+            Some(w) => Sink::Custom(w),
+            None => Sink::Stderr,
+        };
+    }
+
+    /// Emits one event if `level` passes the filter.
+    pub fn log(&self, level: Level, component: &str, event: &str, fields: &[(&str, Value)]) {
+        if level < self.level() || level == Level::Off {
+            return;
+        }
+        let mut line = String::with_capacity(96);
+        let _ = write!(
+            line,
+            "{{\"ts_ms\":{},\"level\":\"{}\",\"component\":\"{}\",\"event\":\"{}\"",
+            unix_ms(),
+            level.as_str(),
+            escape_json(component),
+            escape_json(event)
+        );
+        for (key, value) in fields {
+            let _ = write!(line, ",\"{}\":", escape_json(key));
+            match value {
+                Value::Str(s) => {
+                    let _ = write!(line, "\"{}\"", escape_json(s));
+                }
+                Value::U64(v) => {
+                    let _ = write!(line, "{v}");
+                }
+                Value::I64(v) => {
+                    let _ = write!(line, "{v}");
+                }
+                Value::F64(v) => {
+                    if v.is_finite() {
+                        let _ = write!(line, "{v}");
+                    } else {
+                        let _ = write!(line, "null");
+                    }
+                }
+                Value::Bool(v) => {
+                    let _ = write!(line, "{v}");
+                }
+            }
+        }
+        line.push('}');
+        line.push('\n');
+        let mut sink = self.sink.lock().expect("log sink poisoned");
+        let _ = match &mut *sink {
+            Sink::Stderr => std::io::stderr().write_all(line.as_bytes()),
+            Sink::Custom(w) => w.write_all(line.as_bytes()).and_then(|()| w.flush()),
+        };
+    }
+}
+
+/// The process-wide logger (level initialized from `PATHCOST_LOG` on first
+/// use).
+pub fn logger() -> &'static Logger {
+    static LOGGER: OnceLock<Logger> = OnceLock::new();
+    LOGGER.get_or_init(Logger::from_env)
+}
+
+/// Emits a `debug` event on the global logger.
+pub fn debug(component: &str, event: &str, fields: &[(&str, Value)]) {
+    logger().log(Level::Debug, component, event, fields);
+}
+
+/// Emits an `info` event on the global logger.
+pub fn info(component: &str, event: &str, fields: &[(&str, Value)]) {
+    logger().log(Level::Info, component, event, fields);
+}
+
+/// Emits a `warn` event on the global logger.
+pub fn warn(component: &str, event: &str, fields: &[(&str, Value)]) {
+    logger().log(Level::Warn, component, event, fields);
+}
+
+/// Emits an `error` event on the global logger.
+pub fn error(component: &str, event: &str, fields: &[(&str, Value)]) {
+    logger().log(Level::Error, component, event, fields);
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A `Write` that appends into a shared buffer the test can inspect.
+    #[derive(Clone)]
+    struct Capture(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Error < Level::Off);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("bogus"), None);
+        assert_eq!(Level::Info.as_str(), "info");
+    }
+
+    #[test]
+    fn events_are_json_lines_and_level_filtered() {
+        // Private logger instance so the test does not race the global one.
+        let log = Logger {
+            level: AtomicU8::new(Level::Info as u8),
+            sink: Mutex::new(Sink::Stderr),
+        };
+        let buf = Arc::new(StdMutex::new(Vec::new()));
+        log.set_writer(Some(Box::new(Capture(buf.clone()))));
+
+        log.log(Level::Debug, "test", "dropped", &[]);
+        log.log(
+            Level::Warn,
+            "persist",
+            "journal_append_retry",
+            &[
+                ("attempt", Value::from(2u64)),
+                ("error", Value::from("disk \"full\"\n")),
+                ("suspended", Value::from(false)),
+                ("lag_s", Value::from(0.5f64)),
+            ],
+        );
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "debug event must be filtered: {text:?}");
+        let line = lines[0];
+        assert!(line.starts_with("{\"ts_ms\":"));
+        assert!(line.contains("\"level\":\"warn\""));
+        assert!(line.contains("\"component\":\"persist\""));
+        assert!(line.contains("\"event\":\"journal_append_retry\""));
+        assert!(line.contains("\"attempt\":2"));
+        assert!(line.contains("\"error\":\"disk \\\"full\\\"\\n\""));
+        assert!(line.contains("\"suspended\":false"));
+        assert!(line.contains("\"lag_s\":0.5"));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn set_level_changes_filter() {
+        let log = Logger {
+            level: AtomicU8::new(Level::Error as u8),
+            sink: Mutex::new(Sink::Stderr),
+        };
+        let buf = Arc::new(StdMutex::new(Vec::new()));
+        log.set_writer(Some(Box::new(Capture(buf.clone()))));
+        log.log(Level::Warn, "t", "dropped", &[]);
+        log.set_level(Level::Debug);
+        log.log(Level::Debug, "t", "kept", &[]);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(!text.contains("dropped"));
+        assert!(text.contains("kept"));
+    }
+}

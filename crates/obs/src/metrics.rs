@@ -1,0 +1,409 @@
+//! Typed metric instruments and a registry that owns them.
+//!
+//! Instruments are cheap `Arc` handles around relaxed atomics: cloning one
+//! out of the [`Registry`] once (at wiring time) makes the hot path a single
+//! `fetch_add` with no lock and no name lookup. Histograms use caller-chosen
+//! fixed bucket bounds — the generalization of the service layer's
+//! power-of-two `LatencySnapshot` to arbitrary units — and accumulate an
+//! exact `f64` sum via a compare-and-swap loop on the bit pattern.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::expo::{ExpositionWriter, MetricKind};
+
+/// Monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    inner: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.inner.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed value (queue depths, open connections).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    inner: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.inner.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.inner.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, n: i64) {
+        self.inner.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Ascending upper bucket bounds; an implicit `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts; `bounds.len() + 1`
+    /// entries, the last being the `+Inf` overflow bucket.
+    counts: Vec<AtomicU64>,
+    /// Exact sum of observed values, stored as `f64` bits.
+    sum_bits: AtomicU64,
+}
+
+/// Fixed-bucket histogram with an exact sum.
+///
+/// Usable standalone (e.g. embedded in `PersistenceStatus` for fsync
+/// latency) or registered in a [`Registry`]; `observe` is two relaxed
+/// atomic ops plus a short linear scan over the bounds.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// Builds a histogram over the given ascending upper bounds. A trailing
+    /// `+Inf` bucket is always added implicitly; passing it is an error.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (+Inf is implicit)"
+        );
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                counts,
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .inner
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.inner.bounds.len());
+        self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.inner.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Records a duration in seconds (the Prometheus base unit).
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Consistent-enough point-in-time copy (relaxed reads; buckets may lag
+    /// each other by in-flight observations, which monitoring tolerates).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut cumulative = Vec::with_capacity(self.inner.counts.len());
+        let mut running = 0u64;
+        for c in &self.inner.counts {
+            running += c.load(Ordering::Relaxed);
+            cumulative.push(running);
+        }
+        HistogramSnapshot {
+            bounds: self.inner.bounds.clone(),
+            cumulative,
+            sum: f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time histogram state, in the cumulative form the exposition
+/// format wants (`cumulative[i]` = observations ≤ `bounds[i]`; the final
+/// entry is the `+Inf` total).
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<f64>,
+    pub cumulative: Vec<u64>,
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.cumulative.last().copied().unwrap_or(0)
+    }
+}
+
+/// Exponentially spaced bucket bounds: `start, start*factor, …` (`count`
+/// bounds). The conventional helper for latency histograms.
+pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0 && factor > 1.0 && count > 0);
+    let mut bounds = Vec::with_capacity(count);
+    let mut b = start;
+    for _ in 0..count {
+        bounds.push(b);
+        b *= factor;
+    }
+    bounds
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Instrument::Counter(_) => MetricKind::Counter,
+            Instrument::Gauge(_) => MetricKind::Gauge,
+            Instrument::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+struct Series {
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    series: Vec<Series>,
+}
+
+/// Owns metric families and hands out instrument handles.
+///
+/// `counter`/`gauge`/`histogram` are get-or-create: the same
+/// `(name, labels)` pair always returns a handle to the same underlying
+/// instrument, so wiring code can be called idempotently. Registration takes
+/// a lock; the returned handles do not. Registering the same family name
+/// with a different kind panics — that is a programming error, not an
+/// operational condition.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_create(name, help, labels, || Instrument::Counter(Counter::new())) {
+            Instrument::Counter(c) => c,
+            _ => panic!("metric family {name} already registered with a different kind"),
+        }
+    }
+
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_create(name, help, labels, || Instrument::Gauge(Gauge::new())) {
+            Instrument::Gauge(g) => g,
+            _ => panic!("metric family {name} already registered with a different kind"),
+        }
+    }
+
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        match self.get_or_create(name, help, labels, || {
+            Instrument::Histogram(Histogram::new(bounds))
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => panic!("metric family {name} already registered with a different kind"),
+        }
+    }
+
+    fn get_or_create(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        let owned: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut families = self.families.lock().expect("metrics registry poisoned");
+        if let Some(family) = families.iter_mut().find(|f| f.name == name) {
+            if let Some(series) = family.series.iter().find(|s| s.labels == owned) {
+                assert_eq!(
+                    series.instrument.kind(),
+                    family.kind,
+                    "metric family {name} kind mismatch"
+                );
+                return clone_instrument(&series.instrument);
+            }
+            let instrument = make();
+            assert_eq!(
+                instrument.kind(),
+                family.kind,
+                "metric family {name} already registered with a different kind"
+            );
+            let handle = clone_instrument(&instrument);
+            family.series.push(Series {
+                labels: owned,
+                instrument,
+            });
+            return handle;
+        }
+        let instrument = make();
+        let handle = clone_instrument(&instrument);
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: instrument.kind(),
+            series: vec![Series {
+                labels: owned,
+                instrument,
+            }],
+        });
+        handle
+    }
+
+    /// Renders every registered family into the writer, one contiguous
+    /// `# HELP`/`# TYPE`/samples block per family, in registration order.
+    pub fn render_into(&self, w: &mut ExpositionWriter) {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        for family in families.iter() {
+            w.family(&family.name, family.kind, &family.help);
+            for series in &family.series {
+                let labels: Vec<(&str, &str)> = series
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                match &series.instrument {
+                    Instrument::Counter(c) => w.sample(&family.name, &labels, c.get() as f64),
+                    Instrument::Gauge(g) => w.sample(&family.name, &labels, g.get() as f64),
+                    Instrument::Histogram(h) => w.histogram(&family.name, &labels, &h.snapshot()),
+                }
+            }
+        }
+    }
+}
+
+fn clone_instrument(i: &Instrument) -> Instrument {
+    match i {
+        Instrument::Counter(c) => Instrument::Counter(c.clone()),
+        Instrument::Gauge(g) => Instrument::Gauge(g.clone()),
+        Instrument::Histogram(h) => Instrument::Histogram(h.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expo;
+
+    #[test]
+    fn counter_and_gauge_share_handles_by_identity() {
+        let reg = Registry::new();
+        let a = reg.counter("requests_total", "Requests.", &[("class", "2xx")]);
+        let b = reg.counter("requests_total", "Requests.", &[("class", "2xx")]);
+        let other = reg.counter("requests_total", "Requests.", &[("class", "5xx")]);
+        a.add(2);
+        b.inc();
+        other.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(other.get(), 1);
+
+        let g = reg.gauge("depth", "Depth.", &[]);
+        g.set(7);
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_sum_exact() {
+        let h = Histogram::new(&[0.001, 0.01, 0.1]);
+        h.observe(0.0005);
+        h.observe(0.005);
+        h.observe(0.05);
+        h.observe(5.0); // overflow bucket
+        h.observe(0.01); // exactly on a bound: le is inclusive
+        let s = h.snapshot();
+        assert_eq!(s.cumulative, vec![1, 3, 4, 5]);
+        assert_eq!(s.count(), 5);
+        assert!((s.sum - 5.0655).abs() < 1e-12, "sum = {}", s.sum);
+    }
+
+    #[test]
+    fn exponential_buckets_grow_by_factor() {
+        let b = exponential_buckets(0.001, 4.0, 4);
+        assert_eq!(b, vec![0.001, 0.004, 0.016, 0.064]);
+    }
+
+    #[test]
+    fn render_produces_valid_exposition() {
+        let reg = Registry::new();
+        reg.counter(
+            "pathcost_requests_total",
+            "Total requests.",
+            &[("class", "2xx")],
+        )
+        .add(4);
+        reg.gauge("pathcost_open_connections", "Open connections.", &[])
+            .set(2);
+        let h = reg.histogram(
+            "pathcost_stage_seconds",
+            "Stage latency.",
+            &[("stage", "eval")],
+            &[0.001, 0.01],
+        );
+        h.observe(0.002);
+        let mut w = ExpositionWriter::new();
+        reg.render_into(&mut w);
+        let text = w.finish();
+        expo::validate(&text).expect("registry output must be conformant");
+        assert!(text.contains("pathcost_requests_total{class=\"2xx\"} 4"));
+        assert!(text.contains("pathcost_stage_seconds_bucket{stage=\"eval\",le=\"+Inf\"} 1"));
+    }
+}

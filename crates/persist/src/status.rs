@@ -6,7 +6,9 @@
 //! sets a request flag that the ingest-owning thread polls. Everything is
 //! plain atomics so readers never contend with the ingest path.
 
+use pathcost_obs::{exponential_buckets, Histogram, HistogramSnapshot};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::time::Duration;
 
 /// How the last process start obtained its state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +59,7 @@ impl RecoveryOutcome {
 /// All stores use relaxed ordering: every field is an independent gauge or
 /// counter read for monitoring, and no reader derives invariants across
 /// fields.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PersistenceStatus {
     recovery_outcome: AtomicU8,
     /// Epoch of the snapshot the process recovered from (0 = none).
@@ -85,6 +87,36 @@ pub struct PersistenceStatus {
     suspensions: AtomicU64,
     /// Transient IO errors retried (successfully or not) by the ingest path.
     io_retries: AtomicU64,
+    /// Journal failures that escalated to the snapshot-fallback rung of the
+    /// IO-fault ladder (retries exhausted, snapshot attempted instead).
+    snapshot_fallbacks: AtomicU64,
+    /// Journal fsync latency (seconds, 16 µs … ~4 s exponential buckets).
+    fsync_seconds: Histogram,
+    /// End-to-end snapshot publish duration (seconds).
+    snapshot_seconds: Histogram,
+}
+
+impl Default for PersistenceStatus {
+    fn default() -> Self {
+        Self {
+            recovery_outcome: AtomicU8::new(0),
+            recovered_snapshot_epoch: AtomicU64::new(0),
+            replayed_records: AtomicU64::new(0),
+            corrupt_generations_skipped: AtomicU64::new(0),
+            snapshot_epoch: AtomicU64::new(0),
+            snapshot_unix_ms: AtomicU64::new(0),
+            snapshots_written: AtomicU64::new(0),
+            journal_records: AtomicU64::new(0),
+            journal_bytes: AtomicU64::new(0),
+            snapshot_requested: AtomicBool::new(false),
+            suspended: AtomicBool::new(false),
+            suspensions: AtomicU64::new(0),
+            io_retries: AtomicU64::new(0),
+            snapshot_fallbacks: AtomicU64::new(0),
+            fsync_seconds: Histogram::new(&exponential_buckets(16e-6, 4.0, 10)),
+            snapshot_seconds: Histogram::new(&exponential_buckets(256e-6, 4.0, 8)),
+        }
+    }
 }
 
 impl PersistenceStatus {
@@ -158,6 +190,36 @@ impl PersistenceStatus {
     /// Transient IO errors retried by the ingest path.
     pub fn io_retries(&self) -> u64 {
         self.io_retries.load(Ordering::Relaxed)
+    }
+
+    /// Counts one snapshot attempt that fell back down the IO-fault ladder.
+    pub fn record_snapshot_fallback(&self) {
+        self.snapshot_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot attempts that could not be published and fell back.
+    pub fn snapshot_fallbacks(&self) -> u64 {
+        self.snapshot_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Records the duration of one journal fsync (or fsync-equivalent flush).
+    pub fn record_fsync(&self, took: Duration) {
+        self.fsync_seconds.observe_duration(took);
+    }
+
+    /// Distribution of journal fsync latencies, for `/metrics`.
+    pub fn fsync_latency(&self) -> HistogramSnapshot {
+        self.fsync_seconds.snapshot()
+    }
+
+    /// Records the end-to-end duration of one snapshot publish.
+    pub fn record_snapshot_duration(&self, took: Duration) {
+        self.snapshot_seconds.observe_duration(took);
+    }
+
+    /// Distribution of snapshot publish durations, for `/metrics`.
+    pub fn snapshot_duration(&self) -> HistogramSnapshot {
+        self.snapshot_seconds.snapshot()
     }
 
     pub fn recovery_outcome(&self) -> RecoveryOutcome {
@@ -256,5 +318,18 @@ mod tests {
         s.record_journal(12, 3_456);
         assert_eq!(s.journal_records(), 12);
         assert_eq!(s.journal_bytes(), 3_456);
+    }
+
+    #[test]
+    fn durability_latency_histograms_accumulate() {
+        let s = PersistenceStatus::new();
+        s.record_fsync(Duration::from_micros(120));
+        s.record_fsync(Duration::from_millis(3));
+        s.record_snapshot_duration(Duration::from_millis(8));
+        s.record_snapshot_fallback();
+        assert_eq!(s.fsync_latency().count(), 2);
+        assert_eq!(s.snapshot_duration().count(), 1);
+        assert_eq!(s.snapshot_fallbacks(), 1);
+        assert!(s.fsync_latency().sum > 0.003);
     }
 }

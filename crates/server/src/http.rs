@@ -9,6 +9,7 @@
 //! panic (`tests/http_robustness.rs` drives those paths over real sockets).
 
 use std::io::{self, BufRead, Write};
+use std::time::Instant;
 
 /// Hard caps on what one request may consume.
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +50,15 @@ pub struct Request {
     /// milliseconds the client is willing to wait, counted from parse time.
     /// `None` when absent (the server's default applies).
     pub deadline_ms: Option<u64>,
+    /// Client-supplied trace id from the `x-trace-id` header, sanitized to
+    /// printable ASCII ≤ 64 bytes (anything else is treated as absent so an
+    /// hostile value cannot inject response headers). The server echoes it
+    /// and keys the request's spans by it; absent ids are minted.
+    pub trace_id: Option<String>,
+    /// When the first byte of this request arrived on the socket — the start
+    /// of the parse span. Unlike "when `read_request` was called", this
+    /// excludes however long the connection sat idle in keep-alive.
+    pub received: Option<Instant>,
 }
 
 /// Why reading a request failed. [`Self::status`] maps the parse failures
@@ -107,6 +117,7 @@ fn read_line<R: BufRead>(
     max: usize,
     started: bool,
     over_limit: HttpError,
+    first_byte: &mut Option<Instant>,
 ) -> Result<String, HttpError> {
     let mut line = Vec::new();
     loop {
@@ -120,6 +131,9 @@ fn read_line<R: BufRead>(
                 });
             }
             Ok(_) => {
+                if first_byte.is_none() {
+                    *first_byte = Some(Instant::now());
+                }
                 if byte[0] == b'\n' {
                     if line.last() == Some(&b'\r') {
                         line.pop();
@@ -153,11 +167,13 @@ pub fn read_request<R: BufRead, W: Write>(
     writer: &mut W,
     limits: &Limits,
 ) -> Result<Request, HttpError> {
+    let mut received: Option<Instant> = None;
     let request_line = read_line(
         reader,
         limits.max_request_line,
         false,
         HttpError::UriTooLong,
+        &mut received,
     )?;
 
     let mut parts = request_line.split(' ');
@@ -187,6 +203,7 @@ pub fn read_request<R: BufRead, W: Write>(
     let mut keep_alive = http11;
     let mut expect_continue = false;
     let mut deadline_ms: Option<u64> = None;
+    let mut trace_id: Option<String> = None;
     let mut headers = 0usize;
     loop {
         let line = read_line(
@@ -194,6 +211,7 @@ pub fn read_request<R: BufRead, W: Write>(
             limits.max_header_line,
             true,
             HttpError::HeadersTooLarge,
+            &mut received,
         )?;
         if line.is_empty() {
             break;
@@ -244,6 +262,15 @@ pub fn read_request<R: BufRead, W: Write>(
                         .map_err(|_| HttpError::BadRequest("unparseable x-deadline-ms"))?,
                 );
             }
+            // Echoed into a response header, so only printable ASCII of
+            // sane length is honoured; anything else gets a minted id.
+            "x-trace-id"
+                if !value.is_empty()
+                    && value.len() <= 64
+                    && value.bytes().all(|b| b.is_ascii_graphic()) =>
+            {
+                trace_id = Some(value.to_string());
+            }
             _ => {}
         }
     }
@@ -278,6 +305,8 @@ pub fn read_request<R: BufRead, W: Write>(
         body,
         keep_alive,
         deadline_ms,
+        trace_id,
+        received,
     })
 }
 
@@ -303,13 +332,35 @@ pub fn write_response_with<W: Write>(
     keep_alive: bool,
     extra_headers: &[(&str, String)],
 ) -> io::Result<()> {
+    write_response_full(
+        writer,
+        status,
+        reason,
+        "application/json",
+        body,
+        keep_alive,
+        extra_headers,
+    )
+}
+
+/// [`write_response_with`] with an explicit content type — the `/metrics`
+/// exposition is `text/plain`, everything else JSON.
+pub fn write_response_full<W: Write>(
+    writer: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     // One write_all, not write!(...) straight to the socket: the format
     // machinery issues a separate small write per fragment, and on an
     // unbuffered TcpStream that interacts with Nagle + delayed ACK to add
     // ~40ms per response.
     let mut response = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         body.len(),
     );
     for (name, value) in extra_headers {

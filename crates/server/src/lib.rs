@@ -19,8 +19,16 @@
 //! |---|---|---|
 //! | `/query` | POST | one request object (see [`wire`]) |
 //! | `/query/batch` | POST | `{"requests": [...]}` |
-//! | `/stats` | GET | engine + latency counters |
-//! | `/healthz` | GET | `{"status":"ok","epoch":N}` |
+//! | `/stats` | GET | engine + latency counters (JSON) |
+//! | `/metrics` | GET | Prometheus text exposition, every layer |
+//! | `/debug/traces` | GET | recent request traces with per-stage spans |
+//! | `/healthz` | GET | `{"status":"ok","epoch":N,"version":...,"uptime_s":...}` |
+//!
+//! Every response echoes an `x-trace-id` header — the client's own id if it
+//! sent a sane one, a minted id otherwise — correlating responses with
+//! `/debug/traces` entries and slow-query log events. The metric inventory,
+//! span model and event-log schema live in `OBSERVABILITY.md` at the
+//! repository root.
 //!
 //! Backpressure is load-shedding: a full admission queue or a connection
 //! over [`ServerConfig::max_connections`] answers `503` immediately rather
@@ -71,6 +79,7 @@
 pub mod error;
 pub mod http;
 pub mod json;
+mod metrics;
 pub mod server;
 pub mod wire;
 

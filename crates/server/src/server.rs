@@ -18,17 +18,18 @@
 
 use crate::http::{self, HttpError, Limits};
 use crate::json;
+use crate::metrics::{self, ScrapeView, ServerObs};
 use crate::wire;
 use crate::ServerError;
+use pathcost_obs::log as obslog;
+use pathcost_obs::{next_trace_id, ActiveTrace, FinishedTrace, Level, Stage};
 use pathcost_persist::PersistenceStatus;
-use pathcost_service::{
-    AdmissionConfig, AdmissionQueue, QueryEngine, RequestContext, ServiceError,
-};
+use pathcost_service::{AdmissionConfig, AdmissionQueue, QueryEngine, RequestContext};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -58,6 +59,15 @@ pub struct ServerConfig {
     /// journal length and the last recovery outcome, and `POST
     /// /admin/snapshot` flags a snapshot request for the ingest thread.
     pub persistence: Option<Arc<PersistenceStatus>>,
+    /// Requests slower than this end-to-end are counted in
+    /// `pathcost_slow_queries_total` and logged as a `slow_query` event with
+    /// their per-stage span breakdown. `None` disables slow-query logging.
+    pub slow_query_threshold: Option<Duration>,
+    /// How many finished request traces `GET /debug/traces` retains.
+    pub trace_ring_capacity: usize,
+    /// Overrides the structured event log's level for the process when set
+    /// (otherwise the `PATHCOST_LOG` environment variable / `info` applies).
+    pub log_level: Option<Level>,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +81,9 @@ impl Default for ServerConfig {
             default_deadline: None,
             limits: Limits::default(),
             persistence: None,
+            slow_query_threshold: Some(Duration::from_millis(500)),
+            trace_ring_capacity: 128,
+            log_level: None,
         }
     }
 }
@@ -130,7 +143,24 @@ impl Server {
     /// Serves until [`ShutdownHandle::shutdown`] is called, then drains
     /// in-flight requests and returns. Blocks the calling thread.
     pub fn run(self, engine: &QueryEngine<'_>) {
+        if let Some(level) = self.config.log_level {
+            obslog::logger().set_level(level);
+        }
+        let addr = self
+            .listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default();
+        obslog::info(
+            "server",
+            "started",
+            &[
+                ("addr", addr.as_str().into()),
+                ("max_connections", self.config.max_connections.into()),
+            ],
+        );
         let queue = AdmissionQueue::new(self.config.admission);
+        let obs = ServerObs::new(&self.config);
         let active = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             let dispatcher = scope.spawn(|| queue.dispatch(engine));
@@ -138,20 +168,30 @@ impl Server {
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
                         if active.load(Ordering::Acquire) >= self.config.max_connections {
+                            obs.connections_rejected.inc();
+                            obslog::warn(
+                                "server",
+                                "connection_rejected",
+                                &[("max_connections", self.config.max_connections.into())],
+                            );
                             reject_over_capacity(stream);
                             continue;
                         }
                         active.fetch_add(1, Ordering::AcqRel);
+                        obs.connections.add(1);
                         let conn = Connection {
                             engine,
                             queue: &queue,
                             config: &self.config,
                             shutdown: &self.shutdown,
+                            obs: &obs,
                         };
                         let active = &active;
+                        let connections = &obs.connections;
                         scope.spawn(move || {
                             conn.serve(stream);
                             active.fetch_sub(1, Ordering::AcqRel);
+                            connections.sub(1);
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -164,9 +204,11 @@ impl Server {
             // Stop admitting; the dispatcher drains what was admitted and
             // exits. Connection threads observe the flag on their next read
             // timeout and close; the scope joins them all.
+            obslog::info("server", "shutdown_draining", &[]);
             queue.close();
             let _ = dispatcher.join();
         });
+        obslog::info("server", "stopped", &[]);
     }
 }
 
@@ -227,6 +269,51 @@ fn encode_persistence(status: &PersistenceStatus) -> json::Json {
     ])
 }
 
+/// Emits the `slow_query` event: total latency plus every recorded span, so
+/// the log line alone answers "where did the time go".
+fn log_slow_query(finished: &FinishedTrace) {
+    let mut fields: Vec<(&str, obslog::Value)> = vec![
+        ("trace_id", finished.id.as_str().into()),
+        ("target", finished.target.as_str().into()),
+        ("status", u64::from(finished.status).into()),
+        ("total_us", finished.total_micros.into()),
+    ];
+    for stage in Stage::ALL {
+        let micros = finished.stage(stage);
+        if micros > 0 {
+            fields.push((stage.name(), micros.into()));
+        }
+    }
+    obslog::warn("server", "slow_query", &fields);
+}
+
+/// The `GET /debug/traces` payload: recently finished traces, newest first,
+/// each with its per-stage span breakdown in microseconds.
+fn encode_traces(traces: &[FinishedTrace]) -> json::Json {
+    let items = traces
+        .iter()
+        .map(|t| {
+            let spans = Stage::ALL
+                .iter()
+                .filter(|stage| t.stage(**stage) > 0)
+                .map(|stage| (stage.name(), json::Json::Number(t.stage(*stage) as f64)))
+                .collect();
+            json::Json::object(vec![
+                ("id", json::Json::String(t.id.clone())),
+                ("target", json::Json::String(t.target.clone())),
+                ("status", json::Json::Number(f64::from(t.status))),
+                (
+                    "started_unix_ms",
+                    json::Json::Number(t.started_unix_ms as f64),
+                ),
+                ("total_us", json::Json::Number(t.total_micros as f64)),
+                ("spans_us", json::Json::object(spans)),
+            ])
+        })
+        .collect();
+    json::Json::object(vec![("traces", json::Json::Array(items))])
+}
+
 /// Best-effort 503 for a connection over the concurrency cap.
 fn reject_over_capacity(mut stream: TcpStream) {
     let body = wire::encode_error("connection limit reached").to_string();
@@ -246,6 +333,7 @@ struct Connection<'a, 'n> {
     queue: &'a AdmissionQueue,
     config: &'a ServerConfig,
     shutdown: &'a AtomicBool,
+    obs: &'a ServerObs,
 }
 
 impl Connection<'_, '_> {
@@ -270,8 +358,22 @@ impl Connection<'_, '_> {
         loop {
             match http::read_request(&mut reader, &mut writer, &self.config.limits) {
                 Ok(request) => {
-                    let responded = self.respond(&mut writer, &request).is_ok();
-                    if !responded || !request.keep_alive || self.shutdown.load(Ordering::Acquire) {
+                    // One trace per request: the inbound x-trace-id if the
+                    // client sent a sane one, a minted id otherwise. The
+                    // parse span runs from the first byte on the wire (idle
+                    // keep-alive waiting excluded) to here — headers and
+                    // body are read, decoding is attributed downstream.
+                    let id = request.trace_id.clone().unwrap_or_else(next_trace_id);
+                    let trace = Arc::new(ActiveTrace::start(id, request.target.clone()));
+                    if let Some(received) = request.received {
+                        trace.record(Stage::Parse, received.elapsed());
+                    }
+                    let outcome = self.respond(&mut writer, &request, &trace);
+                    self.finish_trace(&trace, outcome.unwrap_or(0));
+                    if outcome.is_err()
+                        || !request.keep_alive
+                        || self.shutdown.load(Ordering::Acquire)
+                    {
                         return;
                     }
                 }
@@ -322,19 +424,45 @@ impl Connection<'_, '_> {
         RequestContext::with_deadline(budget)
     }
 
-    /// Routes one parsed request; `Err(())` closes the connection.
-    fn respond(&self, writer: &mut TcpStream, request: &http::Request) -> Result<(), ()> {
+    /// Files a finished trace: status-class counters and per-stage
+    /// histograms, the `/debug/traces` ring, and — over the threshold — the
+    /// slow-query counter and a `slow_query` event with the span breakdown.
+    fn finish_trace(&self, trace: &ActiveTrace, status: u16) {
+        let finished = trace.finish(status);
+        self.obs.observe_request(&finished);
+        if let Some(threshold) = self.config.slow_query_threshold {
+            let total = Duration::from_micros(finished.total_micros);
+            if total >= threshold {
+                self.obs.slow_queries.inc();
+                log_slow_query(&finished);
+            }
+        }
+        self.obs.traces.push(finished);
+    }
+
+    /// Routes one parsed request; `Ok` carries the status written,
+    /// `Err(())` closes the connection.
+    fn respond(
+        &self,
+        writer: &mut TcpStream,
+        request: &http::Request,
+        trace: &Arc<ActiveTrace>,
+    ) -> Result<u16, ()> {
         let keep_alive = request.keep_alive;
-        // Overload answers (503/429) carry Retry-After so well-behaved
-        // clients back off instead of hammering the queue.
+        // Every response echoes the trace id; overload answers (503/429)
+        // carry Retry-After so well-behaved clients back off instead of
+        // hammering the queue. The write span wraps the socket write, and a
+        // write timeout (client stopped reading) is counted.
         let write = |writer: &mut TcpStream, status: u16, reason: &str, body: String| {
-            let extra: Vec<(&str, String)> = if status == 503 || status == 429 {
-                vec![("retry-after", "1".to_string())]
-            } else {
-                Vec::new()
-            };
-            http::write_response_with(writer, status, reason, &body, keep_alive, &extra)
-                .map_err(|_| ())
+            self.write_traced(
+                writer,
+                status,
+                reason,
+                "application/json",
+                body,
+                keep_alive,
+                trace,
+            )
         };
         match (request.method.as_str(), request.target.as_str()) {
             ("GET", "/healthz") => {
@@ -359,6 +487,14 @@ impl Connection<'_, '_> {
                     ),
                     ("epoch", json::Json::Number(self.engine.epoch() as f64)),
                     ("degraded", json::Json::Bool(!healthy)),
+                    (
+                        "version",
+                        json::Json::String(env!("CARGO_PKG_VERSION").to_string()),
+                    ),
+                    (
+                        "uptime_s",
+                        json::Json::Number(self.obs.started.elapsed().as_secs_f64()),
+                    ),
                 ];
                 if !reasons.is_empty() {
                     fields.push(("reason", json::Json::String(reasons.join("; "))));
@@ -397,19 +533,62 @@ impl Connection<'_, '_> {
             },
             ("GET", "/stats") => {
                 let stats = self.engine.stats();
-                let body = wire::encode_stats(&stats, &self.queue.latency(), self.queue.len());
+                let body = wire::encode_stats(
+                    &stats,
+                    &self.queue.latency(),
+                    &self.queue.queue_wait(),
+                    self.queue.len(),
+                    self.queue.degraded(),
+                    self.engine.worker_count(),
+                    self.config.persistence.as_deref().map(encode_persistence),
+                );
+                write(writer, 200, "OK", body.to_string())
+            }
+            ("GET", "/metrics") => {
+                let stats = self.engine.stats();
+                let shards = self.engine.cache().per_shard_counters();
+                let page = metrics::render(
+                    self.obs,
+                    &ScrapeView {
+                        stats: &stats,
+                        shards: &shards,
+                        epoch: self.engine.epoch(),
+                        queue_depth: self.queue.len(),
+                        queue_degraded: self.queue.degraded(),
+                        e2e: &self.queue.latency(),
+                        queue_wait: &self.queue.queue_wait(),
+                        persistence: self.config.persistence.as_deref(),
+                    },
+                );
+                self.write_traced(
+                    writer,
+                    200,
+                    "OK",
+                    "text/plain; version=0.0.4",
+                    page,
+                    keep_alive,
+                    trace,
+                )
+            }
+            ("GET", "/debug/traces") => {
+                let body = encode_traces(&self.obs.traces.recent());
                 write(writer, 200, "OK", body.to_string())
             }
             ("POST", "/query") => {
-                match self.parse_and_submit_one(&request.body, self.request_context(request)) {
+                let context = self.request_context(request).with_trace(Arc::clone(trace));
+                match self.parse_and_submit_one(&request.body, context) {
                     Ok(ticket) => match ticket.wait() {
-                        Ok(outcome) => write(
-                            writer,
-                            200,
-                            "OK",
-                            wire::encode_outcome(&outcome).to_string(),
-                        ),
-                        Err(error) => self.write_service_error(writer, &error, keep_alive),
+                        Ok(outcome) => {
+                            let started = Instant::now();
+                            let body = wire::encode_outcome(&outcome).to_string();
+                            trace.record(Stage::Serialize, started.elapsed());
+                            write(writer, 200, "OK", body)
+                        }
+                        Err(error) => {
+                            let (status, reason) = wire::error_status(&error);
+                            let body = wire::encode_error(&error.to_string()).to_string();
+                            write(writer, status, reason, body)
+                        }
                     },
                     Err(response) => {
                         let (status, reason, body) = response;
@@ -417,23 +596,32 @@ impl Connection<'_, '_> {
                     }
                 }
             }
-            ("POST", "/query/batch") => match self
-                .parse_and_submit_batch(&request.body, self.request_context(request))
-            {
-                Ok(tickets) => {
-                    let results: Vec<json::Json> = tickets
-                        .into_iter()
-                        .map(|ticket| match ticket.wait() {
-                            Ok(outcome) => wire::encode_outcome(&outcome),
-                            Err(error) => wire::encode_error(&error.to_string()),
-                        })
-                        .collect();
-                    let body = json::Json::object(vec![("results", json::Json::Array(results))]);
-                    write(writer, 200, "OK", body.to_string())
+            ("POST", "/query/batch") => {
+                let context = self.request_context(request).with_trace(Arc::clone(trace));
+                match self.parse_and_submit_batch(&request.body, context) {
+                    Ok(tickets) => {
+                        let results: Vec<json::Json> = tickets
+                            .into_iter()
+                            .map(|ticket| match ticket.wait() {
+                                Ok(outcome) => wire::encode_outcome(&outcome),
+                                Err(error) => wire::encode_error(&error.to_string()),
+                            })
+                            .collect();
+                        let started = Instant::now();
+                        let body =
+                            json::Json::object(vec![("results", json::Json::Array(results))])
+                                .to_string();
+                        trace.record(Stage::Serialize, started.elapsed());
+                        write(writer, 200, "OK", body)
+                    }
+                    Err((status, reason, body)) => write(writer, status, reason, body),
                 }
-                Err((status, reason, body)) => write(writer, status, reason, body),
-            },
-            (_, "/query" | "/query/batch" | "/healthz" | "/stats" | "/admin/snapshot") => {
+            }
+            (
+                _,
+                "/query" | "/query/batch" | "/healthz" | "/stats" | "/admin/snapshot" | "/metrics"
+                | "/debug/traces",
+            ) => {
                 let body = wire::encode_error("method not allowed").to_string();
                 write(writer, 405, "Method Not Allowed", body)
             }
@@ -444,20 +632,55 @@ impl Connection<'_, '_> {
         }
     }
 
-    fn write_service_error(
+    /// Writes one response with the trace id echoed, Retry-After on
+    /// overload statuses, the write span recorded, and write timeouts
+    /// counted. Returns the status written; `Err(())` closes the connection.
+    #[allow(clippy::too_many_arguments)]
+    fn write_traced(
         &self,
         writer: &mut TcpStream,
-        error: &ServiceError,
+        status: u16,
+        reason: &str,
+        content_type: &str,
+        body: String,
         keep_alive: bool,
-    ) -> Result<(), ()> {
-        let (status, reason) = wire::error_status(error);
-        let body = wire::encode_error(&error.to_string()).to_string();
-        let extra: Vec<(&str, String)> = if status == 503 || status == 429 {
-            vec![("retry-after", "1".to_string())]
-        } else {
-            Vec::new()
-        };
-        http::write_response_with(writer, status, reason, &body, keep_alive, &extra).map_err(|_| ())
+        trace: &Arc<ActiveTrace>,
+    ) -> Result<u16, ()> {
+        let mut extra: Vec<(&str, String)> = vec![("x-trace-id", trace.id().to_string())];
+        if status == 503 || status == 429 {
+            extra.push(("retry-after", "1".to_string()));
+        }
+        let started = Instant::now();
+        let result = http::write_response_full(
+            writer,
+            status,
+            reason,
+            content_type,
+            &body,
+            keep_alive,
+            &extra,
+        );
+        trace.record(Stage::Write, started.elapsed());
+        match result {
+            Ok(()) => Ok(status),
+            Err(e) => {
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    self.obs.write_timeouts.inc();
+                    obslog::warn(
+                        "server",
+                        "write_timeout",
+                        &[
+                            ("trace_id", trace.id().into()),
+                            ("status", u64::from(status).into()),
+                        ],
+                    );
+                }
+                Err(())
+            }
+        }
     }
 
     /// Parses and admits one `/query` body; the error is a ready-to-send

@@ -273,9 +273,21 @@ fn encode_latency(latency: &LatencySnapshot) -> Json {
 }
 
 /// Encodes the `/stats` payload: the engine's [`ServiceStats`] plus the
-/// admission queue's end-to-end latency histogram and current depth.
-pub fn encode_stats(stats: &ServiceStats, e2e: &LatencySnapshot, queue_depth: usize) -> Json {
-    Json::object(vec![
+/// admission queue's gauges (end-to-end and queue-wait latency histograms,
+/// current depth, degradation state), the worker-pool size and — when
+/// persistence is configured — the same persistence block `/healthz`
+/// carries. `/metrics` derives its series from these same snapshots, so the
+/// two endpoints agree by construction.
+pub fn encode_stats(
+    stats: &ServiceStats,
+    e2e: &LatencySnapshot,
+    queue_wait: &LatencySnapshot,
+    queue_depth: usize,
+    degraded: bool,
+    workers: usize,
+    persistence: Option<Json>,
+) -> Json {
+    let mut fields = vec![
         (
             "estimate_queries",
             Json::Number(stats.estimate_queries as f64),
@@ -311,12 +323,27 @@ pub fn encode_stats(stats: &ServiceStats, e2e: &LatencySnapshot, queue_depth: us
             Json::Number(stats.panicked_queries as f64),
         ),
         ("queue_depth", Json::Number(queue_depth as f64)),
+        ("degraded", Json::Bool(degraded)),
+        ("workers", Json::Number(workers as f64)),
+        (
+            "route_expansions",
+            Json::Number(stats.route_expansions as f64),
+        ),
         ("query_latency", encode_latency(&stats.latency)),
         ("latency_ok", encode_latency(&stats.latency_ok)),
         ("latency_failed", encode_latency(&stats.latency_failed)),
         ("latency_shed", encode_latency(&stats.latency_shed)),
         ("e2e_latency", encode_latency(e2e)),
-    ])
+        ("queue_wait", encode_latency(queue_wait)),
+        (
+            "ingest_publish_latency",
+            encode_latency(&stats.ingest_publish_latency),
+        ),
+    ];
+    if let Some(persistence) = persistence {
+        fields.push(("persistence", persistence));
+    }
+    Json::object(fields)
 }
 
 #[cfg(test)]
@@ -406,13 +433,27 @@ mod tests {
     fn stats_payload_carries_both_latency_histograms() {
         let stats = ServiceStats::default();
         let e2e = LatencySnapshot::default();
-        let encoded = encode_stats(&stats, &e2e, 3);
+        let queue_wait = LatencySnapshot::default();
+        let encoded = encode_stats(&stats, &e2e, &queue_wait, 3, true, 8, None);
         assert_eq!(encoded.get("queue_depth").unwrap().as_u64(), Some(3));
+        assert_eq!(encoded.get("degraded").unwrap(), &Json::Bool(true));
+        assert_eq!(encoded.get("workers").unwrap().as_u64(), Some(8));
         assert!(encoded
             .get("query_latency")
             .unwrap()
             .get("p99_us")
             .is_some());
         assert!(encoded.get("e2e_latency").unwrap().get("p50_us").is_some());
+        assert!(encoded.get("queue_wait").unwrap().get("p50_us").is_some());
+        assert!(encoded.get("ingest_publish_latency").is_some());
+        assert!(encoded.get("persistence").is_none());
+
+        let persistence = Json::object(vec![("suspended", Json::Bool(false))]);
+        let encoded = encode_stats(&stats, &e2e, &queue_wait, 0, false, 8, Some(persistence));
+        assert!(encoded
+            .get("persistence")
+            .unwrap()
+            .get("suspended")
+            .is_some());
     }
 }

@@ -46,7 +46,9 @@ use crate::engine::{stop_error, QueryEngine};
 use crate::error::ServiceError;
 use crate::request::{QueryOutcome, QueryRequest};
 use crate::stats::{LatencyRecorder, LatencySnapshot};
+use pathcost_obs::{log as obslog, Stage};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -141,6 +143,11 @@ pub struct AdmissionQueue {
     state: Mutex<QueueState>,
     not_empty: Condvar,
     latency: LatencyRecorder,
+    /// Pure queue wait (submit → batch pickup, linger included) — the
+    /// component of [`Self::latency`] the spans disentangle from execution.
+    queue_wait: LatencyRecorder,
+    /// Last degradation state the dispatcher observed, for transition logs.
+    was_degraded: AtomicBool,
 }
 
 impl AdmissionQueue {
@@ -159,6 +166,8 @@ impl AdmissionQueue {
             }),
             not_empty: Condvar::new(),
             latency: LatencyRecorder::default(),
+            queue_wait: LatencyRecorder::default(),
+            was_degraded: AtomicBool::new(false),
         }
     }
 
@@ -248,6 +257,14 @@ impl AdmissionQueue {
         self.latency.snapshot()
     }
 
+    /// Snapshot of the pure queue-wait (submit → batch pickup, linger
+    /// included) histogram — the queueing component of [`Self::latency`],
+    /// recorded separately so queue pressure is not conflated with
+    /// evaluation or write time.
+    pub fn queue_wait(&self) -> LatencySnapshot {
+        self.queue_wait.snapshot()
+    }
+
     /// Whether the load watermarks are breached: queue depth at or above
     /// [`AdmissionConfig::degrade_queue_depth`], or end-to-end p99 at or
     /// above [`AdmissionConfig::degrade_p99`]. While degraded, the
@@ -279,11 +296,18 @@ impl AdmissionQueue {
             let Some(batch) = self.next_batch() else {
                 return;
             };
+            let picked_up = Instant::now();
             let degraded = self.degraded();
+            self.note_degradation(degraded);
             let mut requests = Vec::with_capacity(batch.len());
             let mut contexts = Vec::with_capacity(batch.len());
             let mut slots = Vec::with_capacity(batch.len());
             for pending in batch {
+                let queued = pending.submitted.elapsed();
+                self.queue_wait.record(queued);
+                if let Some(trace) = pending.context.trace() {
+                    trace.record(Stage::Queue, queued);
+                }
                 if pending.context.should_stop() {
                     // Shed before dispatch: the deadline passed (or the
                     // client abandoned the request) while it queued, so
@@ -299,6 +323,13 @@ impl AdmissionQueue {
             }
             if requests.is_empty() {
                 continue;
+            }
+            // Dispatch span: batch assembly between pickup and execution.
+            let assembly = picked_up.elapsed();
+            for context in &contexts {
+                if let Some(trace) = context.trace() {
+                    trace.record(Stage::Dispatch, assembly);
+                }
             }
             // Backstop: a panic escaping the batch (the answer phase already
             // contains per-query panics) must not kill the dispatcher — every
@@ -317,6 +348,28 @@ impl AdmissionQueue {
                 self.latency.record(submitted.elapsed());
                 slot.complete(result);
             }
+        }
+    }
+
+    /// Logs watermark transitions (entered/left degraded mode) exactly once
+    /// per edge, from whichever dispatcher observes them.
+    fn note_degradation(&self, degraded: bool) {
+        let was = self.was_degraded.swap(degraded, Ordering::Relaxed);
+        if was == degraded {
+            return;
+        }
+        let latency = self.latency.snapshot();
+        let fields = [
+            ("queue_depth", obslog::Value::from(self.len())),
+            (
+                "e2e_p99_us",
+                obslog::Value::from(latency.p99().as_micros().min(u128::from(u64::MAX)) as u64),
+            ),
+        ];
+        if degraded {
+            obslog::warn("admission", "degraded_mode_entered", &fields);
+        } else {
+            obslog::info("admission", "degraded_mode_left", &fields);
         }
     }
 

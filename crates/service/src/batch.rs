@@ -183,6 +183,7 @@ impl QueryEngine<'_> {
         // "already cached" check then skips them — so Route answers keep
         // estimator-exact candidate quality even with `share_prefixes` on.
         let warm_counters = QueryCounters::default();
+        let warm_started = std::time::Instant::now();
         if degraded {
             // Degraded mode: no warm phase. Each request pays its own
             // estimations in the answer phase; under pressure a worker
@@ -242,6 +243,17 @@ impl QueryEngine<'_> {
                     &warm_counters,
                 );
             });
+        }
+        // Warm span: the phase is batch-wide, so every traced request in the
+        // batch is attributed the same wall time — the time it actually
+        // waited for the warm phase, whether or not its own jobs dominated.
+        if !degraded {
+            let warmed = warm_started.elapsed();
+            for context in contexts {
+                if let Some(trace) = context.trace() {
+                    trace.record(pathcost_obs::Stage::Warm, warmed);
+                }
+            }
         }
 
         // Phase 2: answer every request against the warm cache. Each

@@ -259,9 +259,29 @@ impl Shard {
     }
 }
 
+/// Per-shard hit/miss/eviction totals, exported with a `shard` label on
+/// `/metrics` so load imbalance across the fingerprint space is visible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+#[derive(Default)]
+struct ShardTally {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
 /// The sharded distribution cache.
 pub struct DistributionCache {
     shards: Vec<Mutex<Shard>>,
+    /// Per-shard counters, parallel to `shards` (outside the shard locks —
+    /// the aggregates below never lock either, and per-shard totals lagging
+    /// an in-flight operation is fine for monitoring).
+    tallies: Vec<ShardTally>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
@@ -278,6 +298,7 @@ impl DistributionCache {
             shards: (0..shards)
                 .map(|_| Mutex::new(Shard::new(shard_capacity)))
                 .collect(),
+            tallies: (0..shards).map(|_| ShardTally::default()).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
@@ -312,14 +333,24 @@ impl DistributionCache {
     /// Looks up `(path, interval)`, refreshing its recency on a hit.
     pub fn get(&self, path: &Path, interval: IntervalId) -> Option<CachedDistribution> {
         let fingerprint = interval.mix_fingerprint(path.fingerprint());
-        let found = self
-            .shard_of(fingerprint)
+        let shard_index = self.shard_index_of(fingerprint);
+        let found = self.shards[shard_index]
             .lock()
             .expect("cache shard poisoned")
             .get(fingerprint, interval, path);
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.tallies[shard_index]
+                    .hits
+                    .fetch_add(1, Ordering::Relaxed)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.tallies[shard_index]
+                    .misses
+                    .fetch_add(1, Ordering::Relaxed)
+            }
         };
         found
     }
@@ -334,14 +365,17 @@ impl DistributionCache {
         value: CachedDistribution,
     ) -> Option<(Path, IntervalId)> {
         let fingerprint = interval.mix_fingerprint(path.fingerprint());
+        let shard_index = self.shard_index_of(fingerprint);
         self.insertions.fetch_add(1, Ordering::Relaxed);
-        let victim = self
-            .shard_of(fingerprint)
+        let victim = self.shards[shard_index]
             .lock()
             .expect("cache shard poisoned")
             .insert(fingerprint, interval, path, value);
         if victim.is_some() {
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.tallies[shard_index]
+                .evictions
+                .fetch_add(1, Ordering::Relaxed);
         }
         victim
     }
@@ -446,6 +480,20 @@ impl DistributionCache {
     /// Lifetime hit counter.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard hit/miss/eviction totals, indexed by shard. LRU evictions
+    /// only — targeted invalidations are whole-cache events counted under
+    /// [`Self::invalidations`].
+    pub fn per_shard_counters(&self) -> Vec<ShardCounters> {
+        self.tallies
+            .iter()
+            .map(|t| ShardCounters {
+                hits: t.hits.load(Ordering::Relaxed),
+                misses: t.misses.load(Ordering::Relaxed),
+                evictions: t.evictions.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Lifetime miss counter.

@@ -16,11 +16,19 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pathcost_obs::ActiveTrace;
+
 /// Deadline + cancellation token carried alongside one request.
+///
+/// When the front-end is tracing the request, the context additionally
+/// carries the shared [`ActiveTrace`] so the admission queue, batch warm
+/// phase and evaluation loop can file their stage spans; untraced requests
+/// pay a single `Option` check.
 #[derive(Debug, Clone)]
 pub struct RequestContext {
     deadline: Option<Instant>,
     cancelled: Arc<AtomicBool>,
+    trace: Option<Arc<ActiveTrace>>,
 }
 
 impl Default for RequestContext {
@@ -36,6 +44,7 @@ impl RequestContext {
         RequestContext {
             deadline: None,
             cancelled: Arc::new(AtomicBool::new(false)),
+            trace: None,
         }
     }
 
@@ -44,7 +53,21 @@ impl RequestContext {
         RequestContext {
             deadline: budget.map(|d| Instant::now() + d),
             cancelled: Arc::new(AtomicBool::new(false)),
+            trace: None,
         }
+    }
+
+    /// Attaches a trace: stage spans recorded downstream (queue wait,
+    /// dispatch, warm, eval) land on it.
+    pub fn with_trace(mut self, trace: Arc<ActiveTrace>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The trace travelling with this request, if the front-end attached
+    /// one.
+    pub fn trace(&self) -> Option<&Arc<ActiveTrace>> {
+        self.trace.as_ref()
     }
 
     /// The absolute deadline, if one was set.

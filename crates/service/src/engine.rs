@@ -408,6 +408,9 @@ impl<'n> QueryEngine<'n> {
             self.execute_inner(request, &counters, ctx, degraded)
         };
         let latency = start.elapsed();
+        if let Some(trace) = ctx.trace() {
+            trace.record(pathcost_obs::Stage::Eval, latency);
+        }
         self.recorder
             .record_query(request.kind(), latency, response.is_ok());
         match &response {
@@ -546,6 +549,7 @@ impl<'n> QueryEngine<'n> {
                     telemetry.evaluated_candidates as u64,
                     counters.hits.load(Ordering::Relaxed),
                     telemetry.incumbent_prunes as u64,
+                    telemetry.expansions as u64,
                 );
                 if *k == 1 {
                     let best = (!ranked.is_empty()).then(|| ranked.swap_remove(0));

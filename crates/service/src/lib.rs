@@ -49,7 +49,13 @@
 //! * **Observability** — every response carries per-query [`QueryStats`]
 //!   (cache hits/misses, deepest decomposition, latency) and the engine
 //!   aggregates a [`ServiceStats`] snapshot (per-kind query counts, cache
-//!   hit rate, mean decomposition depth, batch dedup savings).
+//!   hit rate, mean decomposition depth, batch dedup savings, route search
+//!   telemetry, ingest publish latency). A [`RequestContext`] can carry a
+//!   `pathcost-obs` trace: the admission queue, batch warm phase and
+//!   evaluation loop then file per-stage spans (queue wait, dispatch, warm,
+//!   eval) that the HTTP front-end exposes at `GET /debug/traces` — see
+//!   `OBSERVABILITY.md` at the repository root for the span model and the
+//!   full metric inventory.
 //!
 //! ## Semantics
 //!
@@ -107,7 +113,7 @@ pub mod stats;
 pub mod update;
 
 pub use admission::{AdmissionConfig, AdmissionQueue, Ticket};
-pub use cache::{CachedDistribution, DistributionCache};
+pub use cache::{CachedDistribution, DistributionCache, ShardCounters};
 pub use deadline::RequestContext;
 pub use engine::{CachingEstimator, QueryEngine, ServiceConfig};
 pub use error::ServiceError;

@@ -164,7 +164,9 @@ pub(crate) struct StatsRecorder {
     route_candidates_evaluated: AtomicU64,
     route_eval_cache_hits: AtomicU64,
     route_incumbent_prunes: AtomicU64,
+    route_expansions: AtomicU64,
     ingest_updates: AtomicU64,
+    ingest_publish_latency: LatencyRecorder,
     ingest_trajectories: AtomicU64,
     ingest_trajectories_retired: AtomicU64,
     ingest_variables_updated: AtomicU64,
@@ -242,13 +244,28 @@ impl StatsRecorder {
             .fetch_add(edges_reused, Ordering::Relaxed);
     }
 
-    pub fn record_route(&self, candidates_evaluated: u64, cache_hits: u64, incumbent_prunes: u64) {
+    pub fn record_route(
+        &self,
+        candidates_evaluated: u64,
+        cache_hits: u64,
+        incumbent_prunes: u64,
+        expansions: u64,
+    ) {
         self.route_candidates_evaluated
             .fetch_add(candidates_evaluated, Ordering::Relaxed);
         self.route_eval_cache_hits
             .fetch_add(cache_hits, Ordering::Relaxed);
         self.route_incumbent_prunes
             .fetch_add(incumbent_prunes, Ordering::Relaxed);
+        self.route_expansions
+            .fetch_add(expansions, Ordering::Relaxed);
+    }
+
+    /// Files the wall time one live update spent inside `apply_update` —
+    /// epoch publish plus targeted invalidation (the "how long until queries
+    /// see the new weights" number).
+    pub fn record_publish(&self, latency: Duration) {
+        self.ingest_publish_latency.record(latency);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -328,9 +345,11 @@ impl StatsRecorder {
             route_candidates_evaluated: load(&self.route_candidates_evaluated),
             route_eval_cache_hits: load(&self.route_eval_cache_hits),
             route_incumbent_prunes: load(&self.route_incumbent_prunes),
+            route_expansions: load(&self.route_expansions),
             cache_insertions,
             cache_evictions,
             ingest_updates: load(&self.ingest_updates),
+            ingest_publish_latency: self.ingest_publish_latency.snapshot(),
             ingest_trajectories: load(&self.ingest_trajectories),
             ingest_trajectories_retired: load(&self.ingest_trajectories_retired),
             ingest_variables_updated: load(&self.ingest_variables_updated),
@@ -419,6 +438,10 @@ pub struct ServiceStats {
     /// Partial paths dropped by the best-first router's incumbent bound
     /// across all `Route` searches.
     pub route_incumbent_prunes: u64,
+    /// Partial paths popped and extended by the best-first router across all
+    /// `Route` searches — the search-effort knob the candidate-budget
+    /// trade-off (Fig 18) is tuned against.
+    pub route_expansions: u64,
     /// Distribution-cache insertions (estimations plus warm-phase fills).
     pub cache_insertions: u64,
     /// Distribution-cache entries dropped under capacity pressure (LRU).
@@ -426,6 +449,9 @@ pub struct ServiceStats {
     /// Live-ingest updates applied through
     /// [`QueryEngine::apply_update`](crate::QueryEngine::apply_update).
     pub ingest_updates: u64,
+    /// Wall time each applied update spent publishing its epoch (graph swap
+    /// plus targeted cache invalidation), as a latency distribution.
+    pub ingest_publish_latency: LatencySnapshot,
     /// Trajectories appended across all applied updates.
     pub ingest_trajectories: u64,
     /// Trajectories retired (TTL-expired or removed by id) across all
@@ -525,8 +551,9 @@ mod tests {
         rec.record_estimation(4);
         rec.record_batch(10, 6);
         rec.record_prefix_warm(4, 3, 7);
-        rec.record_route(5, 2, 9);
+        rec.record_route(5, 2, 9, 13);
         rec.record_ingest(25, 7, 4, 2, 1, 11, 3);
+        rec.record_publish(Duration::from_micros(40));
         rec.record_stale_purges(6);
         rec.record_stale_purges(0); // no-op
         rec.record_shed(Duration::from_micros(50));
@@ -550,7 +577,9 @@ mod tests {
         assert_eq!(s.route_candidates_evaluated, 5);
         assert_eq!(s.route_eval_cache_hits, 2);
         assert_eq!(s.route_incumbent_prunes, 9);
+        assert_eq!(s.route_expansions, 13);
         assert_eq!(s.ingest_updates, 1);
+        assert_eq!(s.ingest_publish_latency.total(), 1);
         assert_eq!(s.ingest_trajectories, 25);
         assert_eq!(s.ingest_trajectories_retired, 7);
         assert_eq!(s.ingest_variables_updated, 4);

@@ -382,6 +382,7 @@ impl<'n> QueryEngine<'n> {
         // single critical section against other updaters (queries are not
         // blocked — they read the graph through its own lock).
         let _serialized = self.update_lock().lock().expect("update lock poisoned");
+        let publish_started = std::time::Instant::now();
         // Hand-built updates (epoch 0, e.g. straight from `rederive`) get the
         // next engine-local version; the live ingestor stamps its own, which
         // must advance monotonically.
@@ -452,6 +453,7 @@ impl<'n> QueryEngine<'n> {
             evicted_tracked,
             evicted_swept,
         );
+        self.recorder.record_publish(publish_started.elapsed());
         Ok(UpdateReport {
             epoch: published,
             variables_updated: updated.len(),

@@ -167,6 +167,11 @@ fn main() {
     std::thread::scope(|scope| {
         let serving = scope.spawn(|| server.run(&engine));
 
+        // Observability smoke, scrape one of two: a valid exposition before
+        // any load.
+        let baseline = scrape_metrics(addr);
+        let served_before = series_value(&baseline, "pathcost_http_requests_total{class=\"2xx\"}");
+
         let start = Instant::now();
         let oks: usize = std::thread::scope(|clients| {
             (0..CLIENTS)
@@ -208,6 +213,18 @@ fn main() {
                 .unwrap_or(0),
         );
 
+        // Observability smoke, scrape two of two: still valid after the
+        // full load, with the request counter having advanced by the run.
+        let page = scrape_metrics(addr);
+        let served_after = series_value(&page, "pathcost_http_requests_total{class=\"2xx\"}");
+        assert!(
+            served_after >= served_before + total as f64,
+            "2xx counter must advance with the load: {served_before} -> {served_after}"
+        );
+        println!(
+            "metrics: exposition valid, 2xx counter {served_before} -> {served_after} across the run"
+        );
+
         handle.shutdown();
         serving.join().expect("server thread");
         println!("graceful shutdown complete");
@@ -221,6 +238,30 @@ fn main() {
     });
 
     restart_leg(&net, &store, &bodies);
+}
+
+/// Scrapes `/metrics`, validates the exposition with the crate's strict
+/// parser, and returns the page (the CI smoke step runs this twice).
+fn scrape_metrics(addr: SocketAddr) -> String {
+    let (mut stream, mut reader) = connect(addr);
+    let (status, page) = roundtrip(&mut stream, &mut reader, "GET", "/metrics", "");
+    assert_eq!(status, 200, "/metrics must answer");
+    pathcost::obs::expo::validate(&page)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{page}"));
+    page
+}
+
+/// The value of an exposition series given its full name-plus-labels prefix.
+fn series_value(page: &str, series: &str) -> f64 {
+    page.lines()
+        .find_map(|l| {
+            l.strip_prefix(series)?
+                .strip_prefix(' ')?
+                .trim()
+                .parse()
+                .ok()
+        })
+        .unwrap_or_else(|| panic!("series {series:?} missing from exposition"))
 }
 
 /// One keep-alive client connection as a `(stream, reader)` pair.

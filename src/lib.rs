@@ -34,7 +34,11 @@
 //!   `std::net` sockets (hand-rolled request parsing and JSON wire format;
 //!   the vendored serde is a no-op shim), batching concurrent connections
 //!   through a bounded admission queue into the service layer's persistent
-//!   worker pool, with load-shedding backpressure and graceful shutdown.
+//!   worker pool, with load-shedding backpressure and graceful shutdown,
+//! * [`obs`] — the dependency-free observability substrate: a metrics
+//!   registry with Prometheus text exposition (served at `GET /metrics`),
+//!   per-request traces with per-stage spans (`GET /debug/traces`), and a
+//!   leveled structured event log — see `OBSERVABILITY.md`.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through of the
 //! estimator stack, `examples/serve_queries.rs` for serving a mixed query
@@ -45,6 +49,7 @@
 pub use pathcost_core as core;
 pub use pathcost_hist as hist;
 pub use pathcost_live as live;
+pub use pathcost_obs as obs;
 pub use pathcost_persist as persist;
 pub use pathcost_roadnet as roadnet;
 pub use pathcost_routing as routing;

@@ -120,6 +120,16 @@ fn get(addr: SocketAddr, target: &str) -> (u16, String) {
     check_response(&exchange(addr, raw.as_bytes()))
 }
 
+/// `/metrics` must stay scrapeable — and strictly valid exposition —
+/// through every fault phase; returns the page for content assertions.
+fn scrape_metrics(addr: SocketAddr) -> String {
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200, "metrics scrape failed under chaos: {body}");
+    pathcost::obs::expo::validate(&body)
+        .unwrap_or_else(|e| panic!("invalid exposition under chaos: {e}\n{body}"));
+    body
+}
+
 fn stats_counter(addr: SocketAddr, field: &str) -> u64 {
     let (status, body) = get(addr, "/stats");
     assert_eq!(status, 200, "{body}");
@@ -278,6 +288,17 @@ fn chaos_serving_survives_hostile_clients_panics_and_io_faults() {
             assert!(results[1].get("error").is_some(), "{body}");
             assert!(results[2].get("distribution").is_some(), "{body}");
             assert!(stats_counter(addr, "panicked_queries") >= 4);
+            // The exposition stays valid after abuse and contained panics,
+            // and agrees with /stats on the panic count.
+            let panicked = scrape_metrics(addr)
+                .lines()
+                .find_map(|l| {
+                    l.strip_prefix("pathcost_panicked_queries_total ")?
+                        .parse::<f64>()
+                        .ok()
+                })
+                .expect("panicked-queries series on /metrics");
+            assert!(panicked >= 4.0, "panics must be visible on /metrics");
 
             // Phase 3 — tight-deadline flood: already-expired deadlines are
             // shed before evaluation and answered 504.
@@ -317,8 +338,15 @@ fn chaos_serving_survives_hostile_clients_panics_and_io_faults() {
                     .is_some_and(|r| r.contains("persistence")),
                 "{body}"
             );
-            // Queries still answer while persistence is down.
+            // Queries still answer while persistence is down, and /metrics
+            // stays scrapeable, reporting the suspension.
             assert_eq!(post(addr, "/query", &good_body).0, 200);
+            let page = scrape_metrics(addr);
+            assert!(
+                page.contains("pathcost_persist_suspended 1"),
+                "suspension must be visible on /metrics"
+            );
+            assert!(page.contains("pathcost_persist_suspensions_total"));
             // Mutations are refused rather than silently dropped.
             assert!(matches!(
                 ingestor.ingest(Vec::new()),
