@@ -98,10 +98,12 @@ fn probe_requests(engine: &QueryEngine<'_>, limit: usize) -> Vec<QueryRequest> {
         requests.push(QueryRequest::EstimateDistribution {
             path: var.path.clone(),
             departure: engine.canonical_departure(var.interval),
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         });
         requests.push(QueryRequest::EstimateDistribution {
             path: var.path.clone(),
             departure: Timestamp::from_day_hms(0, 3, 30, 0),
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         });
     }
     requests

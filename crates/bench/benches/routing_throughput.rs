@@ -98,6 +98,7 @@ fn bench_routing_throughput(c: &mut Criterion) {
             departure,
             budget_s,
             k: 1,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         })
         .collect();
     for request in &requests {

@@ -57,11 +57,13 @@ fn bench_service_throughput(c: &mut Criterion) {
                         path: path.clone(),
                         departure: *departure,
                         budget_s: 600.0,
+                        regime: pathcost_service::RegimeId::ALL_TRAFFIC,
                     }
                 } else {
                     QueryRequest::EstimateDistribution {
                         path: path.clone(),
                         departure: *departure,
+                        regime: pathcost_service::RegimeId::ALL_TRAFFIC,
                     }
                 }
             })
@@ -76,7 +78,9 @@ fn bench_service_throughput(c: &mut Criterion) {
                 b.iter(|| {
                     for request in requests {
                         match request {
-                            QueryRequest::EstimateDistribution { path, departure }
+                            QueryRequest::EstimateDistribution {
+                                path, departure, ..
+                            }
                             | QueryRequest::ProbWithinBudget {
                                 path, departure, ..
                             } => {
@@ -186,11 +190,13 @@ fn bench_service_throughput(c: &mut Criterion) {
                         candidates: overlapping.iter().map(|(p, _)| p.clone()).collect(),
                         departure: *departure,
                         budget_s: 600.0,
+                        regime: pathcost_service::RegimeId::ALL_TRAFFIC,
                     }
                 } else {
                     QueryRequest::EstimateDistribution {
                         path: path.clone(),
                         departure: *departure,
+                        regime: pathcost_service::RegimeId::ALL_TRAFFIC,
                     }
                 }
             })
@@ -221,6 +227,99 @@ fn bench_service_throughput(c: &mut Criterion) {
                 })
             },
         );
+    }
+    // Mixed-regime serving: the same warm batch shapes — all four query
+    // kinds, rank and route included — answered by an engine over a
+    // regime-tagged graph. One stream pins every request to all-traffic
+    // (the single-regime baseline), one cycles regimes {0, 1, 2} so every
+    // answer resolves through a different fallback view and cache key.
+    // BENCH_10.json's acceptance row: the mixed stream must stay within
+    // 10% of the baseline — per-regime keys and materialized views add no
+    // per-request estimation work once warm.
+    {
+        use pathcost_core::{RegimeId, RegimeSchema};
+        use pathcost_traj::{tag_batch, PeakOffPeak, TrajectoryStore};
+
+        let mut tagged_rows = store.matched().to_vec();
+        tag_batch(
+            &mut tagged_rows,
+            &PeakOffPeak {
+                peak: RegimeId(1),
+                off_peak: RegimeId(2),
+                ..PeakOffPeak::default()
+            },
+        );
+        let tagged_store = TrajectoryStore::new(tagged_rows);
+        let regime_cfg = HybridConfig {
+            beta: 10,
+            regimes: RegimeSchema::flat()
+                .with_group(RegimeId(1), RegimeId::ALL_TRAFFIC)
+                .with_group(RegimeId(2), RegimeId::ALL_TRAFFIC),
+            ..HybridConfig::default()
+        };
+        let tagged_graph = Arc::new(
+            HybridGraph::build(&net, &tagged_store, regime_cfg).expect("tagged graph builds"),
+        );
+
+        let batch_size = 256usize;
+        let regime_requests = |mixed: bool| -> Vec<QueryRequest> {
+            (0..batch_size)
+                .map(|i| {
+                    let (path, departure) = &pool[i % pool.len()];
+                    let regime = if mixed {
+                        RegimeId((i % 3) as u16)
+                    } else {
+                        RegimeId::ALL_TRAFFIC
+                    };
+                    if i % 32 == 0 {
+                        let first = &net.edges()[path.edges()[0].0 as usize];
+                        let last = &net.edges()[path.edges().last().unwrap().0 as usize];
+                        QueryRequest::Route {
+                            source: first.from,
+                            destination: last.to,
+                            departure: *departure,
+                            budget_s: 900.0,
+                            k: 2,
+                            regime,
+                        }
+                    } else if i % 16 == 1 {
+                        QueryRequest::RankPaths {
+                            candidates: pool.iter().take(3).map(|(p, _)| p.clone()).collect(),
+                            departure: *departure,
+                            budget_s: 600.0,
+                            regime,
+                        }
+                    } else if i % 3 == 0 {
+                        QueryRequest::ProbWithinBudget {
+                            path: path.clone(),
+                            departure: *departure,
+                            budget_s: 600.0,
+                            regime,
+                        }
+                    } else {
+                        QueryRequest::EstimateDistribution {
+                            path: path.clone(),
+                            departure: *departure,
+                            regime,
+                        }
+                    }
+                })
+                .collect()
+        };
+
+        for (label, mixed) in [
+            ("single_regime_batch_warm", false),
+            ("mixed_regime_batch_warm", true),
+        ] {
+            let requests = regime_requests(mixed);
+            let engine = QueryEngine::new(tagged_graph.clone(), ServiceConfig::default());
+            let _ = engine.execute_batch(&requests);
+            group.bench_with_input(
+                BenchmarkId::new(label, batch_size),
+                &requests,
+                |b, requests| b.iter(|| engine.execute_batch(requests)),
+            );
+        }
     }
     group.finish();
 }

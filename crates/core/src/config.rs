@@ -1,7 +1,7 @@
 //! Configuration of the hybrid graph (the paper's Table 2 parameters).
 
 use pathcost_hist::AutoConfig;
-use pathcost_traj::CostKind;
+use pathcost_traj::{CostKind, RegimeSchema};
 use serde::{Deserialize, Serialize};
 
 /// Parameters controlling weight-function instantiation and estimation.
@@ -30,6 +30,12 @@ pub struct HybridConfig {
     /// uniform in `[t_ff · (1 − spread), t_ff · (1 + 3·spread))` around the
     /// free-flow time `t_ff`.
     pub speed_limit_spread: f64,
+    /// The regime fallback-ladder schema (specific regime → regime group →
+    /// global). The default empty schema gives every non-global regime the
+    /// two-rung ladder `[regime, global]`; with no regime-tagged
+    /// trajectories in the store the schema is inert and instantiation is
+    /// bit-identical to the pre-regime pipeline.
+    pub regimes: RegimeSchema,
 }
 
 impl Default for HybridConfig {
@@ -41,6 +47,7 @@ impl Default for HybridConfig {
             cost_kind: CostKind::TravelTime,
             auto: AutoConfig::default(),
             speed_limit_spread: 0.15,
+            regimes: RegimeSchema::flat(),
         }
     }
 }
@@ -61,6 +68,12 @@ impl HybridConfig {
     /// A configuration with a different maximum instantiated rank.
     pub fn with_max_rank(mut self, max_rank: usize) -> Self {
         self.max_rank = max_rank;
+        self
+    }
+
+    /// A configuration with a regime fallback-ladder schema.
+    pub fn with_regimes(mut self, regimes: RegimeSchema) -> Self {
+        self.regimes = regimes;
         self
     }
 

@@ -55,5 +55,9 @@ pub use estimator::{
 pub use hybrid_graph::HybridGraph;
 pub use incremental::{IncrementalEstimate, PartialEstimate};
 pub use interval::{DayPartition, IntervalId};
+pub use pathcost_traj::{mix_regime, RegimeClassifier, RegimeId, RegimeSchema};
 pub use variable::{InstantiatedVariable, VariableSource};
-pub use weights::{dirty_keys, PathWeightFunction, VariableKey, WeightStats, WeightUpdate};
+pub use weights::{
+    dirty_keys, dirty_keys_by_regime, PathWeightFunction, RegimeVariableKey, VariableKey,
+    WeightStats, WeightUpdate,
+};

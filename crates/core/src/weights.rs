@@ -22,7 +22,7 @@ use pathcost_hist::{auto::auto_histogram, Histogram1D, HistogramNd};
 use pathcost_roadnet::{EdgeId, Path, RoadNetwork};
 use pathcost_traj::costs::per_edge_costs;
 use pathcost_traj::MatchedTrajectory;
-use pathcost_traj::{CostKind, TrajectoryStore};
+use pathcost_traj::{CostKind, RegimeId, RegimeSchema, TrajectoryStore};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -47,6 +47,34 @@ pub fn dirty_keys(
             for start in 0..=edges.len() - k {
                 let interval = partition.interval_of(m.entry_times[start].time_of_day());
                 dirty.insert((edges[start..start + k].to_vec(), interval));
+            }
+        }
+    }
+    dirty
+}
+
+/// The regime-keyed counterpart of [`dirty_keys`]: each window of a changed
+/// trajectory dirties one key per rung of the trajectory's fallback ladder,
+/// because a regime-`Q` traversal contributes occurrences to `Q`'s own table,
+/// every ancestor group table and the global table. For an all-global batch
+/// this is exactly [`dirty_keys`] with [`RegimeId::ALL_TRAFFIC`] appended to
+/// every key.
+pub fn dirty_keys_by_regime(
+    batch: &[MatchedTrajectory],
+    partition: &DayPartition,
+    max_rank: usize,
+    schema: &RegimeSchema,
+) -> BTreeSet<RegimeVariableKey> {
+    let mut dirty = BTreeSet::new();
+    for m in batch {
+        let ladder = schema.ladder(m.regime);
+        let edges = m.path.edges();
+        for k in 1..=max_rank.min(edges.len()) {
+            for start in 0..=edges.len() - k {
+                let interval = partition.interval_of(m.entry_times[start].time_of_day());
+                for &table in &ladder {
+                    dirty.insert((edges[start..start + k].to_vec(), interval, table));
+                }
             }
         }
     }
@@ -86,6 +114,18 @@ impl WeightStats {
 }
 
 /// The instantiated path weight function `W_P`.
+///
+/// With regime-tagged trajectories in the store, the function additionally
+/// carries per-regime *own* tables (variables whose `(path, interval,
+/// regime)` occurrence count clears β) and, for every regime reachable from
+/// the data, a materialized *effective view*: a complete weight function in
+/// which each key is resolved to the nearest fallback-ladder ancestor table
+/// that clears β (specific regime → regime group → global). The estimator
+/// pipeline runs unchanged against a view; the view remembers each
+/// variable's resolution depth and source regime so the serving layer can
+/// report fallback depth and invalidate by source table. With no regime
+/// tags the extra fields stay empty and the function is bit-identical to
+/// the pre-regime pipeline.
 #[derive(Debug, Clone)]
 pub struct PathWeightFunction {
     partition: DayPartition,
@@ -98,6 +138,19 @@ pub struct PathWeightFunction {
     /// Speed-limit-derived fallback distribution per edge.
     fallback_units: HashMap<EdgeId, Histogram1D>,
     stats: WeightStats,
+    /// The regime fallback-ladder schema the function was instantiated under.
+    schema: RegimeSchema,
+    /// Per-regime own variable tables, sorted by `(path edges, interval)` —
+    /// only non-global regimes appear, and only with non-empty tables.
+    regime_own: BTreeMap<RegimeId, Vec<InstantiatedVariable>>,
+    /// Materialized effective view per regime (ladder-resolved variables).
+    regime_views: BTreeMap<RegimeId, Arc<PathWeightFunction>>,
+    /// Per-variable fallback-ladder resolution depth — parallel to
+    /// `variables` on a regime view, empty on the global function (depth 0).
+    variable_depths: Vec<usize>,
+    /// Per-variable source regime table — parallel to `variables` on a
+    /// regime view, empty on the global function (all-traffic).
+    variable_regimes: Vec<RegimeId>,
 }
 
 /// A set of `(path, interval)` pairs whose weights must *not* be instantiated.
@@ -114,6 +167,13 @@ pub type HoldoutExclusions = Vec<(Path, IntervalId)>;
 /// ingestion subsystem tracks: a key is *dirty* after an ingest when at least
 /// one newly appended trajectory contributes a qualified occurrence to it.
 pub type VariableKey = (Vec<EdgeId>, IntervalId);
+
+/// A regime-qualified variable key: `(path edges, interval, regime table)`.
+/// The regime names the *table* the key lives in — `RegimeId::ALL_TRAFFIC`
+/// for the global table every trajectory contributes to, a non-global id for
+/// a regime's own table (fed only by trajectories whose fallback ladder
+/// passes through it).
+pub type RegimeVariableKey = (Vec<EdgeId>, IntervalId, RegimeId);
 
 /// The outcome of a selective re-instantiation ([`PathWeightFunction::rederive`]):
 /// a new weight-function epoch plus the exact set of variable keys whose
@@ -139,20 +199,25 @@ pub struct WeightUpdate {
     /// the graph serving it reuse one allocation.
     pub weights: Arc<PathWeightFunction>,
     /// Keys of previously instantiated variables whose histograms were
-    /// re-derived (their qualified occurrence sets grew).
-    pub updated: Vec<(Path, IntervalId)>,
+    /// re-derived (their qualified occurrence sets grew). The
+    /// [`RegimeId`] names the *table* the change landed in —
+    /// [`RegimeId::ALL_TRAFFIC`] for the global table, a non-global id for
+    /// a regime's own table — so the serving layer can evict only readers
+    /// that resolved the key from that table.
+    pub updated: Vec<(Path, IntervalId, RegimeId)>,
     /// Keys that newly crossed the β threshold and were instantiated for the
-    /// first time. New variables change candidate *selection* for any query
-    /// path containing them, so invalidation must treat these by sub-path
-    /// containment rather than by recorded reads.
-    pub added: Vec<(Path, IntervalId)>,
+    /// first time (regime-qualified as in [`Self::updated`]). New variables
+    /// change candidate *selection* for any query path containing them, so
+    /// invalidation must treat these by sub-path containment rather than by
+    /// recorded reads.
+    pub added: Vec<(Path, IntervalId, RegimeId)>,
     /// Keys of previously instantiated variables whose support dropped below
     /// the β threshold (trajectories aged out) and were *deleted* from the
-    /// weight function. Like [`Self::added`], a deletion changes candidate
-    /// selection for any query path containing the key's path, so
-    /// invalidation must flush recorded readers *and* sweep by sub-path
-    /// containment.
-    pub removed: Vec<(Path, IntervalId)>,
+    /// weight function (regime-qualified as in [`Self::updated`]). Like
+    /// [`Self::added`], a deletion changes candidate selection for any query
+    /// path containing the key's path, so invalidation must flush recorded
+    /// readers *and* sweep by sub-path containment.
+    pub removed: Vec<(Path, IntervalId, RegimeId)>,
 }
 
 impl WeightUpdate {
@@ -283,13 +348,128 @@ impl PathWeightFunction {
             fallback_units.insert(edge.id, Histogram1D::uniform(lo, hi.max(lo + 0.5))?);
         }
 
+        // Per-regime own tables: one extra counting/collection pass per
+        // non-global table reachable from the regimes present in the store.
+        // Skipped entirely for untagged stores.
+        let mut regime_own: BTreeMap<RegimeId, Vec<InstantiatedVariable>> = BTreeMap::new();
+        if store.has_regimes() {
+            let mut tables: BTreeSet<RegimeId> = BTreeSet::new();
+            for q in store.regimes_present() {
+                for r in cfg.regimes.ladder(q) {
+                    if !r.is_global() {
+                        tables.insert(r);
+                    }
+                }
+            }
+            for table in tables {
+                let vars =
+                    Self::collect_regime_table(net, store, cfg, &partition, excluded, table)?;
+                if !vars.is_empty() {
+                    regime_own.insert(table, vars);
+                }
+            }
+        }
+
         Ok(Self::assemble(
             partition,
             cfg.cost_kind,
             by_key,
             fallback_units,
             store,
+            cfg.regimes.clone(),
+            regime_own,
         ))
+    }
+
+    /// Fits one regime's own table: the same two-pass β-threshold procedure
+    /// as global instantiation, restricted to trajectories whose fallback
+    /// ladder passes through `table` — so the rows a key collects here are
+    /// exactly the contributing subsequence, in the same (trajectory,
+    /// position) order, of the rows the global pass collects. Returns the
+    /// fitted variables in sorted `(path edges, interval)` key order.
+    fn collect_regime_table(
+        net: &RoadNetwork,
+        store: &TrajectoryStore,
+        cfg: &HybridConfig,
+        partition: &DayPartition,
+        excluded: &[(Path, IntervalId)],
+        table: RegimeId,
+    ) -> Result<Vec<InstantiatedVariable>, CoreError> {
+        let is_excluded = |edges: &[EdgeId], interval: IntervalId| -> bool {
+            excluded.iter().any(|(path, iv)| {
+                *iv == interval
+                    && path.cardinality() <= edges.len()
+                    && edges.windows(path.cardinality()).any(|w| w == path.edges())
+            })
+        };
+
+        let mut counts: HashMap<(Vec<EdgeId>, IntervalId), usize> = HashMap::new();
+        for m in store.matched() {
+            if !cfg.regimes.contributes_to(m.regime, table) {
+                continue;
+            }
+            let edges = m.path.edges();
+            for k in 1..=cfg.max_rank.min(edges.len()) {
+                for start in 0..=edges.len() - k {
+                    let interval = partition.interval_of(m.entry_times[start].time_of_day());
+                    let window = &edges[start..start + k];
+                    if !excluded.is_empty() && is_excluded(window, interval) {
+                        continue;
+                    }
+                    *counts.entry((window.to_vec(), interval)).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let mut samples: HashMap<(Vec<EdgeId>, IntervalId), Vec<Vec<f64>>> = counts
+            .iter()
+            .filter(|(_, &c)| c >= cfg.beta)
+            .map(|(k, &c)| (k.clone(), Vec::with_capacity(c)))
+            .collect();
+        if !samples.is_empty() {
+            for m in store.matched() {
+                if !cfg.regimes.contributes_to(m.regime, table) {
+                    continue;
+                }
+                let edges = m.path.edges();
+                for k in 1..=cfg.max_rank.min(edges.len()) {
+                    for start in 0..=edges.len() - k {
+                        let interval = partition.interval_of(m.entry_times[start].time_of_day());
+                        let key = (edges[start..start + k].to_vec(), interval);
+                        if let Some(rows) = samples.get_mut(&key) {
+                            let sub = Path::from_edges_unchecked(key.0.clone());
+                            if let Some(costs) = per_edge_costs(m, net, &sub, start, cfg.cost_kind)
+                            {
+                                rows.push(costs);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut by_key: BTreeMap<VariableKey, InstantiatedVariable> = BTreeMap::new();
+        let mut keys: Vec<VariableKey> = samples.keys().cloned().collect();
+        keys.sort();
+        for key in keys {
+            let rows = samples.remove(&key).expect("key came from samples");
+            if rows.len() < cfg.beta {
+                continue;
+            }
+            let path = Path::from_edges_unchecked(key.0.clone());
+            let histogram = fit_histogram(&path, &rows, cfg)?;
+            let interval = key.1;
+            by_key.insert(
+                key,
+                InstantiatedVariable {
+                    path,
+                    interval,
+                    histogram,
+                    source: VariableSource::Trajectories { count: rows.len() },
+                },
+            );
+        }
+        Ok(by_key.into_values().collect())
     }
 
     /// Assembles a weight function from fitted variables: the sorted-key
@@ -303,9 +483,94 @@ impl PathWeightFunction {
         by_key: BTreeMap<VariableKey, InstantiatedVariable>,
         fallback_units: HashMap<EdgeId, Histogram1D>,
         store: &TrajectoryStore,
+        schema: RegimeSchema,
+        regime_own: BTreeMap<RegimeId, Vec<InstantiatedVariable>>,
     ) -> PathWeightFunction {
         let variables: Vec<InstantiatedVariable> = by_key.into_values().collect();
         Self::finish(partition, cost_kind, variables, fallback_units, store)
+            .with_regime_tables(schema, regime_own, store)
+    }
+
+    /// Attaches the regime schema and own tables to an assembled global
+    /// function and (re-)materializes the effective per-regime views. The
+    /// views are a pure function of `(global variables, own tables, schema,
+    /// store)`, so every constructor path — full instantiation, selective
+    /// re-derivation, snapshot restore — converges on identical views for
+    /// identical inputs.
+    fn with_regime_tables(
+        mut self,
+        schema: RegimeSchema,
+        regime_own: BTreeMap<RegimeId, Vec<InstantiatedVariable>>,
+        store: &TrajectoryStore,
+    ) -> PathWeightFunction {
+        self.schema = schema;
+        self.regime_own = regime_own;
+        self.materialise_views(store);
+        self
+    }
+
+    /// Builds the effective view of every regime reachable from the data:
+    /// ladder rungs are layered far-ancestor-first (global at the bottom),
+    /// so the nearest table that instantiated a key wins, and the winning
+    /// rung's ladder position becomes the key's reported fallback depth.
+    fn materialise_views(&mut self, store: &TrajectoryStore) {
+        self.regime_views.clear();
+        if self.regime_own.is_empty() && !store.has_regimes() {
+            return;
+        }
+        let mut targets: BTreeSet<RegimeId> = BTreeSet::new();
+        // Schema-declared regimes get a view even before their own data
+        // lands: a sparse regime must resolve through its *group's* table
+        // (ladder rung 1), not skip straight to the global function.
+        for q in store
+            .regimes_present()
+            .into_iter()
+            .chain(self.regime_own.keys().copied())
+            .chain(self.schema.entries().map(|(regime, _)| regime))
+        {
+            for r in self.schema.ladder(q) {
+                if !r.is_global() {
+                    targets.insert(r);
+                }
+            }
+        }
+        for regime in targets {
+            let ladder = self.schema.ladder(regime);
+            let mut by_key: BTreeMap<VariableKey, (InstantiatedVariable, usize, RegimeId)> =
+                BTreeMap::new();
+            for (depth, rung) in ladder.iter().enumerate().rev() {
+                let vars: &[InstantiatedVariable] = if rung.is_global() {
+                    &self.variables
+                } else {
+                    self.regime_own.get(rung).map(Vec::as_slice).unwrap_or(&[])
+                };
+                for v in vars {
+                    by_key.insert(
+                        (v.path.edges().to_vec(), v.interval),
+                        (v.clone(), depth, *rung),
+                    );
+                }
+            }
+            let mut variables = Vec::with_capacity(by_key.len());
+            let mut depths = Vec::with_capacity(by_key.len());
+            let mut sources = Vec::with_capacity(by_key.len());
+            for (_, (v, d, r)) in by_key {
+                variables.push(v);
+                depths.push(d);
+                sources.push(r);
+            }
+            let mut view = Self::finish(
+                self.partition.clone(),
+                self.cost_kind,
+                variables,
+                self.fallback_units.clone(),
+                store,
+            );
+            view.schema = self.schema.clone();
+            view.variable_depths = depths;
+            view.variable_regimes = sources;
+            self.regime_views.insert(regime, Arc::new(view));
+        }
     }
 
     /// Patches a sorted delta into this function's already-sorted variable
@@ -319,6 +584,7 @@ impl PathWeightFunction {
     fn assemble_patched(
         &self,
         delta: BTreeMap<VariableKey, Option<InstantiatedVariable>>,
+        regime_own: BTreeMap<RegimeId, Vec<InstantiatedVariable>>,
         store: &TrajectoryStore,
     ) -> PathWeightFunction {
         let mut variables: Vec<InstantiatedVariable> =
@@ -358,6 +624,7 @@ impl PathWeightFunction {
             self.fallback_units.clone(),
             store,
         )
+        .with_regime_tables(self.schema.clone(), regime_own, store)
     }
 
     /// The tail shared by [`Self::assemble`] and [`Self::assemble_patched`]:
@@ -414,6 +681,11 @@ impl PathWeightFunction {
             by_first_edge,
             fallback_units,
             stats,
+            schema: RegimeSchema::flat(),
+            regime_own: BTreeMap::new(),
+            regime_views: BTreeMap::new(),
+            variable_depths: Vec::new(),
+            variable_regimes: Vec::new(),
         }
     }
 
@@ -455,6 +727,28 @@ impl PathWeightFunction {
         cfg: &HybridConfig,
         dirty: &BTreeSet<VariableKey>,
     ) -> Result<WeightUpdate, CoreError> {
+        let tagged: BTreeSet<RegimeVariableKey> = dirty
+            .iter()
+            .map(|(edges, interval)| (edges.clone(), *interval, RegimeId::ALL_TRAFFIC))
+            .collect();
+        self.rederive_regimes(net, current, cfg, &tagged)
+    }
+
+    /// The regime-aware selective re-instantiation behind [`Self::rederive`]:
+    /// global keys are re-derived against the full store exactly as before;
+    /// a non-global key is re-derived against the contributing subsequence
+    /// of the store (trajectories whose fallback ladder passes through the
+    /// key's table) and patched into that regime's own table. Effective
+    /// views are re-materialized from the patched tables, so the result is
+    /// bit-identical to a full [`Self::instantiate`] over `current` when
+    /// `dirty` covers every changed key (see [`dirty_keys_by_regime`]).
+    pub fn rederive_regimes(
+        &self,
+        net: &RoadNetwork,
+        current: &TrajectoryStore,
+        cfg: &HybridConfig,
+        dirty: &BTreeSet<RegimeVariableKey>,
+    ) -> Result<WeightUpdate, CoreError> {
         cfg.validate()?;
         let partition = DayPartition::new(cfg.alpha_minutes)?;
         if partition != self.partition || cfg.cost_kind != self.cost_kind {
@@ -462,21 +756,35 @@ impl PathWeightFunction {
                 "live updates must keep the day partition (α) and cost kind of the original instantiation",
             ));
         }
+        if cfg.regimes != self.schema {
+            return Err(CoreError::InvalidConfig(
+                "live updates must keep the regime schema of the original instantiation",
+            ));
+        }
 
         let mut delta: BTreeMap<VariableKey, Option<InstantiatedVariable>> = BTreeMap::new();
+        let mut regime_delta: BTreeMap<
+            RegimeId,
+            BTreeMap<VariableKey, Option<InstantiatedVariable>>,
+        > = BTreeMap::new();
         let mut updated = Vec::new();
         let mut added = Vec::new();
         let mut removed = Vec::new();
-        for key in dirty {
-            let path = Path::from_edges_unchecked(key.0.clone());
-            let existing = self.index.contains_key(key);
-            // The key's qualified occurrences in the current store, in the
-            // same (trajectory, position) order the full rebuild collects
-            // rows in.
+        for (edges, interval, regime) in dirty {
+            let key: VariableKey = (edges.clone(), *interval);
+            let path = Path::from_edges_unchecked(edges.clone());
+            let existing = if regime.is_global() {
+                self.index.contains_key(&key)
+            } else {
+                self.regime_table_get(*regime, edges, *interval).is_some()
+            };
+            // The key's qualified occurrences in its table's contributing
+            // subsequence of the current store, in the same (trajectory,
+            // position) order the full rebuild collects rows in.
             let occurrences: Vec<_> = current
-                .occurrences_on(&path)
+                .occurrences_on_contributing(&path, &self.schema, *regime)
                 .into_iter()
-                .filter(|o| partition.interval_of(o.entry_time.time_of_day()) == key.1)
+                .filter(|o| partition.interval_of(o.entry_time.time_of_day()) == *interval)
                 .collect();
             let mut rows = Vec::new();
             if occurrences.len() >= cfg.beta {
@@ -492,25 +800,63 @@ impl PathWeightFunction {
                 let histogram = fit_histogram(&path, &rows, cfg)?;
                 let var = InstantiatedVariable {
                     path: path.clone(),
-                    interval: key.1,
+                    interval: *interval,
                     histogram,
                     source: VariableSource::Trajectories { count: rows.len() },
                 };
-                delta.insert(key.clone(), Some(var));
-                if existing {
-                    updated.push((path, key.1));
+                if regime.is_global() {
+                    delta.insert(key, Some(var));
                 } else {
-                    added.push((path, key.1));
+                    regime_delta
+                        .entry(*regime)
+                        .or_default()
+                        .insert(key, Some(var));
+                }
+                if existing {
+                    updated.push((path, *interval, *regime));
+                } else {
+                    added.push((path, *interval, *regime));
                 }
             } else if existing {
-                // Downward transition: the key lost its β support, so the
-                // full rebuild would not instantiate it — delete it.
-                delta.insert(key.clone(), None);
-                removed.push((path, key.1));
+                // Downward transition: the key lost its β support in this
+                // table, so the full rebuild would not instantiate it there
+                // — delete it.
+                if regime.is_global() {
+                    delta.insert(key, None);
+                } else {
+                    regime_delta.entry(*regime).or_default().insert(key, None);
+                }
+                removed.push((path, *interval, *regime));
             }
         }
 
-        let weights = self.assemble_patched(delta, current);
+        // Patch the regime own tables; an emptied table is dropped so the
+        // result matches what full instantiation (which never inserts empty
+        // tables) would build.
+        let mut regime_own = self.regime_own.clone();
+        for (regime, patches) in regime_delta {
+            let mut by_key: BTreeMap<VariableKey, InstantiatedVariable> = regime_own
+                .remove(&regime)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|v| ((v.path.edges().to_vec(), v.interval), v))
+                .collect();
+            for (key, patch) in patches {
+                match patch {
+                    Some(var) => {
+                        by_key.insert(key, var);
+                    }
+                    None => {
+                        by_key.remove(&key);
+                    }
+                }
+            }
+            if !by_key.is_empty() {
+                regime_own.insert(regime, by_key.into_values().collect());
+            }
+        }
+
+        let weights = self.assemble_patched(delta, regime_own, current);
         Ok(WeightUpdate {
             epoch: 0,
             trajectories: 0,
@@ -538,22 +884,116 @@ impl PathWeightFunction {
         fallback_units: HashMap<EdgeId, Histogram1D>,
         store: &TrajectoryStore,
     ) -> Result<Self, CoreError> {
-        for w in variables.windows(2) {
-            let a = (w[0].path.edges(), w[0].interval);
-            let b = (w[1].path.edges(), w[1].interval);
-            if a >= b {
-                return Err(CoreError::InvalidConfig(
-                    "restored variables must be in strictly increasing (path, interval) order",
-                ));
-            }
-        }
-        Ok(Self::finish(
+        Self::from_parts_with_regimes(
             partition,
             cost_kind,
             variables,
             fallback_units,
             store,
-        ))
+            RegimeSchema::flat(),
+            BTreeMap::new(),
+        )
+    }
+
+    /// [`Self::from_parts`] with regime tables: restores the schema and the
+    /// per-regime own tables and re-materializes the effective views, so a
+    /// v2 snapshot round-trips to a function bit-identical to the captured
+    /// one. Own tables obey the same strictly-increasing key-order contract
+    /// as the global variables.
+    pub fn from_parts_with_regimes(
+        partition: DayPartition,
+        cost_kind: CostKind,
+        variables: Vec<InstantiatedVariable>,
+        fallback_units: HashMap<EdgeId, Histogram1D>,
+        store: &TrajectoryStore,
+        schema: RegimeSchema,
+        regime_own: BTreeMap<RegimeId, Vec<InstantiatedVariable>>,
+    ) -> Result<Self, CoreError> {
+        for table in std::iter::once(&variables).chain(regime_own.values()) {
+            for w in table.windows(2) {
+                let a = (w[0].path.edges(), w[0].interval);
+                let b = (w[1].path.edges(), w[1].interval);
+                if a >= b {
+                    return Err(CoreError::InvalidConfig(
+                        "restored variables must be in strictly increasing (path, interval) order",
+                    ));
+                }
+            }
+        }
+        if regime_own.contains_key(&RegimeId::ALL_TRAFFIC) {
+            return Err(CoreError::InvalidConfig(
+                "the global table is not a regime own table",
+            ));
+        }
+        Ok(
+            Self::finish(partition, cost_kind, variables, fallback_units, store)
+                .with_regime_tables(schema, regime_own, store),
+        )
+    }
+
+    /// Exact lookup in a regime's *own* table (not the effective view).
+    fn regime_table_get(
+        &self,
+        regime: RegimeId,
+        edges: &[EdgeId],
+        interval: IntervalId,
+    ) -> Option<&InstantiatedVariable> {
+        let vars = self.regime_own.get(&regime)?;
+        vars.binary_search_by(|v| (v.path.edges(), v.interval).cmp(&(edges, interval)))
+            .ok()
+            .map(|i| &vars[i])
+    }
+
+    /// The regime fallback-ladder schema this function was built under.
+    pub fn regime_schema(&self) -> &RegimeSchema {
+        &self.schema
+    }
+
+    /// The per-regime own variable tables, sorted by key — the persistence
+    /// counterpart of [`Self::variables`] for the regime dimension.
+    pub fn regime_tables(&self) -> &BTreeMap<RegimeId, Vec<InstantiatedVariable>> {
+        &self.regime_own
+    }
+
+    /// The regimes with a materialized effective view, in ascending order.
+    pub fn regimes(&self) -> impl Iterator<Item = RegimeId> + '_ {
+        self.regime_views.keys().copied()
+    }
+
+    /// The effective weight function for `regime`: every key resolved to
+    /// the nearest fallback-ladder table that clears β. Returns `None` for
+    /// the global regime and for regimes without any materialized view —
+    /// callers then evaluate against `self` (the global function), which is
+    /// the deepest rung of every ladder.
+    pub fn for_regime(&self, regime: RegimeId) -> Option<&Arc<PathWeightFunction>> {
+        if regime.is_global() {
+            return None;
+        }
+        self.regime_views.get(&regime)
+    }
+
+    /// The fallback-ladder depth the variable at `index` was resolved at —
+    /// 0 on the global function and for own-regime hits on a view.
+    pub fn variable_depth(&self, index: usize) -> usize {
+        self.variable_depths.get(index).copied().unwrap_or(0)
+    }
+
+    /// The source regime table of the variable at `index` —
+    /// [`RegimeId::ALL_TRAFFIC`] on the global function and for
+    /// global-fallback hits on a view.
+    pub fn variable_regime(&self, index: usize) -> RegimeId {
+        self.variable_regimes
+            .get(index)
+            .copied()
+            .unwrap_or(RegimeId::ALL_TRAFFIC)
+    }
+
+    /// The `(fallback depth, source regime)` a key resolves to on this
+    /// view, when the key is instantiated.
+    pub fn resolution_of(&self, path: &Path, interval: IntervalId) -> Option<(usize, RegimeId)> {
+        self.index
+            .get(&(path.edges().to_vec(), interval))
+            .map(|&i| (self.variable_depth(i), self.variable_regime(i)))
     }
 
     /// The speed-limit-derived fallback unit distribution of every edge.
@@ -776,10 +1216,11 @@ mod tests {
             "a 30% append on the tiny preset must change some variable"
         );
         // Changed keys are disjoint and consistent with the previous epoch.
-        for (path, interval) in &update.updated {
+        for (path, interval, regime) in &update.updated {
+            assert!(regime.is_global(), "untagged store ⇒ global-table changes");
             assert!(wp.get(path, *interval).is_some(), "updated ⇒ pre-existing");
         }
-        for (path, interval) in &update.added {
+        for (path, interval, _) in &update.added {
             assert!(wp.get(path, *interval).is_none(), "added ⇒ new");
             assert!(update.weights.get(path, *interval).is_some());
         }
@@ -830,13 +1271,13 @@ mod tests {
             "a 60% retirement on the tiny preset must delete some variable"
         );
         // Removed keys existed before, are gone now; the rebuild agrees.
-        for (path, interval) in &update.removed {
+        for (path, interval, _) in &update.removed {
             assert!(wp.get(path, *interval).is_some(), "removed ⇒ pre-existing");
             assert!(update.weights.get(path, *interval).is_none());
             assert!(full.get(path, *interval).is_none());
         }
         // Updated keys survive with re-fitted histograms.
-        for (path, interval) in &update.updated {
+        for (path, interval, _) in &update.updated {
             assert!(update.weights.get(path, *interval).is_some());
         }
     }
@@ -887,6 +1328,214 @@ mod tests {
         assert_eq!(update.changed(), 0);
         assert_eq!(update.weights.variables(), wp.variables());
         assert_eq!(update.weights.stats(), wp.stats());
+    }
+
+    #[test]
+    fn untagged_store_keeps_regime_machinery_inert() {
+        let (_, _, wp) = build();
+        assert_eq!(wp.regimes().count(), 0);
+        assert!(wp.regime_tables().is_empty());
+        assert!(wp.for_regime(RegimeId(7)).is_none());
+        assert_eq!(wp.variable_depth(0), 0);
+        assert_eq!(wp.variable_regime(0), RegimeId::ALL_TRAFFIC);
+        // A non-empty schema over an untagged store changes nothing: the
+        // global table is bit-identical and no views are materialized.
+        let (net, store) = DatasetPreset::tiny(21).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        }
+        .with_regimes(RegimeSchema::flat().with_group(RegimeId(1), RegimeId(3)));
+        let wp2 = PathWeightFunction::instantiate(&net, &store, &cfg).unwrap();
+        assert_eq!(wp2.variables(), wp.variables());
+        assert_eq!(wp2.stats(), wp.stats());
+        assert_eq!(wp2.regimes().count(), 0);
+    }
+
+    #[test]
+    fn dirty_keys_by_regime_matches_global_enumeration_for_untagged_batches() {
+        let (_, store) = DatasetPreset::tiny(21).materialise().unwrap();
+        let partition = DayPartition::new(30).unwrap();
+        let batch = store.matched()[..10].to_vec();
+        let flat = dirty_keys(&batch, &partition, 6);
+        let tagged = dirty_keys_by_regime(&batch, &partition, 6, &RegimeSchema::flat());
+        assert_eq!(tagged.len(), flat.len());
+        for (edges, interval) in &flat {
+            assert!(tagged.contains(&(edges.clone(), *interval, RegimeId::ALL_TRAFFIC)));
+        }
+    }
+
+    /// Tags the tiny-preset store: the first `sparse` trajectories get
+    /// regime 2, the rest regime 1.
+    fn tag_store(store: &TrajectoryStore, sparse: usize) -> TrajectoryStore {
+        let tagged: Vec<MatchedTrajectory> = store
+            .matched()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let r = if i < sparse { RegimeId(2) } else { RegimeId(1) };
+                m.clone().with_regime(r)
+            })
+            .collect();
+        TrajectoryStore::new(tagged)
+    }
+
+    #[test]
+    fn sparse_regime_views_fall_back_to_the_global_table() {
+        let (net, untagged) = DatasetPreset::tiny(21).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        };
+        let plain = PathWeightFunction::instantiate(&net, &untagged, &cfg).unwrap();
+        // Regime 2 holds 5 trajectories — far below β, so its own table is
+        // empty and its whole view answers from the global rung.
+        let store = tag_store(&untagged, 5);
+        let wp = PathWeightFunction::instantiate(&net, &store, &cfg).unwrap();
+
+        // The global table still sees every trajectory: bit-identical to
+        // the untagged instantiation.
+        assert_eq!(wp.variables(), plain.variables());
+        assert_eq!(wp.stats(), plain.stats());
+
+        let sparse = wp.for_regime(RegimeId(2)).expect("regime 2 is present");
+        assert_eq!(sparse.variables(), wp.variables());
+        for (i, v) in sparse.variables().iter().enumerate() {
+            assert_eq!(sparse.variable_depth(i), 1, "empty own table ⇒ depth 1");
+            assert_eq!(sparse.variable_regime(i), RegimeId::ALL_TRAFFIC);
+            assert_eq!(
+                sparse.resolution_of(&v.path, v.interval),
+                Some((1, RegimeId::ALL_TRAFFIC))
+            );
+        }
+
+        // Regime 1 holds nearly all data: same key set as the global table
+        // (a regime count clearing β implies the global count does), with
+        // own-table hits at depth 0 and sparse keys answered from depth 1.
+        let dense = wp.for_regime(RegimeId(1)).expect("regime 1 is present");
+        assert_eq!(dense.variables().len(), wp.variables().len());
+        let mut own_hits = 0;
+        for (i, v) in dense.variables().iter().enumerate() {
+            let global = wp.get(&v.path, v.interval).expect("view key ⊆ global keys");
+            match dense.variable_depth(i) {
+                0 => {
+                    assert_eq!(dense.variable_regime(i), RegimeId(1));
+                    own_hits += 1;
+                }
+                1 => {
+                    assert_eq!(dense.variable_regime(i), RegimeId::ALL_TRAFFIC);
+                    assert_eq!(v, global);
+                }
+                d => panic!("flat schema has no depth {d}"),
+            }
+        }
+        assert!(own_hits > 0, "regime 1 holds almost all data, must clear β");
+
+        // A regime with no data and no schema entry has no view.
+        assert!(wp.for_regime(RegimeId(9)).is_none());
+    }
+
+    /// Asserts the global table, every regime own table and every
+    /// materialized view of `a` are bit-identical to `b`'s.
+    fn assert_regime_identical(a: &PathWeightFunction, b: &PathWeightFunction) {
+        assert_eq!(a.variables(), b.variables());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.regime_tables(), b.regime_tables());
+        let regimes: Vec<RegimeId> = a.regimes().collect();
+        assert_eq!(regimes, b.regimes().collect::<Vec<_>>());
+        for r in regimes {
+            let va = a.for_regime(r).expect("listed regime has a view");
+            let vb = b.for_regime(r).expect("listed regime has a view");
+            assert_eq!(va.variables(), vb.variables());
+            assert_eq!(va.stats(), vb.stats());
+            for i in 0..va.variables().len() {
+                assert_eq!(va.variable_depth(i), vb.variable_depth(i));
+                assert_eq!(va.variable_regime(i), vb.variable_regime(i));
+            }
+        }
+    }
+
+    fn grouped_schema() -> RegimeSchema {
+        RegimeSchema::flat()
+            .with_group(RegimeId(1), RegimeId(3))
+            .with_group(RegimeId(2), RegimeId(3))
+    }
+
+    #[test]
+    fn rederive_regimes_is_bit_identical_to_full_reinstantiation() {
+        let (net, untagged) = DatasetPreset::tiny(31).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        }
+        .with_regimes(grouped_schema());
+        let store = tag_store(&untagged, untagged.len() / 2);
+        let split = store.len() * 7 / 10;
+        let mut base = TrajectoryStore::new(store.matched()[..split].to_vec());
+        let batch = store.matched()[split..].to_vec();
+        let wp = PathWeightFunction::instantiate(&net, &base, &cfg).unwrap();
+        let partition = DayPartition::new(cfg.alpha_minutes).unwrap();
+        let dirty = dirty_keys_by_regime(&batch, &partition, cfg.max_rank, &cfg.regimes);
+
+        base.append(batch);
+        let update = wp.rederive_regimes(&net, &base, &cfg, &dirty).unwrap();
+        let full = PathWeightFunction::instantiate(&net, &base, &cfg).unwrap();
+        assert_regime_identical(&update.weights, &full);
+        // The group table is fed by every trajectory (both regimes ladder
+        // through it), so it mirrors the global table exactly.
+        assert_eq!(
+            update.weights.regime_tables()[&RegimeId(3)],
+            update.weights.variables()
+        );
+        assert!(
+            update
+                .updated
+                .iter()
+                .chain(&update.added)
+                .any(|(_, _, r)| !r.is_global()),
+            "a tagged append must change some regime table"
+        );
+    }
+
+    #[test]
+    fn rederive_regimes_handles_downward_transitions() {
+        let (net, untagged) = DatasetPreset::tiny(32).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        }
+        .with_regimes(grouped_schema());
+        let store = tag_store(&untagged, untagged.len() / 2);
+        let wp = PathWeightFunction::instantiate(&net, &store, &cfg).unwrap();
+
+        let cutoff = store.start_time_at_percentile(60).unwrap();
+        let mut truncated = store;
+        let removed_trajs = truncated.retire_before(cutoff);
+        assert!(!removed_trajs.is_empty());
+
+        let partition = DayPartition::new(cfg.alpha_minutes).unwrap();
+        let dirty = dirty_keys_by_regime(&removed_trajs, &partition, cfg.max_rank, &cfg.regimes);
+        let update = wp.rederive_regimes(&net, &truncated, &cfg, &dirty).unwrap();
+        let full = PathWeightFunction::instantiate(&net, &truncated, &cfg).unwrap();
+        assert_regime_identical(&update.weights, &full);
+        assert!(
+            update.removed.iter().any(|(_, _, r)| !r.is_global()),
+            "a 60% retirement must delete some regime-table variable"
+        );
+    }
+
+    #[test]
+    fn rederive_regimes_rejects_a_changed_schema() {
+        let (net, untagged) = DatasetPreset::tiny(33).materialise().unwrap();
+        let cfg = HybridConfig {
+            beta: 10,
+            ..HybridConfig::default()
+        };
+        let wp = PathWeightFunction::instantiate(&net, &untagged, &cfg).unwrap();
+        let recut = cfg.with_regimes(grouped_schema());
+        assert!(wp
+            .rederive_regimes(&net, &untagged, &recut, &BTreeSet::new())
+            .is_err());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 /// ([`pathcost_core::weights`]), so the enumeration and the instantiation it
 /// must match cannot drift apart; this module re-exports it as the ingest
 /// subsystem's entry point and keeps the batch-level tests.
-pub use pathcost_core::dirty_keys;
+pub use pathcost_core::{dirty_keys, dirty_keys_by_regime};
 
 #[cfg(test)]
 mod tests {

@@ -1,12 +1,12 @@
 //! The live ingestor: append/retire → dirty keys → selective re-derivation →
 //! versioned epoch.
 
-use crate::delta::dirty_keys;
+use crate::delta::dirty_keys_by_regime;
 use pathcost_core::{
-    CoreError, DayPartition, HybridConfig, PathWeightFunction, VariableKey, WeightUpdate,
+    CoreError, DayPartition, HybridConfig, PathWeightFunction, RegimeVariableKey, WeightUpdate,
 };
 use pathcost_roadnet::RoadNetwork;
-use pathcost_traj::{MatchedTrajectory, Timestamp, TrajectoryStore};
+use pathcost_traj::{tag_batch, MatchedTrajectory, RegimeClassifier, Timestamp, TrajectoryStore};
 use std::collections::{BTreeSet, HashSet};
 use std::sync::Arc;
 
@@ -67,6 +67,7 @@ pub struct LiveIngestor<'n> {
     config: HybridConfig,
     retention: RetentionConfig,
     partition: DayPartition,
+    classifier: Option<Arc<dyn RegimeClassifier>>,
     current: Arc<PathWeightFunction>,
     epoch: u64,
 }
@@ -104,9 +105,24 @@ impl<'n> LiveIngestor<'n> {
             config,
             retention: RetentionConfig::default(),
             partition,
+            classifier: None,
             current: Arc::new(weights),
             epoch: 0,
         })
+    }
+
+    /// Installs a [`RegimeClassifier`]: every subsequently ingested
+    /// trajectory is re-tagged with `classifier.classify(..)` before it
+    /// lands in the store, so its observations accrue to that regime's own
+    /// table (and to every ancestor table of its fallback ladder) in
+    /// addition to the global one. Without a classifier the batch's existing
+    /// tags are preserved — untagged producers keep the pre-regime pipeline
+    /// bit-identical, and journal replay re-lands journalled tags verbatim.
+    /// A classifier must be deterministic in the trajectory itself, or crash
+    /// recovery's replay would diverge from the original ingest.
+    pub fn with_classifier(mut self, classifier: Arc<dyn RegimeClassifier>) -> Self {
+        self.classifier = Some(classifier);
+        self
     }
 
     /// Installs a TTL [`RetentionConfig`]: every subsequent
@@ -139,7 +155,10 @@ impl<'n> LiveIngestor<'n> {
     pub fn ingest(&mut self, mut batch: Vec<MatchedTrajectory>) -> Result<WeightUpdate, CoreError> {
         let mut seen = HashSet::with_capacity(batch.len());
         batch.retain(|m| !self.store.contains_id(m.id) && seen.insert(m.id));
-        let mut dirty = dirty_keys(&batch, &self.partition, self.config.max_rank);
+        if let Some(classifier) = &self.classifier {
+            tag_batch(&mut batch, &**classifier);
+        }
+        let mut dirty = self.dirty_of(&batch);
         let trajectories = batch.len();
         let appended_ids: Vec<u64> = batch.iter().map(|m| m.id).collect();
         self.store.append(batch);
@@ -156,7 +175,7 @@ impl<'n> LiveIngestor<'n> {
             // append itself is undone below by the shared suffix-retire.
             let prev = self.store.clone();
             let removed = self.store.retire_before(cutoff);
-            dirty.extend(dirty_keys(&removed, &self.partition, self.config.max_rank));
+            dirty.extend(self.dirty_of(&removed));
             let published = self.publish(dirty, trajectories, removed.len());
             if published.is_err() {
                 self.store = prev;
@@ -205,7 +224,7 @@ impl<'n> LiveIngestor<'n> {
         }
         let prev = self.store.clone();
         let removed = self.store.retire_before(cutoff);
-        let dirty = dirty_keys(&removed, &self.partition, self.config.max_rank);
+        let dirty = self.dirty_of(&removed);
         self.publish_or_restore(prev, dirty, removed.len())
     }
 
@@ -217,8 +236,21 @@ impl<'n> LiveIngestor<'n> {
         }
         let prev = self.store.clone();
         let removed = self.store.retire_ids(ids);
-        let dirty = dirty_keys(&removed, &self.partition, self.config.max_rank);
+        let dirty = self.dirty_of(&removed);
         self.publish_or_restore(prev, dirty, removed.len())
+    }
+
+    /// The regime-qualified dirty keys of a changed (appended or removed)
+    /// batch: one key per window per rung of each trajectory's fallback
+    /// ladder. Retired trajectories carry the regime tag they were stored
+    /// under, so retirement dirties exactly the tables the arrival dirtied.
+    fn dirty_of(&self, changed: &[MatchedTrajectory]) -> BTreeSet<RegimeVariableKey> {
+        dirty_keys_by_regime(
+            changed,
+            &self.partition,
+            self.config.max_rank,
+            &self.config.regimes,
+        )
     }
 
     /// Publishes a retirement epoch, restoring `prev` (the pre-retirement
@@ -229,7 +261,7 @@ impl<'n> LiveIngestor<'n> {
     fn publish_or_restore(
         &mut self,
         prev: TrajectoryStore,
-        dirty: BTreeSet<VariableKey>,
+        dirty: BTreeSet<RegimeVariableKey>,
         retired: usize,
     ) -> Result<WeightUpdate, CoreError> {
         let published = self.publish(dirty, 0, retired);
@@ -244,13 +276,13 @@ impl<'n> LiveIngestor<'n> {
     /// caller is responsible for undoing its store mutation).
     fn publish(
         &mut self,
-        dirty: BTreeSet<VariableKey>,
+        dirty: BTreeSet<RegimeVariableKey>,
         appended: usize,
         retired: usize,
     ) -> Result<WeightUpdate, CoreError> {
-        let mut update = self
-            .current
-            .rederive(self.net, &self.store, &self.config, &dirty)?;
+        let mut update =
+            self.current
+                .rederive_regimes(self.net, &self.store, &self.config, &dirty)?;
         self.epoch += 1;
         update.epoch = self.epoch;
         update.trajectories = appended;

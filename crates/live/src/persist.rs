@@ -43,7 +43,7 @@ use pathcost_persist::snapshot::{self, list_generations, SnapshotReader, Snapsho
 use pathcost_persist::{PersistError, PersistenceStatus, RecoveryOutcome};
 use pathcost_roadnet::{EdgeId, RoadNetwork};
 use pathcost_traj::{MatchedTrajectory, Timestamp, TrajectoryStore};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -612,11 +612,25 @@ impl<'n> PersistentIngestor<'n> {
         codec::put_trajectories(&mut store_section, self.inner.store().matched());
         let mut weights_section = Vec::new();
         codec::put_weights(&mut weights_section, weights.variables(), &fallbacks);
-        let sections = vec![
+        let mut sections = vec![
             (snapshot::section::CONFIG, config_section),
             (snapshot::section::STORE, store_section),
             (snapshot::section::WEIGHTS, weights_section),
         ];
+        // Regime sections are emitted only when regime state exists, so an
+        // all-traffic deployment keeps publishing byte-identical version-1
+        // images (see `snapshot::SNAPSHOT_MAGIC_V2`).
+        if self.inner.store().has_regimes() {
+            let mut tags = Vec::new();
+            codec::put_regime_tags(&mut tags, self.inner.store().matched());
+            sections.push((snapshot::section::REGIME_STORE, tags));
+        }
+        if !weights.regime_tables().is_empty() {
+            let mut regimes = Vec::new();
+            codec::put_regime_schema(&mut regimes, weights.regime_schema());
+            codec::put_regime_tables(&mut regimes, weights.regime_tables());
+            sections.push((snapshot::section::REGIME_WEIGHTS, regimes));
+        }
         let bytes = self.writer.publish(epoch, &sections)?;
         let mut gens = list_generations(&self.dir)?;
         gens.sort_unstable();
@@ -678,8 +692,26 @@ fn restore_from_snapshot<'n>(
         .section(snapshot::section::STORE)
         .ok_or(PersistError::Incompatible("snapshot has no STORE section"))?;
     let mut c = Cursor::new(store_bytes, "snapshot store section");
-    let matched = codec::read_trajectories(&mut c)?;
+    let mut matched = codec::read_trajectories(&mut c)?;
     c.finish()?;
+    // A version-2 image carries per-trajectory regime tags in their own
+    // section, parallel to the STORE order; a version-1 image has none and
+    // decodes as single-regime all-traffic state.
+    if let Some(tag_bytes) = snap.section(snapshot::section::REGIME_STORE) {
+        let mut c = Cursor::new(tag_bytes, "snapshot regime-store section");
+        let tags = codec::read_regime_tags(&mut c)?;
+        c.finish()?;
+        if tags.len() != matched.len() {
+            return Err(PersistError::corrupt(
+                "snapshot regime tags",
+                format!("{} tags for {} trajectories", tags.len(), matched.len()),
+            )
+            .into());
+        }
+        for (m, tag) in matched.iter_mut().zip(tags) {
+            m.regime = tag;
+        }
+    }
     let store = TrajectoryStore::new(matched);
 
     let weights_bytes =
@@ -690,14 +722,29 @@ fn restore_from_snapshot<'n>(
     let mut c = Cursor::new(weights_bytes, "snapshot weights section");
     let (variables, fallbacks) = codec::read_weights(&mut c)?;
     c.finish()?;
+    let (schema, regime_own) = match snap.section(snapshot::section::REGIME_WEIGHTS) {
+        Some(regime_bytes) => {
+            let mut c = Cursor::new(regime_bytes, "snapshot regime-weights section");
+            let schema = codec::read_regime_schema(&mut c)?;
+            let tables = codec::read_regime_tables(&mut c)?;
+            c.finish()?;
+            (schema, tables)
+        }
+        // The runtime schema still applies to a v1 image: the snapshot
+        // simply recorded no per-regime tables, so every ladder resolves to
+        // the global function until regime-tagged traffic arrives.
+        None => (config.regimes.clone(), BTreeMap::new()),
+    };
     let fallback_units: HashMap<EdgeId, Histogram1D> = fallbacks.into_iter().collect();
     let partition = DayPartition::new(config.alpha_minutes)?;
-    let weights = PathWeightFunction::from_parts(
+    let weights = PathWeightFunction::from_parts_with_regimes(
         partition,
         config.cost_kind,
         variables,
         fallback_units,
         &store,
+        schema,
+        regime_own,
     )?;
     let mut inner = LiveIngestor::from_instantiated(net, store, weights, config.clone())?
         .with_retention(retention)?;

@@ -14,7 +14,8 @@ use crate::format::{put_f64, put_len, put_u16, put_u32, put_u64, put_u8, Cursor}
 use pathcost_core::{HybridConfig, InstantiatedVariable, IntervalId, VariableSource};
 use pathcost_hist::{Bucket, Histogram1D, HistogramNd};
 use pathcost_roadnet::{EdgeId, Path};
-use pathcost_traj::{CostKind, MatchedTrajectory, Timestamp};
+use pathcost_traj::{CostKind, MatchedTrajectory, RegimeId, RegimeSchema, Timestamp};
+use std::collections::BTreeMap;
 
 // ---------------------------------------------------------------------------
 // Paths and trajectories
@@ -69,12 +70,16 @@ pub fn read_trajectory(c: &mut Cursor<'_>) -> Result<MatchedTrajectory, PersistE
     for _ in 0..n {
         avg_speeds_mps.push(c.f64()?);
     }
+    // Trajectory bytes are regime-free for v1 compatibility: regime tags
+    // travel in their own section/record (see `put_regime_tags`), and an
+    // image without one decodes as all-global traffic.
     Ok(MatchedTrajectory {
         id,
         path,
         entry_times,
         travel_times,
         avg_speeds_mps,
+        regime: RegimeId::ALL_TRAFFIC,
     })
 }
 
@@ -91,6 +96,89 @@ pub fn read_trajectories(c: &mut Cursor<'_>) -> Result<Vec<MatchedTrajectory>, P
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(read_trajectory(c)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Regimes
+// ---------------------------------------------------------------------------
+
+/// Encodes the regime tag of each trajectory in `batch`, in batch order —
+/// the side-channel that keeps [`put_trajectory`] bytes v1-compatible.
+pub fn put_regime_tags(out: &mut Vec<u8>, batch: &[MatchedTrajectory]) {
+    put_len(out, batch.len());
+    for m in batch {
+        put_u16(out, m.regime.0);
+    }
+}
+
+/// The decoded counterpart of [`put_regime_tags`].
+pub fn read_regime_tags(c: &mut Cursor<'_>) -> Result<Vec<RegimeId>, PersistError> {
+    let n = c.read_len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(RegimeId(c.u16()?));
+    }
+    Ok(out)
+}
+
+/// Encodes a regime fallback schema as its ordered `(regime, group)` entries.
+pub fn put_regime_schema(out: &mut Vec<u8>, schema: &RegimeSchema) {
+    let entries: Vec<_> = schema.entries().collect();
+    put_len(out, entries.len());
+    for (regime, group) in entries {
+        put_u16(out, regime.0);
+        put_u16(out, group.0);
+    }
+}
+
+pub fn read_regime_schema(c: &mut Cursor<'_>) -> Result<RegimeSchema, PersistError> {
+    let n = c.read_len()?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let regime = RegimeId(c.u16()?);
+        let group = RegimeId(c.u16()?);
+        entries.push((regime, group));
+    }
+    Ok(RegimeSchema::from_entries(entries))
+}
+
+/// Encodes the per-regime own variable tables of a weight function, in
+/// ascending regime order (the `BTreeMap` iteration order, so identical
+/// functions always produce identical bytes).
+pub fn put_regime_tables(
+    out: &mut Vec<u8>,
+    tables: &BTreeMap<RegimeId, Vec<InstantiatedVariable>>,
+) {
+    put_len(out, tables.len());
+    for (regime, variables) in tables {
+        put_u16(out, regime.0);
+        put_len(out, variables.len());
+        for v in variables {
+            put_variable(out, v);
+        }
+    }
+}
+
+pub fn read_regime_tables(
+    c: &mut Cursor<'_>,
+) -> Result<BTreeMap<RegimeId, Vec<InstantiatedVariable>>, PersistError> {
+    let n = c.read_len()?;
+    let mut out = BTreeMap::new();
+    for _ in 0..n {
+        let regime = RegimeId(c.u16()?);
+        let len = c.read_len()?;
+        let mut variables = Vec::with_capacity(len);
+        for _ in 0..len {
+            variables.push(read_variable(c)?);
+        }
+        if out.insert(regime, variables).is_some() {
+            return Err(PersistError::corrupt(
+                "regime tables",
+                format!("duplicate regime {}", regime.0),
+            ));
+        }
     }
     Ok(out)
 }
@@ -279,6 +367,12 @@ pub fn encode_config(cfg: &HybridConfig, retention_max_age: Option<f64>) -> Vec<
         }
         None => put_u8(&mut out, 0),
     }
+    // Regime schema entries are appended only when the schema is non-empty,
+    // so a pre-regime deployment's fingerprint bytes are unchanged and its
+    // v1 snapshot lineage stays adoptable.
+    if !cfg.regimes.is_empty() {
+        put_regime_schema(&mut out, &cfg.regimes);
+    }
     out
 }
 
@@ -311,7 +405,44 @@ mod tests {
             entry_times: vec![Timestamp(10.5), Timestamp(20.25), Timestamp(31.125)],
             travel_times: vec![9.75, 10.875, 0.1 + 0.2], // deliberately inexact sum
             avg_speeds_mps: vec![13.0, 12.5, 11.75],
+            regime: RegimeId::ALL_TRAFFIC,
         }
+    }
+
+    #[test]
+    fn regime_sections_round_trip() {
+        let batch = vec![
+            sample_trajectory(1).with_regime(RegimeId(2)),
+            sample_trajectory(2),
+        ];
+        let mut buf = Vec::new();
+        put_regime_tags(&mut buf, &batch);
+        let mut c = Cursor::new(&buf, "tags");
+        assert_eq!(
+            read_regime_tags(&mut c).unwrap(),
+            vec![RegimeId(2), RegimeId::ALL_TRAFFIC]
+        );
+        c.finish().unwrap();
+
+        let schema = RegimeSchema::flat().with_group(RegimeId(2), RegimeId(5));
+        let mut buf = Vec::new();
+        put_regime_schema(&mut buf, &schema);
+        let mut c = Cursor::new(&buf, "schema");
+        assert_eq!(read_regime_schema(&mut c).unwrap(), schema);
+        c.finish().unwrap();
+    }
+
+    #[test]
+    fn config_fingerprint_is_v1_compatible_for_empty_schemas() {
+        let base = HybridConfig::default();
+        let reference = encode_config(&base, None);
+        let grouped = base
+            .clone()
+            .with_regimes(RegimeSchema::flat().with_group(RegimeId(1), RegimeId(3)));
+        assert_ne!(reference, encode_config(&grouped, None));
+        // An explicitly flat schema encodes exactly like the default.
+        let flat = base.with_regimes(RegimeSchema::flat());
+        assert_eq!(reference, encode_config(&flat, None));
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //! ```
 //!
 //! Op bodies: `0` = ingest (a trajectory batch), `1` = retire-before (a
-//! timestamp cutoff), `2` = retire-ids (an id list). Every record carries the
-//! epoch the operation *published*, so replay can skip records already
-//! captured by a snapshot.
+//! timestamp cutoff), `2` = retire-ids (an id list), `3` = regime-tagged
+//! ingest (a trajectory batch followed by one regime tag per trajectory).
+//! An all-global batch always encodes as op `0`, so journals written by an
+//! untagged deployment are byte-identical to version-1 journals. Every
+//! record carries the epoch the operation *published*, so replay can skip
+//! records already captured by a snapshot.
 //!
 //! # Torn tails
 //!
@@ -63,8 +66,14 @@ impl JournalRecord {
         put_u64(&mut out, self.epoch);
         match &self.op {
             JournalOp::Ingest(batch) => {
-                put_u8(&mut out, 0);
-                codec::put_trajectories(&mut out, batch);
+                if batch.iter().any(|m| !m.regime.is_global()) {
+                    put_u8(&mut out, 3);
+                    codec::put_trajectories(&mut out, batch);
+                    codec::put_regime_tags(&mut out, batch);
+                } else {
+                    put_u8(&mut out, 0);
+                    codec::put_trajectories(&mut out, batch);
+                }
             }
             JournalOp::RetireBefore(cutoff) => {
                 put_u8(&mut out, 1);
@@ -94,6 +103,24 @@ impl JournalRecord {
                     ids.push(c.u64()?);
                 }
                 JournalOp::RetireIds(ids)
+            }
+            3 => {
+                let mut batch = codec::read_trajectories(&mut c)?;
+                let tags = codec::read_regime_tags(&mut c)?;
+                if tags.len() != batch.len() {
+                    return Err(PersistError::corrupt(
+                        "journal record",
+                        format!(
+                            "{} regime tags for {} trajectories",
+                            tags.len(),
+                            batch.len()
+                        ),
+                    ));
+                }
+                for (m, tag) in batch.iter_mut().zip(tags) {
+                    m.regime = tag;
+                }
+                JournalOp::Ingest(batch)
             }
             tag => {
                 return Err(PersistError::corrupt(
@@ -338,6 +365,7 @@ mod tests {
             entry_times: vec![Timestamp(5.0), Timestamp(9.5)],
             travel_times: vec![4.5, 6.25],
             avg_speeds_mps: vec![10.0, 11.0],
+            regime: pathcost_traj::RegimeId::ALL_TRAFFIC,
         };
         vec![
             JournalRecord {
@@ -353,6 +381,38 @@ mod tests {
                 op: JournalOp::RetireIds(vec![7, 11, 13]),
             },
         ]
+    }
+
+    #[test]
+    fn tagged_ingest_round_trips_and_untagged_stays_v1() {
+        use pathcost_traj::RegimeId;
+        let records = sample_records();
+        let untagged = match &records[0].op {
+            JournalOp::Ingest(batch) => batch.clone(),
+            _ => unreachable!(),
+        };
+        // All-global batches encode as op 0 — the exact v1 bytes.
+        let v1 = records[0].encode();
+        assert_eq!(v1[8], 0, "all-global ingest must keep the v1 op tag");
+
+        let tagged: Vec<_> = untagged
+            .into_iter()
+            .map(|m| m.with_regime(RegimeId(4)))
+            .collect();
+        let record = JournalRecord {
+            epoch: 9,
+            op: JournalOp::Ingest(tagged.clone()),
+        };
+        let payload = record.encode();
+        assert_eq!(payload[8], 3, "tagged ingest must use the tagged op");
+        let back = JournalRecord::decode(&payload).unwrap();
+        match back.op {
+            JournalOp::Ingest(batch) => {
+                assert_eq!(batch, tagged);
+                assert!(batch.iter().all(|m| m.regime == RegimeId(4)));
+            }
+            other => panic!("decoded {other:?}"),
+        }
     }
 
     #[test]

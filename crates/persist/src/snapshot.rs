@@ -39,8 +39,17 @@ use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-/// Magic prefix of every snapshot file; the final byte is the format version.
+/// Magic prefix of a version-1 snapshot file; the final byte is the format
+/// version.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PCSNAP\x00\x01";
+
+/// Magic prefix of a version-2 snapshot file: version 1 plus the optional
+/// regime sections ([`section::REGIME_STORE`], [`section::REGIME_WEIGHTS`]).
+/// The writer emits version 2 only when a regime section is present, so an
+/// all-traffic deployment keeps producing byte-identical version-1 images;
+/// the reader accepts both versions (a v1 image simply decodes with no
+/// regime sections, i.e. as single-regime all-traffic state).
+pub const SNAPSHOT_MAGIC_V2: [u8; 8] = *b"PCSNAP\x00\x02";
 
 /// How many published snapshot generations are kept on disk.
 pub const KEEP_GENERATIONS: usize = 2;
@@ -53,6 +62,12 @@ pub mod section {
     pub const STORE: u32 = u32::from_le_bytes(*b"STOR");
     /// The weight function's variables + fallback units.
     pub const WEIGHTS: u32 = u32::from_le_bytes(*b"WGTS");
+    /// Per-trajectory regime tags, parallel to the STOR trajectory order
+    /// (version 2, present only when some trajectory is regime-tagged).
+    pub const REGIME_STORE: u32 = u32::from_le_bytes(*b"RGST");
+    /// The regime schema plus per-regime own variable tables (version 2,
+    /// present only when the weight function carries regime state).
+    pub const REGIME_WEIGHTS: u32 = u32::from_le_bytes(*b"RGWT");
 }
 
 /// A decoded snapshot: the epoch it captured plus its raw sections.
@@ -101,11 +116,19 @@ impl SnapshotWriter {
         Ok(SnapshotWriter { dir })
     }
 
-    /// Serialises `sections` into a version-1 snapshot image.
+    /// Serialises `sections` into a snapshot image — version 2 when a
+    /// regime section is present, the byte-identical version 1 otherwise.
     fn encode(epoch: u64, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+        let has_regimes = sections
+            .iter()
+            .any(|(tag, _)| *tag == section::REGIME_STORE || *tag == section::REGIME_WEIGHTS);
         let body: usize = sections.iter().map(|(_, p)| 12 + p.len()).sum();
         let mut out = Vec::with_capacity(24 + body);
-        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(if has_regimes {
+            &SNAPSHOT_MAGIC_V2
+        } else {
+            &SNAPSHOT_MAGIC
+        });
         put_u64(&mut out, epoch);
         put_u32(&mut out, sections.len() as u32);
         let header_crc = crc32(&out);
@@ -201,7 +224,7 @@ impl SnapshotReader {
     pub fn decode(image: &[u8]) -> Result<Snapshot, PersistError> {
         let mut c = Cursor::new(image, "snapshot header");
         let magic = c.take(8)?;
-        if magic != SNAPSHOT_MAGIC {
+        if magic != SNAPSHOT_MAGIC && magic != SNAPSHOT_MAGIC_V2 {
             return Err(PersistError::corrupt(
                 "snapshot header",
                 format!("bad magic {magic:02x?}"),
@@ -334,6 +357,20 @@ mod tests {
         gens.sort_unstable();
         assert_eq!(gens, vec![4, 5]);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn regime_sections_bump_the_version_byte() {
+        let v1 = SnapshotWriter::encode(3, &sections());
+        assert_eq!(v1[7], 1, "regime-free images stay version 1");
+        let mut with_regimes = sections();
+        with_regimes.push((section::REGIME_STORE, vec![0, 1]));
+        with_regimes.push((section::REGIME_WEIGHTS, vec![2, 3]));
+        let v2 = SnapshotWriter::encode(3, &with_regimes);
+        assert_eq!(v2[7], 2, "regime sections force version 2");
+        let snap = SnapshotReader::decode(&v2).expect("v2 decodes");
+        assert_eq!(snap.section(section::REGIME_STORE), Some(&[0u8, 1][..]));
+        assert_eq!(snap.section(section::REGIME_WEIGHTS), Some(&[2u8, 3][..]));
     }
 
     #[test]

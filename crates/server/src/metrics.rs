@@ -23,7 +23,11 @@ use pathcost_obs::{
     HistogramSnapshot, MetricKind, Registry, Stage, TraceRing, STAGE_COUNT,
 };
 use pathcost_persist::PersistenceStatus;
-use pathcost_service::{LatencySnapshot, ServiceStats, ShardCounters, LATENCY_BUCKETS};
+use pathcost_service::{
+    LatencySnapshot, RegimeTally, ServiceStats, ShardCounters, FALLBACK_DEPTH_BUCKETS,
+    LATENCY_BUCKETS,
+};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Status classes tracked by `pathcost_http_requests_total`.
@@ -170,6 +174,8 @@ pub(crate) struct ScrapeView<'a> {
     pub queue_degraded: bool,
     pub e2e: &'a LatencySnapshot,
     pub queue_wait: &'a LatencySnapshot,
+    /// Per-regime cache tallies for non-global regimes, keyed by regime id.
+    pub regimes: &'a BTreeMap<u16, RegimeTally>,
     pub persistence: Option<&'a PersistenceStatus>,
 }
 
@@ -228,6 +234,16 @@ pub(crate) fn render(obs: &ServerObs, view: &ScrapeView<'_>) -> String {
         "pathcost_admission_shed_total",
         &[],
         stats.shed_deadline as f64,
+    );
+    w.family(
+        "pathcost_admission_rejected_degraded_total",
+        MetricKind::Counter,
+        "Submissions refused at the admission door while degraded (answered 429).",
+    );
+    w.sample(
+        "pathcost_admission_rejected_degraded_total",
+        &[],
+        stats.rejected_degraded as f64,
     );
     w.family(
         "pathcost_admission_queue_wait_seconds",
@@ -428,6 +444,45 @@ pub(crate) fn render(obs: &ServerObs, view: &ScrapeView<'_>) -> String {
         );
     }
 
+    // --- regimes ---
+    w.family(
+        "pathcost_regime_fallback_total",
+        MetricKind::Counter,
+        "Regime-tagged lookups by fallback-ladder depth (0 = regime-specific data).",
+    );
+    for (depth, count) in stats.regime_fallback.iter().enumerate() {
+        let label = if depth == FALLBACK_DEPTH_BUCKETS - 1 {
+            format!("{depth}+")
+        } else {
+            depth.to_string()
+        };
+        w.sample(
+            "pathcost_regime_fallback_total",
+            &[("depth", &label)],
+            *count as f64,
+        );
+    }
+    if !view.regimes.is_empty() {
+        for (name, help, pick) in [
+            (
+                "pathcost_regime_cache_hits_total",
+                "Distribution-cache hits by requested (non-global) regime.",
+                (|t: &RegimeTally| t.hits) as fn(&RegimeTally) -> u64,
+            ),
+            (
+                "pathcost_regime_cache_misses_total",
+                "Distribution-cache misses by requested (non-global) regime.",
+                |t: &RegimeTally| t.misses,
+            ),
+        ] {
+            w.family(name, MetricKind::Counter, help);
+            for (regime, tally) in view.regimes {
+                let label = regime.to_string();
+                w.sample(name, &[("regime", &label)], pick(tally) as f64);
+            }
+        }
+    }
+
     // --- live ingest ---
     w.family(
         "pathcost_ingest_updates_total",
@@ -585,6 +640,7 @@ mod tests {
         shards: &'a [ShardCounters],
         e2e: &'a LatencySnapshot,
         queue_wait: &'a LatencySnapshot,
+        regimes: &'a BTreeMap<u16, RegimeTally>,
         persistence: Option<&'a PersistenceStatus>,
     ) -> ScrapeView<'a> {
         ScrapeView {
@@ -595,6 +651,7 @@ mod tests {
             queue_degraded: true,
             e2e,
             queue_wait,
+            regimes,
             persistence,
         }
     }
@@ -608,9 +665,14 @@ mod tests {
         obs.observe_request(&trace.finish(200));
         obs.observe_request(&trace.finish(0)); // aborted write
 
+        let mut regime_fallback = [0u64; FALLBACK_DEPTH_BUCKETS];
+        regime_fallback[1] = 3;
+        regime_fallback[FALLBACK_DEPTH_BUCKETS - 1] = 2;
         let stats = ServiceStats {
             estimate_queries: 4,
             latency_micros_sum: 1_000,
+            rejected_degraded: 6,
+            regime_fallback,
             ..ServiceStats::default()
         };
         let shards = vec![ShardCounters::default(); 4];
@@ -618,27 +680,48 @@ mod tests {
         e2e.counts[3] = 7;
         e2e.max_micros = 12;
         let queue_wait = LatencySnapshot::default();
+        let regimes = BTreeMap::from([(2u16, RegimeTally { hits: 5, misses: 1 })]);
 
-        let page = render(&obs, &sample_view(&stats, &shards, &e2e, &queue_wait, None));
+        let page = render(
+            &obs,
+            &sample_view(&stats, &shards, &e2e, &queue_wait, &regimes, None),
+        );
         validate(&page).expect("page without persistence validates");
         assert!(page.contains("pathcost_build_info{version="));
         assert!(page.contains("pathcost_http_requests_total{class=\"2xx\"} 1"));
         assert!(page.contains("pathcost_http_requests_total{class=\"aborted\"} 1"));
         assert!(page.contains("pathcost_admission_degraded 1"));
+        assert!(page.contains("pathcost_admission_rejected_degraded_total 6"));
         assert!(page.contains("pathcost_queries_total{kind=\"estimate\"} 4"));
         assert!(page.contains("pathcost_cache_hits_total{shard=\"3\"}"));
+        assert!(page.contains("pathcost_regime_fallback_total{depth=\"1\"} 3"));
+        assert!(page.contains("pathcost_regime_fallback_total{depth=\"4+\"} 2"));
+        assert!(page.contains("pathcost_regime_cache_hits_total{regime=\"2\"} 5"));
+        assert!(page.contains("pathcost_regime_cache_misses_total{regime=\"2\"} 1"));
         assert!(!page.contains("pathcost_persist_"));
 
         let status = PersistenceStatus::new();
         status.record_fsync(Duration::from_micros(90));
         status.record_snapshot(5, 1_000);
+        let no_regimes = BTreeMap::new();
         let page = render(
             &obs,
-            &sample_view(&stats, &shards, &e2e, &queue_wait, Some(&status)),
+            &sample_view(
+                &stats,
+                &shards,
+                &e2e,
+                &queue_wait,
+                &no_regimes,
+                Some(&status),
+            ),
         );
         validate(&page).expect("page with persistence validates");
         assert!(page.contains("pathcost_persist_snapshots_total 1"));
         assert!(page.contains("pathcost_persist_fsync_seconds_count 1"));
+        assert!(
+            !page.contains("pathcost_regime_cache_hits_total"),
+            "per-regime series omitted when no regime traffic was seen"
+        );
     }
 
     #[test]

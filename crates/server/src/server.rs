@@ -327,6 +327,10 @@ fn reject_over_capacity(mut stream: TcpStream) {
     );
 }
 
+/// A submitted request's completion ticket paired with the regime it asked
+/// for (echoed into the encoded response).
+type SubmittedQuery = (pathcost_service::Ticket, pathcost_service::RegimeId);
+
 /// Per-connection state (all borrowed from the serving scope).
 struct Connection<'a, 'n> {
     engine: &'a QueryEngine<'n>,
@@ -547,6 +551,7 @@ impl Connection<'_, '_> {
             ("GET", "/metrics") => {
                 let stats = self.engine.stats();
                 let shards = self.engine.cache().per_shard_counters();
+                let regimes = self.engine.regime_stats();
                 let page = metrics::render(
                     self.obs,
                     &ScrapeView {
@@ -557,6 +562,7 @@ impl Connection<'_, '_> {
                         queue_degraded: self.queue.degraded(),
                         e2e: &self.queue.latency(),
                         queue_wait: &self.queue.queue_wait(),
+                        regimes: &regimes,
                         persistence: self.config.persistence.as_deref(),
                     },
                 );
@@ -577,10 +583,10 @@ impl Connection<'_, '_> {
             ("POST", "/query") => {
                 let context = self.request_context(request).with_trace(Arc::clone(trace));
                 match self.parse_and_submit_one(&request.body, context) {
-                    Ok(ticket) => match ticket.wait() {
+                    Ok((ticket, regime)) => match ticket.wait() {
                         Ok(outcome) => {
                             let started = Instant::now();
-                            let body = wire::encode_outcome(&outcome).to_string();
+                            let body = wire::encode_outcome_for(&outcome, regime).to_string();
                             trace.record(Stage::Serialize, started.elapsed());
                             write(writer, 200, "OK", body)
                         }
@@ -602,8 +608,8 @@ impl Connection<'_, '_> {
                     Ok(tickets) => {
                         let results: Vec<json::Json> = tickets
                             .into_iter()
-                            .map(|ticket| match ticket.wait() {
-                                Ok(outcome) => wire::encode_outcome(&outcome),
+                            .map(|(ticket, regime)| match ticket.wait() {
+                                Ok(outcome) => wire::encode_outcome_for(&outcome, regime),
                                 Err(error) => wire::encode_error(&error.to_string()),
                             })
                             .collect();
@@ -683,13 +689,14 @@ impl Connection<'_, '_> {
         }
     }
 
-    /// Parses and admits one `/query` body; the error is a ready-to-send
-    /// `(status, reason, body)` triple.
+    /// Parses and admits one `/query` body, returning the ticket together
+    /// with the request's regime (echoed into the response); the error is a
+    /// ready-to-send `(status, reason, body)` triple.
     fn parse_and_submit_one(
         &self,
         body: &[u8],
         context: RequestContext,
-    ) -> Result<pathcost_service::Ticket, (u16, &'static str, String)> {
+    ) -> Result<SubmittedQuery, (u16, &'static str, String)> {
         let value = json::parse(body).map_err(|e| {
             (
                 400,
@@ -699,23 +706,18 @@ impl Connection<'_, '_> {
         })?;
         let request = wire::decode_request(&value)
             .map_err(|e| (400, "Bad Request", wire::encode_error(&e).to_string()))?;
+        let regime = request.regime();
         self.queue
             .submit_with_context(request, context)
-            .map_err(|e| {
-                let (status, reason) = wire::error_status(&e);
-                (
-                    status,
-                    reason,
-                    wire::encode_error(&e.to_string()).to_string(),
-                )
-            })
+            .map(|ticket| (ticket, regime))
+            .map_err(|e| self.submit_error(e))
     }
 
     fn parse_and_submit_batch(
         &self,
         body: &[u8],
         context: RequestContext,
-    ) -> Result<Vec<pathcost_service::Ticket>, (u16, &'static str, String)> {
+    ) -> Result<Vec<SubmittedQuery>, (u16, &'static str, String)> {
         let value = json::parse(body).map_err(|e| {
             (
                 400,
@@ -732,15 +734,26 @@ impl Connection<'_, '_> {
                 wire::encode_error("\"requests\" must be non-empty").to_string(),
             ));
         }
+        let regimes: Vec<pathcost_service::RegimeId> =
+            requests.iter().map(|r| r.regime()).collect();
         self.queue
             .submit_many_with_context(requests, context)
-            .map_err(|e| {
-                let (status, reason) = wire::error_status(&e);
-                (
-                    status,
-                    reason,
-                    wire::encode_error(&e.to_string()).to_string(),
-                )
-            })
+            .map(|tickets| tickets.into_iter().zip(regimes).collect())
+            .map_err(|e| self.submit_error(e))
+    }
+
+    /// Maps an admission failure to its wire response, counting degraded
+    /// early rejections (`ServiceStats::rejected_degraded`, answered 429 +
+    /// `Retry-After`).
+    fn submit_error(&self, e: pathcost_service::ServiceError) -> (u16, &'static str, String) {
+        if matches!(e, pathcost_service::ServiceError::Degraded) {
+            self.engine.record_rejected_degraded();
+        }
+        let (status, reason) = wire::error_status(&e);
+        (
+            status,
+            reason,
+            wire::encode_error(&e.to_string()).to_string(),
+        )
     }
 }

@@ -9,6 +9,12 @@
 //! {"type": "route", "source": 0, "destination": 9, "departure_s": 0, "budget_s": 900, "k": 2}
 //! ```
 //!
+//! Every kind accepts an optional `"regime"` (u16, default 0 = all-traffic):
+//! the traffic regime the query evaluates under. Non-zero regimes are echoed
+//! back in the response's `stats` object together with the fallback depth
+//! the answer resolved at; regime 0 requests produce byte-identical
+//! responses to the pre-regime wire format.
+//!
 //! `POST /query/batch` wraps them: `{"requests": [...]}`.
 //!
 //! ## Responses
@@ -24,7 +30,7 @@ use pathcost_hist::Histogram1D;
 use pathcost_roadnet::{EdgeId, Path, VertexId};
 use pathcost_routing::RouteResult;
 use pathcost_service::{
-    LatencySnapshot, QueryOutcome, QueryRequest, QueryStats, ServiceError, ServiceStats,
+    LatencySnapshot, QueryOutcome, QueryRequest, QueryStats, RegimeId, ServiceError, ServiceStats,
 };
 use pathcost_traj::Timestamp;
 
@@ -38,11 +44,13 @@ pub fn decode_request(value: &Json) -> Result<QueryRequest, String> {
         "estimate" => Ok(QueryRequest::EstimateDistribution {
             path: decode_path(value.get("path"), "path")?,
             departure: decode_departure(value)?,
+            regime: decode_regime(value)?,
         }),
         "prob" => Ok(QueryRequest::ProbWithinBudget {
             path: decode_path(value.get("path"), "path")?,
             departure: decode_departure(value)?,
             budget_s: decode_budget(value)?,
+            regime: decode_regime(value)?,
         }),
         "rank" => {
             let candidates = value
@@ -59,6 +67,7 @@ pub fn decode_request(value: &Json) -> Result<QueryRequest, String> {
                     .collect::<Result<_, _>>()?,
                 departure: decode_departure(value)?,
                 budget_s: decode_budget(value)?,
+                regime: decode_regime(value)?,
             })
         }
         "route" => {
@@ -78,6 +87,7 @@ pub fn decode_request(value: &Json) -> Result<QueryRequest, String> {
                 departure: decode_departure(value)?,
                 budget_s: decode_budget(value)?,
                 k,
+                regime: decode_regime(value)?,
             })
         }
         other => Err(format!(
@@ -140,12 +150,39 @@ fn decode_budget(value: &Json) -> Result<f64, String> {
     Ok(budget)
 }
 
+fn decode_regime(value: &Json) -> Result<RegimeId, String> {
+    match value.get("regime") {
+        None => Ok(RegimeId::ALL_TRAFFIC),
+        Some(r) => r
+            .as_u64()
+            .and_then(|id| u16::try_from(id).ok())
+            .map(RegimeId)
+            .ok_or_else(|| "\"regime\" must be a u16 regime id".to_string()),
+    }
+}
+
 fn decode_vertex(value: &Json, field: &str) -> Result<u32, String> {
     value
         .get(field)
         .and_then(Json::as_u64)
         .and_then(|id| u32::try_from(id).ok())
         .ok_or_else(|| format!("missing u32 field {field:?}"))
+}
+
+/// Encodes a successful outcome (payload + per-query stats), echoing the
+/// request's non-global regime in the stats object.
+pub fn encode_outcome_for(outcome: &QueryOutcome, regime: RegimeId) -> Json {
+    let mut encoded = encode_outcome(outcome);
+    if !regime.is_global() {
+        if let Json::Object(fields) = &mut encoded {
+            if let Some((_, Json::Object(stat_fields))) =
+                fields.iter_mut().find(|(name, _)| name == "stats")
+            {
+                stat_fields.push(("regime".to_string(), Json::Number(f64::from(regime.0))));
+            }
+        }
+    }
+    encoded
 }
 
 /// Encodes a successful outcome (payload + per-query stats).
@@ -239,6 +276,10 @@ fn encode_query_stats(stats: &QueryStats) -> Json {
             "max_decomposition_depth",
             Json::Number(stats.max_decomposition_depth as f64),
         ),
+        (
+            "max_fallback_depth",
+            Json::Number(stats.max_fallback_depth as f64),
+        ),
         ("latency_us", Json::Number(stats.latency.as_micros() as f64)),
         ("degraded", Json::Bool(stats.degraded)),
     ])
@@ -251,6 +292,9 @@ pub fn error_status(error: &ServiceError) -> (u16, &'static str) {
         ServiceError::Overloaded | ServiceError::ShuttingDown | ServiceError::Cancelled => {
             (503, "Service Unavailable")
         }
+        // Early admission rejection while degraded: the client should back
+        // off (the response carries `Retry-After`).
+        ServiceError::Degraded => (429, "Too Many Requests"),
         ServiceError::DeadlineExceeded => (504, "Gateway Timeout"),
         ServiceError::Core(_) | ServiceError::Routing(_) | ServiceError::Internal(_) => {
             (500, "Internal Server Error")
@@ -319,6 +363,20 @@ pub fn encode_stats(
             Json::Number(stats.degraded_answers as f64),
         ),
         (
+            "rejected_degraded",
+            Json::Number(stats.rejected_degraded as f64),
+        ),
+        (
+            "regime_fallback",
+            Json::Array(
+                stats
+                    .regime_fallback
+                    .iter()
+                    .map(|&n| Json::Number(n as f64))
+                    .collect(),
+            ),
+        ),
+        (
             "panicked_queries",
             Json::Number(stats.panicked_queries as f64),
         ),
@@ -356,9 +414,14 @@ mod tests {
         let estimate =
             json::parse(br#"{"type":"estimate","path":[1,2,3],"departure_s":100.5}"#).unwrap();
         match decode_request(&estimate).unwrap() {
-            QueryRequest::EstimateDistribution { path, departure } => {
+            QueryRequest::EstimateDistribution {
+                path,
+                departure,
+                regime,
+            } => {
                 assert_eq!(path.edges(), &[EdgeId(1), EdgeId(2), EdgeId(3)]);
                 assert_eq!(departure.0, 100.5);
+                assert_eq!(regime, RegimeId::ALL_TRAFFIC, "regime defaults to global");
             }
             other => panic!("wrong variant: {other:?}"),
         }
@@ -392,6 +455,34 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn decodes_and_echoes_the_regime_field() {
+        let prob =
+            json::parse(br#"{"type":"prob","path":[0],"departure_s":0,"budget_s":600,"regime":2}"#)
+                .unwrap();
+        assert_eq!(decode_request(&prob).unwrap().regime(), RegimeId(2));
+        let bad = json::parse(
+            br#"{"type":"prob","path":[0],"departure_s":0,"budget_s":600,"regime":-1}"#,
+        )
+        .unwrap();
+        assert!(decode_request(&bad).unwrap_err().contains("regime"));
+
+        // The stats echo: non-global regimes are stamped into the response,
+        // regime 0 keeps the pre-regime wire format byte-identical.
+        let outcome = QueryOutcome {
+            response: pathcost_service::QueryResponse::Probability(0.5),
+            stats: QueryStats::default(),
+        };
+        let global = encode_outcome_for(&outcome, RegimeId::ALL_TRAFFIC);
+        assert_eq!(global.to_string(), encode_outcome(&outcome).to_string());
+        assert!(global.get("stats").unwrap().get("regime").is_none());
+        let tagged = encode_outcome_for(&outcome, RegimeId(2));
+        assert_eq!(
+            tagged.get("stats").unwrap().get("regime").unwrap().as_u64(),
+            Some(2)
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn workload(store: &TrajectoryStore, n: usize) -> Vec<(String, QueryRequest)> {
                 QueryRequest::EstimateDistribution {
                     path: path.clone(),
                     departure,
+                    regime: pathcost_service::RegimeId::ALL_TRAFFIC,
                 },
             ));
         } else {
@@ -53,6 +54,7 @@ fn workload(store: &TrajectoryStore, n: usize) -> Vec<(String, QueryRequest)> {
                     path: path.clone(),
                     departure,
                     budget_s: 600.0,
+                    regime: pathcost_service::RegimeId::ALL_TRAFFIC,
                 },
             ));
         }

@@ -26,11 +26,13 @@
 //!   to 504) instead of burning a worker on an answer nobody is waiting for.
 //! * Under sustained pressure the queue reports
 //!   [`degraded`](AdmissionQueue::degraded) — queue depth or end-to-end p99
-//!   above the [`AdmissionConfig`] watermarks — and the dispatcher runs
-//!   batches in degraded mode (warm phase off, route candidate budgets
-//!   capped) so the service answers faster rather than queueing toward
-//!   timeout. See `ROBUSTNESS.md` at the repository root for the full
-//!   failure model.
+//!   above the [`AdmissionConfig`] watermarks — and two things happen:
+//!   already-admitted batches run in degraded mode (warm phase off, route
+//!   candidate budgets capped) so the backlog drains faster, and **new
+//!   submissions are refused at the door** with [`ServiceError::Degraded`]
+//!   (the HTTP layer answers 429 + `Retry-After`) so the backlog cannot
+//!   grow toward the hard capacity limit while the service is behind. See
+//!   `ROBUSTNESS.md` at the repository root for the full failure model.
 //!
 //! The queue itself owns no thread (the engine borrows the road network, so
 //! a detached `'static` dispatcher could not hold it). The server runs
@@ -217,6 +219,20 @@ impl AdmissionQueue {
         let mut state = self.state.lock().unwrap();
         if state.closed {
             return Err(ServiceError::ShuttingDown);
+        }
+        // Early rejection under degradation: when the load watermarks are
+        // already breached, refuse new work at the door (the HTTP layer
+        // answers 429 + `Retry-After`) instead of admitting it into a queue
+        // that is answering slower than clients wait. The depth watermark is
+        // re-derived from the held state rather than through
+        // [`Self::degraded`] — that accessor takes this same (non-reentrant)
+        // lock.
+        let depth_degraded = state.pending.len() >= self.config.degrade_queue_depth;
+        if depth_degraded || {
+            let latency = self.latency.snapshot();
+            latency.total() > 0 && latency.p99() >= self.config.degrade_p99
+        } {
+            return Err(ServiceError::Degraded);
         }
         if state.pending.len() + requests.len() > self.config.capacity {
             return Err(ServiceError::Overloaded);
@@ -419,7 +435,35 @@ mod tests {
         let paths = store.frequent_paths(2, 30, None);
         let (path, _) = paths[seed % paths.len()].clone();
         let departure = store.occurrences_on(&path)[0].entry_time;
-        QueryRequest::EstimateDistribution { path, departure }
+        QueryRequest::EstimateDistribution {
+            path,
+            departure,
+            regime: pathcost_core::RegimeId::ALL_TRAFFIC,
+        }
+    }
+
+    #[test]
+    fn degraded_queue_rejects_new_submissions_early() {
+        with_engine(|engine, store| {
+            let queue = AdmissionQueue::new(AdmissionConfig {
+                degrade_queue_depth: 2,
+                ..AdmissionConfig::default()
+            });
+            queue.submit(sample_request(store, 0)).unwrap();
+            let second = queue.submit(sample_request(store, 1)).unwrap();
+            assert!(queue.degraded(), "depth watermark breached");
+            // The door is closed while degraded — well before capacity.
+            assert!(matches!(
+                queue.submit(sample_request(store, 2)),
+                Err(ServiceError::Degraded)
+            ));
+            assert_eq!(queue.len(), 2, "rejected request was never queued");
+            // Draining the backlog clears the watermark and reopens the door.
+            queue.close();
+            queue.dispatch(engine);
+            assert!(second.wait().is_ok());
+            assert!(!queue.degraded());
+        });
     }
 
     #[test]

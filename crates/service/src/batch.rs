@@ -32,12 +32,12 @@
 //! accuracy trade-off documented on the config flag (incremental
 //! edge-convolution estimates instead of coarsest-decomposition ones).
 
-use crate::cache::CachedDistribution;
+use crate::cache::{key_fingerprint, CachedDistribution};
 use crate::deadline::RequestContext;
 use crate::engine::{budget_is_valid, QueryCounters, QueryEngine};
 use crate::error::ServiceError;
 use crate::request::{QueryOutcome, QueryRequest};
-use pathcost_core::{CoreError, IncrementalEstimate, IntervalId};
+use pathcost_core::{CoreError, IncrementalEstimate, IntervalId, RegimeId};
 use pathcost_hist::ConvolveScratch;
 use pathcost_roadnet::search::fastest_path;
 use pathcost_roadnet::{EdgeId, Path, VertexId};
@@ -50,6 +50,10 @@ use std::sync::Mutex;
 struct Job<'r> {
     path: Cow<'r, Path>,
     interval: IntervalId,
+    /// The traffic regime the requesting query evaluates under; the same
+    /// `(path, interval)` under two regimes is two distinct jobs (they fill
+    /// two distinct cache entries).
+    regime: RegimeId,
     /// `true` when some consumer of this entry needs full-OD quality (a
     /// `Route` seed: the search's incumbent comparisons assume candidates
     /// are estimator-evaluated), excluding it from the prefix-sharing warm
@@ -111,31 +115,35 @@ impl QueryEngine<'_> {
             total_jobs: &mut u64,
             interval: IntervalId,
             path: Cow<'r, Path>,
+            regime: RegimeId,
             full_od: bool,
         ) {
             *total_jobs += 1;
-            let fingerprint = interval.mix_fingerprint(path.fingerprint());
+            let fingerprint = key_fingerprint(path.as_ref(), interval, regime);
             let slot = unique.entry(fingerprint).or_default();
-            match slot
-                .iter_mut()
-                .find(|job| job.interval == interval && job.path.as_ref() == path.as_ref())
-            {
+            match slot.iter_mut().find(|job| {
+                job.interval == interval
+                    && job.regime == regime
+                    && job.path.as_ref() == path.as_ref()
+            }) {
                 Some(job) => job.full_od |= full_od,
                 None => slot.push(Job {
                     path,
                     interval,
+                    regime,
                     full_od,
                 }),
             }
         }
         for request in requests {
+            let regime = request.regime();
             match request {
                 QueryRequest::Route {
                     source,
                     destination,
                     departure,
                     budget_s,
-                    k: _,
+                    ..
                 } => {
                     // Seed only searches that can use it: requests with an
                     // invalid budget fail validation in the answer phase, and
@@ -154,6 +162,7 @@ impl QueryEngine<'_> {
                             &mut total_jobs,
                             self.interval_of(*departure),
                             Cow::Owned(seed),
+                            regime,
                             true,
                         );
                     }
@@ -165,6 +174,7 @@ impl QueryEngine<'_> {
                             &mut total_jobs,
                             self.interval_of(departure),
                             Cow::Borrowed(path),
+                            regime,
                             false,
                         );
                     }
@@ -190,15 +200,24 @@ impl QueryEngine<'_> {
             // answering one request now beats a worker warming entries a
             // timed-out batch may never read.
         } else if self.config().share_prefixes {
-            let od_jobs: Vec<&Job<'_>> = jobs.iter().filter(|job| job.full_od).collect();
-            self.for_each_index(od_jobs.len(), |i| {
+            // Full-OD jobs need estimator-exact quality, and non-global
+            // regime jobs need their regime's fallback view — the shared
+            // prefix trie is built over the global weights only. Both take
+            // the exact estimation path here; the prefix walk then skips
+            // them via its "already cached" check.
+            let exact_jobs: Vec<&Job<'_>> = jobs
+                .iter()
+                .filter(|job| job.full_od || !job.regime.is_global())
+                .collect();
+            self.for_each_index(exact_jobs.len(), |i| {
                 if abandoned() {
                     return;
                 }
-                let job = od_jobs[i];
+                let job = exact_jobs[i];
                 let _ = self.estimate_cached(
                     &job.path,
                     self.canonical_departure(job.interval),
+                    job.regime,
                     &warm_counters,
                 );
             });
@@ -216,7 +235,9 @@ impl QueryEngine<'_> {
             let width = pool.width();
             let mut by_worker: Vec<Vec<&Job<'_>>> = (0..width).map(|_| Vec::new()).collect();
             for job in &jobs {
-                let shard = self.cache().shard_index(job.path.as_ref(), job.interval);
+                let shard = self
+                    .cache()
+                    .shard_index(job.path.as_ref(), job.interval, job.regime);
                 by_worker[shard % width].push(job);
             }
             pool.run_pinned(|w| {
@@ -227,6 +248,7 @@ impl QueryEngine<'_> {
                     let _ = self.estimate_cached(
                         &job.path,
                         self.canonical_departure(job.interval),
+                        job.regime,
                         &warm_counters,
                     );
                 }
@@ -240,6 +262,7 @@ impl QueryEngine<'_> {
                 let _ = self.estimate_cached(
                     &job.path,
                     self.canonical_departure(job.interval),
+                    job.regime,
                     &warm_counters,
                 );
             });
@@ -304,6 +327,12 @@ impl QueryEngine<'_> {
     ) {
         let mut by_interval: HashMap<IntervalId, Vec<&Path>> = HashMap::new();
         for job in jobs {
+            // Non-global jobs were already warmed exactly (the incremental
+            // trie walks the global weights; a regime view's fallback
+            // resolution has no incremental form).
+            if !job.regime.is_global() {
+                continue;
+            }
             by_interval
                 .entry(job.interval)
                 .or_default()
@@ -350,7 +379,11 @@ impl QueryEngine<'_> {
             // already hold this job — possibly as the more accurate full-OD
             // estimate — and rebuilding would both waste the work and
             // downgrade the entry.
-            if self.cache().get(path, interval).is_some() {
+            if self
+                .cache()
+                .get(path, interval, RegimeId::ALL_TRAFFIC)
+                .is_some()
+            {
                 continue;
             }
             let edges = path.edges();
@@ -395,15 +428,17 @@ impl QueryEngine<'_> {
                     // fallbacks never change; newly added units are handled
                     // by the containment sweep).
                     let weights = graph.weights();
-                    let dependencies: Vec<(Path, IntervalId)> = unit_reads
+                    let dependencies: Vec<(Path, IntervalId, RegimeId)> = unit_reads
                         .iter()
                         .filter(|&&(edge, iv)| weights.unit_is_trajectory_derived(edge, iv))
-                        .map(|&(edge, iv)| (Path::unit(edge), iv))
+                        .map(|&(edge, iv)| (Path::unit(edge), iv, RegimeId::ALL_TRAFFIC))
                         .collect();
-                    self.deps.record(&dependencies, path, interval);
+                    self.deps
+                        .record(&dependencies, path, interval, RegimeId::ALL_TRAFFIC);
                     self.insert_cached(
                         path,
                         interval,
+                        RegimeId::ALL_TRAFFIC,
                         CachedDistribution {
                             // An Arc bump: the memo stack keeps sharing the
                             // same buckets with the cache entry.
@@ -411,21 +446,30 @@ impl QueryEngine<'_> {
                             // Incremental estimates have no decomposition;
                             // every edge is its own (unit) component.
                             decomposition_depth: path.cardinality(),
+                            // The walk reads global weights only; fallback
+                            // depth is a non-global-regime concept.
+                            fallback_depth: 0,
                         },
                     );
                     // Heal a purge that raced the record-before-insert
                     // window (see the post-insert check in
                     // `estimate_cached_on` for why a surviving forward
                     // record proves the registration is intact).
-                    if !dependencies.is_empty() && !self.deps.entry_recorded(path, interval) {
-                        self.deps.record(&dependencies, path, interval);
+                    if !dependencies.is_empty()
+                        && !self
+                            .deps
+                            .entry_recorded(path, interval, RegimeId::ALL_TRAFFIC)
+                    {
+                        self.deps
+                            .record(&dependencies, path, interval, RegimeId::ALL_TRAFFIC);
                     }
                     if self.epoch.load(Ordering::SeqCst) != epoch_at_start {
-                        self.evict_cached(path, interval);
+                        self.evict_cached(path, interval, RegimeId::ALL_TRAFFIC);
                     }
                 }
                 Err(_) => {
-                    let _ = self.estimate_cached(path, departure, warm_counters);
+                    let _ =
+                        self.estimate_cached(path, departure, RegimeId::ALL_TRAFFIC, warm_counters);
                 }
             }
         }
@@ -476,7 +520,9 @@ impl QueryEngine<'_> {
 /// their own search.
 fn estimation_jobs(request: &QueryRequest) -> Vec<(&Path, pathcost_traj::Timestamp)> {
     match request {
-        QueryRequest::EstimateDistribution { path, departure } => vec![(path, *departure)],
+        QueryRequest::EstimateDistribution {
+            path, departure, ..
+        } => vec![(path, *departure)],
         QueryRequest::ProbWithinBudget {
             path, departure, ..
         } => vec![(path, *departure)],

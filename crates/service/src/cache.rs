@@ -15,8 +15,14 @@
 //! concurrent readers/writers only contend when they touch the same shard.
 //! Each shard is an exact LRU: a `HashMap` into a slab of intrusively
 //! doubly-linked nodes, giving O(1) lookup, touch and eviction.
+//!
+//! Regimes: the key is really the triple `(path, interval, regime)` — the
+//! regime is folded into the fingerprint through
+//! [`mix_regime`], which is the *identity* for
+//! [`RegimeId::ALL_TRAFFIC`], so global-regime keys (and their shard
+//! selection) are bit-identical to the pre-regime cache.
 
-use pathcost_core::IntervalId;
+use pathcost_core::{mix_regime, IntervalId, RegimeId};
 use pathcost_hist::Histogram1D;
 use pathcost_roadnet::Path;
 use std::collections::HashMap;
@@ -36,21 +42,41 @@ pub struct CachedDistribution {
     pub histogram: Arc<Histogram1D>,
     /// Number of components in the coarsest decomposition that produced it.
     pub decomposition_depth: usize,
+    /// Deepest regime-fallback rung any variable of this estimate was
+    /// resolved at (0 under the global regime, and for estimates fully
+    /// answered by the requested regime's own tables).
+    pub fallback_depth: usize,
 }
 
-/// Cache key: interval-mixed path fingerprint plus the exact pair for
-/// collision-proof equality.
+/// Cache key: regime- and interval-mixed path fingerprint plus the exact
+/// triple for collision-proof equality.
 #[derive(Debug, Clone)]
 struct Key {
     fingerprint: u64,
     interval: IntervalId,
+    regime: RegimeId,
     path: Path,
 }
 
 impl Key {
-    fn matches(&self, fingerprint: u64, interval: IntervalId, path: &Path) -> bool {
-        self.fingerprint == fingerprint && self.interval == interval && &self.path == path
+    fn matches(
+        &self,
+        fingerprint: u64,
+        interval: IntervalId,
+        regime: RegimeId,
+        path: &Path,
+    ) -> bool {
+        self.fingerprint == fingerprint
+            && self.interval == interval
+            && self.regime == regime
+            && &self.path == path
     }
+}
+
+/// The cache (and dependency-index) fingerprint of a `(path, interval,
+/// regime)` key. Identity-mixed for the global regime.
+pub(crate) fn key_fingerprint(path: &Path, interval: IntervalId, regime: RegimeId) -> u64 {
+    mix_regime(interval.mix_fingerprint(path.fingerprint()), regime)
 }
 
 const NIL: usize = usize::MAX;
@@ -114,23 +140,30 @@ impl Shard {
         }
     }
 
-    /// Slab index of the live node for `(path, interval)`, if cached. Does
-    /// not touch recency.
-    fn find(&self, fingerprint: u64, interval: IntervalId, path: &Path) -> Option<usize> {
-        self.index
-            .get(&fingerprint)?
-            .iter()
-            .copied()
-            .find(|&i| self.slab[i].key.matches(fingerprint, interval, path))
+    /// Slab index of the live node for `(path, interval, regime)`, if
+    /// cached. Does not touch recency.
+    fn find(
+        &self,
+        fingerprint: u64,
+        interval: IntervalId,
+        regime: RegimeId,
+        path: &Path,
+    ) -> Option<usize> {
+        self.index.get(&fingerprint)?.iter().copied().find(|&i| {
+            self.slab[i]
+                .key
+                .matches(fingerprint, interval, regime, path)
+        })
     }
 
     fn get(
         &mut self,
         fingerprint: u64,
         interval: IntervalId,
+        regime: RegimeId,
         path: &Path,
     ) -> Option<CachedDistribution> {
-        let at = self.find(fingerprint, interval, path)?;
+        let at = self.find(fingerprint, interval, regime, path)?;
         self.unlink(at);
         self.push_front(at);
         Some(self.slab[at].value.clone())
@@ -144,10 +177,11 @@ impl Shard {
         &mut self,
         fingerprint: u64,
         interval: IntervalId,
+        regime: RegimeId,
         path: &Path,
         value: CachedDistribution,
-    ) -> Option<(Path, IntervalId)> {
-        if let Some(at) = self.find(fingerprint, interval, path) {
+    ) -> Option<(Path, IntervalId, RegimeId)> {
+        if let Some(at) = self.find(fingerprint, interval, regime, path) {
             self.slab[at].value = value;
             self.unlink(at);
             self.push_front(at);
@@ -161,6 +195,7 @@ impl Shard {
         let key = Key {
             fingerprint,
             interval,
+            regime,
             path: path.clone(),
         };
         let node = Node {
@@ -185,12 +220,16 @@ impl Shard {
         victim
     }
 
-    fn evict_tail(&mut self) -> Option<(Path, IntervalId)> {
+    fn evict_tail(&mut self) -> Option<(Path, IntervalId, RegimeId)> {
         let at = self.tail;
         if at == NIL {
             return None;
         }
-        let key = (self.slab[at].key.path.clone(), self.slab[at].key.interval);
+        let key = (
+            self.slab[at].key.path.clone(),
+            self.slab[at].key.interval,
+            self.slab[at].key.regime,
+        );
         self.remove_at(at);
         Some(key)
     }
@@ -209,10 +248,16 @@ impl Shard {
         self.len -= 1;
     }
 
-    /// Removes the exact entry for `(path, interval)`, returning whether it
-    /// was present.
-    fn remove(&mut self, fingerprint: u64, interval: IntervalId, path: &Path) -> bool {
-        let Some(at) = self.find(fingerprint, interval, path) else {
+    /// Removes the exact entry for `(path, interval, regime)`, returning
+    /// whether it was present.
+    fn remove(
+        &mut self,
+        fingerprint: u64,
+        interval: IntervalId,
+        regime: RegimeId,
+        path: &Path,
+    ) -> bool {
+        let Some(at) = self.find(fingerprint, interval, regime, path) else {
             return false;
         };
         self.remove_at(at);
@@ -237,22 +282,26 @@ impl Shard {
     /// evicted keys (so the caller can purge their dependency-index edges).
     fn invalidate_matching(
         &mut self,
-        predicate: &dyn Fn(&Path, IntervalId) -> bool,
-    ) -> Vec<(Path, IntervalId)> {
+        predicate: &dyn Fn(&Path, IntervalId, RegimeId) -> bool,
+    ) -> Vec<(Path, IntervalId, RegimeId)> {
         // Walk the recency list (only live nodes are linked) and collect
         // victims first: removal mutates the links being walked.
         let mut victims = Vec::new();
         let mut cursor = self.head;
         while cursor != NIL {
             let node = &self.slab[cursor];
-            if predicate(&node.key.path, node.key.interval) {
+            if predicate(&node.key.path, node.key.interval, node.key.regime) {
                 victims.push(cursor);
             }
             cursor = node.next;
         }
         let mut evicted = Vec::with_capacity(victims.len());
         for at in victims {
-            evicted.push((self.slab[at].key.path.clone(), self.slab[at].key.interval));
+            evicted.push((
+                self.slab[at].key.path.clone(),
+                self.slab[at].key.interval,
+                self.slab[at].key.regime,
+            ));
             self.remove_at(at);
         }
         evicted
@@ -322,22 +371,27 @@ impl DistributionCache {
         self.shards.len()
     }
 
-    /// The shard index the entry for `(path, interval)` lives in — the
-    /// affinity key the batch executor uses to pin cache-fill jobs to the
+    /// The shard index the entry for `(path, interval, regime)` lives in —
+    /// the affinity key the batch executor uses to pin cache-fill jobs to the
     /// worker that owns the shard (worker `shard % pool_width`), so
     /// concurrent warm-phase fills never contend on a shard lock.
-    pub fn shard_index(&self, path: &Path, interval: IntervalId) -> usize {
-        self.shard_index_of(interval.mix_fingerprint(path.fingerprint()))
+    pub fn shard_index(&self, path: &Path, interval: IntervalId, regime: RegimeId) -> usize {
+        self.shard_index_of(key_fingerprint(path, interval, regime))
     }
 
-    /// Looks up `(path, interval)`, refreshing its recency on a hit.
-    pub fn get(&self, path: &Path, interval: IntervalId) -> Option<CachedDistribution> {
-        let fingerprint = interval.mix_fingerprint(path.fingerprint());
+    /// Looks up `(path, interval, regime)`, refreshing its recency on a hit.
+    pub fn get(
+        &self,
+        path: &Path,
+        interval: IntervalId,
+        regime: RegimeId,
+    ) -> Option<CachedDistribution> {
+        let fingerprint = key_fingerprint(path, interval, regime);
         let shard_index = self.shard_index_of(fingerprint);
         let found = self.shards[shard_index]
             .lock()
             .expect("cache shard poisoned")
-            .get(fingerprint, interval, path);
+            .get(fingerprint, interval, regime, path);
         match &found {
             Some(_) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -355,22 +409,24 @@ impl DistributionCache {
         found
     }
 
-    /// Inserts (or refreshes) the entry for `(path, interval)`. When making
-    /// room forced a capacity (LRU) eviction, the victim's key is returned so
-    /// the caller can purge its reader edges from the dependency index.
+    /// Inserts (or refreshes) the entry for `(path, interval, regime)`. When
+    /// making room forced a capacity (LRU) eviction, the victim's key is
+    /// returned so the caller can purge its reader edges from the dependency
+    /// index.
     pub fn insert(
         &self,
         path: &Path,
         interval: IntervalId,
+        regime: RegimeId,
         value: CachedDistribution,
-    ) -> Option<(Path, IntervalId)> {
-        let fingerprint = interval.mix_fingerprint(path.fingerprint());
+    ) -> Option<(Path, IntervalId, RegimeId)> {
+        let fingerprint = key_fingerprint(path, interval, regime);
         let shard_index = self.shard_index_of(fingerprint);
         self.insertions.fetch_add(1, Ordering::Relaxed);
         let victim = self.shards[shard_index]
             .lock()
             .expect("cache shard poisoned")
-            .insert(fingerprint, interval, path, value);
+            .insert(fingerprint, interval, regime, path, value);
         if victim.is_some() {
             self.evictions.fetch_add(1, Ordering::Relaxed);
             self.tallies[shard_index]
@@ -392,30 +448,31 @@ impl DistributionCache {
         &self,
         path: &Path,
         interval: IntervalId,
+        regime: RegimeId,
         action: impl FnOnce(),
     ) -> bool {
-        let fingerprint = interval.mix_fingerprint(path.fingerprint());
+        let fingerprint = key_fingerprint(path, interval, regime);
         let shard = self
             .shard_of(fingerprint)
             .lock()
             .expect("cache shard poisoned");
-        let absent = shard.find(fingerprint, interval, path).is_none();
+        let absent = shard.find(fingerprint, interval, regime, path).is_none();
         if absent {
             action();
         }
         absent
     }
 
-    /// Targeted invalidation of one exact `(path, interval)` entry. Returns
-    /// whether an entry existed (and was evicted). Counted under
+    /// Targeted invalidation of one exact `(path, interval, regime)` entry.
+    /// Returns whether an entry existed (and was evicted). Counted under
     /// [`Self::invalidations`], not LRU [`Self::evictions`].
-    pub fn remove(&self, path: &Path, interval: IntervalId) -> bool {
-        let fingerprint = interval.mix_fingerprint(path.fingerprint());
+    pub fn remove(&self, path: &Path, interval: IntervalId, regime: RegimeId) -> bool {
+        let fingerprint = key_fingerprint(path, interval, regime);
         let removed = self
             .shard_of(fingerprint)
             .lock()
             .expect("cache shard poisoned")
-            .remove(fingerprint, interval, path);
+            .remove(fingerprint, interval, regime, path);
         if removed {
             self.invalidations.fetch_add(1, Ordering::Relaxed);
         }
@@ -424,13 +481,13 @@ impl DistributionCache {
 
     /// Targeted invalidation by predicate: walks every shard (each under its
     /// own lock, so concurrent traffic on other shards proceeds) and evicts
-    /// the entries whose `(path, interval)` key matches. Returns the evicted
-    /// keys (so the caller can purge their dependency-index edges); counted
-    /// under [`Self::invalidations`].
+    /// the entries whose `(path, interval, regime)` key matches. Returns the
+    /// evicted keys (so the caller can purge their dependency-index edges);
+    /// counted under [`Self::invalidations`].
     pub fn invalidate_matching(
         &self,
-        predicate: impl Fn(&Path, IntervalId) -> bool,
-    ) -> Vec<(Path, IntervalId)> {
+        predicate: impl Fn(&Path, IntervalId, RegimeId) -> bool,
+    ) -> Vec<(Path, IntervalId, RegimeId)> {
         let mut evicted = Vec::new();
         for shard in &self.shards {
             evicted.extend(
@@ -524,6 +581,9 @@ mod tests {
     use pathcost_hist::{Bucket, Histogram1D};
     use pathcost_roadnet::EdgeId;
 
+    /// The global regime every pre-regime test keys under.
+    const G: RegimeId = RegimeId::ALL_TRAFFIC;
+
     fn value(mean: f64) -> CachedDistribution {
         CachedDistribution {
             histogram: Arc::new(
@@ -534,6 +594,7 @@ mod tests {
                 .unwrap(),
             ),
             decomposition_depth: 1,
+            fallback_depth: 0,
         }
     }
 
@@ -545,9 +606,9 @@ mod tests {
     fn get_after_insert_round_trips_and_counts() {
         let cache = DistributionCache::new(4, 8);
         let p = path(&[1, 2, 3]);
-        assert!(cache.get(&p, IntervalId(3)).is_none());
-        cache.insert(&p, IntervalId(3), value(10.0));
-        let got = cache.get(&p, IntervalId(3)).expect("cached");
+        assert!(cache.get(&p, IntervalId(3), G).is_none());
+        cache.insert(&p, IntervalId(3), G, value(10.0));
+        let got = cache.get(&p, IntervalId(3), G).expect("cached");
         assert!((got.histogram.mean() - 10.0).abs() < 1e-9);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
@@ -558,40 +619,43 @@ mod tests {
     fn intervals_key_independent_entries() {
         let cache = DistributionCache::new(4, 8);
         let p = path(&[1, 2, 3]);
-        cache.insert(&p, IntervalId(0), value(10.0));
-        cache.insert(&p, IntervalId(1), value(20.0));
+        cache.insert(&p, IntervalId(0), G, value(10.0));
+        cache.insert(&p, IntervalId(1), G, value(20.0));
         assert_eq!(cache.len(), 2);
-        assert!((cache.get(&p, IntervalId(0)).unwrap().histogram.mean() - 10.0).abs() < 1e-9);
-        assert!((cache.get(&p, IntervalId(1)).unwrap().histogram.mean() - 20.0).abs() < 1e-9);
-        assert!(cache.get(&p, IntervalId(2)).is_none());
+        assert!((cache.get(&p, IntervalId(0), G).unwrap().histogram.mean() - 10.0).abs() < 1e-9);
+        assert!((cache.get(&p, IntervalId(1), G).unwrap().histogram.mean() - 20.0).abs() < 1e-9);
+        assert!(cache.get(&p, IntervalId(2), G).is_none());
     }
 
     #[test]
     fn lru_evicts_the_least_recently_used() {
         let cache = DistributionCache::new(1, 2);
         let (a, b, c) = (path(&[1]), path(&[2]), path(&[3]));
-        cache.insert(&a, IntervalId(0), value(1.0));
-        cache.insert(&b, IntervalId(0), value(2.0));
+        cache.insert(&a, IntervalId(0), G, value(1.0));
+        cache.insert(&b, IntervalId(0), G, value(2.0));
         // Touch `a` so `b` is the LRU entry, then overflow.
-        assert!(cache.get(&a, IntervalId(0)).is_some());
-        cache.insert(&c, IntervalId(0), value(3.0));
+        assert!(cache.get(&a, IntervalId(0), G).is_some());
+        cache.insert(&c, IntervalId(0), G, value(3.0));
         assert_eq!(cache.len(), 2);
         assert!(
-            cache.get(&a, IntervalId(0)).is_some(),
+            cache.get(&a, IntervalId(0), G).is_some(),
             "recently used survives"
         );
-        assert!(cache.get(&b, IntervalId(0)).is_none(), "LRU entry evicted");
-        assert!(cache.get(&c, IntervalId(0)).is_some());
+        assert!(
+            cache.get(&b, IntervalId(0), G).is_none(),
+            "LRU entry evicted"
+        );
+        assert!(cache.get(&c, IntervalId(0), G).is_some());
     }
 
     #[test]
     fn reinsert_refreshes_value_without_growing() {
         let cache = DistributionCache::new(1, 4);
         let p = path(&[7, 8]);
-        cache.insert(&p, IntervalId(5), value(1.0));
-        cache.insert(&p, IntervalId(5), value(9.0));
+        cache.insert(&p, IntervalId(5), G, value(1.0));
+        cache.insert(&p, IntervalId(5), G, value(9.0));
         assert_eq!(cache.len(), 1);
-        assert!((cache.get(&p, IntervalId(5)).unwrap().histogram.mean() - 9.0).abs() < 1e-9);
+        assert!((cache.get(&p, IntervalId(5), G).unwrap().histogram.mean() - 9.0).abs() < 1e-9);
     }
 
     #[test]
@@ -602,9 +666,9 @@ mod tests {
         let p = path(&[4, 5, 6]);
         let inserted = value(42.0);
         let backing = inserted.histogram.clone();
-        cache.insert(&p, IntervalId(1), inserted);
-        let first = cache.get(&p, IntervalId(1)).expect("cached");
-        let second = cache.get(&p, IntervalId(1)).expect("cached");
+        cache.insert(&p, IntervalId(1), G, inserted);
+        let first = cache.get(&p, IntervalId(1), G).expect("cached");
+        let second = cache.get(&p, IntervalId(1), G).expect("cached");
         assert!(Arc::ptr_eq(&first.histogram, &backing));
         assert!(Arc::ptr_eq(&first.histogram, &second.histogram));
     }
@@ -613,13 +677,13 @@ mod tests {
     fn insert_reports_its_lru_victim() {
         let cache = DistributionCache::new(1, 2);
         let (a, b, c) = (path(&[1]), path(&[2]), path(&[3]));
-        assert!(cache.insert(&a, IntervalId(0), value(1.0)).is_none());
-        assert!(cache.insert(&b, IntervalId(4), value(2.0)).is_none());
+        assert!(cache.insert(&a, IntervalId(0), G, value(1.0)).is_none());
+        assert!(cache.insert(&b, IntervalId(4), G, value(2.0)).is_none());
         // Refreshing an existing key never evicts.
-        assert!(cache.insert(&a, IntervalId(0), value(1.5)).is_none());
+        assert!(cache.insert(&a, IntervalId(0), G, value(1.5)).is_none());
         // Overflow: `b` is now the LRU entry and must be reported.
-        let victim = cache.insert(&c, IntervalId(0), value(3.0));
-        assert_eq!(victim, Some((b, IntervalId(4))));
+        let victim = cache.insert(&c, IntervalId(0), G, value(3.0));
+        assert_eq!(victim, Some((b, IntervalId(4), G)));
         assert_eq!(cache.evictions(), 1);
     }
 
@@ -627,57 +691,90 @@ mod tests {
     fn eviction_slots_are_reused() {
         let cache = DistributionCache::new(1, 2);
         for i in 0..100u32 {
-            cache.insert(&path(&[i]), IntervalId(0), value(i as f64 + 1.0));
+            cache.insert(&path(&[i]), IntervalId(0), G, value(i as f64 + 1.0));
         }
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.evictions(), 98);
-        assert!(cache.get(&path(&[99]), IntervalId(0)).is_some());
-        assert!(cache.get(&path(&[98]), IntervalId(0)).is_some());
-        assert!(cache.get(&path(&[0]), IntervalId(0)).is_none());
+        assert!(cache.get(&path(&[99]), IntervalId(0), G).is_some());
+        assert!(cache.get(&path(&[98]), IntervalId(0), G).is_some());
+        assert!(cache.get(&path(&[0]), IntervalId(0), G).is_none());
     }
 
     #[test]
     fn remove_evicts_exactly_one_entry_and_counts_it() {
         let cache = DistributionCache::new(4, 8);
         let (a, b) = (path(&[1, 2]), path(&[3, 4]));
-        cache.insert(&a, IntervalId(0), value(1.0));
-        cache.insert(&a, IntervalId(1), value(2.0));
-        cache.insert(&b, IntervalId(0), value(3.0));
-        assert!(cache.remove(&a, IntervalId(0)));
-        assert!(!cache.remove(&a, IntervalId(0)), "already gone");
+        cache.insert(&a, IntervalId(0), G, value(1.0));
+        cache.insert(&a, IntervalId(1), G, value(2.0));
+        cache.insert(&b, IntervalId(0), G, value(3.0));
+        assert!(cache.remove(&a, IntervalId(0), G));
+        assert!(!cache.remove(&a, IntervalId(0), G), "already gone");
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.invalidations(), 1);
         assert_eq!(cache.evictions(), 0, "targeted removals are not LRU");
-        assert!(cache.get(&a, IntervalId(0)).is_none());
-        assert!(cache.get(&a, IntervalId(1)).is_some());
-        assert!(cache.get(&b, IntervalId(0)).is_some());
+        assert!(cache.get(&a, IntervalId(0), G).is_none());
+        assert!(cache.get(&a, IntervalId(1), G).is_some());
+        assert!(cache.get(&b, IntervalId(0), G).is_some());
         // A removed slot is reusable without disturbing the survivors.
-        cache.insert(&a, IntervalId(0), value(9.0));
+        cache.insert(&a, IntervalId(0), G, value(9.0));
         assert_eq!(cache.len(), 3);
-        assert!((cache.get(&a, IntervalId(0)).unwrap().histogram.mean() - 9.0).abs() < 1e-9);
+        assert!((cache.get(&a, IntervalId(0), G).unwrap().histogram.mean() - 9.0).abs() < 1e-9);
     }
 
     #[test]
     fn invalidate_matching_sweeps_per_shard_and_clear_flushes() {
         let cache = DistributionCache::new(4, 16);
         for i in 0..12u32 {
-            cache.insert(&path(&[i, i + 1]), IntervalId((i % 3) as u16), value(1.0));
+            cache.insert(
+                &path(&[i, i + 1]),
+                IntervalId((i % 3) as u16),
+                G,
+                value(1.0),
+            );
         }
-        let evicted = cache.invalidate_matching(|_, interval| interval == IntervalId(0));
+        let evicted = cache.invalidate_matching(|_, interval, _| interval == IntervalId(0));
         assert_eq!(evicted.len(), 4);
-        for (path, interval) in &evicted {
+        for (path, interval, regime) in &evicted {
             assert_eq!(*interval, IntervalId(0));
+            assert_eq!(*regime, G);
             assert_eq!(path.cardinality(), 2);
         }
         assert_eq!(cache.len(), 8);
         for i in 0..12u32 {
             let present = cache
-                .get(&path(&[i, i + 1]), IntervalId((i % 3) as u16))
+                .get(&path(&[i, i + 1]), IntervalId((i % 3) as u16), G)
                 .is_some();
             assert_eq!(present, i % 3 != 0, "entry {i}");
         }
         assert_eq!(cache.clear(), 8);
         assert!(cache.is_empty());
         assert_eq!(cache.invalidations(), 12);
+    }
+
+    #[test]
+    fn regimes_key_independent_entries_and_global_keys_are_unmixed() {
+        let cache = DistributionCache::new(4, 8);
+        let p = path(&[1, 2, 3]);
+        let (peak, off) = (RegimeId(1), RegimeId(2));
+        cache.insert(&p, IntervalId(0), G, value(10.0));
+        cache.insert(&p, IntervalId(0), peak, value(20.0));
+        cache.insert(&p, IntervalId(0), off, value(30.0));
+        assert_eq!(cache.len(), 3, "one entry per regime");
+        assert!((cache.get(&p, IntervalId(0), G).unwrap().histogram.mean() - 10.0).abs() < 1e-9);
+        assert!((cache.get(&p, IntervalId(0), peak).unwrap().histogram.mean() - 20.0).abs() < 1e-9);
+        assert!((cache.get(&p, IntervalId(0), off).unwrap().histogram.mean() - 30.0).abs() < 1e-9);
+        assert!(cache.get(&p, IntervalId(0), RegimeId(9)).is_none());
+        // The global fingerprint (and therefore shard choice) is exactly the
+        // pre-regime one: mix_regime is the identity at the root.
+        assert_eq!(
+            key_fingerprint(&p, IntervalId(0), G),
+            IntervalId(0).mix_fingerprint(p.fingerprint())
+        );
+        // Regime-targeted invalidation only touches that regime's entries.
+        let evicted = cache.invalidate_matching(|_, _, regime| regime == peak);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].2, peak);
+        assert!(cache.get(&p, IntervalId(0), G).is_some());
+        assert!(cache.get(&p, IntervalId(0), off).is_some());
     }
 }

@@ -8,7 +8,9 @@ use crate::request::{QueryOutcome, QueryRequest, QueryResponse, QueryStats, Rank
 use crate::stats::{ServiceStats, StatsRecorder};
 use crate::update::DependencyIndex;
 use pathcost_core::interval::DayPartition;
-use pathcost_core::{CostEstimator, EstimateBreakdown, HybridGraph, IntervalId, OdEstimator};
+use pathcost_core::{
+    CostEstimator, EstimateBreakdown, HybridGraph, IntervalId, OdEstimator, RegimeId,
+};
 use pathcost_hist::Histogram1D;
 use pathcost_roadnet::Path;
 use pathcost_routing::{prob_within_budget, BestFirstRouter, RouterConfig, RoutingError};
@@ -73,6 +75,7 @@ pub(crate) struct QueryCounters {
     hits: AtomicU64,
     misses: AtomicU64,
     max_depth: AtomicUsize,
+    max_fallback: AtomicUsize,
 }
 
 impl QueryCounters {
@@ -82,6 +85,15 @@ impl QueryCounters {
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.max_depth.fetch_max(depth, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds one distribution's regime-fallback depth (hit or miss — a
+    /// cached entry carries the depth it was resolved at) into the query's
+    /// maximum.
+    fn record_fallback(&self, depth: usize) {
+        if depth > 0 {
+            self.max_fallback.fetch_max(depth, Ordering::Relaxed);
         }
     }
 }
@@ -220,6 +232,20 @@ impl<'n> QueryEngine<'n> {
         )
     }
 
+    /// Per-regime distribution-lookup tallies, keyed by raw [`RegimeId`]
+    /// value. Empty until a non-global regime is queried — the global
+    /// regime's traffic is the engine-level counters in [`Self::stats`].
+    pub fn regime_stats(&self) -> std::collections::BTreeMap<u16, crate::stats::RegimeTally> {
+        self.recorder.regime_tallies()
+    }
+
+    /// Counts one request refused at the admission door because the service
+    /// was degraded ([`ServiceStats::rejected_degraded`]); called by the
+    /// front-end that owns both the admission queue and the engine.
+    pub fn record_rejected_degraded(&self) {
+        self.recorder.record_rejected_degraded();
+    }
+
     /// The day partition (α) the engine serves under; fixed for the engine's
     /// lifetime (updates that would change it are rejected).
     pub fn partition(&self) -> &DayPartition {
@@ -257,10 +283,11 @@ impl<'n> QueryEngine<'n> {
         &self,
         path: &Path,
         departure: Timestamp,
+        regime: RegimeId,
         counters: &QueryCounters,
     ) -> Result<CachedDistribution, ServiceError> {
         let (snapshot_epoch, graph) = self.graph_snapshot();
-        self.estimate_cached_on(&graph, snapshot_epoch, path, departure, counters)
+        self.estimate_cached_on(&graph, snapshot_epoch, path, departure, regime, counters)
     }
 
     /// As [`Self::estimate_cached`], estimating misses against the given
@@ -275,11 +302,17 @@ impl<'n> QueryEngine<'n> {
         snapshot_epoch: u64,
         path: &Path,
         departure: Timestamp,
+        regime: RegimeId,
         counters: &QueryCounters,
     ) -> Result<CachedDistribution, ServiceError> {
         let interval = self.interval_of(departure);
-        if let Some(hit) = self.cache.get(path, interval) {
+        if let Some(hit) = self.cache.get(path, interval, regime) {
             counters.record(true, 0);
+            counters.record_fallback(hit.fallback_depth);
+            if !regime.is_global() {
+                self.recorder.record_regime_lookup(regime, true);
+                self.recorder.record_regime_fallback(hit.fallback_depth);
+            }
             return Ok(hit);
         }
         // Guard against a fill racing `apply_update`: if an update publishes
@@ -292,17 +325,60 @@ impl<'n> QueryEngine<'n> {
         // restores the invariant: the caller still gets its (raced,
         // pre-update — allowed) answer, but the cache does not retain it.
         let canonical = self.canonical_departure(interval);
-        let artifacts = OdEstimator::new(graph).estimate_with_artifacts(path, canonical)?;
+        // Non-global regimes estimate against the regime's materialized
+        // effective view (its own observations layered over the fallback
+        // ladder). Building the view graph is an `Arc` bump over the same
+        // network — `from_parts` copies nothing. A regime with no view at
+        // all (unknown, or never observed) answers from the global weights
+        // with every variable at the deepest ladder rung.
+        let weights = graph.weights();
+        let base_depth = if regime.is_global() {
+            0
+        } else {
+            weights.regime_schema().ladder(regime).len() - 1
+        };
+        let view = weights.for_regime(regime).cloned();
+        let regime_graph =
+            view.map(|view| HybridGraph::from_parts(graph.network(), view, graph.config().clone()));
+        let eval_graph = regime_graph.as_ref().unwrap_or(graph);
+        let artifacts = OdEstimator::new(eval_graph).estimate_with_artifacts(path, canonical)?;
         let depth = artifacts.decomposition.len();
+        // Dependencies are recorded at their *source* regime — the table the
+        // variable actually resolved from — so a global-table update drains
+        // this entry exactly when it read through the fallback ladder, and a
+        // sibling regime's update never does. The entry's fallback depth is
+        // the deepest rung any of its variables resolved at.
+        let mut fallback_depth = if regime_graph.is_some() {
+            0
+        } else {
+            base_depth
+        };
+        let resolved = eval_graph.weights();
+        let dependencies: Vec<(Path, IntervalId, RegimeId)> = artifacts
+            .dependencies
+            .iter()
+            .map(|(dep_path, dep_interval)| {
+                let (dep_depth, source) = if regime.is_global() {
+                    (0, RegimeId::ALL_TRAFFIC)
+                } else {
+                    resolved
+                        .resolution_of(dep_path, *dep_interval)
+                        .unwrap_or((base_depth, RegimeId::ALL_TRAFFIC))
+                };
+                fallback_depth = fallback_depth.max(dep_depth);
+                (dep_path.clone(), *dep_interval, source)
+            })
+            .collect();
         let value = CachedDistribution {
             histogram: Arc::new(artifacts.histogram),
             decomposition_depth: depth,
+            fallback_depth,
         };
         // Register which trajectory-derived variables this entry read before
         // inserting it, so an update arriving in between cannot observe the
         // entry without its dependencies.
-        self.deps.record(&artifacts.dependencies, path, interval);
-        self.insert_cached(path, interval, value.clone());
+        self.deps.record(&dependencies, path, interval, regime);
+        self.insert_cached(path, interval, regime, value.clone());
         // Heal a purge that raced the record-before-insert window: a purge
         // of this key's *previous* incarnation (its LRU eviction raced this
         // refill) may have stripped the pre-insert registration. Purges run
@@ -310,14 +386,19 @@ impl<'n> QueryEngine<'n> {
         // from here on they see the entry live and skip — so a surviving
         // forward record proves the registration is intact, and re-recording
         // is only needed (and raced by nothing) when it is gone.
-        if !artifacts.dependencies.is_empty() && !self.deps.entry_recorded(path, interval) {
-            self.deps.record(&artifacts.dependencies, path, interval);
+        if !dependencies.is_empty() && !self.deps.entry_recorded(path, interval, regime) {
+            self.deps.record(&dependencies, path, interval, regime);
         }
         if self.epoch.load(Ordering::SeqCst) != snapshot_epoch {
-            self.evict_cached(path, interval);
+            self.evict_cached(path, interval, regime);
         }
         self.recorder.record_estimation(depth);
         counters.record(false, depth);
+        counters.record_fallback(fallback_depth);
+        if !regime.is_global() {
+            self.recorder.record_regime_lookup(regime, false);
+            self.recorder.record_regime_fallback(fallback_depth);
+        }
         Ok(value)
     }
 
@@ -329,19 +410,22 @@ impl<'n> QueryEngine<'n> {
         &self,
         path: &Path,
         interval: IntervalId,
+        regime: RegimeId,
         value: CachedDistribution,
     ) {
-        if let Some((victim_path, victim_interval)) = self.cache.insert(path, interval, value) {
-            self.purge_stale_edges(&victim_path, victim_interval);
+        if let Some((victim_path, victim_interval, victim_regime)) =
+            self.cache.insert(path, interval, regime, value)
+        {
+            self.purge_stale_edges(&victim_path, victim_interval, victim_regime);
         }
     }
 
     /// Drops one cache entry *and* its dependency-index edges — the raced-
     /// fill self-eviction path (an `apply_update` landed while the fill was
     /// in flight).
-    pub(crate) fn evict_cached(&self, path: &Path, interval: IntervalId) {
-        self.cache.remove(path, interval);
-        self.purge_stale_edges(path, interval);
+    pub(crate) fn evict_cached(&self, path: &Path, interval: IntervalId, regime: RegimeId) {
+        self.cache.remove(path, interval, regime);
+        self.purge_stale_edges(path, interval, regime);
     }
 
     /// Purges a dead entry's reader edges from the dependency index,
@@ -353,10 +437,15 @@ impl<'n> QueryEngine<'n> {
     /// re-registration; the worst surviving race leaves a few *extra*
     /// edges (sound: at most one spurious eviction later), never missing
     /// ones.
-    pub(crate) fn purge_stale_edges(&self, path: &Path, interval: IntervalId) -> u64 {
+    pub(crate) fn purge_stale_edges(
+        &self,
+        path: &Path,
+        interval: IntervalId,
+        regime: RegimeId,
+    ) -> u64 {
         let mut purged = 0;
-        self.cache.if_absent(path, interval, || {
-            purged = self.deps.purge_entry(path, interval);
+        self.cache.if_absent(path, interval, regime, || {
+            purged = self.deps.purge_entry(path, interval, regime);
         });
         self.recorder.record_stale_purges(purged);
         purged
@@ -427,6 +516,7 @@ impl<'n> QueryEngine<'n> {
                 cache_hits: counters.hits.load(Ordering::Relaxed),
                 cache_misses: counters.misses.load(Ordering::Relaxed),
                 max_decomposition_depth: counters.max_depth.load(Ordering::Relaxed),
+                max_fallback_depth: counters.max_fallback.load(Ordering::Relaxed),
                 latency,
                 degraded,
             },
@@ -441,18 +531,23 @@ impl<'n> QueryEngine<'n> {
         degraded: bool,
     ) -> Result<QueryResponse, ServiceError> {
         match request {
-            QueryRequest::EstimateDistribution { path, departure } => {
+            QueryRequest::EstimateDistribution {
+                path,
+                departure,
+                regime,
+            } => {
                 chaos_panic_failpoint(path);
-                let cached = self.estimate_cached(path, *departure, counters)?;
+                let cached = self.estimate_cached(path, *departure, *regime, counters)?;
                 Ok(QueryResponse::Distribution(cached.histogram))
             }
             QueryRequest::ProbWithinBudget {
                 path,
                 departure,
                 budget_s,
+                regime,
             } => {
                 validate_budget(*budget_s)?;
-                let cached = self.estimate_cached(path, *departure, counters)?;
+                let cached = self.estimate_cached(path, *departure, *regime, counters)?;
                 Ok(QueryResponse::Probability(prob_within_budget(
                     &cached.histogram,
                     *budget_s,
@@ -462,6 +557,7 @@ impl<'n> QueryEngine<'n> {
                 candidates,
                 departure,
                 budget_s,
+                regime,
             } => {
                 validate_budget(*budget_s)?;
                 if candidates.is_empty() {
@@ -477,7 +573,7 @@ impl<'n> QueryEngine<'n> {
                     if ctx.should_stop() {
                         return Err(stop_error(ctx));
                     }
-                    if let Ok(cached) = self.estimate_cached(path, *departure, counters) {
+                    if let Ok(cached) = self.estimate_cached(path, *departure, *regime, counters) {
                         ranking.push(RankedPath {
                             index,
                             probability: prob_within_budget(&cached.histogram, *budget_s),
@@ -497,6 +593,7 @@ impl<'n> QueryEngine<'n> {
                 departure,
                 budget_s,
                 k,
+                regime,
             } => {
                 validate_budget(*budget_s)?;
                 if *k == 0 {
@@ -528,8 +625,13 @@ impl<'n> QueryEngine<'n> {
                     self.config.router.clone()
                 };
                 let router = BestFirstRouter::new(&graph, router_config)?;
-                let estimator =
-                    CachingEstimator::for_query(self, counters, graph.clone(), snapshot_epoch);
+                let estimator = CachingEstimator::for_query(
+                    self,
+                    counters,
+                    graph.clone(),
+                    snapshot_epoch,
+                    *regime,
+                );
                 let (mut ranked, telemetry) = match router.route_top_k_cancellable(
                     &estimator,
                     *source,
@@ -628,18 +730,22 @@ pub struct CachingEstimator<'e, 'n> {
     /// query they serve; standalone adapters read the currently published
     /// graph per lookup.
     pinned: Option<(u64, Arc<HybridGraph<'n>>)>,
+    /// The traffic regime every lookup evaluates under; the global
+    /// [`RegimeId::ALL_TRAFFIC`] for standalone adapters.
+    regime: RegimeId,
 }
 
 impl<'e, 'n> CachingEstimator<'e, 'n> {
-    /// An adapter over `engine`. Its lookups show up in the engine-level
-    /// [`QueryEngine::stats`] (cache hits/misses, estimations); per-query
-    /// tallies are only collected for adapters the engine creates itself
-    /// while answering a `Route` request.
+    /// An adapter over `engine`, evaluating under the global regime. Its
+    /// lookups show up in the engine-level [`QueryEngine::stats`] (cache
+    /// hits/misses, estimations); per-query tallies are only collected for
+    /// adapters the engine creates itself while answering a `Route` request.
     pub fn new(engine: &'e QueryEngine<'n>) -> Self {
         CachingEstimator {
             engine,
             counters: None,
             pinned: None,
+            regime: RegimeId::ALL_TRAFFIC,
         }
     }
 
@@ -648,11 +754,13 @@ impl<'e, 'n> CachingEstimator<'e, 'n> {
         counters: &'e QueryCounters,
         graph: Arc<HybridGraph<'n>>,
         snapshot_epoch: u64,
+        regime: RegimeId,
     ) -> Self {
         CachingEstimator {
             engine,
             counters: Some(counters),
             pinned: Some((snapshot_epoch, graph)),
+            regime,
         }
     }
 }
@@ -697,11 +805,17 @@ impl CachingEstimator<'_, '_> {
         let throwaway = QueryCounters::default();
         let counters = self.counters.unwrap_or(&throwaway);
         match &self.pinned {
-            Some((snapshot_epoch, graph)) => {
-                self.engine
-                    .estimate_cached_on(graph, *snapshot_epoch, path, departure, counters)
-            }
-            None => self.engine.estimate_cached(path, departure, counters),
+            Some((snapshot_epoch, graph)) => self.engine.estimate_cached_on(
+                graph,
+                *snapshot_epoch,
+                path,
+                departure,
+                self.regime,
+                counters,
+            ),
+            None => self
+                .engine
+                .estimate_cached(path, departure, self.regime, counters),
         }
         .map_err(|e| match e {
             ServiceError::Core(core) => core,

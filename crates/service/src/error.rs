@@ -18,6 +18,10 @@ pub enum ServiceError {
     InvalidRequest(&'static str),
     /// The admission queue is full — the caller should shed load (HTTP 503).
     Overloaded,
+    /// The service was already degraded (load watermarks breached) when the
+    /// request arrived, so it was refused at the admission door — the caller
+    /// should back off and retry later (HTTP 429 + `Retry-After`).
+    Degraded,
     /// The service is shutting down and no longer accepts work.
     ShuttingDown,
     /// The request's deadline expired before an answer was produced — either
@@ -38,6 +42,9 @@ impl fmt::Display for ServiceError {
             ServiceError::RoadNet(e) => write!(f, "invalid path: {e}"),
             ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServiceError::Overloaded => write!(f, "admission queue full, request rejected"),
+            ServiceError::Degraded => {
+                write!(f, "service degraded, request rejected at admission")
+            }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::DeadlineExceeded => {
                 write!(f, "deadline exceeded before the request completed")

@@ -87,7 +87,12 @@
 //! let (path, _) = store.frequent_paths(4, 30, None)[0].clone();
 //! let departure = store.occurrences_on(&path)[0].entry_time;
 //! let outcome = engine
-//!     .execute(&QueryRequest::ProbWithinBudget { path, departure, budget_s: 600.0 })
+//!     .execute(&QueryRequest::ProbWithinBudget {
+//!         path,
+//!         departure,
+//!         budget_s: 600.0,
+//!         regime: pathcost_core::RegimeId::ALL_TRAFFIC,
+//!     })
 //!     .unwrap();
 //! println!(
 //!     "P(≤ 10 min) = {:?}, cache hits {}",
@@ -117,7 +122,10 @@ pub use cache::{CachedDistribution, DistributionCache, ShardCounters};
 pub use deadline::RequestContext;
 pub use engine::{CachingEstimator, QueryEngine, ServiceConfig};
 pub use error::ServiceError;
+pub use pathcost_core::RegimeId;
 pub use pool::WorkerPool;
 pub use request::{QueryOutcome, QueryRequest, QueryResponse, QueryStats, RankedPath};
-pub use stats::{LatencySnapshot, QueryKind, ServiceStats, LATENCY_BUCKETS};
+pub use stats::{
+    LatencySnapshot, QueryKind, RegimeTally, ServiceStats, FALLBACK_DEPTH_BUCKETS, LATENCY_BUCKETS,
+};
 pub use update::{DependencyIndex, UpdateReport};

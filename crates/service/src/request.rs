@@ -1,6 +1,7 @@
 //! Typed requests and responses of the query engine.
 
 use crate::stats::QueryKind;
+use pathcost_core::RegimeId;
 use pathcost_hist::Histogram1D;
 use pathcost_roadnet::{Path, VertexId};
 use pathcost_routing::RouteResult;
@@ -17,6 +18,10 @@ pub enum QueryRequest {
         path: Path,
         /// Departure time; estimates are cached per α-interval.
         departure: Timestamp,
+        /// Traffic regime to evaluate under. [`RegimeId::ALL_TRAFFIC`] (the
+        /// wire default) reproduces pre-regime behaviour bit-identically;
+        /// other regimes answer from the regime's materialized fallback view.
+        regime: RegimeId,
     },
     /// `P(cost ≤ budget_s)` for `path` at `departure` (the paper's
     /// Figure 1(a) question).
@@ -28,6 +33,9 @@ pub enum QueryRequest {
         /// Cost budget in the weight function's cost unit (seconds for
         /// travel time).
         budget_s: f64,
+        /// Traffic regime to evaluate under (see
+        /// [`QueryRequest::EstimateDistribution`]).
+        regime: RegimeId,
     },
     /// Ranks candidate paths by their probability of completing within the
     /// budget.
@@ -38,6 +46,9 @@ pub enum QueryRequest {
         departure: Timestamp,
         /// Cost budget.
         budget_s: f64,
+        /// Traffic regime every candidate is evaluated under (see
+        /// [`QueryRequest::EstimateDistribution`]).
+        regime: RegimeId,
     },
     /// Stochastic routing: the path from `source` to `destination` that
     /// maximises the probability of arriving within the budget (§4.3).
@@ -55,6 +66,9 @@ pub enum QueryRequest {
         /// with [`QueryResponse::Routes`] — the top-`k` incumbents of the
         /// best-first arena, ordered best-first and deduplicated by path.
         k: usize,
+        /// Traffic regime candidate paths are evaluated under (see
+        /// [`QueryRequest::EstimateDistribution`]).
+        regime: RegimeId,
     },
 }
 
@@ -65,6 +79,16 @@ impl QueryRequest {
             QueryRequest::ProbWithinBudget { .. } => QueryKind::Probability,
             QueryRequest::RankPaths { .. } => QueryKind::Rank,
             QueryRequest::Route { .. } => QueryKind::Route,
+        }
+    }
+
+    /// The traffic regime this request evaluates under.
+    pub fn regime(&self) -> RegimeId {
+        match self {
+            QueryRequest::EstimateDistribution { regime, .. }
+            | QueryRequest::ProbWithinBudget { regime, .. }
+            | QueryRequest::RankPaths { regime, .. }
+            | QueryRequest::Route { regime, .. } => *regime,
         }
     }
 }
@@ -153,6 +177,12 @@ pub struct QueryStats {
     /// Deepest coarsest-decomposition chain estimated for this query
     /// (0 when every lookup hit the cache).
     pub max_decomposition_depth: usize,
+    /// Deepest regime-fallback rung any distribution this query read was
+    /// resolved at: 0 when every variable answered from the requested
+    /// regime's own table (always 0 under the global regime), 1 when some
+    /// variable fell back one ladder rung (e.g. to the regime group), and so
+    /// on down to the global table.
+    pub max_fallback_depth: usize,
     /// Wall-clock time spent answering.
     pub latency: Duration,
     /// Whether this query was answered under the load-watermark degradation

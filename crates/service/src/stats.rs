@@ -5,8 +5,35 @@
 //! with relaxed ordering — totals can be off by in-flight queries, which is
 //! the usual contract for serving metrics).
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
+
+/// Number of fixed regime-fallback depth buckets in [`ServiceStats`]:
+/// bucket `d` counts distributions served whose deepest variable resolved
+/// `d` rungs down the requested regime's fallback ladder (bucket 0 = fully
+/// answered from the regime's own table). The last bucket absorbs deeper
+/// ladders. Only non-global lookups are counted — the global regime never
+/// falls back.
+pub const FALLBACK_DEPTH_BUCKETS: usize = 5;
+
+/// Per-regime query-serving tallies (only maintained for non-global
+/// regimes; the global regime's traffic is the engine-level counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegimeTally {
+    /// Distribution-cache hits scored by lookups under this regime.
+    pub hits: u64,
+    /// Cache misses (full estimations) under this regime.
+    pub misses: u64,
+}
+
+impl RegimeTally {
+    /// Total lookups under this regime.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
 
 /// Number of fixed buckets in a [`LatencySnapshot`]: power-of-two
 /// microsecond buckets, bucket `i` covering `[2^i, 2^(i+1))` µs (bucket 0
@@ -175,6 +202,12 @@ pub(crate) struct StatsRecorder {
     invalidation_tracked_evictions: AtomicU64,
     invalidation_swept_evictions: AtomicU64,
     invalidation_stale_reader_purges: AtomicU64,
+    rejected_degraded: AtomicU64,
+    regime_fallback: [AtomicU64; FALLBACK_DEPTH_BUCKETS],
+    /// Per-regime hit/miss tallies. Behind a mutex rather than atomics
+    /// because the regime set is open-ended — but the lock is only touched
+    /// by *non-global* lookups, so the pre-regime hot path stays lock-free.
+    regimes: Mutex<BTreeMap<u16, RegimeTally>>,
 }
 
 impl StatsRecorder {
@@ -296,6 +329,37 @@ impl StatsRecorder {
             .fetch_add(swept_evictions, Ordering::Relaxed);
     }
 
+    /// Counts a request answered 429 at the admission door because the
+    /// queue's load watermark already had the service degraded.
+    pub fn record_rejected_degraded(&self) {
+        self.rejected_degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Files one non-global distribution lookup's regime-fallback depth into
+    /// its bucket (the last bucket absorbs deeper ladders).
+    pub fn record_regime_fallback(&self, depth: usize) {
+        self.regime_fallback[depth.min(FALLBACK_DEPTH_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tallies one distribution lookup under a non-global regime.
+    pub fn record_regime_lookup(&self, regime: pathcost_core::RegimeId, hit: bool) {
+        let mut regimes = self.regimes.lock().expect("regime tally lock poisoned");
+        let tally = regimes.entry(regime.0).or_default();
+        if hit {
+            tally.hits += 1;
+        } else {
+            tally.misses += 1;
+        }
+    }
+
+    /// Snapshot of the per-regime tallies (empty until a non-global lookup).
+    pub fn regime_tallies(&self) -> BTreeMap<u16, RegimeTally> {
+        self.regimes
+            .lock()
+            .expect("regime tally lock poisoned")
+            .clone()
+    }
+
     /// Counts stale reader edges purged from the dependency index when the
     /// cache dropped their entry (LRU eviction, invalidation, raced fill).
     pub fn record_stale_purges(&self, purged: u64) {
@@ -358,6 +422,14 @@ impl StatsRecorder {
             invalidation_tracked_evictions: load(&self.invalidation_tracked_evictions),
             invalidation_swept_evictions: load(&self.invalidation_swept_evictions),
             invalidation_stale_reader_purges: load(&self.invalidation_stale_reader_purges),
+            rejected_degraded: load(&self.rejected_degraded),
+            regime_fallback: {
+                let mut buckets = [0u64; FALLBACK_DEPTH_BUCKETS];
+                for (out, c) in buckets.iter_mut().zip(&self.regime_fallback) {
+                    *out = load(c);
+                }
+                buckets
+            },
         }
     }
 }
@@ -478,6 +550,18 @@ pub struct ServiceStats {
     /// residual edges, or a raced fill evicting itself. Non-zero purges are
     /// the observable proof the index is not leaking edges for dead entries.
     pub invalidation_stale_reader_purges: u64,
+    /// Requests answered 429 at the admission door because the service was
+    /// already degraded when they arrived — shed *before* enqueueing, the
+    /// load-watermark policy's early-rejection half.
+    pub rejected_degraded: u64,
+    /// Non-global distribution lookups by regime-fallback depth: bucket `d`
+    /// counts distributions whose deepest variable resolved `d` rungs down
+    /// the requested regime's fallback ladder (0 = the regime's own table;
+    /// the last bucket absorbs deeper ladders). Per-regime hit/miss splits
+    /// are reported separately via
+    /// [`QueryEngine::regime_stats`](crate::QueryEngine::regime_stats) —
+    /// they live behind a lock, outside this `Copy` snapshot.
+    pub regime_fallback: [u64; FALLBACK_DEPTH_BUCKETS],
 }
 
 impl ServiceStats {
@@ -561,6 +645,13 @@ mod tests {
         rec.record_cancelled();
         rec.record_degraded();
         rec.record_panicked();
+        rec.record_rejected_degraded();
+        rec.record_regime_fallback(0);
+        rec.record_regime_fallback(2);
+        rec.record_regime_fallback(99); // clamped into the last bucket
+        rec.record_regime_lookup(pathcost_core::RegimeId(1), true);
+        rec.record_regime_lookup(pathcost_core::RegimeId(1), false);
+        rec.record_regime_lookup(pathcost_core::RegimeId(2), false);
         let s = rec.snapshot(3, 1, 20, 5);
         assert_eq!(s.estimate_queries, 1);
         assert_eq!(s.route_queries, 1);
@@ -604,6 +695,12 @@ mod tests {
         assert_eq!(s.cancelled, 1);
         assert_eq!(s.degraded_answers, 1);
         assert_eq!(s.panicked_queries, 1);
+        assert_eq!(s.rejected_degraded, 1);
+        assert_eq!(s.regime_fallback, [1, 0, 1, 0, 1]);
+        let tallies = rec.regime_tallies();
+        assert_eq!(tallies[&1], RegimeTally { hits: 1, misses: 1 });
+        assert_eq!(tallies[&1].lookups(), 2);
+        assert_eq!(tallies[&2], RegimeTally { hits: 0, misses: 1 });
     }
 
     #[test]

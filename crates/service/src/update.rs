@@ -49,21 +49,22 @@
 //! *retains* one the invalidation pass already missed. Sequential callers
 //! (ingest, then query) always observe post-update answers.
 
+use crate::cache::key_fingerprint;
 use crate::engine::QueryEngine;
 use crate::error::ServiceError;
-use pathcost_core::{HybridGraph, IntervalId, WeightUpdate};
+use pathcost_core::{HybridGraph, IntervalId, RegimeId, WeightUpdate};
 use pathcost_roadnet::Path;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 
 /// The recorded readers of one variable, keyed by the reader entry's
-/// interval-mixed fingerprint so registration, draining and targeted purging
-/// are all O(1) per edge (popular unit variables accumulate hundreds of
-/// readers; linear scans per operation would creep toward O(n²)).
+/// regime- and interval-mixed fingerprint so registration, draining and
+/// targeted purging are all O(1) per edge (popular unit variables accumulate
+/// hundreds of readers; linear scans per operation would creep toward O(n²)).
 #[derive(Default)]
 struct Readers {
-    entries: HashMap<u64, (Path, IntervalId)>,
+    entries: HashMap<u64, (Path, IntervalId, RegimeId)>,
 }
 
 /// Bidirectional index between weight-function variable keys and the cache
@@ -125,21 +126,28 @@ impl DependencyIndex {
         &self.entries[i]
     }
 
-    /// Records that the cache entry `(entry_path, entry_interval)` was
-    /// estimated by reading each variable in `dependencies`.
+    /// Records that the cache entry `(entry_path, entry_interval,
+    /// entry_regime)` was estimated by reading each variable in
+    /// `dependencies`. Each dependency names its **source** regime — the
+    /// fallback-ladder table the variable actually resolved from — so a
+    /// regime-R entry that fell back to the global table is registered as a
+    /// global reader and is evicted by global updates, not regime-R ones.
     pub(crate) fn record(
         &self,
-        dependencies: &[(Path, IntervalId)],
+        dependencies: &[(Path, IntervalId, RegimeId)],
         entry_path: &Path,
         entry_interval: IntervalId,
+        entry_regime: RegimeId,
     ) {
         if dependencies.is_empty() {
             return;
         }
-        let entry_fingerprint = entry_interval.mix_fingerprint(entry_path.fingerprint());
+        let entry_fingerprint = key_fingerprint(entry_path, entry_interval, entry_regime);
         let keys: Vec<u64> = dependencies
             .iter()
-            .map(|(var_path, var_interval)| var_interval.mix_fingerprint(var_path.fingerprint()))
+            .map(|(var_path, var_interval, var_regime)| {
+                key_fingerprint(var_path, *var_interval, *var_regime)
+            })
             .collect();
         // Forward record first — the order `purge_entry` reads in — so every
         // reverse edge written below already has its forward counterpart: a
@@ -163,11 +171,10 @@ impl DependencyIndex {
                 .shard_of(key)
                 .lock()
                 .expect("dependency index poisoned");
-            shard
-                .entry(key)
-                .or_default()
-                .entries
-                .insert(entry_fingerprint, (entry_path.clone(), entry_interval));
+            shard.entry(key).or_default().entries.insert(
+                entry_fingerprint,
+                (entry_path.clone(), entry_interval, entry_regime),
+            );
         }
     }
 
@@ -178,12 +185,12 @@ impl DependencyIndex {
     /// entry itself is gone.
     pub(crate) fn drain_dependents(
         &self,
-        variables: &[(Path, IntervalId)],
-    ) -> Vec<(Path, IntervalId)> {
+        variables: &[(Path, IntervalId, RegimeId)],
+    ) -> Vec<(Path, IntervalId, RegimeId)> {
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
-        for (var_path, var_interval) in variables {
-            let key = var_interval.mix_fingerprint(var_path.fingerprint());
+        for (var_path, var_interval, var_regime) in variables {
+            let key = key_fingerprint(var_path, *var_interval, *var_regime);
             let drained = self
                 .shard_of(key)
                 .lock()
@@ -203,8 +210,8 @@ impl DependencyIndex {
     /// cache drops an entry (LRU eviction, targeted invalidation, raced-fill
     /// self-eviction); purging an entry that was never recorded — or whose
     /// edges were already drained — is a cheap no-op.
-    pub(crate) fn purge_entry(&self, path: &Path, interval: IntervalId) -> u64 {
-        let entry_fingerprint = interval.mix_fingerprint(path.fingerprint());
+    pub(crate) fn purge_entry(&self, path: &Path, interval: IntervalId, regime: RegimeId) -> u64 {
+        let entry_fingerprint = key_fingerprint(path, interval, regime);
         let vars = self
             .entry_shard_of(entry_fingerprint)
             .lock()
@@ -235,8 +242,13 @@ impl DependencyIndex {
     /// record. Purges remove the forward record first (and run to completion
     /// under the entry's cache shard lock), so after an insert a surviving
     /// forward record proves the pre-insert registration was not raced away.
-    pub(crate) fn entry_recorded(&self, path: &Path, interval: IntervalId) -> bool {
-        let entry_fingerprint = interval.mix_fingerprint(path.fingerprint());
+    pub(crate) fn entry_recorded(
+        &self,
+        path: &Path,
+        interval: IntervalId,
+        regime: RegimeId,
+    ) -> bool {
+        let entry_fingerprint = key_fingerprint(path, interval, regime);
         self.entry_shard_of(entry_fingerprint)
             .lock()
             .expect("dependency index poisoned")
@@ -400,6 +412,9 @@ impl<'n> QueryEngine<'n> {
                 "update must keep the cost kind the engine was built with",
             ));
         }
+        // The new epoch's fallback-ladder schema decides which regimes' cache
+        // entries a touched table can affect (the containment sweep below).
+        let schema = weights.regime_schema().clone();
         let new_graph =
             HybridGraph::from_parts(current.network(), weights, current.config().clone());
         self.publish_graph(Arc::new(new_graph));
@@ -415,33 +430,41 @@ impl<'n> QueryEngine<'n> {
         // *containing* paths whether or not they read the key.
         let mut evicted_tracked = 0u64;
         let mut stale_reader_purges = 0u64;
-        let drained: Vec<(Path, IntervalId)> =
+        let drained: Vec<(Path, IntervalId, RegimeId)> =
             updated.iter().chain(removed.iter()).cloned().collect();
-        for (path, interval) in self.deps.drain_dependents(&drained) {
-            if self.cache().remove(&path, interval) {
+        for (path, interval, regime) in self.deps.drain_dependents(&drained) {
+            if self.cache().remove(&path, interval, regime) {
                 evicted_tracked += 1;
             }
             // Hygiene: the evicted entry's edges to variables this update
             // did NOT touch would otherwise linger as stale readers. The
             // purge is liveness-checked, so a fill under the *new* epoch
             // that re-inserted this key mid-loop keeps its edges.
-            stale_reader_purges += self.purge_stale_edges(&path, interval);
+            stale_reader_purges += self.purge_stale_edges(&path, interval, regime);
         }
         // Added and removed variables: sweep by sub-path containment
-        // (selection change), purging the swept entries' reader edges.
+        // (selection change), purging the swept entries' reader edges. The
+        // regime each change names is the *table* it landed in, so only
+        // entries whose regime resolves through that table — the table lies
+        // on the entry regime's fallback ladder — are swept: a regime-R
+        // table change never evicts a sibling regime's (or the global)
+        // entries, which is the strict-subset invalidation the regime
+        // dimension promises.
         let swept = if added.is_empty() && removed.is_empty() {
             Vec::new()
         } else {
-            self.cache().invalidate_matching(|path, _| {
+            self.cache().invalidate_matching(|path, _, entry_regime| {
                 added
                     .iter()
                     .chain(removed.iter())
-                    .any(|(sub, _)| sub.is_subpath_of(path))
+                    .any(|(sub, _, var_regime)| {
+                        schema.contributes_to(entry_regime, *var_regime) && sub.is_subpath_of(path)
+                    })
             })
         };
         let evicted_swept = swept.len() as u64;
-        for (path, interval) in swept {
-            stale_reader_purges += self.purge_stale_edges(&path, interval);
+        for (path, interval, regime) in swept {
+            stale_reader_purges += self.purge_stale_edges(&path, interval, regime);
         }
 
         self.recorder.record_ingest(
@@ -477,22 +500,25 @@ mod tests {
         Path::from_edges_unchecked(ids.iter().map(|&i| EdgeId(i)).collect())
     }
 
+    /// The global regime pre-regime tests record under.
+    const G: RegimeId = RegimeId::ALL_TRAFFIC;
+
     #[test]
     fn dependency_index_records_dedups_and_drains() {
         let index = DependencyIndex::default();
-        let unit = (path(&[1]), IntervalId(4));
-        let pair = (path(&[1, 2]), IntervalId(4));
+        let unit = (path(&[1]), IntervalId(4), G);
+        let pair = (path(&[1, 2]), IntervalId(4), G);
         let entry = path(&[1, 2, 3]);
-        index.record(&[unit.clone(), pair.clone()], &entry, IntervalId(4));
-        index.record(std::slice::from_ref(&unit), &entry, IntervalId(4)); // duplicate
-        index.record(std::slice::from_ref(&unit), &entry, IntervalId(5)); // other interval
+        index.record(&[unit.clone(), pair.clone()], &entry, IntervalId(4), G);
+        index.record(std::slice::from_ref(&unit), &entry, IntervalId(4), G); // duplicate
+        index.record(std::slice::from_ref(&unit), &entry, IntervalId(5), G); // other interval
         assert_eq!(index.tracked_variables(), 2);
         assert_eq!(index.tracked_readers(), 3);
         assert_eq!(index.tracked_entries(), 2);
 
         let dependents = index.drain_dependents(std::slice::from_ref(&unit));
         assert_eq!(dependents.len(), 2, "{dependents:?}");
-        assert!(dependents.iter().all(|(p, _)| *p == entry));
+        assert!(dependents.iter().all(|(p, _, _)| *p == entry));
         // Drained keys are gone; the pair variable's reader remains.
         assert_eq!(index.tracked_variables(), 1);
         assert!(index.drain_dependents(&[unit]).is_empty());
@@ -502,17 +528,17 @@ mod tests {
     #[test]
     fn purge_entry_removes_exactly_the_entrys_edges() {
         let index = DependencyIndex::default();
-        let unit = (path(&[1]), IntervalId(4));
-        let pair = (path(&[1, 2]), IntervalId(4));
+        let unit = (path(&[1]), IntervalId(4), G);
+        let pair = (path(&[1, 2]), IntervalId(4), G);
         let entry_a = path(&[1, 2, 3]);
         let entry_b = path(&[1, 2, 4]);
-        index.record(&[unit.clone(), pair.clone()], &entry_a, IntervalId(4));
-        index.record(std::slice::from_ref(&unit), &entry_b, IntervalId(4));
+        index.record(&[unit.clone(), pair.clone()], &entry_a, IntervalId(4), G);
+        index.record(std::slice::from_ref(&unit), &entry_b, IntervalId(4), G);
         assert_eq!(index.tracked_readers(), 3);
         assert_eq!(index.tracked_entries(), 2);
 
         // Purging A removes both of its edges; B's edge survives untouched.
-        assert_eq!(index.purge_entry(&entry_a, IntervalId(4)), 2);
+        assert_eq!(index.purge_entry(&entry_a, IntervalId(4), G), 2);
         assert_eq!(index.tracked_readers(), 1);
         assert_eq!(index.tracked_entries(), 1);
         // The pair variable lost its only reader and is gone entirely.
@@ -521,15 +547,52 @@ mod tests {
             .drain_dependents(std::slice::from_ref(&pair))
             .is_empty());
         // Purging is idempotent and safe for unknown entries.
-        assert_eq!(index.purge_entry(&entry_a, IntervalId(4)), 0);
-        assert_eq!(index.purge_entry(&path(&[9]), IntervalId(0)), 0);
+        assert_eq!(index.purge_entry(&entry_a, IntervalId(4), G), 0);
+        assert_eq!(index.purge_entry(&path(&[9]), IntervalId(0), G), 0);
         // B's reader edge is still drainable.
         assert_eq!(index.drain_dependents(&[unit]).len(), 1);
         // Draining left B's forward record behind; purging it afterwards is
         // the no-op cleanup apply_update performs after each eviction.
-        assert_eq!(index.purge_entry(&entry_b, IntervalId(4)), 0);
+        assert_eq!(index.purge_entry(&entry_b, IntervalId(4), G), 0);
         assert_eq!(index.tracked_entries(), 0);
         assert_eq!(index.tracked_readers(), 0);
+    }
+
+    #[test]
+    fn regime_qualified_records_drain_independently() {
+        let index = DependencyIndex::default();
+        let (peak, off) = (RegimeId(1), RegimeId(2));
+        let key = path(&[1]);
+        // The same variable key lives in three tables: global, peak, off-peak.
+        let entry = path(&[1, 2, 3]);
+        // A global entry reading the global table, a peak entry that resolved
+        // the key from the peak table, and a peak entry that fell back to the
+        // global table (its dependency is recorded at the *source* regime).
+        index.record(&[(key.clone(), IntervalId(4), G)], &entry, IntervalId(4), G);
+        index.record(
+            &[(key.clone(), IntervalId(4), peak)],
+            &entry,
+            IntervalId(4),
+            peak,
+        );
+        index.record(
+            &[(key.clone(), IntervalId(4), G)],
+            &entry,
+            IntervalId(4),
+            off,
+        );
+        assert_eq!(index.tracked_variables(), 2, "global + peak tables");
+        assert_eq!(index.tracked_entries(), 3);
+
+        // Draining the peak table's key evicts only the own-table reader.
+        let peak_readers = index.drain_dependents(&[(key.clone(), IntervalId(4), peak)]);
+        assert_eq!(peak_readers, vec![(entry.clone(), IntervalId(4), peak)]);
+        // Draining the global key evicts the global reader AND the off-peak
+        // fallback reader — dependent-fallback invalidation.
+        let global_readers = index.drain_dependents(&[(key, IntervalId(4), G)]);
+        assert_eq!(global_readers.len(), 2);
+        assert!(global_readers.contains(&(entry.clone(), IntervalId(4), G)));
+        assert!(global_readers.contains(&(entry, IntervalId(4), off)));
     }
 
     #[test]

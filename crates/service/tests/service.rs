@@ -49,6 +49,7 @@ fn cache_semantics_across_departure_intervals() {
         .execute(&QueryRequest::EstimateDistribution {
             path: path.clone(),
             departure,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         })
         .unwrap();
     assert_eq!(first.stats.cache_misses, 1);
@@ -65,6 +66,7 @@ fn cache_semantics_across_departure_intervals() {
         .execute(&QueryRequest::EstimateDistribution {
             path: path.clone(),
             departure: same_interval,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         })
         .unwrap();
     assert_eq!(second.stats.cache_hits, 1);
@@ -85,6 +87,7 @@ fn cache_semantics_across_departure_intervals() {
         .execute(&QueryRequest::EstimateDistribution {
             path: path.clone(),
             departure: other_interval,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         })
         .unwrap();
     assert_eq!(third.stats.cache_misses, 1);
@@ -120,6 +123,7 @@ fn probability_and_ranking_read_the_same_cache() {
             candidates: candidates.clone(),
             departure,
             budget_s: 1e6,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         })
         .unwrap();
     let ranked = ranking.response.ranking().unwrap().to_vec();
@@ -134,6 +138,7 @@ fn probability_and_ranking_read_the_same_cache() {
             path: candidates[ranked[0].index].clone(),
             departure,
             budget_s: 600.0,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         })
         .unwrap();
     assert_eq!(followup.stats.cache_hits, 1);
@@ -155,17 +160,20 @@ fn batch_execution_equals_sequential_execution() {
         requests.push(QueryRequest::EstimateDistribution {
             path: path.clone(),
             departure: *dep,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         });
         requests.push(QueryRequest::ProbWithinBudget {
             path: path.clone(),
             departure: *dep,
             budget_s: 900.0,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         });
     }
     requests.push(QueryRequest::RankPaths {
         candidates: pairs.iter().map(|(p, _)| p.clone()).collect(),
         departure,
         budget_s: 900.0,
+        regime: pathcost_service::RegimeId::ALL_TRAFFIC,
     });
 
     let graph_batch = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
@@ -235,11 +243,13 @@ fn prefix_sharing_reuses_subpaths_and_stays_close_to_od() {
         candidates: candidates.clone(),
         departure,
         budget_s: 900.0,
+        regime: pathcost_service::RegimeId::ALL_TRAFFIC,
     }];
     for path in &candidates {
         requests.push(QueryRequest::EstimateDistribution {
             path: path.clone(),
             departure,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         });
     }
 
@@ -290,7 +300,11 @@ fn prefix_sharing_reuses_subpaths_and_stays_close_to_od() {
     for path in candidates.iter().take(3) {
         let cached = engine
             .cache()
-            .get(path, engine.interval_of(departure))
+            .get(
+                path,
+                engine.interval_of(departure),
+                pathcost_service::RegimeId::ALL_TRAFFIC,
+            )
             .expect("warm phase cached every job");
         let reference = od.estimate(path, canonical).unwrap();
         let rel = (cached.histogram.mean() - reference.mean()).abs() / reference.mean();
@@ -325,6 +339,7 @@ fn concurrent_readers_get_identical_distributions() {
                             .execute(&QueryRequest::EstimateDistribution {
                                 path: path.clone(),
                                 departure: *departure,
+                                regime: pathcost_service::RegimeId::ALL_TRAFFIC,
                             })
                             .expect("estimation succeeds");
                         let QueryResponse::Distribution(hist) = outcome.response else {
@@ -379,6 +394,7 @@ fn routing_reads_through_the_cache_across_queries() {
         departure,
         budget_s: 3_600.0,
         k: 1,
+        regime: pathcost_service::RegimeId::ALL_TRAFFIC,
     };
 
     let first = engine.execute(&request).unwrap();
@@ -418,7 +434,11 @@ fn warm_hits_share_the_cached_histogram_allocation() {
     let graph = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
     let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
     let (path, departure) = query_paths(&f.store, 1).remove(0);
-    let request = QueryRequest::EstimateDistribution { path, departure };
+    let request = QueryRequest::EstimateDistribution {
+        path,
+        departure,
+        regime: pathcost_service::RegimeId::ALL_TRAFFIC,
+    };
 
     let first = engine.execute(&request).unwrap();
     let second = engine.execute(&request).unwrap();
@@ -448,6 +468,7 @@ fn route_counters_track_search_and_cache_reuse() {
         departure,
         budget_s: 3_600.0,
         k: 1,
+        regime: pathcost_service::RegimeId::ALL_TRAFFIC,
     };
 
     let first = engine.execute(&request).unwrap();
@@ -483,6 +504,7 @@ fn batch_warm_phase_seeds_route_searches_with_the_fastest_path() {
         departure,
         budget_s: 3_600.0,
         k: 1,
+        regime: pathcost_service::RegimeId::ALL_TRAFFIC,
     };
 
     // Two identical Route requests in one batch: both contribute their
@@ -499,7 +521,11 @@ fn batch_warm_phase_seeds_route_searches_with_the_fastest_path() {
     assert!(
         engine
             .cache()
-            .get(&seed, engine.interval_of(departure))
+            .get(
+                &seed,
+                engine.interval_of(departure),
+                pathcost_service::RegimeId::ALL_TRAFFIC
+            )
             .is_some(),
         "the fastest-path seed candidate must be cached"
     );
@@ -528,6 +554,7 @@ fn route_seed_stays_full_od_quality_under_prefix_sharing() {
         .map(|len| QueryRequest::EstimateDistribution {
             path: seed.prefix(len).unwrap(),
             departure,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         })
         .collect();
     requests.push(QueryRequest::Route {
@@ -536,6 +563,7 @@ fn route_seed_stays_full_od_quality_under_prefix_sharing() {
         departure,
         budget_s: 3_600.0,
         k: 1,
+        regime: pathcost_service::RegimeId::ALL_TRAFFIC,
     });
 
     let results = engine.execute_batch(&requests);
@@ -543,7 +571,11 @@ fn route_seed_stays_full_od_quality_under_prefix_sharing() {
 
     let cached = engine
         .cache()
-        .get(&seed, engine.interval_of(departure))
+        .get(
+            &seed,
+            engine.interval_of(departure),
+            pathcost_service::RegimeId::ALL_TRAFFIC,
+        )
         .expect("the Route seed must be warmed");
     let graph2 = HybridGraph::build(&f.net, &f.store, f.cfg.clone()).unwrap();
     let od = OdEstimator::new(&graph2);
@@ -567,6 +599,7 @@ fn invalid_requests_are_rejected_without_panicking() {
             path,
             departure,
             budget_s: f64::NAN,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         })
         .is_err());
     assert!(engine
@@ -574,6 +607,7 @@ fn invalid_requests_are_rejected_without_panicking() {
             candidates: Vec::new(),
             departure,
             budget_s: 100.0,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         })
         .is_err());
     assert!(engine
@@ -583,6 +617,7 @@ fn invalid_requests_are_rejected_without_panicking() {
             departure,
             budget_s: 100.0,
             k: 1,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         })
         .is_err());
     let stats = engine.stats();
@@ -601,6 +636,7 @@ fn route_top_k_returns_ordered_distinct_alternatives() {
         departure,
         budget_s: 3_600.0,
         k,
+        regime: pathcost_service::RegimeId::ALL_TRAFFIC,
     };
 
     let outcome = engine.execute(&request(3)).unwrap();
@@ -660,10 +696,12 @@ fn apply_update_evicts_a_strict_subset_and_serves_rebuild_identical_answers() {
         requests.push(QueryRequest::EstimateDistribution {
             path: var.path.clone(),
             departure: engine.canonical_departure(var.interval),
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         });
         requests.push(QueryRequest::EstimateDistribution {
             path: var.path.clone(),
             departure: Timestamp::from_day_hms(0, 3, 0, 0),
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         });
     }
     for r in &requests {
@@ -768,6 +806,7 @@ fn flush_cache_drops_entries_and_dependency_edges_together() {
             .execute(&QueryRequest::EstimateDistribution {
                 path: var.path.clone(),
                 departure: engine.canonical_departure(var.interval),
+                regime: pathcost_service::RegimeId::ALL_TRAFFIC,
             })
             .unwrap();
     }
@@ -793,6 +832,7 @@ fn flush_cache_drops_entries_and_dependency_edges_together() {
         .execute(&QueryRequest::EstimateDistribution {
             path: var.path.clone(),
             departure: engine.canonical_departure(var.interval),
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         })
         .unwrap();
     assert_eq!(engine.cache().len(), 1);
@@ -819,12 +859,17 @@ fn expired_deadlines_are_shed_before_dispatch() {
             QueryRequest::EstimateDistribution {
                 path: path.clone(),
                 departure,
+                regime: pathcost_service::RegimeId::ALL_TRAFFIC,
             },
             expired,
         )
         .unwrap();
     let healthy_ticket = queue
-        .submit(QueryRequest::EstimateDistribution { path, departure })
+        .submit(QueryRequest::EstimateDistribution {
+            path,
+            departure,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
+        })
         .unwrap();
     queue.close();
     queue.dispatch(&engine);
@@ -860,6 +905,7 @@ fn cancelled_requests_stop_before_and_during_evaluation() {
         departure: Timestamp::from_day_hms(0, 8, 0, 0),
         budget_s: 3_600.0,
         k: 1,
+        regime: pathcost_service::RegimeId::ALL_TRAFFIC,
     };
 
     // Pre-flight: an already-cancelled context never starts evaluating.
@@ -902,7 +948,11 @@ fn abandoned_batch_skips_warm_phase_and_evaluation() {
     let engine = QueryEngine::new(Arc::new(graph), ServiceConfig::default());
     let requests: Vec<QueryRequest> = query_paths(&f.store, 3)
         .into_iter()
-        .map(|(path, departure)| QueryRequest::EstimateDistribution { path, departure })
+        .map(|(path, departure)| QueryRequest::EstimateDistribution {
+            path,
+            departure,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
+        })
         .collect();
     let contexts: Vec<RequestContext> = requests
         .iter()
@@ -936,6 +986,7 @@ fn degraded_mode_answers_are_flagged_and_counted() {
         departure: Timestamp::from_day_hms(0, 8, 0, 0),
         budget_s: 3_600.0,
         k: 1,
+        regime: pathcost_service::RegimeId::ALL_TRAFFIC,
     };
 
     let normal = engine.execute(&route).unwrap();
@@ -986,6 +1037,7 @@ fn submit_racing_close_never_hangs_a_ticket() {
                             match queue.submit(QueryRequest::EstimateDistribution {
                                 path: path.clone(),
                                 departure,
+                                regime: pathcost_service::RegimeId::ALL_TRAFFIC,
                             }) {
                                 Ok(ticket) => {
                                     // Every admitted ticket must resolve, even

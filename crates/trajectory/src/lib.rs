@@ -13,6 +13,7 @@ pub mod gps;
 pub mod mapmatch;
 pub mod presets;
 pub mod profile;
+pub mod regime;
 pub mod simulator;
 pub mod store;
 pub mod time;
@@ -23,6 +24,9 @@ pub use gps::{GpsRecord, Trajectory};
 pub use mapmatch::{HmmMapMatcher, MapMatchConfig};
 pub use presets::DatasetPreset;
 pub use profile::CongestionProfile;
+pub use regime::{
+    mix_regime, tag_batch, AllTraffic, PeakOffPeak, RegimeClassifier, RegimeId, RegimeSchema,
+};
 pub use simulator::{MatchedTrajectory, SimulationConfig, SimulationOutput, TrafficSimulator};
 pub use store::{Occurrence, TrajectoryStore};
 pub use time::{TimeInterval, TimeOfDay, Timestamp, SECONDS_PER_DAY};

@@ -95,6 +95,11 @@ pub struct MatchedTrajectory {
     pub travel_times: Vec<f64>,
     /// Average speed on each edge in metres per second (used by the emission model).
     pub avg_speeds_mps: Vec<f64>,
+    /// The traffic regime this trajectory was observed under; the default
+    /// [`RegimeId::ALL_TRAFFIC`](crate::regime::RegimeId::ALL_TRAFFIC) means
+    /// "no contextual label" and reproduces the paper's single-weight-function
+    /// behaviour (see [`crate::regime`]).
+    pub regime: crate::regime::RegimeId,
 }
 
 impl MatchedTrajectory {
@@ -119,7 +124,14 @@ impl MatchedTrajectory {
             entry_times,
             travel_times,
             avg_speeds_mps,
+            regime: crate::regime::RegimeId::ALL_TRAFFIC,
         })
+    }
+
+    /// The same trajectory tagged with `regime`.
+    pub fn with_regime(mut self, regime: crate::regime::RegimeId) -> Self {
+        self.regime = regime;
+        self
     }
 
     /// Departure time (entry into the first edge).
@@ -291,6 +303,7 @@ impl<'a> TrafficSimulator<'a> {
             entry_times,
             travel_times,
             avg_speeds_mps: speeds,
+            regime: crate::regime::RegimeId::ALL_TRAFFIC,
         }
     }
 

@@ -9,10 +9,11 @@
 //! are efficient.
 
 use crate::costs::{per_edge_costs, total_cost, CostKind};
+use crate::regime::{RegimeId, RegimeSchema};
 use crate::simulator::{MatchedTrajectory, SimulationOutput};
 use crate::time::{TimeInterval, Timestamp};
 use pathcost_roadnet::{EdgeId, Path, RoadNetwork};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// One occurrence of a query path inside a stored trajectory.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -139,6 +140,52 @@ impl TrajectoryStore {
             }
         }
         out
+    }
+
+    /// The occurrences of `path` restricted to trajectories whose regime
+    /// contributes to the `table` regime under `schema` — the regime-filtered
+    /// form of [`Self::occurrences_on`]. For the global table every
+    /// trajectory qualifies, so the result (and its order) is identical to
+    /// the unfiltered query.
+    pub fn occurrences_on_contributing(
+        &self,
+        path: &Path,
+        schema: &RegimeSchema,
+        table: RegimeId,
+    ) -> Vec<Occurrence> {
+        let all = self.occurrences_on(path);
+        if table.is_global() {
+            return all;
+        }
+        all.into_iter()
+            .filter(|o| schema.contributes_to(self.matched[o.traj_index].regime, table))
+            .collect()
+    }
+
+    /// The regime of the trajectory at `index` (the global root for an
+    /// out-of-range index).
+    pub fn regime_of(&self, index: usize) -> RegimeId {
+        self.matched
+            .get(index)
+            .map(|m| m.regime)
+            .unwrap_or(RegimeId::ALL_TRAFFIC)
+    }
+
+    /// `true` when at least one stored trajectory carries a non-global
+    /// regime tag. The weight function skips every per-regime pass when this
+    /// is false, which is what keeps untagged stores bit-identical to the
+    /// pre-regime pipeline.
+    pub fn has_regimes(&self) -> bool {
+        self.matched.iter().any(|m| !m.regime.is_global())
+    }
+
+    /// The distinct non-global regimes present in the store, ordered.
+    pub fn regimes_present(&self) -> BTreeSet<RegimeId> {
+        self.matched
+            .iter()
+            .filter(|m| !m.regime.is_global())
+            .map(|m| m.regime)
+            .collect()
     }
 
     /// The occurrences of `path` whose entry time of day falls inside `interval`

@@ -81,10 +81,12 @@ fn main() {
         requests.push(QueryRequest::EstimateDistribution {
             path: var.path.clone(),
             departure: engine.canonical_departure(var.interval),
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         });
         requests.push(QueryRequest::EstimateDistribution {
             path: var.path.clone(),
             departure: Timestamp::from_day_hms(0, 3, 30, 0),
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         });
     }
     for request in &requests {

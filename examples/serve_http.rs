@@ -85,6 +85,65 @@ fn workload(store: &TrajectoryStore) -> Vec<String> {
     bodies
 }
 
+/// `POST /query/batch` envelopes covering **all four** query kinds — rank
+/// and route included — across a mixed-regime request stream (regimes
+/// 0..=2). The serving engine holds no regime-tagged data, so non-global
+/// requests resolve through the fallback ladder: every answer must still be
+/// well-formed, with the requested regime echoed in its stats block.
+fn batch_workload(net: &RoadNetwork, store: &TrajectoryStore) -> Vec<String> {
+    fn edges_csv(path: &pathcost::roadnet::Path) -> String {
+        path.edges()
+            .iter()
+            .map(|e| e.0.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+    let paths: Vec<_> = store
+        .frequent_paths(2, 5, None)
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect();
+    assert!(paths.len() >= 2, "fixture must yield frequent paths");
+    let mut bodies = Vec::new();
+    for (i, pair) in paths.chunks(2).take(4).enumerate() {
+        let path = &pair[0];
+        let departure = store.occurrences_on(path)[0].entry_time;
+        let regime = i % 3;
+        let first = path.edges()[0];
+        let last = *path.edges().last().unwrap();
+        let source = net.edges()[first.0 as usize].from.0;
+        let destination = net.edges()[last.0 as usize].to.0;
+        let mut requests = vec![
+            format!(
+                r#"{{"type":"estimate","path":[{}],"departure_s":{},"regime":{regime}}}"#,
+                edges_csv(path),
+                departure.0
+            ),
+            format!(
+                r#"{{"type":"prob","path":[{}],"departure_s":{},"budget_s":600,"regime":{}}}"#,
+                edges_csv(path),
+                departure.0,
+                (regime + 1) % 3
+            ),
+            format!(
+                r#"{{"type":"route","source":{source},"destination":{destination},"departure_s":{},"budget_s":900,"k":2,"regime":{}}}"#,
+                departure.0,
+                (regime + 2) % 3
+            ),
+        ];
+        if pair.len() == 2 {
+            requests.push(format!(
+                r#"{{"type":"rank","candidates":[[{}],[{}]],"departure_s":{},"budget_s":600,"regime":{regime}}}"#,
+                edges_csv(&pair[0]),
+                edges_csv(&pair[1]),
+                departure.0
+            ));
+        }
+        bodies.push(format!(r#"{{"requests":[{}]}}"#, requests.join(",")));
+    }
+    bodies
+}
+
 /// One keep-alive round trip; returns `(status, body)`.
 fn roundtrip(
     stream: &mut TcpStream,
@@ -211,6 +270,48 @@ fn main() {
                 .get("cache_misses")
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
+        );
+
+        // Batch leg: rank and route ride POST /query/batch alongside
+        // estimate/prob, in a mixed-regime stream.
+        let batches = batch_workload(&net, &store);
+        let (mut stream, mut reader) = connect(addr);
+        let mut batch_answers = 0usize;
+        let mut regime_echoes = 0usize;
+        for body in &batches {
+            let (status, response) =
+                roundtrip(&mut stream, &mut reader, "POST", "/query/batch", body);
+            assert_eq!(status, 200, "batch must answer: {response}");
+            let parsed = pathcost::server::json::parse(response.as_bytes()).expect("batch JSON");
+            let results = parsed
+                .get("results")
+                .and_then(Json::as_array)
+                .expect("results array");
+            for result in results {
+                assert!(
+                    result.get("error").is_none(),
+                    "batch item failed: {result:?} in {response}"
+                );
+                if result
+                    .get("stats")
+                    .and_then(|s| s.get("regime"))
+                    .and_then(Json::as_u64)
+                    .is_some()
+                {
+                    regime_echoes += 1;
+                }
+                batch_answers += 1;
+            }
+        }
+        assert!(
+            regime_echoes > 0,
+            "mixed-regime stream must echo non-global regimes in stats"
+        );
+        println!(
+            "batch: {} answers across {} mixed-regime envelopes (estimate/prob/rank/route), {} regime echoes",
+            batch_answers,
+            batches.len(),
+            regime_echoes
         );
 
         // Observability smoke, scrape two of two: still valid after the

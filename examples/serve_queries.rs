@@ -57,11 +57,13 @@ fn main() {
         requests.push(QueryRequest::EstimateDistribution {
             path: path.clone(),
             departure,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         });
         requests.push(QueryRequest::ProbWithinBudget {
             path: path.clone(),
             departure,
             budget_s: free_flow * 1.5,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         });
     }
     let rank_departure = store.occurrences_on(&frequent[0].0)[0].entry_time;
@@ -69,6 +71,7 @@ fn main() {
         candidates: frequent.iter().map(|(p, _)| p.clone()).collect(),
         departure: rank_departure,
         budget_s: 1_200.0,
+        regime: pathcost_service::RegimeId::ALL_TRAFFIC,
     });
     let source = VertexId(0);
     let destination = VertexId((net.vertex_count() - 1) as u32);
@@ -84,6 +87,7 @@ fn main() {
             departure: Timestamp::from_day_hms(0, 8, 15, 0),
             budget_s: route_budget,
             k: 1,
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         });
     }
     // Route alternatives: the top-3 incumbents of the same search arena.
@@ -93,6 +97,7 @@ fn main() {
         departure: Timestamp::from_day_hms(0, 8, 15, 0),
         budget_s: route_budget,
         k: 3,
+        regime: pathcost_service::RegimeId::ALL_TRAFFIC,
     });
 
     println!("\nexecuting a batch of {} mixed queries …", requests.len());

@@ -27,7 +27,10 @@ use pathcost::persist::journal::JOURNAL_MAGIC;
 use pathcost::persist::snapshot::list_generations;
 use pathcost::persist::RecoveryOutcome;
 use pathcost::roadnet::RoadNetwork;
-use pathcost::traj::{DatasetPreset, MatchedTrajectory, Timestamp, TrajectoryStore};
+use pathcost::traj::{
+    tag_batch, DatasetPreset, MatchedTrajectory, PeakOffPeak, RegimeId, RegimeSchema, Timestamp,
+    TrajectoryStore,
+};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -540,6 +543,172 @@ fn recovery_with_ttl_retention_is_deterministic() {
     assert_eq!(
         recovered.weights().variables(),
         reference.weights().variables()
+    );
+    assert_eq!(recovered.weights().stats(), reference.weights().stats());
+    drop(recovered);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Regime-tagged lineages: v2 snapshots, journalled tags, v1 compatibility
+// ---------------------------------------------------------------------------
+
+/// The regime schema used by the tagged lineage tests: peak and off-peak
+/// traffic both group under all-traffic (see REGIMES.md).
+fn regime_schema() -> RegimeSchema {
+    RegimeSchema::flat()
+        .with_group(RegimeId(1), RegimeId::ALL_TRAFFIC)
+        .with_group(RegimeId(2), RegimeId::ALL_TRAFFIC)
+}
+
+/// A regime-tagged lineage must publish version-2 snapshots, journal ingest
+/// tags (op 3), and recover **bit-identically** — regime tables, schema and
+/// per-row tags included — then continue to the same final state as a
+/// process that never crashed.
+#[test]
+fn regime_tagged_lineage_recovers_bit_identically() {
+    let (net, store) = DatasetPreset::tiny(401).materialise().unwrap();
+    let mut matched = store.matched().to_vec();
+    tag_batch(
+        &mut matched,
+        &PeakOffPeak {
+            peak: RegimeId(1),
+            off_peak: RegimeId(2),
+            ..PeakOffPeak::default()
+        },
+    );
+    let cfg = HybridConfig {
+        beta: 4,
+        regimes: regime_schema(),
+        ..HybridConfig::default()
+    };
+    let split = matched.len() * 2 / 5;
+    let base = TrajectoryStore::new(matched[..split].to_vec());
+    let rest: Vec<MatchedTrajectory> = matched[split..].to_vec();
+    let mid = rest.len() / 2;
+
+    // Reference: same two tagged batches, never crashes.
+    let mut reference = LiveIngestor::new(&net, base.clone(), cfg.clone()).unwrap();
+    reference.ingest(rest[..mid].to_vec()).unwrap();
+    reference.ingest(rest[mid..].to_vec()).unwrap();
+    assert!(
+        !reference.weights().regime_tables().is_empty(),
+        "fixture must clear β in at least one regime-own table"
+    );
+
+    let dir = temp_dir("regime-v2");
+    {
+        let mut p = LiveIngestor::new(&net, base.clone(), cfg.clone())
+            .unwrap()
+            .with_persistence(&dir, PersistenceConfig::default())
+            .unwrap();
+        p.ingest(rest[..mid].to_vec()).unwrap();
+        p.snapshot_now().unwrap();
+        // The tagged store forces the regime sections, which bump the
+        // format version.
+        let image = fs::read(latest_snapshot(&dir)).unwrap();
+        assert_eq!(
+            image[7], 2,
+            "a regime-tagged lineage must publish version-2 snapshots"
+        );
+        // Epoch 2 lives only in the journal: its tags ride op-3 records and
+        // must survive replay verbatim (recovery attaches no classifier).
+        p.ingest(rest[mid..].to_vec()).unwrap();
+        // Crash.
+    }
+
+    let base_for_recover = base;
+    let (recovered, report) = PersistentIngestor::recover(
+        &net,
+        &dir,
+        cfg,
+        RetentionConfig::default(),
+        PersistenceConfig::default(),
+        move || base_for_recover,
+    )
+    .unwrap();
+    assert_eq!(report.outcome, RecoveryOutcome::Warm);
+    assert_eq!(report.snapshot_epoch, 1);
+    assert_eq!(report.replayed_records, 1);
+    assert_eq!(recovered.epoch(), reference.epoch());
+    // Store rows compare tags too: MatchedTrajectory equality covers the
+    // regime field.
+    assert_eq!(recovered.store().matched(), reference.store().matched());
+    assert_eq!(
+        recovered.weights().variables(),
+        reference.weights().variables()
+    );
+    assert_eq!(
+        recovered.weights().regime_tables(),
+        reference.weights().regime_tables()
+    );
+    assert_eq!(
+        recovered.weights().regime_schema(),
+        reference.weights().regime_schema()
+    );
+    assert_eq!(recovered.weights().stats(), reference.weights().stats());
+    drop(recovered);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// v1 ↔ v2 compatibility: an untagged deployment under the new code must
+/// keep writing byte-version-1 images (so pre-regime readers still accept
+/// them), and those v1 images must recover cleanly under a config that
+/// declares a regime schema — a v1 image simply decodes as single-regime
+/// all-traffic state with empty regime tables.
+#[test]
+fn untagged_lineage_stays_version1_and_recovers_under_a_regime_schema() {
+    let (net, store) = DatasetPreset::tiny(97).materialise().unwrap();
+    let cfg = HybridConfig {
+        beta: 10,
+        regimes: regime_schema(),
+        ..HybridConfig::default()
+    };
+    let split = store.len() / 2;
+    let base = TrajectoryStore::new(store.matched()[..split].to_vec());
+    let rest: Vec<MatchedTrajectory> = store.matched()[split..].to_vec();
+
+    let mut reference = LiveIngestor::new(&net, base.clone(), cfg.clone()).unwrap();
+    reference.ingest(rest.clone()).unwrap();
+
+    let dir = temp_dir("v1-compat");
+    {
+        let mut p = LiveIngestor::new(&net, base.clone(), cfg.clone())
+            .unwrap()
+            .with_persistence(&dir, PersistenceConfig::default())
+            .unwrap();
+        p.ingest(rest).unwrap();
+        p.snapshot_now().unwrap();
+        let image = fs::read(latest_snapshot(&dir)).unwrap();
+        assert_eq!(
+            image[7], 1,
+            "an all-traffic deployment must keep emitting version-1 images \
+             even when the config declares a regime schema"
+        );
+        // Crash after the snapshot: recovery restores the v1 image directly.
+    }
+
+    let base_for_recover = base;
+    let (recovered, report) = PersistentIngestor::recover(
+        &net,
+        &dir,
+        cfg,
+        RetentionConfig::default(),
+        PersistenceConfig::default(),
+        move || base_for_recover,
+    )
+    .unwrap();
+    assert_eq!(report.outcome, RecoveryOutcome::Warm);
+    assert_eq!(report.snapshot_epoch, 1);
+    assert_eq!(recovered.epoch(), reference.epoch());
+    assert_eq!(recovered.store().matched(), reference.store().matched());
+    assert_eq!(
+        recovered.weights().variables(),
+        reference.weights().variables()
+    );
+    assert!(
+        recovered.weights().regime_tables().is_empty(),
+        "a v1 image decodes as single-regime all-traffic state"
     );
     assert_eq!(recovered.weights().stats(), reference.weights().stats());
     drop(recovered);

@@ -21,7 +21,10 @@
 use pathcost::core::{HybridConfig, HybridGraph, PathWeightFunction};
 use pathcost::live::LiveIngestor;
 use pathcost::service::{QueryEngine, QueryRequest, ServiceConfig};
-use pathcost::traj::{MatchedTrajectory, Timestamp, TrajectoryStore};
+use pathcost::traj::{
+    tag_batch, MatchedTrajectory, PeakOffPeak, RegimeClassifier, RegimeId, RegimeSchema, Timestamp,
+    TrajectoryStore,
+};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -35,10 +38,12 @@ fn probe_requests(engine: &QueryEngine<'_>, limit: usize) -> Vec<QueryRequest> {
         requests.push(QueryRequest::EstimateDistribution {
             path: var.path.clone(),
             departure: engine.canonical_departure(var.interval),
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         });
         requests.push(QueryRequest::EstimateDistribution {
             path: var.path.clone(),
             departure: Timestamp::from_day_hms(0, 3, 0, 0),
+            regime: pathcost_service::RegimeId::ALL_TRAFFIC,
         });
     }
     requests
@@ -305,4 +310,292 @@ fn dependency_index_stays_bounded_by_live_cache_under_churn() {
     // the edge total cannot exceed live entries × the per-entry read count
     // (a small constant given bounded path length and decomposition depth).
     assert!(live.dependency_index().tracked_readers() >= live.dependency_index().tracked_entries());
+}
+
+// ---------------------------------------------------------------------------
+// Regime-keyed weight variables: fallback-ladder oracle, global bit-identity
+// and strict-subset invalidation (see REGIMES.md).
+// ---------------------------------------------------------------------------
+
+/// The regime schema used by the regime tests: two top-level regimes (peak =
+/// 1, off-peak = 2) plus a declared-but-dataless sub-regime 3 grouped under
+/// peak, giving a depth-2 fallback ladder `3 → 1 → 0`.
+fn regime_schema() -> RegimeSchema {
+    RegimeSchema::flat()
+        .with_group(RegimeId(1), RegimeId::ALL_TRAFFIC)
+        .with_group(RegimeId(2), RegimeId::ALL_TRAFFIC)
+        .with_group(RegimeId(3), RegimeId(1))
+}
+
+/// A tagged fixture: the tiny preset's trajectories classified peak/off-peak
+/// under [`regime_schema`], plus the same store untagged for bit-identity
+/// comparisons.
+fn tagged_fixture(
+    seed: u64,
+    beta: usize,
+) -> (
+    pathcost::roadnet::RoadNetwork,
+    TrajectoryStore,
+    HybridConfig,
+) {
+    let (net, store) = pathcost::traj::DatasetPreset::tiny(seed)
+        .materialise()
+        .unwrap();
+    let mut matched = store.matched().to_vec();
+    tag_batch(
+        &mut matched,
+        &PeakOffPeak {
+            peak: RegimeId(1),
+            off_peak: RegimeId(2),
+            ..PeakOffPeak::default()
+        },
+    );
+    let cfg = HybridConfig {
+        beta,
+        regimes: regime_schema(),
+        ..HybridConfig::default()
+    };
+    (net, TrajectoryStore::new(matched), cfg)
+}
+
+fn estimate(engine: &QueryEngine<'_>, request: &QueryRequest) -> pathcost::hist::Histogram1D {
+    engine
+        .execute(request)
+        .expect("engine answers")
+        .response
+        .distribution()
+        .expect("distribution response")
+        .clone()
+}
+
+/// The hierarchical-fallback oracle: a regime with no own data answers
+/// bit-identically to its fallback ancestor. Sub-regime 3 has no tagged
+/// trajectories, so every query at regime 3 must resolve through peak's
+/// (regime 1's) table — identical histograms, deeper reported fallback. An
+/// *undeclared* regime falls all the way to the global function.
+#[test]
+fn sparse_regime_answers_are_bit_identical_to_their_fallback_ancestor() {
+    let (net, store, cfg) = tagged_fixture(407, 10);
+    let weights = PathWeightFunction::instantiate(&net, &store, &cfg).unwrap();
+    assert!(
+        weights.regime_tables().contains_key(&RegimeId(1)),
+        "the peak regime must clear β somewhere for the oracle to be non-trivial"
+    );
+    let engine = QueryEngine::new(
+        Arc::new(HybridGraph::from_parts(&net, weights, cfg)),
+        ServiceConfig::default(),
+    );
+    let graph = engine.graph();
+    let mut fallback_depth_seen = 0usize;
+    for var in graph.weights().variables().iter().take(12) {
+        let at = |regime: RegimeId| QueryRequest::EstimateDistribution {
+            path: var.path.clone(),
+            departure: engine.canonical_departure(var.interval),
+            regime,
+        };
+        // Dataless sub-regime ≡ its group, bit-identical.
+        assert_eq!(
+            estimate(&engine, &at(RegimeId(3))),
+            estimate(&engine, &at(RegimeId(1))),
+            "regime 3 (no data) must resolve through regime 1's table"
+        );
+        // Undeclared regime ≡ global, bit-identical.
+        assert_eq!(
+            estimate(&engine, &at(RegimeId(9))),
+            estimate(&engine, &at(RegimeId::ALL_TRAFFIC)),
+            "an unknown regime must fall back to the global function"
+        );
+        let outcome = engine.execute(&at(RegimeId(3))).unwrap();
+        fallback_depth_seen = fallback_depth_seen.max(outcome.stats.max_fallback_depth);
+    }
+    assert!(
+        fallback_depth_seen > 0,
+        "regime-3 estimates must report a non-zero fallback depth"
+    );
+}
+
+/// The default-regime acceptance gate: with every request at
+/// [`RegimeId::ALL_TRAFFIC`], a regime-tagged store answers bit-identically
+/// to the untagged store — tagging adds per-regime tables *besides* the
+/// global one, it never perturbs it. Cache keys are likewise unchanged
+/// (`mix_regime` is the identity at regime 0), pinned here through identical
+/// hit/miss accounting on a replayed probe set.
+#[test]
+fn global_regime_queries_are_bit_identical_to_an_untagged_store() {
+    let (net, tagged_store, cfg) = tagged_fixture(411, 10);
+    let untagged = TrajectoryStore::new(
+        tagged_store
+            .matched()
+            .iter()
+            .map(|m| m.clone().with_regime(RegimeId::ALL_TRAFFIC))
+            .collect(),
+    );
+    let plain_cfg = HybridConfig {
+        regimes: RegimeSchema::flat(),
+        ..cfg.clone()
+    };
+    let tagged_weights = PathWeightFunction::instantiate(&net, &tagged_store, &cfg).unwrap();
+    let plain_weights = PathWeightFunction::instantiate(&net, &untagged, &plain_cfg).unwrap();
+    assert_eq!(
+        tagged_weights.variables(),
+        plain_weights.variables(),
+        "the global variable table must be independent of regime tags"
+    );
+    let tagged_engine = QueryEngine::new(
+        Arc::new(HybridGraph::from_parts(&net, tagged_weights, cfg)),
+        ServiceConfig::default(),
+    );
+    let plain_engine = QueryEngine::new(
+        Arc::new(HybridGraph::from_parts(&net, plain_weights, plain_cfg)),
+        ServiceConfig::default(),
+    );
+    let probes = probe_requests(&plain_engine, 12);
+    for _pass in 0..2 {
+        for request in &probes {
+            let a = tagged_engine.execute(request).unwrap();
+            let b = plain_engine.execute(request).unwrap();
+            assert_eq!(
+                a.response.distribution(),
+                b.response.distribution(),
+                "global-regime answers must be bit-identical to the untagged store"
+            );
+        }
+    }
+    let (a, b) = (tagged_engine.stats(), plain_engine.stats());
+    assert_eq!(a.cache_hits, b.cache_hits, "identical cache keying");
+    assert_eq!(a.cache_misses, b.cache_misses, "identical cache keying");
+    assert_eq!(tagged_engine.cache().len(), plain_engine.cache().len());
+}
+
+/// Tags everything with one fixed regime — the ingest side of the
+/// strict-subset invalidation test.
+struct Always(RegimeId);
+impl RegimeClassifier for Always {
+    fn classify(&self, _m: &MatchedTrajectory) -> RegimeId {
+        self.0
+    }
+}
+
+/// Regime-tagged ingest invalidates a strict subset: peak-tagged arrivals
+/// touch the peak and global tables only, so off-peak readers whose
+/// variables resolved from off-peak's *own* table keep their cache entries,
+/// while global readers of the updated keys are evicted. Equivalence against
+/// a full rebuild at every regime guards the survivors' correctness.
+#[test]
+fn regime_tagged_ingest_invalidates_a_strict_subset_of_readers() {
+    // β = 4: the tiny preset's off-peak traffic is sparse, and the test
+    // needs off-peak *own-table* unit variables to warm readers against.
+    let (net, full, cfg) = tagged_fixture(401, 4);
+    let split = full.len() * 70 / 100;
+    let base = TrajectoryStore::new(full.matched()[..split].to_vec());
+    let rest: Vec<MatchedTrajectory> = full.matched()[split..].to_vec();
+
+    let weights = PathWeightFunction::instantiate(&net, &base, &cfg).unwrap();
+    let off_peak_units: Vec<_> = weights
+        .regime_tables()
+        .get(&RegimeId(2))
+        .expect("off-peak data must clear β somewhere")
+        .iter()
+        .filter(|v| v.path.edges().len() == 1)
+        .map(|v| (v.path.clone(), v.interval))
+        .collect();
+    assert!(
+        !off_peak_units.is_empty(),
+        "need unit variables in the off-peak own table"
+    );
+    let live = QueryEngine::new(
+        Arc::new(HybridGraph::from_parts(&net, weights.clone(), cfg.clone())),
+        ServiceConfig::default(),
+    );
+    let mut ingestor = LiveIngestor::from_instantiated(&net, base, weights, cfg.clone())
+        .unwrap()
+        .with_classifier(Arc::new(Always(RegimeId(1))));
+
+    // Warm each candidate key at the off-peak regime and globally.
+    for (path, interval) in &off_peak_units {
+        for regime in [RegimeId(2), RegimeId::ALL_TRAFFIC] {
+            live.execute(&QueryRequest::EstimateDistribution {
+                path: path.clone(),
+                departure: live.canonical_departure(*interval),
+                regime,
+            })
+            .unwrap();
+        }
+    }
+
+    let update = ingestor.ingest(rest).unwrap();
+    assert!(
+        update.changed() > 0,
+        "the peak-tagged batch must change variables"
+    );
+    assert!(
+        update
+            .updated
+            .iter()
+            .chain(&update.added)
+            .chain(&update.removed)
+            .all(|(_, _, regime)| *regime != RegimeId(2)),
+        "peak-tagged arrivals must never touch the off-peak table"
+    );
+    // Keys safe to assert survival on: global update only, not added/removed
+    // anywhere (additions/removals sweep readers by containment).
+    let swept = |path: &pathcost::roadnet::Path| {
+        update
+            .added
+            .iter()
+            .chain(&update.removed)
+            .any(|(p, _, _)| p.is_subpath_of(path))
+    };
+    let survivors: Vec<_> = off_peak_units
+        .iter()
+        .filter(|(path, interval)| {
+            !swept(path)
+                && update
+                    .updated
+                    .iter()
+                    .any(|(p, iv, r)| p == path && iv == interval && r.is_global())
+        })
+        .cloned()
+        .collect();
+    live.apply_update(update).unwrap();
+
+    assert!(
+        !survivors.is_empty(),
+        "at least one warmed off-peak unit must see a global-table update"
+    );
+    for (path, interval) in &survivors {
+        assert!(
+            live.cache().get(path, *interval, RegimeId(2)).is_some(),
+            "the off-peak reader resolved from its own table and must survive"
+        );
+        assert!(
+            live.cache()
+                .get(path, *interval, RegimeId::ALL_TRAFFIC)
+                .is_none(),
+            "the global reader of an updated key must be evicted"
+        );
+    }
+
+    // Survivors must still be *correct*: every regime's answers equal a full
+    // rebuild over the merged tagged store with a cold cache.
+    let oracle_weights = PathWeightFunction::instantiate(&net, ingestor.store(), &cfg).unwrap();
+    let oracle = QueryEngine::new(
+        Arc::new(HybridGraph::from_parts(&net, oracle_weights, cfg)),
+        ServiceConfig::default(),
+    );
+    for (path, interval) in &off_peak_units {
+        for regime in [RegimeId::ALL_TRAFFIC, RegimeId(1), RegimeId(2), RegimeId(3)] {
+            let request = QueryRequest::EstimateDistribution {
+                path: path.clone(),
+                departure: live.canonical_departure(*interval),
+                regime,
+            };
+            assert_eq!(
+                estimate(&live, &request),
+                estimate(&oracle, &request),
+                "post-update answers at regime {} must match a full rebuild",
+                regime.0
+            );
+        }
+    }
 }
